@@ -1,0 +1,458 @@
+(** Benchmark harness: regenerates every table and figure of the paper's
+    evaluation (Section 5) on the corpus in [lib/suite], plus the three
+    extension ablations documented in DESIGN.md, plus Bechamel
+    micro-benchmarks (one [Test.make] per figure).
+
+    Usage: [dune exec bench/main.exe] (all sections), or pass section
+    names: [fig3 fig4 fig5 fig6 ext-a ext-b ext-c bechamel]. *)
+
+open Norm
+
+let strategies = Core.Analysis.strategies
+
+let strategy_id (module S : Core.Strategy.S) = S.id
+
+let compile (p : Suite.program) : Nast.program =
+  Lower.compile ~file:p.Suite.name p.Suite.source
+
+let programs = Suite.programs
+
+let casting = Suite.casting
+
+(* memoize compiled programs — several figures reuse them *)
+let compiled : (string, Nast.program) Hashtbl.t = Hashtbl.create 32
+
+let prog_of (p : Suite.program) : Nast.program =
+  match Hashtbl.find_opt compiled p.Suite.name with
+  | Some n -> n
+  | None ->
+      let n = compile p in
+      Hashtbl.replace compiled p.Suite.name n;
+      n
+
+let results : (string * string, Core.Analysis.result) Hashtbl.t =
+  Hashtbl.create 128
+
+let result_of (p : Suite.program) (s : (module Core.Strategy.S)) :
+    Core.Analysis.result =
+  let key = (p.Suite.name, strategy_id s) in
+  match Hashtbl.find_opt results key with
+  | Some r -> r
+  | None ->
+      let r = Core.Analysis.run ~strategy:s (prog_of p) in
+      Hashtbl.replace results key r;
+      r
+
+let line () = print_endline (String.make 78 '-')
+
+let header title =
+  print_newline ();
+  line ();
+  Printf.printf "%s\n" title;
+  line ()
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3: test-program characteristics and instrumentation          *)
+(* ------------------------------------------------------------------ *)
+
+let fig3 () =
+  header
+    "Figure 3: programs; % of lookup/resolve calls involving structures,\n\
+     and of those, % where the types did not match (casting involved)";
+  Printf.printf "%-10s %6s %7s | %-21s | %-21s\n" "" "" ""
+    "Collapse on Cast" "Common Initial Seq";
+  Printf.printf "%-10s %6s %7s | %9s %11s | %9s %11s\n" "program" "lines"
+    "stmts" "struct%" "mismatch%" "struct%" "mismatch%";
+  line ();
+  List.iter
+    (fun p ->
+      let prog = prog_of p in
+      let coc = result_of p (module Core.Collapse_on_cast) in
+      let cis = result_of p (module Core.Common_init_seq) in
+      let pct (r : Core.Analysis.result) =
+        let c = r.Core.Analysis.solver.Core.Solver.ctx in
+        let total = c.Core.Actx.lookup_calls + c.Core.Actx.resolve_calls in
+        let str = c.Core.Actx.lookup_struct + c.Core.Actx.resolve_struct in
+        let mis = c.Core.Actx.lookup_mismatch + c.Core.Actx.resolve_mismatch in
+        let p a b =
+          if b = 0 then 0.0 else 100.0 *. float_of_int a /. float_of_int b
+        in
+        (p str total, p mis str)
+      in
+      let s1, m1 = pct coc in
+      let s2, m2 = pct cis in
+      Printf.printf "%-10s %6d %7d | %8.1f%% %10.1f%% | %8.1f%% %10.1f%%%s\n"
+        p.Suite.name (Suite.line_count p) (Nast.stmt_count prog) s1 m1 s2 m2
+        (if p.Suite.has_struct_cast then "" else "   [no struct casts]"))
+    programs
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4: average points-to set size of a dereferenced pointer      *)
+(* ------------------------------------------------------------------ *)
+
+let fig4 () =
+  header
+    "Figure 4: average points-to set size of a dereferenced pointer\n\
+     (12 casting programs; Collapse-Always struct facts expanded to fields)";
+  Printf.printf "%-10s %10s %12s %8s %9s\n" "program" "collapse" "on-cast"
+    "cis" "offsets";
+  line ();
+  List.iter
+    (fun p ->
+      let avg s =
+        (result_of p s).Core.Analysis.metrics.Core.Metrics.avg_deref_size
+      in
+      Printf.printf "%-10s %10.2f %12.2f %8.2f %9.2f\n" p.Suite.name
+        (avg (module Core.Collapse_always))
+        (avg (module Core.Collapse_on_cast))
+        (avg (module Core.Common_init_seq))
+        (avg (module Core.Offsets)))
+    casting
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5: analysis-time ratios, normalized to Offsets               *)
+(* ------------------------------------------------------------------ *)
+
+let time_of (p : Suite.program) (s : (module Core.Strategy.S)) : float =
+  (* fresh runs (not memoized), best of 3, CPU time like the paper *)
+  let prog = prog_of p in
+  let best = ref infinity in
+  for _ = 1 to 3 do
+    let t0 = Sys.time () in
+    ignore (Core.Solver.run ~strategy:s prog);
+    let dt = Sys.time () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best
+
+let fig5 () =
+  header
+    "Figure 5: analysis-time ratios normalized to the Offsets algorithm\n\
+     (12 casting programs; absolute Offsets CPU time in the last column)";
+  Printf.printf "%-10s %10s %12s %8s %9s | %12s\n" "program" "collapse"
+    "on-cast" "cis" "offsets" "offsets (s)";
+  line ();
+  List.iter
+    (fun p ->
+      let t_off = time_of p (module Core.Offsets) in
+      let ratio s =
+        let t = time_of p s in
+        if t_off > 0.0 then t /. t_off else 0.0
+      in
+      Printf.printf "%-10s %10.2f %12.2f %8.2f %9.2f | %12.4f\n" p.Suite.name
+        (ratio (module Core.Collapse_always))
+        (ratio (module Core.Collapse_on_cast))
+        (ratio (module Core.Common_init_seq))
+        1.0 t_off)
+    casting
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6: total points-to edges, normalized to Offsets              *)
+(* ------------------------------------------------------------------ *)
+
+let fig6 () =
+  header
+    "Figure 6: total points-to edges normalized to the Offsets algorithm\n\
+     (12 casting programs; absolute Offsets edge count in the last column)";
+  Printf.printf "%-10s %10s %12s %8s %9s | %12s\n" "program" "collapse"
+    "on-cast" "cis" "offsets" "offsets (#)";
+  line ();
+  List.iter
+    (fun p ->
+      let edges s =
+        (result_of p s).Core.Analysis.metrics.Core.Metrics.total_edges
+      in
+      let e_off = edges (module Core.Offsets) in
+      let ratio s =
+        if e_off > 0 then float_of_int (edges s) /. float_of_int e_off
+        else 0.0
+      in
+      Printf.printf "%-10s %10.2f %12.2f %8.2f %9.2f | %12d\n" p.Suite.name
+        (ratio (module Core.Collapse_always))
+        (ratio (module Core.Collapse_on_cast))
+        (ratio (module Core.Common_init_seq))
+        1.0 e_off)
+    casting
+
+(* ------------------------------------------------------------------ *)
+(* Extension A: precision ordering on random programs                  *)
+(* ------------------------------------------------------------------ *)
+
+let ext_a () =
+  header
+    "Extension A: average deref points-to size on random programs\n\
+     (validates the precision ordering across the framework instances)";
+  Printf.printf "%-8s %10s %12s %8s %9s\n" "seed" "collapse" "on-cast" "cis"
+    "offsets";
+  line ();
+  let cfg = { Cgen.default with n_stmts = 80; cast_rate = 0.4 } in
+  let totals = Array.make 4 0.0 in
+  let seeds = [ 11; 23; 42; 77; 101; 137; 253; 389; 511; 997 ] in
+  List.iter
+    (fun seed ->
+      let src = Cgen.generate ~cfg ~seed () in
+      let prog = Lower.compile ~file:(Printf.sprintf "gen%d" seed) src in
+      let sizes =
+        List.map
+          (fun s ->
+            (Core.Analysis.run ~strategy:s prog).Core.Analysis.metrics
+              .Core.Metrics.avg_deref_size)
+          strategies
+      in
+      List.iteri (fun i v -> totals.(i) <- totals.(i) +. v) sizes;
+      match sizes with
+      | [ ca; coc; cis; off ] ->
+          Printf.printf "%-8d %10.2f %12.2f %8.2f %9.2f\n" seed ca coc cis off
+      | _ -> ())
+    seeds;
+  line ();
+  let n = float_of_int (List.length seeds) in
+  Printf.printf "%-8s %10.2f %12.2f %8.2f %9.2f\n" "mean" (totals.(0) /. n)
+    (totals.(1) /. n) (totals.(2) /. n) (totals.(3) /. n)
+
+(* ------------------------------------------------------------------ *)
+(* Extension B: Steensgaard baselines                                  *)
+(* ------------------------------------------------------------------ *)
+
+let ext_b () =
+  header
+    "Extension B: unification (Steensgaard-style) baselines vs the\n\
+     framework instances — avg deref points-to size on casting programs";
+  Printf.printf "%-10s %12s %12s %10s %8s %9s\n" "program" "steens-coll"
+    "steens-field" "collapse" "cis" "offsets";
+  line ();
+  List.iter
+    (fun p ->
+      let prog = prog_of p in
+      let st_c =
+        Steens.Steensgaard.run ~flavor:Steens.Steensgaard.Collapsed prog
+      in
+      let st_f =
+        Steens.Steensgaard.run ~flavor:Steens.Steensgaard.Fields prog
+      in
+      let avg s =
+        (result_of p s).Core.Analysis.metrics.Core.Metrics.avg_deref_size
+      in
+      Printf.printf "%-10s %12.2f %12.2f %10.2f %8.2f %9.2f\n" p.Suite.name
+        (Steens.Steensgaard.avg_deref_size st_c)
+        (Steens.Steensgaard.avg_deref_size st_f)
+        (avg (module Core.Collapse_always))
+        (avg (module Core.Common_init_seq))
+        (avg (module Core.Offsets)))
+    casting
+
+(* ------------------------------------------------------------------ *)
+(* Extension C: Assumption-1 pointer-arithmetic rule ablation          *)
+(* ------------------------------------------------------------------ *)
+
+let ext_c () =
+  header
+    "Extension C: pointer-arithmetic handling ablation (CIS instance)\n\
+     spread = paper's Assumption-1 rule; stride = Wilson-Lam array\n\
+     refinement; unknown = pessimistic marker (flagged derefs shown);\n\
+     copy = optimistic lower bound";
+  Printf.printf "%-10s %10s %10s %10s %10s | %10s\n" "program" "spread"
+    "stride" "unknown" "copy" "flagged";
+  line ();
+  List.iter
+    (fun p ->
+      let prog = prog_of p in
+      let summarize arith =
+        Core.Metrics.summarize
+          (Core.Solver.run ~arith ~strategy:(module Core.Common_init_seq)
+             prog)
+      in
+      let spread = summarize `Spread in
+      let stride = summarize `Stride in
+      let unknown = summarize `Unknown in
+      let copy = summarize `Copy in
+      Printf.printf "%-10s %10.2f %10.2f %10.2f %10.2f | %7d/%-3d\n"
+        p.Suite.name spread.Core.Metrics.avg_deref_size
+        stride.Core.Metrics.avg_deref_size
+        unknown.Core.Metrics.avg_deref_size copy.Core.Metrics.avg_deref_size
+        unknown.Core.Metrics.corrupt_derefs unknown.Core.Metrics.deref_sites)
+    casting
+
+(* ------------------------------------------------------------------ *)
+(* Extension D: solver scalability on generated workloads              *)
+(* ------------------------------------------------------------------ *)
+
+let ext_d () =
+  header
+    "Extension D: solver scalability (generated programs; CPU seconds,\n\
+     best of 2). The paper's suite spanned 650-29,000 source lines.";
+  Printf.printf "%-8s %8s %10s %12s %8s %9s\n" "stmts" "cells" "collapse"
+    "on-cast" "cis" "offsets";
+  line ();
+  List.iter
+    (fun n_stmts ->
+      let cfg = { Cgen.default with n_stmts; n_structs = 4; cast_rate = 0.3 } in
+      let src = Cgen.generate ~cfg ~seed:2026 () in
+      let prog = Lower.compile ~file:(Printf.sprintf "scale%d" n_stmts) src in
+      let time s =
+        let best = ref infinity in
+        for _ = 1 to 2 do
+          let t0 = Sys.time () in
+          ignore (Core.Solver.run ~strategy:s prog);
+          let dt = Sys.time () -. t0 in
+          if dt < !best then best := dt
+        done;
+        !best
+      in
+      let edges =
+        let solver =
+          Core.Solver.run ~strategy:(module Core.Common_init_seq) prog
+        in
+        Core.Graph.edge_count solver.Core.Solver.graph
+      in
+      Printf.printf "%-8d %8d %10.4f %12.4f %8.4f %9.4f\n"
+        (Nast.stmt_count prog) edges
+        (time (module Core.Collapse_always))
+        (time (module Core.Collapse_on_cast))
+        (time (module Core.Common_init_seq))
+        (time (module Core.Offsets)))
+    [ 100; 200; 400; 800; 1600; 3200 ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per figure                 *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel () =
+  header "Bechamel micro-benchmarks (monotonic clock, OLS fit, ns/run)";
+  let open Bechamel in
+  let open Toolkit in
+  let subject =
+    match Suite.find "bc" with Some p -> p | None -> List.hd casting
+  in
+  let prog = prog_of subject in
+  let solve s () = ignore (Core.Solver.run ~strategy:s prog) in
+  (* one Test.make per table/figure of the paper *)
+  let tests =
+    [
+      (* Figure 3's instrumented run is a Collapse-on-Cast solve *)
+      Test.make ~name:"fig3-instrumented-coc"
+        (Staged.stage (solve (module Core.Collapse_on_cast)));
+      (* Figure 4/6 compare all four instances; benchmark the extremes *)
+      Test.make ~name:"fig4-collapse-always"
+        (Staged.stage (solve (module Core.Collapse_always)));
+      Test.make ~name:"fig4-cis"
+        (Staged.stage (solve (module Core.Common_init_seq)));
+      (* Figure 5's denominator: the Offsets solve *)
+      Test.make ~name:"fig5-offsets"
+        (Staged.stage (solve (module Core.Offsets)));
+      (* Figure 6's edge counting over a solved graph *)
+      Test.make ~name:"fig6-metrics"
+        (Staged.stage (fun () ->
+             let solver =
+               Core.Solver.run ~strategy:(module Core.Offsets) prog
+             in
+             ignore (Core.Metrics.summarize solver)));
+    ]
+  in
+  let test = Test.make_grouped ~name:"structcast" tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:100 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw_results = Benchmark.all cfg instances test in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw_results) instances
+  in
+  let results = Analyze.merge ols instances results in
+  Hashtbl.iter
+    (fun name tbl ->
+      Hashtbl.iter
+        (fun test_name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] ->
+              Printf.printf "%-40s %-16s %12.0f ns/run\n" test_name name est
+          | _ -> Printf.printf "%-40s %-16s %12s\n" test_name name "n/a")
+        tbl)
+    results
+
+(* ------------------------------------------------------------------ *)
+(* CSV export (for plotting the figures)                               *)
+(* ------------------------------------------------------------------ *)
+
+let csv () =
+  header "CSV export: writing figure4.csv / figure5.csv / figure6.csv";
+  let write name header_row rows =
+    let oc = open_out name in
+    output_string oc (header_row ^ "\n");
+    List.iter (fun r -> output_string oc (r ^ "\n")) rows;
+    close_out oc;
+    Printf.printf "wrote %s (%d rows)\n" name (List.length rows)
+  in
+  let row4 p =
+    let avg s =
+      (result_of p s).Core.Analysis.metrics.Core.Metrics.avg_deref_size
+    in
+    Printf.sprintf "%s,%.4f,%.4f,%.4f,%.4f" p.Suite.name
+      (avg (module Core.Collapse_always))
+      (avg (module Core.Collapse_on_cast))
+      (avg (module Core.Common_init_seq))
+      (avg (module Core.Offsets))
+  in
+  write "figure4.csv" "program,collapse_always,collapse_on_cast,cis,offsets"
+    (List.map row4 casting);
+  let row5 p =
+    let t s = time_of p s in
+    Printf.sprintf "%s,%.6f,%.6f,%.6f,%.6f" p.Suite.name
+      (t (module Core.Collapse_always))
+      (t (module Core.Collapse_on_cast))
+      (t (module Core.Common_init_seq))
+      (t (module Core.Offsets))
+  in
+  write "figure5.csv"
+    "program,collapse_always_s,collapse_on_cast_s,cis_s,offsets_s"
+    (List.map row5 casting);
+  let row6 p =
+    let e s =
+      (result_of p s).Core.Analysis.metrics.Core.Metrics.total_edges
+    in
+    Printf.sprintf "%s,%d,%d,%d,%d" p.Suite.name
+      (e (module Core.Collapse_always))
+      (e (module Core.Collapse_on_cast))
+      (e (module Core.Common_init_seq))
+      (e (module Core.Offsets))
+  in
+  write "figure6.csv" "program,collapse_always,collapse_on_cast,cis,offsets"
+    (List.map row6 casting)
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let sections : (string * (unit -> unit)) list =
+  [
+    ("fig3", fig3);
+    ("fig4", fig4);
+    ("fig5", fig5);
+    ("fig6", fig6);
+    ("ext-a", ext_a);
+    ("ext-b", ext_b);
+    ("ext-c", ext_c);
+    ("ext-d", ext_d);
+    ("bechamel", bechamel);
+    ("csv", csv);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst sections
+  in
+  print_endline
+    "structcast benchmark harness — reproduces the evaluation of\n\
+     Yong, Horwitz & Reps, \"Pointer Analysis for Programs with\n\
+     Structures and Casting\" (PLDI 1999). See EXPERIMENTS.md.";
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown section %s (have: %s)\n" name
+            (String.concat ", " (List.map fst sections)))
+    requested

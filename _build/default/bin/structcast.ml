@@ -1,0 +1,311 @@
+(** [structcast] — command-line driver for the pointer-analysis framework.
+
+    - [structcast analyze FILE.c] — run one strategy and print points-to
+      sets, normalized statements, metrics, or the call graph.
+    - [structcast compare FILE.c] — run all four instances side by side.
+    - [structcast corpus] — list the embedded benchmark corpus; a corpus
+      program's name can be used instead of a file everywhere. *)
+
+open Cfront
+open Norm
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Inputs                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_source (spec : string) : string * string =
+  (* a corpus program name, or a path to a C file *)
+  match Suite.find spec with
+  | Some p -> (p.Suite.name, p.Suite.source)
+  | None ->
+      if Sys.file_exists spec then (Filename.basename spec, read_file spec)
+      else
+        failwith
+          (Printf.sprintf
+             "%s: not a file and not a corpus program (try 'structcast corpus')"
+             spec)
+
+let resolve_includes path rel =
+  (* #include "x.h" resolves relative to the input file's directory *)
+  let dir = Filename.dirname path in
+  let candidate = Filename.concat dir rel in
+  if Sys.file_exists candidate then Some (read_file candidate) else None
+
+let layout_of_name = function
+  | "ilp32" -> Layout.ilp32
+  | "lp64" -> Layout.lp64
+  | "word16" -> Layout.word16
+  | s -> failwith (Printf.sprintf "unknown layout %s (ilp32|lp64|word16)" s)
+
+let strategy_of_name name : (module Core.Strategy.S) =
+  match Core.Analysis.strategy_of_id name with
+  | Some s -> s
+  | None ->
+      failwith
+        (Printf.sprintf "unknown strategy %s (have: %s)" name
+           (String.concat ", " Core.Analysis.strategy_ids))
+
+let compile_spec ~layout spec : string * Nast.program =
+  let name, source = load_source spec in
+  let resolve = resolve_includes spec in
+  (name, Lower.compile ~layout ~resolve ~file:name source)
+
+(* ------------------------------------------------------------------ *)
+(* analyze                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let print_points_to (r : Core.Analysis.result) ~only_var =
+  let module S =
+    (val r.Core.Analysis.solver.Core.Solver.strategy : Core.Strategy.S)
+  in
+  let solver = r.Core.Analysis.solver in
+  let entries =
+    Core.Graph.fold_sources solver.Core.Solver.graph
+      (fun c s acc -> (c, s) :: acc)
+      []
+    |> List.sort (fun (a, _) (b, _) -> Core.Cell.compare a b)
+  in
+  List.iter
+    (fun ((c : Core.Cell.t), targets) ->
+      let name = Cvar.qualified_name c.Core.Cell.base in
+      let keep =
+        match only_var with
+        | Some v -> name = v || c.Core.Cell.base.Cvar.vname = v
+        | None ->
+            (* hide compiler temporaries by default *)
+            not
+              (String.length c.Core.Cell.base.Cvar.vname > 2
+              && String.sub c.Core.Cell.base.Cvar.vname 0 2 = "$t")
+      in
+      if keep && not (Core.Cell.Set.is_empty targets) then
+        Fmt.pr "%a -> {%a}@." Core.Cell.pp c
+          (Fmt.list ~sep:(Fmt.any ", ") Core.Cell.pp)
+          (Core.Cell.Set.elements targets))
+    entries
+
+let print_metrics name (r : Core.Analysis.result) =
+  let m = r.Core.Analysis.metrics in
+  let f = m.Core.Metrics.figures3 in
+  Fmt.pr "program:              %s@." name;
+  Fmt.pr "strategy:             %s@." m.Core.Metrics.strategy_name;
+  Fmt.pr "deref sites:          %d@." m.Core.Metrics.deref_sites;
+  Fmt.pr "avg deref pts size:   %.2f@." m.Core.Metrics.avg_deref_size;
+  Fmt.pr "max deref pts size:   %d@." m.Core.Metrics.max_deref_size;
+  Fmt.pr "points-to edges:      %d@." m.Core.Metrics.total_edges;
+  Fmt.pr "lookup calls:         %d (%.1f%% struct, %.1f%% of those mismatch)@."
+    m.Core.Metrics.lookup_calls f.Core.Actx.pct_lookup_struct
+    f.Core.Actx.pct_lookup_mismatch;
+  Fmt.pr "resolve calls:        %d (%.1f%% struct, %.1f%% of those mismatch)@."
+    m.Core.Metrics.resolve_calls f.Core.Actx.pct_resolve_struct
+    f.Core.Actx.pct_resolve_mismatch;
+  Fmt.pr "analysis time:        %.4f s@." r.Core.Analysis.time_s;
+  if m.Core.Metrics.unknown_externs <> [] then
+    Fmt.pr "unknown externs:      %s@."
+      (String.concat ", " m.Core.Metrics.unknown_externs)
+
+let print_callgraph (r : Core.Analysis.result) =
+  let q = Clients.Queries.of_result r in
+  List.iter
+    (fun (fname, callees) ->
+      if callees = [] then Fmt.pr "%s -> (none)@." fname
+      else
+        Fmt.pr "%s -> %a@." fname
+          (Fmt.list ~sep:(Fmt.any ", ") Clients.Queries.pp_callee)
+          callees)
+    (Clients.Queries.call_graph q)
+
+let print_modref (r : Core.Analysis.result) =
+  let q = Clients.Queries.of_result r in
+  let prog = Clients.Queries.prog q in
+  List.iter
+    (fun (f : Nast.func) ->
+      Fmt.pr "%s:@." f.Nast.fname;
+      Fmt.pr "  MOD  = {%s}@."
+        (String.concat ", "
+           (Clients.Queries.cell_set_to_strings (Clients.Queries.mod_set q f)));
+      Fmt.pr "  REF  = {%s}@."
+        (String.concat ", "
+           (Clients.Queries.cell_set_to_strings (Clients.Queries.ref_set q f)));
+      Fmt.pr "  MOD* = {%s}@."
+        (String.concat ", "
+           (Clients.Queries.cell_set_to_strings
+              (Clients.Queries.mod_set_transitive q f.Nast.fname))))
+    prog.Nast.pfuncs
+
+(* Graphviz exports: pipe into `dot -Tsvg` *)
+let print_dot (r : Core.Analysis.result) =
+  let solver = r.Core.Analysis.solver in
+  Fmt.pr "digraph points_to {@.  rankdir=LR;@.  node [shape=box];@.";
+  Core.Graph.iter_edges solver.Core.Solver.graph (fun c w ->
+      let skip (cell : Core.Cell.t) =
+        String.length cell.Core.Cell.base.Cvar.vname > 2
+        && String.sub cell.Core.Cell.base.Cvar.vname 0 2 = "$t"
+      in
+      if not (skip c) then
+        Fmt.pr "  \"%s\" -> \"%s\";@." (Core.Cell.to_string c)
+          (Core.Cell.to_string w));
+  Fmt.pr "}@."
+
+let print_dot_callgraph (r : Core.Analysis.result) =
+  let q = Clients.Queries.of_result r in
+  Fmt.pr "digraph call_graph {@.  node [shape=oval];@.";
+  List.iter
+    (fun (caller, callees) ->
+      List.iter
+        (fun callee ->
+          match callee with
+          | Clients.Queries.Static n ->
+              Fmt.pr "  \"%s\" -> \"%s\";@." caller n
+          | Clients.Queries.Resolved n ->
+              Fmt.pr "  \"%s\" -> \"%s\" [style=dashed];@." caller n)
+        callees)
+    (Clients.Queries.call_graph q);
+  Fmt.pr "}@."
+
+let analyze_cmd spec strategy layout what var =
+  let layout = layout_of_name layout in
+  let name, prog = compile_spec ~layout spec in
+  let r = Core.Analysis.run ~layout ~strategy:(strategy_of_name strategy) prog in
+  (match what with
+  | "points-to" -> print_points_to r ~only_var:var
+  | "metrics" -> print_metrics name r
+  | "norm" -> Fmt.pr "%a" Nast.pp_program prog
+  | "callgraph" -> print_callgraph r
+  | "modref" -> print_modref r
+  | "dot" -> print_dot r
+  | "dot-callgraph" -> print_dot_callgraph r
+  | w -> failwith (Printf.sprintf "unknown --print %s" w));
+  List.iter
+    (fun (w : Diag.payload) -> Fmt.epr "%a@." Diag.pp_payload w)
+    (Diag.take_warnings ())
+
+(* ------------------------------------------------------------------ *)
+(* compare                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let compare_cmd spec layout =
+  let layout = layout_of_name layout in
+  let name, prog = compile_spec ~layout spec in
+  Fmt.pr "%s: %d normalized statements@.@." name (Nast.stmt_count prog);
+  Fmt.pr "%-24s %12s %10s %10s %10s@." "strategy" "avg-deref" "max" "edges"
+    "time(s)";
+  List.iter
+    (fun s ->
+      let r = Core.Analysis.run ~layout ~strategy:s prog in
+      let m = r.Core.Analysis.metrics in
+      Fmt.pr "%-24s %12.2f %10d %10d %10.4f@." m.Core.Metrics.strategy_name
+        m.Core.Metrics.avg_deref_size m.Core.Metrics.max_deref_size
+        m.Core.Metrics.total_edges r.Core.Analysis.time_s)
+    Core.Analysis.strategies;
+  (* unification baselines for context *)
+  List.iter
+    (fun (flavor, label) ->
+      let t = Steens.Steensgaard.run ~flavor prog in
+      Fmt.pr "%-24s %12.2f %10s %10s %10.4f@." label
+        (Steens.Steensgaard.avg_deref_size t)
+        "-" "-" t.Steens.Steensgaard.time_s)
+    [
+      (Steens.Steensgaard.Collapsed, "steensgaard (collapsed)");
+      (Steens.Steensgaard.Fields, "steensgaard (fields)");
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* corpus                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let corpus_cmd () =
+  Fmt.pr "%-10s %6s %6s  %s@." "name" "lines" "casts" "description";
+  List.iter
+    (fun p ->
+      Fmt.pr "%-10s %6d %6s  %s@." p.Suite.name (Suite.line_count p)
+        (if p.Suite.has_struct_cast then "yes" else "no")
+        p.Suite.description)
+    Suite.programs
+
+(* ------------------------------------------------------------------ *)
+(* Cmdliner plumbing                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let spec_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE|PROGRAM" ~doc:"C source file or corpus program name.")
+
+let strategy_arg =
+  Arg.(
+    value & opt string "cis"
+    & info [ "s"; "strategy" ] ~docv:"ID"
+        ~doc:
+          "Analysis instance: collapse-always, collapse-on-cast, cis, or \
+           offsets.")
+
+let layout_arg =
+  Arg.(
+    value & opt string "ilp32"
+    & info [ "l"; "layout" ] ~docv:"LAYOUT"
+        ~doc:"Structure layout for the Offsets instance: ilp32, lp64, word16.")
+
+let print_arg =
+  Arg.(
+    value & opt string "points-to"
+    & info [ "p"; "print" ] ~docv:"WHAT"
+        ~doc:
+          "What to print: points-to, metrics, norm, callgraph, modref, dot \
+           (graphviz points-to graph), or dot-callgraph.")
+
+let var_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "var" ] ~docv:"NAME" ~doc:"Restrict points-to output to one variable.")
+
+let wrap f =
+  try
+    f ();
+    0
+  with
+  | Failure msg | Sys_error msg ->
+      Fmt.epr "error: %s@." msg;
+      1
+  | Diag.Error p ->
+      Fmt.epr "%a@." Diag.pp_payload p;
+      1
+
+let analyze_t =
+  let run spec strategy layout what var =
+    wrap (fun () -> analyze_cmd spec strategy layout what var)
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Analyze a C file with one framework instance.")
+    Term.(const run $ spec_arg $ strategy_arg $ layout_arg $ print_arg $ var_arg)
+
+let compare_t =
+  let run spec layout = wrap (fun () -> compare_cmd spec layout) in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Run all framework instances (and unification baselines).")
+    Term.(const run $ spec_arg $ layout_arg)
+
+let corpus_t =
+  let run () = wrap corpus_cmd in
+  Cmd.v
+    (Cmd.info "corpus" ~doc:"List the embedded benchmark corpus.")
+    Term.(const run $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "structcast" ~version:"1.0.0"
+       ~doc:
+         "Tunable pointer analysis for C with structures and casting (Yong, \
+          Horwitz & Reps, PLDI 1999).")
+    [ analyze_t; compare_t; corpus_t ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/devirtualize.ml: Clients Core Fmt List Nast Norm String

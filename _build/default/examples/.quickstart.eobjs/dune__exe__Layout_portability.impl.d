@@ -1,0 +1,1 @@
+examples/layout_portability.ml: Cfront Core Fmt Layout List

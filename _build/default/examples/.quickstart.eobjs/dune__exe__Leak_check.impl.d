@@ -1,0 +1,1 @@
+examples/leak_check.ml: Cfront Core Cvar Fmt List Nast Norm Queue Srcloc

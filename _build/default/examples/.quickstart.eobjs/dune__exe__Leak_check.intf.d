@@ -1,0 +1,1 @@
+examples/leak_check.mli:

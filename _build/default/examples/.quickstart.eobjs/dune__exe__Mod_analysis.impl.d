@@ -1,0 +1,1 @@
+examples/mod_analysis.ml: Clients Core Fmt List Nast Norm String

@@ -1,0 +1,1 @@
+examples/mod_analysis.mli:

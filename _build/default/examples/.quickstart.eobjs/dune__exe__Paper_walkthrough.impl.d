@@ -1,0 +1,1 @@
+examples/paper_walkthrough.ml: Core Fmt List Lower Nast Norm

@@ -1,0 +1,101 @@
+(** Devirtualization client: use points-to results to resolve indirect
+    calls in an object-style C program (a struct of function pointers, the
+    pattern the paper's interprocedural machinery must handle).
+
+    For each indirect call site the example prints the set of functions
+    the call can reach under Collapse-Always vs. Common-Initial-Sequence —
+    showing how field sensitivity shrinks the candidate sets a compiler
+    would have to consider.
+
+    Run with: [dune exec examples/devirtualize.exe] *)
+
+open Norm
+
+let source =
+  {|
+    /* a tiny "class hierarchy" with vtables of function pointers */
+    int printf(char *fmt, ...);
+
+    struct shape_ops {
+      long (*area)(long w, long h);
+      long (*perimeter)(long w, long h);
+      char *(*name)(void);
+    };
+
+    long rect_area(long w, long h) { return w * h; }
+    long rect_perimeter(long w, long h) { return 2 * (w + h); }
+    char *rect_name(void) { return "rect"; }
+
+    long tri_area(long w, long h) { return w * h / 2; }
+    long tri_perimeter(long w, long h) { return 3 * w; }
+    char *tri_name(void) { return "tri"; }
+
+    struct shape_ops rect_ops = { rect_area, rect_perimeter, rect_name };
+    struct shape_ops tri_ops = { tri_area, tri_perimeter, tri_name };
+
+    struct shape {
+      struct shape_ops *ops;
+      long w, h;
+    };
+
+    long describe(struct shape *s) {
+      printf("%s\n", (*s->ops->name)());
+      return (*s->ops->area)(s->w, s->h);
+    }
+
+    long total;
+
+    void main(void) {
+      struct shape r, t;
+      r.ops = &rect_ops;
+      r.w = 3; r.h = 4;
+      t.ops = &tri_ops;
+      t.w = 5; t.h = 6;
+      total = describe(&r) + describe(&t);
+    }
+  |}
+
+(* all indirect call sites with their candidate callees, via the client
+   query library *)
+let indirect_calls (r : Core.Analysis.result) : (string * string list) list =
+  let q = Clients.Queries.of_result r in
+  let prog = Clients.Queries.prog q in
+  List.concat_map
+    (fun (f : Nast.func) ->
+      List.filter_map
+        (fun (s : Nast.stmt) ->
+          match s.Nast.kind with
+          | Nast.Call ({ Nast.cfn = Nast.Indirect _; _ } as call) ->
+              let callees =
+                Clients.Queries.callees_of q call
+                |> List.map Clients.Queries.callee_name
+                |> List.sort_uniq compare
+              in
+              Some (f.Nast.fname, callees)
+          | _ -> None)
+        f.Nast.fstmts)
+    prog.Nast.pfuncs
+
+let () =
+  Fmt.pr "Indirect-call resolution on a vtable-style program:@.@.";
+  List.iter
+    (fun id ->
+      match Core.Analysis.strategy_of_id id with
+      | None -> ()
+      | Some strategy ->
+          let r =
+            Core.Analysis.run_source ~strategy ~file:"shapes.c" source
+          in
+          let module S = (val strategy : Core.Strategy.S) in
+          Fmt.pr "--- %s ---@." S.name;
+          List.iter
+            (fun (caller, callees) ->
+              Fmt.pr "  in %-10s (*...)() may call: %s@." caller
+                (String.concat ", " callees))
+            (indirect_calls r);
+          Fmt.pr "@.")
+    [ "collapse-always"; "cis" ];
+  Fmt.pr
+    "Collapse-Always merges the whole ops structure, so every slot reaches@.\
+     every function stored in any slot; the field-sensitive instance keeps@.\
+     area / perimeter / name slots apart.@."

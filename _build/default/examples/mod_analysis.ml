@@ -1,0 +1,87 @@
+(** MOD analysis client: compute, per function, the set of objects that
+    may be modified through pointers — the kind of "subsequent static
+    analysis" whose precision the paper's introduction says depends on
+    pointer analysis (cf. the modification side-effects work of Ryder et
+    al. cited in Section 6).
+
+    Run with: [dune exec examples/mod_analysis.exe] *)
+
+
+open Norm
+
+let source =
+  {|
+    struct buffer { char *data; int len; int cap; };
+    struct stats { long writes; long grows; };
+
+    void *malloc(unsigned long n);
+    void *memcpy(void *d, void *s, unsigned long n);
+
+    struct stats global_stats;
+
+    void buf_init(struct buffer *b, int cap) {
+      b->data = (char *)malloc((unsigned long)cap);
+      b->len = 0;
+      b->cap = cap;
+    }
+
+    void buf_grow(struct buffer *b) {
+      char *bigger = (char *)malloc((unsigned long)(b->cap * 2));
+      memcpy(bigger, b->data, (unsigned long)b->len);
+      b->data = bigger;
+      b->cap = b->cap * 2;
+      global_stats.grows = global_stats.grows + 1;
+    }
+
+    void buf_push(struct buffer *b, char c) {
+      if (b->len == b->cap)
+        buf_grow(b);
+      b->data[b->len] = c;
+      b->len = b->len + 1;
+      global_stats.writes = global_stats.writes + 1;
+    }
+
+    int observe(struct buffer *b) {
+      return b->len + b->cap;
+    }
+
+    void main(void) {
+      struct buffer log_buf, net_buf;
+      buf_init(&log_buf, 16);
+      buf_init(&net_buf, 64);
+      buf_push(&log_buf, 'x');
+      buf_push(&net_buf, 'y');
+      observe(&log_buf);
+    }
+  |}
+
+(* cells possibly modified by each function, via the client query
+   library (direct writes to a function's own locals are not side
+   effects) *)
+let mod_sets (r : Core.Analysis.result) : (string * string list) list =
+  let q = Clients.Queries.of_result r in
+  List.map
+    (fun (f : Nast.func) ->
+      ( f.Nast.fname,
+        Clients.Queries.cell_set_to_strings (Clients.Queries.mod_set q f) ))
+    (Clients.Queries.prog q).Nast.pfuncs
+
+let () =
+  Fmt.pr "MOD sets (objects possibly written through pointers), per function:@.";
+  List.iter
+    (fun id ->
+      match Core.Analysis.strategy_of_id id with
+      | None -> ()
+      | Some strategy ->
+          let module S = (val strategy : Core.Strategy.S) in
+          let r = Core.Analysis.run_source ~strategy ~file:"buf.c" source in
+          Fmt.pr "@.--- %s ---@." S.name;
+          List.iter
+            (fun (fname, objs) ->
+              Fmt.pr "  MOD(%-9s) = {%s}@." fname (String.concat ", " objs))
+            (mod_sets r))
+    [ "collapse-always"; "cis" ];
+  Fmt.pr
+    "@.A client like slicing or side-effect analysis consumes exactly these@.\
+     sets; the paper's group observed that collapsing structures made such@.\
+     clients markedly less precise (Section 1).@."

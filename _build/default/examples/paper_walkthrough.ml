@@ -1,0 +1,46 @@
+(** A guided walkthrough of the paper's Section 3 derivation: the
+    normalized five-form program, and the inference steps that produce
+    pointsTo(p, x).
+
+    Run with: [dune exec examples/paper_walkthrough.exe] *)
+
+open Norm
+
+(* Section 3's normalized version of the introduction example, written
+   here in ordinary C; the normalizer introduces the same temporaries the
+   paper introduces by hand. *)
+let source =
+  {|
+    struct S { int *s1; int *s2; } s;
+    int x, y, *p;
+    void main(void) {
+      s.s1 = &x;     /* paper statements 3-5: tmp1 = &s.s1; tmp2 = &x; *tmp1 = tmp2 */
+      s.s2 = &y;     /* paper statements 6-8 */
+      p = s.s1;      /* paper statement 9 */
+    }
+  |}
+
+let () =
+  Fmt.pr "Section 3 of the paper derives pointsTo(p, x) in three steps.@.";
+  Fmt.pr "Our normalizer produces the same shape mechanically:@.@.";
+  let prog = Lower.compile ~file:"section3.c" source in
+  (match Nast.func_by_name prog "main" with
+  | Some f ->
+      List.iter
+        (fun (s : Nast.stmt) -> Fmt.pr "  [%d] %a@." s.Nast.id Nast.pp_stmt s)
+        f.Nast.fstmts
+  | None -> ());
+  Fmt.pr
+    "@.Rule 1 (s = &t.β) fires on the two address-of statements;@.\
+     rule 5 (*p = t) transfers tmp2's fact through tmp1's target, giving@.\
+     pointsTo(s.s1, x); rule 3 (s = t.β) then copies that fact into p.@.@.";
+  let result =
+    Core.Analysis.run_source
+      ~strategy:(module Core.Common_init_seq)
+      ~file:"section3.c" source
+  in
+  Fmt.pr "Fixpoint facts (Common Initial Sequence instance):@.@.";
+  Core.Graph.pp Fmt.stdout result.Core.Analysis.solver.Core.Solver.graph;
+  Fmt.pr "@.Note the final fact pointsTo(p, x) — and that s.s2's fact about@.\
+          y never contaminates p, which is the whole point of@.\
+          distinguishing fields (Section 1).@."

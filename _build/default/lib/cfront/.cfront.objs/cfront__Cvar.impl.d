@@ -1,0 +1,1 @@
+lib/cfront/cvar.ml: Ctype Fmt Hashtbl Map Printf Set Srcloc

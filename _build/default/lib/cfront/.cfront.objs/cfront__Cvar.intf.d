@@ -1,0 +1,1 @@
+lib/cfront/cvar.mli: Ctype Format Hashtbl Map Set Srcloc

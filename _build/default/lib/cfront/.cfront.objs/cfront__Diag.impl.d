@@ -1,0 +1,1 @@
+lib/cfront/diag.ml: Fmt Format List Srcloc

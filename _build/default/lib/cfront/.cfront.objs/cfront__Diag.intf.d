@@ -1,0 +1,1 @@
+lib/cfront/diag.mli: Format Srcloc

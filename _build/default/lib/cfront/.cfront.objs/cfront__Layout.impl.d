@@ -1,0 +1,1 @@
+lib/cfront/layout.ml: Ctype Diag List

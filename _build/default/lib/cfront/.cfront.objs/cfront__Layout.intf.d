@@ -1,0 +1,1 @@
+lib/cfront/layout.mli: Ctype

@@ -1,0 +1,1 @@
+lib/cfront/lexer.ml: Buffer Char Diag Int64 List Srcloc String Token

@@ -1,0 +1,1 @@
+lib/cfront/parser.ml: Array Ast Buffer Ctype Diag Hashtbl Int64 Layout List Option Preproc Printf Srcloc String Token

@@ -1,0 +1,1 @@
+lib/cfront/preproc.ml: Array Diag Hashtbl Int64 Lexer List Set Srcloc String Token

@@ -1,0 +1,1 @@
+lib/cfront/preproc.mli: Token

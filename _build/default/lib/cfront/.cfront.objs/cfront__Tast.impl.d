@@ -1,0 +1,1 @@
+lib/cfront/tast.ml: Ast Ctype Cvar List Srcloc

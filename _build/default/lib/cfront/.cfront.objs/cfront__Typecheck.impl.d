@@ -1,0 +1,1 @@
+lib/cfront/typecheck.ml: Ast Ctype Cvar Diag Hashtbl Int64 Layout List Option String Tast

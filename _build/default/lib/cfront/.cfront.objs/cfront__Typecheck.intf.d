@@ -1,0 +1,1 @@
+lib/cfront/typecheck.mli: Ast Layout Tast

@@ -1,0 +1,168 @@
+(** Abstract syntax for the C subset, produced by {!Parser}.
+
+    Types are already resolved to {!Ctype.t} during parsing (the parser
+    owns the typedef/tag tables, which it also needs for disambiguation),
+    so the AST carries semantic types in casts and declarations. Expression
+    types are computed later by {!Typecheck}. *)
+
+type unop =
+  | Neg
+  | Pos
+  | Lognot
+  | Bitnot
+  | Preinc
+  | Predec
+  | Postinc
+  | Postdec
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Shl
+  | Shr
+  | Lt
+  | Gt
+  | Le
+  | Ge
+  | Eq
+  | Ne
+  | Bitand
+  | Bitor
+  | Bitxor
+  | Logand
+  | Logor
+
+type expr = { e : expr_node; eloc : Srcloc.t }
+
+and expr_node =
+  | Eint of int64
+  | Efloat of float
+  | Echar of int
+  | Estr of string
+  | Eident of string
+  | Eunary of unop * expr
+  | Ebinary of binop * expr * expr
+  | Eassign of binop option * expr * expr  (** [Some op] for [op=] *)
+  | Econd of expr * expr * expr
+  | Ecomma of expr * expr
+  | Ecast of Ctype.t * expr
+  | Esizeof_expr of expr
+  | Esizeof_type of Ctype.t
+  | Ecall of expr * expr list
+  | Eindex of expr * expr
+  | Efield of expr * string  (** [e.f] *)
+  | Earrow of expr * string  (** [e->f] *)
+  | Ederef of expr
+  | Eaddrof of expr
+
+type init = Iexpr of expr | Ilist of init list
+
+type decl = {
+  dname : string;
+  dty : Ctype.t;
+  dinit : init option;
+  dloc : Srcloc.t;
+  dstatic : bool;
+  dextern : bool;
+}
+
+type stmt = { s : stmt_node; sloc : Srcloc.t }
+
+and stmt_node =
+  | Sexpr of expr
+  | Sdecl of decl list
+  | Sblock of stmt list
+  | Sif of expr * stmt * stmt option
+  | Swhile of expr * stmt
+  | Sdo of stmt * expr
+  | Sfor of stmt option * expr option * expr option * stmt
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+  | Sswitch of expr * stmt
+  | Slabel of label * stmt
+  | Sgoto of string
+  | Snull
+
+and label = Lcase of expr | Ldefault | Lname of string
+
+type fundef = {
+  fname : string;
+  fty : Ctype.funty;
+  fbody : stmt list;
+  floc : Srcloc.t;
+  fstatic : bool;
+}
+
+type global =
+  | Gvar of decl
+  | Gfun of fundef
+  | Gproto of string * Ctype.t * Srcloc.t  (** function declaration *)
+
+type tunit = { globals : global list }
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printing (for debugging and golden tests)                    *)
+(* ------------------------------------------------------------------ *)
+
+let unop_to_string = function
+  | Neg -> "-"
+  | Pos -> "+"
+  | Lognot -> "!"
+  | Bitnot -> "~"
+  | Preinc | Postinc -> "++"
+  | Predec | Postdec -> "--"
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Lt -> "<"
+  | Gt -> ">"
+  | Le -> "<="
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="
+  | Bitand -> "&"
+  | Bitor -> "|"
+  | Bitxor -> "^"
+  | Logand -> "&&"
+  | Logor -> "||"
+
+let rec pp_expr ppf (x : expr) =
+  match x.e with
+  | Eint v -> Fmt.pf ppf "%Ld" v
+  | Efloat f -> Fmt.pf ppf "%g" f
+  | Echar c -> Fmt.pf ppf "'\\x%02x'" (c land 0xff)
+  | Estr s -> Fmt.pf ppf "%S" s
+  | Eident s -> Fmt.string ppf s
+  | Eunary ((Postinc | Postdec) as op, e) ->
+      Fmt.pf ppf "(%a%s)" pp_expr e (unop_to_string op)
+  | Eunary (op, e) -> Fmt.pf ppf "(%s%a)" (unop_to_string op) pp_expr e
+  | Ebinary (op, a, b) ->
+      Fmt.pf ppf "(%a %s %a)" pp_expr a (binop_to_string op) pp_expr b
+  | Eassign (None, l, r) -> Fmt.pf ppf "(%a = %a)" pp_expr l pp_expr r
+  | Eassign (Some op, l, r) ->
+      Fmt.pf ppf "(%a %s= %a)" pp_expr l (binop_to_string op) pp_expr r
+  | Econd (c, a, b) ->
+      Fmt.pf ppf "(%a ? %a : %a)" pp_expr c pp_expr a pp_expr b
+  | Ecomma (a, b) -> Fmt.pf ppf "(%a, %a)" pp_expr a pp_expr b
+  | Ecast (t, e) -> Fmt.pf ppf "((%a)%a)" Ctype.pp t pp_expr e
+  | Esizeof_expr e -> Fmt.pf ppf "sizeof(%a)" pp_expr e
+  | Esizeof_type t -> Fmt.pf ppf "sizeof(%a)" Ctype.pp t
+  | Ecall (f, args) ->
+      Fmt.pf ppf "%a(%a)" pp_expr f (Fmt.list ~sep:Fmt.comma pp_expr) args
+  | Eindex (a, i) -> Fmt.pf ppf "%a[%a]" pp_expr a pp_expr i
+  | Efield (e, f) -> Fmt.pf ppf "%a.%s" pp_expr e f
+  | Earrow (e, f) -> Fmt.pf ppf "%a->%s" pp_expr e f
+  | Ederef e -> Fmt.pf ppf "(*%a)" pp_expr e
+  | Eaddrof e -> Fmt.pf ppf "(&%a)" pp_expr e
+
+let expr_to_string e = Fmt.str "%a" pp_expr e

@@ -1,0 +1,62 @@
+(** Program variables and other named storage objects.
+
+    A {!t} identifies one top-level storage object: a global, a local, a
+    parameter, a compiler temporary, a function's return slot, an
+    allocation-site pseudo-variable, a string literal, a function (for
+    function pointers), or a per-function vararg blob. Uniqueness is by
+    [vid]; names are kept for display only. *)
+
+type kind =
+  | Global
+  | Local of string  (** enclosing function *)
+  | Param of string
+  | Temp of string
+  | Ret of string  (** pseudo-variable holding a function's return value *)
+  | Heap of Srcloc.t * int  (** allocation site: location, site index *)
+  | Strlit of int  (** string-literal object *)
+  | Funval of string  (** the function itself, as pointed to by fn ptrs *)
+  | Vararg of string  (** blob receiving extra actuals of a vararg callee *)
+
+type t = { vid : int; vname : string; vty : Ctype.t; vkind : kind }
+
+let counter = ref 0
+
+let fresh ~name ~ty ~kind =
+  incr counter;
+  { vid = !counter; vname = name; vty = ty; vkind = kind }
+
+let compare a b = compare a.vid b.vid
+
+let equal a b = a.vid = b.vid
+
+let hash a = a.vid
+
+let qualified_name v =
+  match v.vkind with
+  | Global | Strlit _ | Funval _ -> v.vname
+  | Local f | Param f | Temp f | Ret f | Vararg f -> f ^ "::" ^ v.vname
+  | Heap (loc, i) ->
+      if Srcloc.is_dummy loc then Printf.sprintf "malloc_%d" i
+      else Printf.sprintf "malloc_%d@%d" i loc.Srcloc.line
+
+let pp ppf v = Fmt.string ppf (qualified_name v)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+
+  let hash = hash
+end)
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

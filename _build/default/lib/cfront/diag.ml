@@ -1,0 +1,42 @@
+(** Diagnostics: structured front-end errors carrying a source location.
+
+    All front-end phases (preprocessor, lexer, parser, type checker,
+    normalizer) report failures through {!error}, which raises {!Error}.
+    Drivers catch the exception at the top level and render it with
+    {!pp_payload}. *)
+
+type severity = Warning | Error_sev
+
+type payload = { severity : severity; loc : Srcloc.t; message : string }
+
+exception Error of payload
+
+let pp_severity ppf = function
+  | Warning -> Fmt.string ppf "warning"
+  | Error_sev -> Fmt.string ppf "error"
+
+let pp_payload ppf p =
+  Fmt.pf ppf "%a: %a: %s" Srcloc.pp p.loc pp_severity p.severity p.message
+
+let error ?(loc = Srcloc.dummy) fmt =
+  Format.kasprintf
+    (fun message -> raise (Error { severity = Error_sev; loc; message }))
+    fmt
+
+(* Warnings are collected rather than printed so that tests can assert on
+   them and CLI users can choose a rendering. *)
+let warnings : payload list ref = ref []
+
+let warn ?(loc = Srcloc.dummy) fmt =
+  Format.kasprintf
+    (fun message ->
+      warnings := { severity = Warning; loc; message } :: !warnings)
+    fmt
+
+let take_warnings () =
+  let ws = List.rev !warnings in
+  warnings := [];
+  ws
+
+let protect ~(f : unit -> 'a) : ('a, payload) result =
+  match f () with x -> Ok x | exception Error p -> Error p

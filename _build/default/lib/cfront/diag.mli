@@ -1,0 +1,29 @@
+(** Diagnostics: structured front-end errors carrying a source location.
+
+    All front-end phases (preprocessor, lexer, parser, type checker,
+    normalizer) report failures by raising {!Error}; drivers catch it at
+    the top level and render the payload with {!pp_payload}. Warnings are
+    accumulated and retrieved with {!take_warnings}. *)
+
+type severity = Warning | Error_sev
+
+type payload = { severity : severity; loc : Srcloc.t; message : string }
+
+exception Error of payload
+
+val pp_severity : Format.formatter -> severity -> unit
+
+val pp_payload : Format.formatter -> payload -> unit
+
+val error : ?loc:Srcloc.t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raise {!Error} with a formatted message. Never returns. *)
+
+val warn : ?loc:Srcloc.t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Record a warning for later retrieval. *)
+
+val take_warnings : unit -> payload list
+(** All warnings recorded since the previous call, oldest first; clears
+    the buffer. *)
+
+val protect : f:(unit -> 'a) -> ('a, payload) result
+(** Run [f], catching {!Error} as a [result]. *)

@@ -1,0 +1,270 @@
+(** Concrete, configurable structure-layout engine.
+
+    The "Offsets" analysis instance and the concrete interpreter both need a
+    specific layout strategy: sizes, alignments, and field offsets. Layout
+    is configurable so the repository can demonstrate the paper's
+    portability argument — the Offsets instance computes different results
+    under different configurations, while the portable instances do not.
+
+    Simplifications (documented in DESIGN.md): bit-fields occupy the full
+    storage unit of their base type; structs use natural alignment with the
+    usual greedy padding rule. *)
+
+type config = {
+  name : string;
+  char_size : int;
+  short_size : int;
+  int_size : int;
+  long_size : int;
+  longlong_size : int;
+  float_size : int;
+  double_size : int;
+  longdouble_size : int;
+  ptr_size : int;
+  enum_size : int;
+  max_align : int;  (** alignment is capped at this many bytes *)
+}
+
+(** The layout the paper's experiments assume: 4-byte pointers, no surprise
+    padding ("assuming that every pointer takes four bytes of storage"). *)
+let ilp32 =
+  {
+    name = "ilp32";
+    char_size = 1;
+    short_size = 2;
+    int_size = 4;
+    long_size = 4;
+    longlong_size = 8;
+    float_size = 4;
+    double_size = 8;
+    longdouble_size = 12;
+    ptr_size = 4;
+    enum_size = 4;
+    max_align = 4;
+  }
+
+(** A modern 64-bit layout — used to show that Offsets results are not
+    portable across layout strategies. *)
+let lp64 =
+  {
+    name = "lp64";
+    char_size = 1;
+    short_size = 2;
+    int_size = 4;
+    long_size = 8;
+    longlong_size = 8;
+    float_size = 4;
+    double_size = 8;
+    longdouble_size = 16;
+    ptr_size = 8;
+    enum_size = 4;
+    max_align = 8;
+  }
+
+(** A deliberately odd layout (2-byte pointers, everything word-aligned)
+    for stress-testing portability claims. *)
+let word16 =
+  {
+    name = "word16";
+    char_size = 1;
+    short_size = 2;
+    int_size = 2;
+    long_size = 4;
+    longlong_size = 8;
+    float_size = 4;
+    double_size = 8;
+    longdouble_size = 8;
+    ptr_size = 2;
+    enum_size = 2;
+    max_align = 2;
+  }
+
+let default = ilp32
+
+let align_up x a = if a <= 1 then x else (x + a - 1) / a * a
+
+let rec size_of cfg (ty : Ctype.t) : int =
+  match ty with
+  | Ctype.Void -> 1 (* GNU-style: sizeof(void) = 1; simplifies void* blobs *)
+  | Ctype.Int (k, _) -> (
+      match k with
+      | Ctype.IChar -> cfg.char_size
+      | Ctype.IShort -> cfg.short_size
+      | Ctype.IInt -> cfg.int_size
+      | Ctype.ILong -> cfg.long_size
+      | Ctype.ILongLong -> cfg.longlong_size)
+  | Ctype.Float k -> (
+      match k with
+      | Ctype.FFloat -> cfg.float_size
+      | Ctype.FDouble -> cfg.double_size
+      | Ctype.FLongDouble -> cfg.longdouble_size)
+  | Ctype.Ptr _ -> cfg.ptr_size
+  | Ctype.Array (t, Some n) -> size_of cfg t * max n 1
+  | Ctype.Array (t, None) -> size_of cfg t (* representative element *)
+  | Ctype.Func _ -> cfg.ptr_size
+  | Ctype.Comp c -> comp_size cfg c
+
+and align_of cfg (ty : Ctype.t) : int =
+  let natural =
+    match ty with
+    | Ctype.Void -> 1
+    | Ctype.Int _ | Ctype.Float _ | Ctype.Ptr _ | Ctype.Func _ ->
+        size_of cfg ty
+    | Ctype.Array (t, _) -> align_of cfg t
+    | Ctype.Comp c -> (
+        match c.Ctype.cfields with
+        | None ->
+            Diag.error "layout of incomplete struct/union '%s'" c.Ctype.ctag
+        | Some fs ->
+            List.fold_left (fun a f -> max a (align_of cfg f.Ctype.fty)) 1 fs)
+  in
+  min natural cfg.max_align
+
+and comp_size cfg (c : Ctype.comp) : int =
+  match c.Ctype.cfields with
+  | None -> Diag.error "size of incomplete struct/union '%s'" c.Ctype.ctag
+  | Some [] -> 0
+  | Some fs ->
+      if c.Ctype.cunion then
+        let m =
+          List.fold_left (fun a f -> max a (size_of cfg f.Ctype.fty)) 0 fs
+        in
+        align_up m (align_of cfg (Ctype.Comp c))
+      else
+        let off =
+          List.fold_left
+            (fun off f ->
+              let a = align_of cfg f.Ctype.fty in
+              align_up off a + size_of cfg f.Ctype.fty)
+            0 fs
+        in
+        align_up off (align_of cfg (Ctype.Comp c))
+
+(** Byte offset of field [name] within struct/union type [ty] (0 for every
+    union member). *)
+let offset_of_field cfg (ty : Ctype.t) (name : string) : int =
+  match Ctype.strip_arrays ty with
+  | Ctype.Comp c -> (
+      match c.Ctype.cfields with
+      | None ->
+          Diag.error "offsetof in incomplete struct/union '%s'" c.Ctype.ctag
+      | Some fs ->
+          if c.Ctype.cunion then
+            if List.exists (fun f -> f.Ctype.fname = name) fs then 0
+            else Diag.error "no field '%s' in union %s" name c.Ctype.ctag
+          else
+            let rec go off = function
+              | [] -> Diag.error "no field '%s' in struct %s" name c.Ctype.ctag
+              | f :: rest ->
+                  let off = align_up off (align_of cfg f.Ctype.fty) in
+                  if f.Ctype.fname = name then off
+                  else go (off + size_of cfg f.Ctype.fty) rest
+            in
+            go 0 fs)
+  | _ -> Diag.error "offsetof applied to non-aggregate type"
+
+(** Byte offset of the sub-object at [path] within [ty]. Arrays contribute
+    offset 0 (single representative element). *)
+let rec offset_of_path cfg (ty : Ctype.t) (path : Ctype.path) : int =
+  match path with
+  | [] -> 0
+  | f :: rest ->
+      let base = Ctype.strip_arrays ty in
+      let off = offset_of_field cfg base f in
+      let fty =
+        match Ctype.find_field base f with
+        | Some fld -> fld.Ctype.fty
+        | None -> Diag.error "no field '%s'" f
+      in
+      off + offset_of_path cfg fty rest
+
+(** All leaf sub-objects of [ty] (through unions), with their byte offsets
+    and types. Sorted by offset, then by path (union members share
+    offsets). *)
+let leaf_offsets cfg (ty : Ctype.t) : (Ctype.path * int * Ctype.t) list =
+  let leaves = Ctype.leaf_paths_through_unions ty in
+  let entries =
+    List.map
+      (fun p ->
+        let t = Ctype.strip_arrays (Ctype.type_at_path ty p) in
+        (p, offset_of_path cfg ty p, t))
+      leaves
+  in
+  List.stable_sort (fun (_, o1, _) (_, o2, _) -> compare o1 o2) entries
+
+(** Does byte [off] of an object of type [ty] lie inside an array
+    sub-object? Used by the stride-arithmetic refinement. *)
+let offset_in_array cfg (ty : Ctype.t) (off : int) : bool =
+  let rec go ty off =
+    if off < 0 then false
+    else
+      match ty with
+      | Ctype.Array _ -> off < size_of cfg ty
+      | Ctype.Comp c -> (
+          match c.Ctype.cfields with
+          | None -> false
+          | Some fs ->
+              if c.Ctype.cunion then
+                List.exists
+                  (fun f ->
+                    off < size_of cfg f.Ctype.fty && go f.Ctype.fty off)
+                  fs
+              else
+                let rec walk fo = function
+                  | [] -> false
+                  | f :: rest ->
+                      let fo = align_up fo (align_of cfg f.Ctype.fty) in
+                      let fsz = size_of cfg f.Ctype.fty in
+                      if off >= fo && off < fo + fsz then
+                        go f.Ctype.fty (off - fo)
+                      else walk (fo + fsz) rest
+                in
+                walk 0 fs)
+      | _ -> false
+  in
+  go ty off
+
+(** Fold a byte offset into the canonical representative: any offset inside
+    an array sub-object maps to the corresponding offset within element 0
+    (paper: "if [t.n] is within any element of an array, [n] is adjusted to
+    be the corresponding offset within the array's (single) representative
+    element"). Offsets outside the object, or in padding, are returned
+    unchanged. *)
+let canon_offset cfg (ty : Ctype.t) (off : int) : int =
+  let rec go ty off =
+    (* returns the canonical offset relative to the start of [ty] *)
+    if off < 0 then off
+    else
+      match ty with
+      | Ctype.Array (elem, _) ->
+          let es = max 1 (size_of cfg elem) in
+          if off >= size_of cfg ty then off else go elem (off mod es)
+      | Ctype.Comp c -> (
+          match c.Ctype.cfields with
+          | None -> off
+          | Some fs ->
+              if c.Ctype.cunion then
+                (* try members in order; take the first that canonicalizes *)
+                let rec try_members = function
+                  | [] -> off
+                  | f :: rest ->
+                      if off < size_of cfg f.Ctype.fty then
+                        let o' = go f.Ctype.fty off in
+                        if o' <> off then o' else try_members rest
+                      else try_members rest
+                in
+                try_members fs
+              else
+                let rec walk fo = function
+                  | [] -> off
+                  | f :: rest ->
+                      let fo = align_up fo (align_of cfg f.Ctype.fty) in
+                      let fsz = size_of cfg f.Ctype.fty in
+                      if off >= fo && off < fo + fsz then
+                        fo + go f.Ctype.fty (off - fo)
+                      else walk (fo + fsz) rest
+                in
+                walk 0 fs)
+      | _ -> off
+  in
+  go ty off

@@ -1,0 +1,64 @@
+(** Concrete, configurable structure-layout engine.
+
+    The "Offsets" analysis instance and the concrete interpreter both need
+    a specific layout strategy: sizes, alignments, and field offsets.
+    Layout is configurable so the repository can demonstrate the paper's
+    portability argument — the Offsets instance computes different results
+    under different configurations, while the portable instances do not. *)
+
+type config = {
+  name : string;
+  char_size : int;
+  short_size : int;
+  int_size : int;
+  long_size : int;
+  longlong_size : int;
+  float_size : int;
+  double_size : int;
+  longdouble_size : int;
+  ptr_size : int;
+  enum_size : int;
+  max_align : int;  (** alignment is capped at this many bytes *)
+}
+
+val ilp32 : config
+(** The layout the paper's experiments assume: 4-byte pointers. *)
+
+val lp64 : config
+(** A modern 64-bit layout (8-byte pointers and longs). *)
+
+val word16 : config
+(** A deliberately odd layout (2-byte pointers) for portability stress
+    tests. *)
+
+val default : config
+(** {!ilp32}. *)
+
+val align_up : int -> int -> int
+
+val size_of : config -> Ctype.t -> int
+(** @raise Diag.Error on incomplete struct/union types. *)
+
+val align_of : config -> Ctype.t -> int
+
+val offset_of_field : config -> Ctype.t -> string -> int
+(** Byte offset of a field within a (possibly array-wrapped) struct or
+    union type; 0 for every union member. @raise Diag.Error on unknown
+    fields or incomplete types. *)
+
+val offset_of_path : config -> Ctype.t -> Ctype.path -> int
+(** Byte offset of the sub-object at a path. Arrays contribute offset 0
+    (single representative element). *)
+
+val leaf_offsets : config -> Ctype.t -> (Ctype.path * int * Ctype.t) list
+(** All leaf sub-objects (through unions) with their byte offsets and
+    types, sorted by offset. *)
+
+val offset_in_array : config -> Ctype.t -> int -> bool
+(** Does the byte offset lie inside an array sub-object? Used by the
+    stride-arithmetic refinement. *)
+
+val canon_offset : config -> Ctype.t -> int -> int
+(** Fold a byte offset into the canonical representative: offsets inside
+    an array sub-object map to the corresponding offset within element 0.
+    Offsets outside the object or in padding are returned unchanged. *)

@@ -1,0 +1,322 @@
+(** Hand-written lexer for the C subset.
+
+    Produces {!Token.spanned} values. Comments (both styles) and whitespace
+    are skipped; line splices ([backslash-newline]) are honoured so that
+    multi-line macro definitions lex as a single logical line. *)
+
+type state = {
+  src : string;
+  file : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+  mutable at_bol : bool;  (** no token seen yet on the current logical line *)
+}
+
+let make ~file src = { src; file; pos = 0; line = 1; col = 1; at_bol = true }
+
+let loc st = Srcloc.make ~file:st.file ~line:st.line ~col:st.col
+
+let peek st = if st.pos >= String.length st.src then '\000' else st.src.[st.pos]
+
+let peek2 st =
+  if st.pos + 1 >= String.length st.src then '\000' else st.src.[st.pos + 1]
+
+let peek3 st =
+  if st.pos + 2 >= String.length st.src then '\000' else st.src.[st.pos + 2]
+
+let advance st =
+  (if peek st = '\n' then (
+     st.line <- st.line + 1;
+     st.col <- 1;
+     st.at_bol <- true)
+   else st.col <- st.col + 1);
+  st.pos <- st.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || is_digit c
+
+(* Skip whitespace and comments. Line splices are treated as whitespace that
+   does NOT end the logical line. Returns unit; [st.at_bol] tracks whether a
+   real newline was crossed. *)
+let rec skip_trivia st =
+  match peek st with
+  | ' ' | '\t' | '\r' ->
+      advance st;
+      skip_trivia st
+  | '\n' ->
+      advance st;
+      skip_trivia st
+  | '\\' when peek2 st = '\n' ->
+      (* line splice: consume both, do not mark beginning-of-line *)
+      st.pos <- st.pos + 2;
+      st.line <- st.line + 1;
+      st.col <- 1;
+      skip_trivia st
+  | '\\' when peek2 st = '\r' && peek3 st = '\n' ->
+      st.pos <- st.pos + 3;
+      st.line <- st.line + 1;
+      st.col <- 1;
+      skip_trivia st
+  | '/' when peek2 st = '/' ->
+      while peek st <> '\n' && peek st <> '\000' do
+        advance st
+      done;
+      skip_trivia st
+  | '/' when peek2 st = '*' ->
+      let start = loc st in
+      advance st;
+      advance st;
+      let rec finish () =
+        match peek st with
+        | '\000' -> Diag.error ~loc:start "unterminated comment"
+        | '*' when peek2 st = '/' ->
+            advance st;
+            advance st
+        | _ ->
+            advance st;
+            finish ()
+      in
+      finish ();
+      skip_trivia st
+  | _ -> ()
+
+let lex_escape st start : int =
+  (* after the backslash *)
+  let c = peek st in
+  advance st;
+  match c with
+  | 'n' -> 10
+  | 't' -> 9
+  | 'r' -> 13
+  | '0' .. '7' ->
+      let rec octal acc n =
+        if n < 3 && peek st >= '0' && peek st <= '7' then (
+          let d = Char.code (peek st) - Char.code '0' in
+          advance st;
+          octal ((acc * 8) + d) (n + 1))
+        else acc
+      in
+      octal (Char.code c - Char.code '0') 1
+  | 'x' ->
+      let rec hex acc any =
+        if is_hex (peek st) then (
+          let c = peek st in
+          let d =
+            if is_digit c then Char.code c - Char.code '0'
+            else (Char.code (Char.lowercase_ascii c) - Char.code 'a') + 10
+          in
+          advance st;
+          hex ((acc * 16) + d) true)
+        else if any then acc
+        else Diag.error ~loc:start "\\x with no hex digits"
+      in
+      hex 0 false
+  | 'a' -> 7
+  | 'b' -> 8
+  | 'f' -> 12
+  | 'v' -> 11
+  | '\\' -> Char.code '\\'
+  | '\'' -> Char.code '\''
+  | '"' -> Char.code '"'
+  | '?' -> Char.code '?'
+  | '\000' -> Diag.error ~loc:start "unterminated escape sequence"
+  | c -> Diag.error ~loc:start "unknown escape sequence '\\%c'" c
+
+let lex_char_lit st start : Token.t =
+  advance st;
+  (* opening quote *)
+  let v =
+    match peek st with
+    | '\\' ->
+        advance st;
+        lex_escape st start
+    | '\'' -> Diag.error ~loc:start "empty character constant"
+    | '\000' -> Diag.error ~loc:start "unterminated character constant"
+    | c ->
+        advance st;
+        Char.code c
+  in
+  if peek st <> '\'' then
+    Diag.error ~loc:start "unterminated character constant";
+  advance st;
+  Token.Char_lit v
+
+let lex_string_lit st start : Token.t =
+  advance st;
+  (* opening quote *)
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | '"' ->
+        advance st;
+        Token.String_lit (Buffer.contents buf)
+    | '\000' | '\n' -> Diag.error ~loc:start "unterminated string literal"
+    | '\\' ->
+        advance st;
+        Buffer.add_char buf (Char.chr (lex_escape st start land 0xff));
+        go ()
+    | c ->
+        advance st;
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ()
+
+let lex_number st start : Token.t =
+  let begin_pos = st.pos in
+  let is_hex_lit =
+    peek st = '0' && (peek2 st = 'x' || peek2 st = 'X') && is_hex (peek3 st)
+  in
+  if is_hex_lit then (
+    advance st;
+    advance st;
+    while is_hex (peek st) do
+      advance st
+    done)
+  else
+    while is_digit (peek st) do
+      advance st
+    done;
+  let is_float = ref false in
+  if (not is_hex_lit) && peek st = '.' && is_digit (peek2 st) then (
+    is_float := true;
+    advance st;
+    while is_digit (peek st) do
+      advance st
+    done);
+  if (not is_hex_lit) && (peek st = 'e' || peek st = 'E') then (
+    let save = (st.pos, st.line, st.col) in
+    advance st;
+    if peek st = '+' || peek st = '-' then advance st;
+    if is_digit (peek st) then (
+      is_float := true;
+      while is_digit (peek st) do
+        advance st
+      done)
+    else
+      let p, l, c = save in
+      st.pos <- p;
+      st.line <- l;
+      st.col <- c);
+  let digits = String.sub st.src begin_pos (st.pos - begin_pos) in
+  (* integer / float suffixes, recorded in the spelling but not the value *)
+  let suffix_start = st.pos in
+  while
+    match peek st with
+    | 'u' | 'U' | 'l' | 'L' -> true
+    | 'f' | 'F' when !is_float -> true
+    | _ -> false
+  do
+    advance st
+  done;
+  let spelling =
+    String.sub st.src begin_pos (st.pos - begin_pos)
+  in
+  ignore suffix_start;
+  if !is_float then
+    match float_of_string_opt digits with
+    | Some f -> Token.Float_lit (f, spelling)
+    | None -> Diag.error ~loc:start "malformed float literal %s" spelling
+  else
+    match Int64.of_string_opt digits with
+    | Some v -> Token.Int_lit (v, spelling)
+    | None -> Diag.error ~loc:start "malformed integer literal %s" spelling
+
+let next (st : state) : Token.spanned =
+  skip_trivia st;
+  let start = loc st in
+  let bol = st.at_bol in
+  st.at_bol <- false;
+  let simple n tok =
+    for _ = 1 to n do
+      advance st
+    done;
+    tok
+  in
+  let tok : Token.t =
+    match peek st with
+    | '\000' -> Token.Eof
+    | c when is_ident_start c ->
+        let begin_pos = st.pos in
+        while is_ident_char (peek st) do
+          advance st
+        done;
+        Token.Ident (String.sub st.src begin_pos (st.pos - begin_pos))
+    | c when is_digit c -> lex_number st start
+    | '\'' -> lex_char_lit st start
+    | '"' -> lex_string_lit st start
+    | '(' -> simple 1 Token.Lparen
+    | ')' -> simple 1 Token.Rparen
+    | '{' -> simple 1 Token.Lbrace
+    | '}' -> simple 1 Token.Rbrace
+    | '[' -> simple 1 Token.Lbracket
+    | ']' -> simple 1 Token.Rbracket
+    | ';' -> simple 1 Token.Semi
+    | ',' -> simple 1 Token.Comma
+    | '?' -> simple 1 Token.Question
+    | '~' -> simple 1 Token.Tilde
+    | ':' -> simple 1 Token.Colon
+    | '.' ->
+        if peek2 st = '.' && peek3 st = '.' then simple 3 Token.Ellipsis
+        else simple 1 Token.Dot
+    | '+' -> (
+        match peek2 st with
+        | '+' -> simple 2 Token.Plus_plus
+        | '=' -> simple 2 Token.Plus_assign
+        | _ -> simple 1 Token.Plus)
+    | '-' -> (
+        match peek2 st with
+        | '-' -> simple 2 Token.Minus_minus
+        | '=' -> simple 2 Token.Minus_assign
+        | '>' -> simple 2 Token.Arrow
+        | _ -> simple 1 Token.Minus)
+    | '*' -> if peek2 st = '=' then simple 2 Token.Star_assign else simple 1 Token.Star
+    | '/' -> if peek2 st = '=' then simple 2 Token.Slash_assign else simple 1 Token.Slash
+    | '%' ->
+        if peek2 st = '=' then simple 2 Token.Percent_assign
+        else simple 1 Token.Percent
+    | '&' -> (
+        match peek2 st with
+        | '&' -> simple 2 Token.Amp_amp
+        | '=' -> simple 2 Token.Amp_assign
+        | _ -> simple 1 Token.Amp)
+    | '|' -> (
+        match peek2 st with
+        | '|' -> simple 2 Token.Pipe_pipe
+        | '=' -> simple 2 Token.Pipe_assign
+        | _ -> simple 1 Token.Pipe)
+    | '^' -> if peek2 st = '=' then simple 2 Token.Caret_assign else simple 1 Token.Caret
+    | '!' -> if peek2 st = '=' then simple 2 Token.Bang_eq else simple 1 Token.Bang
+    | '=' -> if peek2 st = '=' then simple 2 Token.Eq_eq else simple 1 Token.Assign
+    | '<' -> (
+        match peek2 st with
+        | '<' -> if peek3 st = '=' then simple 3 Token.Shl_assign else simple 2 Token.Shl
+        | '=' -> simple 2 Token.Le
+        | _ -> simple 1 Token.Lt)
+    | '>' -> (
+        match peek2 st with
+        | '>' -> if peek3 st = '=' then simple 3 Token.Shr_assign else simple 2 Token.Shr
+        | '=' -> simple 2 Token.Ge
+        | _ -> simple 1 Token.Gt)
+    | '#' -> if peek2 st = '#' then simple 2 Token.Hash_hash else simple 1 Token.Hash
+    | c -> Diag.error ~loc:start "unexpected character %C" c
+  in
+  { Token.tok; loc = start; bol }
+
+(** Lex an entire source string. The resulting list always ends with an
+    [Eof] token. *)
+let tokenize ~file src : Token.spanned list =
+  let st = make ~file src in
+  let rec go acc =
+    let t = next st in
+    match t.Token.tok with
+    | Token.Eof -> List.rev (t :: acc)
+    | _ -> go (t :: acc)
+  in
+  go []

@@ -1,0 +1,19 @@
+(** Hand-written lexer for the C subset.
+
+    Comments and whitespace are skipped; line splices
+    ([backslash-newline]) join logical lines. Identifiers are not
+    classified as keywords here — the preprocessor must see macro names as
+    plain identifiers, and the parser does its own keyword and
+    typedef-name resolution. *)
+
+type state
+
+val make : file:string -> string -> state
+
+val next : state -> Token.spanned
+(** The next token; returns an [Eof]-carrying token at end of input.
+    @raise Diag.Error on malformed input. *)
+
+val tokenize : file:string -> string -> Token.spanned list
+(** Lex an entire source string. The result always ends with [Eof].
+    @raise Diag.Error on malformed input. *)

@@ -1,0 +1,22 @@
+(** Hand-written recursive-descent parser for the C subset.
+
+    The parser owns the typedef, struct/union-tag, and enum-constant
+    tables (typedef names must be distinguished from ordinary identifiers
+    during parsing); ordinary declarations shadow typedef names through a
+    scope stack. Enum constants are folded to integer literals; array
+    sizes and other constant expressions are folded using a layout
+    configuration (needed for [sizeof] in constant contexts). *)
+
+val parse_tokens : ?layout:Layout.config -> Token.spanned list -> Ast.tunit
+(** Parse a complete translation unit from preprocessed tokens.
+    @raise Diag.Error on syntax errors. *)
+
+val parse_string :
+  ?layout:Layout.config ->
+  ?defines:(string * string) list ->
+  ?resolve:(string -> string option) ->
+  file:string ->
+  string ->
+  Ast.tunit
+(** Preprocess (see {!Preproc.run}) and parse a source string.
+    @raise Diag.Error on preprocessing or syntax errors. *)

@@ -1,0 +1,23 @@
+(** A small C preprocessor operating on token streams.
+
+    Supported: [#define] (object- and function-like, with [#] stringize
+    and [##] paste), [#undef], [#include] (resolved through a
+    caller-supplied function, so corpora can ship virtual headers),
+    [#if]/[#ifdef]/[#ifndef]/[#elif]/[#else]/[#endif] with full integer
+    constant expressions and [defined], [#error], and [#pragma]
+    (ignored). *)
+
+val run :
+  ?defines:(string * string) list ->
+  ?resolve:(string -> string option) ->
+  file:string ->
+  string ->
+  Token.spanned list
+(** Preprocess a source string to a directive-free, macro-expanded token
+    stream ending in [Eof].
+
+    [defines] supplies initial object-like macros as
+    (name, replacement-text) pairs; [resolve] maps [#include] paths to
+    their source text ([None] is an error).
+
+    @raise Diag.Error on malformed directives or unresolvable includes. *)

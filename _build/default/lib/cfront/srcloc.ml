@@ -1,0 +1,26 @@
+(** Source locations: file/line/column positions used by every diagnostic. *)
+
+type t = {
+  file : string;
+  line : int;  (** 1-based *)
+  col : int;  (** 1-based *)
+}
+
+let dummy = { file = "<none>"; line = 0; col = 0 }
+
+let make ~file ~line ~col = { file; line; col }
+
+let is_dummy t = t.line = 0
+
+let pp ppf t =
+  if is_dummy t then Fmt.string ppf "<no location>"
+  else Fmt.pf ppf "%s:%d:%d" t.file t.line t.col
+
+let to_string t = Fmt.str "%a" pp t
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> ( match compare a.line b.line with 0 -> compare a.col b.col | c -> c)
+  | c -> c
+
+let equal a b = compare a b = 0

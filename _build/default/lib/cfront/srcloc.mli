@@ -1,0 +1,23 @@
+(** Source locations: file/line/column positions used by every
+    diagnostic. *)
+
+type t = {
+  file : string;
+  line : int;  (** 1-based; 0 in {!dummy} *)
+  col : int;  (** 1-based *)
+}
+
+val dummy : t
+(** A location that points nowhere (printed as ["<no location>"]). *)
+
+val make : file:string -> line:int -> col:int -> t
+
+val is_dummy : t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool

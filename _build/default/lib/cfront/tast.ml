@@ -1,0 +1,74 @@
+(** Typed abstract syntax, produced by {!Typecheck}.
+
+    Every expression node carries its C type. [e->f] has been rewritten to
+    [( *e).f], [sizeof] has been folded to a constant, and identifiers have
+    been resolved to {!Cvar.t} storage objects (enum constants were already
+    folded by the parser). Array-typed expressions keep their array type;
+    decay to a pointer is handled by the normalizer, which knows the
+    representative-element convention. *)
+
+type texpr = { te : node; tty : Ctype.t; tloc : Srcloc.t }
+
+and node =
+  | Tconst_int of int64
+  | Tconst_float of float
+  | Tconst_str of string
+  | Tvar of Cvar.t
+  | Tunary of Ast.unop * texpr
+  | Tbinary of Ast.binop * texpr * texpr
+  | Tassign of Ast.binop option * texpr * texpr
+  | Tcond of texpr * texpr * texpr
+  | Tcomma of texpr * texpr
+  | Tcast of Ctype.t * texpr
+  | Tcall of texpr * texpr list
+  | Tindex of texpr * texpr
+  | Tfield of texpr * string
+  | Tderef of texpr
+  | Taddrof of texpr
+
+type tinit = Tiexpr of texpr | Tilist of tinit list
+
+type tdecl = { dvar : Cvar.t; dinit : tinit option; dloc : Srcloc.t }
+
+type tstmt = { ts : tstmt_node; tsloc : Srcloc.t }
+
+and tstmt_node =
+  | TSexpr of texpr
+  | TSdecl of tdecl list
+  | TSblock of tstmt list
+  | TSif of texpr * tstmt * tstmt option
+  | TSwhile of texpr * tstmt
+  | TSdo of tstmt * texpr
+  | TSfor of tstmt option * texpr option * texpr option * tstmt
+  | TSreturn of texpr option
+  | TSbreak
+  | TScontinue
+  | TSswitch of texpr * tstmt
+  | TSlabel of tlabel * tstmt
+  | TSgoto of string
+  | TSnull
+
+and tlabel = TLcase of int64 | TLdefault | TLname of string
+
+type tfun = {
+  ffvar : Cvar.t;  (** the function object; type is [Ctype.Func _] *)
+  fparams : Cvar.t list;
+  fret : Cvar.t option;  (** return slot; [None] for void functions *)
+  fvararg : Cvar.t option;  (** blob for extra actuals, vararg functions *)
+  fbody : tstmt list;
+  ffloc : Srcloc.t;
+}
+
+type program = {
+  pglobals : tdecl list;
+  pfuncs : tfun list;
+  pexterns : Cvar.t list;  (** declared functions without bodies *)
+  pfile : string;
+}
+
+(** Is [f] defined (has a body) in [p]? *)
+let defined_fun p name =
+  List.find_opt (fun f -> f.ffvar.Cvar.vname = name) p.pfuncs
+
+let extern_fun p name =
+  List.find_opt (fun v -> v.Cvar.vname = name) p.pexterns

@@ -1,0 +1,188 @@
+(** Lexical tokens for the C subset.
+
+    The lexer produces "raw" tokens: identifiers are not yet classified as
+    keywords or typedef names; that happens in the parser, after the
+    preprocessor has run (macro names must be recognizable as plain
+    identifiers). *)
+
+type t =
+  | Ident of string
+  | Int_lit of int64 * string  (** value, original spelling *)
+  | Float_lit of float * string
+  | Char_lit of int  (** value of the character constant *)
+  | String_lit of string  (** decoded contents, without quotes *)
+  (* punctuation *)
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Semi
+  | Comma
+  | Colon
+  | Question
+  | Dot
+  | Arrow  (** [->] *)
+  | Ellipsis  (** [...] *)
+  (* operators *)
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Percent
+  | Amp
+  | Pipe
+  | Caret
+  | Tilde
+  | Bang
+  | Lt
+  | Gt
+  | Le
+  | Ge
+  | Eq_eq
+  | Bang_eq
+  | Amp_amp
+  | Pipe_pipe
+  | Shl
+  | Shr
+  | Plus_plus
+  | Minus_minus
+  | Assign
+  | Plus_assign
+  | Minus_assign
+  | Star_assign
+  | Slash_assign
+  | Percent_assign
+  | Amp_assign
+  | Pipe_assign
+  | Caret_assign
+  | Shl_assign
+  | Shr_assign
+  (* preprocessor-only *)
+  | Hash
+  | Hash_hash
+  | Eof
+
+type spanned = { tok : t; loc : Srcloc.t; bol : bool }
+(** [bol] is true when the token is the first on its source line — the
+    preprocessor uses it to recognize directives. *)
+
+let describe = function
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Int_lit (_, s) -> Printf.sprintf "integer literal %s" s
+  | Float_lit (_, s) -> Printf.sprintf "float literal %s" s
+  | Char_lit c -> Printf.sprintf "character literal (code %d)" c
+  | String_lit s -> Printf.sprintf "string literal %S" s
+  | Lparen -> "'('"
+  | Rparen -> "')'"
+  | Lbrace -> "'{'"
+  | Rbrace -> "'}'"
+  | Lbracket -> "'['"
+  | Rbracket -> "']'"
+  | Semi -> "';'"
+  | Comma -> "','"
+  | Colon -> "':'"
+  | Question -> "'?'"
+  | Dot -> "'.'"
+  | Arrow -> "'->'"
+  | Ellipsis -> "'...'"
+  | Plus -> "'+'"
+  | Minus -> "'-'"
+  | Star -> "'*'"
+  | Slash -> "'/'"
+  | Percent -> "'%'"
+  | Amp -> "'&'"
+  | Pipe -> "'|'"
+  | Caret -> "'^'"
+  | Tilde -> "'~'"
+  | Bang -> "'!'"
+  | Lt -> "'<'"
+  | Gt -> "'>'"
+  | Le -> "'<='"
+  | Ge -> "'>='"
+  | Eq_eq -> "'=='"
+  | Bang_eq -> "'!='"
+  | Amp_amp -> "'&&'"
+  | Pipe_pipe -> "'||'"
+  | Shl -> "'<<'"
+  | Shr -> "'>>'"
+  | Plus_plus -> "'++'"
+  | Minus_minus -> "'--'"
+  | Assign -> "'='"
+  | Plus_assign -> "'+='"
+  | Minus_assign -> "'-='"
+  | Star_assign -> "'*='"
+  | Slash_assign -> "'/='"
+  | Percent_assign -> "'%='"
+  | Amp_assign -> "'&='"
+  | Pipe_assign -> "'|='"
+  | Caret_assign -> "'^='"
+  | Shl_assign -> "'<<='"
+  | Shr_assign -> "'>>='"
+  | Hash -> "'#'"
+  | Hash_hash -> "'##'"
+  | Eof -> "end of input"
+
+let equal (a : t) (b : t) = a = b
+
+(** Render a token back to C source text (used by the preprocessor when
+    stringizing and by error messages). *)
+let to_source = function
+  | Ident s -> s
+  | Int_lit (_, s) -> s
+  | Float_lit (_, s) -> s
+  | Char_lit c ->
+      if c >= 32 && c < 127 && c <> Char.code '\'' && c <> Char.code '\\' then
+        Printf.sprintf "'%c'" (Char.chr c)
+      else Printf.sprintf "'\\x%02x'" (c land 0xff)
+  | String_lit s -> Printf.sprintf "%S" s
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Lbrace -> "{"
+  | Rbrace -> "}"
+  | Lbracket -> "["
+  | Rbracket -> "]"
+  | Semi -> ";"
+  | Comma -> ","
+  | Colon -> ":"
+  | Question -> "?"
+  | Dot -> "."
+  | Arrow -> "->"
+  | Ellipsis -> "..."
+  | Plus -> "+"
+  | Minus -> "-"
+  | Star -> "*"
+  | Slash -> "/"
+  | Percent -> "%"
+  | Amp -> "&"
+  | Pipe -> "|"
+  | Caret -> "^"
+  | Tilde -> "~"
+  | Bang -> "!"
+  | Lt -> "<"
+  | Gt -> ">"
+  | Le -> "<="
+  | Ge -> ">="
+  | Eq_eq -> "=="
+  | Bang_eq -> "!="
+  | Amp_amp -> "&&"
+  | Pipe_pipe -> "||"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Plus_plus -> "++"
+  | Minus_minus -> "--"
+  | Assign -> "="
+  | Plus_assign -> "+="
+  | Minus_assign -> "-="
+  | Star_assign -> "*="
+  | Slash_assign -> "/="
+  | Percent_assign -> "%="
+  | Amp_assign -> "&="
+  | Pipe_assign -> "|="
+  | Caret_assign -> "^="
+  | Shl_assign -> "<<="
+  | Shr_assign -> ">>="
+  | Hash -> "#"
+  | Hash_hash -> "##"
+  | Eof -> ""

@@ -1,0 +1,13 @@
+(** Type checker: resolves identifiers to {!Cvar.t}, computes the C type
+    of every expression, folds [sizeof], and rewrites arrow accesses into
+    dereference + member selection.
+
+    Deliberately permissive where the pointer analysis does not need
+    strictness: its job is to assign the {e declared} types the framework's
+    inference rules depend on, not to validate standard conformance. *)
+
+val check :
+  ?layout:Layout.config -> ?file:string -> Ast.tunit -> Tast.program
+(** Type-check a parsed translation unit. Implicit function declarations
+    produce warnings (see {!Diag.take_warnings}).
+    @raise Diag.Error on type errors. *)

@@ -1,0 +1,319 @@
+(** Seeded random C program generator.
+
+    Produces well-formed C sources exercising the behaviours the paper's
+    framework is about: nested structures, address-taking, pointer copies
+    with casts, stores and loads through mistyped pointers, and whole-block
+    copies between structures of different types. Used by the qcheck
+    property tests (soundness against the concrete interpreter, precision
+    ordering between instances) and by the benchmark harness as a scalable
+    workload generator.
+
+    Determinism: the same {!config} and seed always produce the same
+    program. *)
+
+type config = {
+  n_structs : int;  (** how many struct types to declare (>= 1) *)
+  n_stmts : int;  (** statements in [main] *)
+  cast_rate : float;  (** probability that an assignment goes through a cast *)
+  with_calls : bool;  (** generate helper functions and calls *)
+}
+
+let default = { n_structs = 3; n_stmts = 40; cast_rate = 0.3; with_calls = false }
+
+(* ------------------------------------------------------------------ *)
+(* Mini types                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type gty = GInt | GChar | GDouble | GPtr of gty | GStruct of int
+
+let rec gty_to_c (structs : (string * (string * gty) list) array) = function
+  | GInt -> "int"
+  | GChar -> "char"
+  | GDouble -> "double"
+  | GPtr t -> gty_to_c structs t ^ " *"
+  | GStruct i -> "struct " ^ fst structs.(i)
+
+type lv = { code : string; lty : gty }
+
+type state = {
+  rng : Random.State.t;
+  cfg : config;
+  structs : (string * (string * gty) list) array;
+  mutable globals : (string * gty) list;
+  buf : Buffer.t;
+}
+
+let rand st n = Random.State.int st.rng n
+
+let chance st p = Random.State.float st.rng 1.0 < p
+
+let pick st xs =
+  match xs with
+  | [] -> None
+  | _ -> Some (List.nth xs (rand st (List.length xs)))
+
+(* ------------------------------------------------------------------ *)
+(* Type and variable generation                                        *)
+(* ------------------------------------------------------------------ *)
+
+let gen_field_type st (max_struct : int) : gty =
+  match rand st 8 with
+  | 0 -> GInt
+  | 1 -> GChar
+  | 2 -> GDouble
+  | 3 -> GPtr GInt
+  | 4 -> GPtr GChar
+  | 5 when max_struct > 0 -> GStruct (rand st max_struct)
+  | 5 -> GPtr GInt
+  | 6 when max_struct > 0 -> GPtr (GStruct (rand st max_struct))
+  | 6 -> GPtr GChar
+  | _ -> GInt
+
+let gen_structs rng cfg : (string * (string * gty) list) array =
+  let st_stub =
+    { rng; cfg; structs = [||]; globals = []; buf = Buffer.create 16 }
+  in
+  Array.init cfg.n_structs (fun i ->
+      let n_fields = 2 + rand st_stub 4 in
+      let fields =
+        List.init n_fields (fun j ->
+            (Printf.sprintf "f%d" j, gen_field_type st_stub i))
+      in
+      (Printf.sprintf "G%d" i, fields))
+
+let declare_globals st : unit =
+  let add name ty = st.globals <- (name, ty) :: st.globals in
+  for i = 0 to 3 do
+    add (Printf.sprintf "x%d" i) GInt
+  done;
+  for i = 0 to 1 do
+    add (Printf.sprintf "c%d" i) GChar
+  done;
+  add "d0" GDouble;
+  add "pi0" (GPtr GInt);
+  add "pi1" (GPtr GInt);
+  add "pc0" (GPtr GChar);
+  add "ppi0" (GPtr (GPtr GInt));
+  Array.iteri
+    (fun i _ ->
+      add (Printf.sprintf "g%d_a" i) (GStruct i);
+      add (Printf.sprintf "g%d_b" i) (GStruct i);
+      add (Printf.sprintf "pg%d" i) (GPtr (GStruct i)))
+    st.structs;
+  st.globals <- List.rev st.globals
+
+(* ------------------------------------------------------------------ *)
+(* L-value pool                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** All reachable lvalues up to two field selections deep (no derefs —
+    those are generated as statement patterns so reads come after
+    plausible writes). *)
+let lvalue_pool st : lv list =
+  let fields_of i = snd st.structs.(i) in
+  let rec expand depth (code, ty) : lv list =
+    let self = { code; lty = ty } in
+    match ty with
+    | GStruct i when depth < 2 ->
+        self
+        :: List.concat_map
+             (fun (fn, ft) -> expand (depth + 1) (code ^ "." ^ fn, ft))
+             (fields_of i)
+    | _ -> [ self ]
+  in
+  List.concat_map (fun (n, t) -> expand 0 (n, t)) st.globals
+
+let pick_lv st pool (pred : gty -> bool) : lv option =
+  pick st (List.filter (fun l -> pred l.lty) pool)
+
+let is_ptr = function GPtr _ -> true | _ -> false
+
+let same_ty a b = a = b
+
+(* ------------------------------------------------------------------ *)
+(* Statement generation                                                *)
+(* ------------------------------------------------------------------ *)
+
+let emit st fmt = Printf.ksprintf (fun s ->
+    Buffer.add_string st.buf ("  " ^ s ^ "\n")) fmt
+
+let cast_to st ty expr =
+  Printf.sprintf "(%s)(%s)" (gty_to_c st.structs ty) expr
+
+let gen_stmt st pool : unit =
+  let lv p = pick_lv st pool p in
+  match rand st 10 with
+  | 0 | 1 -> (
+      (* P = &X, possibly with a reinterpreting cast *)
+      match lv is_ptr with
+      | Some p -> (
+          let pointee = match p.lty with GPtr t -> t | _ -> GInt in
+          if chance st st.cfg.cast_rate then
+            match lv (fun _ -> true) with
+            | Some x ->
+                emit st "%s = %s;" p.code
+                  (cast_to st p.lty ("&" ^ x.code))
+            | None -> ()
+          else
+            match lv (same_ty pointee) with
+            | Some x -> emit st "%s = &%s;" p.code x.code
+            | None -> ())
+      | None -> ())
+  | 2 -> (
+      (* pointer copy P = Q (cast when types differ) *)
+      match (lv is_ptr, lv is_ptr) with
+      | Some p, Some q when p.code <> q.code ->
+          if same_ty p.lty q.lty then emit st "%s = %s;" p.code q.code
+          else emit st "%s = %s;" p.code (cast_to st p.lty q.code)
+      | _ -> ())
+  | 3 -> (
+      (* store through pointer: *P = V or *P = &X *)
+      match lv is_ptr with
+      | Some p -> (
+          let pointee = match p.lty with GPtr t -> t | _ -> GInt in
+          match pointee with
+          | GPtr inner -> (
+              match lv (same_ty inner) with
+              | Some x -> emit st "*%s = &%s;" p.code x.code
+              | None -> ())
+          | GStruct _ | GInt | GChar | GDouble -> (
+              match lv (same_ty pointee) with
+              | Some v -> emit st "*%s = %s;" p.code v.code
+              | None -> ()))
+      | None -> ())
+  | 4 -> (
+      (* load: V = *P *)
+      match lv is_ptr with
+      | Some p -> (
+          let pointee = match p.lty with GPtr t -> t | _ -> GInt in
+          match lv (same_ty pointee) with
+          | Some v -> emit st "%s = *%s;" v.code p.code
+          | None -> ())
+      | None -> ())
+  | 5 -> (
+      (* field access through struct pointer *)
+      match
+        lv (function GPtr (GStruct _) -> true | _ -> false)
+      with
+      | Some p -> (
+          let si = match p.lty with GPtr (GStruct i) -> i | _ -> 0 in
+          match pick st (snd st.structs.(si)) with
+          | Some (fn, ft) -> (
+              match ft with
+              | GPtr inner when chance st 0.5 -> (
+                  match lv (same_ty inner) with
+                  | Some x -> emit st "%s->%s = &%s;" p.code fn x.code
+                  | None -> ())
+              | _ -> (
+                  match lv (same_ty ft) with
+                  | Some v -> emit st "%s = %s->%s;" v.code p.code fn
+                  | None -> ()))
+          | None -> ())
+      | None -> ())
+  | 6 -> (
+      (* struct blit at a different type *)
+      match
+        ( lv (function GStruct _ -> true | _ -> false),
+          lv (function GStruct _ -> true | _ -> false) )
+      with
+      | Some a, Some b when a.code <> b.code ->
+          let aty = gty_to_c st.structs a.lty in
+          emit st "%s = *(%s *)&%s;" a.code aty b.code
+      | _ -> ())
+  | 7 -> (
+      (* pointers hidden in a double (Complication 2) *)
+      match lv (function GStruct _ -> true | _ -> false) with
+      | Some g ->
+          if chance st 0.5 then emit st "d0 = *(double *)&%s;" g.code
+          else
+            emit st "%s = *(%s *)&d0;" g.code (gty_to_c st.structs g.lty)
+      | None -> ())
+  | 8 -> (
+      (* double indirection *)
+      match rand st 3 with
+      | 0 -> emit st "ppi0 = &pi%d;" (rand st 2)
+      | 1 -> emit st "*ppi0 = &x%d;" (rand st 4)
+      | _ -> emit st "pi%d = *ppi0;" (rand st 2))
+  | 9 when st.cfg.with_calls -> (
+      (* call one of the generated helper functions *)
+      match rand st 3 with
+      | 0 -> (
+          match (lv (same_ty (GPtr GInt)), lv (same_ty (GPtr GInt))) with
+          | Some a, Some b when a.code <> b.code ->
+              emit st "%s = pick_int(%s, %s);" a.code a.code b.code
+          | _ -> ())
+      | 1 ->
+          let i = rand st (Array.length st.structs) in
+          (match
+             ( lv (same_ty (GPtr (GStruct i))),
+               lv (same_ty (GPtr (GStruct i))) )
+           with
+          | Some p, Some q -> emit st "%s = id_g%d(%s);" p.code i q.code
+          | _ -> ())
+      | _ -> (
+          let i = rand st (Array.length st.structs) in
+          let has_int_ptr_field =
+            List.exists (fun (_, t) -> t = GPtr GInt) (snd st.structs.(i))
+          in
+          if has_int_ptr_field then
+            match
+              (lv (same_ty (GPtr (GStruct i))), lv (same_ty GInt))
+            with
+            | Some p, Some x -> emit st "set_g%d(%s, &%s);" i p.code x.code
+            | _ -> ()))
+  | _ -> (
+      (* scalar churn to vary the program *)
+      match (lv (same_ty GInt), lv (same_ty GInt)) with
+      | Some a, Some b -> emit st "%s = %s + 1;" a.code b.code
+      | _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Whole-program generation                                            *)
+(* ------------------------------------------------------------------ *)
+
+let generate ?(cfg = default) ~(seed : int) () : string =
+  let rng = Random.State.make [| seed; 0x5ca1ab1e |] in
+  let structs = gen_structs rng cfg in
+  let st = { rng; cfg; structs; globals = []; buf = Buffer.create 1024 } in
+  declare_globals st;
+  let b = Buffer.create 4096 in
+  Array.iter
+    (fun (name, fields) ->
+      Buffer.add_string b (Printf.sprintf "struct %s {\n" name);
+      List.iter
+        (fun (fn, ft) ->
+          Buffer.add_string b
+            (Printf.sprintf "  %s %s;\n" (gty_to_c structs ft) fn))
+        fields;
+      Buffer.add_string b "};\n")
+    structs;
+  List.iter
+    (fun (n, t) ->
+      Buffer.add_string b (Printf.sprintf "%s %s;\n" (gty_to_c structs t) n))
+    st.globals;
+  if cfg.with_calls then begin
+    (* helper functions callable from main's generated statements *)
+    Buffer.add_string b
+      "int *pick_int(int *a, int *b) { if (a) return a; return b; }\n";
+    Array.iteri
+      (fun i (name, fields) ->
+        Buffer.add_string b
+          (Printf.sprintf "struct %s *id_g%d(struct %s *p) { return p; }\n"
+             name i name);
+        match List.find_opt (fun (_, t) -> t = GPtr GInt) fields with
+        | Some (fn, _) ->
+            Buffer.add_string b
+              (Printf.sprintf
+                 "void set_g%d(struct %s *g, int *v) { g->%s = v; }\n" i name
+                 fn)
+        | None -> ())
+      structs
+  end;
+  Buffer.add_string b "void main(void) {\n";
+  let pool = lvalue_pool st in
+  for _ = 1 to cfg.n_stmts do
+    gen_stmt st pool
+  done;
+  Buffer.add_string b (Buffer.contents st.buf);
+  Buffer.add_string b "}\n";
+  Buffer.contents b

@@ -1,0 +1,1 @@
+lib/clients/queries.ml: Cfront Core Cvar Fmt Hashtbl List Nast Norm

@@ -1,0 +1,1 @@
+lib/clients/queries.mli: Cfront Core Cvar Format Nast Norm

@@ -1,0 +1,163 @@
+(** Client-analysis queries over a solved points-to graph — the
+    "subsequent static analysis phases" whose precision the paper's
+    introduction ties to pointer-analysis precision: alias queries, call
+    graphs with resolved function pointers, and MOD/REF side-effect sets.
+
+    All queries are strategy-agnostic: they go through the solver's own
+    strategy for normalization and expansion. *)
+
+open Cfront
+open Norm
+
+type t = {
+  solver : Core.Solver.t;
+  strategy : (module Core.Strategy.S);
+}
+
+let of_solver (solver : Core.Solver.t) : t =
+  { solver; strategy = solver.Core.Solver.strategy }
+
+let of_result (r : Core.Analysis.result) : t = of_solver r.Core.Analysis.solver
+
+let prog (q : t) : Nast.program = q.solver.Core.Solver.prog
+
+let find_var (q : t) (name : string) : Cvar.t option =
+  List.find_opt
+    (fun v -> v.Cvar.vname = name || Cvar.qualified_name v = name)
+    (prog q).Nast.pall_vars
+
+(* ------------------------------------------------------------------ *)
+(* Points-to and alias queries                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Points-to set of a variable's own (whole) cell. *)
+let points_to (q : t) (v : Cvar.t) : Core.Cell.Set.t =
+  let module S = (val q.strategy : Core.Strategy.S) in
+  Core.Graph.pts q.solver.Core.Solver.graph
+    (S.normalize q.solver.Core.Solver.ctx v [])
+
+(** Expanded (metric-comparable) points-to set. *)
+let points_to_expanded (q : t) (v : Cvar.t) : Core.Cell.Set.t =
+  Core.Metrics.expanded_pts q.solver v
+
+(** May the two pointers refer to overlapping storage? Conservative: true
+    whenever the expanded target sets intersect. *)
+let may_alias (q : t) (a : Cvar.t) (b : Cvar.t) : bool =
+  let pa = points_to_expanded q a and pb = points_to_expanded q b in
+  not (Core.Cell.Set.is_empty (Core.Cell.Set.inter pa pb))
+
+(** May the pointer refer to [obj] (any cell of it)? *)
+let may_point_into (q : t) (p : Cvar.t) (obj : Cvar.t) : bool =
+  Core.Cell.Set.exists
+    (fun (c : Core.Cell.t) -> Cvar.equal c.Core.Cell.base obj)
+    (points_to_expanded q p)
+
+(* ------------------------------------------------------------------ *)
+(* Call graph                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type callee = Static of string | Resolved of string  (** via fn pointer *)
+
+let callee_name = function Static n | Resolved n -> n
+
+(** Possible callees of one call statement. *)
+let callees_of (q : t) (call : Nast.call) : callee list =
+  match call.Nast.cfn with
+  | Nast.Direct n -> [ Static n ]
+  | Nast.Indirect fp ->
+      points_to q fp
+      |> Core.Cell.Set.elements
+      |> List.filter_map (fun (c : Core.Cell.t) ->
+             match c.Core.Cell.base.Cvar.vkind with
+             | Cvar.Funval n -> Some (Resolved n)
+             | _ -> None)
+
+(** The whole-program call graph: for each defined function, the set of
+    possible callees (with indirect calls resolved through the points-to
+    results), sorted and deduplicated. *)
+let call_graph (q : t) : (string * callee list) list =
+  List.map
+    (fun (f : Nast.func) ->
+      let cs =
+        List.concat_map
+          (fun (s : Nast.stmt) ->
+            match s.Nast.kind with
+            | Nast.Call call -> callees_of q call
+            | _ -> [])
+          f.Nast.fstmts
+        |> List.sort_uniq compare
+      in
+      (f.Nast.fname, cs))
+    (prog q).Nast.pfuncs
+
+(** Functions transitively reachable from an entry point. *)
+let reachable_from (q : t) (entry : string) : string list =
+  let cg = call_graph q in
+  let visited = Hashtbl.create 16 in
+  let rec go name =
+    if not (Hashtbl.mem visited name) then begin
+      Hashtbl.replace visited name ();
+      match List.assoc_opt name cg with
+      | Some cs -> List.iter (fun c -> go (callee_name c)) cs
+      | None -> ()
+    end
+  in
+  go entry;
+  Hashtbl.fold (fun n () acc -> n :: acc) visited [] |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* MOD / REF side-effect sets                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Cells a function may write through pointers (its direct MOD set —
+    indirect writes only; direct assignments to its own locals are not
+    side effects in the usual sense). *)
+let mod_set (q : t) (f : Nast.func) : Core.Cell.Set.t =
+  let module S = (val q.strategy : Core.Strategy.S) in
+  List.fold_left
+    (fun acc (s : Nast.stmt) ->
+      match s.Nast.kind with
+      | Nast.Store (p, _) ->
+          Core.Cell.Set.union acc
+            (Core.Graph.pts q.solver.Core.Solver.graph
+               (S.normalize q.solver.Core.Solver.ctx p []))
+      | _ -> acc)
+    Core.Cell.Set.empty f.Nast.fstmts
+
+(** Cells a function may read through pointers (its direct REF set). *)
+let ref_set (q : t) (f : Nast.func) : Core.Cell.Set.t =
+  let module S = (val q.strategy : Core.Strategy.S) in
+  let pts_of v =
+    Core.Graph.pts q.solver.Core.Solver.graph
+      (S.normalize q.solver.Core.Solver.ctx v [])
+  in
+  List.fold_left
+    (fun acc (s : Nast.stmt) ->
+      match s.Nast.kind with
+      | Nast.Load (_, p) | Nast.Addr_deref (_, p, _) ->
+          Core.Cell.Set.union acc (pts_of p)
+      | _ -> acc)
+    Core.Cell.Set.empty f.Nast.fstmts
+
+(** Transitive MOD: a function's own MOD plus that of everything it may
+    call (through the resolved call graph). *)
+let mod_set_transitive (q : t) (fname : string) : Core.Cell.Set.t =
+  let p = prog q in
+  List.fold_left
+    (fun acc name ->
+      match Nast.func_by_name p name with
+      | Some f -> Core.Cell.Set.union acc (mod_set q f)
+      | None -> acc)
+    Core.Cell.Set.empty
+    (reachable_from q fname)
+
+(* ------------------------------------------------------------------ *)
+(* Presentation helpers                                                *)
+(* ------------------------------------------------------------------ *)
+
+let cell_set_to_strings (s : Core.Cell.Set.t) : string list =
+  Core.Cell.Set.elements s |> List.map Core.Cell.to_string
+
+let pp_callee ppf = function
+  | Static n -> Fmt.string ppf n
+  | Resolved n -> Fmt.pf ppf "%s (indirect)" n

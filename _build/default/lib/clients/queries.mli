@@ -1,0 +1,59 @@
+(** Client-analysis queries over a solved points-to graph — the
+    "subsequent static analysis phases" whose precision the paper's
+    introduction ties to pointer-analysis precision. *)
+
+open Cfront
+open Norm
+
+type t
+
+val of_solver : Core.Solver.t -> t
+
+val of_result : Core.Analysis.result -> t
+
+val prog : t -> Nast.program
+
+val find_var : t -> string -> Cvar.t option
+(** Look a variable up by bare or qualified ("f::x") name. *)
+
+(** {1 Alias queries} *)
+
+val points_to : t -> Cvar.t -> Core.Cell.Set.t
+
+val points_to_expanded : t -> Cvar.t -> Core.Cell.Set.t
+
+val may_alias : t -> Cvar.t -> Cvar.t -> bool
+(** May the two pointers refer to overlapping storage? Conservative. *)
+
+val may_point_into : t -> Cvar.t -> Cvar.t -> bool
+
+(** {1 Call graph} *)
+
+type callee = Static of string | Resolved of string  (** via fn pointer *)
+
+val callee_name : callee -> string
+
+val callees_of : t -> Nast.call -> callee list
+
+val call_graph : t -> (string * callee list) list
+(** Per defined function, the possible callees with indirect calls
+    resolved through the points-to results. *)
+
+val reachable_from : t -> string -> string list
+
+(** {1 Side effects} *)
+
+val mod_set : t -> Nast.func -> Core.Cell.Set.t
+(** Cells the function may write through pointers (direct only). *)
+
+val ref_set : t -> Nast.func -> Core.Cell.Set.t
+(** Cells the function may read through pointers (direct only). *)
+
+val mod_set_transitive : t -> string -> Core.Cell.Set.t
+(** MOD of the function and everything it may (transitively) call. *)
+
+(** {1 Presentation} *)
+
+val cell_set_to_strings : Core.Cell.Set.t -> string list
+
+val pp_callee : Format.formatter -> callee -> unit

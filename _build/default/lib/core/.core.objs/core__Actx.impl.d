@@ -1,0 +1,1 @@
+lib/core/actx.ml: Cfront Layout

@@ -1,0 +1,1 @@
+lib/core/actx.mli: Cfront Layout

@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Cell Cfront Collapse_always Collapse_on_cast Common_init_seq Cvar Graph Layout List Lower Metrics Nast Norm Offsets Solver Strategy Unix_time

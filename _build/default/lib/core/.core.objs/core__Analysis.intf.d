@@ -1,0 +1,1 @@
+lib/core/analysis.mli: Cell Cfront Layout Metrics Nast Norm Solver Strategy

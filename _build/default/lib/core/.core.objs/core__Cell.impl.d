@@ -1,0 +1,1 @@
+lib/core/cell.ml: Cfront Ctype Cvar Diag Fmt Hashtbl Set

@@ -1,0 +1,1 @@
+lib/core/cell.mli: Cfront Ctype Cvar Format Hashtbl Set

@@ -1,0 +1,1 @@
+lib/core/collapse_always.ml: Actx Cell Cfront Ctype Cvar List Strategy

@@ -1,0 +1,1 @@
+lib/core/collapse_always.mli: Strategy

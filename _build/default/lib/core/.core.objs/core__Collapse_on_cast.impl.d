@@ -1,0 +1,1 @@
+lib/core/collapse_on_cast.ml: Actx Cell Cfront Ctype Cvar Diag List Strategy

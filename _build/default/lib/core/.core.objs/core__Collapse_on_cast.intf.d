@@ -1,0 +1,1 @@
+lib/core/collapse_on_cast.mli: Strategy

@@ -1,0 +1,1 @@
+lib/core/common_init_seq.ml: Actx Cell Cfront Ctype Cvar Diag List Strategy

@@ -1,0 +1,1 @@
+lib/core/common_init_seq.mli: Strategy

@@ -1,0 +1,1 @@
+lib/core/graph.ml: Cell Cfront Cvar Fmt List

@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Actx Cell Cfront Cvar Graph List Nast Norm Option Solver Strategy

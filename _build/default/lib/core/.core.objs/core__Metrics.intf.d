@@ -1,0 +1,1 @@
+lib/core/metrics.mli: Actx Cell Cfront Cvar Nast Norm Solver

@@ -1,0 +1,1 @@
+lib/core/offsets.ml: Actx Cell Cfront Ctype Cvar Diag Graph Layout List Strategy

@@ -1,0 +1,1 @@
+lib/core/solver.ml: Actx Cell Cfront Ctype Cvar Graph Hashtbl Int Layout List Nast Norm Queue Strategy Summaries

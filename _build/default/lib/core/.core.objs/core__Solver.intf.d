@@ -1,0 +1,1 @@
+lib/core/solver.mli: Actx Cfront Cvar Graph Hashtbl Layout Nast Norm Queue Strategy

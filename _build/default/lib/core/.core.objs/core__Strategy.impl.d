@@ -1,0 +1,1 @@
+lib/core/strategy.ml: Actx Cell Cfront Ctype Cvar Diag Graph List Set

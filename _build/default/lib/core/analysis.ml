@@ -1,0 +1,53 @@
+(** One-call driver: pick a strategy, run the solver, collect metrics. *)
+
+open Cfront
+open Norm
+
+let strategies : (module Strategy.S) list =
+  [
+    (module Collapse_always);
+    (module Collapse_on_cast);
+    (module Common_init_seq);
+    (module Offsets);
+  ]
+
+let strategy_ids = List.map (fun (module S : Strategy.S) -> S.id) strategies
+
+let strategy_of_id id : (module Strategy.S) option =
+  List.find_opt (fun (module S : Strategy.S) -> S.id = id) strategies
+
+type result = {
+  solver : Solver.t;
+  metrics : Metrics.summary;
+  time_s : float;
+}
+
+(** Analyze a normalized program with the given strategy. *)
+let run ?(layout = Layout.default) ~strategy (prog : Nast.program) : result =
+  let t0 = Unix_time.now () in
+  let solver = Solver.run ~layout ~strategy prog in
+  let time_s = Unix_time.now () -. t0 in
+  { solver; metrics = Metrics.summarize solver; time_s }
+
+(** Parse, type-check, lower, and analyze a C source string. *)
+let run_source ?(layout = Layout.default) ?defines ?resolve ~strategy ~file
+    src : result =
+  let prog = Lower.compile ~layout ?defines ?resolve ~file src in
+  run ~layout ~strategy prog
+
+(** Points-to set of a named variable (qualified or unqualified), expanded
+    for display. Convenience for examples and tests. *)
+let pts_of_var (r : result) (name : string) : Cell.t list =
+  let prog = r.solver.Solver.prog in
+  let v =
+    List.find_opt
+      (fun v ->
+        v.Cvar.vname = name || Cvar.qualified_name v = name)
+      prog.Nast.pall_vars
+  in
+  match v with
+  | None -> []
+  | Some v ->
+      let module S = (val r.solver.Solver.strategy : Strategy.S) in
+      let cell = S.normalize r.solver.Solver.ctx v [] in
+      Cell.Set.elements (Graph.pts r.solver.Solver.graph cell)

@@ -1,0 +1,41 @@
+(** One-call driver: pick a strategy, run the solver, collect metrics. *)
+
+open Cfront
+open Norm
+
+val strategies : (module Strategy.S) list
+(** The four framework instances, in the paper's precision order:
+    Collapse Always, Collapse on Cast, Common Initial Sequence,
+    Offsets. *)
+
+val strategy_ids : string list
+
+val strategy_of_id : string -> (module Strategy.S) option
+(** Look up by short id: ["collapse-always"], ["collapse-on-cast"],
+    ["cis"], ["offsets"]. *)
+
+type result = {
+  solver : Solver.t;
+  metrics : Metrics.summary;
+  time_s : float;  (** CPU seconds spent solving *)
+}
+
+val run :
+  ?layout:Layout.config -> strategy:(module Strategy.S) -> Nast.program ->
+  result
+(** Analyze a normalized program. *)
+
+val run_source :
+  ?layout:Layout.config ->
+  ?defines:(string * string) list ->
+  ?resolve:(string -> string option) ->
+  strategy:(module Strategy.S) ->
+  file:string ->
+  string ->
+  result
+(** Parse, type-check, lower, and analyze a C source string.
+    @raise Diag.Error on front-end failures. *)
+
+val pts_of_var : result -> string -> Cell.t list
+(** Points-to set of a named variable (qualified like ["main::p"] or
+    bare); empty for unknown names. *)

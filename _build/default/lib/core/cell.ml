@@ -1,0 +1,65 @@
+(** Cells: the normalized object references that points-to facts relate.
+
+    A cell is a storage object ({!Cfront.Cvar.t}) plus a selector. The
+    Offsets instance uses byte offsets ({!constructor:Off}); the portable
+    instances use normalized field paths ({!constructor:Path}) — the
+    Collapse-Always instance always uses the empty path. A single points-to
+    graph never mixes selectors from different strategies. *)
+
+open Cfront
+
+type sel = Path of Ctype.path | Off of int
+
+type t = { base : Cvar.t; sel : sel }
+
+let v base sel = { base; sel }
+
+let whole base = { base; sel = Path [] }
+
+let compare_sel a b =
+  match (a, b) with
+  | Path p, Path q -> compare p q
+  | Off i, Off j -> compare i j
+  | Path _, Off _ -> -1
+  | Off _, Path _ -> 1
+
+let compare a b =
+  match Cvar.compare a.base b.base with
+  | 0 -> compare_sel a.sel b.sel
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let hash a =
+  let selh = match a.sel with Path p -> Hashtbl.hash p | Off i -> i * 31 in
+  (Cvar.hash a.base * 65599) + selh
+
+let pp ppf c =
+  match c.sel with
+  | Path [] -> Cvar.pp ppf c.base
+  | Path p -> Fmt.pf ppf "%a.%a" Cvar.pp c.base Ctype.pp_path p
+  | Off i -> Fmt.pf ppf "%a@@%d" Cvar.pp c.base i
+
+let to_string c = Fmt.str "%a" pp c
+
+(** Declared type of the storage designated by this cell; [Void] when the
+    selector does not name a typed sub-object (e.g. a padding offset). *)
+let cell_type (c : t) : Ctype.t =
+  match c.sel with
+  | Path p -> (
+      try Ctype.type_at_path c.base.Cvar.vty p with Diag.Error _ -> Ctype.Void)
+  | Off _ -> Ctype.Void
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+
+  let hash = hash
+end)

@@ -1,0 +1,36 @@
+(** Cells: the normalized object references that points-to facts relate.
+
+    A cell is a storage object plus a selector. The Offsets instance uses
+    byte offsets; the portable instances use normalized field paths (the
+    Collapse-Always instance always the empty path). A single points-to
+    graph never mixes selectors from different strategies. *)
+
+open Cfront
+
+type sel = Path of Ctype.path | Off of int
+
+type t = { base : Cvar.t; sel : sel }
+
+val v : Cvar.t -> sel -> t
+
+val whole : Cvar.t -> t
+(** The whole-object cell [{base; sel = Path []}]. *)
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** ["x"], ["s.f.g"], or ["t@8"]. *)
+
+val to_string : t -> string
+
+val cell_type : t -> Ctype.t
+(** Declared type of the storage this cell designates; [Void] when the
+    selector does not name a typed sub-object. *)
+
+module Set : Set.S with type elt = t
+
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,43 @@
+(** The "Collapse Always" instance (paper Section 4.3.1): every structure
+    is a single variable. Most general, least precise, trivially portable.
+
+    [pointsTo(s, t)] means "any field of [s] may point to any field of
+    [t]"; for the Figure-4 metric a structure target therefore expands to
+    all of its leaf fields ({!expand_for_metrics}). *)
+
+open Cfront
+
+let name = "Collapse Always"
+
+let id = "collapse-always"
+
+let portable = true
+
+let normalize _ctx (s : Cvar.t) (_alpha : Ctype.path) : Cell.t = Cell.whole s
+
+let lookup ctx (tau : Ctype.t) (_alpha : Ctype.path) (target : Cell.t) :
+    Cell.t list =
+  Actx.count_lookup ctx
+    ~structure:(Strategy.involves_struct tau target)
+    ~mismatch:false;
+  [ Cell.whole target.Cell.base ]
+
+let resolve ctx _graph (dst : Cell.t) (src : Cell.t) (tau : Ctype.t) :
+    (Cell.t * Cell.t) list =
+  Actx.count_resolve ctx
+    ~structure:(Strategy.involves_struct tau dst || Strategy.involves_struct tau src)
+    ~mismatch:false;
+  [ (Cell.whole dst.Cell.base, Cell.whole src.Cell.base) ]
+
+let all_cells _ctx (obj : Cvar.t) : Cell.t list = [ Cell.whole obj ]
+
+let in_array _ctx (c : Cell.t) : bool =
+  Ctype.is_array c.Cell.base.Cvar.vty
+
+let expand_for_metrics _ctx (c : Cell.t) : Cell.t list =
+  let ty = c.Cell.base.Cvar.vty in
+  if Ctype.is_comp (Ctype.strip_arrays ty) then
+    List.map
+      (fun p -> Cell.v c.Cell.base (Cell.Path p))
+      (Ctype.leaf_paths ty)
+  else [ c ]

@@ -1,0 +1,6 @@
+(** The "Collapse Always" instance (paper Section 4.3.1): every structure
+    is a single variable. Most general, least precise, trivially
+    portable. For the Figure-4 metric, a structure target expands to all
+    of its leaf fields. *)
+
+include Strategy.S

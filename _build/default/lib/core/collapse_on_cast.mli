@@ -1,0 +1,6 @@
+(** The "Collapse on Cast" instance (paper Section 4.3.2): fields are
+    distinguished while an object is accessed at its declared type; an
+    access at any other type conservatively touches all fields from the
+    access point onward. Portable. *)
+
+include Strategy.S

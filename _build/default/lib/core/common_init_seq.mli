@@ -1,0 +1,6 @@
+(** The "Common Initial Sequence" instance (paper Section 4.3.3): like
+    Collapse-on-Cast, but exploits the ANSI guarantee that structs sharing
+    a common initial sequence of compatibly-typed fields lay those fields
+    out identically. The most precise portable instance. *)
+
+include Strategy.S

@@ -1,0 +1,74 @@
+(** The points-to graph: a finite map from cells to sets of cells.
+
+    An edge [c → w] is the paper's [pointsTo(c, w)]. An index from base
+    objects to the cells of that object carrying outgoing edges supports
+    the Offsets instance's range-restricted [resolve]. *)
+
+open Cfront
+
+type t = {
+  edges : Cell.Set.t ref Cell.Tbl.t;
+  by_obj : Cell.Set.t ref Cvar.Tbl.t;  (** cells of an object with facts *)
+  mutable edge_count : int;
+}
+
+let create () =
+  { edges = Cell.Tbl.create 256; by_obj = Cvar.Tbl.create 64; edge_count = 0 }
+
+let pts g (c : Cell.t) : Cell.Set.t =
+  match Cell.Tbl.find_opt g.edges c with
+  | Some s -> !s
+  | None -> Cell.Set.empty
+
+(** Add edge [c → w]; returns [true] if the edge is new. *)
+let add_edge g (c : Cell.t) (w : Cell.t) : bool =
+  let set =
+    match Cell.Tbl.find_opt g.edges c with
+    | Some s -> s
+    | None ->
+        let s = ref Cell.Set.empty in
+        Cell.Tbl.replace g.edges c s;
+        s
+  in
+  if Cell.Set.mem w !set then false
+  else begin
+    set := Cell.Set.add w !set;
+    g.edge_count <- g.edge_count + 1;
+    let idx =
+      match Cvar.Tbl.find_opt g.by_obj c.Cell.base with
+      | Some s -> s
+      | None ->
+          let s = ref Cell.Set.empty in
+          Cvar.Tbl.replace g.by_obj c.Cell.base s;
+          s
+    in
+    idx := Cell.Set.add c !idx;
+    true
+  end
+
+(** Cells of [obj] that have at least one outgoing edge. *)
+let cells_of_obj g (obj : Cvar.t) : Cell.t list =
+  match Cvar.Tbl.find_opt g.by_obj obj with
+  | Some s -> Cell.Set.elements !s
+  | None -> []
+
+let edge_count g = g.edge_count
+
+let iter_edges g f =
+  Cell.Tbl.iter (fun c s -> Cell.Set.iter (fun w -> f c w) !s) g.edges
+
+let fold_sources g f init =
+  Cell.Tbl.fold (fun c s acc -> f c !s acc) g.edges init
+
+let pp ppf g =
+  let entries = fold_sources g (fun c s acc -> (c, s) :: acc) [] in
+  let entries =
+    List.sort (fun (a, _) (b, _) -> Cell.compare a b) entries
+  in
+  List.iter
+    (fun (c, s) ->
+      Fmt.pf ppf "%a -> {%a}@."
+        Cell.pp c
+        (Fmt.list ~sep:(Fmt.any ", ") Cell.pp)
+        (Cell.Set.elements s))
+    entries

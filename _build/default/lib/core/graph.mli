@@ -1,0 +1,25 @@
+(** The points-to graph: a finite map from cells to sets of cells.
+
+    An edge [c → w] is the paper's [pointsTo(c, w)]. *)
+
+type t
+
+val create : unit -> t
+
+val pts : t -> Cell.t -> Cell.Set.t
+(** Current points-to set of a cell (empty if none). *)
+
+val add_edge : t -> Cell.t -> Cell.t -> bool
+(** Add an edge; [true] iff it is new. *)
+
+val cells_of_obj : t -> Cfront.Cvar.t -> Cell.t list
+(** Cells of an object that have at least one outgoing edge — supports
+    the Offsets instance's range-restricted [resolve]. *)
+
+val edge_count : t -> int
+
+val iter_edges : t -> (Cell.t -> Cell.t -> unit) -> unit
+
+val fold_sources : t -> (Cell.t -> Cell.Set.t -> 'a -> 'a) -> 'a -> 'a
+
+val pp : Format.formatter -> t -> unit

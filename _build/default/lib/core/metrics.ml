@@ -1,0 +1,90 @@
+(** Measurements behind the paper's evaluation (Section 5).
+
+    - Figure 3: program size and the lookup/resolve instrumentation
+      percentages (taken from {!Actx}).
+    - Figure 4: average points-to set size over all static instances of
+      dereferenced pointers, with Collapse-Always structure facts expanded
+      to all leaf fields.
+    - Figure 6: total number of points-to edges. *)
+
+open Cfront
+open Norm
+
+(** The pointer variable dereferenced by a source-level deref statement. *)
+let deref_pointer (s : Nast.stmt) : Cvar.t option =
+  if not s.Nast.is_source_deref then None
+  else
+    match s.Nast.kind with
+    | Nast.Addr_deref (_, p, _) -> Some p
+    | Nast.Load (_, q) -> Some q
+    | Nast.Store (p, _) -> Some p
+    | Nast.Call { Nast.cfn = Nast.Indirect p; _ } -> Some p
+    | Nast.Addr _ | Nast.Copy _ | Nast.Arith _
+    | Nast.Call { Nast.cfn = Nast.Direct _; _ } ->
+        None
+
+(** All static deref sites of a program, in order. *)
+let deref_sites (prog : Nast.program) : (Nast.stmt * Cvar.t) list =
+  List.filter_map
+    (fun s -> Option.map (fun p -> (s, p)) (deref_pointer s))
+    (Nast.all_stmts prog)
+
+(** Expanded points-to set of pointer [p] under the solved state. *)
+let expanded_pts (solver : Solver.t) (p : Cvar.t) : Cell.Set.t =
+  let module S = (val solver.Solver.strategy : Strategy.S) in
+  let cell = S.normalize solver.Solver.ctx p [] in
+  let targets = Graph.pts solver.Solver.graph cell in
+  Cell.Set.fold
+    (fun c acc ->
+      List.fold_left
+        (fun acc e -> Cell.Set.add e acc)
+        acc
+        (S.expand_for_metrics solver.Solver.ctx c))
+    targets Cell.Set.empty
+
+type summary = {
+  strategy_id : string;
+  strategy_name : string;
+  deref_sites : int;
+  avg_deref_size : float;  (** Figure 4 *)
+  max_deref_size : int;
+  total_edges : int;  (** Figure 6 *)
+  figures3 : Actx.figures;
+  lookup_calls : int;
+  resolve_calls : int;
+  corrupt_derefs : int;
+      (** deref sites whose pointer may hold the Unknown marker
+          ([`Unknown] arithmetic mode only): potential memory misuses *)
+  unknown_externs : string list;
+}
+
+let summarize (solver : Solver.t) : summary =
+  let module S = (val solver.Solver.strategy : Strategy.S) in
+  let sites = deref_sites solver.Solver.prog in
+  let site_sets = List.map (fun (_, p) -> expanded_pts solver p) sites in
+  let sizes = List.map Cell.Set.cardinal site_sets in
+  let corrupt_derefs =
+    List.length
+      (List.filter
+         (Cell.Set.exists (fun (c : Cell.t) ->
+              Cvar.equal c.Cell.base solver.Solver.unknown_obj))
+         site_sets)
+  in
+  let n = List.length sizes in
+  let avg =
+    if n = 0 then 0.0
+    else float_of_int (List.fold_left ( + ) 0 sizes) /. float_of_int n
+  in
+  {
+    strategy_id = S.id;
+    strategy_name = S.name;
+    deref_sites = n;
+    avg_deref_size = avg;
+    max_deref_size = List.fold_left max 0 sizes;
+    total_edges = Graph.edge_count solver.Solver.graph;
+    figures3 = Actx.figures solver.Solver.ctx;
+    lookup_calls = solver.Solver.ctx.Actx.lookup_calls;
+    resolve_calls = solver.Solver.ctx.Actx.resolve_calls;
+    corrupt_derefs;
+    unknown_externs = solver.Solver.unknown_externs;
+  }

@@ -1,0 +1,36 @@
+(** Measurements behind the paper's evaluation (Section 5): the Figure-4
+    average points-to set size over dereferenced pointers, the Figure-6
+    edge counts, and the Figure-3 instrumentation percentages. *)
+
+open Cfront
+open Norm
+
+val deref_pointer : Nast.stmt -> Cvar.t option
+(** The pointer dereferenced by a source-level deref statement, if this
+    statement is one. *)
+
+val deref_sites : Nast.program -> (Nast.stmt * Cvar.t) list
+(** All static instances of dereferenced pointers, in program order. *)
+
+val expanded_pts : Solver.t -> Cvar.t -> Cell.Set.t
+(** Points-to set of a pointer under the solved state, expanded for
+    metrics (Collapse-Always structure targets become their leaf
+    fields). *)
+
+type summary = {
+  strategy_id : string;
+  strategy_name : string;
+  deref_sites : int;
+  avg_deref_size : float;  (** Figure 4 *)
+  max_deref_size : int;
+  total_edges : int;  (** Figure 6 *)
+  figures3 : Actx.figures;
+  lookup_calls : int;
+  resolve_calls : int;
+  corrupt_derefs : int;
+      (** deref sites whose pointer may hold the Unknown marker
+          ([`Unknown] arithmetic mode only) *)
+  unknown_externs : string list;
+}
+
+val summarize : Solver.t -> summary

@@ -1,0 +1,5 @@
+(** The "Offsets" instance (paper Section 4.2.2): cells are (object,
+    byte offset) under one concrete layout strategy. The most precise
+    instance; its results are only safe for that layout. *)
+
+include Strategy.S

@@ -1,0 +1,342 @@
+(** The fixpoint solver: applies the paper's inference rules 1–5 (Figure 2)
+    over a normalized program until no new points-to facts appear.
+
+    The solver is generic in the strategy (any {!Strategy.S}); the rules
+    below call the strategy's [normalize]/[lookup]/[resolve] exactly where
+    Figure 2 does. Interprocedural behaviour is context-insensitive:
+    parameter and return bindings are virtual copy assignments generated
+    per discovered callee, with indirect callees taken from the function
+    pointer's points-to set as it grows. Library calls use
+    {!Norm.Summaries}.
+
+    Worklist discipline: a statement is (re)processed when any object whose
+    facts it reads gains an edge. Statements subscribe to objects
+    dynamically (e.g. a [Load] subscribes to every object its pointer is
+    found to point to). *)
+
+open Cfront
+open Norm
+
+module Itbl = Hashtbl.Make (Int)
+
+type t = {
+  ctx : Actx.t;
+  graph : Graph.t;
+  strategy : (module Strategy.S);
+  prog : Nast.program;
+  funcs : (string, Nast.func) Hashtbl.t;
+  queue : Nast.stmt Queue.t;
+  in_queue : (int, unit) Hashtbl.t;
+  subscribers : Nast.stmt list ref Cvar.Tbl.t;
+  stmt_subs : Cvar.Set.t ref Itbl.t;  (** keyed by stmt id *)
+  arith_mode : [ `Spread | `Copy | `Stride | `Unknown ];
+      (** How pointer arithmetic is modelled:
+          - [`Spread] — the paper's Assumption-1 rule: the result may
+            point to any cell of the pointed-to object;
+          - [`Stride] — Wilson–Lam refinement (Section 6): arithmetic on a
+            pointer into an array stays on the representative element, and
+            only non-array targets spread;
+          - [`Unknown] — the pessimistic alternative the paper discusses
+            under Complication 3: the result is a distinguished Unknown
+            value, usable to flag potential misuses of memory;
+          - [`Copy] — optimistic ablation: the result aliases the
+            operand. *)
+  unknown_obj : Cvar.t;
+      (** the distinguished target of [`Unknown]-mode arithmetic *)
+  mutable unknown_externs : string list;
+  mutable rounds : int;
+}
+
+let create ?(layout = Layout.default) ?(arith = `Spread) ~strategy
+    (prog : Nast.program) : t =
+  let funcs = Hashtbl.create 32 in
+  List.iter (fun f -> Hashtbl.replace funcs f.Nast.fname f) prog.Nast.pfuncs;
+  {
+    ctx = Actx.create ~layout ();
+    graph = Graph.create ();
+    strategy;
+    prog;
+    funcs;
+    queue = Queue.create ();
+    in_queue = Hashtbl.create 256;
+    subscribers = Cvar.Tbl.create 128;
+    stmt_subs = Itbl.create 256;
+    arith_mode = arith;
+    unknown_obj = Cvar.fresh ~name:"$unknown" ~ty:Ctype.Void ~kind:Cvar.Global;
+    unknown_externs = [];
+    rounds = 0;
+  }
+
+let enqueue t (s : Nast.stmt) =
+  if not (Hashtbl.mem t.in_queue s.Nast.id) then begin
+    Hashtbl.replace t.in_queue s.Nast.id ();
+    Queue.add s t.queue
+  end
+
+(** Subscribe [stmt] to future facts on [obj]. *)
+let subscribe t (stmt : Nast.stmt) (obj : Cvar.t) =
+  let subs =
+    match Itbl.find_opt t.stmt_subs stmt.Nast.id with
+    | Some s -> s
+    | None ->
+        let s = ref Cvar.Set.empty in
+        Itbl.replace t.stmt_subs stmt.Nast.id s;
+        s
+  in
+  if not (Cvar.Set.mem obj !subs) then begin
+    subs := Cvar.Set.add obj !subs;
+    let lst =
+      match Cvar.Tbl.find_opt t.subscribers obj with
+      | Some l -> l
+      | None ->
+          let l = ref [] in
+          Cvar.Tbl.replace t.subscribers obj l;
+          l
+    in
+    lst := stmt :: !lst
+  end
+
+let add_edge t (c : Cell.t) (w : Cell.t) =
+  if Graph.add_edge t.graph c w then
+    match Cvar.Tbl.find_opt t.subscribers c.Cell.base with
+    | Some lst -> List.iter (enqueue t) !lst
+    | None -> ()
+
+let pointee_of (v : Cvar.t) : Ctype.t =
+  match v.Cvar.vty with
+  | Ctype.Ptr ty -> ty
+  | Ctype.Array (ty, _) -> ty
+  | _ -> Ctype.Void
+
+(* ------------------------------------------------------------------ *)
+(* Rule application                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let process t (stmt : Nast.stmt) =
+  let module S = (val t.strategy : Strategy.S) in
+  let norm v p = S.normalize t.ctx v p in
+  let pts c = Graph.pts t.graph c in
+  (* transfer every fact of each source cell to the paired destination *)
+  let transfer stmt pairs =
+    List.iter
+      (fun ((cd : Cell.t), (cs : Cell.t)) ->
+        subscribe t stmt cs.Cell.base;
+        Cell.Set.iter (fun w -> add_edge t cd w) (pts cs))
+      pairs
+  in
+  (* a virtual copy [dst = src] with declared type τ = dst's type *)
+  let virtual_copy stmt (dst : Cvar.t) (src : Cvar.t) =
+    subscribe t stmt src;
+    let pairs =
+      S.resolve t.ctx t.graph (norm dst []) (norm src []) dst.Cvar.vty
+    in
+    transfer stmt pairs
+  in
+  let bind_call stmt (call : Nast.call) (fname : string) =
+    match Hashtbl.find_opt t.funcs fname with
+    | Some f ->
+        (* actuals into formals, extras into the vararg blob *)
+        let rec bind params args =
+          match (params, args) with
+          | p :: ps, a :: as_ ->
+              virtual_copy stmt p a;
+              bind ps as_
+          | [], extras -> (
+              match f.Nast.fvararg with
+              | Some va -> List.iter (fun a -> virtual_copy stmt va a) extras
+              | None -> ())
+          | _ :: _, [] -> ()
+        in
+        bind f.Nast.fparams call.Nast.cargs;
+        (match (call.Nast.cret, f.Nast.fret) with
+        | Some dst, Some src -> virtual_copy stmt dst src
+        | _ -> ())
+    | None -> (
+        match Summaries.find fname with
+        | Some { Summaries.effects; _ } ->
+            let operand_var = function
+              | Summaries.Arg i -> List.nth_opt call.Nast.cargs i
+              | Summaries.Ret -> call.Nast.cret
+            in
+            List.iter
+              (fun eff ->
+                match eff with
+                | Summaries.Alloc _ | Summaries.Static_result _ ->
+                    () (* materialized during lowering *)
+                | Summaries.Ret_is op -> (
+                    match (call.Nast.cret, operand_var op) with
+                    | Some dst, Some src -> virtual_copy stmt dst src
+                    | _ -> ())
+                | Summaries.Ret_points_into i -> (
+                    match (call.Nast.cret, List.nth_opt call.Nast.cargs i) with
+                    | Some dst, Some arg ->
+                        subscribe t stmt arg;
+                        Cell.Set.iter
+                          (fun (c : Cell.t) ->
+                            List.iter
+                              (fun w -> add_edge t (norm dst []) w)
+                              (S.all_cells t.ctx c.Cell.base))
+                          (pts (norm arg []))
+                    | _ -> ())
+                | Summaries.Deep_copy (a, b) -> (
+                    match (operand_var a, operand_var b) with
+                    | Some va, Some vb ->
+                        subscribe t stmt va;
+                        subscribe t stmt vb;
+                        Cell.Set.iter
+                          (fun (ca : Cell.t) ->
+                            Cell.Set.iter
+                              (fun (cb : Cell.t) ->
+                                let tau = cb.Cell.base.Cvar.vty in
+                                let pairs =
+                                  S.resolve t.ctx t.graph ca cb tau
+                                in
+                                transfer stmt pairs)
+                              (pts (norm vb [])))
+                          (pts (norm va []))
+                    | _ -> ())
+                | Summaries.Store_through (i, op) -> (
+                    match (List.nth_opt call.Nast.cargs i, operand_var op) with
+                    | Some parg, Some src ->
+                        subscribe t stmt parg;
+                        subscribe t stmt src;
+                        let tau = pointee_of parg in
+                        Cell.Set.iter
+                          (fun c ->
+                            let pairs =
+                              S.resolve t.ctx t.graph c (norm src []) tau
+                            in
+                            transfer stmt pairs)
+                          (pts (norm parg []))
+                    | _ -> ())
+                | Summaries.Invoke (i, ops) -> (
+                    match List.nth_opt call.Nast.cargs i with
+                    | Some fp ->
+                        subscribe t stmt fp;
+                        Cell.Set.iter
+                          (fun (c : Cell.t) ->
+                            match c.Cell.base.Cvar.vkind with
+                            | Cvar.Funval g -> (
+                                match Hashtbl.find_opt t.funcs g with
+                                | Some callee ->
+                                    let actuals =
+                                      List.filter_map operand_var ops
+                                    in
+                                    let rec bind params args =
+                                      match (params, args) with
+                                      | p :: ps, a :: as_ ->
+                                          virtual_copy stmt p a;
+                                          bind ps as_
+                                      | _ -> ()
+                                    in
+                                    bind callee.Nast.fparams actuals
+                                | None -> ())
+                            | _ -> ())
+                          (pts (norm fp []))
+                    | None -> ()))
+              effects
+        | None ->
+            if not (List.mem fname t.unknown_externs) then
+              t.unknown_externs <- fname :: t.unknown_externs)
+  in
+  match stmt.Nast.kind with
+  | Nast.Addr (s, obj, beta) ->
+      (* Rule 1: s = &t.β *)
+      add_edge t (norm s []) (norm obj beta)
+  | Nast.Addr_deref (s, p, alpha) ->
+      (* Rule 2: s = &( *p).α *)
+      subscribe t stmt p;
+      let tau_p = pointee_of p in
+      Cell.Set.iter
+        (fun c ->
+          List.iter
+            (fun c' -> add_edge t (norm s []) c')
+            (S.lookup t.ctx tau_p alpha c))
+        (pts (norm p []))
+  | Nast.Copy (s, obj, beta) ->
+      (* Rule 3: s = t.β *)
+      subscribe t stmt obj;
+      let pairs =
+        S.resolve t.ctx t.graph (norm s []) (norm obj beta) s.Cvar.vty
+      in
+      transfer stmt pairs
+  | Nast.Load (s, q) ->
+      (* Rule 4: s = *q *)
+      subscribe t stmt q;
+      Cell.Set.iter
+        (fun c ->
+          let pairs = S.resolve t.ctx t.graph (norm s []) c s.Cvar.vty in
+          transfer stmt pairs)
+        (pts (norm q []))
+  | Nast.Store (p, v) ->
+      (* Rule 5: *p = t *)
+      subscribe t stmt p;
+      subscribe t stmt v;
+      let tau_p = pointee_of p in
+      Cell.Set.iter
+        (fun c ->
+          let pairs = S.resolve t.ctx t.graph c (norm v []) tau_p in
+          transfer stmt pairs)
+        (pts (norm p []))
+  | Nast.Arith (s, v) -> (
+      subscribe t stmt v;
+      let spread (c : Cell.t) =
+        List.iter
+          (fun w -> add_edge t (norm s []) w)
+          (S.all_cells t.ctx c.Cell.base)
+      in
+      match t.arith_mode with
+      | `Spread ->
+          (* Assumption 1: the result may point to any cell of the
+             objects [v] points into *)
+          Cell.Set.iter spread (pts (norm v []))
+      | `Stride ->
+          (* pointers walking an array stay on the representative
+             element; anything else spreads as under Assumption 1 *)
+          Cell.Set.iter
+            (fun (c : Cell.t) ->
+              if S.in_array t.ctx c then add_edge t (norm s []) c
+              else spread c)
+            (pts (norm v []))
+      | `Unknown ->
+          (* pessimistic: the result is a corrupted-pointer marker *)
+          if not (Cell.Set.is_empty (pts (norm v []))) then
+            add_edge t (norm s []) (Cell.whole t.unknown_obj)
+      | `Copy ->
+          Cell.Set.iter
+            (fun w -> add_edge t (norm s []) w)
+            (pts (norm v [])))
+  | Nast.Call call -> (
+      match call.Nast.cfn with
+      | Nast.Direct n -> bind_call stmt call n
+      | Nast.Indirect fp ->
+          subscribe t stmt fp;
+          Cell.Set.iter
+            (fun (c : Cell.t) ->
+              match c.Cell.base.Cvar.vkind with
+              | Cvar.Funval n -> bind_call stmt call n
+              | _ -> ())
+            (pts (norm fp [])))
+
+(* ------------------------------------------------------------------ *)
+(* Fixpoint                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let solve t : unit =
+  List.iter (enqueue t) (Nast.all_stmts t.prog);
+  let rec loop () =
+    match Queue.take_opt t.queue with
+    | None -> ()
+    | Some stmt ->
+        Hashtbl.remove t.in_queue stmt.Nast.id;
+        t.rounds <- t.rounds + 1;
+        process t stmt;
+        loop ()
+  in
+  loop ()
+
+(** Analyze [prog] with [strategy]; returns the solver state at fixpoint. *)
+let run ?layout ?arith ~strategy (prog : Nast.program) : t =
+  let t = create ?layout ?arith ~strategy prog in
+  solve t;
+  t

@@ -1,0 +1,54 @@
+(** The fixpoint solver: applies the paper's inference rules 1–5
+    (Figure 2) over a normalized program until no new points-to facts
+    appear.
+
+    Generic in the strategy; interprocedural behaviour is
+    context-insensitive, with indirect callees discovered from function
+    pointers' points-to sets as the fixpoint grows. Library calls use
+    {!Norm.Summaries}. *)
+
+open Cfront
+open Norm
+
+module Itbl : Hashtbl.S with type key = int
+
+type t = {
+  ctx : Actx.t;
+  graph : Graph.t;
+  strategy : (module Strategy.S);
+  prog : Nast.program;
+  funcs : (string, Nast.func) Hashtbl.t;
+  queue : Nast.stmt Queue.t;
+  in_queue : (int, unit) Hashtbl.t;
+  subscribers : Nast.stmt list ref Cvar.Tbl.t;
+  stmt_subs : Cvar.Set.t ref Itbl.t;
+  arith_mode : [ `Spread | `Copy | `Stride | `Unknown ];
+      (** How pointer arithmetic is modelled:
+          [`Spread] — the paper's Assumption-1 rule (default);
+          [`Stride] — Wilson–Lam array refinement;
+          [`Unknown] — pessimistic corrupted-pointer marker;
+          [`Copy] — optimistic ablation. *)
+  unknown_obj : Cvar.t;
+      (** the distinguished target of [`Unknown]-mode arithmetic *)
+  mutable unknown_externs : string list;
+      (** called external functions with neither a body nor a summary *)
+  mutable rounds : int;
+}
+
+val create :
+  ?layout:Layout.config ->
+  ?arith:[ `Spread | `Copy | `Stride | `Unknown ] ->
+  strategy:(module Strategy.S) ->
+  Nast.program ->
+  t
+
+val solve : t -> unit
+(** Run the worklist to a fixpoint. *)
+
+val run :
+  ?layout:Layout.config ->
+  ?arith:[ `Spread | `Copy | `Stride | `Unknown ] ->
+  strategy:(module Strategy.S) ->
+  Nast.program ->
+  t
+(** {!create} followed by {!solve}. *)

@@ -1,0 +1,7 @@
+(** Monotonic-ish wall-clock time without a Unix dependency. *)
+
+let now () : float = Sys.time ()
+
+(** CPU time in seconds (user time of this process) — matches the paper's
+    "CPU times (user+system)" measurement more closely than wall clock. *)
+let cpu () : float = Sys.time ()

@@ -1,0 +1,1 @@
+lib/interp/eval.ml: Cfront Ctype Cvar Diag Hashtbl Layout List Memory Nast Norm Set

@@ -1,0 +1,1 @@
+lib/interp/eval.mli: Cfront Cvar Layout Memory Norm Set

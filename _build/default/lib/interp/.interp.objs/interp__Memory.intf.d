@@ -1,0 +1,1 @@
+lib/interp/memory.mli: Cfront Cvar Layout

@@ -1,0 +1,1 @@
+lib/interp/oracle.ml: Actx Cell Cfront Core Ctype Cvar Diag Eval Fmt Graph Layout List Memory Solver

@@ -1,0 +1,1 @@
+lib/interp/oracle.mli: Cell Cfront Core Eval Format Layout Solver

@@ -1,0 +1,196 @@
+(** Concrete execution of normalized programs.
+
+    The statement list of each function is executed in order — for a
+    flow-insensitive analysis this is exactly the right oracle: the
+    analysis must over-approximate the memory state after {e any} prefix
+    of {e any} interleaving, and straight-line execution of the normalized
+    statements realizes one such state. {!Nast.Arith} is concretized as
+    [⊕ 0] (a legal instance the analysis must certainly cover, since its
+    abstract transfer includes the operand's own cell).
+
+    After every statement the current set of complete pointer values in
+    memory is recorded; {!Oracle} checks that a solved analysis covers all
+    of them. *)
+
+open Cfront
+open Norm
+
+type observation = { holder : Cvar.t * int; target : Memory.addr }
+
+module Obs = Set.Make (struct
+  type t = observation
+
+  let compare a b =
+    let (ho1, o1) = a.holder and (ho2, o2) = b.holder in
+    match Cvar.compare ho1 ho2 with
+    | 0 -> (
+        match compare o1 o2 with
+        | 0 -> (
+            match Cvar.compare a.target.Memory.aobj b.target.Memory.aobj with
+            | 0 -> compare a.target.Memory.aoff b.target.Memory.aoff
+            | c -> c)
+        | c -> c)
+    | c -> c
+end)
+
+type state = {
+  mem : Memory.t;
+  layout : Layout.config;
+  prog : Nast.program;
+  funcs : (string, Nast.func) Hashtbl.t;
+  mutable observed : Obs.t;
+  mutable steps : int;
+  max_steps : int;
+}
+
+let offset_of st ty path =
+  match Layout.offset_of_path st.layout ty path with
+  | n -> Some n
+  | exception Diag.Error _ -> None
+
+let size_of st ty =
+  match Layout.size_of st.layout ty with
+  | n -> max n 1
+  | exception Diag.Error _ -> 1
+
+let pointee_of (v : Cvar.t) : Ctype.t =
+  match v.Cvar.vty with
+  | Ctype.Ptr t -> t
+  | Ctype.Array (t, _) -> t
+  | _ -> Ctype.Void
+
+(* Record every pointer currently within [obj]'s block. Called for the
+   object(s) a statement writes, so the observation set covers every
+   intermediate state without rescanning all of memory each step. *)
+let snapshot_obj st (obj : Cvar.t) =
+  List.iter
+    (fun ((o, off), a) ->
+      st.observed <- Obs.add { holder = (o, off); target = a } st.observed)
+    (Memory.pointers_in_block st.mem obj)
+
+let snapshot_all st =
+  List.iter
+    (fun ((obj, off), a) ->
+      st.observed <- Obs.add { holder = (obj, off); target = a } st.observed)
+    (Memory.all_pointers st.mem)
+
+let rec exec_stmt st depth (s : Nast.stmt) : unit =
+  st.steps <- st.steps + 1;
+  if st.steps > st.max_steps then ()
+  else
+    match s.Nast.kind with
+    | Nast.Addr (dst, obj, beta) -> (
+        match offset_of st obj.Cvar.vty beta with
+        | Some off ->
+            Memory.write_ptr st.mem dst 0 { Memory.aobj = obj; aoff = off };
+            snapshot_obj st dst
+        | None -> ())
+    | Nast.Addr_deref (dst, p, alpha) -> (
+        match Memory.read_ptr st.mem p 0 with
+        | Some { Memory.aobj; aoff } -> (
+            match offset_of st (pointee_of p) alpha with
+            | Some field_off ->
+                Memory.write_ptr st.mem dst 0
+                  { Memory.aobj; aoff = aoff + field_off };
+                snapshot_obj st dst
+            | None -> ())
+        | None -> ())
+    | Nast.Copy (dst, src, beta) -> (
+        match offset_of st src.Cvar.vty beta with
+        | Some off ->
+            Memory.copy_bytes st.mem ~src ~src_off:off ~dst ~dst_off:0
+              ~len:(size_of st dst.Cvar.vty);
+            snapshot_obj st dst
+        | None -> ())
+    | Nast.Load (dst, q) -> (
+        match Memory.read_ptr st.mem q 0 with
+        | Some { Memory.aobj; aoff } ->
+            Memory.copy_bytes st.mem ~src:aobj ~src_off:aoff ~dst ~dst_off:0
+              ~len:(size_of st dst.Cvar.vty);
+            snapshot_obj st dst
+        | None -> ())
+    | Nast.Store (p, v) -> (
+        match Memory.read_ptr st.mem p 0 with
+        | Some { Memory.aobj; aoff } ->
+            Memory.copy_bytes st.mem ~src:v ~src_off:0 ~dst:aobj
+              ~dst_off:aoff
+              ~len:(size_of st (pointee_of p));
+            snapshot_obj st aobj
+        | None -> ())
+    | Nast.Arith (dst, v) ->
+        (* ⊕ 0 concretization *)
+        Memory.copy_bytes st.mem ~src:v ~src_off:0 ~dst ~dst_off:0
+          ~len:(size_of st dst.Cvar.vty);
+        snapshot_obj st dst
+    | Nast.Call call -> exec_call st depth call
+
+and exec_call st depth (call : Nast.call) : unit =
+  if depth <= 0 then ()
+  else
+    let run_func (f : Nast.func) =
+      (* bind actuals to formals *)
+      let rec bind params args =
+        match (params, args) with
+        | (p : Cvar.t) :: ps, (a : Cvar.t) :: as_ ->
+            Memory.copy_bytes st.mem ~src:a ~src_off:0 ~dst:p ~dst_off:0
+              ~len:(size_of st p.Cvar.vty);
+            snapshot_obj st p;
+            bind ps as_
+        | _ -> ()
+      in
+      bind f.Nast.fparams call.Nast.cargs;
+      List.iter (exec_stmt st (depth - 1)) f.Nast.fstmts;
+      match (call.Nast.cret, f.Nast.fret) with
+      | Some dst, Some src ->
+          Memory.copy_bytes st.mem ~src ~src_off:0 ~dst ~dst_off:0
+            ~len:(size_of st dst.Cvar.vty);
+          snapshot_obj st dst
+      | _ -> ()
+    in
+    match call.Nast.cfn with
+    | Nast.Direct n -> (
+        match Hashtbl.find_opt st.funcs n with
+        | Some f -> run_func f
+        | None -> () (* extern: allocation effects were materialized by
+                        the lowering as separate Addr statements *))
+    | Nast.Indirect fp -> (
+        match Memory.read_ptr st.mem fp 0 with
+        | Some { Memory.aobj; _ } -> (
+            match aobj.Cvar.vkind with
+            | Cvar.Funval n -> (
+                match Hashtbl.find_opt st.funcs n with
+                | Some f -> run_func f
+                | None -> ())
+            | _ -> ())
+        | None -> ())
+
+(** Execute a normalized program: global initializers, then every defined
+    function named "main" (or all functions when there is none), observing
+    memory after every statement. *)
+let run ?(layout = Layout.default) ?(max_call_depth = 8)
+    ?(max_steps = 200_000) (prog : Nast.program) : Obs.t =
+  let funcs = Hashtbl.create 16 in
+  List.iter (fun f -> Hashtbl.replace funcs f.Nast.fname f) prog.Nast.pfuncs;
+  let st =
+    {
+      mem = Memory.create ~layout;
+      layout;
+      prog;
+      funcs;
+      observed = Obs.empty;
+      steps = 0;
+      max_steps;
+    }
+  in
+  List.iter (exec_stmt st max_call_depth) prog.Nast.pinit;
+  let entries =
+    match Nast.func_by_name prog "main" with
+    | Some f -> [ f ]
+    | None -> prog.Nast.pfuncs
+  in
+  List.iter
+    (fun f -> List.iter (exec_stmt st max_call_depth) f.Nast.fstmts)
+    entries;
+  (* final sweep catches anything the incremental snapshots missed *)
+  snapshot_all st;
+  st.observed

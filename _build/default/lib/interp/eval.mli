@@ -1,0 +1,26 @@
+(** Concrete execution of normalized programs — the soundness oracle's
+    state generator.
+
+    Statements execute in order (for a flow-insensitive analysis this is
+    the right oracle: it must over-approximate the memory state after any
+    execution, and straight-line execution of the normalized statements
+    realizes one). {!Norm.Nast.Arith} is concretized as [⊕ 0]. After every
+    statement, all complete pointer values in memory are recorded. *)
+
+open Cfront
+
+type observation = { holder : Cvar.t * int; target : Memory.addr }
+(** "[holder] (an object and byte offset) contains the address
+    [target]". *)
+
+module Obs : Set.S with type elt = observation
+
+val run :
+  ?layout:Layout.config ->
+  ?max_call_depth:int ->
+  ?max_steps:int ->
+  Norm.Nast.program ->
+  Obs.t
+(** Execute global initializers, then [main] (or every function when
+    there is none), and return every pointer observation. Total: bad
+    dereferences are skipped, recursion and step counts are bounded. *)

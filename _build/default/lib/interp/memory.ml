@@ -1,0 +1,107 @@
+(** Byte-addressed memory for the concrete interpreter.
+
+    Every storage object is a block of tagged bytes. A pointer value
+    occupies [ptr_size] consecutive bytes, each tagged with the pointed-to
+    address and its byte index — so block copies at "wrong" types replicate
+    the paper's Complications 2 and 3 exactly: copying a [double] over a
+    two-pointer struct moves the pointer bytes, and splicing moves partial
+    pointers that only become readable again when all bytes line up. *)
+
+open Cfront
+
+type addr = { aobj : Cvar.t; aoff : int }
+
+type byte =
+  | Uninit
+  | Raw  (** some non-pointer data byte *)
+  | Pbyte of addr * int  (** byte [i] of a pointer to [addr] *)
+
+type t = {
+  layout : Layout.config;
+  blocks : byte array Cvar.Tbl.t;
+}
+
+let create ~layout = { layout; blocks = Cvar.Tbl.create 64 }
+
+let block_size m (v : Cvar.t) : int =
+  match Layout.size_of m.layout v.Cvar.vty with
+  | n -> max n 1
+  | exception Diag.Error _ -> 1
+
+let block m (v : Cvar.t) : byte array =
+  match Cvar.Tbl.find_opt m.blocks v with
+  | Some b -> b
+  | None ->
+      let b = Array.make (block_size m v) Uninit in
+      Cvar.Tbl.replace m.blocks v b;
+      b
+
+let ptr_size m = m.layout.Layout.ptr_size
+
+(** Store a pointer value at [obj.off]; bytes that fall outside the block
+    are dropped (the write is partially out of bounds). *)
+let write_ptr m (obj : Cvar.t) (off : int) (target : addr) : unit =
+  let b = block m obj in
+  for i = 0 to ptr_size m - 1 do
+    let o = off + i in
+    if o >= 0 && o < Array.length b then b.(o) <- Pbyte (target, i)
+  done
+
+(** Read a complete pointer value at [obj.off]: all [ptr_size] bytes must
+    carry consecutive byte-indices of the same address. *)
+let read_ptr m (obj : Cvar.t) (off : int) : addr option =
+  let b = block m obj in
+  let n = ptr_size m in
+  if off < 0 || off + n > Array.length b then None
+  else
+    match b.(off) with
+    | Pbyte (a, 0) ->
+        let ok = ref true in
+        for i = 1 to n - 1 do
+          match b.(off + i) with
+          | Pbyte (a', j) when j = i && Cvar.equal a'.aobj a.aobj && a'.aoff = a.aoff
+            ->
+              ()
+          | _ -> ok := false
+        done;
+        if !ok then Some a else None
+    | _ -> None
+
+(** Copy [len] bytes between blocks, clamped to both blocks' bounds. *)
+let copy_bytes m ~(src : Cvar.t) ~(src_off : int) ~(dst : Cvar.t)
+    ~(dst_off : int) ~(len : int) : unit =
+  let sb = block m src and db = block m dst in
+  for i = 0 to len - 1 do
+    let so = src_off + i and d_o = dst_off + i in
+    if so >= 0 && so < Array.length sb && d_o >= 0 && d_o < Array.length db
+    then db.(d_o) <- sb.(so)
+  done
+
+(** Mark [len] bytes at [obj.off] as raw (non-pointer) data. *)
+let write_raw m (obj : Cvar.t) (off : int) (len : int) : unit =
+  let b = block m obj in
+  for i = 0 to len - 1 do
+    let o = off + i in
+    if o >= 0 && o < Array.length b then b.(o) <- Raw
+  done
+
+(** Every complete pointer value within one object's block. *)
+let pointers_in_block m (obj : Cvar.t) : ((Cvar.t * int) * addr) list =
+  match Cvar.Tbl.find_opt m.blocks obj with
+  | None -> []
+  | Some b ->
+      let n = ptr_size m in
+      let acc = ref [] in
+      for off = 0 to Array.length b - n do
+        match read_ptr m obj off with
+        | Some a -> acc := ((obj, off), a) :: !acc
+        | None -> ()
+      done;
+      !acc
+
+(** Every complete pointer value currently in memory, as
+    ((object, offset), target-address) pairs. *)
+let all_pointers m : ((Cvar.t * int) * addr) list =
+  Cvar.Tbl.fold
+    (fun obj _ acc -> pointers_in_block m obj @ acc)
+    m.blocks []

@@ -1,0 +1,44 @@
+(** Byte-addressed memory for the concrete interpreter.
+
+    Every storage object is a block of tagged bytes. A pointer value
+    occupies [ptr_size] consecutive bytes, each tagged with the pointed-to
+    address and its byte index — so block copies at "wrong" types
+    replicate the paper's Complications 2 and 3 exactly. *)
+
+open Cfront
+
+type addr = { aobj : Cvar.t; aoff : int }
+
+type byte = Uninit | Raw | Pbyte of addr * int
+
+type t
+
+val create : layout:Layout.config -> t
+
+val block_size : t -> Cvar.t -> int
+
+val block : t -> Cvar.t -> byte array
+(** The (lazily created) block of an object. *)
+
+val ptr_size : t -> int
+
+val write_ptr : t -> Cvar.t -> int -> addr -> unit
+(** Store a pointer value; bytes falling outside the block are dropped. *)
+
+val read_ptr : t -> Cvar.t -> int -> addr option
+(** Read a complete pointer value: all bytes must carry consecutive
+    indices of the same address. *)
+
+val copy_bytes :
+  t -> src:Cvar.t -> src_off:int -> dst:Cvar.t -> dst_off:int -> len:int ->
+  unit
+(** Copy bytes between blocks, clamped to both blocks' bounds. *)
+
+val write_raw : t -> Cvar.t -> int -> int -> unit
+(** Mark bytes as raw (non-pointer) data. *)
+
+val pointers_in_block : t -> Cvar.t -> ((Cvar.t * int) * addr) list
+(** Every complete pointer value within one object's block. *)
+
+val all_pointers : t -> ((Cvar.t * int) * addr) list
+(** Every complete pointer value currently in memory. *)

@@ -1,0 +1,110 @@
+(** Soundness oracle: does a solved analysis cover every pointer value the
+    concrete interpreter observed?
+
+    A concrete observation "[obj.off] holds the address [tgt+toff]" is
+    covered when some points-to fact [c1 → c2] has [c1] denoting storage
+    that contains byte [off] of [obj] and [c2] denoting an address range of
+    [tgt] containing [toff]. *)
+
+open Cfront
+open Core
+
+(** Byte range (start, size) denoted by a path selector within [ty]. *)
+let path_range layout ty (p : Ctype.path) : (int * int) option =
+  match
+    ( Layout.offset_of_path layout ty p,
+      Layout.size_of layout (Ctype.type_at_path ty p) )
+  with
+  | o, s -> Some (o, max s 1)
+  | exception Diag.Error _ -> None
+
+let canon_clamped layout (obj : Cvar.t) off =
+  let size =
+    match Layout.size_of layout obj.Cvar.vty with
+    | n -> max n 1
+    | exception Diag.Error _ -> 1
+  in
+  if off < 0 then 0
+  else if off >= size then size
+  else Layout.canon_offset layout obj.Cvar.vty off
+
+(** Is byte [off] of type [ty] inside some leaf sub-object (as opposed to
+    inter-field padding)? *)
+let offset_in_some_leaf layout ty (off : int) : bool =
+  match Layout.leaf_offsets layout ty with
+  | leaves ->
+      List.exists
+        (fun (_, o, lty) ->
+          let s = max 1 (Layout.size_of layout lty) in
+          off >= o && off < o + s)
+        leaves
+  | exception Diag.Error _ -> true
+
+(* Path-based cells name fields, so a byte offset falling into
+   inter-field padding has no exact cell; the analysis models pointers
+   into padding (which only arise from mistyped field arithmetic) through
+   the neighbouring field cells, so for padding offsets any cell of the
+   same object counts as covering. *)
+let path_covers layout (c : Cell.t) (p : Ctype.path) (off : int) : bool =
+  match path_range layout c.Cell.base.Cvar.vty p with
+  | Some (o, s) ->
+      (off >= o && off < o + s)
+      || not (offset_in_some_leaf layout c.Cell.base.Cvar.vty off)
+  | None -> p = [] (* unknown layout: the whole-object cell covers *)
+
+(** Does cell [c] denote storage containing byte [off] of its object? *)
+let covers_storage layout (c : Cell.t) (off : int) : bool =
+  match c.Cell.sel with
+  | Cell.Off o -> o = canon_clamped layout c.Cell.base off
+  | Cell.Path p -> path_covers layout c p off
+
+(** Does target cell [c] denote the address [base + toff]? *)
+let covers_target layout (c : Cell.t) (toff : int) : bool =
+  match c.Cell.sel with
+  | Cell.Off o -> o = canon_clamped layout c.Cell.base toff
+  | Cell.Path p -> path_covers layout c p toff
+
+let observation_covered (solver : Solver.t) (obs : Eval.observation) : bool =
+  let layout = solver.Solver.ctx.Actx.layout in
+  let obj, off = obs.Eval.holder in
+  let tgt = obs.Eval.target.Memory.aobj in
+  let toff = obs.Eval.target.Memory.aoff in
+  let candidate_cells = Graph.cells_of_obj solver.Solver.graph obj in
+  List.exists
+    (fun c1 ->
+      covers_storage layout c1 off
+      && Cell.Set.exists
+           (fun c2 ->
+             Cvar.equal c2.Cell.base tgt && covers_target layout c2 toff)
+           (Graph.pts solver.Solver.graph c1))
+    candidate_cells
+
+(** Is the observed target address within the bounds of its object? The
+    paper's Assumption 1 lets the analysis assume every dereferenced
+    pointer is a valid address, so pointers manufactured past the end of a
+    top-level object (undefined behaviour in C) are exempt from the
+    soundness check. *)
+let target_in_bounds layout (obs : Eval.observation) : bool =
+  let tgt = obs.Eval.target.Memory.aobj in
+  let toff = obs.Eval.target.Memory.aoff in
+  match Layout.size_of layout tgt.Cvar.vty with
+  | size -> toff >= 0 && toff < max size 1
+  | exception Diag.Error _ -> true
+
+(** All observations the analysis fails to cover (empty = sound run). *)
+let uncovered (solver : Solver.t) (observations : Eval.Obs.t) :
+    Eval.observation list =
+  let layout = solver.Solver.ctx.Actx.layout in
+  Eval.Obs.fold
+    (fun obs acc ->
+      if
+        (not (target_in_bounds layout obs))
+        || observation_covered solver obs
+      then acc
+      else obs :: acc)
+    observations []
+
+let pp_observation ppf (obs : Eval.observation) =
+  let obj, off = obs.Eval.holder in
+  Fmt.pf ppf "%a@@%d holds &%a+%d" Cvar.pp obj off Cvar.pp
+    obs.Eval.target.Memory.aobj obs.Eval.target.Memory.aoff

@@ -1,0 +1,28 @@
+(** Soundness oracle: does a solved analysis cover every pointer value
+    the concrete interpreter observed?
+
+    A concrete observation "[obj.off] holds the address [tgt+toff]" is
+    covered when some points-to fact [c1 → c2] has [c1] denoting storage
+    containing byte [off] of [obj] and [c2] denoting an address range of
+    [tgt] containing [toff]. *)
+
+open Cfront
+open Core
+
+val covers_storage : Layout.config -> Cell.t -> int -> bool
+(** Does the cell denote storage containing this byte of its object? *)
+
+val covers_target : Layout.config -> Cell.t -> int -> bool
+(** Does the target cell denote this address within its object? *)
+
+val target_in_bounds : Layout.config -> Eval.observation -> bool
+(** Assumption 1 exemption: pointers manufactured past the end of an
+    object (undefined behaviour) are excluded from the check. *)
+
+val observation_covered : Solver.t -> Eval.observation -> bool
+
+val uncovered : Solver.t -> Eval.Obs.t -> Eval.observation list
+(** All in-bounds observations the analysis fails to cover (empty means
+    the run was sound). *)
+
+val pp_observation : Format.formatter -> Eval.observation -> unit

@@ -1,0 +1,1 @@
+lib/norm/lower.ml: Ast Cfront Ctype Cvar Diag Hashtbl List Nast Option Parser Printf Srcloc String Summaries Tast Typecheck

@@ -1,0 +1,1 @@
+lib/norm/lower.mli: Cfront Nast

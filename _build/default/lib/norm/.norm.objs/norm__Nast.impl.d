@@ -1,0 +1,1 @@
+lib/norm/nast.ml: Cfront Ctype Cvar Fmt List Srcloc

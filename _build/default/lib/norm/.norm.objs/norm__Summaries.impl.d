@@ -1,0 +1,1 @@
+lib/norm/summaries.ml: List

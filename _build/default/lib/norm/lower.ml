@@ -1,0 +1,676 @@
+(** Lowering: typed C ({!Cfront.Tast}) to normalized programs ({!Nast}).
+
+    Every assignment in the source is decomposed, via fresh temporaries,
+    into the paper's five forms. Design points (also in DESIGN.md):
+
+    - Casts become copies into temporaries {e declared} at the cast type,
+      so the inference rules see the right [τ] without explicit cast nodes.
+    - Array subscripts are direct accesses on the array object (single
+      representative element); only explicit pointer arithmetic produces
+      {!Nast.Arith}, which under Assumption 1 makes the result point to any
+      cell of the objects involved.
+    - Every scalar copy is modelled, whatever its type: a [double] or [int]
+      may carry pointer bytes after casting (Complications 2 and 3).
+    - [p = malloc(...)] introduces an allocation-site pseudo-variable whose
+      type is the declared pointee of the receiving pointer (or of the
+      enclosing cast).
+    - Control flow is walked only for the assignments it contains — the
+      analysis is flow-insensitive. *)
+
+open Cfront
+
+type ctx = {
+  prog : Tast.program;
+  mutable out : Nast.stmt list;  (** reversed *)
+  mutable stmt_id : int;
+  mutable temp_id : int;
+  mutable heap_id : int;
+  mutable cur_fun : string;
+  strlits : (string, Cvar.t) Hashtbl.t;
+  statics : (string, Cvar.t) Hashtbl.t;
+  mutable extra_vars : Cvar.t list;
+  mutable locals : Cvar.t list;
+}
+
+let emit ?(deref = false) ctx kind loc =
+  ctx.stmt_id <- ctx.stmt_id + 1;
+  ctx.out <-
+    { Nast.id = ctx.stmt_id; kind; loc; is_source_deref = deref } :: ctx.out
+
+let fresh_temp ctx ty : Cvar.t =
+  ctx.temp_id <- ctx.temp_id + 1;
+  let v =
+    Cvar.fresh
+      ~name:(Printf.sprintf "$t%d" ctx.temp_id)
+      ~ty ~kind:(Cvar.Temp ctx.cur_fun)
+  in
+  ctx.extra_vars <- v :: ctx.extra_vars;
+  v
+
+let strlit_obj ctx s : Cvar.t =
+  match Hashtbl.find_opt ctx.strlits s with
+  | Some v -> v
+  | None ->
+      let id = Hashtbl.length ctx.strlits in
+      let v =
+        Cvar.fresh
+          ~name:(Printf.sprintf "$str%d" id)
+          ~ty:(Ctype.Array (Ctype.char_t, Some (String.length s + 1)))
+          ~kind:(Cvar.Strlit id)
+      in
+      Hashtbl.replace ctx.strlits s v;
+      ctx.extra_vars <- v :: ctx.extra_vars;
+      v
+
+let static_obj ctx name ty : Cvar.t =
+  match Hashtbl.find_opt ctx.statics name with
+  | Some v -> v
+  | None ->
+      let v =
+        Cvar.fresh ~name:(Printf.sprintf "$static_%s" name) ~ty
+          ~kind:Cvar.Global
+      in
+      Hashtbl.replace ctx.statics name v;
+      ctx.extra_vars <- v :: ctx.extra_vars;
+      v
+
+let heap_obj ctx ~prefix ~ty loc : Cvar.t =
+  ctx.heap_id <- ctx.heap_id + 1;
+  let v =
+    Cvar.fresh
+      ~name:(Printf.sprintf "$%s%d" prefix ctx.heap_id)
+      ~ty
+      ~kind:(Cvar.Heap (loc, ctx.heap_id))
+  in
+  ctx.extra_vars <- v :: ctx.extra_vars;
+  v
+
+(* ------------------------------------------------------------------ *)
+(* L-values                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type lval =
+  | Lvar of Cvar.t * Ctype.path  (** direct access [t.β] *)
+  | Lmem of Cvar.t * Ctype.path  (** indirect access [( *p).α] *)
+
+(** A value of scalar or aggregate type may carry pointer data; only such
+    types need temporaries with fact-flow. (All do, conservatively.) *)
+
+let rec rv ?hint ctx (e : Tast.texpr) : Cvar.t =
+  let loc = e.Tast.tloc in
+  match e.Tast.te with
+  | Tast.Tconst_int _ | Tast.Tconst_float _ ->
+      (* a literal points to nothing: a fresh fact-free temp *)
+      fresh_temp ctx e.Tast.tty
+  | Tast.Tconst_str s ->
+      let obj = strlit_obj ctx s in
+      let tmp = fresh_temp ctx (Ctype.Ptr Ctype.char_t) in
+      emit ctx (Nast.Addr (tmp, obj, [])) loc;
+      tmp
+  | Tast.Tvar v -> (
+      match v.Cvar.vty with
+      | Ctype.Array (elem, _) ->
+          (* array decays to pointer to representative element *)
+          let tmp = fresh_temp ctx (Ctype.Ptr elem) in
+          emit ctx (Nast.Addr (tmp, v, [])) loc;
+          tmp
+      | Ctype.Func _ when v.Cvar.vkind = Cvar.Funval v.Cvar.vname ->
+          let tmp = fresh_temp ctx (Ctype.Ptr v.Cvar.vty) in
+          emit ctx (Nast.Addr (tmp, v, [])) loc;
+          tmp
+      | _ -> v)
+  | Tast.Tcast (ty, inner) -> (
+      match alloc_call ctx inner with
+      | Some _ ->
+          (* let the call lowering see the cast's pointee as heap hint *)
+          let hint =
+            match ty with Ctype.Ptr t -> Some t | _ -> hint
+          in
+          let v = rv ?hint ctx inner in
+          retype ctx v ty loc
+      | None ->
+          let v = rv ?hint ctx inner in
+          retype ctx v ty loc)
+  | Tast.Tassign (op, l, r) -> lower_assign ctx ~loc op l r
+  | Tast.Tcomma (a, b) ->
+      ignore (rv ctx a);
+      rv ?hint ctx b
+  | Tast.Tcond (_c, a, b) ->
+      ignore (rv ctx _c);
+      let va = rv ?hint ctx a in
+      let vb = rv ?hint ctx b in
+      let tmp = fresh_temp ctx e.Tast.tty in
+      emit ctx (Nast.Copy (tmp, va, [])) loc;
+      emit ctx (Nast.Copy (tmp, vb, [])) loc;
+      tmp
+  | Tast.Tunary (op, a) -> lower_unary ctx ~loc ~ty:e.Tast.tty op a
+  | Tast.Tbinary (op, a, b) -> lower_binary ctx ~loc ~ty:e.Tast.tty op a b
+  | Tast.Tcall (f, args) -> (
+      match lower_call ?hint ctx ~loc f args ~want_ret:true with
+      | Some v -> v
+      | None -> fresh_temp ctx e.Tast.tty)
+  | Tast.Taddrof a -> (
+      match a.Tast.te with
+      | Tast.Tvar v when Ctype.is_func v.Cvar.vty ->
+          let tmp = fresh_temp ctx (Ctype.Ptr v.Cvar.vty) in
+          emit ctx (Nast.Addr (tmp, v, [])) loc;
+          tmp
+      | _ -> (
+          match lower_lvalue ctx a with
+          | Lvar (t, beta) ->
+              let tmp = fresh_temp ctx e.Tast.tty in
+              emit ctx (Nast.Addr (tmp, t, beta)) loc;
+              tmp
+          | Lmem (p, []) ->
+              (* &*p is p *)
+              retype ctx p e.Tast.tty loc
+          | Lmem (p, alpha) ->
+              let tmp = fresh_temp ctx e.Tast.tty in
+              emit ~deref:true ctx (Nast.Addr_deref (tmp, p, alpha)) loc;
+              tmp))
+  | Tast.Tderef _ | Tast.Tindex _ | Tast.Tfield _ ->
+      let l = lower_lvalue ctx e in
+      read_lval ctx ~loc ~ty:e.Tast.tty l
+
+(** Copy [v] into a fresh temporary declared at type [ty] (materialized
+    cast). Skipped when the types already agree. *)
+and retype ctx v ty loc : Cvar.t =
+  if Ctype.equal v.Cvar.vty ty then v
+  else begin
+    let tmp = fresh_temp ctx ty in
+    emit ctx (Nast.Copy (tmp, v, [])) loc;
+    tmp
+  end
+
+and alloc_call _ctx (e : Tast.texpr) : string option =
+  match e.Tast.te with
+  | Tast.Tcall ({ Tast.te = Tast.Tvar f; _ }, _) -> (
+      match f.Cvar.vkind with
+      | Cvar.Funval n when Summaries.is_alloc n -> Some n
+      | _ -> None)
+  | _ -> None
+
+and lower_unary ctx ~loc ~ty op a : Cvar.t =
+  match op with
+  | Ast.Preinc | Ast.Predec | Ast.Postinc | Ast.Postdec ->
+      let l = lower_lvalue ctx a in
+      let old = read_lval ctx ~loc ~ty:a.Tast.tty l in
+      let tmp = fresh_temp ctx ty in
+      emit ctx (Nast.Arith (tmp, old)) loc;
+      write_lval ctx ~loc l tmp;
+      if op = Ast.Postinc || op = Ast.Postdec then old else tmp
+  | Ast.Neg | Ast.Pos | Ast.Bitnot ->
+      let v = rv ctx a in
+      let tmp = fresh_temp ctx ty in
+      emit ctx (Nast.Arith (tmp, v)) loc;
+      tmp
+  | Ast.Lognot ->
+      ignore (rv ctx a);
+      fresh_temp ctx ty
+
+and lower_binary ctx ~loc ~ty op a b : Cvar.t =
+  let va = rv ctx a in
+  let vb = rv ctx b in
+  match op with
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod | Ast.Shl | Ast.Shr
+  | Ast.Bitand | Ast.Bitor | Ast.Bitxor ->
+      (* Assumption 1: arithmetic involving a (possibly disguised) pointer
+         yields a pointer to any sub-field of the same objects *)
+      let tmp = fresh_temp ctx ty in
+      emit ctx (Nast.Arith (tmp, va)) loc;
+      emit ctx (Nast.Arith (tmp, vb)) loc;
+      tmp
+  | Ast.Lt | Ast.Gt | Ast.Le | Ast.Ge | Ast.Eq | Ast.Ne | Ast.Logand
+  | Ast.Logor ->
+      (* comparison results are 0/1: never pointer-bearing *)
+      fresh_temp ctx ty
+
+and lower_assign ctx ~loc op l r : Cvar.t =
+  let lv = lower_lvalue ctx l in
+  match op with
+  | None -> (
+      let hint =
+        match l.Tast.tty with Ctype.Ptr t -> Some t | _ -> None
+      in
+      match lv with
+      | Lvar (t, []) ->
+          (* destination is a plain variable: emit the paper form
+             directly instead of going through a temporary *)
+          lower_rhs_into ?hint ctx ~loc t r;
+          t
+      | _ ->
+          let v = rv ?hint ctx r in
+          let v = retype ctx v (decayed l.Tast.tty) loc in
+          write_lval ctx ~loc lv v;
+          v)
+  | Some bop ->
+      let old = read_lval ctx ~loc ~ty:l.Tast.tty lv in
+      let vr = rv ctx r in
+      let tmp = fresh_temp ctx (decayed l.Tast.tty) in
+      (match bop with
+      | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod | Ast.Shl | Ast.Shr
+      | Ast.Bitand | Ast.Bitor | Ast.Bitxor ->
+          emit ctx (Nast.Arith (tmp, old)) loc;
+          emit ctx (Nast.Arith (tmp, vr)) loc
+      | _ -> ());
+      write_lval ctx ~loc lv tmp;
+      tmp
+
+and decayed ty =
+  match ty with
+  | Ctype.Array (t, _) -> Ctype.Ptr t
+  | t -> t
+
+(** Lower [t = r] emitting one of the paper's forms directly where the
+    right-hand side is simple; falls back to [rv] + Copy otherwise. The
+    declared type the inference rules consult is always [t]'s, so casts on
+    [r] need no temporary here. *)
+and lower_rhs_into ?hint ctx ~loc (t : Cvar.t) (r : Tast.texpr) : unit =
+  match r.Tast.te with
+  | Tast.Tcast (ty, inner) when alloc_call ctx inner = None ->
+      let hint = match ty with Ctype.Ptr p -> Some p | _ -> hint in
+      lower_rhs_into ?hint ctx ~loc t inner
+  | Tast.Tconst_str s -> emit ctx (Nast.Addr (t, strlit_obj ctx s, [])) loc
+  | Tast.Taddrof a -> (
+      match a.Tast.te with
+      | Tast.Tvar v when Ctype.is_func v.Cvar.vty ->
+          emit ctx (Nast.Addr (t, v, [])) loc
+      | _ -> (
+          match lower_lvalue ctx a with
+          | Lvar (obj, beta) -> emit ctx (Nast.Addr (t, obj, beta)) loc
+          | Lmem (p, []) -> emit ctx (Nast.Copy (t, p, [])) loc
+          | Lmem (p, alpha) ->
+              emit ~deref:true ctx (Nast.Addr_deref (t, p, alpha)) loc))
+  | Tast.Tvar v
+    when (not (Ctype.is_array v.Cvar.vty)) && not (Ctype.is_func v.Cvar.vty)
+    ->
+      emit ctx (Nast.Copy (t, v, [])) loc
+  | (Tast.Tfield _ | Tast.Tindex _ | Tast.Tderef _)
+    when not (Ctype.is_array r.Tast.tty) -> (
+      match lower_lvalue ctx r with
+      | Lvar (obj, beta) -> emit ctx (Nast.Copy (t, obj, beta)) loc
+      | Lmem (p, []) -> emit ~deref:true ctx (Nast.Load (t, p)) loc
+      | Lmem (p, alpha) ->
+          let addr = fresh_temp ctx (Ctype.Ptr r.Tast.tty) in
+          emit ~deref:true ctx (Nast.Addr_deref (addr, p, alpha)) loc;
+          emit ctx (Nast.Load (t, addr)) loc)
+  | _ ->
+      let v = rv ?hint ctx r in
+      if not (Cvar.equal v t) then emit ctx (Nast.Copy (t, v, [])) loc
+
+and lower_lvalue ctx (e : Tast.texpr) : lval =
+  match e.Tast.te with
+  | Tast.Tvar v -> Lvar (v, [])
+  | Tast.Tfield (b, f) -> (
+      match lower_lvalue ctx b with
+      | Lvar (t, beta) -> Lvar (t, beta @ [ f ])
+      | Lmem (p, alpha) -> Lmem (p, alpha @ [ f ]))
+  | Tast.Tderef p -> Lmem (rv ctx p, [])
+  | Tast.Tindex (a, i) ->
+      let zero_index =
+        match i.Tast.te with Tast.Tconst_int 0L -> true | _ -> false
+      in
+      ignore (rv ctx i);
+      if Ctype.is_array a.Tast.tty then
+        (* subscripting the array object: same cells as the object *)
+        lower_lvalue ctx a
+      else begin
+        (* p[i] is *(p ⊕ i): index arithmetic on a pointer falls under
+           the Assumption-1 rule, except for the exact p[0] *)
+        let base = rv ctx a in
+        if zero_index then Lmem (base, [])
+        else begin
+          let addr = fresh_temp ctx base.Cvar.vty in
+          emit ctx (Nast.Arith (addr, base)) a.Tast.tloc;
+          Lmem (addr, [])
+        end
+      end
+  | Tast.Tcast (_, inner) ->
+      (* cast-as-lvalue (a GNU-ism): analyze through it *)
+      lower_lvalue ctx inner
+  | Tast.Tconst_str s -> Lvar (strlit_obj ctx s, [])
+  | _ ->
+      (* not a syntactic lvalue: evaluate to a temp *)
+      let v = rv ctx e in
+      Lvar (v, [])
+
+and read_lval ctx ~loc ~ty (l : lval) : Cvar.t =
+  match l with
+  | Lvar (t, []) -> t
+  | Lvar (t, beta) ->
+      if Ctype.is_array ty then begin
+        (* reading an array-typed field: its value is a pointer to it *)
+        let tmp = fresh_temp ctx (decayed ty) in
+        emit ctx (Nast.Addr (tmp, t, beta)) loc;
+        tmp
+      end
+      else begin
+        let tmp = fresh_temp ctx ty in
+        emit ctx (Nast.Copy (tmp, t, beta)) loc;
+        tmp
+      end
+  | Lmem (p, []) ->
+      if Ctype.is_array ty then retype ctx p (decayed ty) loc
+      else begin
+        let tmp = fresh_temp ctx ty in
+        emit ~deref:true ctx (Nast.Load (tmp, p)) loc;
+        tmp
+      end
+  | Lmem (p, alpha) ->
+      let addr = fresh_temp ctx (Ctype.Ptr ty) in
+      emit ~deref:true ctx (Nast.Addr_deref (addr, p, alpha)) loc;
+      if Ctype.is_array ty then retype ctx addr (decayed ty) loc
+      else begin
+        let tmp = fresh_temp ctx ty in
+        emit ctx (Nast.Load (tmp, addr)) loc;
+        tmp
+      end
+
+and write_lval ctx ~loc (l : lval) (v : Cvar.t) : unit =
+  match l with
+  | Lvar (t, []) -> emit ctx (Nast.Copy (t, v, [])) loc
+  | Lvar (t, beta) ->
+      let fty = Ctype.type_at_path t.Cvar.vty beta in
+      let addr = fresh_temp ctx (Ctype.Ptr fty) in
+      emit ctx (Nast.Addr (addr, t, beta)) loc;
+      emit ctx (Nast.Store (addr, v)) loc
+  | Lmem (p, []) -> emit ~deref:true ctx (Nast.Store (p, v)) loc
+  | Lmem (p, alpha) ->
+      let fty =
+        match p.Cvar.vty with
+        | Ctype.Ptr t -> (
+            try Ctype.type_at_path (Ctype.strip_arrays t) alpha
+            with Diag.Error _ -> Ctype.Void)
+        | _ -> Ctype.Void
+      in
+      let addr = fresh_temp ctx (Ctype.Ptr fty) in
+      emit ~deref:true ctx (Nast.Addr_deref (addr, p, alpha)) loc;
+      emit ctx (Nast.Store (addr, v)) loc
+
+(* ------------------------------------------------------------------ *)
+(* Calls                                                               *)
+(* ------------------------------------------------------------------ *)
+
+and lower_call ?hint ctx ~loc (f : Tast.texpr) (args : Tast.texpr list)
+    ~want_ret : Cvar.t option =
+  (* resolve the callee *)
+  let callee, ret_ty =
+    match f.Tast.te with
+    | Tast.Tvar v -> (
+        match v.Cvar.vkind with
+        | Cvar.Funval n -> (
+            match v.Cvar.vty with
+            | Ctype.Func { Ctype.ret; _ } -> (Nast.Direct n, ret)
+            | _ -> (Nast.Direct n, Ctype.int_t))
+        | _ ->
+            (* call through a function-pointer variable *)
+            let ret =
+              match v.Cvar.vty with
+              | Ctype.Ptr (Ctype.Func { Ctype.ret; _ }) -> ret
+              | _ -> Ctype.int_t
+            in
+            (Nast.Indirect v, ret))
+    | Tast.Tderef inner ->
+        let p = rv ctx inner in
+        let ret =
+          match p.Cvar.vty with
+          | Ctype.Ptr (Ctype.Func { Ctype.ret; _ }) -> ret
+          | Ctype.Func { Ctype.ret; _ } -> ret
+          | _ -> Ctype.int_t
+        in
+        (Nast.Indirect p, ret)
+    | _ ->
+        let p = rv ctx f in
+        let ret =
+          match p.Cvar.vty with
+          | Ctype.Ptr (Ctype.Func { Ctype.ret; _ }) -> ret
+          | _ -> Ctype.int_t
+        in
+        (Nast.Indirect p, ret)
+  in
+  (* parameter types for argument-passing conversions, when known *)
+  let param_tys =
+    match callee with
+    | Nast.Direct n -> (
+        match Tast.defined_fun ctx.prog n with
+        | Some fn ->
+            List.map (fun p -> p.Cvar.vty) fn.Tast.fparams
+        | None -> (
+            match Tast.extern_fun ctx.prog n with
+            | Some v -> (
+                match v.Cvar.vty with
+                | Ctype.Func { Ctype.params; _ } -> List.map snd params
+                | _ -> [])
+            | None -> []))
+    | Nast.Indirect p -> (
+        match p.Cvar.vty with
+        | Ctype.Ptr (Ctype.Func { Ctype.params; _ })
+        | Ctype.Func { Ctype.params; _ } ->
+            List.map snd params
+        | _ -> [])
+  in
+  let cargs =
+    List.mapi
+      (fun i a ->
+        let v = rv ctx a in
+        match List.nth_opt param_tys i with
+        | Some pt when not (Ctype.is_void pt) -> retype ctx v pt loc
+        | _ -> v)
+      args
+  in
+  let cret =
+    if want_ret || not (Ctype.is_void ret_ty) then
+      if Ctype.is_void ret_ty then None else Some (fresh_temp ctx ret_ty)
+    else None
+  in
+  (match callee with
+  | Nast.Indirect p ->
+      emit ~deref:true ctx (Nast.Call { Nast.cret; cfn = callee; cargs }) loc;
+      ignore p
+  | Nast.Direct n ->
+      emit ctx (Nast.Call { Nast.cret; cfn = callee; cargs }) loc;
+      (* allocation and static-result summaries are materialized here so
+         that the pseudo-objects exist before solving *)
+      (match (Summaries.find n, cret) with
+      | Some { Summaries.effects; _ }, Some ret_v ->
+          List.iter
+            (fun eff ->
+              match eff with
+              | Summaries.Alloc prefix ->
+                  let obj_ty =
+                    match hint with
+                    | Some t when not (Ctype.is_void t) -> t
+                    | _ -> (
+                        match ret_v.Cvar.vty with
+                        | Ctype.Ptr t when not (Ctype.is_void t) -> t
+                        | _ -> Ctype.char_t)
+                  in
+                  let obj = heap_obj ctx ~prefix ~ty:obj_ty loc in
+                  emit ctx (Nast.Addr (ret_v, obj, [])) loc
+              | Summaries.Static_result name ->
+                  let obj_ty =
+                    match ret_v.Cvar.vty with
+                    | Ctype.Ptr t when not (Ctype.is_void t) -> t
+                    | _ -> Ctype.char_t
+                  in
+                  let obj = static_obj ctx name obj_ty in
+                  emit ctx (Nast.Addr (ret_v, obj, [])) loc
+              | _ -> ())
+            effects
+      | _ -> ()));
+  cret
+
+(* ------------------------------------------------------------------ *)
+(* Initializers and statements                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec lower_init ctx (base : Cvar.t) (path : Ctype.path) (ty : Ctype.t)
+    (i : Tast.tinit) (loc : Srcloc.t) : unit =
+  match (i, Ctype.strip_arrays ty) with
+  | Tast.Tiexpr { Tast.te = Tast.Tconst_str _; _ }, _
+    when Ctype.is_array ty
+         && Ctype.is_integer (Ctype.strip_arrays ty) ->
+      () (* char buf[] = "..." carries no pointers *)
+  | Tast.Tiexpr e, _ ->
+      let hint = match ty with Ctype.Ptr t -> Some t | _ -> None in
+      let v = rv ?hint ctx e in
+      if path = [] then emit ctx (Nast.Copy (base, v, [])) loc
+      else begin
+        let addr = fresh_temp ctx (Ctype.Ptr ty) in
+        emit ctx (Nast.Addr (addr, base, path)) loc;
+        emit ctx (Nast.Store (addr, v)) loc
+      end
+  | Tast.Tilist items, Ctype.Comp c -> (
+      match c.Ctype.cfields with
+      | None -> ()
+      | Some fields ->
+          let fields = if c.Ctype.cunion then
+              (match fields with [] -> [] | f :: _ -> [ f ])
+            else fields
+          in
+          List.iteri
+            (fun idx item ->
+              match List.nth_opt fields idx with
+              | Some f ->
+                  lower_init ctx base (path @ [ f.Ctype.fname ]) f.Ctype.fty
+                    item loc
+              | None -> ())
+            items)
+  | Tast.Tilist items, elem_like -> (
+      match ty with
+      | Ctype.Array (elem, _) ->
+          (* all elements share the representative *)
+          List.iter (fun item -> lower_init ctx base path elem item loc) items
+      | _ -> (
+          (* scalar with braces: first item initializes *)
+          ignore elem_like;
+          match items with
+          | item :: _ -> lower_init ctx base path ty item loc
+          | [] -> ()))
+
+let rec lower_stmt ctx (ret_var : Cvar.t option) (s : Tast.tstmt) : unit =
+  let loc = s.Tast.tsloc in
+  match s.Tast.ts with
+  | Tast.TSexpr e -> ignore (rv ctx e)
+  | Tast.TSdecl ds ->
+      List.iter
+        (fun (d : Tast.tdecl) ->
+          ctx.locals <- d.Tast.dvar :: ctx.locals;
+          match d.Tast.dinit with
+          | Some i ->
+              lower_init ctx d.Tast.dvar [] d.Tast.dvar.Cvar.vty i d.Tast.dloc
+          | None -> ())
+        ds
+  | Tast.TSblock ss -> List.iter (lower_stmt ctx ret_var) ss
+  | Tast.TSif (c, t, e) ->
+      ignore (rv ctx c);
+      lower_stmt ctx ret_var t;
+      Option.iter (lower_stmt ctx ret_var) e
+  | Tast.TSwhile (c, b) ->
+      ignore (rv ctx c);
+      lower_stmt ctx ret_var b
+  | Tast.TSdo (b, c) ->
+      lower_stmt ctx ret_var b;
+      ignore (rv ctx c)
+  | Tast.TSfor (i, c, st, b) ->
+      Option.iter (lower_stmt ctx ret_var) i;
+      Option.iter (fun e -> ignore (rv ctx e)) c;
+      lower_stmt ctx ret_var b;
+      Option.iter (fun e -> ignore (rv ctx e)) st
+  | Tast.TSreturn (Some e) -> (
+      let hint =
+        match ret_var with
+        | Some r -> ( match r.Cvar.vty with Ctype.Ptr t -> Some t | _ -> None)
+        | None -> None
+      in
+      let v = rv ?hint ctx e in
+      match ret_var with
+      | Some r ->
+          let v = retype ctx v r.Cvar.vty loc in
+          emit ctx (Nast.Copy (r, v, [])) loc
+      | None -> ())
+  | Tast.TSreturn None -> ()
+  | Tast.TSbreak | Tast.TScontinue | Tast.TSgoto _ | Tast.TSnull -> ()
+  | Tast.TSswitch (e, b) ->
+      ignore (rv ctx e);
+      lower_stmt ctx ret_var b
+  | Tast.TSlabel (_, b) -> lower_stmt ctx ret_var b
+
+(* ------------------------------------------------------------------ *)
+(* Program                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let lower (prog : Tast.program) : Nast.program =
+  let ctx =
+    {
+      prog;
+      out = [];
+      stmt_id = 0;
+      temp_id = 0;
+      heap_id = 0;
+      cur_fun = "<init>";
+      strlits = Hashtbl.create 32;
+      statics = Hashtbl.create 8;
+      extra_vars = [];
+      locals = [];
+    }
+  in
+  (* global initializers *)
+  List.iter
+    (fun (d : Tast.tdecl) ->
+      match d.Tast.dinit with
+      | Some i -> lower_init ctx d.Tast.dvar [] d.Tast.dvar.Cvar.vty i d.Tast.dloc
+      | None -> ())
+    prog.Tast.pglobals;
+  let pinit = List.rev ctx.out in
+  ctx.out <- [];
+  (* functions *)
+  let pfuncs =
+    List.map
+      (fun (f : Tast.tfun) ->
+        ctx.cur_fun <- f.Tast.ffvar.Cvar.vname;
+        ctx.out <- [];
+        List.iter (fun s -> lower_stmt ctx f.Tast.fret s) f.Tast.fbody;
+        let fstmts = List.rev ctx.out in
+        ctx.out <- [];
+        {
+          Nast.fname = f.Tast.ffvar.Cvar.vname;
+          ffvar = f.Tast.ffvar;
+          fparams = f.Tast.fparams;
+          fret = f.Tast.fret;
+          fvararg = f.Tast.fvararg;
+          fstmts;
+        })
+      prog.Tast.pfuncs
+  in
+  let pexterns =
+    List.map (fun v -> (v.Cvar.vname, v)) prog.Tast.pexterns
+  in
+  let pglobals = List.map (fun d -> d.Tast.dvar) prog.Tast.pglobals in
+  let fun_vars =
+    List.concat_map
+      (fun f ->
+        (f.Nast.ffvar :: f.Nast.fparams)
+        @ Option.to_list f.Nast.fret
+        @ Option.to_list f.Nast.fvararg)
+      pfuncs
+  in
+  let local_vars = ctx.locals in
+  let pall_vars =
+    pglobals @ fun_vars @ local_vars @ List.rev ctx.extra_vars
+    @ List.map snd pexterns
+  in
+  {
+    Nast.pfile = prog.Tast.pfile;
+    pglobals;
+    pfuncs;
+    pexterns;
+    pinit;
+    pall_vars;
+  }
+
+(** One-call convenience pipeline: preprocess, parse, type-check, lower. *)
+let compile ?layout ?defines ?resolve ~file src : Nast.program =
+  let tu = Parser.parse_string ?layout ?defines ?resolve ~file src in
+  let tprog = Typecheck.check ?layout ~file tu in
+  lower tprog

@@ -1,0 +1,28 @@
+(** Lowering: typed C ({!Cfront.Tast}) to normalized programs ({!Nast}).
+
+    Every assignment in the source is decomposed, via fresh temporaries,
+    into the paper's five forms (see {!Nast}). Key behaviours:
+
+    - casts become copies into temporaries declared at the cast type, so
+      the inference rules see the correct [τ] without explicit cast nodes;
+    - array subscripts are direct accesses on the array object; explicit
+      pointer arithmetic produces {!Nast.Arith};
+    - every scalar copy is modelled, whatever its type (a [double] may
+      carry pointer bytes after casting — paper Complications 2 and 3);
+    - [p = malloc(...)] introduces an allocation-site pseudo-variable
+      typed by the declared pointee of the receiving pointer;
+    - control flow is walked only for the assignments it contains (the
+      analysis is flow-insensitive). *)
+
+val lower : Cfront.Tast.program -> Nast.program
+(** Lower a type-checked program. *)
+
+val compile :
+  ?layout:Cfront.Layout.config ->
+  ?defines:(string * string) list ->
+  ?resolve:(string -> string option) ->
+  file:string ->
+  string ->
+  Nast.program
+(** One-call pipeline: preprocess, parse, type-check, lower.
+    @raise Cfront.Diag.Error on any front-end failure. *)

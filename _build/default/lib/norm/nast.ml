@@ -1,0 +1,116 @@
+(** Normalized programs: the paper's five assignment forms plus calls and
+    pointer arithmetic.
+
+    Every statement manipulates whole variables ({!Cfront.Cvar.t}) and
+    field paths; all expression structure has been compiled away by
+    {!Lower}. The five paper forms (Section 2) map to:
+
+    - form 1, [s = (τ)&t.β] — {!constructor:Addr}
+    - form 2, [s = (τ)&( *p).α] — {!constructor:Addr_deref}
+    - form 3, [s = (τ)t.β] — {!constructor:Copy}
+    - form 4, [s = (τ)*q] — {!constructor:Load}
+    - form 5, [*p = (τ_p)t] — {!constructor:Store}
+
+    Casts never appear explicitly: the inference rules only consult the
+    declared type of the left-hand side (or of the stored-through pointer),
+    and {!Lower} materializes each cast as a copy into a temporary of the
+    cast type, so declared types carry all the information the rules
+    need. *)
+
+open Cfront
+
+type path = Ctype.path
+
+type callee = Direct of string | Indirect of Cvar.t
+
+type call = {
+  cret : Cvar.t option;  (** temporary receiving the return value *)
+  cfn : callee;
+  cargs : Cvar.t list;  (** pre-evaluated actuals, in order *)
+}
+
+type kind =
+  | Addr of Cvar.t * Cvar.t * path  (** [s = &t.β]; [β] may be empty *)
+  | Addr_deref of Cvar.t * Cvar.t * path  (** [s = &( *p).α] *)
+  | Copy of Cvar.t * Cvar.t * path  (** [s = t.β] *)
+  | Load of Cvar.t * Cvar.t  (** [s = *q] *)
+  | Store of Cvar.t * Cvar.t  (** [*p = t] *)
+  | Arith of Cvar.t * Cvar.t
+      (** [s = t ⊕ e]: pointer arithmetic; under Assumption 1 the result
+          may point to any sub-field of the objects [t] points into *)
+  | Call of call
+
+type stmt = {
+  id : int;
+  kind : kind;
+  loc : Srcloc.t;
+  is_source_deref : bool;
+      (** this statement embodies a pointer dereference written in the
+          source (counts toward the Figure-4 metric) *)
+}
+
+type func = {
+  fname : string;
+  ffvar : Cvar.t;
+  fparams : Cvar.t list;
+  fret : Cvar.t option;
+  fvararg : Cvar.t option;
+  fstmts : stmt list;
+}
+
+type program = {
+  pfile : string;
+  pglobals : Cvar.t list;  (** global storage objects *)
+  pfuncs : func list;
+  pexterns : (string * Cvar.t) list;  (** declared but undefined functions *)
+  pinit : stmt list;  (** lowered global initializers *)
+  pall_vars : Cvar.t list;
+      (** every storage object: globals, locals, params, temps, heap
+          pseudo-variables, string literals, function objects *)
+}
+
+let func_by_name p name = List.find_opt (fun f -> f.fname = name) p.pfuncs
+
+let all_stmts p : stmt list =
+  p.pinit @ List.concat_map (fun f -> f.fstmts) p.pfuncs
+
+let stmt_count p = List.length (all_stmts p)
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let pp_access ppf (v, path) =
+  if path = [] then Cvar.pp ppf v
+  else Fmt.pf ppf "%a.%a" Cvar.pp v Ctype.pp_path path
+
+let pp_kind ppf = function
+  | Addr (s, t, b) -> Fmt.pf ppf "%a = &%a" Cvar.pp s pp_access (t, b)
+  | Addr_deref (s, p, a) ->
+      Fmt.pf ppf "%a = &(*%a)%s%a" Cvar.pp s Cvar.pp p
+        (if a = [] then "" else ".")
+        Ctype.pp_path (if a = [] then [] else a)
+  | Copy (s, t, b) -> Fmt.pf ppf "%a = %a" Cvar.pp s pp_access (t, b)
+  | Load (s, q) -> Fmt.pf ppf "%a = *%a" Cvar.pp s Cvar.pp q
+  | Store (p, t) -> Fmt.pf ppf "*%a = %a" Cvar.pp p Cvar.pp t
+  | Arith (s, t) -> Fmt.pf ppf "%a = %a (+) ..." Cvar.pp s Cvar.pp t
+  | Call { cret; cfn; cargs } ->
+      let pp_fn ppf = function
+        | Direct n -> Fmt.string ppf n
+        | Indirect v -> Fmt.pf ppf "(*%a)" Cvar.pp v
+      in
+      Fmt.pf ppf "%a%a(%a)"
+        (Fmt.option (fun ppf v -> Fmt.pf ppf "%a = " Cvar.pp v))
+        cret pp_fn cfn
+        (Fmt.list ~sep:Fmt.comma Cvar.pp)
+        cargs
+
+let pp_stmt ppf s = pp_kind ppf s.kind
+
+let pp_program ppf p =
+  let pp_block name stmts =
+    Fmt.pf ppf "%s:@." name;
+    List.iter (fun s -> Fmt.pf ppf "  %a@." pp_stmt s) stmts
+  in
+  pp_block "<globals>" p.pinit;
+  List.iter (fun f -> pp_block f.fname f.fstmts) p.pfuncs

@@ -1,0 +1,171 @@
+(** Summaries of the pointer behaviour of common library functions.
+
+    The paper handles library calls "by providing summaries of the
+    potential pointer assignments in each library function" (Section 5,
+    following [WL95]). This module is our summary table; {!Lower} consults
+    it to create allocation-site pseudo-variables, and the solver applies
+    the remaining effects. *)
+
+type operand = Arg of int | Ret
+
+type effect =
+  | Alloc of string
+      (** returns a pointer to a fresh heap object (prefix names it);
+          materialized by {!Lower} as an allocation site *)
+  | Ret_is of operand  (** the return value aliases this operand *)
+  | Ret_points_into of int
+      (** returns a pointer into the object arg [i] points to
+          (e.g. [strchr]) — same cells as [Ret_is (Arg i)] under the
+          single-representative array model *)
+  | Deep_copy of operand * operand
+      (** [*dst = *src] — block copy between the pointees (memcpy) *)
+  | Store_through of int * operand  (** [*(arg i) = operand] *)
+  | Static_result of string
+      (** returns a pointer to an internal static object (getenv, strtok);
+          one pseudo-object per function name *)
+  | Invoke of int * operand list
+      (** calls the function pointed to by arg [i] with the given
+          operands as actuals (qsort's comparator, atexit handlers) *)
+
+type summary = { sname : string; effects : effect list }
+
+let table : summary list =
+  let s name effects = { sname = name; effects } in
+  [
+    (* allocation *)
+    s "malloc" [ Alloc "malloc" ];
+    s "calloc" [ Alloc "calloc" ];
+    s "valloc" [ Alloc "valloc" ];
+    s "realloc" [ Alloc "realloc"; Ret_is (Arg 0); Deep_copy (Ret, Arg 0) ];
+    s "strdup" [ Alloc "strdup" ];
+    s "free" [];
+    s "cfree" [];
+    (* stdio *)
+    s "fopen" [ Alloc "fopen" ];
+    s "fdopen" [ Alloc "fdopen" ];
+    s "freopen" [ Ret_is (Arg 2) ];
+    s "tmpfile" [ Alloc "tmpfile" ];
+    s "fclose" [];
+    s "fflush" [];
+    s "fgets" [ Ret_is (Arg 0) ];
+    s "gets" [ Ret_is (Arg 0) ];
+    s "fputs" [];
+    s "puts" [];
+    s "fgetc" [];
+    s "getc" [];
+    s "getchar" [];
+    s "fputc" [];
+    s "putc" [];
+    s "putchar" [];
+    s "ungetc" [];
+    s "fread" [];
+    s "fwrite" [];
+    s "fseek" [];
+    s "ftell" [];
+    s "rewind" [];
+    s "feof" [];
+    s "ferror" [];
+    s "clearerr" [];
+    s "fileno" [];
+    s "printf" [];
+    s "fprintf" [];
+    s "sprintf" [ Ret_is (Arg 0) ];
+    s "vsprintf" [ Ret_is (Arg 0) ];
+    s "vprintf" [];
+    s "vfprintf" [];
+    s "scanf" [];
+    s "fscanf" [];
+    s "sscanf" [];
+    s "perror" [];
+    s "remove" [];
+    s "rename" [];
+    s "setbuf" [ Store_through (0, Arg 1) ];
+    s "setvbuf" [ Store_through (0, Arg 1) ];
+    (* strings *)
+    s "strcpy" [ Deep_copy (Arg 0, Arg 1); Ret_is (Arg 0) ];
+    s "strncpy" [ Deep_copy (Arg 0, Arg 1); Ret_is (Arg 0) ];
+    s "strcat" [ Deep_copy (Arg 0, Arg 1); Ret_is (Arg 0) ];
+    s "strncat" [ Deep_copy (Arg 0, Arg 1); Ret_is (Arg 0) ];
+    s "memcpy" [ Deep_copy (Arg 0, Arg 1); Ret_is (Arg 0) ];
+    s "memmove" [ Deep_copy (Arg 0, Arg 1); Ret_is (Arg 0) ];
+    s "bcopy" [ Deep_copy (Arg 1, Arg 0) ];
+    s "memset" [ Ret_is (Arg 0) ];
+    s "bzero" [];
+    s "memchr" [ Ret_points_into 0 ];
+    s "strchr" [ Ret_points_into 0 ];
+    s "strrchr" [ Ret_points_into 0 ];
+    s "index" [ Ret_points_into 0 ];
+    s "rindex" [ Ret_points_into 0 ];
+    s "strstr" [ Ret_points_into 0 ];
+    s "strpbrk" [ Ret_points_into 0 ];
+    s "strtok" [ Ret_points_into 0; Static_result "strtok" ];
+    s "strlen" [];
+    s "strcmp" [];
+    s "strncmp" [];
+    s "strcasecmp" [];
+    s "memcmp" [];
+    s "strspn" [];
+    s "strcspn" [];
+    s "strerror" [ Static_result "strerror" ];
+    (* conversion *)
+    s "atoi" [];
+    s "atol" [];
+    s "atof" [];
+    (* str-to-number functions store a pointer into arg0's object through
+       arg1; under the representative-element model that pointer has the
+       same cells as arg0 itself *)
+    s "strtol" [ Store_through (1, Arg 0) ];
+    s "strtoul" [ Store_through (1, Arg 0) ];
+    s "strtod" [ Store_through (1, Arg 0) ];
+    (* environment / process *)
+    s "getenv" [ Static_result "getenv" ];
+    s "exit" [];
+    s "abort" [];
+    s "atexit" [ Invoke (0, []) ];
+    s "signal" [ Invoke (1, []) ];
+    s "system" [];
+    s "getpid" [];
+    s "time" [];
+    s "clock" [];
+    s "ctime" [ Static_result "ctime" ];
+    s "localtime" [ Static_result "localtime" ];
+    s "gmtime" [ Static_result "gmtime" ];
+    s "asctime" [ Static_result "asctime" ];
+    (* math / misc *)
+    s "abs" [];
+    s "labs" [];
+    s "rand" [];
+    s "srand" [];
+    s "qsort" [ Invoke (3, [ Arg 0; Arg 0 ]) ];
+    s "bsearch" [ Invoke (4, [ Arg 0; Arg 1 ]); Ret_points_into 1 ];
+    s "assert" [];
+    s "isalpha" [];
+    s "isdigit" [];
+    s "isspace" [];
+    s "isupper" [];
+    s "islower" [];
+    s "isalnum" [];
+    s "ispunct" [];
+    s "toupper" [];
+    s "tolower" [];
+    s "setjmp" [];
+    s "longjmp" [];
+    (* unix-ish *)
+    s "open" [];
+    s "close" [];
+    s "read" [];
+    s "write" [];
+    s "lseek" [];
+    s "unlink" [];
+    s "stat" [];
+    s "fstat" [];
+    s "sbrk" [ Alloc "sbrk" ];
+  ]
+
+let find name : summary option =
+  List.find_opt (fun s -> s.sname = name) table
+
+let is_alloc name =
+  match find name with
+  | Some s -> List.exists (function Alloc _ -> true | _ -> false) s.effects
+  | None -> false

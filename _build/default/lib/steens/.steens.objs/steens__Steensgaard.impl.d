@@ -1,0 +1,1 @@
+lib/steens/steensgaard.ml: Cfront Core Ctype Cvar Diag Hashtbl List Nast Norm Summaries Sys

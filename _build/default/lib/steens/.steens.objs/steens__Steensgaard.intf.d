@@ -1,0 +1,1 @@
+lib/steens/steensgaard.mli: Cfront Core Cvar Hashtbl Nast Norm

@@ -1,0 +1,420 @@
+(** Steensgaard-style unification-based pointer analysis — the paper's
+    closest related work (Section 6). Instead of the framework's directed
+    inclusion edges, assignments {e unify} equivalence classes, giving an
+    almost-linear-time algorithm at a substantial precision cost.
+
+    Two flavors are provided, mirroring Section 6's discussion:
+
+    - {!Collapsed}: structures are single nodes ([Ste96b]).
+    - {!Fields}: fields are distinguished via the same normalization as
+      the Collapse-on-Cast instance; copies between objects of different
+      types unify entire objects, which approximates the approximations
+      Steensgaard's typed system makes for casts ([Ste96a]).
+
+    Used by the `ablation-steens` bench target to reproduce the paper's
+    qualitative claim: unification is fast but markedly less precise than
+    any of the inclusion-based instances. *)
+
+open Cfront
+open Norm
+
+(* ------------------------------------------------------------------ *)
+(* Union-find nodes with points-to successors                          *)
+(* ------------------------------------------------------------------ *)
+
+type node = {
+  id : int;
+  mutable parent : node option;
+  mutable pts : node option;  (** the class this class points to *)
+}
+
+let node_count = ref 0
+
+let fresh_node () =
+  incr node_count;
+  { id = !node_count; parent = None; pts = None }
+
+let rec find (n : node) : node =
+  match n.parent with
+  | None -> n
+  | Some p ->
+      let root = find p in
+      n.parent <- Some root;
+      root
+
+let rec union (a : node) (b : node) : node =
+  let ra = find a and rb = find b in
+  if ra == rb then ra
+  else begin
+    rb.parent <- Some ra;
+    (match (ra.pts, rb.pts) with
+    | Some pa, Some pb ->
+        rb.pts <- None;
+        ra.pts <- Some (union pa pb)
+    | None, Some pb ->
+        rb.pts <- None;
+        ra.pts <- Some pb
+    | _, None -> ());
+    ra
+  end
+
+(** The points-to class of [n], creating a fresh bottom class if absent. *)
+let pts_of (n : node) : node =
+  let r = find n in
+  match r.pts with
+  | Some p -> find p
+  | None ->
+      let p = fresh_node () in
+      r.pts <- Some p;
+      p
+
+(** [x = y]: whatever [y] points to, [x] may point to — by unification. *)
+let join_pts (x : node) (y : node) : unit =
+  ignore (union (pts_of x) (pts_of y))
+
+(* ------------------------------------------------------------------ *)
+(* Cell model                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type flavor = Collapsed | Fields
+
+type t = {
+  flavor : flavor;
+  prog : Nast.program;
+  nodes : node Core.Cell.Tbl.t;
+  funcs : (string, Nast.func) Hashtbl.t;
+  mutable time_s : float;
+}
+
+let cell_of t (v : Cvar.t) (path : Ctype.path) : Core.Cell.t =
+  match t.flavor with
+  | Collapsed -> Core.Cell.whole v
+  | Fields ->
+      Core.Cell.v v
+        (Core.Cell.Path (Core.Strategy.normalize_path v.Cvar.vty path))
+
+let node_of t (c : Core.Cell.t) : node =
+  match Core.Cell.Tbl.find_opt t.nodes c with
+  | Some n -> n
+  | None ->
+      let n = fresh_node () in
+      Core.Cell.Tbl.replace t.nodes c n;
+      n
+
+let all_cells t (v : Cvar.t) : Core.Cell.t list =
+  match t.flavor with
+  | Collapsed -> [ Core.Cell.whole v ]
+  | Fields ->
+      List.map
+        (fun p -> Core.Cell.v v (Core.Cell.Path p))
+        (Ctype.leaf_paths v.Cvar.vty)
+
+(** Unify every cell of [v]'s object into one class (the cast fallback in
+    the [Fields] flavor). *)
+let collapse_object t (v : Cvar.t) : node =
+  match all_cells t v with
+  | [] -> node_of t (Core.Cell.whole v)
+  | first :: rest ->
+      List.fold_left
+        (fun acc c -> union acc (node_of t c))
+        (node_of t first) rest
+
+(* ------------------------------------------------------------------ *)
+(* Statement processing                                                *)
+(* ------------------------------------------------------------------ *)
+
+let copy_cells t (dst : Cvar.t) (dst_path : Ctype.path) (src : Cvar.t)
+    (src_path : Ctype.path) : unit =
+  match t.flavor with
+  | Collapsed ->
+      join_pts (node_of t (Core.Cell.whole dst)) (node_of t (Core.Cell.whole src))
+  | Fields -> (
+      let dty =
+        try Ctype.type_at_path dst.Cvar.vty dst_path
+        with Diag.Error _ -> Ctype.Void
+      in
+      let sty =
+        try Ctype.type_at_path src.Cvar.vty src_path
+        with Diag.Error _ -> Ctype.Void
+      in
+      if Ctype.equal (Ctype.strip_arrays dty) (Ctype.strip_arrays sty) then
+        (* same type: unify field-for-field *)
+        let leaves = Ctype.leaf_paths dty in
+        List.iter
+          (fun leaf ->
+            let cd = cell_of t dst (dst_path @ leaf) in
+            let cs = cell_of t src (src_path @ leaf) in
+            join_pts (node_of t cd) (node_of t cs))
+          leaves
+      else begin
+        (* mismatched copy: collapse both objects and join *)
+        let nd = collapse_object t dst and ns = collapse_object t src in
+        join_pts nd ns
+      end)
+
+(** Collapse every object that has a cell in the class of [cls]: unifies
+    all cells of each such object into the class. This is the sound (and
+    blunt) way a unification analysis without per-class field structure
+    handles field addressing, mistyped access, and pointer arithmetic: the
+    pointed-to objects lose their field distinctions. *)
+let collapse_pointees t (cls : node) : node =
+  let target = find cls in
+  let objs =
+    Core.Cell.Tbl.fold
+      (fun (c : Core.Cell.t) n acc ->
+        if find n == target && not (List.memq c.Core.Cell.base acc) then
+          c.Core.Cell.base :: acc
+        else acc)
+      t.nodes []
+  in
+  List.fold_left (fun acc obj -> union acc (collapse_object t obj)) target objs
+
+let pointee_ty (v : Cvar.t) : Ctype.t =
+  match v.Cvar.vty with
+  | Ctype.Ptr ty -> ty
+  | Ctype.Array (ty, _) -> ty
+  | _ -> Ctype.Void
+
+(** The class a dereference of [ptr] designates. In the [Fields] flavor,
+    if any pointed-to cell disagrees with [ptr]'s declared pointee type,
+    the access is mistyped and the pointed-to objects collapse (the
+    approximation Steensgaard's typed system makes for casts). *)
+let deref_class t (ptr : Cvar.t) ~(at : Ctype.t) : node =
+  let cls = pts_of (node_of t (cell_of t ptr [])) in
+  match t.flavor with
+  | Collapsed -> cls
+  | Fields ->
+      let expected = Ctype.strip_arrays at in
+      let target = find cls in
+      let mismatch =
+        Core.Cell.Tbl.fold
+          (fun (c : Core.Cell.t) n acc ->
+            acc
+            ||
+            if find n == target then
+              let cty =
+                match c.Core.Cell.sel with
+                | Core.Cell.Path p -> (
+                    try
+                      Ctype.strip_arrays
+                        (Ctype.type_at_path c.Core.Cell.base.Cvar.vty p)
+                    with Diag.Error _ -> Ctype.Void)
+                | Core.Cell.Off _ -> Ctype.Void
+              in
+              not (Ctype.equal cty expected)
+            else false)
+          t.nodes false
+      in
+      if mismatch then collapse_pointees t cls else cls
+
+let rec process_stmt t (s : Nast.stmt) : unit =
+  match s.Nast.kind with
+  | Nast.Addr (dst, obj, beta) ->
+      let target = node_of t (cell_of t obj beta) in
+      let d = node_of t (cell_of t dst []) in
+      ignore (union (pts_of d) target)
+  | Nast.Addr_deref (dst, p, alpha) ->
+      (* the address of a field of *p: without per-class field structure
+         the pointed-to objects collapse, and the result is that class *)
+      let d = node_of t (cell_of t dst []) in
+      let tgt = collapse_pointees t (pts_of (node_of t (cell_of t p []))) in
+      ignore alpha;
+      ignore (union (pts_of d) tgt)
+  | Nast.Copy (dst, src, beta) -> copy_cells t dst [] src beta
+  | Nast.Load (dst, q) ->
+      let aggregate = Ctype.is_comp (Ctype.strip_arrays dst.Cvar.vty) in
+      let src_cls = deref_class t q ~at:dst.Cvar.vty in
+      let src_cls =
+        if aggregate then collapse_pointees t src_cls else src_cls
+      in
+      let d =
+        if aggregate then collapse_object t dst
+        else node_of t (cell_of t dst [])
+      in
+      join_pts d src_cls
+  | Nast.Store (p, v) ->
+      let tgt_cls = deref_class t p ~at:(pointee_ty p) in
+      let vn =
+        if Ctype.is_comp (Ctype.strip_arrays v.Cvar.vty) then begin
+          (* aggregate store: source fields and target objects collapse *)
+          ignore (collapse_pointees t tgt_cls);
+          collapse_object t v
+        end
+        else node_of t (cell_of t v [])
+      in
+      join_pts tgt_cls vn
+  | Nast.Arith (dst, v) ->
+      (* Assumption 1: the result may point anywhere within the
+         pointed-to objects, which therefore collapse *)
+      let d = node_of t (cell_of t dst []) in
+      let vn = node_of t (cell_of t v []) in
+      let tgt = collapse_pointees t (pts_of vn) in
+      ignore (union (pts_of d) tgt)
+  | Nast.Call call -> process_call t call
+
+and process_call t (call : Nast.call) : unit =
+  let bind_named fname =
+    match Hashtbl.find_opt t.funcs fname with
+    | Some f ->
+        let rec bind params args =
+          match (params, args) with
+          | p :: ps, a :: as_ ->
+              copy_cells t p [] a [];
+              bind ps as_
+          | [], extras -> (
+              match f.Nast.fvararg with
+              | Some va -> List.iter (fun a -> copy_cells t va [] a []) extras
+              | None -> ())
+          | _ :: _, [] -> ()
+        in
+        bind f.Nast.fparams call.Nast.cargs;
+        (match (call.Nast.cret, f.Nast.fret) with
+        | Some dst, Some src -> copy_cells t dst [] src []
+        | _ -> ())
+    | None -> (
+        (* externs: apply the copying summaries coarsely *)
+        match Summaries.find fname with
+        | Some { Summaries.effects; _ } ->
+            let operand = function
+              | Summaries.Arg i -> List.nth_opt call.Nast.cargs i
+              | Summaries.Ret -> call.Nast.cret
+            in
+            List.iter
+              (fun eff ->
+                match eff with
+                | Summaries.Ret_is op -> (
+                    match (call.Nast.cret, operand op) with
+                    | Some dst, Some src -> copy_cells t dst [] src []
+                    | _ -> ())
+                | Summaries.Ret_points_into i -> (
+                    match (call.Nast.cret, operand (Summaries.Arg i)) with
+                    | Some dst, Some src -> copy_cells t dst [] src []
+                    | _ -> ())
+                | Summaries.Deep_copy (a, b) -> (
+                    match (operand a, operand b) with
+                    | Some va, Some vb ->
+                        let na = node_of t (cell_of t va []) in
+                        let nb = node_of t (cell_of t vb []) in
+                        join_pts (pts_of na) (pts_of nb)
+                    | _ -> ())
+                | Summaries.Store_through (i, op) -> (
+                    match (List.nth_opt call.Nast.cargs i, operand op) with
+                    | Some parg, Some src ->
+                        let pn = node_of t (cell_of t parg []) in
+                        join_pts (pts_of pn) (node_of t (cell_of t src []))
+                    | _ -> ())
+                | _ -> ())
+              effects
+        | None -> ())
+  in
+  match call.Nast.cfn with
+  | Nast.Direct n -> bind_named n
+  | Nast.Indirect fp ->
+      (* unify every defined function's signature conservatively with the
+         call: unification cannot iterate cheaply over discovered callees,
+         so bind all address-taken functions in the pointed-to class *)
+      let fp_pts = pts_of (node_of t (cell_of t fp [])) in
+      Hashtbl.iter
+        (fun name (f : Nast.func) ->
+          let fn = node_of t (cell_of t f.Nast.ffvar []) in
+          if find fn == find fp_pts then bind_named name)
+        t.funcs
+
+(* ------------------------------------------------------------------ *)
+(* Driver and metrics                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Number of distinct equivalence classes among the tracked cells. *)
+let count_roots t : int =
+  let seen = Hashtbl.create 64 in
+  Core.Cell.Tbl.iter
+    (fun _ n -> Hashtbl.replace seen (find n).id ())
+    t.nodes;
+  Hashtbl.length seen
+
+let run ?(flavor = Fields) (prog : Nast.program) : t =
+  let funcs = Hashtbl.create 16 in
+  List.iter (fun f -> Hashtbl.replace funcs f.Nast.fname f) prog.Nast.pfuncs;
+  let t =
+    { flavor; prog; nodes = Core.Cell.Tbl.create 256; funcs; time_s = 0.0 }
+  in
+  let t0 = Sys.time () in
+  (* iterate to a fixpoint: unions are monotone (class count only
+     shrinks), so passes repeat until no union happens; indirect calls
+     and cast-induced collapses discovered late are caught this way *)
+  let stable = ref false in
+  let passes = ref 0 in
+  while (not !stable) && !passes < 10 do
+    let before = !node_count in
+    let unions_before = count_roots t in
+    List.iter (process_stmt t) (Nast.all_stmts prog);
+    incr passes;
+    stable := count_roots t = unions_before && !node_count = before
+  done;
+  t.time_s <- Sys.time () -. t0;
+  t
+
+(** Points-to set of variable [v]: every cell in the class its pts class
+    denotes. *)
+let points_to (t : t) (v : Cvar.t) : Core.Cell.t list =
+  let n = node_of t (cell_of t v []) in
+  let root = find n in
+  match root.pts with
+  | None -> []
+  | Some p ->
+      let target = find p in
+      Core.Cell.Tbl.fold
+        (fun c n acc -> if find n == target then c :: acc else acc)
+        t.nodes []
+
+(** All members of the class [n]'s points-to class. *)
+let class_points_to (t : t) (n : node) : Core.Cell.t list =
+  let root = find n in
+  match root.pts with
+  | None -> []
+  | Some p ->
+      let target = find p in
+      Core.Cell.Tbl.fold
+        (fun c n' acc -> if find n' == target then c :: acc else acc)
+        t.nodes []
+
+(** Every tracked cell of [obj], with its points-to set — used by the
+    soundness tests to check coverage of concrete executions. *)
+let facts_for_object (t : t) (obj : Cvar.t) :
+    (Core.Cell.t * Core.Cell.t list) list =
+  Core.Cell.Tbl.fold
+    (fun (c : Core.Cell.t) n acc ->
+      if Cvar.equal c.Core.Cell.base obj then
+        (c, class_points_to t n) :: acc
+      else acc)
+    t.nodes []
+
+(** Figure-4-style metric: average points-to set size over source deref
+    sites, with collapsed struct targets expanded to their leaves. *)
+let avg_deref_size (t : t) : float =
+  let sites = Core.Metrics.deref_sites t.prog in
+  let expand (c : Core.Cell.t) : Core.Cell.t list =
+    match t.flavor with
+    | Fields -> [ c ]
+    | Collapsed ->
+        let ty = c.Core.Cell.base.Cvar.vty in
+        if Ctype.is_comp (Ctype.strip_arrays ty) then
+          List.map
+            (fun p -> Core.Cell.v c.Core.Cell.base (Core.Cell.Path p))
+            (Ctype.leaf_paths ty)
+        else [ c ]
+  in
+  let sizes =
+    List.map
+      (fun (_, p) ->
+        points_to t p
+        |> List.concat_map expand
+        |> List.sort_uniq Core.Cell.compare
+        |> List.length)
+      sites
+  in
+  match sizes with
+  | [] -> 0.0
+  | _ ->
+      float_of_int (List.fold_left ( + ) 0 sizes)
+      /. float_of_int (List.length sizes)

@@ -1,0 +1,44 @@
+(** Steensgaard-style unification-based pointer analysis — the paper's
+    closest related work (Section 6). Assignments unify equivalence
+    classes instead of adding directed edges, trading precision for
+    near-linear behaviour.
+
+    Two flavors mirror Section 6's discussion: {!Collapsed} treats each
+    structure as a single node ([Ste96b]); {!Fields} distinguishes fields
+    via the same normalization as the Collapse-on-Cast instance, falling
+    back to collapsing whole objects on mistyped access — a blunt but
+    sound rendition of the approximations in Steensgaard's typed system
+    ([Ste96a]). *)
+
+open Cfront
+open Norm
+
+type flavor = Collapsed | Fields
+
+type node
+
+type t = {
+  flavor : flavor;
+  prog : Nast.program;
+  nodes : node Core.Cell.Tbl.t;
+  funcs : (string, Nast.func) Hashtbl.t;
+  mutable time_s : float;
+}
+
+val run : ?flavor:flavor -> Nast.program -> t
+(** Unify to a fixpoint (a few passes; unions are monotone). *)
+
+val points_to : t -> Cvar.t -> Core.Cell.t list
+(** Points-to set of a variable: every cell in the class its points-to
+    class denotes. *)
+
+val facts_for_object : t -> Cvar.t -> (Core.Cell.t * Core.Cell.t list) list
+(** Every tracked cell of an object with its points-to set — used by the
+    soundness tests. *)
+
+val avg_deref_size : t -> float
+(** Figure-4-style metric: average points-to set size over source deref
+    sites, with collapsed struct targets expanded to their leaves. *)
+
+val count_roots : t -> int
+(** Number of distinct equivalence classes among tracked cells. *)

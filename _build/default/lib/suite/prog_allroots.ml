@@ -1,0 +1,147 @@
+(** Corpus: polynomial root finder with complex-number structs (after the
+    Landi benchmark "allroots"). Cast-free. *)
+
+let name = "allroots"
+
+let has_struct_cast = false
+
+let description = "all roots of a polynomial by damped Newton iteration"
+
+let source =
+  {|
+/* allroots: deflation + Newton iteration over complex coefficients. */
+
+int printf(char *fmt, ...);
+
+#define MAX_DEGREE 16
+
+struct cpx {
+  double re;
+  double im;
+};
+
+struct poly {
+  struct cpx coeff[MAX_DEGREE + 1];
+  int degree;
+};
+
+struct root_list {
+  struct cpx roots[MAX_DEGREE];
+  int count;
+};
+
+struct poly work;
+struct root_list found;
+
+struct cpx cpx_make(double re, double im) {
+  struct cpx z;
+  z.re = re;
+  z.im = im;
+  return z;
+}
+
+struct cpx cpx_add(struct cpx a, struct cpx b) {
+  struct cpx z;
+  z.re = a.re + b.re;
+  z.im = a.im + b.im;
+  return z;
+}
+
+struct cpx cpx_sub(struct cpx a, struct cpx b) {
+  struct cpx z;
+  z.re = a.re - b.re;
+  z.im = a.im - b.im;
+  return z;
+}
+
+struct cpx cpx_mul(struct cpx a, struct cpx b) {
+  struct cpx z;
+  z.re = a.re * b.re - a.im * b.im;
+  z.im = a.re * b.im + a.im * b.re;
+  return z;
+}
+
+double cpx_norm(struct cpx a) {
+  return a.re * a.re + a.im * a.im;
+}
+
+struct cpx cpx_div(struct cpx a, struct cpx b) {
+  struct cpx z;
+  double n = cpx_norm(b);
+  if (n == 0.0) {
+    z.re = 0.0;
+    z.im = 0.0;
+    return z;
+  }
+  z.re = (a.re * b.re + a.im * b.im) / n;
+  z.im = (a.im * b.re - a.re * b.im) / n;
+  return z;
+}
+
+/* evaluate p and its derivative at z by Horner's rule */
+void eval_poly(struct poly *p, struct cpx z, struct cpx *val,
+               struct cpx *deriv) {
+  int i;
+  struct cpx v = p->coeff[p->degree];
+  struct cpx d = cpx_make(0.0, 0.0);
+  for (i = p->degree - 1; i >= 0; i--) {
+    d = cpx_add(cpx_mul(d, z), v);
+    v = cpx_add(cpx_mul(v, z), p->coeff[i]);
+  }
+  *val = v;
+  *deriv = d;
+}
+
+int newton(struct poly *p, struct cpx *z) {
+  int iter;
+  for (iter = 0; iter < 64; iter++) {
+    struct cpx v, d, step;
+    eval_poly(p, *z, &v, &d);
+    if (cpx_norm(v) < 1e-18)
+      return 1;
+    if (cpx_norm(d) == 0.0) {
+      z->re = z->re + 0.5;
+      z->im = z->im + 0.25;
+    } else {
+      step = cpx_div(v, d);
+      *z = cpx_sub(*z, step);
+    }
+  }
+  return cpx_norm(cpx_make(0.0, 0.0)) == 0.0;
+}
+
+/* divide p by (x - r), in place */
+void deflate(struct poly *p, struct cpx r) {
+  int i;
+  struct cpx carry = p->coeff[p->degree];
+  for (i = p->degree - 1; i >= 0; i--) {
+    struct cpx t = p->coeff[i];
+    p->coeff[i] = carry;
+    carry = cpx_add(cpx_mul(carry, r), t);
+  }
+  p->degree = p->degree - 1;
+}
+
+void find_all_roots(struct poly *p, struct root_list *out) {
+  out->count = 0;
+  while (p->degree > 0) {
+    struct cpx z = cpx_make(0.4, 0.9);
+    if (!newton(p, &z))
+      z = cpx_make(0.0, 0.0);
+    out->roots[out->count] = z;
+    out->count = out->count + 1;
+    deflate(p, z);
+  }
+}
+
+int main(void) {
+  int i;
+  work.degree = 6;
+  for (i = 0; i <= work.degree; i++)
+    work.coeff[i] = cpx_make((double)(i + 1), (double)(work.degree - i) * 0.5);
+  find_all_roots(&work, &found);
+  for (i = 0; i < found.count; i++)
+    printf("root %d: %f + %fi\n", i, found.roots[i].re, found.roots[i].im);
+  return 0;
+}
+|}

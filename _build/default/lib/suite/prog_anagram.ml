@@ -1,0 +1,151 @@
+(** Corpus: anagram finder with a chained hash table. Cast-free. *)
+
+let name = "anagram"
+
+let has_struct_cast = false
+
+let description = "anagram grouping via chained hash table of words"
+
+let source =
+  {|
+/* anagram: group dictionary words by sorted-letter signature. */
+
+void *malloc(unsigned long n);
+void free(void *p);
+int printf(char *fmt, ...);
+char *strcpy(char *dst, char *src);
+int strcmp(char *a, char *b);
+unsigned long strlen(char *s);
+char *fgets(char *buf, int n, void *stream);
+
+#define HASH_SIZE 211
+#define MAX_WORD 64
+
+struct word {
+  struct word *next_in_class;
+  char text[MAX_WORD];
+};
+
+struct anagram_class {
+  struct anagram_class *next;
+  char signature[MAX_WORD];
+  struct word *members;
+  int count;
+};
+
+struct table {
+  struct anagram_class *buckets[HASH_SIZE];
+  int nclasses;
+  int nwords;
+};
+
+struct table dict;
+
+unsigned int hash_string(char *s) {
+  unsigned int h = 0;
+  while (*s) {
+    h = h * 31 + (unsigned int)*s;
+    s++;
+  }
+  return h % HASH_SIZE;
+}
+
+void signature_of(char *word, char *sig) {
+  int counts[26];
+  int i, k;
+  char *p;
+  for (i = 0; i < 26; i++) counts[i] = 0;
+  for (p = word; *p; p++) {
+    int c = *p;
+    if (c >= 'a' && c <= 'z')
+      counts[c - 'a'] = counts[c - 'a'] + 1;
+  }
+  k = 0;
+  for (i = 0; i < 26; i++) {
+    int n;
+    for (n = 0; n < counts[i]; n++) {
+      sig[k] = (char)('a' + i);
+      k++;
+    }
+  }
+  sig[k] = 0;
+}
+
+struct anagram_class *find_class(char *sig) {
+  unsigned int h = hash_string(sig);
+  struct anagram_class *c;
+  for (c = dict.buckets[h]; c; c = c->next) {
+    if (strcmp(c->signature, sig) == 0)
+      return c;
+  }
+  return 0;
+}
+
+struct anagram_class *add_class(char *sig) {
+  unsigned int h = hash_string(sig);
+  struct anagram_class *c;
+  c = malloc(sizeof(struct anagram_class));
+  strcpy(c->signature, sig);
+  c->members = 0;
+  c->count = 0;
+  c->next = dict.buckets[h];
+  dict.buckets[h] = c;
+  dict.nclasses = dict.nclasses + 1;
+  return c;
+}
+
+void add_word(char *text) {
+  char sig[MAX_WORD];
+  struct anagram_class *cls;
+  struct word *w;
+  signature_of(text, sig);
+  cls = find_class(sig);
+  if (!cls)
+    cls = add_class(sig);
+  w = malloc(sizeof(struct word));
+  strcpy(w->text, text);
+  w->next_in_class = cls->members;
+  cls->members = w;
+  cls->count = cls->count + 1;
+  dict.nwords = dict.nwords + 1;
+}
+
+void print_classes(int min_size) {
+  int i;
+  struct anagram_class *c;
+  struct word *w;
+  for (i = 0; i < HASH_SIZE; i++) {
+    for (c = dict.buckets[i]; c; c = c->next) {
+      if (c->count >= min_size) {
+        printf("%s:", c->signature);
+        for (w = c->members; w; w = w->next_in_class)
+          printf(" %s", w->text);
+        printf("\n");
+      }
+    }
+  }
+}
+
+void chomp(char *line) {
+  unsigned long n = strlen(line);
+  if (n > 0 && line[n - 1] == '\n')
+    line[n - 1] = 0;
+}
+
+int main(void) {
+  char line[MAX_WORD];
+  int i;
+  for (i = 0; i < HASH_SIZE; i++)
+    dict.buckets[i] = 0;
+  dict.nclasses = 0;
+  dict.nwords = 0;
+  while (fgets(line, MAX_WORD, 0)) {
+    chomp(line);
+    if (line[0])
+      add_word(line);
+  }
+  printf("%d words in %d classes\n", dict.nwords, dict.nclasses);
+  print_classes(2);
+  return 0;
+}
+|}

@@ -1,0 +1,430 @@
+(** Corpus: arbitrary-expression calculator (after GNU "bc" — the paper's
+    worst case for Collapse-Always). AST nodes share a common header and
+    are allocated from a byte pool, so every node access goes through a
+    structure-pointer cast. *)
+
+let name = "bc"
+
+let has_struct_cast = true
+
+let description =
+  "expression calculator: tagged AST nodes carved from a byte pool"
+
+let source =
+  {|
+/* bc: tokenizer + recursive-descent parser + evaluator.
+   Node allocation returns char*, cast to the node type; every node is
+   later dispatched through its common header (the CIS idiom). */
+
+int printf(char *fmt, ...);
+int getchar(void);
+void exit(int code);
+
+#define POOL_BYTES 8192
+
+#define N_NUM 1
+#define N_VAR 2
+#define N_BINOP 3
+#define N_ASSIGN 4
+#define N_UNARY 5
+#define N_CALL 6
+
+/* common header shared by all node types */
+struct node_head {
+  int tag;
+  struct node_head *next_alloc;
+};
+
+struct num_node {
+  int tag;
+  struct node_head *next_alloc;
+  long value;
+};
+
+struct var_node {
+  int tag;
+  struct node_head *next_alloc;
+  int slot;
+};
+
+struct binop_node {
+  int tag;
+  struct node_head *next_alloc;
+  int op;
+  struct node_head *left;
+  struct node_head *right;
+};
+
+struct assign_node {
+  int tag;
+  struct node_head *next_alloc;
+  int slot;
+  struct node_head *value;
+};
+
+struct unary_node {
+  int tag;
+  struct node_head *next_alloc;
+  int op;
+  struct node_head *operand;
+};
+
+/* a call to a built-in function, e.g. abs(x) or max(a, b) */
+struct call_node {
+  int tag;
+  struct node_head *next_alloc;
+  long (*fn)(long a, long b);
+  int arity;
+  struct node_head *arg0;
+  struct node_head *arg1;
+};
+
+struct pool {
+  char bytes[POOL_BYTES];
+  unsigned long used;
+  struct node_head *all;
+};
+
+struct pool arena;
+long variables[26];
+
+char *pool_alloc(unsigned long n) {
+  char *p;
+  /* align to 8 */
+  n = (n + 7) & ~7UL;
+  if (arena.used + n > POOL_BYTES)
+    exit(1);
+  p = &arena.bytes[arena.used];
+  arena.used = arena.used + n;
+  return p;
+}
+
+struct node_head *new_node(int tag, unsigned long size) {
+  struct node_head *h = (struct node_head *)pool_alloc(size);
+  h->tag = tag;
+  h->next_alloc = arena.all;
+  arena.all = h;
+  return h;
+}
+
+struct node_head *mk_num(long v) {
+  struct num_node *n = (struct num_node *)new_node(N_NUM, sizeof(struct num_node));
+  n->value = v;
+  return (struct node_head *)n;
+}
+
+struct node_head *mk_var(int slot) {
+  struct var_node *n = (struct var_node *)new_node(N_VAR, sizeof(struct var_node));
+  n->slot = slot;
+  return (struct node_head *)n;
+}
+
+struct node_head *mk_binop(int op, struct node_head *l, struct node_head *r) {
+  struct binop_node *n =
+      (struct binop_node *)new_node(N_BINOP, sizeof(struct binop_node));
+  n->op = op;
+  n->left = l;
+  n->right = r;
+  return (struct node_head *)n;
+}
+
+struct node_head *mk_assign(int slot, struct node_head *v) {
+  struct assign_node *n =
+      (struct assign_node *)new_node(N_ASSIGN, sizeof(struct assign_node));
+  n->slot = slot;
+  n->value = v;
+  return (struct node_head *)n;
+}
+
+struct node_head *mk_unary(int op, struct node_head *e) {
+  struct unary_node *n =
+      (struct unary_node *)new_node(N_UNARY, sizeof(struct unary_node));
+  n->op = op;
+  n->operand = e;
+  return (struct node_head *)n;
+}
+
+struct node_head *mk_call(long (*fn)(long, long), int arity,
+                          struct node_head *a0, struct node_head *a1) {
+  struct call_node *n =
+      (struct call_node *)new_node(N_CALL, sizeof(struct call_node));
+  n->fn = fn;
+  n->arity = arity;
+  n->arg0 = a0;
+  n->arg1 = a1;
+  return (struct node_head *)n;
+}
+
+/* ---- built-in function table ---- */
+
+long fn_abs(long a, long b) { return a < 0 ? -a : a; }
+long fn_max(long a, long b) { return a > b ? a : b; }
+long fn_min(long a, long b) { return a < b ? a : b; }
+long fn_gcd(long a, long b) {
+  while (b != 0) {
+    long t = a % b;
+    a = b;
+    b = t;
+  }
+  return a < 0 ? -a : a;
+}
+
+struct builtin {
+  char *name;
+  long (*fn)(long a, long b);
+  int arity;
+};
+
+struct builtin builtins[] = {
+  { "abs", fn_abs, 1 },
+  { "max", fn_max, 2 },
+  { "min", fn_min, 2 },
+  { "gcd", fn_gcd, 2 },
+};
+
+struct builtin *find_builtin(char *name) {
+  int i;
+  for (i = 0; i < 4; i++) {
+    int j = 0;
+    char *a = builtins[i].name;
+    while (a[j] && a[j] == name[j])
+      j++;
+    if (a[j] == 0 && name[j] == 0)
+      return &builtins[i];
+  }
+  return 0;
+}
+
+/* ---- lexer ---- */
+
+#define NAME_MAX 16
+
+struct lexer {
+  int cur;
+  long num_val;
+  int var_slot;
+  char name[NAME_MAX];
+};
+
+struct lexer lx;
+
+#define T_EOF 0
+#define T_NUM 1
+#define T_VAR 2
+#define T_PLUS 3
+#define T_MINUS 4
+#define T_STAR 5
+#define T_SLASH 6
+#define T_LP 7
+#define T_RP 8
+#define T_EQ 9
+#define T_NL 10
+#define T_NAME 11
+#define T_PERCENT 12
+#define T_LT 13
+#define T_GT 14
+#define T_COMMA 15
+
+int raw = ' ';
+
+void advance_tok(void) {
+  while (raw == ' ' || raw == '\t')
+    raw = getchar();
+  if (raw < 0) { lx.cur = T_EOF; return; }
+  if (raw == '\n') { lx.cur = T_NL; raw = getchar(); return; }
+  if (raw >= '0' && raw <= '9') {
+    long v = 0;
+    while (raw >= '0' && raw <= '9') {
+      v = v * 10 + (raw - '0');
+      raw = getchar();
+    }
+    lx.num_val = v;
+    lx.cur = T_NUM;
+    return;
+  }
+  if (raw >= 'a' && raw <= 'z') {
+    int n = 0;
+    while (raw >= 'a' && raw <= 'z' && n < NAME_MAX - 1) {
+      lx.name[n] = (char)raw;
+      n = n + 1;
+      raw = getchar();
+    }
+    lx.name[n] = 0;
+    if (n == 1) {
+      lx.var_slot = lx.name[0] - 'a';
+      lx.cur = T_VAR;
+    } else {
+      lx.cur = T_NAME;
+    }
+    return;
+  }
+  if (raw == '+') { lx.cur = T_PLUS; raw = getchar(); return; }
+  if (raw == '-') { lx.cur = T_MINUS; raw = getchar(); return; }
+  if (raw == '*') { lx.cur = T_STAR; raw = getchar(); return; }
+  if (raw == '/') { lx.cur = T_SLASH; raw = getchar(); return; }
+  if (raw == '%') { lx.cur = T_PERCENT; raw = getchar(); return; }
+  if (raw == '<') { lx.cur = T_LT; raw = getchar(); return; }
+  if (raw == '>') { lx.cur = T_GT; raw = getchar(); return; }
+  if (raw == ',') { lx.cur = T_COMMA; raw = getchar(); return; }
+  if (raw == '(') { lx.cur = T_LP; raw = getchar(); return; }
+  if (raw == ')') { lx.cur = T_RP; raw = getchar(); return; }
+  if (raw == '=') { lx.cur = T_EQ; raw = getchar(); return; }
+  raw = getchar();
+  advance_tok();
+}
+
+/* ---- parser ---- */
+
+struct node_head *parse_expr(void);
+
+struct node_head *parse_primary(void) {
+  if (lx.cur == T_NUM) {
+    long v = lx.num_val;
+    advance_tok();
+    return mk_num(v);
+  }
+  if (lx.cur == T_MINUS) {
+    advance_tok();
+    return mk_unary(T_MINUS, parse_primary());
+  }
+  if (lx.cur == T_NAME) {
+    struct builtin *b = find_builtin(lx.name);
+    advance_tok();
+    if (b && lx.cur == T_LP) {
+      struct node_head *a0 = 0;
+      struct node_head *a1 = 0;
+      advance_tok();
+      if (lx.cur != T_RP) {
+        a0 = parse_expr();
+        if (lx.cur == T_COMMA) {
+          advance_tok();
+          a1 = parse_expr();
+        }
+      }
+      if (lx.cur == T_RP)
+        advance_tok();
+      return mk_call(b->fn, b->arity, a0, a1);
+    }
+    return mk_num(0);
+  }
+  if (lx.cur == T_VAR) {
+    int slot = lx.var_slot;
+    advance_tok();
+    if (lx.cur == T_EQ) {
+      advance_tok();
+      return mk_assign(slot, parse_expr());
+    }
+    return mk_var(slot);
+  }
+  if (lx.cur == T_LP) {
+    struct node_head *e;
+    advance_tok();
+    e = parse_expr();
+    if (lx.cur == T_RP)
+      advance_tok();
+    return e;
+  }
+  return mk_num(0);
+}
+
+struct node_head *parse_term(void) {
+  struct node_head *l = parse_primary();
+  while (lx.cur == T_STAR || lx.cur == T_SLASH || lx.cur == T_PERCENT) {
+    int op = lx.cur;
+    advance_tok();
+    l = mk_binop(op, l, parse_primary());
+  }
+  return l;
+}
+
+struct node_head *parse_additive(void) {
+  struct node_head *l = parse_term();
+  while (lx.cur == T_PLUS || lx.cur == T_MINUS) {
+    int op = lx.cur;
+    advance_tok();
+    l = mk_binop(op, l, parse_term());
+  }
+  return l;
+}
+
+struct node_head *parse_expr(void) {
+  struct node_head *l = parse_additive();
+  while (lx.cur == T_LT || lx.cur == T_GT) {
+    int op = lx.cur;
+    advance_tok();
+    l = mk_binop(op, l, parse_additive());
+  }
+  return l;
+}
+
+/* ---- evaluator: dispatch on the shared header tag ---- */
+
+long eval(struct node_head *n) {
+  if (!n)
+    return 0;
+  if (n->tag == N_NUM) {
+    struct num_node *num = (struct num_node *)n;
+    return num->value;
+  }
+  if (n->tag == N_VAR) {
+    struct var_node *v = (struct var_node *)n;
+    return variables[v->slot];
+  }
+  if (n->tag == N_BINOP) {
+    struct binop_node *b = (struct binop_node *)n;
+    long l = eval(b->left);
+    long r = eval(b->right);
+    if (b->op == T_PLUS) return l + r;
+    if (b->op == T_MINUS) return l - r;
+    if (b->op == T_STAR) return l * r;
+    if (b->op == T_LT) return l < r;
+    if (b->op == T_GT) return l > r;
+    if (b->op == T_PERCENT) return r != 0 ? l % r : 0;
+    if (r != 0) return l / r;
+    return 0;
+  }
+  if (n->tag == N_UNARY) {
+    struct unary_node *u = (struct unary_node *)n;
+    long v = eval(u->operand);
+    return u->op == T_MINUS ? -v : v;
+  }
+  if (n->tag == N_CALL) {
+    struct call_node *c = (struct call_node *)n;
+    long a0 = eval(c->arg0);
+    long a1 = c->arity > 1 ? eval(c->arg1) : 0;
+    return (*c->fn)(a0, a1);
+  }
+  if (n->tag == N_ASSIGN) {
+    struct assign_node *a = (struct assign_node *)n;
+    long v = eval(a->value);
+    variables[a->slot] = v;
+    return v;
+  }
+  return 0;
+}
+
+int count_nodes(void) {
+  int n = 0;
+  struct node_head *h;
+  for (h = arena.all; h; h = h->next_alloc)
+    n = n + 1;
+  return n;
+}
+
+int main(void) {
+  arena.used = 0;
+  arena.all = 0;
+  advance_tok();
+  while (lx.cur != T_EOF) {
+    if (lx.cur == T_NL) {
+      advance_tok();
+      continue;
+    }
+    printf("%ld\n", eval(parse_expr()));
+    while (lx.cur != T_NL && lx.cur != T_EOF)
+      advance_tok();
+  }
+  printf("%d nodes, %lu pool bytes\n", count_nodes(), arena.used);
+  return 0;
+}
+|}

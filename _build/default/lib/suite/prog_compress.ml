@@ -1,0 +1,127 @@
+(** Corpus: LZW-style compressor (after SPEC "compress"). Cast-free:
+    tables of structs accessed at their declared types. *)
+
+let name = "compress"
+
+let has_struct_cast = false
+
+let description = "LZW dictionary compressor over a byte stream"
+
+let source =
+  {|
+/* compress: LZW with a chained-hash code table. */
+
+int getchar(void);
+int putchar(int c);
+int printf(char *fmt, ...);
+
+#define TABLE_SIZE 4096
+#define HASH_SIZE 5003
+#define FIRST_CODE 257
+
+struct entry {
+  int prefix;      /* code of the prefix string */
+  int suffix;      /* last byte */
+  int code;        /* this entry's code */
+  struct entry *chain;
+};
+
+struct codec {
+  struct entry table[TABLE_SIZE];
+  struct entry *hash[HASH_SIZE];
+  int next_code;
+  long in_bytes;
+  long out_codes;
+};
+
+struct codec cz;
+
+int hash_pair(int prefix, int suffix) {
+  long h = (long)prefix * 31 + suffix;
+  if (h < 0) h = -h;
+  return (int)(h % HASH_SIZE);
+}
+
+void table_init(void) {
+  int i;
+  for (i = 0; i < HASH_SIZE; i++)
+    cz.hash[i] = 0;
+  cz.next_code = FIRST_CODE;
+  cz.in_bytes = 0;
+  cz.out_codes = 0;
+}
+
+struct entry *table_find(int prefix, int suffix) {
+  int h = hash_pair(prefix, suffix);
+  struct entry *e;
+  for (e = cz.hash[h]; e; e = e->chain) {
+    if (e->prefix == prefix && e->suffix == suffix)
+      return e;
+  }
+  return 0;
+}
+
+struct entry *table_insert(int prefix, int suffix) {
+  int h;
+  struct entry *e;
+  if (cz.next_code >= TABLE_SIZE)
+    return 0;
+  e = &cz.table[cz.next_code - FIRST_CODE];
+  e->prefix = prefix;
+  e->suffix = suffix;
+  e->code = cz.next_code;
+  h = hash_pair(prefix, suffix);
+  e->chain = cz.hash[h];
+  cz.hash[h] = e;
+  cz.next_code = cz.next_code + 1;
+  return e;
+}
+
+void emit_code(int code) {
+  /* 12-bit output, byte-split */
+  putchar(code & 255);
+  putchar((code >> 8) & 15);
+  cz.out_codes = cz.out_codes + 1;
+}
+
+void compress_stream(void) {
+  int w;           /* current prefix code */
+  int c;
+  c = getchar();
+  if (c < 0)
+    return;
+  w = c;
+  cz.in_bytes = 1;
+  c = getchar();
+  while (c >= 0) {
+    struct entry *e;
+    cz.in_bytes = cz.in_bytes + 1;
+    e = table_find(w, c);
+    if (e) {
+      w = e->code;
+    } else {
+      emit_code(w);
+      table_insert(w, c);
+      w = c;
+    }
+    c = getchar();
+  }
+  emit_code(w);
+}
+
+void report(void) {
+  long in = cz.in_bytes;
+  long out = cz.out_codes * 3 / 2;
+  printf("in %ld bytes, out ~%ld bytes, dictionary %d entries\n",
+         in, out, cz.next_code - FIRST_CODE);
+  if (in > 0)
+    printf("ratio %ld%%\n", out * 100 / in);
+}
+
+int main(void) {
+  table_init();
+  compress_stream();
+  report();
+  return 0;
+}
+|}

@@ -1,0 +1,245 @@
+(** Corpus: two-level logic minimizer kernel (after "espresso"). Cube
+    bit-sets are structs reinterpreted as flat unsigned-int arrays for the
+    bulk bit operations — the struct-as-word-array idiom. *)
+
+let name = "espresso"
+
+let has_struct_cast = true
+
+let description = "logic minimizer: cube bitsets viewed as word arrays"
+
+let source =
+  {|
+/* espresso: containment and consensus over cubes. Each cube is a struct
+   with named parts, but the bulk bit loops view it as unsigned[] via a
+   cast. */
+
+void *malloc(unsigned long n);
+int printf(char *fmt, ...);
+
+#define NWORDS 4
+#define MAX_CUBES 64
+
+struct cube {
+  unsigned int part_in;            /* word 0: input literals */
+  unsigned int part_out;           /* word 1: output part */
+  unsigned int dontcare;           /* word 2 */
+  unsigned int flags;              /* word 3 */
+  int active;
+  int covered_by;
+};
+
+struct cover {
+  struct cube cubes[MAX_CUBES];
+  int n_cubes;
+  long word_ops;
+};
+
+struct cover F;
+
+/* view the four named words as an array for the bulk loops */
+unsigned int *cube_words(struct cube *c) {
+  return (unsigned int *)c;
+}
+
+int cube_contains(struct cube *a, struct cube *b) {
+  /* a contains b iff b's bits are a subset of a's, wordwise */
+  unsigned int *wa = cube_words(a);
+  unsigned int *wb = cube_words(b);
+  int i;
+  for (i = 0; i < NWORDS; i++) {
+    F.word_ops = F.word_ops + 1;
+    if ((wb[i] & ~wa[i]) != 0)
+      return 0;
+  }
+  return 1;
+}
+
+void cube_or(struct cube *dst, struct cube *a, struct cube *b) {
+  unsigned int *wd = cube_words(dst);
+  unsigned int *wa = cube_words(a);
+  unsigned int *wb = cube_words(b);
+  int i;
+  for (i = 0; i < NWORDS; i++) {
+    F.word_ops = F.word_ops + 1;
+    wd[i] = wa[i] | wb[i];
+  }
+}
+
+int cube_distance(struct cube *a, struct cube *b) {
+  unsigned int *wa = cube_words(a);
+  unsigned int *wb = cube_words(b);
+  int i, d = 0;
+  for (i = 0; i < NWORDS; i++) {
+    unsigned int x = wa[i] ^ wb[i];
+    F.word_ops = F.word_ops + 1;
+    while (x) {
+      d = d + (int)(x & 1U);
+      x = x >> 1;
+    }
+  }
+  return d;
+}
+
+struct cube *add_cube(unsigned int in, unsigned int out, unsigned int dc) {
+  struct cube *c;
+  if (F.n_cubes >= MAX_CUBES)
+    return 0;
+  c = &F.cubes[F.n_cubes];
+  c->part_in = in;
+  c->part_out = out;
+  c->dontcare = dc;
+  c->flags = 0;
+  c->active = 1;
+  c->covered_by = -1;
+  F.n_cubes = F.n_cubes + 1;
+  return c;
+}
+
+/* single-cube containment removal */
+int remove_contained(void) {
+  int i, j, removed = 0;
+  for (i = 0; i < F.n_cubes; i++) {
+    struct cube *a = &F.cubes[i];
+    if (!a->active)
+      continue;
+    for (j = 0; j < F.n_cubes; j++) {
+      struct cube *b = &F.cubes[j];
+      if (i == j || !b->active)
+        continue;
+      if (cube_contains(a, b)) {
+        b->active = 0;
+        b->covered_by = i;
+        removed = removed + 1;
+      }
+    }
+  }
+  return removed;
+}
+
+/* merge distance-1 pairs by OR-ing them */
+int merge_close_pairs(void) {
+  int i, j, merged = 0;
+  for (i = 0; i < F.n_cubes; i++) {
+    struct cube *a = &F.cubes[i];
+    if (!a->active)
+      continue;
+    for (j = i + 1; j < F.n_cubes; j++) {
+      struct cube *b = &F.cubes[j];
+      if (!b->active)
+        continue;
+      if (cube_distance(a, b) == 1) {
+        cube_or(a, a, b);
+        b->active = 0;
+        b->covered_by = i;
+        merged = merged + 1;
+      }
+    }
+  }
+  return merged;
+}
+
+int count_active(void) {
+  int i, n = 0;
+  for (i = 0; i < F.n_cubes; i++)
+    if (F.cubes[i].active)
+      n = n + 1;
+  return n;
+}
+
+/* ---- expansion against an off-set ---- */
+
+struct cover OFF;
+
+int intersects(struct cube *a, struct cube *b) {
+  unsigned int *wa = cube_words(a);
+  unsigned int *wb = cube_words(b);
+  int i;
+  for (i = 0; i < NWORDS; i++) {
+    F.word_ops = F.word_ops + 1;
+    if ((wa[i] & wb[i]) != 0)
+      return 1;
+  }
+  return 0;
+}
+
+/* try to raise each bit of a cube unless that would hit the off-set
+   (classic espresso EXPAND, bit-at-a-time) */
+int expand_cube(struct cube *c) {
+  int word, bit, raised = 0;
+  unsigned int *w = cube_words(c);
+  for (word = 0; word < NWORDS; word++) {
+    for (bit = 0; bit < 8; bit++) {
+      unsigned int mask = 1U << bit;
+      struct cube trial;
+      unsigned int *wt;
+      int j, blocked;
+      if (w[word] & mask)
+        continue;
+      trial = *c;
+      wt = cube_words(&trial);
+      wt[word] = wt[word] | mask;
+      blocked = 0;
+      for (j = 0; j < OFF.n_cubes; j++) {
+        if (OFF.cubes[j].active && intersects(&trial, &OFF.cubes[j])) {
+          blocked = 1;
+          break;
+        }
+      }
+      if (!blocked) {
+        *c = trial;
+        raised = raised + 1;
+      }
+    }
+  }
+  return raised;
+}
+
+int expand_all(void) {
+  int i, total = 0;
+  for (i = 0; i < F.n_cubes; i++) {
+    if (F.cubes[i].active)
+      total = total + expand_cube(&F.cubes[i]);
+  }
+  return total;
+}
+
+void build_off_set(unsigned int seed) {
+  int i;
+  OFF.n_cubes = 0;
+  OFF.word_ops = 0;
+  for (i = 0; i < 6; i++) {
+    struct cube *c;
+    seed = seed * 22695477U + 1U;
+    if (OFF.n_cubes >= MAX_CUBES)
+      return;
+    c = &OFF.cubes[OFF.n_cubes];
+    c->part_in = seed & 0x3U;
+    c->part_out = (seed >> 7) & 0x1U;
+    c->dontcare = 0;
+    c->flags = 0;
+    c->active = 1;
+    c->covered_by = -1;
+    OFF.n_cubes = OFF.n_cubes + 1;
+  }
+}
+
+int main(void) {
+  int i;
+  unsigned int seed = 0x9e3779b9U;
+  F.n_cubes = 0;
+  F.word_ops = 0;
+  for (i = 0; i < 40; i++) {
+    seed = seed * 1664525U + 1013904223U;
+    add_cube(seed & 0xffU, (seed >> 8) & 0xfU, (seed >> 12) & 0x3U);
+  }
+  build_off_set(0x1234567U);
+  printf("start: %d cubes, off-set %d cubes\n", count_active(), OFF.n_cubes);
+  printf("contained removed: %d\n", remove_contained());
+  printf("merged: %d\n", merge_close_pairs());
+  printf("bits raised by expand: %d\n", expand_all());
+  printf("contained removed: %d\n", remove_contained());
+  printf("final: %d cubes after %ld word ops\n", count_active(), F.word_ops);
+  return 0;
+}
+|}

@@ -1,0 +1,165 @@
+(** Corpus: scanner-table generator and driver (after "flex"). The DFA is
+    serialized into a flat int array and read back through struct views at
+    computed positions — the serialization-cast idiom. *)
+
+let name = "flex"
+
+let has_struct_cast = true
+
+let description =
+  "scanner generator: DFA serialized to a flat buffer, read via struct views"
+
+let source =
+  {|
+/* flex: build a small DFA over character classes, serialize the
+   transition rows into a byte image, then run the scanner off the image
+   through cast-based row views. */
+
+void *malloc(unsigned long n);
+void *memcpy(void *dst, void *src, unsigned long n);
+int printf(char *fmt, ...);
+int getchar(void);
+
+#define N_CLASSES 4
+#define MAX_STATES 16
+#define IMAGE_BYTES 4096
+
+/* character classes: letter, digit, space, other */
+int char_class(int c) {
+  if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')) return 0;
+  if (c >= '0' && c <= '9') return 1;
+  if (c == ' ' || c == '\t' || c == '\n') return 2;
+  return 3;
+}
+
+struct dfa_row {
+  int next[N_CLASSES];
+  int accept;        /* token kind accepted in this state, or 0 */
+};
+
+struct dfa {
+  struct dfa_row rows[MAX_STATES];
+  int n_states;
+  int start;
+};
+
+struct image_header {
+  int magic;
+  int n_states;
+  int start;
+  int row_bytes;
+};
+
+struct dfa machine;
+char image[IMAGE_BYTES];
+
+#define TOK_IDENT 1
+#define TOK_NUMBER 2
+#define TOK_SPACE 3
+#define TOK_OTHER 4
+
+int add_state(struct dfa *d, int accept) {
+  struct dfa_row *r = &d->rows[d->n_states];
+  int i;
+  for (i = 0; i < N_CLASSES; i++)
+    r->next[i] = -1;
+  r->accept = accept;
+  d->n_states = d->n_states + 1;
+  return d->n_states - 1;
+}
+
+void build_machine(void) {
+  int start, in_ident, in_num, in_space, in_other;
+  machine.n_states = 0;
+  start = add_state(&machine, 0);
+  in_ident = add_state(&machine, TOK_IDENT);
+  in_num = add_state(&machine, TOK_NUMBER);
+  in_space = add_state(&machine, TOK_SPACE);
+  in_other = add_state(&machine, TOK_OTHER);
+  machine.start = start;
+  machine.rows[start].next[0] = in_ident;
+  machine.rows[start].next[1] = in_num;
+  machine.rows[start].next[2] = in_space;
+  machine.rows[start].next[3] = in_other;
+  machine.rows[in_ident].next[0] = in_ident;
+  machine.rows[in_ident].next[1] = in_ident;
+  machine.rows[in_num].next[1] = in_num;
+  machine.rows[in_space].next[2] = in_space;
+}
+
+/* serialize: header followed by the rows, all into a char image */
+unsigned long serialize(struct dfa *d, char *buf) {
+  struct image_header *h = (struct image_header *)buf;
+  char *p;
+  int i;
+  h->magic = 0x464c4558;
+  h->n_states = d->n_states;
+  h->start = d->start;
+  h->row_bytes = (int)sizeof(struct dfa_row);
+  p = buf + sizeof(struct image_header);
+  for (i = 0; i < d->n_states; i++) {
+    memcpy(p, &d->rows[i], sizeof(struct dfa_row));
+    p = p + sizeof(struct dfa_row);
+  }
+  return (unsigned long)(p - buf);
+}
+
+/* the scanner reads rows straight out of the image */
+struct scanner {
+  char *image;
+  struct image_header *header;
+  int state;
+  long tokens[5];
+};
+
+struct scanner sc;
+
+void scanner_attach(char *buf) {
+  sc.image = buf;
+  sc.header = (struct image_header *)buf;
+  sc.state = sc.header->start;
+}
+
+struct dfa_row *row_at(int state) {
+  char *base = sc.image + sizeof(struct image_header);
+  return (struct dfa_row *)(base + state * sc.header->row_bytes);
+}
+
+void note_token(int kind) {
+  if (kind >= 1 && kind <= 4)
+    sc.tokens[kind] = sc.tokens[kind] + 1;
+}
+
+void scan_stream(void) {
+  int c = getchar();
+  sc.state = sc.header->start;
+  while (c >= 0) {
+    struct dfa_row *r = row_at(sc.state);
+    int cls = char_class(c);
+    int nxt = r->next[cls];
+    if (nxt < 0) {
+      note_token(r->accept);
+      sc.state = sc.header->start;
+      r = row_at(sc.state);
+      nxt = r->next[cls];
+      if (nxt < 0)
+        nxt = sc.header->start;
+    }
+    sc.state = nxt;
+    c = getchar();
+  }
+  note_token(row_at(sc.state)->accept);
+}
+
+int main(void) {
+  unsigned long bytes;
+  build_machine();
+  bytes = serialize(&machine, image);
+  scanner_attach(image);
+  scan_stream();
+  printf("image %lu bytes; idents %ld numbers %ld spaces %ld other %ld\n",
+         bytes, sc.tokens[TOK_IDENT], sc.tokens[TOK_NUMBER],
+         sc.tokens[TOK_SPACE], sc.tokens[TOK_OTHER]);
+  return 0;
+}
+|}

@@ -1,0 +1,143 @@
+(** Corpus: minimum spanning forest with union-find (after the Austin
+    benchmark "ft"). Cast-free. *)
+
+let name = "ft"
+
+let has_struct_cast = false
+
+let description = "Kruskal minimum spanning forest with union-find"
+
+let source =
+  {|
+/* ft: Kruskal's MST over an edge list, union-find with path compression. */
+
+void *malloc(unsigned long n);
+int printf(char *fmt, ...);
+
+#define NV 64
+#define NE 256
+
+struct vertex {
+  int label;
+  struct vertex *parent;
+  int rank;
+};
+
+struct edge_rec {
+  int from;
+  int to;
+  int weight;
+  int in_tree;
+};
+
+struct forest {
+  struct vertex verts[NV];
+  struct edge_rec edges[NE];
+  int n_edges;
+  int tree_weight;
+};
+
+struct forest F;
+
+void init_forest(void) {
+  int i;
+  for (i = 0; i < NV; i++) {
+    struct vertex *v = &F.verts[i];
+    v->label = i;
+    v->parent = v;
+    v->rank = 0;
+  }
+  F.n_edges = 0;
+  F.tree_weight = 0;
+}
+
+struct vertex *find_root(struct vertex *v) {
+  struct vertex *root = v;
+  while (root->parent != root)
+    root = root->parent;
+  /* path compression */
+  while (v->parent != root) {
+    struct vertex *up = v->parent;
+    v->parent = root;
+    v = up;
+  }
+  return root;
+}
+
+int union_sets(struct vertex *a, struct vertex *b) {
+  struct vertex *ra = find_root(a);
+  struct vertex *rb = find_root(b);
+  if (ra == rb)
+    return 0;
+  if (ra->rank < rb->rank) {
+    struct vertex *t = ra;
+    ra = rb;
+    rb = t;
+  }
+  rb->parent = ra;
+  if (ra->rank == rb->rank)
+    ra->rank = ra->rank + 1;
+  return 1;
+}
+
+void add_edge(int a, int b, int w) {
+  struct edge_rec *e;
+  if (F.n_edges >= NE)
+    return;
+  e = &F.edges[F.n_edges];
+  e->from = a;
+  e->to = b;
+  e->weight = w;
+  e->in_tree = 0;
+  F.n_edges = F.n_edges + 1;
+}
+
+void sort_edges(void) {
+  /* insertion sort by weight */
+  int i, j;
+  for (i = 1; i < F.n_edges; i++) {
+    struct edge_rec key = F.edges[i];
+    j = i - 1;
+    while (j >= 0 && F.edges[j].weight > key.weight) {
+      F.edges[j + 1] = F.edges[j];
+      j = j - 1;
+    }
+    F.edges[j + 1] = key;
+  }
+}
+
+void kruskal(void) {
+  int i;
+  sort_edges();
+  for (i = 0; i < F.n_edges; i++) {
+    struct edge_rec *e = &F.edges[i];
+    if (union_sets(&F.verts[e->from], &F.verts[e->to])) {
+      e->in_tree = 1;
+      F.tree_weight = F.tree_weight + e->weight;
+    }
+  }
+}
+
+int count_components(void) {
+  int i, n = 0;
+  for (i = 0; i < NV; i++) {
+    struct vertex *v = &F.verts[i];
+    if (find_root(v) == v)
+      n = n + 1;
+  }
+  return n;
+}
+
+int main(void) {
+  int i;
+  init_forest();
+  for (i = 0; i + 1 < NV; i++)
+    add_edge(i, i + 1, (i * 13) % 17);
+  for (i = 0; i + 5 < NV; i = i + 2)
+    add_edge(i, i + 5, (i * 11) % 23);
+  kruskal();
+  printf("tree weight %d, components %d\n", F.tree_weight,
+         count_components());
+  return 0;
+}
+|}

@@ -1,0 +1,275 @@
+(** Corpus: Huffman coder (after "gzip"). Tree nodes and leaves are
+    separate types allocated from a shared node pool; the heap holds
+    generic node pointers that are downcast on use. *)
+
+let name = "gzip"
+
+let has_struct_cast = true
+
+let description = "Huffman coder: internal/leaf nodes behind generic pointers"
+
+let source =
+  {|
+/* gzip: frequency count, Huffman tree build via a min-heap of generic
+   node pointers, code-length assignment. Internal nodes and leaves are
+   distinct structs sharing the initial (weight, is_leaf) sequence. */
+
+void *malloc(unsigned long n);
+int printf(char *fmt, ...);
+int getchar(void);
+
+#define N_SYMS 256
+#define MAX_NODES 512
+
+struct huff_base {
+  long weight;
+  int is_leaf;
+};
+
+struct huff_leaf {
+  long weight;
+  int is_leaf;
+  int symbol;
+  int code_len;
+};
+
+struct huff_internal {
+  long weight;
+  int is_leaf;
+  struct huff_base *left;
+  struct huff_base *right;
+};
+
+struct coder {
+  long freq[N_SYMS];
+  struct huff_leaf leaves[N_SYMS];
+  struct huff_internal internals[N_SYMS];
+  int n_internals;
+  struct huff_base *heap[MAX_NODES];
+  int heap_size;
+  long total_bits;
+};
+
+struct coder cz;
+
+/* ---- min-heap of generic node pointers ---- */
+
+void heap_push(struct huff_base *n) {
+  int i = cz.heap_size;
+  cz.heap[i] = n;
+  cz.heap_size = cz.heap_size + 1;
+  while (i > 0) {
+    int parent = (i - 1) / 2;
+    if (cz.heap[parent]->weight <= cz.heap[i]->weight)
+      break;
+    {
+      struct huff_base *t = cz.heap[parent];
+      cz.heap[parent] = cz.heap[i];
+      cz.heap[i] = t;
+    }
+    i = parent;
+  }
+}
+
+struct huff_base *heap_pop(void) {
+  struct huff_base *top;
+  int i;
+  if (cz.heap_size == 0)
+    return 0;
+  top = cz.heap[0];
+  cz.heap_size = cz.heap_size - 1;
+  cz.heap[0] = cz.heap[cz.heap_size];
+  i = 0;
+  for (;;) {
+    int l = 2 * i + 1;
+    int r = 2 * i + 2;
+    int smallest = i;
+    if (l < cz.heap_size && cz.heap[l]->weight < cz.heap[smallest]->weight)
+      smallest = l;
+    if (r < cz.heap_size && cz.heap[r]->weight < cz.heap[smallest]->weight)
+      smallest = r;
+    if (smallest == i)
+      break;
+    {
+      struct huff_base *t = cz.heap[i];
+      cz.heap[i] = cz.heap[smallest];
+      cz.heap[smallest] = t;
+    }
+    i = smallest;
+  }
+  return top;
+}
+
+/* ---- build ---- */
+
+void count_frequencies(void) {
+  int c = getchar();
+  while (c >= 0) {
+    cz.freq[c & 255] = cz.freq[c & 255] + 1;
+    c = getchar();
+  }
+  /* guarantee at least two symbols so the tree is non-trivial */
+  cz.freq['a'] = cz.freq['a'] + 3;
+  cz.freq['b'] = cz.freq['b'] + 1;
+}
+
+struct huff_base *build_tree(void) {
+  int s;
+  cz.heap_size = 0;
+  cz.n_internals = 0;
+  for (s = 0; s < N_SYMS; s++) {
+    if (cz.freq[s] > 0) {
+      struct huff_leaf *leaf = &cz.leaves[s];
+      leaf->weight = cz.freq[s];
+      leaf->is_leaf = 1;
+      leaf->symbol = s;
+      leaf->code_len = 0;
+      heap_push((struct huff_base *)leaf);
+    }
+  }
+  while (cz.heap_size > 1) {
+    struct huff_base *a = heap_pop();
+    struct huff_base *b = heap_pop();
+    struct huff_internal *n = &cz.internals[cz.n_internals];
+    cz.n_internals = cz.n_internals + 1;
+    n->weight = a->weight + b->weight;
+    n->is_leaf = 0;
+    n->left = a;
+    n->right = b;
+    heap_push((struct huff_base *)n);
+  }
+  return heap_pop();
+}
+
+void assign_lengths(struct huff_base *n, int depth) {
+  if (!n)
+    return;
+  if (n->is_leaf) {
+    struct huff_leaf *leaf = (struct huff_leaf *)n;
+    leaf->code_len = depth > 0 ? depth : 1;
+    cz.total_bits = cz.total_bits + leaf->weight * leaf->code_len;
+  } else {
+    struct huff_internal *in = (struct huff_internal *)n;
+    assign_lengths(in->left, depth + 1);
+    assign_lengths(in->right, depth + 1);
+  }
+}
+
+/* ---- canonical codes and a bit-stream writer ---- */
+
+struct bit_writer {
+  unsigned char out[1024];
+  int byte_pos;
+  int bit_pos;
+  long bits_written;
+};
+
+struct bit_writer bw;
+
+void bw_init(void) {
+  bw.byte_pos = 0;
+  bw.bit_pos = 0;
+  bw.bits_written = 0;
+}
+
+void bw_put(int bit) {
+  if (bw.byte_pos >= 1024)
+    return;
+  if (bit)
+    bw.out[bw.byte_pos] = (unsigned char)(bw.out[bw.byte_pos] | (1 << bw.bit_pos));
+  bw.bit_pos = bw.bit_pos + 1;
+  if (bw.bit_pos == 8) {
+    bw.bit_pos = 0;
+    bw.byte_pos = bw.byte_pos + 1;
+  }
+  bw.bits_written = bw.bits_written + 1;
+}
+
+void bw_put_code(unsigned int code, int len) {
+  int i;
+  for (i = len - 1; i >= 0; i--)
+    bw_put((int)((code >> i) & 1U));
+}
+
+/* canonical code assignment: codes in symbol order within each length */
+struct canon_table {
+  unsigned int codes[N_SYMS];
+  int lens[N_SYMS];
+  int count_per_len[32];
+};
+
+struct canon_table canon;
+
+void assign_canonical(void) {
+  unsigned int next_code[32];
+  unsigned int code = 0;
+  int len, s;
+  for (len = 0; len < 32; len++)
+    canon.count_per_len[len] = 0;
+  for (s = 0; s < N_SYMS; s++) {
+    int l = cz.freq[s] > 0 ? cz.leaves[s].code_len : 0;
+    canon.lens[s] = l;
+    if (l > 0 && l < 32)
+      canon.count_per_len[l] = canon.count_per_len[l] + 1;
+  }
+  for (len = 1; len < 32; len++) {
+    code = (code + (unsigned int)canon.count_per_len[len - 1]) << 1;
+    next_code[len] = code;
+  }
+  for (s = 0; s < N_SYMS; s++) {
+    int l = canon.lens[s];
+    if (l > 0 && l < 32) {
+      canon.codes[s] = next_code[l];
+      next_code[l] = next_code[l] + 1;
+    }
+  }
+}
+
+void emit_sample(void) {
+  /* encode a short sample drawn from the frequent symbols */
+  int s;
+  bw_init();
+  for (s = 0; s < N_SYMS; s++) {
+    if (cz.freq[s] > 0) {
+      long k;
+      for (k = 0; k < cz.freq[s] && k < 3; k++)
+        bw_put_code(canon.codes[s], canon.lens[s]);
+    }
+  }
+}
+
+void report(void) {
+  int s, used = 0;
+  long total = 0;
+  for (s = 0; s < N_SYMS; s++) {
+    if (cz.freq[s] > 0) {
+      used = used + 1;
+      total = total + cz.freq[s];
+    }
+  }
+  printf("%d symbols, %ld bytes in, %ld bits out (%ld bytes)\n",
+         used, total, cz.total_bits, (cz.total_bits + 7) / 8);
+  for (s = 'a'; s <= 'f'; s++) {
+    if (cz.freq[s] > 0)
+      printf("  '%c': freq %ld len %d\n", s, cz.freq[s],
+             cz.leaves[s].code_len);
+  }
+}
+
+int main(void) {
+  struct huff_base *root;
+  int s;
+  for (s = 0; s < N_SYMS; s++)
+    cz.freq[s] = 0;
+  cz.total_bits = 0;
+  count_frequencies();
+  root = build_tree();
+  assign_lengths(root, 0);
+  assign_canonical();
+  emit_sample();
+  report();
+  printf("sample: %ld bits into %d bytes\n", bw.bits_written,
+         bw.byte_pos + (bw.bit_pos > 0 ? 1 : 0));
+  return 0;
+}
+|}

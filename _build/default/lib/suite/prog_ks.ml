@@ -1,0 +1,174 @@
+(** Corpus: Kernighan–Lin style graph partitioner (after the Austin
+    benchmark "ks"). Cast-free struct and pointer manipulation. *)
+
+let name = "ks"
+
+let has_struct_cast = false
+
+let description = "Kernighan-Lin graph partitioning with adjacency lists"
+
+let source =
+  {|
+/* ks: two-way graph partitioning by gain-driven swaps. */
+
+void *malloc(unsigned long n);
+void free(void *p);
+int printf(char *fmt, ...);
+
+#define MAX_NODES 128
+
+struct edge {
+  struct edge *next;
+  struct node *to;
+  int weight;
+};
+
+struct node {
+  int id;
+  int partition;
+  int gain;
+  int locked;
+  struct edge *adj;
+  struct node *next_free;
+};
+
+struct graph {
+  struct node nodes[MAX_NODES];
+  int n_nodes;
+  int n_edges;
+};
+
+struct graph g;
+struct node *free_list;
+
+void graph_init(int n) {
+  int i;
+  g.n_nodes = n;
+  g.n_edges = 0;
+  for (i = 0; i < n; i++) {
+    struct node *nd = &g.nodes[i];
+    nd->id = i;
+    nd->partition = i % 2;
+    nd->gain = 0;
+    nd->locked = 0;
+    nd->adj = 0;
+    nd->next_free = 0;
+  }
+}
+
+void add_edge(int a, int b, int w) {
+  struct edge *e1, *e2;
+  e1 = malloc(sizeof(struct edge));
+  e1->to = &g.nodes[b];
+  e1->weight = w;
+  e1->next = g.nodes[a].adj;
+  g.nodes[a].adj = e1;
+  e2 = malloc(sizeof(struct edge));
+  e2->to = &g.nodes[a];
+  e2->weight = w;
+  e2->next = g.nodes[b].adj;
+  g.nodes[b].adj = e2;
+  g.n_edges = g.n_edges + 1;
+}
+
+int external_cost(struct node *nd) {
+  int cost = 0;
+  struct edge *e;
+  for (e = nd->adj; e; e = e->next) {
+    if (e->to->partition != nd->partition)
+      cost = cost + e->weight;
+  }
+  return cost;
+}
+
+int internal_cost(struct node *nd) {
+  int cost = 0;
+  struct edge *e;
+  for (e = nd->adj; e; e = e->next) {
+    if (e->to->partition == nd->partition)
+      cost = cost + e->weight;
+  }
+  return cost;
+}
+
+void compute_gains(void) {
+  int i;
+  for (i = 0; i < g.n_nodes; i++) {
+    struct node *nd = &g.nodes[i];
+    nd->gain = external_cost(nd) - internal_cost(nd);
+  }
+}
+
+struct node *best_unlocked(int part) {
+  struct node *best = 0;
+  int i;
+  for (i = 0; i < g.n_nodes; i++) {
+    struct node *nd = &g.nodes[i];
+    if (nd->locked || nd->partition != part)
+      continue;
+    if (!best || nd->gain > best->gain)
+      best = nd;
+  }
+  return best;
+}
+
+void swap_pair(struct node *a, struct node *b) {
+  int t = a->partition;
+  a->partition = b->partition;
+  b->partition = t;
+  a->locked = 1;
+  b->locked = 1;
+}
+
+int cut_size(void) {
+  int i;
+  int cut = 0;
+  for (i = 0; i < g.n_nodes; i++)
+    cut = cut + external_cost(&g.nodes[i]);
+  return cut / 2;
+}
+
+int one_pass(void) {
+  int swaps = 0;
+  struct node *a, *b;
+  int i;
+  for (i = 0; i < g.n_nodes; i++)
+    g.nodes[i].locked = 0;
+  for (;;) {
+    compute_gains();
+    a = best_unlocked(0);
+    b = best_unlocked(1);
+    if (!a || !b)
+      break;
+    if (a->gain + b->gain <= 0)
+      break;
+    swap_pair(a, b);
+    swaps = swaps + 1;
+  }
+  return swaps;
+}
+
+void free_node_pool(void) {
+  struct node *nd = free_list;
+  while (nd) {
+    struct node *next = nd->next_free;
+    nd = next;
+  }
+}
+
+int main(void) {
+  int i, pass;
+  graph_init(32);
+  for (i = 0; i + 1 < g.n_nodes; i++)
+    add_edge(i, i + 1, (i * 7) % 5 + 1);
+  for (i = 0; i + 8 < g.n_nodes; i = i + 3)
+    add_edge(i, i + 8, 2);
+  for (pass = 0; pass < 10; pass++) {
+    if (one_pass() == 0)
+      break;
+  }
+  printf("final cut: %d after %d passes\n", cut_size(), pass);
+  free_node_pool();
+  return 0;
+}
+|}

@@ -1,0 +1,298 @@
+(** Corpus: pager buffer manager (after "less"). Uses the intrusive-list
+    idiom: a generic link structure embedded as the first member of each
+    record, with casts between link and container — exactly the
+    first-field guarantee the paper's Problem 1 is about. *)
+
+let name = "less"
+
+let has_struct_cast = true
+
+let description =
+  "pager: intrusive LRU lists with link/container casts (Problem 1 idiom)"
+
+let source =
+  {|
+/* less: manage a pool of line buffers with an intrusive LRU list.
+   The generic list code only sees struct link; clients cast back and
+   forth between struct link* and the containing record (whose first
+   member is the link). */
+
+void *malloc(unsigned long n);
+int printf(char *fmt, ...);
+char *strcpy(char *dst, char *src);
+unsigned long strlen(char *s);
+
+#define LINE_LEN 128
+#define N_BUFFERS 16
+
+/* generic intrusive doubly-linked list */
+struct link {
+  struct link *next;
+  struct link *prev;
+};
+
+void list_init(struct link *head) {
+  head->next = head;
+  head->prev = head;
+}
+
+void list_insert_front(struct link *head, struct link *item) {
+  item->next = head->next;
+  item->prev = head;
+  head->next->prev = item;
+  head->next = item;
+}
+
+void list_remove(struct link *item) {
+  item->prev->next = item->next;
+  item->next->prev = item->prev;
+  item->next = item;
+  item->prev = item;
+}
+
+int list_empty(struct link *head) {
+  return head->next == head;
+}
+
+/* a cached line: the link MUST be first so that link* == linebuf* */
+struct linebuf {
+  struct link lru;
+  long lineno;
+  int dirty;
+  char text[LINE_LEN];
+};
+
+struct pager {
+  struct link lru_head;
+  struct link free_head;
+  long hits;
+  long misses;
+  long top_line;
+};
+
+struct pager pg;
+
+void pager_init(void) {
+  int i;
+  list_init(&pg.lru_head);
+  list_init(&pg.free_head);
+  pg.hits = 0;
+  pg.misses = 0;
+  pg.top_line = 0;
+  for (i = 0; i < N_BUFFERS; i++) {
+    struct linebuf *b = malloc(sizeof(struct linebuf));
+    b->lineno = -1;
+    b->dirty = 0;
+    /* container -> link cast (first member) */
+    list_insert_front(&pg.free_head, (struct link *)b);
+  }
+}
+
+struct linebuf *lookup_line(long lineno) {
+  struct link *l;
+  for (l = pg.lru_head.next; l != &pg.lru_head; l = l->next) {
+    /* link -> container cast */
+    struct linebuf *b = (struct linebuf *)l;
+    if (b->lineno == lineno)
+      return b;
+  }
+  return 0;
+}
+
+void fill_line(struct linebuf *b, long lineno) {
+  int i;
+  b->lineno = lineno;
+  for (i = 0; i < LINE_LEN - 1; i++)
+    b->text[i] = (char)('a' + (int)((lineno + i) % 26));
+  b->text[(int)(lineno % (LINE_LEN - 1))] = 0;
+  b->dirty = 0;
+}
+
+struct linebuf *get_line(long lineno) {
+  struct linebuf *b = lookup_line(lineno);
+  if (b) {
+    pg.hits = pg.hits + 1;
+    list_remove((struct link *)b);
+    list_insert_front(&pg.lru_head, (struct link *)b);
+    return b;
+  }
+  pg.misses = pg.misses + 1;
+  if (!list_empty(&pg.free_head)) {
+    struct link *l = pg.free_head.next;
+    list_remove(l);
+    b = (struct linebuf *)l;
+  } else {
+    /* evict least-recently used: tail of the LRU list */
+    struct link *l = pg.lru_head.prev;
+    list_remove(l);
+    b = (struct linebuf *)l;
+  }
+  fill_line(b, lineno);
+  list_insert_front(&pg.lru_head, (struct link *)b);
+  return b;
+}
+
+void show_screen(long top, int nlines) {
+  int i;
+  for (i = 0; i < nlines; i++) {
+    struct linebuf *b = get_line(top + i);
+    printf("%5ld %s\n", b->lineno, b->text);
+  }
+}
+
+void scroll_forward(int n) {
+  pg.top_line = pg.top_line + n;
+  show_screen(pg.top_line, 4);
+}
+
+void scroll_backward(int n) {
+  pg.top_line = pg.top_line - n;
+  if (pg.top_line < 0)
+    pg.top_line = 0;
+  show_screen(pg.top_line, 4);
+}
+
+void jump_to(long line) {
+  pg.top_line = line;
+  show_screen(pg.top_line, 4);
+}
+
+/* ---- marks: remembered positions, also linked through struct link ---- */
+
+#define N_MARKS 8
+
+struct mark {
+  struct link all;        /* first member: link <-> mark casts */
+  char letter;
+  long line;
+};
+
+struct marks_table {
+  struct link head;
+  struct mark slots[N_MARKS];
+  int used;
+};
+
+struct marks_table marks;
+
+void marks_init(void) {
+  list_init(&marks.head);
+  marks.used = 0;
+}
+
+void set_mark(char letter, long line) {
+  struct link *l;
+  struct mark *m;
+  for (l = marks.head.next; l != &marks.head; l = l->next) {
+    m = (struct mark *)l;
+    if (m->letter == letter) {
+      m->line = line;
+      return;
+    }
+  }
+  if (marks.used >= N_MARKS)
+    return;
+  m = &marks.slots[marks.used];
+  marks.used = marks.used + 1;
+  m->letter = letter;
+  m->line = line;
+  list_insert_front(&marks.head, (struct link *)m);
+}
+
+long find_mark(char letter) {
+  struct link *l;
+  for (l = marks.head.next; l != &marks.head; l = l->next) {
+    struct mark *m = (struct mark *)l;
+    if (m->letter == letter)
+      return m->line;
+  }
+  return -1;
+}
+
+/* ---- forward search over cached/filled lines ---- */
+
+int line_contains(struct linebuf *b, char *pat) {
+  int i, j;
+  for (i = 0; b->text[i]; i++) {
+    for (j = 0; pat[j] && b->text[i + j] == pat[j]; j++)
+      ;
+    if (!pat[j])
+      return 1;
+  }
+  return 0;
+}
+
+long search_forward(long from, char *pat, long limit) {
+  long ln;
+  for (ln = from; ln < from + limit; ln++) {
+    struct linebuf *b = get_line(ln);
+    if (line_contains(b, pat))
+      return ln;
+  }
+  return -1;
+}
+
+/* ---- command dispatch through a function-pointer table ---- */
+
+struct command {
+  char key;
+  char *help;
+  void (*run)(long arg);
+};
+
+void cmd_forward(long arg) { scroll_forward((int)arg); }
+void cmd_backward(long arg) { scroll_backward((int)arg); }
+void cmd_goto(long arg) { jump_to(arg); }
+
+void cmd_mark(long arg) { set_mark((char)('a' + arg), pg.top_line); }
+
+void cmd_jump_mark(long arg) {
+  long line = find_mark((char)('a' + arg));
+  if (line >= 0)
+    jump_to(line);
+}
+
+void cmd_search(long arg) {
+  long hit = search_forward(pg.top_line + 1, "de", 20 + arg);
+  if (hit >= 0)
+    jump_to(hit);
+}
+
+struct command commands[] = {
+  { 'f', "forward", cmd_forward },
+  { 'b', "backward", cmd_backward },
+  { 'g', "goto", cmd_goto },
+  { 'm', "mark", cmd_mark },
+  { '\'', "jump to mark", cmd_jump_mark },
+  { '/', "search", cmd_search },
+};
+
+void dispatch(char key, long arg) {
+  int i;
+  for (i = 0; i < 6; i++) {
+    if (commands[i].key == key) {
+      (*commands[i].run)(arg);
+      return;
+    }
+  }
+}
+
+int main(void) {
+  int i;
+  pager_init();
+  marks_init();
+  show_screen(0, 4);
+  for (i = 0; i < 8; i++)
+    dispatch('f', 3);
+  dispatch('m', 0);          /* mark 'a' here */
+  dispatch('g', 2);
+  for (i = 0; i < 4; i++)
+    dispatch('b', 1);
+  dispatch('/', 5);
+  dispatch('\'', 0);         /* back to mark 'a' */
+  dispatch('g', 100);
+  dispatch('g', 0);
+  printf("hits %ld misses %ld, marks %d\n", pg.hits, pg.misses, marks.used);
+  return 0;
+}
+|}

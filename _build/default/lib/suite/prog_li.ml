@@ -1,0 +1,485 @@
+(** Corpus: miniature lisp interpreter (after SPEC "130.li"). Cells are a
+    fixed-size record reinterpreted per tag; environments are assoc lists
+    of cells; a free list recycles cells via casts. *)
+
+let name = "li"
+
+let has_struct_cast = true
+
+let description = "mini lisp: tagged cells, assoc environments, free list"
+
+let source =
+  {|
+/* li: eval/apply over cons cells. A cell's payload is reinterpreted
+   according to its tag by casting the cell pointer to a typed view. */
+
+void *malloc(unsigned long n);
+int printf(char *fmt, ...);
+int strcmp(char *a, char *b);
+char *strcpy(char *dst, char *src);
+
+#define TAG_FREE 0
+#define TAG_CONS 1
+#define TAG_NUM 2
+#define TAG_SYM 3
+#define TAG_PRIM 4
+
+/* the generic cell: two pointer-sized payload slots after the tag */
+struct cell {
+  int tag;
+  void *slot0;
+  void *slot1;
+};
+
+/* typed views, cast-compatible with struct cell */
+struct cons_view {
+  int tag;
+  struct cell *car;
+  struct cell *cdr;
+};
+
+struct num_view {
+  int tag;
+  long value;
+  void *unused;
+};
+
+struct sym_view {
+  int tag;
+  char *pname;
+  struct cell *binding;
+};
+
+struct prim_view {
+  int tag;
+  struct cell *(*fn)(struct cell *args);
+  void *unused;
+};
+
+#define HEAP_CELLS 512
+
+struct heap {
+  struct cell cells[HEAP_CELLS];
+  int next;
+  struct cell *free_list;
+  long allocated;
+};
+
+struct heap H;
+struct cell *nil;
+struct cell *global_env;
+
+struct cell *cell_alloc(int tag) {
+  struct cell *c;
+  if (H.free_list) {
+    c = H.free_list;
+    H.free_list = (struct cell *)c->slot0;
+  } else if (H.next < HEAP_CELLS) {
+    c = &H.cells[H.next];
+    H.next = H.next + 1;
+  } else {
+    return 0;
+  }
+  c->tag = tag;
+  c->slot0 = 0;
+  c->slot1 = 0;
+  H.allocated = H.allocated + 1;
+  return c;
+}
+
+void cell_free(struct cell *c) {
+  c->tag = TAG_FREE;
+  c->slot0 = (void *)H.free_list;
+  H.free_list = c;
+}
+
+struct cell *mk_cons(struct cell *car, struct cell *cdr) {
+  struct cons_view *v = (struct cons_view *)cell_alloc(TAG_CONS);
+  v->car = car;
+  v->cdr = cdr;
+  return (struct cell *)v;
+}
+
+struct cell *mk_num(long n) {
+  struct num_view *v = (struct num_view *)cell_alloc(TAG_NUM);
+  v->value = n;
+  return (struct cell *)v;
+}
+
+struct cell *mk_sym(char *name) {
+  struct sym_view *v = (struct sym_view *)cell_alloc(TAG_SYM);
+  v->pname = name;
+  v->binding = 0;
+  return (struct cell *)v;
+}
+
+struct cell *mk_prim(struct cell *(*fn)(struct cell *)) {
+  struct prim_view *v = (struct prim_view *)cell_alloc(TAG_PRIM);
+  v->fn = fn;
+  return (struct cell *)v;
+}
+
+struct cell *car_of(struct cell *c) {
+  if (c && c->tag == TAG_CONS)
+    return ((struct cons_view *)c)->car;
+  return nil;
+}
+
+struct cell *cdr_of(struct cell *c) {
+  if (c && c->tag == TAG_CONS)
+    return ((struct cons_view *)c)->cdr;
+  return nil;
+}
+
+long num_of(struct cell *c) {
+  if (c && c->tag == TAG_NUM)
+    return ((struct num_view *)c)->value;
+  return 0;
+}
+
+/* ---- environment: list of (sym . value) pairs ---- */
+
+struct cell *env_bind(struct cell *env, struct cell *sym, struct cell *val) {
+  return mk_cons(mk_cons(sym, val), env);
+}
+
+struct cell *env_lookup(struct cell *env, struct cell *sym) {
+  struct cell *e;
+  for (e = env; e && e->tag == TAG_CONS; e = cdr_of(e)) {
+    struct cell *pair = car_of(e);
+    if (car_of(pair) == sym)
+      return cdr_of(pair);
+  }
+  return nil;
+}
+
+/* ---- primitives ---- */
+
+struct cell *prim_add(struct cell *args) {
+  long acc = 0;
+  struct cell *a;
+  for (a = args; a && a->tag == TAG_CONS; a = cdr_of(a))
+    acc = acc + num_of(car_of(a));
+  return mk_num(acc);
+}
+
+struct cell *prim_mul(struct cell *args) {
+  long acc = 1;
+  struct cell *a;
+  for (a = args; a && a->tag == TAG_CONS; a = cdr_of(a))
+    acc = acc * num_of(car_of(a));
+  return mk_num(acc);
+}
+
+struct cell *prim_list(struct cell *args) {
+  return args;
+}
+
+/* ---- reader: s-expression tokenizer and parser ---- */
+
+int getchar(void);
+
+#define SYM_POOL 32
+#define SYM_LEN 16
+
+struct sym_entry {
+  char name[SYM_LEN];
+  struct cell *sym;
+  int used;
+};
+
+struct sym_table {
+  struct sym_entry entries[SYM_POOL];
+  int count;
+};
+
+struct sym_table symtab;
+
+struct cell *intern_sym(char *name) {
+  int i;
+  for (i = 0; i < symtab.count; i++) {
+    if (strcmp(symtab.entries[i].name, name) == 0)
+      return symtab.entries[i].sym;
+  }
+  if (symtab.count >= SYM_POOL)
+    return 0;
+  {
+    struct sym_entry *e = &symtab.entries[symtab.count];
+    strcpy(e->name, name);
+    e->sym = mk_sym(e->name);
+    e->used = 1;
+    symtab.count = symtab.count + 1;
+    return e->sym;
+  }
+}
+
+struct reader {
+  int cur;
+  int eof;
+  long nodes_read;
+};
+
+struct reader rd;
+
+void rd_advance(void) {
+  rd.cur = getchar();
+  if (rd.cur < 0)
+    rd.eof = 1;
+}
+
+void rd_skip_space(void) {
+  while (!rd.eof && (rd.cur == ' ' || rd.cur == '\n' || rd.cur == '\t'))
+    rd_advance();
+}
+
+struct cell *read_expr(void);
+
+struct cell *read_list(void) {
+  struct cell *head = nil;
+  struct cell *tail = nil;
+  rd_advance(); /* past '(' */
+  for (;;) {
+    rd_skip_space();
+    if (rd.eof)
+      return head;
+    if (rd.cur == ')') {
+      rd_advance();
+      return head;
+    }
+    {
+      struct cell *item = read_expr();
+      struct cell *link = mk_cons(item, nil);
+      if (tail == nil || !tail) {
+        head = link;
+      } else {
+        ((struct cons_view *)tail)->cdr = link;
+      }
+      tail = link;
+    }
+  }
+}
+
+struct cell *read_expr(void) {
+  rd_skip_space();
+  rd.nodes_read = rd.nodes_read + 1;
+  if (rd.eof)
+    return nil;
+  if (rd.cur == '(')
+    return read_list();
+  if (rd.cur >= '0' && rd.cur <= '9') {
+    long v = 0;
+    while (!rd.eof && rd.cur >= '0' && rd.cur <= '9') {
+      v = v * 10 + (rd.cur - '0');
+      rd_advance();
+    }
+    return mk_num(v);
+  }
+  {
+    char buf[SYM_LEN];
+    int n = 0;
+    while (!rd.eof && rd.cur != ' ' && rd.cur != ')' && rd.cur != '('
+           && rd.cur != '\n' && n < SYM_LEN - 1) {
+      buf[n] = (char)rd.cur;
+      n = n + 1;
+      rd_advance();
+    }
+    buf[n] = 0;
+    return intern_sym(buf);
+  }
+}
+
+/* ---- mark/sweep collector over the fixed heap ---- */
+
+#define TAG_MARK_BIT 16
+
+struct gc_stats {
+  long collections;
+  long marked;
+  long swept;
+};
+
+struct gc_stats gc;
+
+void mark_cell(struct cell *c) {
+  if (!c)
+    return;
+  if (c->tag & TAG_MARK_BIT)
+    return;
+  gc.marked = gc.marked + 1;
+  if (c->tag == TAG_CONS) {
+    struct cons_view *v = (struct cons_view *)c;
+    c->tag = c->tag | TAG_MARK_BIT;
+    mark_cell(v->car);
+    mark_cell(v->cdr);
+    return;
+  }
+  if (c->tag == TAG_SYM) {
+    struct sym_view *v = (struct sym_view *)c;
+    c->tag = c->tag | TAG_MARK_BIT;
+    mark_cell(v->binding);
+    return;
+  }
+  c->tag = c->tag | TAG_MARK_BIT;
+}
+
+void collect(struct cell *extra_root) {
+  int i;
+  gc.collections = gc.collections + 1;
+  mark_cell(global_env);
+  mark_cell(extra_root);
+  for (i = 0; i < symtab.count; i++)
+    mark_cell(symtab.entries[i].sym);
+  for (i = 0; i < H.next; i++) {
+    struct cell *c = &H.cells[i];
+    if (c->tag & TAG_MARK_BIT) {
+      c->tag = c->tag & ~TAG_MARK_BIT;
+    } else if (c->tag != TAG_FREE) {
+      cell_free(c);
+      gc.swept = gc.swept + 1;
+    }
+  }
+}
+
+/* ---- eval/apply ---- */
+
+struct cell *eval(struct cell *expr, struct cell *env);
+
+struct cell *eval_list(struct cell *exprs, struct cell *env) {
+  if (!exprs || exprs->tag != TAG_CONS)
+    return nil;
+  return mk_cons(eval(car_of(exprs), env), eval_list(cdr_of(exprs), env));
+}
+
+struct cell *apply(struct cell *fn, struct cell *args) {
+  if (fn && fn->tag == TAG_PRIM) {
+    struct prim_view *p = (struct prim_view *)fn;
+    return (*p->fn)(args);
+  }
+  return nil;
+}
+
+struct cell *eval(struct cell *expr, struct cell *env) {
+  if (!expr)
+    return nil;
+  if (expr->tag == TAG_NUM)
+    return expr;
+  if (expr->tag == TAG_SYM)
+    return env_lookup(env, expr);
+  if (expr->tag == TAG_CONS) {
+    struct cell *fn = eval(car_of(expr), env);
+    struct cell *args = eval_list(cdr_of(expr), env);
+    return apply(fn, args);
+  }
+  return nil;
+}
+
+void print_cell(struct cell *c) {
+  if (!c || c == nil) {
+    printf("()");
+    return;
+  }
+  if (c->tag == TAG_NUM) {
+    printf("%ld", ((struct num_view *)c)->value);
+    return;
+  }
+  if (c->tag == TAG_SYM) {
+    printf("%s", ((struct sym_view *)c)->pname);
+    return;
+  }
+  if (c->tag == TAG_CONS) {
+    printf("(");
+    print_cell(car_of(c));
+    printf(" . ");
+    print_cell(cdr_of(c));
+    printf(")");
+    return;
+  }
+  printf("#<prim>");
+}
+
+/* ---- additional primitives ---- */
+
+struct cell *prim_sub(struct cell *args) {
+  long acc;
+  struct cell *a = args;
+  if (!a || a->tag != TAG_CONS)
+    return mk_num(0);
+  acc = num_of(car_of(a));
+  for (a = cdr_of(a); a && a->tag == TAG_CONS; a = cdr_of(a))
+    acc = acc - num_of(car_of(a));
+  return mk_num(acc);
+}
+
+struct cell *prim_car(struct cell *args) { return car_of(car_of(args)); }
+
+struct cell *prim_cdr(struct cell *args) { return cdr_of(car_of(args)); }
+
+struct cell *prim_cons(struct cell *args) {
+  return mk_cons(car_of(args), car_of(cdr_of(args)));
+}
+
+struct cell *prim_eq(struct cell *args) {
+  struct cell *a = car_of(args);
+  struct cell *b = car_of(cdr_of(args));
+  if (a == b)
+    return mk_num(1);
+  if (a && b && a->tag == TAG_NUM && b->tag == TAG_NUM
+      && num_of(a) == num_of(b))
+    return mk_num(1);
+  return nil;
+}
+
+void bind_prim(char *name, struct cell *(*fn)(struct cell *)) {
+  global_env = env_bind(global_env, intern_sym(name), mk_prim(fn));
+}
+
+int main(void) {
+  struct cell *expr, *result;
+  int round;
+  H.next = 0;
+  H.free_list = 0;
+  H.allocated = 0;
+  symtab.count = 0;
+  rd.eof = 0;
+  rd.nodes_read = 0;
+  gc.collections = 0;
+  gc.marked = 0;
+  gc.swept = 0;
+  nil = cell_alloc(TAG_CONS);
+  global_env = nil;
+  bind_prim("+", prim_add);
+  bind_prim("*", prim_mul);
+  bind_prim("-", prim_sub);
+  bind_prim("list", prim_list);
+  bind_prim("car", prim_car);
+  bind_prim("cdr", prim_cdr);
+  bind_prim("cons", prim_cons);
+  bind_prim("eq", prim_eq);
+  /* (+ 1 (* 2 3) 4), built by hand like the paper-era drivers */
+  expr = mk_cons(intern_sym("+"),
+           mk_cons(mk_num(1),
+             mk_cons(mk_cons(intern_sym("*"),
+                       mk_cons(mk_num(2), mk_cons(mk_num(3), nil))),
+               mk_cons(mk_num(4), nil))));
+  result = eval(expr, global_env);
+  print_cell(result);
+  printf("\n");
+  /* then a read-eval-print loop over stdin with periodic collection */
+  rd_advance();
+  for (round = 0; round < 64; round++) {
+    rd_skip_space();
+    if (rd.eof)
+      break;
+    expr = read_expr();
+    result = eval(expr, global_env);
+    print_cell(result);
+    printf("\n");
+    if ((round & 3) == 3)
+      collect(result);
+  }
+  collect(nil);
+  printf("%ld cells allocated, %ld read; gc: %ld runs, %ld marked, %ld swept\n",
+         H.allocated, rd.nodes_read, gc.collections, gc.marked, gc.swept);
+  return 0;
+}
+|}

@@ -1,0 +1,199 @@
+(** Corpus: hunk-based text patcher (after "patch"). Uses a generic
+    void*-payload list library shared by two differently-typed clients —
+    the classic generic-container casting pattern. *)
+
+let name = "patch"
+
+let has_struct_cast = true
+
+let description = "text patcher: generic void* lists with typed clients"
+
+let source =
+  {|
+/* patch: parse hunks, apply them to a line table. A small generic list
+   library stores void* payloads; clients cast payloads back to their
+   record types (struct line / struct hunk). */
+
+void *malloc(unsigned long n);
+int printf(char *fmt, ...);
+char *strcpy(char *dst, char *src);
+int strcmp(char *a, char *b);
+unsigned long strlen(char *s);
+
+/* ---- generic list ---- */
+
+struct list_node {
+  struct list_node *next;
+  void *payload;
+};
+
+struct list {
+  struct list_node *head;
+  struct list_node *tail;
+  int length;
+};
+
+void list_init(struct list *l) {
+  l->head = 0;
+  l->tail = 0;
+  l->length = 0;
+}
+
+void list_append(struct list *l, void *payload) {
+  struct list_node *n = malloc(sizeof(struct list_node));
+  n->payload = payload;
+  n->next = 0;
+  if (l->tail)
+    l->tail->next = n;
+  else
+    l->head = n;
+  l->tail = n;
+  l->length = l->length + 1;
+}
+
+void *list_nth(struct list *l, int i) {
+  struct list_node *n = l->head;
+  while (n && i > 0) {
+    n = n->next;
+    i = i - 1;
+  }
+  return n ? n->payload : 0;
+}
+
+void list_foreach(struct list *l, void (*fn)(void *payload)) {
+  struct list_node *n;
+  for (n = l->head; n; n = n->next)
+    (*fn)(n->payload);
+}
+
+/* ---- typed clients ---- */
+
+#define LINE_LEN 80
+
+struct line {
+  int number;
+  int deleted;
+  char text[LINE_LEN];
+};
+
+#define H_ADD 1
+#define H_DEL 2
+#define H_CHANGE 3
+
+struct hunk {
+  int kind;
+  int at;             /* 1-based line number */
+  char text[LINE_LEN];
+  int applied;
+};
+
+struct list file_lines;
+struct list hunks;
+long checksum;
+
+struct line *mk_line(int number, char *text) {
+  struct line *ln = malloc(sizeof(struct line));
+  ln->number = number;
+  ln->deleted = 0;
+  strcpy(ln->text, text);
+  return ln;
+}
+
+struct hunk *mk_hunk(int kind, int at, char *text) {
+  struct hunk *h = malloc(sizeof(struct hunk));
+  h->kind = kind;
+  h->at = at;
+  h->applied = 0;
+  strcpy(h->text, text);
+  return h;
+}
+
+struct line *find_line(int number) {
+  struct list_node *n;
+  for (n = file_lines.head; n; n = n->next) {
+    struct line *ln = (struct line *)n->payload;
+    if (ln->number == number && !ln->deleted)
+      return ln;
+  }
+  return 0;
+}
+
+int apply_hunk(struct hunk *h) {
+  struct line *ln;
+  if (h->kind == H_ADD) {
+    list_append(&file_lines, mk_line(h->at, h->text));
+    h->applied = 1;
+    return 1;
+  }
+  ln = find_line(h->at);
+  if (!ln)
+    return 0;
+  if (h->kind == H_DEL) {
+    ln->deleted = 1;
+    h->applied = 1;
+    return 1;
+  }
+  if (h->kind == H_CHANGE) {
+    strcpy(ln->text, h->text);
+    h->applied = 1;
+    return 1;
+  }
+  return 0;
+}
+
+void apply_all(void) {
+  struct list_node *n;
+  int ok = 0, failed = 0;
+  for (n = hunks.head; n; n = n->next) {
+    struct hunk *h = (struct hunk *)n->payload;
+    if (apply_hunk(h))
+      ok = ok + 1;
+    else
+      failed = failed + 1;
+  }
+  printf("%d hunks applied, %d failed\n", ok, failed);
+}
+
+void sum_line(void *payload) {
+  struct line *ln = (struct line *)payload;
+  unsigned long i;
+  if (ln->deleted)
+    return;
+  for (i = 0; i < strlen(ln->text); i++)
+    checksum = checksum + ln->text[i];
+}
+
+void print_line(void *payload) {
+  struct line *ln = (struct line *)payload;
+  if (!ln->deleted)
+    printf("%3d %s\n", ln->number, ln->text);
+}
+
+int main(void) {
+  int i;
+  list_init(&file_lines);
+  list_init(&hunks);
+  for (i = 1; i <= 6; i++) {
+    char buf[LINE_LEN];
+    buf[0] = (char)('A' + i - 1);
+    buf[1] = 0;
+    list_append(&file_lines, mk_line(i, buf));
+  }
+  list_append(&hunks, (void *)mk_hunk(H_DEL, 2, ""));
+  list_append(&hunks, (void *)mk_hunk(H_CHANGE, 4, "changed"));
+  list_append(&hunks, (void *)mk_hunk(H_ADD, 7, "appended"));
+  list_append(&hunks, (void *)mk_hunk(H_DEL, 42, "missing"));
+  apply_all();
+  checksum = 0;
+  list_foreach(&file_lines, sum_line);
+  list_foreach(&file_lines, print_line);
+  printf("checksum %ld over %d lines (%d hunks)\n", checksum,
+         file_lines.length, hunks.length);
+  {
+    struct hunk *second = (struct hunk *)list_nth(&hunks, 1);
+    if (second)
+      printf("hunk 2: kind %d applied %d\n", second->kind, second->applied);
+  }
+  return 0;
+}
+|}

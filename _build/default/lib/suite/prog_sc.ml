@@ -1,0 +1,270 @@
+(** Corpus: spreadsheet cell engine (after "sc"). Cell values are tagged
+    variants realized as distinct struct types sharing an initial tag
+    field, stored behind a generic value pointer. *)
+
+let name = "sc"
+
+let has_struct_cast = true
+
+let description = "spreadsheet: tagged cell values behind generic pointers"
+
+let source =
+  {|
+/* sc: a grid of cells whose values are number / string / formula,
+   represented as separate struct types sharing the initial tag and
+   accessed through struct value_head* with downcasts. */
+
+void *malloc(unsigned long n);
+int printf(char *fmt, ...);
+char *strcpy(char *dst, char *src);
+unsigned long strlen(char *s);
+
+#define ROWS 8
+#define COLS 8
+
+#define V_EMPTY 0
+#define V_NUM 1
+#define V_STR 2
+#define V_FORMULA 3
+
+struct value_head {
+  int tag;
+  int uses;
+};
+
+struct num_value {
+  int tag;
+  int uses;
+  double value;
+};
+
+struct str_value {
+  int tag;
+  int uses;
+  char text[32];
+};
+
+/* a formula references two other cells and an operator */
+struct formula_value {
+  int tag;
+  int uses;
+  int r1, c1;
+  int r2, c2;
+  int op;
+  double cached;
+  int valid;
+};
+
+struct sheet {
+  struct value_head *cells[ROWS][COLS];
+  int n_set;
+  long evals;
+};
+
+struct sheet sh;
+
+struct value_head *empty_value;
+
+void sheet_init(void) {
+  int r, c;
+  for (r = 0; r < ROWS; r++)
+    for (c = 0; c < COLS; c++)
+      sh.cells[r][c] = empty_value;
+  sh.n_set = 0;
+  sh.evals = 0;
+}
+
+void set_cell(int r, int c, struct value_head *v) {
+  if (r < 0 || r >= ROWS || c < 0 || c >= COLS)
+    return;
+  v->uses = v->uses + 1;
+  sh.cells[r][c] = v;
+  sh.n_set = sh.n_set + 1;
+}
+
+struct value_head *mk_num(double d) {
+  struct num_value *n = malloc(sizeof(struct num_value));
+  n->tag = V_NUM;
+  n->uses = 0;
+  n->value = d;
+  return (struct value_head *)n;
+}
+
+struct value_head *mk_str(char *s) {
+  struct str_value *v = malloc(sizeof(struct str_value));
+  v->tag = V_STR;
+  v->uses = 0;
+  strcpy(v->text, s);
+  return (struct value_head *)v;
+}
+
+struct value_head *mk_formula(int r1, int c1, int op, int r2, int c2) {
+  struct formula_value *f = malloc(sizeof(struct formula_value));
+  f->tag = V_FORMULA;
+  f->uses = 0;
+  f->r1 = r1; f->c1 = c1;
+  f->r2 = r2; f->c2 = c2;
+  f->op = op;
+  f->valid = 0;
+  f->cached = 0.0;
+  return (struct value_head *)f;
+}
+
+double eval_cell(int r, int c, int depth);
+struct range_value;
+double eval_range(struct range_value *rv, int depth);
+
+double eval_value(struct value_head *v, int depth) {
+  sh.evals = sh.evals + 1;
+  if (!v || v->tag == V_EMPTY)
+    return 0.0;
+  if (v->tag == V_NUM)
+    return ((struct num_value *)v)->value;
+  if (v->tag == V_STR)
+    return (double)strlen(((struct str_value *)v)->text);
+  if (v->tag == V_FORMULA) {
+    struct formula_value *f = (struct formula_value *)v;
+    double a, b, out;
+    if (f->valid)
+      return f->cached;
+    if (depth > 16)
+      return 0.0;
+    a = eval_cell(f->r1, f->c1, depth + 1);
+    b = eval_cell(f->r2, f->c2, depth + 1);
+    if (f->op == '+') out = a + b;
+    else if (f->op == '-') out = a - b;
+    else if (f->op == '*') out = a * b;
+    else out = b != 0.0 ? a / b : 0.0;
+    f->cached = out;
+    f->valid = 1;
+    return out;
+  }
+  if (v->tag == 4 && depth <= 16) /* V_RANGE, defined below */
+    return eval_range((struct range_value *)v, depth);
+  return 0.0;
+}
+
+double eval_cell(int r, int c, int depth) {
+  if (r < 0 || r >= ROWS || c < 0 || c >= COLS)
+    return 0.0;
+  return eval_value(sh.cells[r][c], depth);
+}
+
+/* ---- range aggregates: also tagged values, computed over rectangles ---- */
+
+#define V_RANGE 4
+
+struct range_value {
+  int tag;
+  int uses;
+  int r1, c1;
+  int r2, c2;
+  int op;              /* 's' sum, 'a' average, 'x' max */
+};
+
+struct value_head *mk_range(int r1, int c1, int r2, int c2, int op) {
+  struct range_value *v = malloc(sizeof(struct range_value));
+  v->tag = V_RANGE;
+  v->uses = 0;
+  v->r1 = r1; v->c1 = c1;
+  v->r2 = r2; v->c2 = c2;
+  v->op = op;
+  return (struct value_head *)v;
+}
+
+double eval_range(struct range_value *rv, int depth) {
+  double acc = 0.0;
+  double best = 0.0;
+  int n = 0;
+  int r, c;
+  for (r = rv->r1; r <= rv->r2 && r < ROWS; r++) {
+    for (c = rv->c1; c <= rv->c2 && c < COLS; c++) {
+      struct value_head *v = sh.cells[r][c];
+      double x;
+      if (v == (struct value_head *)rv)
+        continue; /* a range never includes itself */
+      x = eval_cell(r, c, depth + 1);
+      acc = acc + x;
+      if (n == 0 || x > best)
+        best = x;
+      n = n + 1;
+    }
+  }
+  if (rv->op == 's') return acc;
+  if (rv->op == 'a') return n > 0 ? acc / (double)n : 0.0;
+  return best;
+}
+
+/* per-column statistics report */
+struct col_stats {
+  double total;
+  double maximum;
+  int nonzero;
+};
+
+void column_report(void) {
+  int c, r;
+  for (c = 0; c < COLS; c++) {
+    struct col_stats st;
+    st.total = 0.0;
+    st.maximum = 0.0;
+    st.nonzero = 0;
+    for (r = 0; r < ROWS; r++) {
+      double x = eval_cell(r, c, 0);
+      st.total = st.total + x;
+      if (x > st.maximum)
+        st.maximum = x;
+      if (x != 0.0)
+        st.nonzero = st.nonzero + 1;
+    }
+    if (st.nonzero > 0)
+      printf("col %d: total %.2f max %.2f nonzero %d\n", c, st.total,
+             st.maximum, st.nonzero);
+  }
+}
+
+void invalidate_all(void) {
+  int r, c;
+  for (r = 0; r < ROWS; r++)
+    for (c = 0; c < COLS; c++) {
+      struct value_head *v = sh.cells[r][c];
+      if (v && v->tag == V_FORMULA)
+        ((struct formula_value *)v)->valid = 0;
+    }
+}
+
+void print_sheet(void) {
+  int r, c;
+  for (r = 0; r < ROWS; r++) {
+    for (c = 0; c < COLS; c++)
+      printf("%8.2f", eval_cell(r, c, 0));
+    printf("\n");
+  }
+}
+
+int main(void) {
+  struct value_head ev;
+  int i;
+  ev.tag = V_EMPTY;
+  ev.uses = 0;
+  empty_value = &ev;
+  sheet_init();
+  for (i = 0; i < 5; i++)
+    set_cell(0, i, mk_num((double)(i * i)));
+  set_cell(1, 0, mk_str("label"));
+  set_cell(2, 0, mk_formula(0, 0, '+', 0, 1));
+  set_cell(2, 1, mk_formula(2, 0, '*', 0, 2));
+  set_cell(2, 2, mk_formula(2, 1, '-', 1, 0));
+  set_cell(3, 0, mk_formula(2, 2, '/', 0, 3));
+  set_cell(4, 0, mk_range(0, 0, 2, 4, 's'));
+  set_cell(4, 1, mk_range(0, 0, 2, 4, 'a'));
+  set_cell(4, 2, mk_range(0, 0, 3, 4, 'x'));
+  print_sheet();
+  invalidate_all();
+  set_cell(0, 1, mk_num(100.0));
+  print_sheet();
+  column_report();
+  printf("%d cells set, %ld evaluations\n", sh.n_set, sh.evals);
+  return 0;
+}
+|}

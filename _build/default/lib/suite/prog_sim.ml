@@ -1,0 +1,162 @@
+(** Corpus: local sequence alignment (after the Landi benchmark "sim").
+    All working storage is carved from a single char arena and cast to the
+    needed types — the arena-allocator idiom. *)
+
+let name = "sim"
+
+let has_struct_cast = true
+
+let description = "sequence alignment with an arena allocator and cast carving"
+
+let source =
+  {|
+/* sim: Smith-Waterman-ish scoring with traceback. Matrices, rows, and
+   traceback records are all carved out of one byte arena via casts. */
+
+int printf(char *fmt, ...);
+void exit(int code);
+unsigned long strlen(char *s);
+
+#define ARENA_BYTES 32768
+#define MAX_SEQ 64
+
+struct arena {
+  char bytes[ARENA_BYTES];
+  unsigned long used;
+  int n_allocs;
+};
+
+struct arena A;
+
+char *arena_alloc(unsigned long n) {
+  char *p;
+  n = (n + 7) & ~7UL;
+  if (A.used + n > ARENA_BYTES)
+    exit(2);
+  p = &A.bytes[A.used];
+  A.used = A.used + n;
+  A.n_allocs = A.n_allocs + 1;
+  return p;
+}
+
+struct score_row {
+  int cells[MAX_SEQ + 1];
+};
+
+struct trace_step {
+  int i;
+  int j;
+  int move;           /* 0 diag, 1 up, 2 left */
+  struct trace_step *prev;
+};
+
+struct alignment {
+  char *seq_a;
+  char *seq_b;
+  int len_a;
+  int len_b;
+  struct score_row *rows;     /* (len_a+1) rows, arena-carved */
+  struct trace_step *best_tail;
+  int best_score;
+  int best_i;
+  int best_j;
+};
+
+struct alignment al;
+
+int score_pair(int x, int y) {
+  if (x == y)
+    return 2;
+  return -1;
+}
+
+int max2(int a, int b) { return a > b ? a : b; }
+
+void compute_matrix(void) {
+  int i, j;
+  al.rows = (struct score_row *)arena_alloc(
+      (unsigned long)(al.len_a + 1) * sizeof(struct score_row));
+  for (j = 0; j <= al.len_b; j++)
+    al.rows[0].cells[j] = 0;
+  for (i = 1; i <= al.len_a; i++) {
+    struct score_row *row = &al.rows[i];
+    struct score_row *above = &al.rows[i - 1];
+    row->cells[0] = 0;
+    for (j = 1; j <= al.len_b; j++) {
+      int diag = above->cells[j - 1]
+                 + score_pair(al.seq_a[i - 1], al.seq_b[j - 1]);
+      int up = above->cells[j] - 1;
+      int left = row->cells[j - 1] - 1;
+      int best = max2(0, max2(diag, max2(up, left)));
+      row->cells[j] = best;
+      if (best > al.best_score) {
+        al.best_score = best;
+        al.best_i = i;
+        al.best_j = j;
+      }
+    }
+  }
+}
+
+struct trace_step *push_step(struct trace_step *prev, int i, int j, int move) {
+  struct trace_step *s =
+      (struct trace_step *)arena_alloc(sizeof(struct trace_step));
+  s->i = i;
+  s->j = j;
+  s->move = move;
+  s->prev = prev;
+  return s;
+}
+
+void traceback(void) {
+  int i = al.best_i;
+  int j = al.best_j;
+  al.best_tail = 0;
+  while (i > 0 && j > 0 && al.rows[i].cells[j] > 0) {
+    int cur = al.rows[i].cells[j];
+    int diag = al.rows[i - 1].cells[j - 1];
+    int up = al.rows[i - 1].cells[j];
+    if (cur == diag + score_pair(al.seq_a[i - 1], al.seq_b[j - 1])) {
+      al.best_tail = push_step(al.best_tail, i, j, 0);
+      i = i - 1;
+      j = j - 1;
+    } else if (cur == up - 1) {
+      al.best_tail = push_step(al.best_tail, i, j, 1);
+      i = i - 1;
+    } else {
+      al.best_tail = push_step(al.best_tail, i, j, 2);
+      j = j - 1;
+    }
+  }
+}
+
+int print_alignment(void) {
+  struct trace_step *s;
+  int steps = 0;
+  for (s = al.best_tail; s; s = s->prev) {
+    char ca = s->move != 2 ? al.seq_a[s->i - 1] : '-';
+    char cb = s->move != 1 ? al.seq_b[s->j - 1] : '-';
+    printf("%c/%c ", ca, cb);
+    steps = steps + 1;
+  }
+  printf("\n");
+  return steps;
+}
+
+int main(void) {
+  int steps;
+  A.used = 0;
+  A.n_allocs = 0;
+  al.seq_a = "gattacaggattacca";
+  al.seq_b = "gtacagatacc";
+  al.len_a = (int)strlen(al.seq_a);
+  al.len_b = (int)strlen(al.seq_b);
+  al.best_score = 0;
+  compute_matrix();
+  traceback();
+  steps = print_alignment();
+  printf("score %d over %d steps; arena %lu bytes in %d allocs\n",
+         al.best_score, steps, A.used, A.n_allocs);
+  return 0;
+}
+|}

@@ -1,0 +1,203 @@
+(** Corpus: a bundle of the classic Stanford kernels (queens, towers,
+    intmm, bubble) sharing a results structure. Cast-free. *)
+
+let name = "stanford"
+
+let has_struct_cast = false
+
+let description = "Stanford kernel bundle: queens, towers, intmm, bubble"
+
+let source =
+  {|
+/* stanford: four small kernels recording results into shared structs. */
+
+int printf(char *fmt, ...);
+
+#define N_QUEENS 8
+#define N_DISCS 10
+#define MM 8
+#define SORT_N 64
+
+struct bench_result {
+  char *kernel;
+  long checksum;
+  int ok;
+};
+
+struct bench_suite {
+  struct bench_result results[8];
+  int n_results;
+};
+
+struct bench_suite suite;
+
+void record(char *kernel, long checksum, int ok) {
+  struct bench_result *r = &suite.results[suite.n_results];
+  r->kernel = kernel;
+  r->checksum = checksum;
+  r->ok = ok;
+  suite.n_results = suite.n_results + 1;
+}
+
+/* ---- queens ---- */
+
+struct queens_state {
+  int col[N_QUEENS];
+  int used_col[N_QUEENS];
+  int used_d1[2 * N_QUEENS];
+  int used_d2[2 * N_QUEENS];
+  long solutions;
+};
+
+struct queens_state Q;
+
+void queens_try(int row) {
+  int c;
+  if (row == N_QUEENS) {
+    Q.solutions = Q.solutions + 1;
+    return;
+  }
+  for (c = 0; c < N_QUEENS; c++) {
+    if (Q.used_col[c] || Q.used_d1[row + c] || Q.used_d2[row - c + N_QUEENS])
+      continue;
+    Q.col[row] = c;
+    Q.used_col[c] = 1;
+    Q.used_d1[row + c] = 1;
+    Q.used_d2[row - c + N_QUEENS] = 1;
+    queens_try(row + 1);
+    Q.used_col[c] = 0;
+    Q.used_d1[row + c] = 0;
+    Q.used_d2[row - c + N_QUEENS] = 0;
+  }
+}
+
+void run_queens(void) {
+  int i;
+  Q.solutions = 0;
+  for (i = 0; i < N_QUEENS; i++)
+    Q.used_col[i] = 0;
+  for (i = 0; i < 2 * N_QUEENS; i++) {
+    Q.used_d1[i] = 0;
+    Q.used_d2[i] = 0;
+  }
+  queens_try(0);
+  record("queens", Q.solutions, Q.solutions == 92);
+}
+
+/* ---- towers ---- */
+
+struct peg {
+  int discs[N_DISCS];
+  int top;
+};
+
+struct towers_state {
+  struct peg pegs[3];
+  long moves;
+};
+
+struct towers_state T;
+
+void peg_push(struct peg *p, int d) {
+  p->discs[p->top] = d;
+  p->top = p->top + 1;
+}
+
+int peg_pop(struct peg *p) {
+  p->top = p->top - 1;
+  return p->discs[p->top];
+}
+
+void move_discs(int n, int from, int to, int via) {
+  if (n == 0)
+    return;
+  move_discs(n - 1, from, via, to);
+  peg_push(&T.pegs[to], peg_pop(&T.pegs[from]));
+  T.moves = T.moves + 1;
+  move_discs(n - 1, via, to, from);
+}
+
+void run_towers(void) {
+  int i;
+  for (i = 0; i < 3; i++)
+    T.pegs[i].top = 0;
+  for (i = N_DISCS; i > 0; i--)
+    peg_push(&T.pegs[0], i);
+  T.moves = 0;
+  move_discs(N_DISCS, 0, 2, 1);
+  record("towers", T.moves, T.moves == 1023);
+}
+
+/* ---- integer matrix multiply ---- */
+
+struct matrices {
+  int a[MM][MM];
+  int b[MM][MM];
+  int c[MM][MM];
+};
+
+struct matrices M;
+
+void run_intmm(void) {
+  int i, j, k;
+  long sum = 0;
+  for (i = 0; i < MM; i++)
+    for (j = 0; j < MM; j++) {
+      M.a[i][j] = i + j;
+      M.b[i][j] = i - j;
+    }
+  for (i = 0; i < MM; i++)
+    for (j = 0; j < MM; j++) {
+      int acc = 0;
+      for (k = 0; k < MM; k++)
+        acc = acc + M.a[i][k] * M.b[k][j];
+      M.c[i][j] = acc;
+    }
+  for (i = 0; i < MM; i++)
+    sum = sum + M.c[i][i];
+  record("intmm", sum, 1);
+}
+
+/* ---- bubble sort ---- */
+
+struct sort_buf {
+  int data[SORT_N];
+  long swaps;
+};
+
+struct sort_buf S;
+
+void run_bubble(void) {
+  int i, j;
+  for (i = 0; i < SORT_N; i++)
+    S.data[i] = (i * 37) % 101;
+  S.swaps = 0;
+  for (i = 0; i < SORT_N - 1; i++)
+    for (j = 0; j + 1 < SORT_N - i; j++)
+      if (S.data[j] > S.data[j + 1]) {
+        int t = S.data[j];
+        S.data[j] = S.data[j + 1];
+        S.data[j + 1] = t;
+        S.swaps = S.swaps + 1;
+      }
+  for (i = 1; i < SORT_N; i++)
+    if (S.data[i - 1] > S.data[i])
+      record("bubble", S.swaps, 0);
+  record("bubble", S.swaps, 1);
+}
+
+int main(void) {
+  int i;
+  suite.n_results = 0;
+  run_queens();
+  run_towers();
+  run_intmm();
+  run_bubble();
+  for (i = 0; i < suite.n_results; i++) {
+    struct bench_result *r = &suite.results[i];
+    printf("%s: checksum %ld %s\n", r->kernel, r->checksum,
+           r->ok ? "ok" : "FAILED");
+  }
+  return 0;
+}
+|}

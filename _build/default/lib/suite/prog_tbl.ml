@@ -1,0 +1,277 @@
+(** Corpus: generic hash-table library with two typed clients (after the
+    symbol-table cores of "awk"/"cfront"-era tools). Keys and values are
+    void*; hashing and equality go through function pointers; clients cast
+    payloads back to their types. *)
+
+let name = "tbl"
+
+let has_struct_cast = true
+
+let description =
+  "generic hash table (void* keys/values, fn-pointer hooks) + typed clients"
+
+let source =
+  {|
+/* tbl: a reusable chained hash table. Two clients: a string->symbol
+   interner and an int-keyed register map, each casting payloads. */
+
+void *malloc(unsigned long n);
+void free(void *p);
+int printf(char *fmt, ...);
+int strcmp(char *a, char *b);
+char *strcpy(char *dst, char *src);
+unsigned long strlen(char *s);
+
+#define N_BUCKETS 64
+
+struct tbl_entry {
+  struct tbl_entry *next;
+  void *key;
+  void *value;
+};
+
+struct tbl {
+  struct tbl_entry *buckets[N_BUCKETS];
+  unsigned int (*hash)(void *key);
+  int (*equal)(void *a, void *b);
+  int count;
+};
+
+void tbl_init(struct tbl *t, unsigned int (*hash)(void *),
+              int (*equal)(void *, void *)) {
+  int i;
+  for (i = 0; i < N_BUCKETS; i++)
+    t->buckets[i] = 0;
+  t->hash = hash;
+  t->equal = equal;
+  t->count = 0;
+}
+
+void *tbl_get(struct tbl *t, void *key) {
+  unsigned int h = (*t->hash)(key) % N_BUCKETS;
+  struct tbl_entry *e;
+  for (e = t->buckets[h]; e; e = e->next) {
+    if ((*t->equal)(e->key, key))
+      return e->value;
+  }
+  return 0;
+}
+
+void tbl_put(struct tbl *t, void *key, void *value) {
+  unsigned int h = (*t->hash)(key) % N_BUCKETS;
+  struct tbl_entry *e;
+  for (e = t->buckets[h]; e; e = e->next) {
+    if ((*t->equal)(e->key, key)) {
+      e->value = value;
+      return;
+    }
+  }
+  e = malloc(sizeof(struct tbl_entry));
+  e->key = key;
+  e->value = value;
+  e->next = t->buckets[h];
+  t->buckets[h] = e;
+  t->count = t->count + 1;
+}
+
+void tbl_foreach(struct tbl *t, void (*fn)(void *key, void *value)) {
+  int i;
+  struct tbl_entry *e;
+  for (i = 0; i < N_BUCKETS; i++)
+    for (e = t->buckets[i]; e; e = e->next)
+      (*fn)(e->key, e->value);
+}
+
+/* remove a key; returns the old value (or null) */
+void *tbl_remove(struct tbl *t, void *key) {
+  unsigned int h = (*t->hash)(key) % N_BUCKETS;
+  struct tbl_entry **link = &t->buckets[h];
+  while (*link) {
+    struct tbl_entry *e = *link;
+    if ((*t->equal)(e->key, key)) {
+      void *v = e->value;
+      *link = e->next;
+      t->count = t->count - 1;
+      free(e);
+      return v;
+    }
+    link = &e->next;
+  }
+  return 0;
+}
+
+/* redistribute all entries (e.g. after changing the hash function) */
+void tbl_rehash(struct tbl *t, unsigned int (*new_hash)(void *)) {
+  struct tbl_entry *all = 0;
+  int i;
+  for (i = 0; i < N_BUCKETS; i++) {
+    struct tbl_entry *e = t->buckets[i];
+    while (e) {
+      struct tbl_entry *next = e->next;
+      e->next = all;
+      all = e;
+      e = next;
+    }
+    t->buckets[i] = 0;
+  }
+  t->hash = new_hash;
+  while (all) {
+    struct tbl_entry *next = all->next;
+    unsigned int h = (*t->hash)(all->key) % N_BUCKETS;
+    all->next = t->buckets[h];
+    t->buckets[h] = all;
+    all = next;
+  }
+}
+
+int tbl_longest_chain(struct tbl *t) {
+  int i, best = 0;
+  for (i = 0; i < N_BUCKETS; i++) {
+    int n = 0;
+    struct tbl_entry *e;
+    for (e = t->buckets[i]; e; e = e->next)
+      n = n + 1;
+    if (n > best)
+      best = n;
+  }
+  return best;
+}
+
+/* ---- client 1: string interner / symbol table ---- */
+
+struct symbol {
+  char name[32];
+  int id;
+  int refs;
+};
+
+unsigned int str_hash(void *key) {
+  char *s = (char *)key;
+  unsigned int h = 5381;
+  while (*s) {
+    h = h * 33 + (unsigned int)*s;
+    s++;
+  }
+  return h;
+}
+
+int str_equal(void *a, void *b) {
+  return strcmp((char *)a, (char *)b) == 0;
+}
+
+struct tbl symbols;
+int next_sym_id;
+
+struct symbol *intern(char *name) {
+  struct symbol *sym = (struct symbol *)tbl_get(&symbols, (void *)name);
+  if (sym) {
+    sym->refs = sym->refs + 1;
+    return sym;
+  }
+  sym = malloc(sizeof(struct symbol));
+  strcpy(sym->name, name);
+  sym->id = next_sym_id;
+  sym->refs = 1;
+  next_sym_id = next_sym_id + 1;
+  tbl_put(&symbols, (void *)sym->name, (void *)sym);
+  return sym;
+}
+
+/* ---- client 2: int-keyed register map ---- */
+
+struct reg_info {
+  int reg_no;
+  int live_start;
+  int live_end;
+};
+
+/* integer keys are boxed into heap ints */
+unsigned int int_hash(void *key) {
+  int *p = (int *)key;
+  return (unsigned int)(*p * 2654435761U);
+}
+
+int int_equal(void *a, void *b) {
+  return *(int *)a == *(int *)b;
+}
+
+struct tbl registers;
+
+void assign_register(int vreg, int reg_no, int s, int e) {
+  int *key = malloc(sizeof(int));
+  struct reg_info *info = malloc(sizeof(struct reg_info));
+  *key = vreg;
+  info->reg_no = reg_no;
+  info->live_start = s;
+  info->live_end = e;
+  tbl_put(&registers, (void *)key, (void *)info);
+}
+
+struct reg_info *lookup_register(int vreg) {
+  int key = vreg;
+  return (struct reg_info *)tbl_get(&registers, (void *)&key);
+}
+
+/* ---- walkers ---- */
+
+long sym_ref_total;
+
+void count_refs(void *key, void *value) {
+  struct symbol *sym = (struct symbol *)value;
+  sym_ref_total = sym_ref_total + sym->refs;
+  if (str_equal(key, (void *)sym->name) == 0)
+    printf("corrupt symbol entry!\n");
+}
+
+int spill_count;
+
+void count_spills(void *key, void *value) {
+  struct reg_info *info = (struct reg_info *)value;
+  int vreg = *(int *)key;
+  if (info->reg_no < 0)
+    spill_count = spill_count + 1;
+  if (vreg < 0)
+    printf("bad vreg\n");
+}
+
+int main(void) {
+  char *words[6];
+  int i;
+  struct symbol *s1, *s2;
+  struct reg_info *ri;
+  words[0] = "alpha";
+  words[1] = "beta";
+  words[2] = "gamma";
+  words[3] = "alpha";
+  words[4] = "delta";
+  words[5] = "beta";
+  tbl_init(&symbols, str_hash, str_equal);
+  tbl_init(&registers, int_hash, int_equal);
+  next_sym_id = 0;
+  for (i = 0; i < 6; i++)
+    intern(words[i]);
+  s1 = intern("alpha");
+  s2 = intern("epsilon");
+  printf("alpha id %d refs %d; epsilon id %d\n", s1->id, s1->refs, s2->id);
+  for (i = 0; i < 10; i++)
+    assign_register(i, i < 6 ? i : -1, i * 2, i * 2 + 7);
+  ri = lookup_register(7);
+  if (ri)
+    printf("vreg 7 -> reg %d live [%d,%d]\n", ri->reg_no, ri->live_start,
+           ri->live_end);
+  sym_ref_total = 0;
+  tbl_foreach(&symbols, count_refs);
+  spill_count = 0;
+  tbl_foreach(&registers, count_spills);
+  printf("%d symbols, %ld refs; %d registers, %d spills\n", symbols.count,
+         sym_ref_total, registers.count, spill_count);
+  /* removal and rehashing exercise the remaining table paths */
+  tbl_remove(&symbols, (void *)"gamma");
+  printf("after remove: %d symbols, longest chain %d\n", symbols.count,
+         tbl_longest_chain(&symbols));
+  tbl_rehash(&symbols, str_hash);
+  printf("after rehash: %d symbols, longest chain %d\n", symbols.count,
+         tbl_longest_chain(&symbols));
+  return 0;
+}
+|}

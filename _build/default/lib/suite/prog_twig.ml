@@ -1,0 +1,261 @@
+(** Corpus: tree-pattern matcher (after "twig", the paper's worst case for
+    CIS). Pattern and subject trees use different node types that share an
+    initial sequence, and the matcher walks both through base-type casts. *)
+
+let name = "twig"
+
+let has_struct_cast = true
+
+let description =
+  "tree pattern matcher: pattern/subject nodes share a common prefix"
+
+let source =
+  {|
+/* twig: match rewrite patterns against an expression tree. Subject and
+   pattern nodes are distinct types sharing a common initial sequence
+   (op, kids); generic traversal code works on the shared prefix type. */
+
+void *malloc(unsigned long n);
+int printf(char *fmt, ...);
+
+#define OP_CONST 1
+#define OP_REG 2
+#define OP_ADD 3
+#define OP_MUL 4
+#define OP_LOAD 5
+#define OP_ANY 99
+
+/* the shared prefix: generic traversals use this type */
+struct tnode {
+  int op;
+  struct tnode *kid0;
+  struct tnode *kid1;
+};
+
+/* subject nodes carry a value and a computed cost */
+struct subject_node {
+  int op;
+  struct subject_node *kid0;
+  struct subject_node *kid1;
+  long value;
+  int best_cost;
+  int best_rule;
+};
+
+/* pattern nodes carry a binding slot */
+struct pattern_node {
+  int op;
+  struct pattern_node *kid0;
+  struct pattern_node *kid1;
+  int bind_slot;
+};
+
+struct rule {
+  struct pattern_node *pat;
+  int cost;
+  char *rhs_name;
+};
+
+#define MAX_RULES 8
+#define MAX_BINDINGS 8
+
+struct matcher {
+  struct rule rules[MAX_RULES];
+  int n_rules;
+  struct subject_node *bindings[MAX_BINDINGS];
+  long attempts;
+  long matches;
+};
+
+struct matcher M;
+
+struct subject_node *mk_subject(int op, struct subject_node *a,
+                                struct subject_node *b, long value) {
+  struct subject_node *n = malloc(sizeof(struct subject_node));
+  n->op = op;
+  n->kid0 = a;
+  n->kid1 = b;
+  n->value = value;
+  n->best_cost = 10000;
+  n->best_rule = -1;
+  return n;
+}
+
+struct pattern_node *mk_pattern(int op, struct pattern_node *a,
+                                struct pattern_node *b, int slot) {
+  struct pattern_node *n = malloc(sizeof(struct pattern_node));
+  n->op = op;
+  n->kid0 = a;
+  n->kid1 = b;
+  n->bind_slot = slot;
+  return n;
+}
+
+/* generic size/depth helpers work on the shared prefix */
+int tree_size(struct tnode *t) {
+  if (!t)
+    return 0;
+  return 1 + tree_size(t->kid0) + tree_size(t->kid1);
+}
+
+int tree_depth(struct tnode *t) {
+  int d0, d1;
+  if (!t)
+    return 0;
+  d0 = tree_depth(t->kid0);
+  d1 = tree_depth(t->kid1);
+  return 1 + (d0 > d1 ? d0 : d1);
+}
+
+/* match a pattern against a subject subtree, recording bindings */
+int match_at(struct pattern_node *pat, struct subject_node *sub) {
+  M.attempts = M.attempts + 1;
+  if (!pat)
+    return 1;
+  if (!sub)
+    return 0;
+  if (pat->op == OP_ANY) {
+    if (pat->bind_slot >= 0 && pat->bind_slot < MAX_BINDINGS)
+      M.bindings[pat->bind_slot] = sub;
+    return 1;
+  }
+  if (pat->op != sub->op)
+    return 0;
+  return match_at(pat->kid0, sub->kid0) && match_at(pat->kid1, sub->kid1);
+}
+
+void add_rule(struct pattern_node *pat, int cost, char *name) {
+  struct rule *r = &M.rules[M.n_rules];
+  r->pat = pat;
+  r->cost = cost;
+  r->rhs_name = name;
+  M.n_rules = M.n_rules + 1;
+}
+
+/* label the subject tree bottom-up with the cheapest matching rule */
+void label(struct subject_node *sub) {
+  int i;
+  if (!sub)
+    return;
+  label(sub->kid0);
+  label(sub->kid1);
+  for (i = 0; i < M.n_rules; i++) {
+    struct rule *r = &M.rules[i];
+    if (match_at(r->pat, sub)) {
+      M.matches = M.matches + 1;
+      if (r->cost < sub->best_cost) {
+        sub->best_cost = r->cost;
+        sub->best_rule = i;
+      }
+    }
+  }
+}
+
+/* ---- rewriting: replace matched subtrees using recorded bindings ---- */
+
+struct rewrite_stats {
+  long rewrites;
+  long copies;
+};
+
+struct rewrite_stats RW;
+
+struct subject_node *copy_subject(struct subject_node *s) {
+  struct subject_node *n;
+  if (!s)
+    return 0;
+  RW.copies = RW.copies + 1;
+  n = mk_subject(s->op, copy_subject(s->kid0), copy_subject(s->kid1),
+                 s->value);
+  n->best_cost = s->best_cost;
+  n->best_rule = s->best_rule;
+  return n;
+}
+
+/* (const * x) rewrites to strength-reduced (x + x) when the constant is
+   2; uses binding slot 3 captured by the mul-imm rule's pattern */
+struct subject_node *strength_reduce(struct subject_node *sub) {
+  int i;
+  if (!sub)
+    return 0;
+  sub->kid0 = strength_reduce(sub->kid0);
+  sub->kid1 = strength_reduce(sub->kid1);
+  for (i = 0; i < M.n_rules; i++) {
+    struct rule *r = &M.rules[i];
+    if (r->cost != 4)
+      continue; /* only the mul-imm rule */
+    if (match_at(r->pat, sub)) {
+      struct subject_node *konst = sub->kid0;
+      struct subject_node *operand = M.bindings[3];
+      if (konst && konst->op == OP_CONST && konst->value == 2 && operand) {
+        struct subject_node *left = copy_subject(operand);
+        struct subject_node *right = copy_subject(operand);
+        RW.rewrites = RW.rewrites + 1;
+        return mk_subject(OP_ADD, left, right, 0);
+      }
+    }
+  }
+  return sub;
+}
+
+void dump_labels(struct subject_node *sub, int depth) {
+  int i;
+  if (!sub)
+    return;
+  for (i = 0; i < depth; i++)
+    printf("  ");
+  printf("op=%d rule=%d cost=%d\n", sub->op, sub->best_rule, sub->best_cost);
+  dump_labels(sub->kid0, depth + 1);
+  dump_labels(sub->kid1, depth + 1);
+}
+
+int main(void) {
+  struct subject_node *tree, *tree2;
+  /* subject: (reg + (const * load(reg))) */
+  tree = mk_subject(OP_ADD,
+           mk_subject(OP_REG, 0, 0, 1),
+           mk_subject(OP_MUL,
+             mk_subject(OP_CONST, 0, 0, 4),
+             mk_subject(OP_LOAD,
+               mk_subject(OP_REG, 0, 0, 2), 0, 0), 0),
+           0);
+  /* a second subject with a strength-reducible (2 * reg) */
+  tree2 = mk_subject(OP_MUL,
+            mk_subject(OP_CONST, 0, 0, 2),
+            mk_subject(OP_REG, 0, 0, 3), 0);
+  /* rules */
+  add_rule(mk_pattern(OP_ANY, 0, 0, 0), 10, "spill");
+  add_rule(mk_pattern(OP_REG, 0, 0, -1), 1, "reg");
+  add_rule(mk_pattern(OP_CONST, 0, 0, -1), 1, "imm");
+  add_rule(mk_pattern(OP_ADD,
+             mk_pattern(OP_ANY, 0, 0, 1),
+             mk_pattern(OP_ANY, 0, 0, 2), -1), 3, "add");
+  add_rule(mk_pattern(OP_MUL,
+             mk_pattern(OP_CONST, 0, 0, -1),
+             mk_pattern(OP_ANY, 0, 0, 3), -1), 4, "mul-imm");
+  add_rule(mk_pattern(OP_LOAD,
+             mk_pattern(OP_REG, 0, 0, -1), 0, -1), 2, "load");
+  M.attempts = 0;
+  M.matches = 0;
+  RW.rewrites = 0;
+  RW.copies = 0;
+  label(tree);
+  dump_labels(tree, 0);
+  tree2 = strength_reduce(tree2);
+  label(tree2);
+  printf("after rewriting: %ld rewrites, %ld copies, root op %d\n",
+         RW.rewrites, RW.copies, tree2->op);
+  /* generic traversals through the shared-prefix cast */
+  printf("size %d depth %d attempts %ld matches %ld\n",
+         tree_size((struct tnode *)tree),
+         tree_depth((struct tnode *)tree), M.attempts, M.matches);
+  printf("pattern sizes:");
+  {
+    int i;
+    for (i = 0; i < M.n_rules; i++)
+      printf(" %d", tree_size((struct tnode *)M.rules[i].pat));
+  }
+  printf("\n");
+  return 0;
+}
+|}

@@ -1,0 +1,132 @@
+(** Corpus: terminal underline filter (after BSD "ul"). Cast-free; small
+    state machine over structs of mode flags. *)
+
+let name = "ul"
+
+let has_struct_cast = false
+
+let description = "underline/overstrike terminal filter"
+
+let source =
+  {|
+/* ul: interpret backspace overstrikes into terminal modes. */
+
+int getchar(void);
+int putchar(int c);
+int printf(char *fmt, ...);
+
+#define LINE_MAX 512
+
+#define M_NONE 0
+#define M_UNDERLINE 1
+#define M_BOLD 2
+
+struct colchar {
+  int ch;
+  int mode;
+};
+
+struct line_buf {
+  struct colchar cols[LINE_MAX];
+  int width;
+  int touched;
+};
+
+struct modes {
+  int current;
+  int pending;
+  long switches;
+};
+
+struct line_buf line;
+struct modes term;
+
+void line_clear(struct line_buf *lb) {
+  int i;
+  for (i = 0; i < LINE_MAX; i++) {
+    lb->cols[i].ch = ' ';
+    lb->cols[i].mode = M_NONE;
+  }
+  lb->width = 0;
+  lb->touched = 0;
+}
+
+void set_mode(struct modes *m, int mode) {
+  if (m->current != mode) {
+    m->pending = mode;
+    m->switches = m->switches + 1;
+  }
+}
+
+void flush_mode(struct modes *m) {
+  if (m->pending != m->current) {
+    if (m->pending & M_UNDERLINE) putchar(27);
+    if (m->pending & M_BOLD) putchar(27);
+    m->current = m->pending;
+  }
+}
+
+void put_col(struct line_buf *lb, int pos, int ch, int mode) {
+  struct colchar *cc;
+  if (pos < 0 || pos >= LINE_MAX)
+    return;
+  cc = &lb->cols[pos];
+  if (cc->ch == '_' && ch != '_') {
+    cc->ch = ch;
+    cc->mode = cc->mode | M_UNDERLINE;
+  } else if (ch == '_' && cc->ch != ' ') {
+    cc->mode = cc->mode | M_UNDERLINE;
+  } else if (cc->ch == ch) {
+    cc->mode = cc->mode | M_BOLD;
+  } else {
+    cc->ch = ch;
+    cc->mode = mode;
+  }
+  if (pos + 1 > lb->width)
+    lb->width = pos + 1;
+  lb->touched = 1;
+}
+
+void line_output(struct line_buf *lb, struct modes *m) {
+  int i;
+  for (i = 0; i < lb->width; i++) {
+    struct colchar *cc = &lb->cols[i];
+    set_mode(m, cc->mode);
+    flush_mode(m);
+    putchar(cc->ch);
+  }
+  set_mode(m, M_NONE);
+  flush_mode(m);
+  putchar('\n');
+}
+
+int main(void) {
+  int c;
+  int col = 0;
+  line_clear(&line);
+  term.current = M_NONE;
+  term.pending = M_NONE;
+  term.switches = 0;
+  c = getchar();
+  while (c >= 0) {
+    if (c == '\n') {
+      line_output(&line, &term);
+      line_clear(&line);
+      col = 0;
+    } else if (c == '\b') {
+      if (col > 0)
+        col = col - 1;
+    } else if (c == '\t') {
+      col = (col + 8) / 8 * 8;
+    } else {
+      put_col(&line, col, c, term.current);
+      col = col + 1;
+    }
+    c = getchar();
+  }
+  if (line.touched)
+    line_output(&line, &term);
+  printf("mode switches: %ld\n", term.switches);
+  return 0;
+}
+|}

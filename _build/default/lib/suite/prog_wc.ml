@@ -1,0 +1,121 @@
+(** Corpus: word/line/byte counter in the style of [wc]. Structures used
+    only at their declared types (no casting). *)
+
+let name = "wc"
+
+let has_struct_cast = false
+
+let description = "word, line and byte counter with per-file totals"
+
+let source =
+  {|
+/* wc: count lines, words, bytes. Struct-using, cast-free. */
+
+int printf(char *fmt, ...);
+int getchar(void);
+char *strcpy(char *dst, char *src);
+int strcmp(char *a, char *b);
+unsigned long strlen(char *s);
+
+struct counts {
+  long lines;
+  long words;
+  long bytes;
+  char label[32];
+};
+
+struct options {
+  int count_lines;
+  int count_words;
+  int count_bytes;
+  struct counts totals;
+};
+
+struct options opts;
+
+static struct counts *current;
+
+void counts_clear(struct counts *c, char *label) {
+  c->lines = 0;
+  c->words = 0;
+  c->bytes = 0;
+  strcpy(c->label, label);
+}
+
+void counts_add(struct counts *into, struct counts *from) {
+  into->lines = into->lines + from->lines;
+  into->words = into->words + from->words;
+  into->bytes = into->bytes + from->bytes;
+}
+
+void counts_print(struct counts *c) {
+  if (opts.count_lines) printf(" %7ld", c->lines);
+  if (opts.count_words) printf(" %7ld", c->words);
+  if (opts.count_bytes) printf(" %7ld", c->bytes);
+  printf(" %s\n", c->label);
+}
+
+int is_space(int ch) {
+  return ch == ' ' || ch == '\t' || ch == '\n' || ch == '\r';
+}
+
+void count_stream(struct counts *c) {
+  int ch;
+  int in_word = 0;
+  ch = getchar();
+  while (ch >= 0) {
+    c->bytes = c->bytes + 1;
+    if (ch == '\n')
+      c->lines = c->lines + 1;
+    if (is_space(ch)) {
+      in_word = 0;
+    } else if (!in_word) {
+      in_word = 1;
+      c->words = c->words + 1;
+    }
+    ch = getchar();
+  }
+}
+
+int parse_args(int argc, char **argv) {
+  int i;
+  int nfiles = 0;
+  opts.count_lines = 0;
+  opts.count_words = 0;
+  opts.count_bytes = 0;
+  for (i = 1; i < argc; i++) {
+    char *arg = argv[i];
+    if (arg[0] == '-') {
+      int j;
+      for (j = 1; arg[j]; j++) {
+        if (arg[j] == 'l') opts.count_lines = 1;
+        else if (arg[j] == 'w') opts.count_words = 1;
+        else if (arg[j] == 'c') opts.count_bytes = 1;
+      }
+    } else {
+      nfiles = nfiles + 1;
+    }
+  }
+  if (!opts.count_lines && !opts.count_words && !opts.count_bytes) {
+    opts.count_lines = 1;
+    opts.count_words = 1;
+    opts.count_bytes = 1;
+  }
+  return nfiles;
+}
+
+int main(int argc, char **argv) {
+  struct counts file_counts;
+  int nfiles;
+  nfiles = parse_args(argc, argv);
+  counts_clear(&opts.totals, "total");
+  counts_clear(&file_counts, "stdin");
+  current = &file_counts;
+  count_stream(current);
+  counts_add(&opts.totals, current);
+  counts_print(&file_counts);
+  if (nfiles > 1)
+    counts_print(&opts.totals);
+  return 0;
+}
+|}

@@ -1,0 +1,189 @@
+(** Corpus: simplified channel router (after the Austin benchmark
+    "yacr2"). Uses casting: routing state is checkpointed into an untyped
+    byte buffer and restored through structure-pointer casts. *)
+
+let name = "yacr"
+
+let has_struct_cast = true
+
+let description =
+  "VLSI channel router with cast-based checkpoint/restore of its state"
+
+let source =
+  {|
+/* yacr: greedy left-edge channel routing with vertical-constraint checks. */
+
+void *malloc(unsigned long n);
+int printf(char *fmt, ...);
+
+#define MAX_NETS 48
+#define MAX_COLS 96
+#define MAX_TRACKS 32
+
+struct net {
+  int id;
+  int left;      /* leftmost column */
+  int right;     /* rightmost column */
+  int track;     /* assigned track, -1 if none */
+  struct net *next_in_track;
+};
+
+struct track {
+  int id;
+  int rightmost;     /* rightmost occupied column */
+  int load;
+  struct net *nets;
+};
+
+struct channel {
+  struct net nets[MAX_NETS];
+  struct track tracks[MAX_TRACKS];
+  int n_nets;
+  int n_tracks;
+  int top_pins[MAX_COLS];
+  int bot_pins[MAX_COLS];
+};
+
+struct channel ch;
+
+void channel_init(void) {
+  int i;
+  ch.n_nets = 0;
+  ch.n_tracks = 0;
+  for (i = 0; i < MAX_COLS; i++) {
+    ch.top_pins[i] = 0;
+    ch.bot_pins[i] = 0;
+  }
+  for (i = 0; i < MAX_TRACKS; i++) {
+    struct track *t = &ch.tracks[i];
+    t->id = i;
+    t->rightmost = -1;
+    t->load = 0;
+    t->nets = 0;
+  }
+}
+
+struct net *add_net(int left, int right) {
+  struct net *n;
+  if (ch.n_nets >= MAX_NETS)
+    return 0;
+  n = &ch.nets[ch.n_nets];
+  n->id = ch.n_nets;
+  n->left = left;
+  n->right = right;
+  n->track = -1;
+  n->next_in_track = 0;
+  ch.n_nets = ch.n_nets + 1;
+  if (left >= 0 && left < MAX_COLS)
+    ch.top_pins[left] = n->id + 1;
+  if (right >= 0 && right < MAX_COLS)
+    ch.bot_pins[right] = n->id + 1;
+  return n;
+}
+
+void sort_nets_by_left(void) {
+  int i, j;
+  for (i = 1; i < ch.n_nets; i++) {
+    struct net key = ch.nets[i];
+    j = i - 1;
+    while (j >= 0 && ch.nets[j].left > key.left) {
+      ch.nets[j + 1] = ch.nets[j];
+      j = j - 1;
+    }
+    ch.nets[j + 1] = key;
+  }
+}
+
+struct track *first_free_track(struct net *n) {
+  int i;
+  for (i = 0; i < MAX_TRACKS; i++) {
+    struct track *t = &ch.tracks[i];
+    if (t->rightmost < n->left)
+      return t;
+  }
+  return 0;
+}
+
+void assign_to_track(struct net *n, struct track *t) {
+  n->track = t->id;
+  n->next_in_track = t->nets;
+  t->nets = n;
+  t->rightmost = n->right;
+  t->load = t->load + 1;
+  if (t->id + 1 > ch.n_tracks)
+    ch.n_tracks = t->id + 1;
+}
+
+int route_all(void) {
+  int i;
+  int failed = 0;
+  sort_nets_by_left();
+  for (i = 0; i < ch.n_nets; i++) {
+    struct net *n = &ch.nets[i];
+    struct track *t = first_free_track(n);
+    if (t)
+      assign_to_track(n, t);
+    else
+      failed = failed + 1;
+  }
+  return failed;
+}
+
+int check_no_overlap(void) {
+  int i;
+  for (i = 0; i < MAX_TRACKS; i++) {
+    struct track *t = &ch.tracks[i];
+    struct net *a;
+    for (a = t->nets; a; a = a->next_in_track) {
+      struct net *b;
+      for (b = a->next_in_track; b; b = b->next_in_track) {
+        if (!(a->right < b->left || b->right < a->left))
+          return 0;
+      }
+    }
+  }
+  return 1;
+}
+
+/* checkpoint/restore: the whole routing state is saved into an untyped
+   byte area and recovered through a structure-pointer cast */
+
+struct checkpoint {
+  char bytes[sizeof(struct channel)];
+  int valid;
+};
+
+struct checkpoint saved;
+
+void save_state(void) {
+  struct channel *slot = (struct channel *)saved.bytes;
+  *slot = ch;
+  saved.valid = 1;
+}
+
+int restore_state(void) {
+  if (!saved.valid)
+    return 0;
+  ch = *(struct channel *)saved.bytes;
+  return 1;
+}
+
+int main(void) {
+  int i, failed;
+  channel_init();
+  for (i = 0; i < 30; i++) {
+    int left = (i * 17) % 60;
+    int span = (i * 7) % 20 + 1;
+    add_net(left, left + span);
+  }
+  save_state();
+  failed = route_all();
+  if (failed > 0 && restore_state()) {
+    /* retry with a fresh track assignment after restoring pins */
+    failed = route_all();
+  }
+  printf("%d nets on %d tracks, %d failed, overlap-free=%d\n",
+         ch.n_nets, ch.n_tracks, failed, check_no_overlap());
+  return 0;
+}
+|}

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Cfront Core Cvar List Lower Nast Norm

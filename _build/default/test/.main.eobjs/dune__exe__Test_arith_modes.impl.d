@@ -1,0 +1,1 @@
+test/test_arith_modes.ml: Alcotest Cfront Cgen Core Cvar Helpers Interp List Lower Nast Norm Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_cells_graph.ml: Alcotest Cell Cfront Core Ctype Cvar Graph Helpers List

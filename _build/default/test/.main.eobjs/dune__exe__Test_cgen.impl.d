@@ -1,0 +1,1 @@
+test/test_cgen.ml: Alcotest Cfront Cgen Core Helpers Norm String

@@ -1,0 +1,1 @@
+test/test_clients.ml: Alcotest Clients Core Helpers List Lower Nast Norm Option

@@ -1,0 +1,1 @@
+test/test_ctype.ml: Alcotest Cfront Ctype Diag Helpers List

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Cfront Ctype Cvar Helpers Interp Layout List Lower Norm

@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Cfront Ctype Diag Helpers Layout List

@@ -1,0 +1,1 @@
+test/test_layout_properties.ml: Cfront Ctype Layout List QCheck2 QCheck_alcotest Test_strategy_properties

@@ -1,0 +1,1 @@
+test/test_layouts_soundness.ml: Alcotest Cfront Cgen Core Diag Interp Layout List Lower Norm Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_lexer.ml: Alcotest Cfront Diag Helpers Lexer List Srcloc Token

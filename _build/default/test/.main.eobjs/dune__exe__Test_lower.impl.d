@@ -1,0 +1,1 @@
+test/test_lower.ml: Alcotest Cfront Ctype Cvar Helpers List Lower Nast Norm Option Suite

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Ast Cfront Ctype Diag Helpers List Option Parser Printf String

@@ -1,0 +1,1 @@
+test/test_preproc.ml: Alcotest Cfront Diag Helpers List Preproc String Token

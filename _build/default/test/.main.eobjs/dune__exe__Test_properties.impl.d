@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Cfront Cgen Core Cvar Diag Interp List Lower Nast Norm Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_solver.ml: Alcotest Cfront Helpers List String

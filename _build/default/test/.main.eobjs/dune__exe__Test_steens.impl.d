@@ -1,0 +1,1 @@
+test/test_steens.ml: Alcotest Cfront Cgen Core Cvar Fmt Helpers Interp Layout List Lower Norm Printf QCheck2 QCheck_alcotest Steens Suite

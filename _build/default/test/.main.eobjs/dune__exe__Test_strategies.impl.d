@@ -1,0 +1,1 @@
+test/test_strategies.ml: Actx Alcotest Cell Cfront Collapse_always Collapse_on_cast Common_init_seq Core Ctype Cvar Graph Helpers List Offsets

@@ -1,0 +1,1 @@
+test/test_strategy_properties.ml: Actx Cell Cfront Collapse_on_cast Common_init_seq Core Ctype Cvar Graph Layout List Offsets Printf QCheck2 QCheck_alcotest Strategy String

@@ -1,0 +1,1 @@
+test/test_suite_corpus.ml: Alcotest Cfront Core Cvar Diag Fmt Helpers Interp List Lower Nast Norm String Suite

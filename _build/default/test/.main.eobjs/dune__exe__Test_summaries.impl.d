@@ -1,0 +1,1 @@
+test/test_summaries.ml: Alcotest Core Helpers List Norm String

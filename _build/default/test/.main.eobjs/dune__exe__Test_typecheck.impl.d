@@ -1,0 +1,1 @@
+test/test_typecheck.ml: Alcotest Cfront Ctype Diag Helpers List Option Parser String Tast Typecheck

@@ -1,0 +1,58 @@
+(** Shared helpers for the test suite. *)
+
+open Cfront
+open Norm
+
+let compile ?layout ?defines ?resolve src : Nast.program =
+  Lower.compile ?layout ?defines ?resolve ~file:"<test>" src
+
+let analyze ?layout ~strategy src : Core.Analysis.result =
+  Core.Analysis.run_source ?layout ~strategy ~file:"<test>" src
+
+let strategy id : (module Core.Strategy.S) =
+  match Core.Analysis.strategy_of_id id with
+  | Some s -> s
+  | None -> Alcotest.failf "unknown strategy %s" id
+
+(** Expanded points-to targets of [name], rendered as strings, sorted. *)
+let targets (r : Core.Analysis.result) name : string list =
+  let prog = r.Core.Analysis.solver.Core.Solver.prog in
+  let v =
+    List.find_opt
+      (fun v -> v.Cvar.vname = name || Cvar.qualified_name v = name)
+      prog.Nast.pall_vars
+  in
+  match v with
+  | None -> Alcotest.failf "no variable named %s" name
+  | Some v ->
+      Core.Metrics.expanded_pts r.Core.Analysis.solver v
+      |> Core.Cell.Set.elements
+      |> List.map Core.Cell.to_string
+      |> List.sort compare
+
+(** Distinct base-object names pointed to by [name], sorted. *)
+let target_bases (r : Core.Analysis.result) name : string list =
+  let prog = r.Core.Analysis.solver.Core.Solver.prog in
+  let v =
+    List.find_opt
+      (fun v -> v.Cvar.vname = name || Cvar.qualified_name v = name)
+      prog.Nast.pall_vars
+  in
+  match v with
+  | None -> Alcotest.failf "no variable named %s" name
+  | Some v ->
+      Core.Metrics.expanded_pts r.Core.Analysis.solver v
+      |> Core.Cell.Set.elements
+      |> List.map (fun (c : Core.Cell.t) ->
+             Cvar.qualified_name c.Core.Cell.base)
+      |> List.sort_uniq compare
+
+let slist = Alcotest.(slist string compare)
+
+let check_targets r name expected =
+  Alcotest.check slist (name ^ " targets") expected (targets r name)
+
+let check_bases r name expected =
+  Alcotest.check slist (name ^ " target objects") expected (target_bases r name)
+
+let tc name f = Alcotest.test_case name `Quick f

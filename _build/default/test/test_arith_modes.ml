@@ -1,0 +1,134 @@
+(** Tests for the pointer-arithmetic handling modes: the paper's
+    Assumption-1 rule (`Spread), the Wilson-Lam stride refinement
+    (`Stride), the pessimistic Unknown marker (`Unknown), and the
+    optimistic `Copy ablation. *)
+
+open Cfront
+open Norm
+
+let solve ~arith src =
+  let prog = Lower.compile ~file:"<arith>" src in
+  Core.Solver.run ~arith ~strategy:(module Core.Common_init_seq) prog
+
+let pts_bases solver name =
+  let prog = solver.Core.Solver.prog in
+  let v =
+    List.find
+      (fun v -> v.Cvar.vname = name || Cvar.qualified_name v = name)
+      prog.Nast.pall_vars
+  in
+  let module S = (val solver.Core.Solver.strategy : Core.Strategy.S) in
+  Core.Graph.pts solver.Core.Solver.graph
+    (S.normalize solver.Core.Solver.ctx v [])
+  |> Core.Cell.Set.elements
+  |> List.map (fun (c : Core.Cell.t) -> Cvar.qualified_name c.Core.Cell.base)
+  |> List.sort_uniq compare
+
+let struct_walk_src =
+  {|
+    struct S { int *a; int *b; } s;
+    int x, y;
+    int **p, *out;
+    void main(void) {
+      s.a = &x;
+      s.b = &y;
+      p = &s.a;
+      p = p + 1;
+      out = *p;
+    }
+  |}
+
+let array_walk_src =
+  {|
+    int *arr[8];
+    int x;
+    int **p, *out;
+    int unrelated;
+    void main(void) {
+      arr[0] = &x;
+      p = &arr[0];
+      p = p + 3;
+      out = *p;
+    }
+  |}
+
+let test_spread_on_struct () =
+  let s = solve ~arith:`Spread struct_walk_src in
+  (* stepping within a struct may reach any field *)
+  Alcotest.(check (list string)) "out sees both" [ "x"; "y" ]
+    (pts_bases s "out")
+
+let test_stride_on_struct () =
+  (* stride mode must NOT refine struct-internal arithmetic: p + 1 on a
+     pointer to a struct field still spreads *)
+  let s = solve ~arith:`Stride struct_walk_src in
+  Alcotest.(check (list string)) "still spreads" [ "x"; "y" ]
+    (pts_bases s "out")
+
+let test_stride_on_array () =
+  (* walking an array stays on the representative element *)
+  let s = solve ~arith:`Stride array_walk_src in
+  Alcotest.(check (list string)) "stays in arr" [ "x" ] (pts_bases s "out")
+
+let test_spread_on_array_equals_stride () =
+  (* for an array of scalars the representative has one cell, so spread
+     and stride coincide *)
+  let a = solve ~arith:`Spread array_walk_src in
+  let b = solve ~arith:`Stride array_walk_src in
+  Alcotest.(check (list string)) "same" (pts_bases a "out") (pts_bases b "out")
+
+let test_unknown_marks () =
+  let s = solve ~arith:`Unknown struct_walk_src in
+  let m = Core.Metrics.summarize s in
+  Alcotest.(check bool) "at least one flagged deref" true
+    (m.Core.Metrics.corrupt_derefs > 0);
+  (* p itself holds the marker *)
+  Alcotest.(check bool) "marker present" true
+    (List.mem "$unknown" (pts_bases s "p"))
+
+let test_other_modes_have_no_marker () =
+  List.iter
+    (fun arith ->
+      let s = solve ~arith struct_walk_src in
+      let m = Core.Metrics.summarize s in
+      Alcotest.(check int) "no flags" 0 m.Core.Metrics.corrupt_derefs)
+    [ `Spread; `Stride; `Copy ]
+
+let test_copy_is_most_precise () =
+  let s = solve ~arith:`Copy struct_walk_src in
+  (* optimistic: p + 1 still points at s.a only *)
+  Alcotest.(check (list string)) "copy keeps x" [ "x" ] (pts_bases s "out")
+
+(* stride must stay sound on random programs *)
+let stride_soundness seed =
+  let cfg = { Cgen.default with n_stmts = 50; cast_rate = 0.35 } in
+  let src = Cgen.generate ~cfg ~seed () in
+  let prog = Lower.compile ~file:(Printf.sprintf "<gen:%d>" seed) src in
+  let solver =
+    Core.Solver.run ~arith:`Stride ~strategy:(module Core.Common_init_seq)
+      prog
+  in
+  let observed = Interp.Eval.run prog in
+  match Interp.Oracle.uncovered solver observed with
+  | [] -> true
+  | missing ->
+      QCheck2.Test.fail_reportf "seed %d: stride mode missed %d facts" seed
+        (List.length missing)
+
+let stride_soundness_test =
+  QCheck2.Test.make ~name:"stride arithmetic stays sound" ~count:50
+    (QCheck2.Gen.int_range 0 100_000)
+    stride_soundness
+
+let suite =
+  [
+    Helpers.tc "spread: struct-internal arithmetic" test_spread_on_struct;
+    Helpers.tc "stride: struct-internal arithmetic still spreads"
+      test_stride_on_struct;
+    Helpers.tc "stride: array walks stay put" test_stride_on_array;
+    Helpers.tc "scalar arrays: spread = stride" test_spread_on_array_equals_stride;
+    Helpers.tc "unknown mode flags corrupted pointers" test_unknown_marks;
+    Helpers.tc "other modes never flag" test_other_modes_have_no_marker;
+    Helpers.tc "copy ablation is most precise" test_copy_is_most_precise;
+    QCheck_alcotest.to_alcotest stride_soundness_test;
+  ]

@@ -1,0 +1,81 @@
+(** Unit tests for cells and the points-to graph. *)
+
+open Cfront
+open Core
+
+let var name ty = Cvar.fresh ~name ~ty ~kind:Cvar.Global
+
+let test_cell_ordering () =
+  let a = var "a" Ctype.int_t in
+  let b = var "b" Ctype.int_t in
+  let ca0 = Cell.v a (Cell.Off 0) in
+  let ca4 = Cell.v a (Cell.Off 4) in
+  let cb0 = Cell.v b (Cell.Off 0) in
+  Alcotest.(check bool) "same cell equal" true (Cell.equal ca0 ca0);
+  Alcotest.(check bool) "different offsets" false (Cell.equal ca0 ca4);
+  Alcotest.(check bool) "ordering by var then sel" true (Cell.compare ca0 ca4 < 0);
+  Alcotest.(check bool) "ordering across vars" true (Cell.compare ca4 cb0 < 0);
+  (* paths and offsets never collide *)
+  let cp = Cell.v a (Cell.Path []) in
+  Alcotest.(check bool) "path vs off" false (Cell.equal cp ca0)
+
+let test_cell_pp () =
+  let s = var "s" Ctype.int_t in
+  Alcotest.(check string) "whole" "s" (Cell.to_string (Cell.whole s));
+  Alcotest.(check string) "path" "s.f.g"
+    (Cell.to_string (Cell.v s (Cell.Path [ "f"; "g" ])));
+  Alcotest.(check string) "offset" "s@8"
+    (Cell.to_string (Cell.v s (Cell.Off 8)))
+
+let test_graph_add_edges () =
+  let g = Graph.create () in
+  let a = var "a" Ctype.int_t and b = var "b" Ctype.int_t in
+  let ca = Cell.whole a and cb = Cell.whole b in
+  Alcotest.(check bool) "new edge" true (Graph.add_edge g ca cb);
+  Alcotest.(check bool) "duplicate edge" false (Graph.add_edge g ca cb);
+  Alcotest.(check int) "edge count" 1 (Graph.edge_count g);
+  Alcotest.(check int) "pts size" 1 (Cell.Set.cardinal (Graph.pts g ca));
+  Alcotest.(check int) "no facts" 0 (Cell.Set.cardinal (Graph.pts g cb))
+
+let test_graph_obj_index () =
+  let g = Graph.create () in
+  let a = var "a" Ctype.int_t and b = var "b" Ctype.int_t in
+  let c0 = Cell.v a (Cell.Off 0) and c4 = Cell.v a (Cell.Off 4) in
+  ignore (Graph.add_edge g c0 (Cell.whole b));
+  ignore (Graph.add_edge g c4 (Cell.whole b));
+  let cells = Graph.cells_of_obj g a in
+  Alcotest.(check int) "both cells indexed" 2 (List.length cells);
+  Alcotest.(check int) "b has no sources" 0 (List.length (Graph.cells_of_obj g b))
+
+let test_graph_iteration () =
+  let g = Graph.create () in
+  let a = var "a" Ctype.int_t and b = var "b" Ctype.int_t in
+  ignore (Graph.add_edge g (Cell.whole a) (Cell.whole b));
+  ignore (Graph.add_edge g (Cell.whole b) (Cell.whole a));
+  let n = ref 0 in
+  Graph.iter_edges g (fun _ _ -> incr n);
+  Alcotest.(check int) "iterated all" 2 !n;
+  let folded =
+    Graph.fold_sources g (fun _ set acc -> acc + Cell.Set.cardinal set) 0
+  in
+  Alcotest.(check int) "folded all" 2 folded
+
+let test_cell_type () =
+  let c = Ctype.fresh_comp ~tag:"T" ~is_union:false in
+  c.Ctype.cfields <-
+    Some [ { Ctype.fname = "f"; fty = Ctype.Ptr Ctype.int_t; fbits = None } ];
+  let v = var "v" (Ctype.Comp c) in
+  Alcotest.(check string) "typed path" "int*"
+    (Ctype.to_string (Cell.cell_type (Cell.v v (Cell.Path [ "f" ]))));
+  Alcotest.(check string) "bad path is void" "void"
+    (Ctype.to_string (Cell.cell_type (Cell.v v (Cell.Path [ "nope" ]))))
+
+let suite =
+  [
+    Helpers.tc "cell ordering and equality" test_cell_ordering;
+    Helpers.tc "cell printing" test_cell_pp;
+    Helpers.tc "graph edge insertion" test_graph_add_edges;
+    Helpers.tc "graph per-object index" test_graph_obj_index;
+    Helpers.tc "graph iteration" test_graph_iteration;
+    Helpers.tc "cell types" test_cell_type;
+  ]

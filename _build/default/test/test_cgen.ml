@@ -1,0 +1,69 @@
+(** Unit tests for the random C program generator. *)
+
+let test_deterministic () =
+  let a = Cgen.generate ~seed:42 () in
+  let b = Cgen.generate ~seed:42 () in
+  Alcotest.(check string) "same seed, same program" a b
+
+let test_seeds_differ () =
+  let a = Cgen.generate ~seed:1 () in
+  let b = Cgen.generate ~seed:2 () in
+  Alcotest.(check bool) "different seeds differ" true (a <> b)
+
+let test_config_scales () =
+  let small =
+    Cgen.generate ~cfg:{ Cgen.default with n_stmts = 5 } ~seed:7 ()
+  in
+  let large =
+    Cgen.generate ~cfg:{ Cgen.default with n_stmts = 200 } ~seed:7 ()
+  in
+  Alcotest.(check bool) "more statements, more text" true
+    (String.length large > String.length small)
+
+let test_all_compile () =
+  (* a spread of seeds must go through the whole front end *)
+  for seed = 0 to 30 do
+    let src = Cgen.generate ~seed () in
+    match Norm.Lower.compile ~file:"<gen>" src with
+    | prog ->
+        if Norm.Nast.stmt_count prog = 0 then
+          Alcotest.failf "seed %d: empty program" seed
+    | exception Cfront.Diag.Error p ->
+        Alcotest.failf "seed %d: %s@.%s" seed p.Cfront.Diag.message src
+  done
+
+let test_casts_present () =
+  (* with a high cast rate, generated programs must actually contain
+     struct-pointer casts (checked via the instrumentation counters) *)
+  let cfg = { Cgen.default with n_stmts = 120; cast_rate = 0.9 } in
+  let hits = ref 0 in
+  for seed = 0 to 9 do
+    let src = Cgen.generate ~cfg ~seed () in
+    let prog = Norm.Lower.compile ~file:"<gen>" src in
+    let r =
+      Core.Analysis.run ~strategy:(module Core.Collapse_on_cast) prog
+    in
+    let f = r.Core.Analysis.metrics.Core.Metrics.figures3 in
+    if f.Core.Actx.pct_lookup_mismatch > 0.0
+       || f.Core.Actx.pct_resolve_mismatch > 0.0
+    then incr hits
+  done;
+  Alcotest.(check bool) "most seeds exercise casting" true (!hits >= 7)
+
+let test_zero_cast_rate () =
+  (* cast_rate 0 still compiles; the blit/double patterns may cast, so we
+     only require successful compilation here *)
+  let cfg = { Cgen.default with cast_rate = 0.0; n_stmts = 60 } in
+  for seed = 0 to 5 do
+    ignore (Norm.Lower.compile ~file:"<gen>" (Cgen.generate ~cfg ~seed ()))
+  done
+
+let suite =
+  [
+    Helpers.tc "deterministic" test_deterministic;
+    Helpers.tc "seeds differ" test_seeds_differ;
+    Helpers.tc "size scales with config" test_config_scales;
+    Helpers.tc "all seeds compile" test_all_compile;
+    Helpers.tc "high cast rate exercises casting" test_casts_present;
+    Helpers.tc "zero cast rate compiles" test_zero_cast_rate;
+  ]

@@ -1,0 +1,87 @@
+(** Smoke tests driving the [structcast] command-line executable.
+
+    The tests locate the built binary inside dune's sandbox (it is listed
+    as a test dependency in [test/dune]) and check each subcommand and
+    print mode produces plausible output and exit codes. *)
+
+let exe = "../bin/structcast.exe"
+
+let run_capture args : int * string =
+  let cmd = Filename.quote_command exe args in
+  let ic = Unix.open_process_in (cmd ^ " 2>&1") in
+  let buf = Buffer.create 1024 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  let code =
+    match Unix.close_process_in ic with
+    | Unix.WEXITED n -> n
+    | Unix.WSIGNALED _ | Unix.WSTOPPED _ -> -1
+  in
+  (code, Buffer.contents buf)
+
+let check_contains name out needle =
+  let contains s sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  if not (contains out needle) then
+    Alcotest.failf "%s: output lacks %S:\n%s" name needle out
+
+let test_corpus_listing () =
+  let code, out = run_capture [ "corpus" ] in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "corpus" out "anagram";
+  check_contains "corpus" out "description"
+
+let test_analyze_metrics () =
+  let code, out = run_capture [ "analyze"; "bc"; "-p"; "metrics"; "-s"; "cis" ] in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "metrics" out "avg deref pts size";
+  check_contains "metrics" out "Common Initial Sequence"
+
+let test_analyze_points_to () =
+  let code, out =
+    run_capture [ "analyze"; "wc"; "-p"; "points-to"; "-s"; "offsets" ]
+  in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "points-to" out "->"
+
+let test_analyze_dot () =
+  let code, out = run_capture [ "analyze"; "li"; "-p"; "dot" ] in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "dot" out "digraph points_to"
+
+let test_compare () =
+  let code, out = run_capture [ "compare"; "sc" ] in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "compare" out "Collapse Always";
+  check_contains "compare" out "steensgaard"
+
+let test_bad_strategy_fails () =
+  let code, out = run_capture [ "analyze"; "bc"; "-s"; "nope" ] in
+  Alcotest.(check bool) "nonzero exit" true (code <> 0);
+  check_contains "error" out "unknown strategy"
+
+let test_bad_file_fails () =
+  let code, _ = run_capture [ "analyze"; "/no/such/file.c" ] in
+  Alcotest.(check bool) "nonzero exit" true (code <> 0)
+
+let suite =
+  if Sys.file_exists exe then
+    [
+      Helpers.tc "corpus listing" test_corpus_listing;
+      Helpers.tc "analyze --print metrics" test_analyze_metrics;
+      Helpers.tc "analyze --print points-to" test_analyze_points_to;
+      Helpers.tc "analyze --print dot" test_analyze_dot;
+      Helpers.tc "compare" test_compare;
+      Helpers.tc "unknown strategy fails" test_bad_strategy_fails;
+      Helpers.tc "missing file fails" test_bad_file_fails;
+    ]
+  else
+    [ Alcotest.test_case "cli binary not built; skipped" `Quick (fun () -> ()) ]

@@ -1,0 +1,144 @@
+(** Tests for the client-analysis query library. *)
+
+open Norm
+
+let query ?(strategy = (module Core.Common_init_seq : Core.Strategy.S)) src :
+    Clients.Queries.t =
+  let prog = Lower.compile ~file:"<clients>" src in
+  Clients.Queries.of_solver (Core.Solver.run ~strategy prog)
+
+let shapes_src =
+  {|
+    struct ops { int (*f)(int); int (*g)(int); };
+    int inc(int x) { return x + 1; }
+    int dec(int x) { return x - 1; }
+    int twice(int x) { return x * 2; }
+    struct ops o1 = { inc, dec };
+    struct ops o2 = { twice, twice };
+    int helper(struct ops *p, int v) { return p->f(v); }
+    int direct_user(int v) { return inc(v); }
+    void main(void) {
+      helper(&o1, 1);
+      helper(&o2, 2);
+      direct_user(3);
+    }
+  |}
+
+let test_call_graph () =
+  let q = query shapes_src in
+  let cg = Clients.Queries.call_graph q in
+  let callees name =
+    List.assoc name cg |> List.map Clients.Queries.callee_name
+    |> List.sort_uniq compare
+  in
+  (* field sensitivity keeps the f and g slots apart: dec (stored only
+     in g) must NOT appear among p->f's callees; o1.f and o2.f merge at
+     the shared call site *)
+  Alcotest.(check (list string)) "helper resolves fn ptrs"
+    [ "inc"; "twice" ]
+    (callees "helper");
+  Alcotest.(check (list string)) "direct call" [ "inc" ] (callees "direct_user");
+  Alcotest.(check (list string)) "main calls" [ "direct_user"; "helper" ]
+    (callees "main")
+
+let test_call_graph_precision_gap () =
+  (* under collapse-always the ops struct is one cell, so helper's
+     indirect call also reaches dec (stored only in the g slot) *)
+  let precise = query shapes_src in
+  let coarse =
+    query ~strategy:(module Core.Collapse_always) shapes_src
+  in
+  let count q =
+    List.length (List.assoc "helper" (Clients.Queries.call_graph q))
+  in
+  Alcotest.(check bool) "coarse at least as many callees" true
+    (count coarse >= count precise)
+
+let test_reachable () =
+  let q = query shapes_src in
+  let reach = Clients.Queries.reachable_from q "main" in
+  Alcotest.(check bool) "indirect targets reachable" true
+    (List.mem "twice" reach && List.mem "inc" reach);
+  Alcotest.(check bool) "main itself" true (List.mem "main" reach)
+
+let alias_src =
+  {|
+    struct S { int *a; int *b; } s;
+    int x, y, z;
+    int *p, *q, *r;
+    void main(void) {
+      s.a = &x;
+      s.b = &y;
+      p = s.a;
+      q = s.b;
+      r = s.a;
+    }
+  |}
+
+let test_may_alias () =
+  let q = query alias_src in
+  let v name =
+    match Clients.Queries.find_var q name with
+    | Some v -> v
+    | None -> Alcotest.failf "no var %s" name
+  in
+  Alcotest.(check bool) "p aliases r" true
+    (Clients.Queries.may_alias q (v "p") (v "r"));
+  Alcotest.(check bool) "p does not alias q" false
+    (Clients.Queries.may_alias q (v "p") (v "q"));
+  Alcotest.(check bool) "p may point into x" true
+    (Clients.Queries.may_point_into q (v "p") (v "x"));
+  Alcotest.(check bool) "p may not point into z" false
+    (Clients.Queries.may_point_into q (v "p") (v "z"))
+
+let mod_src =
+  {|
+    int g1, g2;
+    void write_g1(int *unused) { int *p; p = &g1; *p = 1; }
+    void write_g2(void) { int *p; p = &g2; *p = 2; }
+    void caller(void) { write_g1(0); }
+    void main(void) { caller(); write_g2(); }
+  |}
+
+let test_mod_sets () =
+  let q = query mod_src in
+  let p = Clients.Queries.prog q in
+  let f name = Option.get (Nast.func_by_name p name) in
+  let mods name =
+    Clients.Queries.cell_set_to_strings
+      (Clients.Queries.mod_set q (f name))
+  in
+  Alcotest.(check (list string)) "write_g1 mods" [ "g1" ] (mods "write_g1");
+  Alcotest.(check (list string)) "write_g2 mods" [ "g2" ] (mods "write_g2");
+  Alcotest.(check (list string)) "caller mods nothing directly" []
+    (mods "caller");
+  let trans =
+    Clients.Queries.cell_set_to_strings
+      (Clients.Queries.mod_set_transitive q "caller")
+  in
+  Alcotest.(check (list string)) "caller transitively mods g1" [ "g1" ] trans
+
+let test_ref_sets () =
+  let src =
+    {|
+      int g;
+      int reader(int *p) { return *p; }
+      void main(void) { reader(&g); }
+    |}
+  in
+  let q = query src in
+  let p = Clients.Queries.prog q in
+  let f = Option.get (Nast.func_by_name p "reader") in
+  Alcotest.(check (list string)) "reader refs g" [ "g" ]
+    (Clients.Queries.cell_set_to_strings (Clients.Queries.ref_set q f))
+
+let suite =
+  [
+    Helpers.tc "call graph with resolved fn pointers" test_call_graph;
+    Helpers.tc "call-graph precision tracks the instance"
+      test_call_graph_precision_gap;
+    Helpers.tc "reachability" test_reachable;
+    Helpers.tc "may-alias queries" test_may_alias;
+    Helpers.tc "MOD sets (direct and transitive)" test_mod_sets;
+    Helpers.tc "REF sets" test_ref_sets;
+  ]

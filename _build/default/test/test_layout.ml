@@ -1,0 +1,122 @@
+(** Unit tests for the layout engine: sizes, alignment, offsets, and the
+    array-canonicalization of byte offsets. *)
+
+open Cfront
+
+let comp ?(union = false) tag fields =
+  let c = Ctype.fresh_comp ~tag ~is_union:union in
+  c.Ctype.cfields <-
+    Some
+      (List.map
+         (fun (fname, fty) -> { Ctype.fname; fty; fbits = None })
+         fields);
+  Ctype.Comp c
+
+let l32 = Layout.ilp32
+
+let l64 = Layout.lp64
+
+let test_scalar_sizes () =
+  Alcotest.(check int) "char" 1 (Layout.size_of l32 Ctype.char_t);
+  Alcotest.(check int) "short" 2 (Layout.size_of l32 Ctype.short_t);
+  Alcotest.(check int) "int" 4 (Layout.size_of l32 Ctype.int_t);
+  Alcotest.(check int) "double" 8 (Layout.size_of l32 Ctype.double_t);
+  Alcotest.(check int) "ptr32" 4 (Layout.size_of l32 (Ctype.Ptr Ctype.int_t));
+  Alcotest.(check int) "ptr64" 8 (Layout.size_of l64 (Ctype.Ptr Ctype.int_t));
+  Alcotest.(check int) "long32" 4 (Layout.size_of l32 Ctype.long_t);
+  Alcotest.(check int) "long64" 8 (Layout.size_of l64 Ctype.long_t)
+
+let test_struct_padding () =
+  (* { char c; int i; } => c@0, 3 bytes padding, i@4, size 8 under ilp32 *)
+  let s = comp "P" [ ("c", Ctype.char_t); ("i", Ctype.int_t) ] in
+  Alcotest.(check int) "offset c" 0 (Layout.offset_of_field l32 s "c");
+  Alcotest.(check int) "offset i" 4 (Layout.offset_of_field l32 s "i");
+  Alcotest.(check int) "size" 8 (Layout.size_of l32 s);
+  (* trailing padding: { int i; char c; } also sizes to 8 *)
+  let s2 = comp "P2" [ ("i", Ctype.int_t); ("c", Ctype.char_t) ] in
+  Alcotest.(check int) "trailing pad" 8 (Layout.size_of l32 s2)
+
+let test_max_align_cap () =
+  (* ilp32 caps alignment at 4: a double after a char lands at offset 4 *)
+  let s = comp "D" [ ("c", Ctype.char_t); ("d", Ctype.double_t) ] in
+  Alcotest.(check int) "double offset capped" 4
+    (Layout.offset_of_field l32 s "d");
+  Alcotest.(check int) "double offset lp64" 8
+    (Layout.offset_of_field l64 s "d")
+
+let test_union_layout () =
+  let u =
+    comp ~union:true "U" [ ("i", Ctype.int_t); ("d", Ctype.double_t) ]
+  in
+  Alcotest.(check int) "member offsets" 0 (Layout.offset_of_field l32 u "i");
+  Alcotest.(check int) "member offsets d" 0 (Layout.offset_of_field l32 u "d");
+  Alcotest.(check int) "union size = max member (aligned)" 8
+    (Layout.size_of l32 u)
+
+let test_array_sizes () =
+  let a = Ctype.Array (Ctype.int_t, Some 10) in
+  Alcotest.(check int) "int[10]" 40 (Layout.size_of l32 a);
+  let s = comp "AS" [ ("c", Ctype.char_t); ("i", Ctype.int_t) ] in
+  Alcotest.(check int) "struct[3]" 24 (Layout.size_of l32 (Ctype.Array (s, Some 3)))
+
+let test_offset_of_path () =
+  let inner = comp "I" [ ("a", Ctype.int_t); ("b", Ctype.int_t) ] in
+  let outer =
+    comp "O" [ ("x", Ctype.char_t); ("i", inner); ("z", Ctype.int_t) ]
+  in
+  Alcotest.(check int) "nested" 8 (Layout.offset_of_path l32 outer [ "i"; "b" ]);
+  Alcotest.(check int) "empty path" 0 (Layout.offset_of_path l32 outer []);
+  (* arrays contribute offset 0 (single representative element) *)
+  let holder = comp "H" [ ("arr", Ctype.Array (inner, Some 5)); ("t", Ctype.int_t) ] in
+  Alcotest.(check int) "through array" 4
+    (Layout.offset_of_path l32 holder [ "arr"; "b" ])
+
+let test_leaf_offsets () =
+  let inner = comp "I2" [ ("a", Ctype.int_t); ("b", Ctype.Ptr Ctype.char_t) ] in
+  let outer = comp "O2" [ ("i", inner); ("z", Ctype.int_t) ] in
+  let leaves = Layout.leaf_offsets l32 outer in
+  Alcotest.(check (list (pair (list string) int)))
+    "paths and offsets"
+    [ ([ "i"; "a" ], 0); ([ "i"; "b" ], 4); ([ "z" ], 8) ]
+    (List.map (fun (p, o, _) -> (p, o)) leaves)
+
+let test_canon_offset () =
+  let elem = comp "E" [ ("x", Ctype.int_t); ("y", Ctype.int_t) ] in
+  let holder =
+    comp "H2" [ ("arr", Ctype.Array (elem, Some 4)); ("tail", Ctype.int_t) ]
+  in
+  (* offset 20 = element 2, field y -> canonical element 0's y at 4 *)
+  Alcotest.(check int) "fold into representative" 4
+    (Layout.canon_offset l32 holder 20);
+  (* offsets already canonical stay put *)
+  Alcotest.(check int) "canonical" 4 (Layout.canon_offset l32 holder 4);
+  (* tail field after the array: 4 elements * 8 bytes = 32 *)
+  Alcotest.(check int) "after array" 32 (Layout.canon_offset l32 holder 32);
+  (* out of bounds: unchanged *)
+  Alcotest.(check int) "oob" 99 (Layout.canon_offset l32 holder 99)
+
+let test_incomplete_struct_errors () =
+  let c = Ctype.fresh_comp ~tag:"Inc" ~is_union:false in
+  match Layout.size_of l32 (Ctype.Comp c) with
+  | exception Diag.Error _ -> ()
+  | _ -> Alcotest.fail "expected error for incomplete struct"
+
+let test_layouts_differ () =
+  let s = comp "X" [ ("p", Ctype.Ptr Ctype.int_t); ("q", Ctype.Ptr Ctype.int_t) ] in
+  Alcotest.(check int) "ilp32 q" 4 (Layout.offset_of_field l32 s "q");
+  Alcotest.(check int) "lp64 q" 8 (Layout.offset_of_field l64 s "q");
+  Alcotest.(check int) "word16 q" 2 (Layout.offset_of_field Layout.word16 s "q")
+
+let suite =
+  [
+    Helpers.tc "scalar sizes" test_scalar_sizes;
+    Helpers.tc "struct padding" test_struct_padding;
+    Helpers.tc "alignment cap" test_max_align_cap;
+    Helpers.tc "union layout" test_union_layout;
+    Helpers.tc "array sizes" test_array_sizes;
+    Helpers.tc "offset of path" test_offset_of_path;
+    Helpers.tc "leaf offsets" test_leaf_offsets;
+    Helpers.tc "canonical offsets" test_canon_offset;
+    Helpers.tc "incomplete struct errors" test_incomplete_struct_errors;
+    Helpers.tc "layouts disagree" test_layouts_differ;
+  ]

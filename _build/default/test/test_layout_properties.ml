@@ -1,0 +1,96 @@
+(** Property-based tests of the layout engine over randomly generated
+    types (reusing the generator from the strategy properties):
+
+    - field offsets respect alignment and ordering, and leaves fit inside
+      the object;
+    - [offset_of_path] agrees with [leaf_offsets];
+    - [canon_offset] is idempotent and bounded;
+    - sizes are consistent across nesting. *)
+
+open Cfront
+
+let gen = Test_strategy_properties.gen_struct_and_leaf
+
+let layouts = [ Layout.ilp32; Layout.lp64; Layout.word16 ]
+
+let prop_leaves_fit (ty, _) =
+  List.for_all
+    (fun cfg ->
+      let size = Layout.size_of cfg ty in
+      List.for_all
+        (fun (_, off, lty) ->
+          let s = max 1 (Layout.size_of cfg lty) in
+          (off >= 0 && off + s <= size)
+          || QCheck2.Test.fail_reportf
+               "%s: leaf at %d+%d outside size %d of %s" cfg.Layout.name off
+               s size (Ctype.to_string ty))
+        (Layout.leaf_offsets cfg ty))
+    layouts
+
+let prop_offsets_aligned (ty, _) =
+  List.for_all
+    (fun cfg ->
+      List.for_all
+        (fun (_, off, lty) ->
+          let a = Layout.align_of cfg lty in
+          off mod a = 0
+          || QCheck2.Test.fail_reportf "%s: offset %d not %d-aligned"
+               cfg.Layout.name off a)
+        (Layout.leaf_offsets cfg ty))
+    layouts
+
+let prop_leaf_offsets_sorted (ty, _) =
+  List.for_all
+    (fun cfg ->
+      let offs = List.map (fun (_, o, _) -> o) (Layout.leaf_offsets cfg ty) in
+      List.sort compare offs = offs)
+    layouts
+
+let prop_offset_of_path_agrees (ty, leaf) =
+  (* offset_of_path on a through-union leaf equals the leaf_offsets entry *)
+  List.for_all
+    (fun cfg ->
+      let entries = Layout.leaf_offsets cfg ty in
+      match List.find_opt (fun (p, _, _) -> p = leaf) entries with
+      | None -> true (* the chosen leaf cuts at a union for path purposes *)
+      | Some (_, off, _) ->
+          Layout.offset_of_path cfg ty leaf = off
+          || QCheck2.Test.fail_reportf "%s: offset_of_path disagrees"
+               cfg.Layout.name)
+    layouts
+
+let prop_canon_idempotent_and_bounded (ty, _) =
+  List.for_all
+    (fun cfg ->
+      let size = Layout.size_of cfg ty in
+      List.for_all
+        (fun off ->
+          let c1 = Layout.canon_offset cfg ty off in
+          let c2 = Layout.canon_offset cfg ty c1 in
+          (c1 = c2 && c1 <= max off 0)
+          || QCheck2.Test.fail_reportf
+               "%s: canon %d -> %d -> %d (size %d) in %s" cfg.Layout.name off
+               c1 c2 size (Ctype.to_string ty))
+        (List.init (min size 48) (fun i -> i)))
+    layouts
+
+let prop_array_size_multiplies (ty, _) =
+  List.for_all
+    (fun cfg ->
+      let s = Layout.size_of cfg ty in
+      Layout.size_of cfg (Ctype.Array (ty, Some 5)) = 5 * s)
+    layouts
+
+let t name prop = QCheck2.Test.make ~name ~count:150 gen prop
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      t "leaves fit inside the object" prop_leaves_fit;
+      t "leaf offsets are aligned" prop_offsets_aligned;
+      t "leaf offsets are sorted" prop_leaf_offsets_sorted;
+      t "offset_of_path agrees with leaf_offsets" prop_offset_of_path_agrees;
+      t "canon_offset is idempotent and bounded"
+        prop_canon_idempotent_and_bounded;
+      t "array sizes multiply" prop_array_size_multiplies;
+    ]

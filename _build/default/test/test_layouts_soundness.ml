@@ -1,0 +1,76 @@
+(** Soundness must hold under every layout configuration: the Offsets
+    instance and the concrete interpreter are both parameterized by the
+    layout, and they must agree for each of ilp32 / lp64 / word16.
+
+    This also pins the portability claim from the other side: the
+    portable instances must produce the {e same} graphs whatever layout
+    the Offsets machinery is configured with. *)
+
+open Cfront
+open Norm
+
+let gen_cfg = { Cgen.default with n_stmts = 45; cast_rate = 0.35 }
+
+let soundness_under layout (module S : Core.Strategy.S) seed =
+  let src = Cgen.generate ~cfg:gen_cfg ~seed () in
+  let prog =
+    try Lower.compile ~layout ~file:(Printf.sprintf "<gen:%d>" seed) src
+    with Diag.Error p -> Alcotest.failf "seed %d: %s" seed p.Diag.message
+  in
+  let solver = Core.Solver.run ~layout ~strategy:(module S) prog in
+  let observed = Interp.Eval.run ~layout prog in
+  match Interp.Oracle.uncovered solver observed with
+  | [] -> true
+  | missing ->
+      QCheck2.Test.fail_reportf "seed %d: %s/%s missed %d facts" seed S.id
+        layout.Layout.name (List.length missing)
+
+let seed_gen = QCheck2.Gen.int_range 0 100_000
+
+let soundness_tests =
+  List.concat_map
+    (fun layout ->
+      List.map
+        (fun (module S : Core.Strategy.S) ->
+          QCheck2.Test.make
+            ~name:
+              (Printf.sprintf "soundness under %s: %s" layout.Layout.name
+                 S.id)
+            ~count:25 seed_gen
+            (soundness_under layout (module S)))
+        [ (module Core.Offsets : Core.Strategy.S);
+          (module Core.Common_init_seq) ])
+    [ Layout.lp64; Layout.word16 ]
+
+(* the portable instances must compute identical graphs regardless of the
+   configured layout *)
+let portable_invariance seed =
+  let src = Cgen.generate ~cfg:gen_cfg ~seed () in
+  let graph_as_strings layout =
+    let prog = Lower.compile ~layout ~file:"<gen>" src in
+    let solver =
+      Core.Solver.run ~layout ~strategy:(module Core.Common_init_seq) prog
+    in
+    Core.Graph.fold_sources solver.Core.Solver.graph
+      (fun c set acc ->
+        (Core.Cell.to_string c
+         ^ "->"
+         ^ String.concat ","
+             (List.map Core.Cell.to_string (Core.Cell.Set.elements set)))
+        :: acc)
+      []
+    |> List.sort compare
+  in
+  let a = graph_as_strings Layout.ilp32 in
+  let b = graph_as_strings Layout.lp64 in
+  a = b
+  || QCheck2.Test.fail_reportf "seed %d: portable instance varied with layout"
+       seed
+
+let portable_invariance_test =
+  QCheck2.Test.make ~name:"cis graphs are layout-invariant" ~count:25
+    seed_gen portable_invariance
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    (soundness_tests @ [ portable_invariance_test ])

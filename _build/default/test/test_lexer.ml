@@ -1,0 +1,142 @@
+(** Unit tests for the hand-written lexer. *)
+
+open Cfront
+
+let toks src : Token.t list =
+  Lexer.tokenize ~file:"<lex>" src
+  |> List.map (fun t -> t.Token.tok)
+  |> List.filter (fun t -> t <> Token.Eof)
+
+let check_toks name src expected =
+  Alcotest.(check (list string))
+    name
+    (List.map Token.describe expected)
+    (List.map Token.describe (toks src))
+
+let test_idents_and_keywords () =
+  (* keywords are just identifiers at lexing time *)
+  check_toks "idents" "int foo _bar x9"
+    [ Token.Ident "int"; Token.Ident "foo"; Token.Ident "_bar"; Token.Ident "x9" ]
+
+let test_integer_literals () =
+  check_toks "decimal" "0 7 12345"
+    [ Token.Int_lit (0L, "0"); Token.Int_lit (7L, "7"); Token.Int_lit (12345L, "12345") ];
+  check_toks "hex" "0xff 0X10"
+    [ Token.Int_lit (255L, "0xff"); Token.Int_lit (16L, "0X10") ];
+  check_toks "suffixes" "7UL 42u 1L"
+    [ Token.Int_lit (7L, "7UL"); Token.Int_lit (42L, "42u"); Token.Int_lit (1L, "1L") ]
+
+let test_float_literals () =
+  check_toks "floats" "1.5 2e3 7.25e-2"
+    [
+      Token.Float_lit (1.5, "1.5");
+      Token.Float_lit (2000.0, "2e3");
+      Token.Float_lit (0.0725, "7.25e-2");
+    ];
+  (* a dot not followed by a digit is a member access, not a float *)
+  check_toks "int-dot-ident" "a.b"
+    [ Token.Ident "a"; Token.Dot; Token.Ident "b" ]
+
+let test_char_literals () =
+  check_toks "chars" {|'a' '\n' '\0' '\x41' '\''|}
+    [
+      Token.Char_lit 97; Token.Char_lit 10; Token.Char_lit 0;
+      Token.Char_lit 65; Token.Char_lit 39;
+    ]
+
+let test_string_literals () =
+  check_toks "strings" {|"hi" "a\tb" ""|}
+    [ Token.String_lit "hi"; Token.String_lit "a\tb"; Token.String_lit "" ]
+
+let test_operators_maximal_munch () =
+  check_toks "shift vs compare" "a >> b >>= c > d >= e"
+    [
+      Token.Ident "a"; Token.Shr; Token.Ident "b"; Token.Shr_assign;
+      Token.Ident "c"; Token.Gt; Token.Ident "d"; Token.Ge; Token.Ident "e";
+    ];
+  check_toks "arrows and minus" "p->f - -x --y"
+    [
+      Token.Ident "p"; Token.Arrow; Token.Ident "f"; Token.Minus;
+      Token.Minus; Token.Ident "x"; Token.Minus_minus; Token.Ident "y";
+    ];
+  check_toks "ellipsis" "f(int, ...)"
+    [
+      Token.Ident "f"; Token.Lparen; Token.Ident "int"; Token.Comma;
+      Token.Ellipsis; Token.Rparen;
+    ]
+
+let test_comments () =
+  check_toks "line comment" "a // comment\nb" [ Token.Ident "a"; Token.Ident "b" ];
+  check_toks "block comment" "a /* x\ny */ b" [ Token.Ident "a"; Token.Ident "b" ];
+  check_toks "comment containing stars" "/* ** * */ z" [ Token.Ident "z" ]
+
+let test_line_splice () =
+  (* backslash-newline joins logical lines; the next token is not
+     beginning-of-line *)
+  let ts = Lexer.tokenize ~file:"<lex>" "foo\\\nbar" in
+  match ts with
+  | [ { Token.tok = Token.Ident "foo"; bol = true; _ };
+      { Token.tok = Token.Ident "bar"; bol = false; _ };
+      { Token.tok = Token.Eof; _ } ] ->
+      ()
+  | _ -> Alcotest.fail "line splice mis-lexed"
+
+let test_bol_tracking () =
+  let ts = Lexer.tokenize ~file:"<lex>" "a b\nc" in
+  (* the trailing Eof shares c's line, so it is not beginning-of-line *)
+  let bols = List.map (fun t -> t.Token.bol) ts in
+  Alcotest.(check (list bool)) "bol flags" [ true; false; true; false ] bols
+
+let test_positions () =
+  let ts = Lexer.tokenize ~file:"f.c" "ab\n  cd" in
+  match ts with
+  | [ a; b; _eof ] ->
+      Alcotest.(check int) "line a" 1 a.Token.loc.Srcloc.line;
+      Alcotest.(check int) "col a" 1 a.Token.loc.Srcloc.col;
+      Alcotest.(check int) "line b" 2 b.Token.loc.Srcloc.line;
+      Alcotest.(check int) "col b" 3 b.Token.loc.Srcloc.col
+  | _ -> Alcotest.fail "unexpected token count"
+
+let expect_error name src =
+  match Lexer.tokenize ~file:"<lex>" src with
+  | exception Diag.Error _ -> ()
+  | _ -> Alcotest.failf "%s: expected a lexer error" name
+
+let test_errors () =
+  expect_error "unterminated comment" "/* never closed";
+  expect_error "unterminated string" "\"abc";
+  expect_error "unterminated char" "'a";
+  expect_error "empty char" "''";
+  expect_error "bad escape" {|'\q'|};
+  expect_error "stray character" "a $ b"
+
+let test_roundtrip_to_source () =
+  (* to_source of every punctuation token re-lexes to itself *)
+  let tokens =
+    [
+      Token.Arrow; Token.Ellipsis; Token.Shl_assign; Token.Amp_amp;
+      Token.Plus_plus; Token.Le; Token.Bang_eq; Token.Caret_assign;
+    ]
+  in
+  List.iter
+    (fun tok ->
+      match Lexer.tokenize ~file:"<rt>" (Token.to_source tok) with
+      | [ t; _eof ] when t.Token.tok = tok -> ()
+      | _ -> Alcotest.failf "roundtrip failed for %s" (Token.describe tok))
+    tokens
+
+let suite =
+  [
+    Helpers.tc "identifiers and keywords" test_idents_and_keywords;
+    Helpers.tc "integer literals" test_integer_literals;
+    Helpers.tc "float literals" test_float_literals;
+    Helpers.tc "character literals" test_char_literals;
+    Helpers.tc "string literals" test_string_literals;
+    Helpers.tc "maximal munch" test_operators_maximal_munch;
+    Helpers.tc "comments" test_comments;
+    Helpers.tc "line splices" test_line_splice;
+    Helpers.tc "beginning-of-line flags" test_bol_tracking;
+    Helpers.tc "source positions" test_positions;
+    Helpers.tc "lexical errors" test_errors;
+    Helpers.tc "token to_source roundtrip" test_roundtrip_to_source;
+  ]

@@ -1,0 +1,180 @@
+(** Unit tests for the normalizer: shapes of the five paper forms, deref
+    flagging, cast temporaries, heap typing, and initializer lowering. *)
+
+open Cfront
+open Norm
+
+let lower src : Nast.program = Lower.compile ~file:"<lower>" src
+
+let main_stmts src : Nast.stmt list =
+  let prog = lower src in
+  match Nast.func_by_name prog "main" with
+  | Some f -> f.Nast.fstmts
+  | None -> Alcotest.fail "no main"
+
+let kinds stmts =
+  List.map
+    (fun (s : Nast.stmt) ->
+      match s.Nast.kind with
+      | Nast.Addr _ -> "addr"
+      | Nast.Addr_deref _ -> "addr-deref"
+      | Nast.Copy _ -> "copy"
+      | Nast.Load _ -> "load"
+      | Nast.Store _ -> "store"
+      | Nast.Arith _ -> "arith"
+      | Nast.Call _ -> "call")
+    stmts
+
+let check_kinds name src expected =
+  Alcotest.(check (list string)) name expected (kinds (main_stmts src))
+
+let test_basic_forms () =
+  check_kinds "address-of" "int x, *p; void main(void){ p = &x; }" [ "addr" ];
+  check_kinds "copy" "int a, b; void main(void){ a = b; }" [ "copy" ];
+  check_kinds "load" "int *p, x; void main(void){ x = *p; }" [ "load" ];
+  check_kinds "store" "int *p, x; void main(void){ *p = x; }" [ "store" ];
+  check_kinds "field read stays a copy"
+    "struct S { int f; } s; int x; void main(void){ x = s.f; }"
+    [ "copy" ]
+
+let test_field_write_via_addr () =
+  (* s.f = x lowers to tmp = &s.f; *tmp = x (form 1 + form 5) *)
+  check_kinds "field write"
+    "struct S { int f; } s; int x; void main(void){ s.f = x; }"
+    [ "addr"; "store" ]
+
+let test_arrow_chain () =
+  (* p->next->prev = p:
+       t1 = &( *p).next ; t2 = *t1 ; t3 = &( *t2).prev ; *t3 = p *)
+  check_kinds "arrow chain"
+    "struct N { struct N *next; struct N *prev; } *p;\n\
+     void main(void){ p->next->prev = p; }"
+    [ "addr-deref"; "load"; "addr-deref"; "store" ]
+
+let test_deref_flags () =
+  let stmts =
+    main_stmts
+      "struct N { struct N *next; } *p; int x, *q;\n\
+       void main(void){ q = &x; p = p->next; }"
+  in
+  let flags = List.map (fun (s : Nast.stmt) -> s.Nast.is_source_deref) stmts in
+  (* q = &x (addr, not deref); then addr-deref (deref!) + load (the load
+     reads through the already-resolved temp: not counted again) *)
+  Alcotest.(check (list bool)) "deref flags" [ false; true; false ] flags
+
+let test_cast_temp_types () =
+  (* storing q through a char-pointer-pointer cast of p must go through a temp declared at the cast type *)
+  let stmts =
+    main_stmts "int *p; char *q; void main(void){ *(char **)p = q; }"
+  in
+  let store_ptr_ty =
+    List.find_map
+      (fun (s : Nast.stmt) ->
+        match s.Nast.kind with
+        | Nast.Store (ptr, _) -> Some (Ctype.to_string ptr.Cvar.vty)
+        | _ -> None)
+      stmts
+  in
+  Alcotest.(check (option string)) "declared pointee" (Some "char**")
+    store_ptr_ty
+
+let test_no_temp_for_same_type_cast () =
+  check_kinds "identity cast" "int *p, *q; void main(void){ p = (int *)q; }"
+    [ "copy" ]
+
+let test_malloc_heap_typing () =
+  let prog =
+    lower
+      "void *malloc(unsigned long);\n\
+       struct S { int f; } *p;\n\
+       char *c;\n\
+       void main(void){ p = (struct S *)malloc(4); c = malloc(1); }"
+  in
+  let heaps =
+    List.filter_map
+      (fun (v : Cvar.t) ->
+        match v.Cvar.vkind with
+        | Cvar.Heap _ -> Some (Ctype.to_string v.Cvar.vty)
+        | _ -> None)
+      prog.Nast.pall_vars
+  in
+  Alcotest.(check (list string)) "heap object types" [ "char"; "struct S" ]
+    (List.sort compare heaps)
+
+let test_string_literal_dedup () =
+  let prog =
+    lower
+      "char *a, *b, *c;\n\
+       void main(void){ a = \"same\"; b = \"same\"; c = \"other\"; }"
+  in
+  let strs =
+    List.filter
+      (fun (v : Cvar.t) ->
+        match v.Cvar.vkind with Cvar.Strlit _ -> true | _ -> false)
+      prog.Nast.pall_vars
+  in
+  Alcotest.(check int) "two distinct literals" 2 (List.length strs)
+
+let test_compound_assign_is_arith () =
+  check_kinds "p += n" "int *p, n; void main(void){ p += n; }"
+    [ "arith"; "arith"; "copy" ]
+
+let test_incdec () =
+  (* p++ reads p, makes an arith result, writes it back *)
+  check_kinds "p++" "int *p; void main(void){ p++; }" [ "arith"; "copy" ]
+
+let test_conditional_merges () =
+  check_kinds "ternary" "int x, y, *p; void main(void){ p = x ? &x : &y; }"
+    [ "addr"; "addr"; "copy"; "copy"; "copy" ]
+
+let test_call_lowering () =
+  let stmts =
+    main_stmts
+      "int *id(int *p) { return p; } int x, *r;\n\
+       void main(void){ r = id(&x); }"
+  in
+  (* &x into an arg temp, the call, then the result copy *)
+  Alcotest.(check (list string)) "call shape" [ "addr"; "call"; "copy" ]
+    (kinds stmts)
+
+let test_global_initializers () =
+  let prog =
+    lower "int x; int *gp = &x; struct S { int *f; } s = { &x };"
+  in
+  Alcotest.(check bool) "init statements exist" true
+    (List.length prog.Nast.pinit >= 2)
+
+let test_struct_return () =
+  let prog =
+    lower
+      "struct P { int *a; } mk(void) { struct P p; return p; }\n\
+       struct P g;\n\
+       void main(void){ g = mk(); }"
+  in
+  let mk = Option.get (Nast.func_by_name prog "mk") in
+  Alcotest.(check bool) "has return slot" true (mk.Nast.fret <> None)
+
+let test_stmt_ids_unique () =
+  let prog = lower (match Suite.find "bc" with Some p -> p.Suite.source | None -> "") in
+  let ids = List.map (fun (s : Nast.stmt) -> s.Nast.id) (Nast.all_stmts prog) in
+  Alcotest.(check int) "unique ids" (List.length ids)
+    (List.length (List.sort_uniq compare ids))
+
+let suite =
+  [
+    Helpers.tc "five basic forms" test_basic_forms;
+    Helpers.tc "field writes go through &" test_field_write_via_addr;
+    Helpers.tc "arrow chains" test_arrow_chain;
+    Helpers.tc "source-deref flags" test_deref_flags;
+    Helpers.tc "casts materialize typed temps" test_cast_temp_types;
+    Helpers.tc "identity casts add no temp" test_no_temp_for_same_type_cast;
+    Helpers.tc "malloc heap objects take receiver type" test_malloc_heap_typing;
+    Helpers.tc "string literals deduplicate" test_string_literal_dedup;
+    Helpers.tc "compound assignment is arithmetic" test_compound_assign_is_arith;
+    Helpers.tc "increment/decrement" test_incdec;
+    Helpers.tc "conditional expressions merge" test_conditional_merges;
+    Helpers.tc "call lowering" test_call_lowering;
+    Helpers.tc "global initializers lower" test_global_initializers;
+    Helpers.tc "struct-valued returns" test_struct_return;
+    Helpers.tc "statement ids unique" test_stmt_ids_unique;
+  ]

@@ -1,0 +1,302 @@
+(** End-to-end tests reproducing every worked example in the paper. Each
+    test cites the paper section it comes from. *)
+
+open Helpers
+
+(* Section 1 / Section 3: the motivating example. An analysis that
+   distinguishes fields infers p -> {x}; collapsing infers p -> {x, y}. *)
+let intro_src =
+  {|
+    struct S { int *s1; int *s2; } s;
+    int x, y, *p;
+    void main(void) {
+      s.s1 = &x;
+      s.s2 = &y;
+      p = s.s1;
+    }
+  |}
+
+let test_intro_field_sensitive () =
+  List.iter
+    (fun id ->
+      let r = analyze ~strategy:(strategy id) intro_src in
+      check_bases r "p" [ "x" ])
+    [ "collapse-on-cast"; "cis"; "offsets" ]
+
+let test_intro_collapse_always () =
+  let r = analyze ~strategy:(strategy "collapse-always") intro_src in
+  check_bases r "p" [ "x"; "y" ]
+
+(* Section 4.1, Problem 1: a pointer to a structure also points to its
+   first field. After storing q through p at type pointer-to-pointer,
+   s.s1 points to x, so r = s.s1 must point to x. *)
+let problem1_src =
+  {|
+    struct S { int *s1; } s, *p;
+    int x, *q, *r;
+    void main(void) {
+      p = &s;
+      q = &x;
+      *(int **)p = q;
+      r = s.s1;
+    }
+  |}
+
+let test_problem1 () =
+  List.iter
+    (fun id ->
+      let r = analyze ~strategy:(strategy id) problem1_src in
+      check_bases r "r" [ "x" ])
+    [ "collapse-always"; "collapse-on-cast"; "cis"; "offsets" ]
+
+(* The reverse direction of Problem 1: a pointer to the struct, used at
+   the type of its first field. *)
+let problem1_reverse_src =
+  {|
+    struct S { int *s1; } s;
+    int x;
+    int **p;
+    int *r;
+    void main(void) {
+      s.s1 = &x;
+      p = (int **)&s;
+      r = *p;
+    }
+  |}
+
+let test_problem1_reverse () =
+  List.iter
+    (fun id ->
+      let r = analyze ~strategy:(strategy id) problem1_reverse_src in
+      check_bases r "r" [ "x" ])
+    [ "collapse-always"; "collapse-on-cast"; "cis"; "offsets" ]
+
+(* Section 4.1, Problem 2: dereferencing at the wrong type. p is declared
+   struct S* but points to t (a struct T). The second fields of S and T
+   have incompatible types, so ( *p).s3 may or may not be t.t3. *)
+let problem2_src =
+  {|
+    struct S { int *s1; int s2; char *s3; } *p;
+    struct T { int *t1; int *t2; char *t3; } t;
+    char **c;
+    void main(void) {
+      p = (struct S *)&t;
+      c = &((*p).s3);
+    }
+  |}
+
+let test_problem2_offsets () =
+  (* under ilp32, offsetof(S, s3) = 8 = offsetof(T, t3): exactly one cell *)
+  let r = analyze ~strategy:(strategy "offsets") problem2_src in
+  check_targets r "c" [ "t@8" ]
+
+let test_problem2_cis () =
+  (* CIS(S, T) = {(s1, t1)} (int* ~ int*; then int vs int* breaks it);
+     s3 is past the CIS, so everything after t1: {t.t2, t.t3} *)
+  let r = analyze ~strategy:(strategy "cis") problem2_src in
+  check_targets r "c" [ "t.t2"; "t.t3" ]
+
+let test_problem2_collapse_on_cast () =
+  (* no enclosing sub-object of t has type struct S: all fields from t1 *)
+  let r = analyze ~strategy:(strategy "collapse-on-cast") problem2_src in
+  check_targets r "c" [ "t.t1"; "t.t2"; "t.t3" ]
+
+(* Section 4.1, Problem 3: block copy at a different type, via pointers
+   (direct struct casts are not legal C; the paper notes the pointer
+   idiom). Copying t into s through a struct-S pointer must transfer t's
+   pointer fields into the corresponding fields of s. *)
+let problem3_src =
+  {|
+    struct S { int *s1; int s2; char *s3; } s;
+    struct T { int *t1; int *t2; char *t3; } t;
+    int x; char y;
+    int *r1; char *r3;
+    void main(void) {
+      t.t1 = &x;
+      t.t3 = &y;
+      s = *(struct S *)&t;
+      r1 = s.s1;
+      r3 = s.s3;
+    }
+  |}
+
+let test_problem3_offsets () =
+  let r = analyze ~strategy:(strategy "offsets") problem3_src in
+  (* field-for-field at identical offsets *)
+  check_bases r "r1" [ "x" ];
+  check_bases r "r3" [ "y" ]
+
+let test_problem3_portable_sound () =
+  (* every instance must let the copied pointers be recovered *)
+  List.iter
+    (fun id ->
+      let r = analyze ~strategy:(strategy id) problem3_src in
+      let r1 = target_bases r "r1" in
+      let r3 = target_bases r "r3" in
+      if not (List.mem "x" r1) then
+        Alcotest.failf "%s: r1 lost x (got %s)" id (String.concat "," r1);
+      if not (List.mem "y" r3) then
+        Alcotest.failf "%s: r3 lost y (got %s)" id (String.concat "," r3))
+    [ "collapse-always"; "collapse-on-cast"; "cis"; "offsets" ]
+
+(* Section 4.3.2: the Collapse-on-Cast lookup example.
+   struct S { int s1; char s2; };
+   struct T { struct S t1; int t2; char t3; } t;
+   p = &t.t1 is a correctly-typed access: ( *p).s2 is exactly t.t1.s2.
+   q = (struct S* )&t.t2 is a mismatch: ( *q).s2 may be t.t2 or t.t3. *)
+let coc_example_src =
+  {|
+    struct S { int s1; char s2; } *p, *q;
+    struct T { struct S t1; int t2; char t3; } t;
+    char *x, *y;
+    void main(void) {
+      p = &t.t1;
+      x = &(*p).s2;
+      q = (struct S *)&t.t2;
+      y = &(*q).s2;
+    }
+  |}
+
+let test_coc_example () =
+  let r = analyze ~strategy:(strategy "collapse-on-cast") coc_example_src in
+  check_targets r "x" [ "t.t1.s2" ];
+  check_targets r "y" [ "t.t2"; "t.t3" ]
+
+(* Section 4.3.3: the Common-Initial-Sequence lookup example.
+   struct S { int s1; int s2; int s3; };
+   struct T { int t1; int t2; char t3; int t4; } t;
+   CIS(S, T) = {(s1,t1), (s2,t2)}: s2 resolves exactly to t.t2; s3 falls
+   past the CIS and yields {t.t3, t.t4}. *)
+let cis_example_src =
+  {|
+    struct S { int s1; int s2; int s3; } *p;
+    struct T { int t1; int t2; char t3; int t4; } t;
+    int *x, *y;
+    void main(void) {
+      p = (struct S *)&t;
+      x = (int *)&(*p).s2;
+      y = (int *)&(*p).s3;
+    }
+  |}
+
+let test_cis_example () =
+  let r = analyze ~strategy:(strategy "cis") cis_example_src in
+  check_targets r "x" [ "t.t2" ];
+  check_targets r "y" [ "t.t3"; "t.t4" ]
+
+(* Section 4.2.1, Complication 1: casting can reach past the bounds of a
+   nested structure object. Copying w.r into a struct V (one field longer
+   than struct R under the paper's layout) can also read w.w3. *)
+let complication1_src =
+  {|
+    struct R { int *r1; char *r2; } ;
+    struct V { int *v1; char *v2; int *v3; } v;
+    struct W { int *w1; struct R r; int *w3; } w;
+    int a; char b; int c0;
+    int *out3;
+    void main(void) {
+      w.r.r1 = &a;
+      w.r.r2 = &b;
+      w.w3 = &c0;
+      v = *(struct V *)&w.r;
+      out3 = v.v3;
+    }
+  |}
+
+let test_complication1 () =
+  (* the out-of-bounds field w.w3 must flow into v.v3 *)
+  List.iter
+    (fun id ->
+      let r = analyze ~strategy:(strategy id) complication1_src in
+      let bases = target_bases r "out3" in
+      if not (List.mem "c0" bases) then
+        Alcotest.failf "%s: v.v3 lost w.w3's target (got %s)" id
+          (String.concat "," bases))
+    [ "collapse-always"; "collapse-on-cast"; "cis"; "offsets" ]
+
+(* Section 4.2.1, Complication 2: a double is big enough to hold a whole
+   two-pointer struct; the addresses must be recoverable from it. *)
+let complication2_src =
+  {|
+    struct R { int *r1; int *r2; } r;
+    double d;
+    int x, y;
+    struct R r2;
+    int *ox, *oy;
+    void main(void) {
+      r.r1 = &x;
+      r.r2 = &y;
+      d = *(double *)&r;
+      r2 = *(struct R *)&d;
+      ox = r2.r1;
+      oy = r2.r2;
+    }
+  |}
+
+let test_complication2 () =
+  List.iter
+    (fun id ->
+      let r = analyze ~strategy:(strategy id) complication2_src in
+      let ox = target_bases r "ox" in
+      if not (List.mem "x" ox) then
+        Alcotest.failf "%s: ox lost x (got %s)" id (String.concat "," ox);
+      let oy = target_bases r "oy" in
+      if not (List.mem "y" oy) then
+        Alcotest.failf "%s: oy lost y (got %s)" id (String.concat "," oy))
+    [ "collapse-always"; "collapse-on-cast"; "cis"; "offsets" ]
+
+(* Section 4.2.1, Complication 4: the declared type of the left-hand side
+   determines how many bytes are copied. Copying through a struct T*
+   (two pointers) out of a struct S (three pointers) must not copy the
+   third field under the Offsets instance. *)
+let complication4_src =
+  {|
+    struct R { int *r1; int *r2; char *r3; } r;
+    struct S { int *s1; int *s2; int *s3; } s;
+    struct T { int *t1; int *t2; } *p;
+    int a, b, c0;
+    int *o1, *o2; char *o3;
+    void main(void) {
+      s.s1 = &a;
+      s.s2 = &b;
+      s.s3 = &c0;
+      p = (struct T *)&r;
+      *p = *(struct T *)&s;
+      o1 = r.r1;
+      o2 = r.r2;
+      o3 = r.r3;
+    }
+  |}
+
+let test_complication4_offsets () =
+  let r = analyze ~strategy:(strategy "offsets") complication4_src in
+  check_bases r "o1" [ "a" ];
+  check_bases r "o2" [ "b" ];
+  (* only sizeof(struct T) bytes were copied: r.r3 stays empty *)
+  check_bases r "o3" []
+
+let test_complication4_cis () =
+  let r = analyze ~strategy:(strategy "cis") complication4_src in
+  (* struct T is a common initial sequence of both R and S: exact pairs *)
+  check_bases r "o1" [ "a" ];
+  check_bases r "o2" [ "b" ];
+  check_bases r "o3" []
+
+let suite =
+  [
+    tc "intro: field-sensitive instances infer p -> {x}" test_intro_field_sensitive;
+    tc "intro: collapse-always infers p -> {x,y}" test_intro_collapse_always;
+    tc "problem 1: struct pointer = first-field pointer" test_problem1;
+    tc "problem 1 (reverse): first field via struct cast" test_problem1_reverse;
+    tc "problem 2: offsets" test_problem2_offsets;
+    tc "problem 2: common initial sequence" test_problem2_cis;
+    tc "problem 2: collapse on cast" test_problem2_collapse_on_cast;
+    tc "problem 3: offsets field-for-field" test_problem3_offsets;
+    tc "problem 3: all instances sound" test_problem3_portable_sound;
+    tc "collapse-on-cast worked example (4.3.2)" test_coc_example;
+    tc "common-initial-sequence worked example (4.3.3)" test_cis_example;
+    tc "complication 1: past nested-struct bounds" test_complication1;
+    tc "complication 2: pointers hidden in a double" test_complication2;
+    tc "complication 4 (offsets): LHS type bounds the copy" test_complication4_offsets;
+    tc "complication 4 (cis): LHS type bounds the copy" test_complication4_cis;
+  ]

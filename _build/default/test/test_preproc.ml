@@ -1,0 +1,99 @@
+(** Unit tests for the token-level preprocessor. *)
+
+open Cfront
+
+let pp ?defines ?resolve src : string =
+  Preproc.run ?defines ?resolve ~file:"<pp>" src
+  |> List.filter (fun t -> t.Token.tok <> Token.Eof)
+  |> List.map (fun t -> Token.to_source t.Token.tok)
+  |> String.concat " "
+
+let check name ?defines ?resolve src expected =
+  Alcotest.(check string) name expected (pp ?defines ?resolve src)
+
+let test_object_macro () =
+  check "simple" "#define N 42\nint a[N];" "int a [ 42 ] ;";
+  check "multi-token" "#define PAIR 1, 2\nf(PAIR);" "f ( 1 , 2 ) ;";
+  check "nested" "#define A B\n#define B 7\nA" "7";
+  check "empty body" "#define NOTHING\nx NOTHING y" "x y"
+
+let test_function_macro () =
+  check "one arg" "#define SQ(x) ((x)*(x))\nSQ(3)" "( ( 3 ) * ( 3 ) )";
+  check "two args" "#define ADD(a,b) a + b\nADD(1, 2)" "1 + 2";
+  check "nested call" "#define ID(x) x\nID(ID(5))" "5";
+  check "args with parens" "#define F(x) x\nF((1,2))" "( 1 , 2 )";
+  check "zero args" "#define Z() 9\nZ()" "9";
+  (* a function-like macro name not followed by '(' is left alone *)
+  check "name alone" "#define G(x) x\nint G;" "int G ;";
+  (* #define F (x) — space means object-like with body "(x)" *)
+  check "space before paren" "#define H (y)\nH" "( y )"
+
+let test_recursion_guard () =
+  check "self-reference" "#define X X + 1\nX" "X + 1";
+  check "mutual" "#define A B\n#define B A\nA" "A"
+
+let test_stringize_and_paste () =
+  check "stringize" "#define STR(x) #x\nSTR(hello world)" "\"hello world\"";
+  check "paste" "#define CAT(a,b) a##b\nCAT(foo, bar)" "foobar";
+  check "paste numbers" "#define MK(n) x##n\nMK(1) = 3;" "x1 = 3 ;"
+
+let test_conditionals () =
+  check "ifdef taken" "#define YES 1\n#ifdef YES\na\n#endif\nb" "a b";
+  check "ifdef not taken" "#ifdef NO\na\n#endif\nb" "b";
+  check "ifndef" "#ifndef NO\na\n#endif" "a";
+  check "else" "#ifdef NO\na\n#else\nc\n#endif" "c";
+  check "elif"
+    "#define V 2\n#if V == 1\na\n#elif V == 2\nb\n#elif V == 3\nc\n#endif" "b";
+  check "nested" "#ifdef NO\n#ifdef ALSO_NO\nx\n#endif\ny\n#else\nz\n#endif" "z";
+  check "if arithmetic" "#if 2 * 3 > 5 && 1\nyes\n#endif" "yes";
+  check "if defined" "#define D\n#if defined(D) && !defined(E)\nok\n#endif" "ok";
+  check "if ternary" "#if 1 ? 0 : 1\na\n#else\nb\n#endif" "b";
+  check "undef" "#define N 1\n#undef N\n#ifdef N\na\n#else\nb\n#endif" "b"
+
+let test_initial_defines () =
+  check "from the API" ~defines:[ ("MODE", "3") ] "int m = MODE;" "int m = 3 ;"
+
+let test_include () =
+  let resolve = function
+    | "defs.h" -> Some "#define FROM_HEADER 99\nint header_var;"
+    | "nested.h" -> Some "#include \"defs.h\"\nint nested_var;"
+    | _ -> None
+  in
+  check "include" ~resolve "#include \"defs.h\"\nint x = FROM_HEADER;"
+    "int header_var ; int x = 99 ;";
+  check "nested include" ~resolve "#include \"nested.h\""
+    "int header_var ; int nested_var ;";
+  check "angle include" ~resolve "#include <defs.h>\nFROM_HEADER" "int header_var ; 99"
+
+let test_pragma_ignored () = check "pragma" "#pragma once\nx" "x"
+
+let expect_error name ?resolve src =
+  match Preproc.run ?resolve ~file:"<pp>" src with
+  | exception Diag.Error _ -> ()
+  | _ -> Alcotest.failf "%s: expected a preprocessor error" name
+
+let test_errors () =
+  expect_error "missing include" "#include \"nope.h\"";
+  expect_error "error directive" "#error broken";
+  expect_error "unterminated if" "#ifdef X\nint a;";
+  expect_error "else without if" "#else";
+  expect_error "endif without if" "#endif";
+  expect_error "wrong arity" "#define F(a,b) a\nF(1)";
+  expect_error "unknown directive" "#frobnicate"
+
+let test_macro_call_across_lines () =
+  check "multiline args" "#define ADD(a,b) a + b\nADD(1,\n2)" "1 + 2"
+
+let suite =
+  [
+    Helpers.tc "object-like macros" test_object_macro;
+    Helpers.tc "function-like macros" test_function_macro;
+    Helpers.tc "recursion guard" test_recursion_guard;
+    Helpers.tc "stringize and paste" test_stringize_and_paste;
+    Helpers.tc "conditionals" test_conditionals;
+    Helpers.tc "initial defines" test_initial_defines;
+    Helpers.tc "includes (virtual resolver)" test_include;
+    Helpers.tc "pragma ignored" test_pragma_ignored;
+    Helpers.tc "errors" test_errors;
+    Helpers.tc "macro calls across lines" test_macro_call_across_lines;
+  ]

@@ -1,0 +1,150 @@
+(** Property-based tests over randomly generated C programs.
+
+    - Soundness: every pointer value observed by the concrete interpreter
+      (byte-level memory, same layout) is covered by every analysis
+      instance's points-to graph.
+    - Precision ordering: at the level of pointed-to base objects,
+      CIS ⊆ Collapse-on-Cast ⊆ Collapse-Always for every dereferenced
+      pointer.
+    - Determinism: same seed, same results. *)
+
+open Cfront
+open Norm
+
+let gen_cfg =
+  { Cgen.default with n_structs = 3; n_stmts = 50; cast_rate = 0.35 }
+
+let compile_seed seed : Nast.program =
+  let src = Cgen.generate ~cfg:gen_cfg ~seed () in
+  try Lower.compile ~file:(Printf.sprintf "<gen:%d>" seed) src
+  with Diag.Error p ->
+    Alcotest.failf "seed %d failed to compile: %s@.%s" seed p.Diag.message src
+
+let seed_gen = QCheck2.Gen.int_range 0 100_000
+
+let soundness_prop (module S : Core.Strategy.S) seed =
+  let prog = compile_seed seed in
+  let solver = Core.Solver.run ~strategy:(module S) prog in
+  let observed = Interp.Eval.run prog in
+  match Interp.Oracle.uncovered solver observed with
+  | [] -> true
+  | missing ->
+      QCheck2.Test.fail_reportf "seed %d: %s missed %d facts, e.g. %a" seed
+        S.id (List.length missing)
+        Interp.Oracle.pp_observation (List.hd missing)
+
+let soundness_tests =
+  List.map
+    (fun (module S : Core.Strategy.S) ->
+      QCheck2.Test.make
+        ~name:(Printf.sprintf "soundness: %s covers concrete execution" S.id)
+        ~count:60 seed_gen
+        (soundness_prop (module S)))
+    Core.Analysis.strategies
+
+(* base-object points-to sets per source deref site *)
+let deref_base_sets (solver : Core.Solver.t) : (int * string list) list =
+  List.map
+    (fun ((stmt : Nast.stmt), p) ->
+      let bases =
+        Core.Metrics.expanded_pts solver p
+        |> Core.Cell.Set.elements
+        |> List.map (fun (c : Core.Cell.t) ->
+               Cvar.qualified_name c.Core.Cell.base)
+        |> List.sort_uniq compare
+      in
+      (stmt.Nast.id, bases))
+    (Core.Metrics.deref_sites solver.Core.Solver.prog)
+
+let subset a b = List.for_all (fun x -> List.mem x b) a
+
+let ordering_prop seed =
+  let prog = compile_seed seed in
+  let solve id =
+    match Core.Analysis.strategy_of_id id with
+    | Some s -> deref_base_sets (Core.Solver.run ~strategy:s prog)
+    | None -> assert false
+  in
+  let cis = solve "cis" in
+  let coc = solve "collapse-on-cast" in
+  let ca = solve "collapse-always" in
+  List.for_all2
+    (fun (i1, s1) (i2, s2) ->
+      assert (i1 = i2);
+      subset s1 s2
+      ||
+      QCheck2.Test.fail_reportf
+        "seed %d: cis ⊄ collapse-on-cast at stmt %d (%s vs %s)" seed i1
+        (String.concat "," s1) (String.concat "," s2))
+    cis coc
+  && List.for_all2
+       (fun (i1, s1) (i2, s2) ->
+         assert (i1 = i2);
+         subset s1 s2
+         ||
+         QCheck2.Test.fail_reportf
+           "seed %d: collapse-on-cast ⊄ collapse-always at stmt %d" seed i1)
+       coc ca
+
+let ordering_test =
+  QCheck2.Test.make
+    ~name:"precision ordering: cis ⊆ collapse-on-cast ⊆ collapse-always"
+    ~count:60 seed_gen ordering_prop
+
+let determinism_prop seed =
+  let run () =
+    let prog = compile_seed seed in
+    let r =
+      Core.Analysis.run ~strategy:(module Core.Common_init_seq) prog
+    in
+    ( r.Core.Analysis.metrics.Core.Metrics.total_edges,
+      r.Core.Analysis.metrics.Core.Metrics.avg_deref_size )
+  in
+  run () = run ()
+
+let determinism_test =
+  QCheck2.Test.make ~name:"determinism: same seed, same metrics" ~count:20
+    seed_gen determinism_prop
+
+(* programs with helper-function calls: the interprocedural machinery must
+   stay sound too *)
+let calls_cfg = { gen_cfg with Cgen.with_calls = true; n_stmts = 60 }
+
+let soundness_with_calls_prop seed =
+  let src = Cgen.generate ~cfg:calls_cfg ~seed () in
+  let prog =
+    try Lower.compile ~file:(Printf.sprintf "<genc:%d>" seed) src
+    with Diag.Error p ->
+      Alcotest.failf "seed %d failed to compile: %s" seed p.Diag.message
+  in
+  let solver =
+    Core.Solver.run ~strategy:(module Core.Common_init_seq) prog
+  in
+  let observed = Interp.Eval.run prog in
+  match Interp.Oracle.uncovered solver observed with
+  | [] -> true
+  | missing ->
+      QCheck2.Test.fail_reportf "seed %d: missed %d interprocedural facts"
+        seed (List.length missing)
+
+let soundness_with_calls_test =
+  QCheck2.Test.make ~name:"soundness with generated function calls" ~count:40
+    seed_gen soundness_with_calls_prop
+
+(* interpreter-level sanity: generated programs execute without raising *)
+let interp_total_prop seed =
+  let prog = compile_seed seed in
+  let _ = Interp.Eval.run prog in
+  true
+
+let interp_total_test =
+  QCheck2.Test.make ~name:"interpreter is total on generated programs"
+    ~count:60 seed_gen interp_total_prop
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    (soundness_tests
+     @ [
+         ordering_test; determinism_test; interp_total_test;
+         soundness_with_calls_test;
+       ])

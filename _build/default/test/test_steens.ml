@@ -1,0 +1,101 @@
+(** Tests for the Steensgaard-style unification baselines: soundness
+    against the concrete interpreter, and the qualitative precision
+    relationship vs the inclusion-based framework instances. *)
+
+open Cfront
+open Norm
+
+let layout = Layout.default
+
+let steens_covers (t : Steens.Steensgaard.t) (obs : Interp.Eval.observation) :
+    bool =
+  let obj, off = obs.Interp.Eval.holder in
+  let tgt = obs.Interp.Eval.target.Interp.Memory.aobj in
+  let toff = obs.Interp.Eval.target.Interp.Memory.aoff in
+  List.exists
+    (fun (c1, targets) ->
+      Interp.Oracle.covers_storage layout c1 off
+      && List.exists
+           (fun (c2 : Core.Cell.t) ->
+             Cvar.equal c2.Core.Cell.base tgt
+             && Interp.Oracle.covers_target layout c2 toff)
+           targets)
+    (Steens.Steensgaard.facts_for_object t obj)
+
+let soundness_prop flavor seed =
+  let cfg = { Cgen.default with n_stmts = 50; cast_rate = 0.35 } in
+  let src = Cgen.generate ~cfg ~seed () in
+  let prog = Lower.compile ~file:(Printf.sprintf "<gen:%d>" seed) src in
+  let t = Steens.Steensgaard.run ~flavor prog in
+  let observed = Interp.Eval.run prog in
+  Interp.Eval.Obs.for_all
+    (fun obs ->
+      (not (Interp.Oracle.target_in_bounds layout obs))
+      || steens_covers t obs
+      || QCheck2.Test.fail_reportf "seed %d: steens missed %s" seed
+           (Fmt.str "%a" Interp.Oracle.pp_observation obs))
+    observed
+
+let seed_gen = QCheck2.Gen.int_range 0 100_000
+
+let soundness_tests =
+  [
+    QCheck2.Test.make ~name:"steens-collapsed covers concrete execution"
+      ~count:40 seed_gen
+      (soundness_prop Steens.Steensgaard.Collapsed);
+    QCheck2.Test.make ~name:"steens-field covers concrete execution"
+      ~count:40 seed_gen
+      (soundness_prop Steens.Steensgaard.Fields);
+  ]
+
+(* unification is (on average) no more precise than the inclusion-based
+   CIS instance — the paper's Section 6 qualitative claim *)
+let test_less_precise_than_cis () =
+  let totals = ref (0.0, 0.0) in
+  List.iter
+    (fun p ->
+      let prog = Lower.compile ~file:p.Suite.name p.Suite.source in
+      let st =
+        Steens.Steensgaard.run ~flavor:Steens.Steensgaard.Fields prog
+      in
+      let cis =
+        Core.Analysis.run ~strategy:(module Core.Common_init_seq) prog
+      in
+      let s = Steens.Steensgaard.avg_deref_size st in
+      let c = cis.Core.Analysis.metrics.Core.Metrics.avg_deref_size in
+      let a, b = !totals in
+      totals := (a +. s, b +. c))
+    Suite.casting;
+  let s, c = !totals in
+  if s < c then
+    Alcotest.failf
+      "expected unification (%.2f total) to be no more precise than CIS \
+       (%.2f total)"
+      s c
+
+(* the collapsed flavor must be at least as coarse as the field flavor *)
+let test_flavors_ordered () =
+  List.iter
+    (fun p ->
+      let prog = Lower.compile ~file:p.Suite.name p.Suite.source in
+      let coll =
+        Steens.Steensgaard.run ~flavor:Steens.Steensgaard.Collapsed prog
+      in
+      let fields =
+        Steens.Steensgaard.run ~flavor:Steens.Steensgaard.Fields prog
+      in
+      let c = Steens.Steensgaard.avg_deref_size coll in
+      let f = Steens.Steensgaard.avg_deref_size fields in
+      if f > c +. 0.001 then
+        Alcotest.failf "%s: field flavor (%.2f) coarser than collapsed (%.2f)"
+          p.Suite.name f c)
+    Suite.programs
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest soundness_tests
+  @ [
+      Helpers.tc "unification no more precise than CIS (corpus mean)"
+        test_less_precise_than_cis;
+      Helpers.tc "collapsed flavor at least as coarse as field flavor"
+        test_flavors_ordered;
+    ]

@@ -1,0 +1,244 @@
+(** Property-based tests of the strategy functions over randomly
+    generated struct types — algebraic laws that must hold for any types,
+    not just the corpus's:
+
+    - [normalize] is idempotent and lands on a leaf (or union) cell;
+    - [lookup] at the object's declared type is exact (a singleton);
+    - CIS lookup results are a subset of Collapse-on-Cast's;
+    - [resolve] destination/source components come from the respective
+      objects, and same-type resolve pairs corresponding fields;
+    - Offsets cells stay within [0, size]. *)
+
+open Cfront
+open Core
+
+let ctx = Actx.create ()
+
+(* ------------------------------------------------------------------ *)
+(* Random type generation                                              *)
+(* ------------------------------------------------------------------ *)
+
+let gen_scalar : Ctype.t QCheck2.Gen.t =
+  QCheck2.Gen.oneofl
+    [
+      Ctype.int_t; Ctype.char_t; Ctype.double_t; Ctype.long_t;
+      Ctype.Ptr Ctype.int_t; Ctype.Ptr Ctype.char_t;
+      Ctype.Ptr (Ctype.Ptr Ctype.int_t);
+    ]
+
+let counter = ref 0
+
+(* a random struct type of the given depth; depth 0 is a scalar *)
+let rec gen_ty depth : Ctype.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  if depth = 0 then gen_scalar
+  else
+    frequency
+      [
+        (2, gen_scalar);
+        ( 3,
+          let* n_fields = int_range 1 4 in
+          let* fields = list_size (return n_fields) (gen_ty (depth - 1)) in
+          incr counter;
+          let comp =
+            Ctype.fresh_comp
+              ~tag:(Printf.sprintf "R%d" !counter)
+              ~is_union:false
+          in
+          comp.Ctype.cfields <-
+            Some
+              (List.mapi
+                 (fun i fty ->
+                   { Ctype.fname = Printf.sprintf "m%d" i; fty; fbits = None })
+                 fields);
+          return (Ctype.Comp comp) );
+        ( 1,
+          let* elem = gen_ty (depth - 1) in
+          let* n = int_range 1 4 in
+          return (Ctype.Array (elem, Some n)) );
+      ]
+
+let gen_struct : Ctype.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* n_fields = int_range 1 5 in
+  let* fields = list_size (return n_fields) (gen_ty 2) in
+  incr counter;
+  let comp =
+    Ctype.fresh_comp ~tag:(Printf.sprintf "G%d" !counter) ~is_union:false
+  in
+  comp.Ctype.cfields <-
+    Some
+      (List.mapi
+         (fun i fty ->
+           { Ctype.fname = Printf.sprintf "f%d" i; fty; fbits = None })
+         fields);
+  QCheck2.Gen.return (Ctype.Comp comp)
+
+let gen_var_of_ty name ty = Cvar.fresh ~name ~ty ~kind:Cvar.Global
+
+(* a struct type and a leaf path within it *)
+let gen_struct_and_leaf : (Ctype.t * Ctype.path) QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* ty = gen_struct in
+  let leaves = Ctype.leaf_paths ty in
+  let* i = int_range 0 (List.length leaves - 1) in
+  return (ty, List.nth leaves i)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let path_strategies : (module Strategy.S) list =
+  [ (module Collapse_on_cast); (module Common_init_seq) ]
+
+let prop_normalize_idempotent (ty, leaf) =
+  let v = gen_var_of_ty "v" ty in
+  List.for_all
+    (fun (module S : Strategy.S) ->
+      let c1 = S.normalize ctx v leaf in
+      match c1.Cell.sel with
+      | Cell.Path p ->
+          let c2 = S.normalize ctx v p in
+          Cell.equal c1 c2
+          || QCheck2.Test.fail_reportf "%s: normalize not idempotent on %s"
+               S.id (Cell.to_string c1)
+      | Cell.Off _ -> true)
+    path_strategies
+
+let prop_normalize_is_leaf (ty, _) =
+  let v = gen_var_of_ty "v" ty in
+  let c = Common_init_seq.normalize ctx v [] in
+  match c.Cell.sel with
+  | Cell.Path p ->
+      let sub = Ctype.strip_arrays (Ctype.type_at_path ty p) in
+      (* the canonical cell is never a (non-empty, non-union) struct *)
+      (not (Ctype.is_struct sub))
+      || Ctype.fields_of sub = []
+      || QCheck2.Test.fail_reportf "normalize landed on struct cell %s"
+           (Cell.to_string c)
+  | Cell.Off _ -> true
+
+let prop_lookup_exact_at_own_type (ty, leaf) =
+  let v = gen_var_of_ty "v" ty in
+  List.for_all
+    (fun (module S : Strategy.S) ->
+      let target = S.normalize ctx v [] in
+      let got = S.lookup ctx ty leaf target in
+      match got with
+      | [ c ] -> Cell.equal c (S.normalize ctx v leaf)
+      | _ ->
+          QCheck2.Test.fail_reportf
+            "%s: lookup at declared type returned %d cells" S.id
+            (List.length got))
+    path_strategies
+
+let prop_cis_subset_of_coc ((ty1, _), (ty2, leaf2)) =
+  (* deref at ty1 of a pointer landing on ty2's normalized cell *)
+  let v = gen_var_of_ty "v" ty2 in
+  let target_cis = Common_init_seq.normalize ctx v [] in
+  let target_coc = Collapse_on_cast.normalize ctx v [] in
+  ignore leaf2;
+  let alphas = Ctype.leaf_paths ty1 in
+  List.for_all
+    (fun alpha ->
+      let cis = Common_init_seq.lookup ctx ty1 alpha target_cis in
+      let coc = Collapse_on_cast.lookup ctx ty1 alpha target_coc in
+      List.for_all (fun c -> List.exists (Cell.equal c) coc) cis
+      ||
+      let s cells = String.concat "," (List.map Cell.to_string cells) in
+      QCheck2.Test.fail_reportf "cis {%s} ⊄ coc {%s} for %s in %s" (s cis)
+        (s coc)
+        (Ctype.path_to_string alpha)
+        (Ctype.to_string ty1))
+    alphas
+
+let prop_resolve_components ((ty1, _), (ty2, _)) =
+  let d = gen_var_of_ty "d" ty1 in
+  let s = gen_var_of_ty "s" ty2 in
+  let g = Graph.create () in
+  List.for_all
+    (fun (module S : Strategy.S) ->
+      let pairs =
+        S.resolve ctx g (S.normalize ctx d []) (S.normalize ctx s []) ty1
+      in
+      List.for_all
+        (fun ((cd : Cell.t), (cs : Cell.t)) ->
+          Cvar.equal cd.Cell.base d && Cvar.equal cs.Cell.base s)
+        pairs
+      || QCheck2.Test.fail_reportf "%s: resolve mixed up objects" S.id)
+    path_strategies
+
+let prop_resolve_same_type_is_field_for_field (ty, _) =
+  let a = gen_var_of_ty "a" ty in
+  let b = gen_var_of_ty "b" ty in
+  let g = Graph.create () in
+  List.for_all
+    (fun (module S : Strategy.S) ->
+      let pairs =
+        S.resolve ctx g (S.normalize ctx a []) (S.normalize ctx b []) ty
+      in
+      List.for_all
+        (fun ((cd : Cell.t), (cs : Cell.t)) ->
+          match (cd.Cell.sel, cs.Cell.sel) with
+          | Cell.Path pd, Cell.Path ps -> pd = ps
+          | _ -> false)
+        pairs
+      ||
+      QCheck2.Test.fail_reportf "%s: same-type resolve not field-for-field"
+        S.id)
+    path_strategies
+
+let prop_offsets_in_bounds (ty, leaf) =
+  let v = gen_var_of_ty "v" ty in
+  let size = Layout.size_of ctx.Actx.layout ty in
+  let check (c : Cell.t) =
+    match c.Cell.sel with
+    | Cell.Off k -> k >= 0 && k <= size
+    | Cell.Path _ -> false
+  in
+  let n = Offsets.normalize ctx v leaf in
+  let looked = Offsets.lookup ctx ty leaf (Offsets.normalize ctx v []) in
+  let all = Offsets.all_cells ctx v in
+  List.for_all check ((n :: looked) @ all)
+  || QCheck2.Test.fail_reportf "offsets out of bounds for %s"
+       (Ctype.to_string ty)
+
+let prop_all_cells_cover_leaves (ty, _) =
+  let v = gen_var_of_ty "v" ty in
+  List.for_all
+    (fun (module S : Strategy.S) ->
+      let cells = S.all_cells ctx v in
+      (* every normalized leaf is among all_cells *)
+      List.for_all
+        (fun leaf ->
+          let c = S.normalize ctx v leaf in
+          List.exists (Cell.equal c) cells)
+        (Ctype.leaf_paths ty)
+      || QCheck2.Test.fail_reportf "%s: all_cells misses a leaf" S.id)
+    path_strategies
+
+(* ------------------------------------------------------------------ *)
+(* Registration                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let t name gen prop = QCheck2.Test.make ~name ~count:200 gen prop
+
+let pair_gen = QCheck2.Gen.pair gen_struct_and_leaf gen_struct_and_leaf
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      t "normalize is idempotent" gen_struct_and_leaf prop_normalize_idempotent;
+      t "normalize lands on a leaf" gen_struct_and_leaf prop_normalize_is_leaf;
+      t "lookup at the declared type is exact" gen_struct_and_leaf
+        prop_lookup_exact_at_own_type;
+      t "cis lookup ⊆ collapse-on-cast lookup" pair_gen prop_cis_subset_of_coc;
+      t "resolve components stay in their objects" pair_gen
+        prop_resolve_components;
+      t "same-type resolve is field-for-field" gen_struct_and_leaf
+        prop_resolve_same_type_is_field_for_field;
+      t "offsets cells stay in bounds" gen_struct_and_leaf
+        prop_offsets_in_bounds;
+      t "all_cells covers every leaf" gen_struct_and_leaf
+        prop_all_cells_cover_leaves;
+    ]

@@ -1,0 +1,151 @@
+(** Tests for the library-function summaries (the paper handles library
+    calls "by providing summaries of the potential pointer assignments in
+    each library function"). *)
+
+open Helpers
+
+let all_ids = [ "collapse-always"; "collapse-on-cast"; "cis"; "offsets" ]
+
+let for_all f =
+  List.iter (fun id -> f id (strategy id)) all_ids
+
+let test_realloc () =
+  let src =
+    {|
+      void *malloc(unsigned long);
+      void *realloc(void *, unsigned long);
+      struct S { int *f; } *p, *q;
+      int x;
+      int *out;
+      void main(void) {
+        p = (struct S *)malloc(sizeof(struct S));
+        p->f = &x;
+        q = (struct S *)realloc(p, 2 * sizeof(struct S));
+        out = q->f;
+      }
+    |}
+  in
+  for_all (fun id s ->
+      let r = analyze ~strategy:s src in
+      (* q may be the old block or the fresh one *)
+      let tq = target_bases r "q" in
+      if List.length tq < 2 then
+        Alcotest.failf "%s: realloc q = %s" id (String.concat "," tq);
+      (* the pointee contents were copied: out must still reach x *)
+      let out = target_bases r "out" in
+      if not (List.mem "x" out) then
+        Alcotest.failf "%s: realloc lost x (out = %s)" id
+          (String.concat "," out))
+
+let test_static_results_shared () =
+  let src =
+    {|
+      char *getenv(char *name);
+      char *a, *b;
+      void main(void) {
+        a = getenv("HOME");
+        b = getenv("PATH");
+      }
+    |}
+  in
+  for_all (fun id s ->
+      let r = analyze ~strategy:s src in
+      (* both calls return the same internal static object *)
+      if targets r "a" <> targets r "b" || targets r "a" = [] then
+        Alcotest.failf "%s: getenv statics differ" id)
+
+let test_strchr_points_into_arg () =
+  let src =
+    {|
+      char *strchr(char *s, int c);
+      char buf[32];
+      char *hit;
+      void main(void) { hit = strchr(buf, 'x'); }
+    |}
+  in
+  for_all (fun id s ->
+      let r = analyze ~strategy:s src in
+      let got = target_bases r "hit" in
+      if not (List.mem "buf" got) then
+        Alcotest.failf "%s: strchr result = %s" id (String.concat "," got))
+
+let test_atexit_invokes_handler () =
+  let src =
+    {|
+      int atexit(void (*fn)(void));
+      int x;
+      int *witness;
+      void handler(void) { witness = &x; }
+      void main(void) { atexit(handler); }
+    |}
+  in
+  for_all (fun _id s ->
+      let r = analyze ~strategy:s src in
+      check_bases r "witness" [ "x" ])
+
+let test_strcpy_returns_dst () =
+  let src =
+    {|
+      char *strcpy(char *dst, char *src);
+      char a[16];
+      char *r;
+      void main(void) { r = strcpy(a, "hello"); }
+    |}
+  in
+  for_all (fun id s ->
+      let res = analyze ~strategy:s src in
+      let got = target_bases res "r" in
+      if not (List.mem "a" got) then
+        Alcotest.failf "%s: strcpy result = %s" id (String.concat "," got))
+
+let test_fgets_returns_buffer () =
+  let src =
+    {|
+      char *fgets(char *buf, int n, void *f);
+      char line[80];
+      char *got;
+      void main(void) { got = fgets(line, 80, 0); }
+    |}
+  in
+  for_all (fun _ s ->
+      let r = analyze ~strategy:s src in
+      check_bases r "got" [ "line" ])
+
+let test_table_sanity () =
+  (* allocation markers agree with the table *)
+  Alcotest.(check bool) "malloc allocates" true (Norm.Summaries.is_alloc "malloc");
+  Alcotest.(check bool) "strdup allocates" true (Norm.Summaries.is_alloc "strdup");
+  Alcotest.(check bool) "strcpy does not" false (Norm.Summaries.is_alloc "strcpy");
+  Alcotest.(check bool) "unknown fn absent" true
+    (Norm.Summaries.find "frobnicate" = None);
+  (* no duplicate summary names *)
+  let names =
+    List.map (fun s -> s.Norm.Summaries.sname) Norm.Summaries.table
+  in
+  Alcotest.(check int) "no duplicates" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_unknown_externs_reported () =
+  let src =
+    {|
+      void mystery_fn(int *p);
+      int x;
+      void main(void) { mystery_fn(&x); }
+    |}
+  in
+  let r = analyze ~strategy:(strategy "cis") src in
+  Alcotest.(check (list string)) "reported"
+    [ "mystery_fn" ]
+    r.Core.Analysis.metrics.Core.Metrics.unknown_externs
+
+let suite =
+  [
+    tc "realloc: fresh + old + contents copied" test_realloc;
+    tc "static results are shared per function" test_static_results_shared;
+    tc "strchr points into its argument" test_strchr_points_into_arg;
+    tc "atexit invokes the handler" test_atexit_invokes_handler;
+    tc "strcpy returns its destination" test_strcpy_returns_dst;
+    tc "fgets returns its buffer" test_fgets_returns_buffer;
+    tc "summary table sanity" test_table_sanity;
+    tc "unknown externs are reported" test_unknown_externs_reported;
+  ]
