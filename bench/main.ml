@@ -4,7 +4,7 @@
     micro-benchmarks (one [Test.make] per figure).
 
     Usage: [dune exec bench/main.exe] (all sections), or pass section
-    names: [fig3 fig4 fig5 fig6 ext-a ext-b ext-c bechamel]. *)
+    names: [fig3 fig4 fig5 fig6 ext-a ext-b ext-c ext-d ext-e bechamel]. *)
 
 open Norm
 
@@ -314,6 +314,43 @@ let ext_d () =
     [ 100; 200; 400; 800; 1600; 3200 ]
 
 (* ------------------------------------------------------------------ *)
+(* Extension E: budgeted-solve resilience                              *)
+(* ------------------------------------------------------------------ *)
+
+let ext_e () =
+  header
+    "Extension E: budgeted solves on a cast-heavy generated workload\n\
+     (precision given up and time saved when budgets degrade the solve)";
+  Printf.printf "%-24s %8s %10s %10s %10s %8s\n" "budget" "steps" "collapses"
+    "avg-deref" "edges" "time(s)";
+  line ();
+  let cfg =
+    { Cgen.default with n_stmts = 800; n_structs = 5; cast_rate = 0.6 }
+  in
+  let src = Cgen.generate ~cfg ~seed:2026 () in
+  let prog = Lower.compile ~file:"budget-bench" src in
+  let run label (budget : Core.Budget.limits) =
+    let t0 = Sys.time () in
+    let solver =
+      Core.Solver.run ~budget ~strategy:(module Core.Offsets) prog
+    in
+    let dt = Sys.time () -. t0 in
+    let m = Core.Metrics.summarize solver in
+    Printf.printf "%-24s %8d %10d %10.2f %10d %8.4f\n" label
+      (Core.Budget.steps solver.Core.Solver.budget)
+      (List.length (Core.Solver.degradations solver))
+      m.Core.Metrics.avg_deref_size m.Core.Metrics.total_edges dt
+  in
+  run "unlimited" Core.Budget.unlimited;
+  run "default" Core.Budget.default;
+  run "steps=2000"
+    { Core.Budget.unlimited with Core.Budget.max_steps = Some 2000 };
+  run "cells/object=4"
+    { Core.Budget.unlimited with Core.Budget.max_cells_per_object = Some 4 };
+  run "total-cells=200"
+    { Core.Budget.unlimited with Core.Budget.max_total_cells = Some 200 }
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per figure                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -434,6 +471,7 @@ let sections : (string * (unit -> unit)) list =
     ("ext-b", ext_b);
     ("ext-c", ext_c);
     ("ext-d", ext_d);
+    ("ext-e", ext_e);
     ("bechamel", bechamel);
     ("csv", csv);
   ]

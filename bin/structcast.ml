@@ -53,10 +53,56 @@ let strategy_of_name name : (module Core.Strategy.S) =
         (Printf.sprintf "unknown strategy %s (have: %s)" name
            (String.concat ", " Core.Analysis.strategy_ids))
 
-let compile_spec ~layout spec : string * Nast.program =
+let compile_spec ~layout ~diags spec : string * Nast.program =
   let name, source = load_source spec in
   let resolve = resolve_includes spec in
-  (name, Lower.compile ~layout ~resolve ~file:name source)
+  (name, Lower.compile ~layout ~resolve ~diags ~file:name source)
+
+(* ------------------------------------------------------------------ *)
+(* Budgets and exit codes                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Exit codes: 0 clean, 1 diagnostics reported, 2 budget-degraded,
+   3 internal error. Degradation wins over diagnostics: a truncated
+   answer is the more important fact about the run. *)
+
+let limits_of_flags max_steps timeout_ms max_cells_per_object max_total_cells
+    : Core.Budget.limits =
+  let opt n = if n <= 0 then None else Some n in
+  {
+    Core.Budget.max_steps = opt max_steps;
+    timeout_s =
+      (if timeout_ms <= 0 then None
+       else Some (float_of_int timeout_ms /. 1000.));
+    max_cells_per_object = opt max_cells_per_object;
+    max_total_cells = opt max_total_cells;
+  }
+
+let report_diags (d : Diag.ctx) =
+  List.iter
+    (fun (p : Diag.payload) -> Fmt.epr "%a@." Diag.pp_payload p)
+    (Diag.diagnostics d)
+
+(* One line on stderr summarizing what precision was given up. *)
+let report_degradation (events : Core.Budget.event list) =
+  match events with
+  | [] -> ()
+  | e0 :: _ ->
+      let collapsed =
+        List.length (List.filter (fun e -> e.Core.Budget.obj <> None) events)
+      in
+      let what =
+        if collapsed = 0 then "all objects treated as collapsed"
+        else Printf.sprintf "%d object%s collapsed" collapsed
+               (if collapsed = 1 then "" else "s")
+      in
+      Fmt.epr "budget: precision degraded — %s (first trip: %a at step %d, \
+               %.2fs)@."
+        what Core.Budget.pp_reason e0.Core.Budget.reason
+        e0.Core.Budget.at_step e0.Core.Budget.at_time
+
+let exit_code ~diags ~degraded =
+  if degraded then 2 else if Diag.has_errors diags then 1 else 0
 
 (* ------------------------------------------------------------------ *)
 (* analyze                                                             *)
@@ -170,10 +216,15 @@ let print_dot_callgraph (r : Core.Analysis.result) =
     (Clients.Queries.call_graph q);
   Fmt.pr "}@."
 
-let analyze_cmd spec strategy layout what var =
+let analyze_cmd spec strategy layout what var budget =
   let layout = layout_of_name layout in
-  let name, prog = compile_spec ~layout spec in
-  let r = Core.Analysis.run ~layout ~strategy:(strategy_of_name strategy) prog in
+  let diags = Diag.create () in
+  let name, prog = compile_spec ~layout ~diags spec in
+  let r =
+    Core.Analysis.run ~layout ~budget
+      ~strategy:(strategy_of_name strategy)
+      prog
+  in
   (match what with
   | "points-to" -> print_points_to r ~only_var:var
   | "metrics" -> print_metrics name r
@@ -183,27 +234,31 @@ let analyze_cmd spec strategy layout what var =
   | "dot" -> print_dot r
   | "dot-callgraph" -> print_dot_callgraph r
   | w -> failwith (Printf.sprintf "unknown --print %s" w));
-  List.iter
-    (fun (w : Diag.payload) -> Fmt.epr "%a@." Diag.pp_payload w)
-    (Diag.take_warnings ())
+  report_diags diags;
+  report_degradation r.Core.Analysis.degraded;
+  exit_code ~diags ~degraded:(r.Core.Analysis.degraded <> [])
 
 (* ------------------------------------------------------------------ *)
 (* compare                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let compare_cmd spec layout =
+let compare_cmd spec layout budget =
   let layout = layout_of_name layout in
-  let name, prog = compile_spec ~layout spec in
+  let diags = Diag.create () in
+  let name, prog = compile_spec ~layout ~diags spec in
   Fmt.pr "%s: %d normalized statements@.@." name (Nast.stmt_count prog);
   Fmt.pr "%-24s %12s %10s %10s %10s@." "strategy" "avg-deref" "max" "edges"
     "time(s)";
+  let all_events = ref [] in
   List.iter
     (fun s ->
-      let r = Core.Analysis.run ~layout ~strategy:s prog in
+      let r = Core.Analysis.run ~layout ~budget ~strategy:s prog in
       let m = r.Core.Analysis.metrics in
-      Fmt.pr "%-24s %12.2f %10d %10d %10.4f@." m.Core.Metrics.strategy_name
+      all_events := !all_events @ r.Core.Analysis.degraded;
+      Fmt.pr "%-24s %12.2f %10d %10d %10.4f%s@." m.Core.Metrics.strategy_name
         m.Core.Metrics.avg_deref_size m.Core.Metrics.max_deref_size
-        m.Core.Metrics.total_edges r.Core.Analysis.time_s)
+        m.Core.Metrics.total_edges r.Core.Analysis.time_s
+        (if r.Core.Analysis.degraded <> [] then "  (degraded)" else ""))
     Core.Analysis.strategies;
   (* unification baselines for context *)
   List.iter
@@ -215,7 +270,10 @@ let compare_cmd spec layout =
     [
       (Steens.Steensgaard.Collapsed, "steensgaard (collapsed)");
       (Steens.Steensgaard.Fields, "steensgaard (fields)");
-    ]
+    ];
+  report_diags diags;
+  report_degradation !all_events;
+  exit_code ~diags ~degraded:(!all_events <> [])
 
 (* ------------------------------------------------------------------ *)
 (* corpus                                                              *)
@@ -267,35 +325,98 @@ let var_arg =
     value & opt (some string) None
     & info [ "var" ] ~docv:"NAME" ~doc:"Restrict points-to output to one variable.")
 
+(* Budget flags; 0 disables the corresponding limit. Defaults come from
+   Budget.default so every CLI run is bounded out of the box. *)
+
+let default_steps =
+  Option.value Core.Budget.default.Core.Budget.max_steps ~default:0
+
+let default_timeout_ms =
+  match Core.Budget.default.Core.Budget.timeout_s with
+  | None -> 0
+  | Some s -> int_of_float (s *. 1000.)
+
+let default_obj_cells =
+  Option.value Core.Budget.default.Core.Budget.max_cells_per_object ~default:0
+
+let default_total_cells =
+  Option.value Core.Budget.default.Core.Budget.max_total_cells ~default:0
+
+let max_steps_arg =
+  Arg.(
+    value & opt int default_steps
+    & info [ "max-steps" ] ~docv:"N"
+        ~doc:
+          "Solver step budget; past it, precision degrades (objects collapse \
+           to single cells) instead of running on. 0 = unlimited.")
+
+let timeout_ms_arg =
+  Arg.(
+    value & opt int default_timeout_ms
+    & info [ "timeout-ms" ] ~docv:"MS"
+        ~doc:
+          "Wall-clock budget for the solve, in milliseconds; past it, \
+           precision degrades. 0 = unlimited.")
+
+let max_cells_per_object_arg =
+  Arg.(
+    value & opt int default_obj_cells
+    & info [ "max-cells-per-object" ] ~docv:"N"
+        ~doc:
+          "Cell budget per object; an object tracked at finer granularity \
+           than this collapses to one cell. 0 = unlimited.")
+
+let max_total_cells_arg =
+  Arg.(
+    value & opt int default_total_cells
+    & info [ "max-total-cells" ] ~docv:"N"
+        ~doc:
+          "Cell budget across all objects; past it, precision degrades. \
+           0 = unlimited.")
+
+let budget_term =
+  Term.(
+    const limits_of_flags $ max_steps_arg $ timeout_ms_arg
+    $ max_cells_per_object_arg $ max_total_cells_arg)
+
+(* [f] returns the exit code (0 ok, 1 diagnostics, 2 degraded); expected
+   failures map to 1, anything escaping unexpectedly is an internal
+   error: 3. *)
 let wrap f =
-  try
-    f ();
-    0
-  with
+  try f () with
   | Failure msg | Sys_error msg ->
       Fmt.epr "error: %s@." msg;
       1
   | Diag.Error p ->
       Fmt.epr "%a@." Diag.pp_payload p;
       1
+  | e ->
+      Fmt.epr "internal error: %s@." (Printexc.to_string e);
+      3
 
 let analyze_t =
-  let run spec strategy layout what var =
-    wrap (fun () -> analyze_cmd spec strategy layout what var)
+  let run spec strategy layout what var budget =
+    wrap (fun () -> analyze_cmd spec strategy layout what var budget)
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Analyze a C file with one framework instance.")
-    Term.(const run $ spec_arg $ strategy_arg $ layout_arg $ print_arg $ var_arg)
+    Term.(
+      const run $ spec_arg $ strategy_arg $ layout_arg $ print_arg $ var_arg
+      $ budget_term)
 
 let compare_t =
-  let run spec layout = wrap (fun () -> compare_cmd spec layout) in
+  let run spec layout budget = wrap (fun () -> compare_cmd spec layout budget) in
   Cmd.v
     (Cmd.info "compare"
        ~doc:"Run all framework instances (and unification baselines).")
-    Term.(const run $ spec_arg $ layout_arg)
+    Term.(const run $ spec_arg $ layout_arg $ budget_term)
 
 let corpus_t =
-  let run () = wrap corpus_cmd in
+  let run () =
+    wrap (fun () ->
+        corpus_cmd ();
+        0)
+  in
   Cmd.v
     (Cmd.info "corpus" ~doc:"List the embedded benchmark corpus.")
     Term.(const run $ const ())

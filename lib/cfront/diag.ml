@@ -1,9 +1,20 @@
 (** Diagnostics: structured front-end errors carrying a source location.
 
-    All front-end phases (preprocessor, lexer, parser, type checker,
-    normalizer) report failures through {!error}, which raises {!Error}.
-    Drivers catch the exception at the top level and render it with
-    {!pp_payload}. *)
+    Two reporting regimes coexist:
+
+    - {!error} raises {!Error} immediately — the fatal escape hatch for
+      conditions no phase can recover from (internal invariant breaks,
+      unreadable input, the diagnostics cap).
+    - A per-run accumulating context ({!ctx}): recoverable phases (the
+      parser's resynchronization, the type checker's per-statement
+      recovery) {!report} errors and {!warn} warnings into it and carry
+      on, so one run surfaces {e all} of its diagnostics instead of dying
+      on the first. A context is created per run ({!create}) — there is
+      no global mutable state, so an aborted run cannot leak diagnostics
+      into the next one.
+
+    A context holds at most [max_diags] entries; one past the cap turns
+    into a fatal {!error}, bounding pathological inputs. *)
 
 type severity = Warning | Error_sev
 
@@ -23,20 +34,59 @@ let error ?(loc = Srcloc.dummy) fmt =
     (fun message -> raise (Error { severity = Error_sev; loc; message }))
     fmt
 
-(* Warnings are collected rather than printed so that tests can assert on
-   them and CLI users can choose a rendering. *)
-let warnings : payload list ref = ref []
+(* ------------------------------------------------------------------ *)
+(* Accumulating per-run context                                        *)
+(* ------------------------------------------------------------------ *)
 
-let warn ?(loc = Srcloc.dummy) fmt =
+type ctx = {
+  mutable items : payload list;  (** newest first *)
+  mutable n_errors : int;
+  mutable n_warnings : int;
+  max_diags : int;
+}
+
+let default_max_diags = 200
+
+let create ?(max_diags = default_max_diags) () =
+  { items = []; n_errors = 0; n_warnings = 0; max_diags }
+
+let add ctx (p : payload) =
+  if ctx.n_errors + ctx.n_warnings >= ctx.max_diags then
+    error ~loc:p.loc "too many diagnostics (cap is %d); giving up"
+      ctx.max_diags;
+  (match p.severity with
+  | Warning -> ctx.n_warnings <- ctx.n_warnings + 1
+  | Error_sev -> ctx.n_errors <- ctx.n_errors + 1);
+  ctx.items <- p :: ctx.items
+
+let warn ctx ?(loc = Srcloc.dummy) fmt =
   Format.kasprintf
-    (fun message ->
-      warnings := { severity = Warning; loc; message } :: !warnings)
+    (fun message -> add ctx { severity = Warning; loc; message })
     fmt
 
-let take_warnings () =
-  let ws = List.rev !warnings in
-  warnings := [];
-  ws
+let report ctx ?(loc = Srcloc.dummy) fmt =
+  Format.kasprintf
+    (fun message -> add ctx { severity = Error_sev; loc; message })
+    fmt
+
+let diagnostics ctx = List.rev ctx.items
+
+let errors ctx =
+  List.rev (List.filter (fun p -> p.severity = Error_sev) ctx.items)
+
+let warnings ctx =
+  List.rev (List.filter (fun p -> p.severity = Warning) ctx.items)
+
+let error_count ctx = ctx.n_errors
+
+let warning_count ctx = ctx.n_warnings
+
+let has_errors ctx = ctx.n_errors > 0
+
+(** The first error recorded, oldest first — for drivers that recovered
+    through a run but still need to fail it. *)
+let first_error ctx : payload option =
+  match errors ctx with p :: _ -> Some p | [] -> None
 
 let protect ~(f : unit -> 'a) : ('a, payload) result =
   match f () with x -> Ok x | exception Error p -> Error p

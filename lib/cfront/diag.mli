@@ -1,9 +1,9 @@
 (** Diagnostics: structured front-end errors carrying a source location.
 
-    All front-end phases (preprocessor, lexer, parser, type checker,
-    normalizer) report failures by raising {!Error}; drivers catch it at
-    the top level and render the payload with {!pp_payload}. Warnings are
-    accumulated and retrieved with {!take_warnings}. *)
+    {!error} raises {!Error} immediately (the fatal escape hatch);
+    recoverable phases accumulate into a per-run {!ctx} with {!report} /
+    {!warn} instead, so one run surfaces all of its diagnostics. There is
+    no global diagnostic state: every run creates its own context. *)
 
 type severity = Warning | Error_sev
 
@@ -18,12 +18,41 @@ val pp_payload : Format.formatter -> payload -> unit
 val error : ?loc:Srcloc.t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
 (** Raise {!Error} with a formatted message. Never returns. *)
 
-val warn : ?loc:Srcloc.t -> ('a, Format.formatter, unit, unit) format4 -> 'a
-(** Record a warning for later retrieval. *)
+(** {1 Accumulating per-run context} *)
 
-val take_warnings : unit -> payload list
-(** All warnings recorded since the previous call, oldest first; clears
-    the buffer. *)
+type ctx
+(** Mutable accumulator of one run's diagnostics, capped at [max_diags]
+    entries (adding one past the cap raises {!Error}). *)
+
+val default_max_diags : int
+
+val create : ?max_diags:int -> unit -> ctx
+
+val add : ctx -> payload -> unit
+(** Record a pre-built diagnostic (e.g. a caught {!Error} payload).
+    @raise Error when the context is full. *)
+
+val warn : ctx -> ?loc:Srcloc.t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Record a warning. *)
+
+val report : ctx -> ?loc:Srcloc.t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Record an error-severity diagnostic {e without} raising — used by
+    phases that recover and continue. *)
+
+val diagnostics : ctx -> payload list
+(** Everything recorded, oldest first. *)
+
+val errors : ctx -> payload list
+
+val warnings : ctx -> payload list
+
+val error_count : ctx -> int
+
+val warning_count : ctx -> int
+
+val has_errors : ctx -> bool
+
+val first_error : ctx -> payload option
 
 val protect : f:(unit -> 'a) -> ('a, payload) result
 (** Run [f], catching {!Error} as a [result]. *)

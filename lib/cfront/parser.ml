@@ -8,12 +8,19 @@
     Output is an untyped {!Ast.tunit}; all type syntax is resolved to
     {!Ctype.t} on the way. Enum constants are folded to integer literals.
     Array sizes and other constant expressions are folded with a layout
-    configuration (needed for [sizeof] in constant contexts). *)
+    configuration (needed for [sizeof] in constant contexts).
+
+    Error recovery: a syntax error does not abort the parse. The error is
+    recorded in the run's {!Diag.ctx} and the parser resynchronizes — at
+    the next [;] or block boundary inside a function body, at the next
+    plausible top-level declaration otherwise — and continues, yielding a
+    partial AST covering everything that did parse. *)
 
 type state = {
   toks : Token.spanned array;
   mutable idx : int;
   layout : Layout.config;
+  diags : Diag.ctx;
   typedefs : (string, Ctype.t) Hashtbl.t;
   tags : (string, Ctype.comp) Hashtbl.t;
   enum_consts : (string, int64) Hashtbl.t;
@@ -65,6 +72,62 @@ let expect_ident st : string =
       bump st;
       s
   | t -> Diag.error ~loc:(here st) "expected identifier, found %s" (Token.describe t)
+
+(* ------------------------------------------------------------------ *)
+(* Error recovery                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** Skip to the token after the next [;] at brace depth 0, or stop just
+    before the [}] that closes the enclosing block. Used to resume
+    statement parsing after a syntax error. *)
+let resync_stmt st =
+  let rec go depth =
+    match peek st with
+    | Token.Eof -> ()
+    | Token.Semi when depth = 0 -> bump st
+    | Token.Rbrace when depth = 0 -> ()
+    | Token.Lbrace ->
+        bump st;
+        go (depth + 1)
+    | Token.Rbrace ->
+        bump st;
+        go (depth - 1)
+    | _ ->
+        bump st;
+        go depth
+  in
+  go 0
+
+(** Skip to a plausible top-level boundary: past the next [;] at depth 0,
+    or past the [}] that closes the construct the error occurred in. *)
+let resync_global st =
+  let rec go depth =
+    match peek st with
+    | Token.Eof -> ()
+    | Token.Semi when depth = 0 -> bump st
+    | Token.Lbrace ->
+        bump st;
+        go (depth + 1)
+    | Token.Rbrace ->
+        bump st;
+        if depth > 1 then go (depth - 1)
+    | _ ->
+        bump st;
+        go depth
+  in
+  go 0
+
+(** Run [f]; on a syntax error, record it, make progress past the error
+    token, and resynchronize with [resync]. Returns [None] on error. *)
+let recovering st ~resync (f : unit -> 'a) : 'a option =
+  let before = st.idx in
+  match f () with
+  | x -> Some x
+  | exception Diag.Error p ->
+      Diag.add st.diags p;
+      if st.idx = before && peek st <> Token.Eof then bump st;
+      resync st;
+      None
 
 (* ------------------------------------------------------------------ *)
 (* Scopes                                                              *)
@@ -864,11 +927,13 @@ and parse_block st : Ast.stmt list =
   expect st Token.Lbrace;
   push_scope st;
   let stmts = ref [] in
-  while peek st <> Token.Rbrace do
-    stmts := parse_stmt st :: !stmts
+  while peek st <> Token.Rbrace && peek st <> Token.Eof do
+    match recovering st ~resync:resync_stmt (fun () -> parse_stmt st) with
+    | Some s -> stmts := s :: !stmts
+    | None -> ()
   done;
-  expect st Token.Rbrace;
   pop_scope st;
+  expect st Token.Rbrace;
   List.rev !stmts
 
 (** A local declaration statement (including the trailing ';'). *)
@@ -999,11 +1064,12 @@ let parse_global st (acc : Ast.global list ref) : unit =
         expect st Token.Semi
   end
 
-let create ?(layout = Layout.default) toks : state =
+let create ?(layout = Layout.default) ~diags toks : state =
   {
     toks = Array.of_list toks;
     idx = 0;
     layout;
+    diags;
     typedefs = Hashtbl.create 32;
     tags = Hashtbl.create 32;
     enum_consts = Hashtbl.create 32;
@@ -1011,16 +1077,27 @@ let create ?(layout = Layout.default) toks : state =
     anon_count = 0;
   }
 
-(** Parse a complete translation unit from preprocessed tokens. *)
-let parse_tokens ?layout (toks : Token.spanned list) : Ast.tunit =
-  let st = create ?layout toks in
+(** Parse a complete translation unit from preprocessed tokens.
+
+    With [~diags], syntax errors are recorded there and the parser
+    recovers, returning a partial AST. Without it, the first recorded
+    error is re-raised after the parse — the historical fail-fast
+    contract. *)
+let parse_tokens ?layout ?diags (toks : Token.spanned list) : Ast.tunit =
+  let d = match diags with Some d -> d | None -> Diag.create () in
+  let st = create ?layout ~diags:d toks in
   let acc = ref [] in
   while peek st <> Token.Eof do
-    parse_global st acc
+    match recovering st ~resync:resync_global (fun () -> parse_global st acc) with
+    | Some () | None -> ()
   done;
-  { Ast.globals = List.rev !acc }
+  let tu = { Ast.globals = List.rev !acc } in
+  (match (diags, Diag.first_error d) with
+  | None, Some p -> raise (Diag.Error p)
+  | _ -> ());
+  tu
 
 (** Convenience: preprocess and parse a source string. *)
-let parse_string ?layout ?defines ?resolve ~file src : Ast.tunit =
+let parse_string ?layout ?defines ?resolve ?diags ~file src : Ast.tunit =
   let toks = Preproc.run ?defines ?resolve ~file src in
-  parse_tokens ?layout toks
+  parse_tokens ?layout ?diags toks

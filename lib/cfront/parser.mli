@@ -5,18 +5,28 @@
     during parsing); ordinary declarations shadow typedef names through a
     scope stack. Enum constants are folded to integer literals; array
     sizes and other constant expressions are folded using a layout
-    configuration (needed for [sizeof] in constant contexts). *)
+    configuration (needed for [sizeof] in constant contexts).
 
-val parse_tokens : ?layout:Layout.config -> Token.spanned list -> Ast.tunit
-(** Parse a complete translation unit from preprocessed tokens.
-    @raise Diag.Error on syntax errors. *)
+    Error recovery: with a diagnostics context supplied, syntax errors are
+    recorded and the parser resynchronizes (at [;] / block boundaries
+    inside bodies, at the next top-level declaration otherwise) and
+    returns a partial AST covering what did parse. *)
+
+val parse_tokens :
+  ?layout:Layout.config -> ?diags:Diag.ctx -> Token.spanned list -> Ast.tunit
+(** Parse a complete translation unit from preprocessed tokens. With
+    [~diags], errors accumulate there and a partial AST is returned;
+    without it, the first syntax error is raised as {!Diag.Error} after
+    the parse completes (historical fail-fast contract). *)
 
 val parse_string :
   ?layout:Layout.config ->
   ?defines:(string * string) list ->
   ?resolve:(string -> string option) ->
+  ?diags:Diag.ctx ->
   file:string ->
   string ->
   Ast.tunit
-(** Preprocess (see {!Preproc.run}) and parse a source string.
-    @raise Diag.Error on preprocessing or syntax errors. *)
+(** Preprocess (see {!Preproc.run}) and parse a source string. Error
+    behaviour as {!parse_tokens}; preprocessor and lexer failures are
+    always fatal ({!Diag.Error}). *)

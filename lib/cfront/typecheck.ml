@@ -8,15 +8,17 @@
 
 type env = {
   layout : Layout.config;
+  diags : Diag.ctx;
   globals : (string, Cvar.t) Hashtbl.t;  (** objects and functions *)
   mutable scopes : (string, Cvar.t) Hashtbl.t list;
   mutable current_fun : string;
   mutable implicit_externs : Cvar.t list;
 }
 
-let create_env layout =
+let create_env layout diags =
   {
     layout;
+    diags;
     globals = Hashtbl.create 64;
     scopes = [];
     current_fun = "";
@@ -238,7 +240,7 @@ and check_call env ~loc f args : Tast.texpr =
         | Some v -> mk ~loc:f.Ast.eloc v.Cvar.vty (Tast.Tvar v)
         | None ->
             (* implicit declaration: int n(...) *)
-            Diag.warn ~loc "implicit declaration of function '%s'" n;
+            Diag.warn env.diags ~loc "implicit declaration of function '%s'" n;
             let fty =
               Ctype.Func { Ctype.ret = Ctype.int_t; params = []; varargs = true }
             in
@@ -378,15 +380,38 @@ let check_fun env (f : Ast.fundef) : Tast.tfun =
            ~kind:(Cvar.Vararg f.Ast.fname))
     else None
   in
-  let fbody = List.map (check_stmt env) f.Ast.fbody in
+  (* per-statement recovery: a statement that fails to check is recorded
+     and dropped; the rest of the function (and program) still checks, so
+     analysis proceeds on every valid function *)
+  let scope_depth = List.length env.scopes in
+  let fbody =
+    List.filter_map
+      (fun s ->
+        match check_stmt env s with
+        | s' -> Some s'
+        | exception Diag.Error p ->
+            Diag.add env.diags p;
+            (* unwind scopes the failed statement left open *)
+            while List.length env.scopes > scope_depth do
+              pop_scope env
+            done;
+            None)
+      f.Ast.fbody
+  in
   pop_scope env;
   env.current_fun <- "";
   { Tast.ffvar = fvar; fparams; fret; fvararg; fbody; ffloc = f.Ast.floc }
 
-(** Type-check a parsed translation unit. *)
-let check ?(layout = Layout.default) ?(file = "<input>") (tu : Ast.tunit) :
-    Tast.program =
-  let env = create_env layout in
+(** Type-check a parsed translation unit.
+
+    With [~diags], check errors are recorded there and the offending
+    statement/declaration is dropped (recovery); without it, the first
+    recorded error is re-raised at the end — the historical fail-fast
+    contract. *)
+let check ?(layout = Layout.default) ?diags ?(file = "<input>")
+    (tu : Ast.tunit) : Tast.program =
+  let d = match diags with Some d -> d | None -> Diag.create () in
+  let env = create_env layout d in
   (* pass 1: declare all functions and globals so bodies can refer to
      later definitions *)
   List.iter
@@ -399,15 +424,18 @@ let check ?(layout = Layout.default) ?(file = "<input>") (tu : Ast.tunit) :
             Hashtbl.replace env.globals d.Ast.dname
               (Cvar.fresh ~name:d.Ast.dname ~ty:d.Ast.dty ~kind:Cvar.Global))
     tu.Ast.globals;
-  (* pass 2: check bodies and initializers in order *)
+  (* pass 2: check bodies and initializers in order; a global that fails
+     is recorded and dropped so the rest of the unit still checks *)
   let globals = ref [] in
   let funcs = ref [] in
   List.iter
     (fun g ->
-      match g with
-      | Ast.Gvar d -> globals := check_decl env ~local:false d :: !globals
-      | Ast.Gfun f -> funcs := check_fun env f :: !funcs
-      | Ast.Gproto _ -> ())
+      try
+        match g with
+        | Ast.Gvar d -> globals := check_decl env ~local:false d :: !globals
+        | Ast.Gfun f -> funcs := check_fun env f :: !funcs
+        | Ast.Gproto _ -> ()
+      with Diag.Error p -> Diag.add env.diags p)
     tu.Ast.globals;
   let funcs = List.rev !funcs in
   let defined = List.map (fun f -> f.Tast.ffvar.Cvar.vname) funcs in
@@ -419,9 +447,15 @@ let check ?(layout = Layout.default) ?(file = "<input>") (tu : Ast.tunit) :
         | _ -> acc)
       env.globals []
   in
-  {
-    Tast.pglobals = List.rev !globals;
-    pfuncs = funcs;
-    pexterns;
-    pfile = file;
-  }
+  let prog =
+    {
+      Tast.pglobals = List.rev !globals;
+      pfuncs = funcs;
+      pexterns;
+      pfile = file;
+    }
+  in
+  (match (diags, Diag.first_error d) with
+  | None, Some p -> raise (Diag.Error p)
+  | _ -> ());
+  prog

@@ -7,7 +7,13 @@
     inference rules depend on, not to validate standard conformance. *)
 
 val check :
-  ?layout:Layout.config -> ?file:string -> Ast.tunit -> Tast.program
+  ?layout:Layout.config ->
+  ?diags:Diag.ctx ->
+  ?file:string ->
+  Ast.tunit ->
+  Tast.program
 (** Type-check a parsed translation unit. Implicit function declarations
-    produce warnings (see {!Diag.take_warnings}).
-    @raise Diag.Error on type errors. *)
+    produce warnings in the diagnostics context. With [~diags], check
+    errors are recorded there and the offending statement or global is
+    dropped (the rest of the program still checks); without it, the first
+    error is raised as {!Diag.Error} after the pass. *)

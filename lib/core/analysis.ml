@@ -20,20 +20,36 @@ type result = {
   solver : Solver.t;
   metrics : Metrics.summary;
   time_s : float;
+  degraded : Budget.event list;
+      (** budget degradations, oldest first; empty for a full-precision
+          run *)
+  diags : Diag.payload list;
+      (** front-end diagnostics accumulated by [run_source] when given a
+          context; empty otherwise *)
 }
 
 (** Analyze a normalized program with the given strategy. *)
-let run ?(layout = Layout.default) ~strategy (prog : Nast.program) : result =
+let run ?(layout = Layout.default) ?budget ~strategy (prog : Nast.program) :
+    result =
   let t0 = Unix_time.now () in
-  let solver = Solver.run ~layout ~strategy prog in
+  let solver = Solver.run ~layout ?budget ~strategy prog in
   let time_s = Unix_time.now () -. t0 in
-  { solver; metrics = Metrics.summarize solver; time_s }
+  {
+    solver;
+    metrics = Metrics.summarize solver;
+    time_s;
+    degraded = Solver.degradations solver;
+    diags = [];
+  }
 
 (** Parse, type-check, lower, and analyze a C source string. *)
-let run_source ?(layout = Layout.default) ?defines ?resolve ~strategy ~file
-    src : result =
-  let prog = Lower.compile ~layout ?defines ?resolve ~file src in
-  run ~layout ~strategy prog
+let run_source ?(layout = Layout.default) ?defines ?resolve ?budget ?diags
+    ~strategy ~file src : result =
+  let prog = Lower.compile ~layout ?defines ?resolve ?diags ~file src in
+  let r = run ~layout ?budget ~strategy prog in
+  match diags with
+  | Some d -> { r with diags = Diag.diagnostics d }
+  | None -> r
 
 (** Points-to set of a named variable (qualified or unqualified), expanded
     for display. Convenience for examples and tests. *)

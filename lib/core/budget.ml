@@ -1,0 +1,138 @@
+(** Solver resource budgets and the degradation ledger.
+
+    The tunable instances trade precision for cost, and the expensive ones
+    (Collapse-on-Cast, CIS, Offsets) can blow up cell counts and worklist
+    iterations on cast-heavy inputs. A {!t} carries configurable
+    {!limits} — worklist steps, wall-clock time, cells per object, total
+    cells — that {!Solver} checks from its worklist loop. Tripping a
+    budget does not abort the analysis: the solver degrades the offending
+    object(s) to the Collapse-Always treatment (one cell per object,
+    edges merged) and continues to a sound-but-coarser fixpoint. Every
+    collapse is recorded here as an {!event} — which object, why, at what
+    step and time — so results can report exactly what precision was
+    given up. *)
+
+open Cfront
+
+type limits = {
+  max_steps : int option;  (** worklist statements processed *)
+  timeout_s : float option;  (** wall-clock seconds for [solve] *)
+  max_cells_per_object : int option;
+      (** distinct cells of one object carrying outgoing edges *)
+  max_total_cells : int option;
+      (** distinct cells with outgoing edges, all objects together *)
+}
+
+let unlimited =
+  {
+    max_steps = None;
+    timeout_s = None;
+    max_cells_per_object = None;
+    max_total_cells = None;
+  }
+
+(** Generous defaults for drivers: large enough that no well-behaved
+    input degrades, small enough that adversarial cast-heavy inputs
+    terminate promptly. *)
+let default =
+  {
+    max_steps = Some 2_000_000;
+    timeout_s = Some 10.0;
+    max_cells_per_object = Some 512;
+    max_total_cells = Some 500_000;
+  }
+
+type reason =
+  | Steps of int  (** step budget tripped (the limit) *)
+  | Timeout of float  (** wall-clock budget tripped (the limit, seconds) *)
+  | Object_cells of int  (** this object exceeded the per-object limit *)
+  | Total_cells of int  (** the graph exceeded the total-cell limit *)
+
+type event = {
+  obj : Cvar.t option;
+      (** the collapsed object; [None] marks a run-level trip where
+          nothing was left to collapse *)
+  reason : reason;
+  at_step : int;
+  at_time : float;  (** seconds since [solve] started *)
+}
+
+type t = {
+  limits : limits;
+  mutable start_time : float;
+  mutable steps : int;
+  mutable events : event list;  (** newest first *)
+  mutable steps_tripped : bool;
+  mutable time_tripped : bool;
+  mutable total_tripped : bool;
+}
+
+let create ?(limits = unlimited) () =
+  {
+    limits;
+    start_time = Unix_time.now ();
+    steps = 0;
+    events = [];
+    steps_tripped = false;
+    time_tripped = false;
+    total_tripped = false;
+  }
+
+let start t = t.start_time <- Unix_time.now ()
+
+let elapsed t = Unix_time.now () -. t.start_time
+
+let step t = t.steps <- t.steps + 1
+
+let steps t = t.steps
+
+(* Each coarse budget trips at most once: tripping degrades globally, so
+   re-checking afterwards would only re-fire on the already-degraded
+   state. The per-object budget needs no flag — collapsing the object is
+   what stops it re-firing. *)
+
+let over_steps t =
+  (not t.steps_tripped)
+  && match t.limits.max_steps with Some n -> t.steps > n | None -> false
+
+let trip_steps t = t.steps_tripped <- true
+
+let over_time t =
+  (not t.time_tripped)
+  && match t.limits.timeout_s with Some s -> elapsed t > s | None -> false
+
+let trip_time t = t.time_tripped <- true
+
+let over_total t ~total_cells =
+  (not t.total_tripped)
+  &&
+  match t.limits.max_total_cells with
+  | Some n -> total_cells > n
+  | None -> false
+
+let trip_total t = t.total_tripped <- true
+
+let record t ?obj reason =
+  t.events <- { obj; reason; at_step = t.steps; at_time = elapsed t } :: t.events
+
+let events t = List.rev t.events
+
+let degraded t = t.events <> []
+
+let reasons t = List.rev_map (fun e -> e.reason) t.events
+
+let pp_reason ppf = function
+  | Steps n -> Fmt.pf ppf "step budget (%d)" n
+  | Timeout s -> Fmt.pf ppf "time budget (%.3gs)" s
+  | Object_cells n -> Fmt.pf ppf "per-object cell budget (%d)" n
+  | Total_cells n -> Fmt.pf ppf "total cell budget (%d)" n
+
+let pp_event ppf e =
+  let subject ppf = function
+    | Some v -> Cvar.pp ppf v
+    | None -> Fmt.string ppf "<run>"
+  in
+  Fmt.pf ppf "%a collapsed: %a at step %d (%.3fs)" subject e.obj pp_reason
+    e.reason e.at_step e.at_time
+
+let event_to_string e = Fmt.str "%a" pp_event e

@@ -1,0 +1,92 @@
+(** Solver resource budgets and the degradation ledger.
+
+    Configurable limits — worklist steps, wall-clock time, per-object and
+    total cell counts — checked by {!Solver} from its worklist loop.
+    Tripping a budget degrades the offending object(s) to the
+    Collapse-Always treatment instead of aborting; each collapse is
+    recorded as an {!event} so results can report what precision was
+    given up, why, and when. *)
+
+open Cfront
+
+type limits = {
+  max_steps : int option;  (** worklist statements processed *)
+  timeout_s : float option;  (** wall-clock seconds for [solve] *)
+  max_cells_per_object : int option;
+      (** distinct cells of one object carrying outgoing edges *)
+  max_total_cells : int option;
+      (** distinct cells with outgoing edges, all objects together *)
+}
+
+val unlimited : limits
+(** No limits — the library default; existing callers see no change. *)
+
+val default : limits
+(** Generous finite limits for drivers (the CLI default): no well-behaved
+    input degrades, adversarial inputs terminate promptly. *)
+
+type reason =
+  | Steps of int
+  | Timeout of float
+  | Object_cells of int
+  | Total_cells of int
+
+type event = {
+  obj : Cvar.t option;
+      (** the collapsed object; [None] for a run-level trip with nothing
+          left to collapse *)
+  reason : reason;
+  at_step : int;
+  at_time : float;  (** seconds since [solve] started *)
+}
+
+type t = {
+  limits : limits;
+  mutable start_time : float;
+  mutable steps : int;
+  mutable events : event list;  (** newest first *)
+  mutable steps_tripped : bool;
+  mutable time_tripped : bool;
+  mutable total_tripped : bool;
+}
+
+val create : ?limits:limits -> unit -> t
+
+val start : t -> unit
+(** Stamp the solve start time. *)
+
+val elapsed : t -> float
+
+val step : t -> unit
+(** Count one worklist statement processed. *)
+
+val steps : t -> int
+
+val over_steps : t -> bool
+(** Step budget exceeded and not yet tripped. *)
+
+val trip_steps : t -> unit
+
+val over_time : t -> bool
+
+val trip_time : t -> unit
+
+val over_total : t -> total_cells:int -> bool
+
+val trip_total : t -> unit
+
+val record : t -> ?obj:Cvar.t -> reason -> unit
+(** Log a degradation event at the current step/time. *)
+
+val events : t -> event list
+(** All degradation events, oldest first. *)
+
+val degraded : t -> bool
+
+val reasons : t -> reason list
+
+val pp_reason : Format.formatter -> reason -> unit
+
+val pp_event : Format.formatter -> event -> unit
+
+val event_to_string : event -> string

@@ -46,11 +46,36 @@ let add_edge g (c : Cell.t) (w : Cell.t) : bool =
     true
   end
 
+(** Drop a source cell and its outgoing edges (degradation: the cell's
+    facts live on its collapsed representative from now on). *)
+let remove_source g (c : Cell.t) : unit =
+  (match Cell.Tbl.find_opt g.edges c with
+  | Some s ->
+      g.edge_count <- g.edge_count - Cell.Set.cardinal !s;
+      Cell.Tbl.remove g.edges c
+  | None -> ());
+  match Cvar.Tbl.find_opt g.by_obj c.Cell.base with
+  | Some s -> s := Cell.Set.remove c !s
+  | None -> ()
+
 (** Cells of [obj] that have at least one outgoing edge. *)
 let cells_of_obj g (obj : Cvar.t) : Cell.t list =
   match Cvar.Tbl.find_opt g.by_obj obj with
   | Some s -> Cell.Set.elements !s
   | None -> []
+
+(** Number of distinct cells of [obj] carrying outgoing edges. *)
+let cell_count_of_obj g (obj : Cvar.t) : int =
+  match Cvar.Tbl.find_opt g.by_obj obj with
+  | Some s -> Cell.Set.cardinal !s
+  | None -> 0
+
+(** Number of distinct cells carrying outgoing edges, over all objects. *)
+let source_cell_count g : int = Cell.Tbl.length g.edges
+
+(** Fold over objects that carry facts, with their fact-bearing cells. *)
+let fold_objects g f init =
+  Cvar.Tbl.fold (fun v s acc -> f v !s acc) g.by_obj init
 
 let edge_count g = g.edge_count
 

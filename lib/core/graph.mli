@@ -12,9 +12,25 @@ val pts : t -> Cell.t -> Cell.Set.t
 val add_edge : t -> Cell.t -> Cell.t -> bool
 (** Add an edge; [true] iff it is new. *)
 
+val remove_source : t -> Cell.t -> unit
+(** Drop a source cell and its outgoing edges. Used when degradation
+    merges a cell's facts onto its collapsed representative, so stale
+    fine-grained entries don't linger in reports. *)
+
 val cells_of_obj : t -> Cfront.Cvar.t -> Cell.t list
 (** Cells of an object that have at least one outgoing edge — supports
     the Offsets instance's range-restricted [resolve]. *)
+
+val cell_count_of_obj : t -> Cfront.Cvar.t -> int
+(** Number of distinct cells of an object carrying outgoing edges —
+    the quantity the per-object cell budget bounds. *)
+
+val source_cell_count : t -> int
+(** Distinct cells with outgoing edges, over all objects. *)
+
+val fold_objects :
+  t -> (Cfront.Cvar.t -> Cell.Set.t -> 'a -> 'a) -> 'a -> 'a
+(** Fold over objects carrying facts, with their fact-bearing cells. *)
 
 val edge_count : t -> int
 

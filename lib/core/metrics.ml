@@ -56,6 +56,9 @@ type summary = {
       (** deref sites whose pointer may hold the Unknown marker
           ([`Unknown] arithmetic mode only): potential memory misuses *)
   unknown_externs : string list;
+  degraded : Budget.event list;
+      (** which objects were collapsed under budget pressure, why, and
+          when; empty for a full-precision run *)
 }
 
 let summarize (solver : Solver.t) : summary =
@@ -87,4 +90,5 @@ let summarize (solver : Solver.t) : summary =
     resolve_calls = solver.Solver.ctx.Actx.resolve_calls;
     corrupt_derefs;
     unknown_externs = solver.Solver.unknown_externs;
+    degraded = Budget.events solver.Solver.budget;
   }

@@ -31,6 +31,9 @@ type summary = {
       (** deref sites whose pointer may hold the Unknown marker
           ([`Unknown] arithmetic mode only) *)
   unknown_externs : string list;
+  degraded : Budget.event list;
+      (** which objects were collapsed under budget pressure, why, and
+          when; empty for a full-precision run *)
 }
 
 val summarize : Solver.t -> summary

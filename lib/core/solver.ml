@@ -12,7 +12,16 @@
     Worklist discipline: a statement is (re)processed when any object whose
     facts it reads gains an edge. Statements subscribe to objects
     dynamically (e.g. a [Load] subscribes to every object its pointer is
-    found to point to). *)
+    found to point to).
+
+    Resilience: the loop charges every processed statement against a
+    {!Budget.t}. When a budget trips, the solver does not abort — it
+    collapses the offending object(s) to a single cell (the
+    Collapse-Always treatment applied per object), merges their edges,
+    re-enqueues everything, and continues to a sound-but-coarser
+    fixpoint. Collapsing is implemented by wrapping the strategy: every
+    cell the base strategy produces for a collapsed object is redirected
+    to that object's representative cell. *)
 
 open Cfront
 open Norm
@@ -23,6 +32,13 @@ type t = {
   ctx : Actx.t;
   graph : Graph.t;
   strategy : (module Strategy.S);
+      (** the degradation-aware wrapper around [base_strategy] *)
+  base_strategy : (module Strategy.S);
+  budget : Budget.t;
+  collapsed : unit Cvar.Tbl.t;  (** objects degraded to a single cell *)
+  collapse_all : bool ref;
+      (** set when a step/time/total budget trips: every object is
+          treated as collapsed from then on *)
   prog : Nast.program;
   funcs : (string, Nast.func) Hashtbl.t;
   queue : Nast.stmt Queue.t;
@@ -47,14 +63,79 @@ type t = {
   mutable rounds : int;
 }
 
-let create ?(layout = Layout.default) ?(arith = `Spread) ~strategy
-    (prog : Nast.program) : t =
+(* ------------------------------------------------------------------ *)
+(* Per-object collapse: the degrading strategy wrapper                 *)
+(* ------------------------------------------------------------------ *)
+
+(** The representative cell of a collapsed object, preserving the
+    strategy's selector kind: path-based cells collapse to the whole
+    object, offset cells to offset 0. *)
+let collapse_sel (c : Cell.t) : Cell.t =
+  match c.Cell.sel with
+  | Cell.Path [] | Cell.Off 0 -> c
+  | Cell.Path _ -> Cell.whole c.Cell.base
+  | Cell.Off _ -> Cell.v c.Cell.base (Cell.Off 0)
+
+(** Wrap [base] so that every cell it produces for a collapsed object is
+    redirected to that object's single representative cell — the
+    Collapse-Always treatment applied per object. Sound because pointing
+    at the representative stands for pointing anywhere in the object (the
+    paper's Section 4.3.1 reading), and the solver merges the collapsed
+    object's existing edges onto the representative when it collapses. *)
+let degrading_strategy ~(collapsed : unit Cvar.Tbl.t)
+    ~(collapse_all : bool ref) (module B : Strategy.S) : (module Strategy.S) =
+  (module struct
+    let name = B.name
+    let id = B.id
+    let portable = B.portable
+
+    let is_collapsed (v : Cvar.t) = !collapse_all || Cvar.Tbl.mem collapsed v
+
+    let redirect (c : Cell.t) : Cell.t =
+      if is_collapsed c.Cell.base then collapse_sel c else c
+
+    let normalize ctx v alpha = redirect (B.normalize ctx v alpha)
+
+    let lookup ctx tau alpha target =
+      Strategy.dedup_cells
+        (List.map redirect (B.lookup ctx tau alpha (redirect target)))
+
+    let resolve ctx graph dst src tau =
+      let pairs = B.resolve ctx graph (redirect dst) (redirect src) tau in
+      Strategy.dedup_pairs
+        (List.map (fun (d, s) -> (redirect d, redirect s)) pairs)
+
+    let all_cells ctx obj =
+      if is_collapsed obj then [ redirect (B.normalize ctx obj []) ]
+      else B.all_cells ctx obj
+
+    let in_array = B.in_array
+
+    let expand_for_metrics ctx c =
+      let c = redirect c in
+      if is_collapsed c.Cell.base then
+        (* a collapsed target stands for the whole object: expand to all
+           of its cells, mirroring Collapse-Always metrics accounting *)
+        match B.all_cells ctx c.Cell.base with
+        | [ only ] when Cell.equal only c -> B.expand_for_metrics ctx c
+        | cells -> cells
+      else B.expand_for_metrics ctx c
+  end)
+
+let create ?(layout = Layout.default) ?(arith = `Spread)
+    ?(budget = Budget.unlimited) ~strategy (prog : Nast.program) : t =
   let funcs = Hashtbl.create 32 in
   List.iter (fun f -> Hashtbl.replace funcs f.Nast.fname f) prog.Nast.pfuncs;
+  let collapsed = Cvar.Tbl.create 16 in
+  let collapse_all = ref false in
   {
     ctx = Actx.create ~layout ();
     graph = Graph.create ();
-    strategy;
+    strategy = degrading_strategy ~collapsed ~collapse_all strategy;
+    base_strategy = strategy;
+    budget = Budget.create ~limits:budget ();
+    collapsed;
+    collapse_all;
     prog;
     funcs;
     queue = Queue.create ();
@@ -96,11 +177,79 @@ let subscribe t (stmt : Nast.stmt) (obj : Cvar.t) =
     lst := stmt :: !lst
   end
 
+(* ------------------------------------------------------------------ *)
+(* Degradation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let is_collapsed_obj t (v : Cvar.t) =
+  !(t.collapse_all) || Cvar.Tbl.mem t.collapsed v
+
+let redirect_cell t (c : Cell.t) : Cell.t =
+  if is_collapsed_obj t c.Cell.base then collapse_sel c else c
+
+(** Collapse [obj] to its representative cell: record the event, merge
+    the edges its fine-grained cells carry onto the representative, and
+    re-enqueue every statement so the fixpoint is re-established over the
+    coarser cell space. Idempotent. *)
+let collapse_object t ~(reason : Budget.reason) (obj : Cvar.t) =
+  if not (Cvar.Tbl.mem t.collapsed obj) then begin
+    Cvar.Tbl.replace t.collapsed obj ();
+    Budget.record t.budget ~obj reason;
+    List.iter
+      (fun (c : Cell.t) ->
+        let rep = collapse_sel c in
+        if not (Cell.equal rep c) then begin
+          Cell.Set.iter
+            (fun w -> ignore (Graph.add_edge t.graph rep w))
+            (Graph.pts t.graph c);
+          Graph.remove_source t.graph c
+        end)
+      (Graph.cells_of_obj t.graph obj);
+    List.iter (enqueue t) (Nast.all_stmts t.prog)
+  end
+
+(** Global degradation (step/time/total-cell budgets): collapse every
+    object whose facts are spread over several cells, then treat all
+    objects as collapsed from here on. The solver then continues to the
+    Collapse-Always-shaped fixpoint, which terminates: the cell space is
+    one cell per object and the transfer functions are monotone. *)
+let degrade_all t ~(reason : Budget.reason) =
+  let offenders =
+    Graph.fold_objects t.graph
+      (fun v cells acc ->
+        if Cell.Set.cardinal cells > 1 && not (Cvar.Tbl.mem t.collapsed v)
+        then v :: acc
+        else acc)
+      []
+  in
+  if offenders = [] then Budget.record t.budget reason
+  else List.iter (fun obj -> collapse_object t ~reason obj) offenders;
+  t.collapse_all := true;
+  List.iter (enqueue t) (Nast.all_stmts t.prog)
+
+(** Cell-count budgets, checked as edges land. *)
+let check_cell_budgets t (src : Cell.t) =
+  (match t.budget.Budget.limits.Budget.max_cells_per_object with
+  | Some limit when not (is_collapsed_obj t src.Cell.base) ->
+      if Graph.cell_count_of_obj t.graph src.Cell.base > limit then
+        collapse_object t ~reason:(Budget.Object_cells limit) src.Cell.base
+  | _ -> ());
+  match t.budget.Budget.limits.Budget.max_total_cells with
+  | Some limit
+    when Budget.over_total t.budget
+           ~total_cells:(Graph.source_cell_count t.graph) ->
+      Budget.trip_total t.budget;
+      degrade_all t ~reason:(Budget.Total_cells limit)
+  | _ -> ()
+
 let add_edge t (c : Cell.t) (w : Cell.t) =
-  if Graph.add_edge t.graph c w then
-    match Cvar.Tbl.find_opt t.subscribers c.Cell.base with
+  let c = redirect_cell t c and w = redirect_cell t w in
+  if Graph.add_edge t.graph c w then begin
+    (match Cvar.Tbl.find_opt t.subscribers c.Cell.base with
     | Some lst -> List.iter (enqueue t) !lst
-    | None -> ()
+    | None -> ());
+    check_cell_budgets t c
+  end
 
 let pointee_of (v : Cvar.t) : Ctype.t =
   match v.Cvar.vty with
@@ -322,7 +471,26 @@ let process t (stmt : Nast.stmt) =
 (* Fixpoint                                                            *)
 (* ------------------------------------------------------------------ *)
 
+(** Step and time budgets, checked once per worklist statement (time is
+    sampled sparsely — a clock read every statement would dominate small
+    runs). *)
+let check_step_budgets t =
+  let b = t.budget in
+  if Budget.over_steps b then begin
+    Budget.trip_steps b;
+    match b.Budget.limits.Budget.max_steps with
+    | Some n -> degrade_all t ~reason:(Budget.Steps n)
+    | None -> ()
+  end;
+  if Budget.steps b land 255 = 0 && Budget.over_time b then begin
+    Budget.trip_time b;
+    match b.Budget.limits.Budget.timeout_s with
+    | Some s -> degrade_all t ~reason:(Budget.Timeout s)
+    | None -> ()
+  end
+
 let solve t : unit =
+  Budget.start t.budget;
   List.iter (enqueue t) (Nast.all_stmts t.prog);
   let rec loop () =
     match Queue.take_opt t.queue with
@@ -330,13 +498,20 @@ let solve t : unit =
     | Some stmt ->
         Hashtbl.remove t.in_queue stmt.Nast.id;
         t.rounds <- t.rounds + 1;
+        Budget.step t.budget;
+        check_step_budgets t;
         process t stmt;
         loop ()
   in
   loop ()
 
 (** Analyze [prog] with [strategy]; returns the solver state at fixpoint. *)
-let run ?layout ?arith ~strategy (prog : Nast.program) : t =
-  let t = create ?layout ?arith ~strategy prog in
+let run ?layout ?arith ?budget ~strategy (prog : Nast.program) : t =
+  let t = create ?layout ?arith ?budget ~strategy prog in
   solve t;
   t
+
+(** Degradation events recorded during [solve], oldest first. *)
+let degradations t : Budget.event list = Budget.events t.budget
+
+let degraded t : bool = Budget.degraded t.budget

@@ -5,7 +5,15 @@
     Generic in the strategy; interprocedural behaviour is
     context-insensitive, with indirect callees discovered from function
     pointers' points-to sets as the fixpoint grows. Library calls use
-    {!Norm.Summaries}. *)
+    {!Norm.Summaries}.
+
+    Resilience: every worklist step is charged against a {!Budget.t}.
+    When a budget trips the solver degrades gracefully — the offending
+    object(s) are collapsed to one cell each (the Collapse-Always
+    treatment applied per object, their edges merged) and the fixpoint is
+    re-established over the coarser cell space, so the result is always a
+    sound over-approximation. Degradations are recorded as
+    {!Budget.event}s. *)
 
 open Cfront
 open Norm
@@ -16,6 +24,15 @@ type t = {
   ctx : Actx.t;
   graph : Graph.t;
   strategy : (module Strategy.S);
+      (** the degradation-aware wrapper; redirects cells of collapsed
+          objects to their representative *)
+  base_strategy : (module Strategy.S);
+      (** the instance [create] was given, unwrapped *)
+  budget : Budget.t;
+  collapsed : unit Cvar.Tbl.t;  (** objects degraded to a single cell *)
+  collapse_all : bool ref;
+      (** set when a step/time/total budget trips: every object is
+          treated as collapsed from then on *)
   prog : Nast.program;
   funcs : (string, Nast.func) Hashtbl.t;
   queue : Nast.stmt Queue.t;
@@ -35,20 +52,36 @@ type t = {
   mutable rounds : int;
 }
 
+val collapse_sel : Cell.t -> Cell.t
+(** The representative cell of a collapsed object, preserving the
+    selector kind (paths collapse to the whole object, offsets to 0). *)
+
 val create :
   ?layout:Layout.config ->
   ?arith:[ `Spread | `Copy | `Stride | `Unknown ] ->
+  ?budget:Budget.limits ->
   strategy:(module Strategy.S) ->
   Nast.program ->
   t
 
+val collapse_object : t -> reason:Budget.reason -> Cvar.t -> unit
+(** Degrade one object to a single cell now (idempotent): merge its
+    edges onto the representative and re-enqueue all statements. *)
+
 val solve : t -> unit
-(** Run the worklist to a fixpoint. *)
+(** Run the worklist to a fixpoint, degrading under budget pressure
+    instead of diverging. *)
 
 val run :
   ?layout:Layout.config ->
   ?arith:[ `Spread | `Copy | `Stride | `Unknown ] ->
+  ?budget:Budget.limits ->
   strategy:(module Strategy.S) ->
   Nast.program ->
   t
 (** {!create} followed by {!solve}. *)
+
+val degradations : t -> Budget.event list
+(** Degradation events recorded during [solve], oldest first. *)
+
+val degraded : t -> bool

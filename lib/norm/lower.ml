@@ -669,8 +669,19 @@ let lower (prog : Tast.program) : Nast.program =
     pall_vars;
   }
 
-(** One-call convenience pipeline: preprocess, parse, type-check, lower. *)
-let compile ?layout ?defines ?resolve ~file src : Nast.program =
-  let tu = Parser.parse_string ?layout ?defines ?resolve ~file src in
-  let tprog = Typecheck.check ?layout ~file tu in
-  lower tprog
+(** One-call convenience pipeline: preprocess, parse, type-check, lower.
+
+    With [~diags], front-end errors are recorded there, both parser and
+    type checker recover, and the partial program lowers; without it the
+    first front-end error raises {!Cfront.Diag.Error} (historical
+    contract). *)
+let compile ?layout ?defines ?resolve ?diags ~file src : Nast.program =
+  match diags with
+  | None ->
+      let tu = Parser.parse_string ?layout ?defines ?resolve ~file src in
+      let tprog = Typecheck.check ?layout ~file tu in
+      lower tprog
+  | Some d ->
+      let tu = Parser.parse_string ?layout ?defines ?resolve ~diags:d ~file src in
+      let tprog = Typecheck.check ?layout ~diags:d ~file tu in
+      lower tprog

@@ -21,8 +21,11 @@ val compile :
   ?layout:Cfront.Layout.config ->
   ?defines:(string * string) list ->
   ?resolve:(string -> string option) ->
+  ?diags:Cfront.Diag.ctx ->
   file:string ->
   string ->
   Nast.program
-(** One-call pipeline: preprocess, parse, type-check, lower.
-    @raise Cfront.Diag.Error on any front-end failure. *)
+(** One-call pipeline: preprocess, parse, type-check, lower. With
+    [~diags], front-end errors accumulate there, parser and checker
+    recover, and the partial program is lowered; without it, the first
+    front-end failure raises {!Cfront.Diag.Error}. *)

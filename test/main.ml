@@ -24,4 +24,6 @@ let () =
       ("clients", Test_clients.suite);
       ("cli", Test_cli.suite);
       ("summaries", Test_summaries.suite);
+      ("budget", Test_budget.suite);
+      ("fuzz", Test_fuzz.suite);
     ]

@@ -1,0 +1,108 @@
+(** Fuzz smoke test: ~200 generated programs through the whole pipeline
+    under tight budgets, across all four instances. Nothing may escape —
+    every run must terminate with a result (possibly degraded). Failing
+    seeds are reported so a crash reproduces with
+    [Cgen.generate ~seed ()]. *)
+
+open Helpers
+
+let n_seeds = 200
+
+let cfg =
+  { Cgen.default with Cgen.n_structs = 4; n_stmts = 20; cast_rate = 0.5 }
+
+let tight : Core.Budget.limits =
+  {
+    Core.Budget.max_steps = Some 500;
+    timeout_s = Some 1.0;
+    max_cells_per_object = Some 3;
+    max_total_cells = Some 400;
+  }
+
+let all_ids = [ "collapse-always"; "collapse-on-cast"; "cis"; "offsets" ]
+
+let test_generated_programs () =
+  let failures = ref [] in
+  for seed = 1 to n_seeds do
+    let src = Cgen.generate ~cfg ~seed () in
+    List.iter
+      (fun id ->
+        match
+          Core.Analysis.run_source ~budget:tight ~strategy:(strategy id)
+            ~file:(Printf.sprintf "<fuzz-%d>" seed)
+            src
+        with
+        | r -> ignore r.Core.Analysis.metrics
+        | exception e ->
+            failures :=
+              Printf.sprintf "seed %d / %s: %s" seed id (Printexc.to_string e)
+              :: !failures)
+      all_ids
+  done;
+  if !failures <> [] then
+    Alcotest.failf "%d escaping exception(s):\n%s"
+      (List.length !failures)
+      (String.concat "\n" (List.rev !failures))
+
+let test_generated_with_calls () =
+  let cfg = { cfg with Cgen.with_calls = true; n_stmts = 15 } in
+  let failures = ref [] in
+  for seed = 1 to 50 do
+    let src = Cgen.generate ~cfg ~seed () in
+    List.iter
+      (fun id ->
+        match
+          Core.Analysis.run_source ~budget:tight ~strategy:(strategy id)
+            ~file:(Printf.sprintf "<fuzz-calls-%d>" seed)
+            src
+        with
+        | r -> ignore r.Core.Analysis.metrics
+        | exception e ->
+            failures :=
+              Printf.sprintf "seed %d / %s: %s" seed id (Printexc.to_string e)
+              :: !failures)
+      all_ids
+  done;
+  if !failures <> [] then
+    Alcotest.failf "%d escaping exception(s):\n%s"
+      (List.length !failures)
+      (String.concat "\n" (List.rev !failures))
+
+(* Truncated generated programs exercise the recovering parser: the only
+   acceptable outcomes are a (possibly partial) result or a recorded
+   diagnostic — never an escaping exception. *)
+let test_truncated_inputs_recover () =
+  let failures = ref [] in
+  for seed = 1 to 50 do
+    let src = Cgen.generate ~cfg ~seed () in
+    let cut = String.length src * (1 + (seed mod 3)) / 4 in
+    let src = String.sub src 0 cut in
+    let diags = Cfront.Diag.create () in
+    (match
+       Core.Analysis.run_source ~budget:tight ~diags
+         ~strategy:(strategy "cis")
+         ~file:(Printf.sprintf "<fuzz-cut-%d>" seed)
+         src
+     with
+    | r -> ignore r.Core.Analysis.metrics
+    | exception Cfront.Diag.Error _ ->
+        (* a fatal front-end error (e.g. the diagnostics cap) is fine *)
+        ()
+    | exception e ->
+        failures :=
+          Printf.sprintf "seed %d: %s" seed (Printexc.to_string e)
+          :: !failures);
+    ignore (Cfront.Diag.diagnostics diags)
+  done;
+  if !failures <> [] then
+    Alcotest.failf "%d escaping exception(s):\n%s"
+      (List.length !failures)
+      (String.concat "\n" (List.rev !failures))
+
+let suite =
+  [
+    tc "200 generated programs, 4 instances, tight budgets"
+      test_generated_programs;
+    tc "generated programs with calls" test_generated_with_calls;
+    tc "truncated inputs recover or diagnose" test_truncated_inputs_recover;
+  ]

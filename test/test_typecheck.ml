@@ -92,14 +92,18 @@ let test_sizeof_folded () =
   Alcotest.(check bool) "sizeof(int) = 4 under ilp32" true found
 
 let test_implicit_function_warns () =
-  ignore (Diag.take_warnings ());
-  let prog = check_program "void main(void){ mystery(1); }" in
+  let diags = Diag.create () in
+  let src = "void main(void){ mystery(1); }" in
+  let prog =
+    Typecheck.check ~diags ~file:"<tc>"
+      (Parser.parse_string ~diags ~file:"<tc>" src)
+  in
   let warned =
     List.exists
       (fun (w : Diag.payload) ->
         String.length w.Diag.message > 0
         && String.sub w.Diag.message 0 8 = "implicit")
-      (Diag.take_warnings ())
+      (Diag.warnings diags)
   in
   Alcotest.(check bool) "warning emitted" true warned;
   Alcotest.(check bool) "recorded as extern" true
