@@ -317,6 +317,33 @@ let ext_d () =
 (* Extension E: budgeted-solve resilience                              *)
 (* ------------------------------------------------------------------ *)
 
+(* Budget configurations shared by the ext-e table and its JSON twin. *)
+let ext_e_budgets : (string * Core.Budget.limits) list =
+  [
+    ("unlimited", Core.Budget.unlimited);
+    ("default", Core.Budget.default);
+    ( "steps=2000",
+      { Core.Budget.unlimited with Core.Budget.max_steps = Some 2000 } );
+    ( "cells/object=4",
+      { Core.Budget.unlimited with Core.Budget.max_cells_per_object = Some 4 }
+    );
+    ( "total-cells=200",
+      { Core.Budget.unlimited with Core.Budget.max_total_cells = Some 200 } );
+  ]
+
+let ext_e_prog () =
+  let cfg =
+    { Cgen.default with n_stmts = 800; n_structs = 5; cast_rate = 0.6 }
+  in
+  let src = Cgen.generate ~cfg ~seed:2026 () in
+  Lower.compile ~file:"budget-bench" src
+
+let ext_e_run prog (budget : Core.Budget.limits) =
+  let t0 = Sys.time () in
+  let solver = Core.Solver.run ~budget ~strategy:(module Core.Offsets) prog in
+  let dt = Sys.time () -. t0 in
+  (solver, Core.Metrics.summarize solver, dt)
+
 let ext_e () =
   header
     "Extension E: budgeted solves on a cast-heavy generated workload\n\
@@ -324,31 +351,33 @@ let ext_e () =
   Printf.printf "%-24s %8s %10s %10s %10s %8s\n" "budget" "steps" "collapses"
     "avg-deref" "edges" "time(s)";
   line ();
-  let cfg =
-    { Cgen.default with n_stmts = 800; n_structs = 5; cast_rate = 0.6 }
-  in
-  let src = Cgen.generate ~cfg ~seed:2026 () in
-  let prog = Lower.compile ~file:"budget-bench" src in
-  let run label (budget : Core.Budget.limits) =
-    let t0 = Sys.time () in
-    let solver =
-      Core.Solver.run ~budget ~strategy:(module Core.Offsets) prog
-    in
-    let dt = Sys.time () -. t0 in
-    let m = Core.Metrics.summarize solver in
-    Printf.printf "%-24s %8d %10d %10.2f %10d %8.4f\n" label
-      (Core.Budget.steps solver.Core.Solver.budget)
-      (List.length (Core.Solver.degradations solver))
-      m.Core.Metrics.avg_deref_size m.Core.Metrics.total_edges dt
-  in
-  run "unlimited" Core.Budget.unlimited;
-  run "default" Core.Budget.default;
-  run "steps=2000"
-    { Core.Budget.unlimited with Core.Budget.max_steps = Some 2000 };
-  run "cells/object=4"
-    { Core.Budget.unlimited with Core.Budget.max_cells_per_object = Some 4 };
-  run "total-cells=200"
-    { Core.Budget.unlimited with Core.Budget.max_total_cells = Some 200 }
+  let prog = ext_e_prog () in
+  List.iter
+    (fun (label, budget) ->
+      let solver, m, dt = ext_e_run prog budget in
+      Printf.printf "%-24s %8d %10d %10.2f %10d %8.4f\n" label
+        (Core.Budget.steps solver.Core.Solver.budget)
+        (List.length (Core.Solver.degradations solver))
+        m.Core.Metrics.avg_deref_size m.Core.Metrics.total_edges dt)
+    ext_e_budgets
+
+(* Same sweep, one JSON object per budget config — the CI artifact.
+   Run it alone ([bench/main.exe ext-e-json > ext-e.json]) for a clean
+   JSON-lines stream: the harness banner is suppressed for -json
+   sections. *)
+let ext_e_json () =
+  let prog = ext_e_prog () in
+  List.iter
+    (fun (label, budget) ->
+      let solver, m, dt = ext_e_run prog budget in
+      Printf.printf
+        "{\"budget\":%s,\"steps\":%d,\"collapses\":%d,\"avg_deref_size\":%.4f,\
+         \"total_edges\":%d,\"time_s\":%.4f}\n"
+        (Core.Report.quote label)
+        (Core.Budget.steps solver.Core.Solver.budget)
+        (List.length (Core.Solver.degradations solver))
+        m.Core.Metrics.avg_deref_size m.Core.Metrics.total_edges dt)
+    ext_e_budgets
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per figure                 *)
@@ -472,6 +501,7 @@ let sections : (string * (unit -> unit)) list =
     ("ext-c", ext_c);
     ("ext-d", ext_d);
     ("ext-e", ext_e);
+    ("ext-e-json", ext_e_json);
     ("bechamel", bechamel);
     ("csv", csv);
   ]
@@ -482,10 +512,19 @@ let () =
     | _ :: (_ :: _ as names) -> names
     | _ -> List.map fst sections
   in
-  print_endline
-    "structcast benchmark harness — reproduces the evaluation of\n\
-     Yong, Horwitz & Reps, \"Pointer Analysis for Programs with\n\
-     Structures and Casting\" (PLDI 1999). See EXPERIMENTS.md.";
+  (* -json sections emit a machine-readable stream on stdout; keep the
+     banner out of it when only such sections were requested. *)
+  let json_only =
+    requested <> []
+    && List.for_all
+         (fun n -> Filename.check_suffix n "-json")
+         requested
+  in
+  if not json_only then
+    print_endline
+      "structcast benchmark harness — reproduces the evaluation of\n\
+       Yong, Horwitz & Reps, \"Pointer Analysis for Programs with\n\
+       Structures and Casting\" (PLDI 1999). See EXPERIMENTS.md.";
   List.iter
     (fun name ->
       match List.assoc_opt name sections with

@@ -4,7 +4,11 @@
       sets, normalized statements, metrics, or the call graph.
     - [structcast compare FILE.c] — run all four instances side by side.
     - [structcast corpus] — list the embedded benchmark corpus; a corpus
-      program's name can be used instead of a file everywhere. *)
+      program's name can be used instead of a file everywhere.
+    - [structcast batch SPEC…] — run many jobs through the crash-contained
+      supervisor (forked workers, retry/backoff, crash-safe journal).
+    - [structcast serve] — request/response loop over stdin/stdout backed
+      by the same worker pool. *)
 
 open Cfront
 open Norm
@@ -62,9 +66,15 @@ let compile_spec ~layout ~diags spec : string * Nast.program =
 (* Budgets and exit codes                                              *)
 (* ------------------------------------------------------------------ *)
 
-(* Exit codes: 0 clean, 1 diagnostics reported, 2 budget-degraded,
-   3 internal error. Degradation wins over diagnostics: a truncated
-   answer is the more important fact about the run. *)
+(* Exit codes, in decreasing precedence:
+     3  internal error (unexpected exception escaped — trust nothing)
+     2  budget-degraded (the answer is sound but coarser than asked for)
+     1  diagnostics reported (front-end errors; analysis of the rest ran)
+     0  clean
+   When a run has several of these, the highest-precedence code wins:
+   an internal error makes degradation moot, and degradation wins over
+   diagnostics because a truncated answer is the more important fact
+   about the run. Tested in test/test_cli.ml. *)
 
 let limits_of_flags max_steps timeout_ms max_cells_per_object max_total_cells
     : Core.Budget.limits =
@@ -216,7 +226,7 @@ let print_dot_callgraph (r : Core.Analysis.result) =
     (Clients.Queries.call_graph q);
   Fmt.pr "}@."
 
-let analyze_cmd spec strategy layout what var budget =
+let analyze_cmd spec strategy layout what var budget format =
   let layout = layout_of_name layout in
   let diags = Diag.create () in
   let name, prog = compile_spec ~layout ~diags spec in
@@ -225,17 +235,27 @@ let analyze_cmd spec strategy layout what var budget =
       ~strategy:(strategy_of_name strategy)
       prog
   in
-  (match what with
-  | "points-to" -> print_points_to r ~only_var:var
-  | "metrics" -> print_metrics name r
-  | "norm" -> Fmt.pr "%a" Nast.pp_program prog
-  | "callgraph" -> print_callgraph r
-  | "modref" -> print_modref r
-  | "dot" -> print_dot r
-  | "dot-callgraph" -> print_dot_callgraph r
-  | w -> failwith (Printf.sprintf "unknown --print %s" w));
-  report_diags diags;
-  report_degradation r.Core.Analysis.degraded;
+  (match format with
+  | "json" ->
+      (* one machine-readable object on stdout, nothing on stderr: the
+         result, metrics, degradation events, and diagnostics all live
+         in the JSON *)
+      let r = { r with Core.Analysis.diags = Diag.diagnostics diags } in
+      print_string (Core.Report.json_of_result ~name r);
+      print_newline ()
+  | "text" ->
+      (match what with
+      | "points-to" -> print_points_to r ~only_var:var
+      | "metrics" -> print_metrics name r
+      | "norm" -> Fmt.pr "%a" Nast.pp_program prog
+      | "callgraph" -> print_callgraph r
+      | "modref" -> print_modref r
+      | "dot" -> print_dot r
+      | "dot-callgraph" -> print_dot_callgraph r
+      | w -> failwith (Printf.sprintf "unknown --print %s" w));
+      report_diags diags;
+      report_degradation r.Core.Analysis.degraded
+  | f -> failwith (Printf.sprintf "unknown --format %s (text|json)" f));
   exit_code ~diags ~degraded:(r.Core.Analysis.degraded <> [])
 
 (* ------------------------------------------------------------------ *)
@@ -287,6 +307,174 @@ let corpus_cmd () =
         (if p.Suite.has_struct_cast then "yes" else "no")
         p.Suite.description)
     Suite.programs
+
+(* ------------------------------------------------------------------ *)
+(* batch / serve                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Batch exit codes extend the single-run contract fleet-wide, same
+   precedence: 3 if any job was quarantined (or an internal error), 2 if
+   any completed degraded (budget events or a retry rung > 0), 1 if any
+   carried error diagnostics, 0 otherwise. *)
+let batch_exit_code (results : (Server.Job.t * Server.Supervisor.outcome) list)
+    : int =
+  let quarantined = ref false and degraded = ref false and diags = ref false in
+  List.iter
+    (fun (_, o) ->
+      match o with
+      | Server.Supervisor.Quarantined _ -> quarantined := true
+      | Server.Supervisor.Done { degraded = d; diag_errors = e; _ } ->
+          if d then degraded := true;
+          if e then diags := true)
+    results;
+  if !quarantined then 3 else if !degraded then 2 else if !diags then 1 else 0
+
+let print_outcome ~format (job : Server.Job.t)
+    (o : Server.Supervisor.outcome) =
+  match (format, o) with
+  | "json", Server.Supervisor.Done { output; _ }
+  | "json", Server.Supervisor.Quarantined { output; _ } ->
+      print_string output;
+      print_newline ()
+  | _, Server.Supervisor.Done { attempt; rung; degraded; diag_errors; _ } ->
+      Fmt.pr "%-8s %-12s done         attempt=%d rung=%d%s%s@."
+        job.Server.Job.id job.Server.Job.spec attempt rung
+        (if degraded then " (degraded)" else "")
+        (if diag_errors then " (diagnostics)" else "")
+  | _, Server.Supervisor.Quarantined { attempts; reason; _ } ->
+      Fmt.pr "%-8s %-12s quarantined  attempts=%d — %s@." job.Server.Job.id
+        job.Server.Job.spec attempts reason
+
+let read_manifest path : (string * string option * string option) list =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+    | line -> (
+        let line =
+          match String.index_opt line '#' with
+          | Some i -> String.sub line 0 i
+          | None -> line
+        in
+        match
+          String.split_on_char ' ' line
+          |> List.concat_map (String.split_on_char '\t')
+          |> List.filter (fun s -> s <> "")
+        with
+        | [] -> go acc
+        | [ spec ] -> go ((spec, None, None) :: acc)
+        | [ spec; s ] -> go ((spec, Some s, None) :: acc)
+        | spec :: s :: l :: _ -> go ((spec, Some s, Some l) :: acc))
+  in
+  go []
+
+let supervisor_config workers attempts job_timeout_ms backoff_ms faults
+    journal resume : Server.Supervisor.config =
+  let fault_plan =
+    Server.Faults.merge
+      (Server.Faults.of_env ())
+      (match faults with
+      | None -> Server.Faults.none
+      | Some s -> (
+          match Server.Faults.parse s with
+          | Ok p -> p
+          | Error e -> failwith e))
+  in
+  {
+    Server.Supervisor.workers;
+    max_attempts = max 1 attempts;
+    job_timeout_s = float_of_int (max 1 job_timeout_ms) /. 1000.;
+    backoff_base_ms = max 1 backoff_ms;
+    faults = fault_plan;
+    journal_path = journal;
+    resume;
+  }
+
+let batch_cmd specs manifest strategy layout budget workers attempts
+    job_timeout_ms backoff_ms faults journal resume format =
+  let from_manifest =
+    match manifest with Some p -> read_manifest p | None -> []
+  in
+  let entries =
+    List.map (fun s -> (s, None, None)) specs @ from_manifest
+  in
+  if entries = [] then
+    failwith "no jobs: give input specs or --jobs MANIFEST";
+  let jobs =
+    List.mapi
+      (fun i (spec, s, l) ->
+        Server.Job.make ~idx:(i + 1)
+          ~strategy:(Option.value s ~default:strategy)
+          ~layout:(Option.value l ~default:layout)
+          ~budget spec)
+      entries
+  in
+  let cfg =
+    supervisor_config workers attempts job_timeout_ms backoff_ms faults
+      journal resume
+  in
+  let results, fleet = Server.Supervisor.run_batch cfg jobs in
+  List.iter (fun (j, o) -> print_outcome ~format j o) results;
+  (match format with
+  | "json" -> Fmt.epr "%s@." (Core.Metrics.fleet_json fleet)
+  | _ -> Fmt.epr "%a@." Core.Metrics.pp_fleet fleet);
+  batch_exit_code results
+
+(* Request/response loop: one `spec [strategy] [layout]` per stdin line,
+   one JSON result line per request, backed by the persistent worker
+   pool (workers are reused across requests). *)
+let serve_cmd strategy layout budget workers attempts job_timeout_ms
+    backoff_ms faults journal =
+  let cfg =
+    supervisor_config workers attempts job_timeout_ms backoff_ms faults
+      journal false
+  in
+  let t = Server.Supervisor.create cfg in
+  Fun.protect
+    ~finally:(fun () -> Server.Supervisor.shutdown t)
+    (fun () ->
+      let worst = ref 0 in
+      let rec loop idx =
+        match input_line stdin with
+        | exception End_of_file -> ()
+        | line -> (
+            match
+              String.split_on_char ' ' line
+              |> List.filter (fun s -> s <> "")
+            with
+            | [] -> loop idx
+            | spec :: rest ->
+                let s =
+                  match rest with x :: _ -> x | [] -> strategy
+                in
+                let l =
+                  match rest with _ :: x :: _ -> x | _ -> layout
+                in
+                let job =
+                  Server.Job.make ~idx ~strategy:s ~layout:l ~budget spec
+                in
+                Server.Supervisor.submit t job;
+                Server.Supervisor.drain t;
+                let results = Server.Supervisor.results t in
+                (match
+                   List.find_opt
+                     (fun ((j : Server.Job.t), _) ->
+                       j.Server.Job.id = job.Server.Job.id)
+                     results
+                 with
+                | Some (j, o) ->
+                    print_outcome ~format:"json" j o;
+                    flush stdout;
+                    worst :=
+                      max !worst (batch_exit_code [ (j, o) ])
+                | None -> ());
+                loop (idx + 1))
+      in
+      loop 1;
+      Fmt.epr "%a@." Core.Metrics.pp_fleet (Server.Supervisor.fleet t);
+      !worst)
 
 (* ------------------------------------------------------------------ *)
 (* Cmdliner plumbing                                                   *)
@@ -379,6 +567,91 @@ let budget_term =
     const limits_of_flags $ max_steps_arg $ timeout_ms_arg
     $ max_cells_per_object_arg $ max_total_cells_arg)
 
+let format_arg =
+  Arg.(
+    value & opt string "text"
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:
+          "Output format: text, or json (one machine-readable object with \
+           result, metrics, degradation events, and diagnostics).")
+
+(* batch / serve flags *)
+
+let specs_arg =
+  Arg.(
+    value & pos_all string []
+    & info [] ~docv:"FILE|PROGRAM"
+        ~doc:"Inputs to analyze, one job each (see also --jobs).")
+
+let jobs_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "jobs" ] ~docv:"MANIFEST"
+        ~doc:
+          "Job manifest: one job per line, 'SPEC [STRATEGY [LAYOUT]]'; '#' \
+           starts a comment.")
+
+let workers_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "workers" ] ~docv:"N"
+        ~doc:"Worker processes in the pool (each job runs in one).")
+
+let attempts_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "attempts" ] ~docv:"N"
+        ~doc:
+          "Attempts per job before quarantine; each retry escalates one \
+           degradation rung (full → tight budget → collapse-all).")
+
+let job_timeout_ms_arg =
+  Arg.(
+    value & opt int 30_000
+    & info [ "job-timeout-ms" ] ~docv:"MS"
+        ~doc:
+          "Per-attempt wall clock; a worker past it is killed and the job \
+           counts as hung.")
+
+let backoff_ms_arg =
+  Arg.(
+    value & opt int 100
+    & info [ "backoff-ms" ] ~docv:"MS"
+        ~doc:
+          "Retry backoff base: attempt n waits base*2^(n-1) plus \
+           deterministic jitter.")
+
+let faults_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "faults" ] ~docv:"PLAN"
+        ~doc:
+          "Fault-injection plan, e.g. 'crash\\@job2#1,hang\\@job5' \
+           (kinds: crash, exit, hang, raise, allocbomb); merged with \
+           \\$STRUCTCAST_FAULTS. Testing only.")
+
+let journal_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "journal" ] ~docv:"PATH"
+        ~doc:
+          "Append every job state transition to this fsync'd journal; with \
+           --resume, finished jobs are replayed from it byte-for-byte.")
+
+let resume_arg =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Resume an interrupted batch from --journal: finished jobs are \
+           replayed, only unfinished ones run.")
+
+let batch_format_arg =
+  Arg.(
+    value & opt string "json"
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:"Output format: json (default; one line per job) or text.")
+
 (* [f] returns the exit code (0 ok, 1 diagnostics, 2 degraded); expected
    failures map to 1, anything escaping unexpectedly is an internal
    error: 3. *)
@@ -395,14 +668,14 @@ let wrap f =
       3
 
 let analyze_t =
-  let run spec strategy layout what var budget =
-    wrap (fun () -> analyze_cmd spec strategy layout what var budget)
+  let run spec strategy layout what var budget format =
+    wrap (fun () -> analyze_cmd spec strategy layout what var budget format)
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Analyze a C file with one framework instance.")
     Term.(
       const run $ spec_arg $ strategy_arg $ layout_arg $ print_arg $ var_arg
-      $ budget_term)
+      $ budget_term $ format_arg)
 
 let compare_t =
   let run spec layout budget = wrap (fun () -> compare_cmd spec layout budget) in
@@ -421,12 +694,49 @@ let corpus_t =
     (Cmd.info "corpus" ~doc:"List the embedded benchmark corpus.")
     Term.(const run $ const ())
 
+let batch_t =
+  let run specs manifest strategy layout budget workers attempts
+      job_timeout_ms backoff_ms faults journal resume format =
+    wrap (fun () ->
+        batch_cmd specs manifest strategy layout budget workers attempts
+          job_timeout_ms backoff_ms faults journal resume format)
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Analyze many inputs through the crash-contained supervisor: forked \
+          workers, retry with backoff and degradation, per-input circuit \
+          breaker, crash-safe journal (--journal/--resume).")
+    Term.(
+      const run $ specs_arg $ jobs_arg $ strategy_arg $ layout_arg
+      $ budget_term $ workers_arg $ attempts_arg $ job_timeout_ms_arg
+      $ backoff_ms_arg $ faults_arg $ journal_arg $ resume_arg
+      $ batch_format_arg)
+
+let serve_t =
+  let run strategy layout budget workers attempts job_timeout_ms backoff_ms
+      faults journal =
+    wrap (fun () ->
+        serve_cmd strategy layout budget workers attempts job_timeout_ms
+          backoff_ms faults journal)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve analysis requests read from stdin ('SPEC [STRATEGY \
+          [LAYOUT]]' per line), one JSON result line per request, backed by \
+          the crash-contained worker pool.")
+    Term.(
+      const run $ strategy_arg $ layout_arg $ budget_term $ workers_arg
+      $ attempts_arg $ job_timeout_ms_arg $ backoff_ms_arg $ faults_arg
+      $ journal_arg)
+
 let main =
   Cmd.group
     (Cmd.info "structcast" ~version:"1.0.0"
        ~doc:
          "Tunable pointer analysis for C with structures and casting (Yong, \
           Horwitz & Reps, PLDI 1999).")
-    [ analyze_t; compare_t; corpus_t ]
+    [ analyze_t; compare_t; corpus_t; batch_t; serve_t ]
 
 let () = exit (Cmd.eval' main)

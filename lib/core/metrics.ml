@@ -92,3 +92,58 @@ let summarize (solver : Solver.t) : summary =
     unknown_externs = solver.Solver.unknown_externs;
     degraded = Budget.events solver.Solver.budget;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Fleet-level counters, owned by the batch/serve supervisor           *)
+(* ------------------------------------------------------------------ *)
+
+type fleet = {
+  mutable jobs : int;
+  mutable completed : int;
+  mutable replayed : int;
+  mutable crashes : int;
+  mutable hangs : int;
+  mutable job_errors : int;
+  mutable retries : int;
+  mutable quarantined : int;
+  mutable breaker_skips : int;
+  mutable max_rung : int;
+}
+
+let fleet_create () =
+  {
+    jobs = 0;
+    completed = 0;
+    replayed = 0;
+    crashes = 0;
+    hangs = 0;
+    job_errors = 0;
+    retries = 0;
+    quarantined = 0;
+    breaker_skips = 0;
+    max_rung = 0;
+  }
+
+let fleet_json (f : fleet) : string =
+  Printf.sprintf
+    "{\"jobs\":%d,\"completed\":%d,\"replayed\":%d,\"crashes\":%d,\"hangs\":%d,\"job_errors\":%d,\"retries\":%d,\"quarantined\":%d,\"breaker_skips\":%d,\"max_rung\":%d}"
+    f.jobs f.completed f.replayed f.crashes f.hangs f.job_errors f.retries
+    f.quarantined f.breaker_skips f.max_rung
+
+let pp_fleet ppf (f : fleet) =
+  Fmt.pf ppf
+    "fleet: %d job%s, %d completed, %d replayed, %d crash%s, %d hang%s, %d \
+     error%s, %d retr%s, %d quarantined, %d breaker skip%s, max rung %d"
+    f.jobs
+    (if f.jobs = 1 then "" else "s")
+    f.completed f.replayed f.crashes
+    (if f.crashes = 1 then "" else "es")
+    f.hangs
+    (if f.hangs = 1 then "" else "s")
+    f.job_errors
+    (if f.job_errors = 1 then "" else "s")
+    f.retries
+    (if f.retries = 1 then "y" else "ies")
+    f.quarantined f.breaker_skips
+    (if f.breaker_skips = 1 then "" else "s")
+    f.max_rung

@@ -37,3 +37,37 @@ type summary = {
 }
 
 val summarize : Solver.t -> summary
+
+(** {1 Fleet-level counters}
+
+    Aggregated by the batch/serve supervisor ([lib/server]) across a
+    whole run of jobs: how many crashed, hung, were retried, were
+    quarantined, and how far down the degradation ladder the fleet had
+    to go. One {!fleet} per supervisor; workers never touch it. *)
+
+type fleet = {
+  mutable jobs : int;  (** jobs submitted (including replayed ones) *)
+  mutable completed : int;  (** jobs that produced a result this run *)
+  mutable replayed : int;
+      (** jobs whose result was replayed from the journal on resume *)
+  mutable crashes : int;
+      (** worker deaths (signal or unexpected exit) while running a job *)
+  mutable hangs : int;  (** jobs killed for exceeding the job timeout *)
+  mutable job_errors : int;
+      (** clean in-worker failures (front-end fatals, exceptions) *)
+  mutable retries : int;  (** re-queues after a failed attempt *)
+  mutable quarantined : int;  (** jobs that exhausted their attempts *)
+  mutable breaker_skips : int;
+      (** jobs failed fast because their input's circuit breaker was
+          already open *)
+  mutable max_rung : int;
+      (** deepest degradation rung any completed job needed *)
+}
+
+val fleet_create : unit -> fleet
+
+val fleet_json : fleet -> string
+(** Single-line JSON object with the counters above. *)
+
+val pp_fleet : Format.formatter -> fleet -> unit
+(** Human-readable one-liner for stderr summaries. *)

@@ -1,0 +1,33 @@
+(** Machine-readable (JSON) rendering of analysis results.
+
+    One single-line JSON object per result: identity, the paper's
+    metrics, budget-degradation events, and front-end diagnostics. The
+    emitter is hand-rolled (no JSON library dependency) and always
+    produces a single line with escaped strings, so a rendered result
+    can travel over line-oriented channels — the worker/supervisor pipe
+    protocol and the crash-safe job journal.
+
+    With [~timing:false] the volatile fields (wall-clock seconds, event
+    timestamps) are omitted, making the rendering a pure function of the
+    input program and budget: the same job always renders byte-for-byte
+    identically. The batch journal relies on this to guarantee that a
+    resumed batch reproduces the output of an uninterrupted one. *)
+
+val escape : string -> string
+(** JSON string-body escaping: quotes, backslashes, and control
+    characters (including tabs and newlines). *)
+
+val quote : string -> string
+(** [quote s] is [escape s] wrapped in double quotes. *)
+
+val json_of_event : ?timing:bool -> Budget.event -> string
+(** One degradation event:
+    [{"obj":…|null,"reason":…,"limit":…,"at_step":…[,"at_time":…]}]. *)
+
+val json_of_diag : Cfront.Diag.payload -> string
+(** One diagnostic:
+    [{"severity":…,"file":…,"line":…,"col":…,"message":…}]. *)
+
+val json_of_result : ?timing:bool -> name:string -> Analysis.result -> string
+(** The full result object (program, strategy, metrics, [degraded],
+    [diags], and — when [timing] — [time_s]). Single line. *)

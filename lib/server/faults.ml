@@ -1,0 +1,126 @@
+(** Deterministic fault injection inside workers. See the interface for
+    the plan syntax and fault semantics. *)
+
+type kind = Crash | Exit | Hang | Raise | Alloc_bomb
+
+type trigger = { kind : kind; job_id : string; attempt : int option }
+
+type plan = trigger list
+
+let none = []
+
+let kind_to_string = function
+  | Crash -> "crash"
+  | Exit -> "exit"
+  | Hang -> "hang"
+  | Raise -> "raise"
+  | Alloc_bomb -> "allocbomb"
+
+let kind_of_string = function
+  | "crash" -> Some Crash
+  | "exit" -> Some Exit
+  | "hang" -> Some Hang
+  | "raise" -> Some Raise
+  | "allocbomb" -> Some Alloc_bomb
+  | _ -> None
+
+let parse_trigger (s : string) : (trigger, string) result =
+  match String.index_opt s '@' with
+  | None -> Error (Printf.sprintf "fault %S: expected kind@job_id[#attempt]" s)
+  | Some i -> (
+      let kind_s = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      let job_id, attempt =
+        match String.index_opt rest '#' with
+        | None -> (rest, Ok None)
+        | Some j ->
+            let a = String.sub rest (j + 1) (String.length rest - j - 1) in
+            ( String.sub rest 0 j,
+              match int_of_string_opt a with
+              | Some n when n >= 1 -> Ok (Some n)
+              | _ -> Error (Printf.sprintf "fault %S: bad attempt %S" s a) )
+      in
+      match (kind_of_string kind_s, attempt) with
+      | None, _ ->
+          Error
+            (Printf.sprintf
+               "fault %S: unknown kind %S (crash|exit|hang|raise|allocbomb)" s
+               kind_s)
+      | _, Error e -> Error e
+      | Some kind, Ok attempt ->
+          if job_id = "" then Error (Printf.sprintf "fault %S: empty job id" s)
+          else Ok { kind; job_id; attempt })
+
+let parse (s : string) : (plan, string) result =
+  let parts =
+    String.split_on_char ',' s
+    |> List.map String.trim
+    |> List.filter (fun p -> p <> "")
+  in
+  List.fold_left
+    (fun acc p ->
+      match (acc, parse_trigger p) with
+      | Error e, _ -> Error e
+      | _, Error e -> Error e
+      | Ok ts, Ok t -> Ok (ts @ [ t ]))
+    (Ok []) parts
+
+let of_env () : plan =
+  match Sys.getenv_opt "STRUCTCAST_FAULTS" with
+  | None | Some "" -> []
+  | Some s -> (
+      match parse s with
+      | Ok p -> p
+      | Error e -> failwith ("STRUCTCAST_FAULTS: " ^ e))
+
+let merge = ( @ )
+
+let find (p : plan) ~job_id ~attempt : kind option =
+  List.find_opt
+    (fun t ->
+      t.job_id = job_id
+      && match t.attempt with None -> true | Some a -> a = attempt)
+    p
+  |> Option.map (fun t -> t.kind)
+
+let to_string (p : plan) : string =
+  String.concat ","
+    (List.map
+       (fun t ->
+         match t.attempt with
+         | None -> Printf.sprintf "%s@%s" (kind_to_string t.kind) t.job_id
+         | Some a ->
+             Printf.sprintf "%s@%s#%d" (kind_to_string t.kind) t.job_id a)
+       p)
+
+let inject (k : kind) : unit =
+  match k with
+  | Crash ->
+      (* SIGABRT, not SIGSEGV: the OCaml runtime installs a SIGSEGV
+         handler for stack-overflow detection, SIGABRT dies cleanly and
+         deterministically with a signal status. *)
+      Unix.kill (Unix.getpid ()) Sys.sigabrt;
+      Unix._exit 134
+  | Exit -> Unix._exit 70
+  | Hang ->
+      (* Sleep "forever", but exit once orphaned so a kill -9'd
+         supervisor leaks no processes (CI would otherwise hang). *)
+      let rec loop () =
+        Unix.sleepf 0.05;
+        if Unix.getppid () = 1 then Unix._exit 0;
+        loop ()
+      in
+      loop ()
+  | Raise -> failwith "injected fault: raise"
+  | Alloc_bomb ->
+      (* A bounded burst of real allocation (≤ 64 MB) and then the
+         Out_of_memory a genuine bomb would end in — without actually
+         taking the machine down. *)
+      let chunks = ref [] in
+      (try
+         for _ = 1 to 64 do
+           chunks := Bytes.create (1 lsl 20) :: !chunks
+         done
+       with Out_of_memory -> ());
+      chunks := [];
+      raise Out_of_memory

@@ -1,0 +1,50 @@
+(** Deterministic fault injection inside workers.
+
+    The supervisor's recovery paths — reaping a dead worker, killing a
+    hung one, retrying, quarantining — are tested by {e asking} a worker
+    to misbehave on an exact (job, attempt) pair, rather than hoping a
+    real crash shows up. A plan is parsed from the [STRUCTCAST_FAULTS]
+    environment variable and/or a CLI flag; syntax:
+
+    {v kind@job_id[#attempt][,kind@job_id[#attempt]…] v}
+
+    e.g. ["crash@job2#1,hang@job5"]. Without [#attempt] the fault fires
+    on every attempt. Kinds:
+
+    - [crash] — the worker kills itself with SIGABRT (simulated
+      segfault/OOM-kill: the supervisor sees a signal death);
+    - [exit] — the worker exits with an unexpected code;
+    - [hang] — the worker sleeps past any job timeout (it exits on its
+      own only when orphaned, so killed supervisors leak no processes);
+    - [raise] — an exception is raised inside the job (contained by the
+      worker itself, reported as a clean failure);
+    - [allocbomb] — a bounded allocation burst followed by
+      [Out_of_memory] (contained by the worker like [raise]). *)
+
+type kind = Crash | Exit | Hang | Raise | Alloc_bomb
+
+type trigger = { kind : kind; job_id : string; attempt : int option }
+
+type plan = trigger list
+
+val none : plan
+
+val parse : string -> (plan, string) result
+(** Parse the comma-separated syntax above; [""] is the empty plan. *)
+
+val of_env : unit -> plan
+(** Plan from [STRUCTCAST_FAULTS]; malformed values raise [Failure]. *)
+
+val merge : plan -> plan -> plan
+
+val find : plan -> job_id:string -> attempt:int -> kind option
+(** First trigger matching this job and attempt, if any. *)
+
+val inject : kind -> unit
+(** Perform the fault. [Crash], [Exit], and [Hang] do not return;
+    [Raise] and [Alloc_bomb] raise. *)
+
+val kind_to_string : kind -> string
+
+val to_string : plan -> string
+(** Round-trips through {!parse}. *)

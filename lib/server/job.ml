@@ -1,0 +1,123 @@
+(** One unit of analysis work; see the interface for the degradation
+    ladder and wire format. *)
+
+open Cfront
+
+type t = {
+  id : string;
+  spec : string;
+  strategy_id : string;
+  layout_id : string;
+  budget : Core.Budget.limits;
+}
+
+let make ~idx ?(strategy = "cis") ?(layout = "ilp32")
+    ?(budget = Core.Budget.default) spec =
+  {
+    id = Printf.sprintf "job%d" idx;
+    spec;
+    strategy_id = strategy;
+    layout_id = layout;
+    budget;
+  }
+
+let layout_of_id = function
+  | "ilp32" -> Some Layout.ilp32
+  | "lp64" -> Some Layout.lp64
+  | "word16" -> Some Layout.word16
+  | _ -> None
+
+let validate (t : t) : (unit, string) result =
+  let bad s = String.exists (fun c -> c = '\t' || c = '\n' || c = '\r') s in
+  if bad t.id || bad t.spec || bad t.strategy_id || bad t.layout_id then
+    Error
+      (Printf.sprintf "%s: job fields may not contain tabs or newlines" t.id)
+  else if Core.Analysis.strategy_of_id t.strategy_id = None then
+    Error
+      (Printf.sprintf "%s: unknown strategy %s (have: %s)" t.id t.strategy_id
+         (String.concat ", " Core.Analysis.strategy_ids))
+  else if layout_of_id t.layout_id = None then
+    Error
+      (Printf.sprintf "%s: unknown layout %s (ilp32|lp64|word16)" t.id
+         t.layout_id)
+  else Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* Degradation ladder                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let max_rung = 2
+
+let rung_of_attempt attempt = min (max 0 (attempt - 1)) max_rung
+
+(* The rung-1 preset caps each limit; an unlimited dimension becomes the
+   cap, a configured one only ever tightens. *)
+let cap_int limit = function None -> Some limit | Some n -> Some (min n limit)
+let cap_float limit = function
+  | None -> Some limit
+  | Some s -> Some (min s limit)
+
+let tight (b : Core.Budget.limits) : Core.Budget.limits =
+  {
+    Core.Budget.max_steps = cap_int 100_000 b.Core.Budget.max_steps;
+    timeout_s = cap_float 2.0 b.Core.Budget.timeout_s;
+    max_cells_per_object = cap_int 8 b.Core.Budget.max_cells_per_object;
+    max_total_cells = cap_int 50_000 b.Core.Budget.max_total_cells;
+  }
+
+let budget_for_rung b rung = if rung <= 0 then b else tight b
+
+let strategy_for_rung id rung = if rung >= 2 then "collapse-always" else id
+
+(* ------------------------------------------------------------------ *)
+(* Wire encoding: id \t attempt \t rung \t strategy \t layout          *)
+(*   \t steps \t timeout_ms \t obj_cells \t total_cells \t spec        *)
+(* (0 encodes an absent limit; spec goes last for readability)         *)
+(* ------------------------------------------------------------------ *)
+
+let to_wire (t : t) ~attempt ~rung : string =
+  let o = function None -> 0 | Some n -> n in
+  let timeout_ms =
+    match t.budget.Core.Budget.timeout_s with
+    | None -> 0
+    | Some s -> max 1 (int_of_float (s *. 1000.))
+  in
+  Printf.sprintf "%s\t%d\t%d\t%s\t%s\t%d\t%d\t%d\t%d\t%s" t.id attempt rung
+    t.strategy_id t.layout_id
+    (o t.budget.Core.Budget.max_steps)
+    timeout_ms
+    (o t.budget.Core.Budget.max_cells_per_object)
+    (o t.budget.Core.Budget.max_total_cells)
+    t.spec
+
+let of_wire (line : string) : (t * int * int, string) result =
+  match String.split_on_char '\t' line with
+  | [ id; attempt; rung; strategy_id; layout_id; steps; tms; obj; total; spec ]
+    -> (
+      let opt s =
+        match int_of_string_opt s with
+        | Some 0 -> Some None
+        | Some n when n > 0 -> Some (Some n)
+        | _ -> None
+      in
+      match
+        ( int_of_string_opt attempt,
+          int_of_string_opt rung,
+          opt steps,
+          opt tms,
+          opt obj,
+          opt total )
+      with
+      | Some attempt, Some rung, Some steps, Some tms, Some obj, Some total ->
+          let budget =
+            {
+              Core.Budget.max_steps = steps;
+              timeout_s =
+                Option.map (fun ms -> float_of_int ms /. 1000.) tms;
+              max_cells_per_object = obj;
+              max_total_cells = total;
+            }
+          in
+          Ok ({ id; spec; strategy_id; layout_id; budget }, attempt, rung)
+      | _ -> Error ("malformed numeric field in job request: " ^ line))
+  | _ -> Error ("malformed job request (expected 10 fields): " ^ line)

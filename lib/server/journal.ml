@@ -1,0 +1,152 @@
+(** Crash-safe, append-only job journal. See the interface for the line
+    format and durability contract. *)
+
+type entry =
+  | Queued of { id : string; spec : string }
+  | Running of { id : string; attempt : int; rung : int }
+  | Done of {
+      id : string;
+      attempt : int;
+      rung : int;
+      degraded : bool;
+      diag_errors : bool;
+      output : string;
+    }
+  | Failed of { id : string; attempt : int; reason : string }
+  | Quarantined of { id : string; attempts : int; output : string }
+
+type t = { fd : Unix.file_descr; path : string }
+
+let open_append path =
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+  in
+  { fd; path }
+
+(* Free-text fields (reasons, outputs) must stay single-field on one
+   line; JSON outputs already escape control characters, this is the
+   belt for everything else. *)
+let sanitize s =
+  String.map (fun c -> if c = '\t' || c = '\n' || c = '\r' then ' ' else c) s
+
+let bool01 b = if b then "1" else "0"
+
+let encode : entry -> string = function
+  | Queued { id; spec } -> Printf.sprintf "v1\tqueued\t%s\t%s" id spec
+  | Running { id; attempt; rung } ->
+      Printf.sprintf "v1\trunning\t%s\t%d\t%d" id attempt rung
+  | Done { id; attempt; rung; degraded; diag_errors; output } ->
+      Printf.sprintf "v1\tdone\t%s\t%d\t%d\t%s\t%s\t%s" id attempt rung
+        (bool01 degraded) (bool01 diag_errors) (sanitize output)
+  | Failed { id; attempt; reason } ->
+      Printf.sprintf "v1\tfailed\t%s\t%d\t%s" id attempt (sanitize reason)
+  | Quarantined { id; attempts; output } ->
+      Printf.sprintf "v1\tquarantined\t%s\t%d\t%s" id attempts
+        (sanitize output)
+
+let decode (line : string) : entry option =
+  let int = int_of_string_opt in
+  let b01 = function "0" -> Some false | "1" -> Some true | _ -> None in
+  match String.split_on_char '\t' line with
+  | [ "v1"; "queued"; id; spec ] -> Some (Queued { id; spec })
+  | [ "v1"; "running"; id; a; r ] -> (
+      match (int a, int r) with
+      | Some attempt, Some rung -> Some (Running { id; attempt; rung })
+      | _ -> None)
+  | [ "v1"; "done"; id; a; r; d; e; output ] -> (
+      match (int a, int r, b01 d, b01 e) with
+      | Some attempt, Some rung, Some degraded, Some diag_errors ->
+          Some (Done { id; attempt; rung; degraded; diag_errors; output })
+      | _ -> None)
+  | [ "v1"; "failed"; id; a; reason ] -> (
+      match int a with
+      | Some attempt -> Some (Failed { id; attempt; reason })
+      | None -> None)
+  | [ "v1"; "quarantined"; id; a; output ] -> (
+      match int a with
+      | Some attempts -> Some (Quarantined { id; attempts; output })
+      | None -> None)
+  | _ -> None
+
+let append (t : t) (e : entry) : unit =
+  let data = Bytes.of_string (encode e ^ "\n") in
+  let n = Bytes.length data in
+  let rec w off =
+    if off < n then w (off + Unix.write t.fd data off (n - off))
+  in
+  w 0;
+  Unix.fsync t.fd
+
+let close (t : t) = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let load (path : string) : entry list =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    if s = "" then []
+    else begin
+      let lines = String.split_on_char '\n' s in
+      (* A file ending mid-line died during a write: drop the torn tail.
+         A file ending in '\n' splits with one trailing "" to drop. *)
+      let lines =
+        match List.rev lines with
+        | last :: rest when s.[String.length s - 1] <> '\n' ->
+            ignore last;
+            List.rev rest
+        | "" :: rest -> List.rev rest
+        | l -> List.rev l
+      in
+      List.filter_map decode lines
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Replay                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type replayed =
+  | RDone of {
+      attempt : int;
+      rung : int;
+      degraded : bool;
+      diag_errors : bool;
+      output : string;
+    }
+  | RQuarantined of { attempts : int; output : string }
+
+type state = {
+  mutable spec : string option;
+  mutable attempts : int;
+  mutable outcome : replayed option;
+}
+
+let replay (entries : entry list) : (string, state) Hashtbl.t =
+  let tbl = Hashtbl.create 64 in
+  let get id =
+    match Hashtbl.find_opt tbl id with
+    | Some s -> s
+    | None ->
+        let s = { spec = None; attempts = 0; outcome = None } in
+        Hashtbl.add tbl id s;
+        s
+  in
+  List.iter
+    (fun e ->
+      match e with
+      | Queued { id; spec } -> (get id).spec <- Some spec
+      | Running _ -> ()
+      | Failed { id; attempt; _ } ->
+          let st = get id in
+          st.attempts <- max st.attempts attempt
+      | Done { id; attempt; rung; degraded; diag_errors; output } ->
+          (get id).outcome <-
+            Some (RDone { attempt; rung; degraded; diag_errors; output })
+      | Quarantined { id; attempts; output } ->
+          let st = get id in
+          st.attempts <- max st.attempts attempts;
+          st.outcome <- Some (RQuarantined { attempts; output }))
+    entries;
+  tbl

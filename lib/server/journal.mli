@@ -1,0 +1,72 @@
+(** Crash-safe, append-only job journal.
+
+    Every job state transition is appended as one tab-separated line and
+    [fsync]'d before the supervisor proceeds, so a [kill -9] of the
+    supervisor loses at most a not-yet-acknowledged transition. A
+    partially-written trailing line (torn write at the moment of death)
+    is detected and dropped on load; unparseable lines are skipped, not
+    fatal. [done] and [quarantined] records carry the job's final output
+    line verbatim, so a resumed batch replays finished jobs byte-for-byte
+    instead of re-running them.
+
+    Line format ([v1] is the record version):
+
+    {v
+    v1 <TAB> queued      <TAB> id <TAB> spec
+    v1 <TAB> running     <TAB> id <TAB> attempt <TAB> rung
+    v1 <TAB> done        <TAB> id <TAB> attempt <TAB> rung
+                         <TAB> degraded(0|1) <TAB> diag_errors(0|1) <TAB> output
+    v1 <TAB> failed      <TAB> id <TAB> attempt <TAB> reason
+    v1 <TAB> quarantined <TAB> id <TAB> attempts <TAB> output
+    v} *)
+
+type entry =
+  | Queued of { id : string; spec : string }
+  | Running of { id : string; attempt : int; rung : int }
+  | Done of {
+      id : string;
+      attempt : int;
+      rung : int;
+      degraded : bool;
+      diag_errors : bool;
+      output : string;  (** the job's final single-line JSON output *)
+    }
+  | Failed of { id : string; attempt : int; reason : string }
+  | Quarantined of { id : string; attempts : int; output : string }
+
+type t
+(** An open journal handle (append mode). *)
+
+val open_append : string -> t
+
+val append : t -> entry -> unit
+(** One [write] of the whole line, then [fsync]. *)
+
+val close : t -> unit
+
+val load : string -> entry list
+(** All well-formed records, oldest first; [[]] if the file does not
+    exist. Tolerates a torn trailing line and foreign/corrupt lines. *)
+
+(** {1 Replay} *)
+
+type replayed =
+  | RDone of {
+      attempt : int;
+      rung : int;
+      degraded : bool;
+      diag_errors : bool;
+      output : string;
+    }
+  | RQuarantined of { attempts : int; output : string }
+
+type state = {
+  mutable spec : string option;  (** from the [queued] record *)
+  mutable attempts : int;  (** highest failed attempt recorded *)
+  mutable outcome : replayed option;  (** terminal record, if any *)
+}
+
+val replay : entry list -> (string, state) Hashtbl.t
+(** Fold the entries into per-job resume state, keyed by job id. Jobs
+    with a dangling [running] record (supervisor died mid-flight) come
+    out with [outcome = None] and are simply re-run. *)

@@ -1,0 +1,492 @@
+(** Crash-contained job supervisor. See the interface for the recovery
+    policy; this file is the single-threaded select loop that enforces
+    it. *)
+
+type config = {
+  workers : int;
+  max_attempts : int;
+  job_timeout_s : float;
+  backoff_base_ms : int;
+  faults : Faults.plan;
+  journal_path : string option;
+  resume : bool;
+}
+
+let default_config =
+  {
+    workers = 2;
+    max_attempts = 3;
+    job_timeout_s = 30.0;
+    backoff_base_ms = 100;
+    faults = Faults.none;
+    journal_path = None;
+    resume = false;
+  }
+
+type outcome =
+  | Done of {
+      attempt : int;
+      rung : int;
+      degraded : bool;
+      diag_errors : bool;
+      output : string;
+    }
+  | Quarantined of { attempts : int; reason : string; output : string }
+
+type jobrec = {
+  job : Job.t;
+  mutable attempts : int;  (** failed attempts so far *)
+  mutable outcome : outcome option;
+  mutable ready_at : float;  (** earliest dispatch time (backoff) *)
+}
+
+type wstate =
+  | Idle
+  | Busy of { jr : jobrec; attempt : int; rung : int; deadline : float }
+
+type whandle = {
+  mutable pid : int;
+  mutable req_w : Unix.file_descr;
+  mutable resp_r : Unix.file_descr;
+  mutable buf : string;  (** unconsumed partial response line *)
+  mutable state : wstate;
+  mutable alive : bool;
+}
+
+type t = {
+  cfg : config;
+  jobs : (string, jobrec) Hashtbl.t;
+  mutable order : jobrec list;  (** newest first *)
+  mutable pending : jobrec list;  (** dispatch order *)
+  fleet : Core.Metrics.fleet;
+  journal : Journal.t option;
+  replayed : (string, Journal.state) Hashtbl.t;
+  breaker : (string, unit) Hashtbl.t;  (** tripped input specs *)
+  mutable pool : whandle array;
+  mutable shut : bool;
+}
+
+let now () = Unix.gettimeofday ()
+
+let jwrite t e = Option.iter (fun j -> Journal.append j e) t.journal
+
+(* ------------------------------------------------------------------ *)
+(* Construction / resume                                               *)
+(* ------------------------------------------------------------------ *)
+
+let create (cfg : config) : t =
+  (* a worker dying between select and our write must not SIGPIPE the
+     supervisor; the failed write is handled as a worker death *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let replayed =
+    if not cfg.resume then Hashtbl.create 1
+    else
+      match cfg.journal_path with
+      | None -> failwith "resume requires a journal path"
+      | Some p -> Journal.replay (Journal.load p)
+  in
+  let journal = Option.map Journal.open_append cfg.journal_path in
+  {
+    cfg;
+    jobs = Hashtbl.create 64;
+    order = [];
+    pending = [];
+    fleet = Core.Metrics.fleet_create ();
+    journal;
+    replayed;
+    breaker = Hashtbl.create 8;
+    pool = [||];
+    shut = false;
+  }
+
+let submit (t : t) (job : Job.t) : unit =
+  (match Job.validate job with Ok () -> () | Error e -> failwith e);
+  if Hashtbl.mem t.jobs job.Job.id then
+    failwith (Printf.sprintf "duplicate job id %s" job.Job.id);
+  let jr = { job; attempts = 0; outcome = None; ready_at = 0.0 } in
+  Hashtbl.add t.jobs job.Job.id jr;
+  t.order <- jr :: t.order;
+  t.fleet.Core.Metrics.jobs <- t.fleet.Core.Metrics.jobs + 1;
+  let replay = Hashtbl.find_opt t.replayed job.Job.id in
+  (match replay with
+  | Some st -> (
+      (match st.Journal.spec with
+      | Some s when s <> job.Job.spec ->
+          failwith
+            (Printf.sprintf
+               "journal mismatch for %s: journal has input %s, batch has %s \
+                (wrong journal for this batch?)"
+               job.Job.id s job.Job.spec)
+      | _ -> ());
+      jr.attempts <- st.Journal.attempts;
+      match st.Journal.outcome with
+      | Some (Journal.RDone { attempt; rung; degraded; diag_errors; output })
+        ->
+          jr.outcome <-
+            Some (Done { attempt; rung; degraded; diag_errors; output });
+          t.fleet.Core.Metrics.replayed <- t.fleet.Core.Metrics.replayed + 1;
+          t.fleet.Core.Metrics.max_rung <-
+            max t.fleet.Core.Metrics.max_rung rung
+      | Some (Journal.RQuarantined { attempts; output }) ->
+          jr.outcome <-
+            Some
+              (Quarantined
+                 { attempts; reason = "quarantined (replayed)"; output });
+          t.fleet.Core.Metrics.replayed <- t.fleet.Core.Metrics.replayed + 1;
+          Hashtbl.replace t.breaker job.Job.spec ()
+      | None -> ())
+  | None -> ());
+  if jr.outcome = None then begin
+    if replay = None then
+      jwrite t (Journal.Queued { id = job.Job.id; spec = job.Job.spec });
+    t.pending <- t.pending @ [ jr ]
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Worker pool                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let spawn_worker (cfg : config) : whandle =
+  let req_r, req_w = Unix.pipe () in
+  let resp_r, resp_w = Unix.pipe () in
+  (* buffered channels are duplicated by fork: flush before forking so
+     the child can't replay the parent's pending output *)
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+      Unix.close req_w;
+      Unix.close resp_r;
+      (try Worker.run ~req:req_r ~resp:resp_w ~faults:cfg.faults
+       with _ -> ());
+      Unix._exit 0
+  | pid ->
+      Unix.close req_r;
+      Unix.close resp_w;
+      { pid; req_w; resp_r; buf = ""; state = Idle; alive = true }
+
+let ensure_pool (t : t) : unit =
+  if Array.length t.pool = 0 then
+    t.pool <- Array.init (max 1 t.cfg.workers) (fun _ -> spawn_worker t.cfg)
+
+let signal_name s =
+  if s = Sys.sigabrt then "SIGABRT"
+  else if s = Sys.sigsegv then "SIGSEGV"
+  else if s = Sys.sigbus then "SIGBUS"
+  else if s = Sys.sigkill then "SIGKILL"
+  else if s = Sys.sigterm then "SIGTERM"
+  else if s = Sys.sigill then "SIGILL"
+  else "signal " ^ string_of_int s
+
+let reap (w : whandle) : Unix.process_status =
+  (try Unix.close w.req_w with Unix.Unix_error _ -> ());
+  (try Unix.close w.resp_r with Unix.Unix_error _ -> ());
+  w.alive <- false;
+  try snd (Unix.waitpid [] w.pid) with Unix.Unix_error _ -> Unix.WEXITED 0
+
+let respawn (t : t) (w : whandle) : unit =
+  let fresh = spawn_worker t.cfg in
+  w.pid <- fresh.pid;
+  w.req_w <- fresh.req_w;
+  w.resp_r <- fresh.resp_r;
+  w.buf <- "";
+  w.state <- Idle;
+  w.alive <- true
+
+(* ------------------------------------------------------------------ *)
+(* Retry / quarantine policy                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Exponential backoff with deterministic jitter: the hash spreads a
+   thundering herd of same-attempt retries without making resumed runs
+   diverge from uninterrupted ones. *)
+let backoff_s (cfg : config) ~attempts ~id : float =
+  let base = float_of_int cfg.backoff_base_ms /. 1000. in
+  let exp = base *. (2. ** float_of_int (attempts - 1)) in
+  let jitter =
+    base *. float_of_int (Hashtbl.hash (id, attempts) mod 1000) /. 1000.
+  in
+  exp +. jitter
+
+let quarantine (t : t) (jr : jobrec) ~reason : unit =
+  let output =
+    Printf.sprintf
+      "{\"id\":%s,\"spec\":%s,\"status\":\"quarantined\",\"attempts\":%d,\"reason\":%s}"
+      (Core.Report.quote jr.job.Job.id)
+      (Core.Report.quote jr.job.Job.spec)
+      jr.attempts (Core.Report.quote reason)
+  in
+  jr.outcome <- Some (Quarantined { attempts = jr.attempts; reason; output });
+  t.fleet.Core.Metrics.quarantined <- t.fleet.Core.Metrics.quarantined + 1;
+  Hashtbl.replace t.breaker jr.job.Job.spec ();
+  jwrite t
+    (Journal.Quarantined
+       { id = jr.job.Job.id; attempts = jr.attempts; output })
+
+let fail (t : t) (jr : jobrec) ~attempt ~reason : unit =
+  jwrite t (Journal.Failed { id = jr.job.Job.id; attempt; reason });
+  jr.attempts <- max jr.attempts attempt;
+  if jr.attempts >= t.cfg.max_attempts then quarantine t jr ~reason
+  else begin
+    t.fleet.Core.Metrics.retries <- t.fleet.Core.Metrics.retries + 1;
+    jr.ready_at <-
+      now () +. backoff_s t.cfg ~attempts:jr.attempts ~id:jr.job.Job.id;
+    t.pending <- t.pending @ [ jr ]
+  end
+
+let complete (t : t) (jr : jobrec) ~attempt ~rung ~degraded ~diag_errors
+    ~output : unit =
+  jwrite t
+    (Journal.Done
+       { id = jr.job.Job.id; attempt; rung; degraded; diag_errors; output });
+  jr.outcome <- Some (Done { attempt; rung; degraded; diag_errors; output });
+  t.fleet.Core.Metrics.completed <- t.fleet.Core.Metrics.completed + 1;
+  t.fleet.Core.Metrics.max_rung <- max t.fleet.Core.Metrics.max_rung rung
+
+(* ------------------------------------------------------------------ *)
+(* Worker lifecycle events                                             *)
+(* ------------------------------------------------------------------ *)
+
+let worker_died (t : t) (w : whandle) : unit =
+  let status = reap w in
+  (match w.state with
+  | Idle -> ()
+  | Busy { jr; attempt; _ } ->
+      let reason =
+        match status with
+        | Unix.WSIGNALED s ->
+            Printf.sprintf "crash: worker killed by %s" (signal_name s)
+        | Unix.WEXITED c ->
+            Printf.sprintf "crash: worker exited unexpectedly with code %d" c
+        | Unix.WSTOPPED s ->
+            Printf.sprintf "crash: worker stopped by %s" (signal_name s)
+      in
+      t.fleet.Core.Metrics.crashes <- t.fleet.Core.Metrics.crashes + 1;
+      fail t jr ~attempt ~reason);
+  respawn t w
+
+let worker_hung (t : t) (w : whandle) : unit =
+  (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
+  ignore (reap w);
+  (match w.state with
+  | Idle -> ()
+  | Busy { jr; attempt; _ } ->
+      t.fleet.Core.Metrics.hangs <- t.fleet.Core.Metrics.hangs + 1;
+      fail t jr ~attempt
+        ~reason:
+          (Printf.sprintf
+             "hang: no result within the %gs job timeout; worker killed"
+             t.cfg.job_timeout_s));
+  respawn t w
+
+let handle_response (t : t) (w : whandle) (line : string) : unit =
+  match (Worker.response_of_wire line, w.state) with
+  | Ok (id, attempt, payload), Busy { jr; rung; attempt = a; _ }
+    when id = jr.job.Job.id && attempt = a -> (
+      w.state <- Idle;
+      match payload with
+      | `Ok (degraded, diag_errors, output) ->
+          complete t jr ~attempt ~rung ~degraded ~diag_errors ~output
+      | `Error msg ->
+          t.fleet.Core.Metrics.job_errors <-
+            t.fleet.Core.Metrics.job_errors + 1;
+          fail t jr ~attempt ~reason:("error: " ^ msg))
+  | _ ->
+      (* protocol violation: a response for the wrong job, or a response
+         from an idle worker — the worker can't be trusted anymore *)
+      (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
+      worker_died t w
+
+(* Consume readable bytes; dispatch complete lines. EOF = death. *)
+let handle_readable (t : t) (w : whandle) : unit =
+  let chunk = Bytes.create 4096 in
+  match Unix.read w.resp_r chunk 0 4096 with
+  | exception Unix.Unix_error _ -> worker_died t w
+  | 0 -> worker_died t w
+  | n ->
+      let data = w.buf ^ Bytes.sub_string chunk 0 n in
+      let parts = String.split_on_char '\n' data in
+      let rec go = function
+        | [] -> w.buf <- ""
+        | [ tail ] -> w.buf <- tail
+        | line :: rest ->
+            handle_response t w line;
+            go rest
+      in
+      go parts
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch loop                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off = if off < n then go (off + Unix.write fd b off (n - off)) in
+  go 0
+
+(* Fail-fast every pending job whose input already quarantined a
+   sibling: no worker needed, the breaker is the point. *)
+let breaker_sweep (t : t) : unit =
+  let skip, keep =
+    List.partition (fun jr -> Hashtbl.mem t.breaker jr.job.Job.spec) t.pending
+  in
+  t.pending <- keep;
+  List.iter
+    (fun jr ->
+      t.fleet.Core.Metrics.breaker_skips <-
+        t.fleet.Core.Metrics.breaker_skips + 1;
+      quarantine t jr
+        ~reason:
+          (Printf.sprintf "circuit breaker open: input %s already quarantined"
+             jr.job.Job.spec))
+    skip
+
+let pop_ready (t : t) : jobrec option =
+  let time = now () in
+  let rec go acc = function
+    | [] -> None
+    | jr :: rest when jr.ready_at <= time ->
+        t.pending <- List.rev_append acc rest;
+        Some jr
+    | jr :: rest -> go (jr :: acc) rest
+  in
+  go [] t.pending
+
+let dispatch (t : t) (w : whandle) (jr : jobrec) : unit =
+  let attempt = jr.attempts + 1 in
+  let rung = Job.rung_of_attempt attempt in
+  jwrite t (Journal.Running { id = jr.job.Job.id; attempt; rung });
+  match write_all w.req_w (Job.to_wire jr.job ~attempt ~rung ^ "\n") with
+  | () ->
+      w.state <-
+        Busy { jr; attempt; rung; deadline = now () +. t.cfg.job_timeout_s }
+  | exception Unix.Unix_error _ ->
+      (* the idle worker died before the request landed: not this job's
+         fault — respawn and put the job back at the front *)
+      worker_died t w;
+      t.pending <- jr :: t.pending
+
+let rec dispatch_all (t : t) : unit =
+  breaker_sweep t;
+  if t.pending <> [] then
+    match Array.find_opt (fun w -> w.alive && w.state = Idle) t.pool with
+    | None -> ()
+    | Some w -> (
+        match pop_ready t with
+        | None -> ()
+        | Some jr ->
+            dispatch t w jr;
+            dispatch_all t)
+
+let busy_count (t : t) : int =
+  Array.fold_left
+    (fun n w -> match w.state with Busy _ -> n + 1 | Idle -> n)
+    0 t.pool
+
+let next_timeout (t : t) : float =
+  let time = now () in
+  let cand = ref 0.25 in
+  Array.iter
+    (fun w ->
+      match w.state with
+      | Busy { deadline; _ } -> cand := min !cand (deadline -. time)
+      | Idle -> ())
+    t.pool;
+  List.iter (fun jr -> cand := min !cand (jr.ready_at -. time)) t.pending;
+  max 0.005 !cand
+
+let check_deadlines (t : t) : unit =
+  let time = now () in
+  Array.iter
+    (fun w ->
+      match w.state with
+      | Busy { deadline; _ } when time > deadline -> worker_hung t w
+      | _ -> ())
+    t.pool
+
+let drain (t : t) : unit =
+  if t.pending <> [] then ensure_pool t;
+  let rec loop () =
+    dispatch_all t;
+    if t.pending = [] && busy_count t = 0 then ()
+    else begin
+      let fds =
+        Array.to_list t.pool
+        |> List.filter_map (fun w -> if w.alive then Some w.resp_r else None)
+      in
+      (match Unix.select fds [] [] (next_timeout t) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | readable, _, _ ->
+          Array.iter
+            (fun w ->
+              if w.alive && List.mem w.resp_r readable then
+                handle_readable t w)
+            t.pool);
+      check_deadlines t;
+      loop ()
+    end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Shutdown / results                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let shutdown (t : t) : unit =
+  if not t.shut then begin
+    t.shut <- true;
+    (* EOF on the request pipe is the workers' signal to exit *)
+    Array.iter
+      (fun w ->
+        if w.alive then
+          try Unix.close w.req_w with Unix.Unix_error _ -> ())
+      t.pool;
+    Array.iter
+      (fun w ->
+        if w.alive then begin
+          let deadline = now () +. 2.0 in
+          let rec wait () =
+            match Unix.waitpid [ Unix.WNOHANG ] w.pid with
+            | 0, _ ->
+                if now () > deadline then begin
+                  (try Unix.kill w.pid Sys.sigkill
+                   with Unix.Unix_error _ -> ());
+                  ignore (Unix.waitpid [] w.pid)
+                end
+                else begin
+                  Unix.sleepf 0.01;
+                  wait ()
+                end
+            | _ -> ()
+          in
+          (try wait () with Unix.Unix_error _ -> ());
+          (try Unix.close w.resp_r with Unix.Unix_error _ -> ());
+          w.alive <- false
+        end)
+      t.pool;
+    Option.iter Journal.close t.journal
+  end
+
+let results (t : t) : (Job.t * outcome) list =
+  List.rev_map
+    (fun jr ->
+      match jr.outcome with
+      | Some o -> (jr.job, o)
+      | None ->
+          failwith
+            (Printf.sprintf "job %s has no outcome (drain incomplete)"
+               jr.job.Job.id))
+    t.order
+
+let fleet (t : t) : Core.Metrics.fleet = t.fleet
+
+let run_batch (cfg : config) (jobs : Job.t list) :
+    (Job.t * outcome) list * Core.Metrics.fleet =
+  let t = create cfg in
+  Fun.protect
+    ~finally:(fun () -> shutdown t)
+    (fun () ->
+      List.iter (submit t) jobs;
+      drain t;
+      (results t, t.fleet))

@@ -1,0 +1,80 @@
+(** Crash-contained job supervisor: a pool of forked workers, a retry
+    ladder, a circuit breaker, and the crash-safe journal.
+
+    One pathological job can never take down the process or lose the
+    batch:
+
+    - each job runs in a forked worker; a segfault, OOM-kill, unexpected
+      exit, or uncaught hang is contained to that process — the
+      supervisor reaps it, records the failure, respawns the slot, and
+      carries on;
+    - a job running past [job_timeout_s] is SIGKILLed and treated as a
+      hang;
+    - failed jobs are retried with exponential backoff plus
+      deterministic jitter, escalating one degradation rung per attempt
+      ({!Job.rung_of_attempt}), up to [max_attempts];
+    - a job out of attempts is {e quarantined}, which also opens a
+      per-input circuit breaker: later jobs on the same input fail fast
+      instead of burning attempts;
+    - with a [journal_path], every transition is fsync'd to disk before
+      the supervisor proceeds; [resume = true] replays finished jobs
+      byte-for-byte and re-runs only unfinished ones, so [kill -9] of
+      the supervisor mid-batch loses nothing.
+
+    The supervisor is single-threaded: it multiplexes worker response
+    pipes with [select], so results, deaths, deadlines, and backoff
+    timers are all handled from one loop. *)
+
+type config = {
+  workers : int;  (** pool size (clamped to ≥ 1) *)
+  max_attempts : int;  (** attempts per job before quarantine *)
+  job_timeout_s : float;  (** per-attempt wall clock before SIGKILL *)
+  backoff_base_ms : int;  (** backoff base; attempt [n] waits
+                              [base·2^(n-1)] plus jitter *)
+  faults : Faults.plan;  (** injected into workers (tests/CI) *)
+  journal_path : string option;
+  resume : bool;  (** replay [journal_path] before running *)
+}
+
+val default_config : config
+(** 2 workers, 3 attempts, 30 s job timeout, 100 ms backoff base, no
+    faults, no journal. *)
+
+type outcome =
+  | Done of {
+      attempt : int;
+      rung : int;
+      degraded : bool;  (** budget events or rung > 0 *)
+      diag_errors : bool;
+      output : string;  (** the job's single-line JSON output *)
+    }
+  | Quarantined of { attempts : int; reason : string; output : string }
+
+type t
+
+val create : config -> t
+(** Open (and, on [resume], replay) the journal and set up the pool.
+    Workers are forked lazily on first dispatch. Raises [Failure] if
+    [resume] is set without [journal_path]. *)
+
+val submit : t -> Job.t -> unit
+(** Enqueue a job (validated; duplicate ids rejected). If the journal
+    replay already holds a terminal record for this id, the job is not
+    re-run. Raises [Failure] when the replayed spec does not match. *)
+
+val drain : t -> unit
+(** Run until every submitted job has an outcome. *)
+
+val shutdown : t -> unit
+(** Close worker pipes (workers exit on EOF), SIGKILL stragglers, reap
+    everything, close the journal. Idempotent. *)
+
+val results : t -> (Job.t * outcome) list
+(** Outcomes in submission order. Raises [Failure] if a job has none
+    (i.e. {!drain} has not completed). *)
+
+val fleet : t -> Core.Metrics.fleet
+
+val run_batch : config -> Job.t list -> (Job.t * outcome) list * Core.Metrics.fleet
+(** [create] + [submit]* + [drain] + [results], with [shutdown]
+    guaranteed on the way out. *)

@@ -1,0 +1,138 @@
+(** The forked worker: executes jobs read from a pipe, one at a time.
+    See the interface for the containment contract and wire format. *)
+
+open Cfront
+
+(* ------------------------------------------------------------------ *)
+(* Input loading (mirrors the CLI: corpus program name or file path)   *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_source (spec : string) : string * string =
+  match Suite.find spec with
+  | Some p -> (p.Suite.name, p.Suite.source)
+  | None ->
+      if Sys.file_exists spec then (Filename.basename spec, read_file spec)
+      else
+        failwith
+          (Printf.sprintf "%s: not a file and not a corpus program" spec)
+
+let resolve_includes spec rel =
+  let dir = Filename.dirname spec in
+  let candidate = Filename.concat dir rel in
+  if Sys.file_exists candidate then Some (read_file candidate) else None
+
+(* ------------------------------------------------------------------ *)
+(* Job execution                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let sanitize s =
+  String.map (fun c -> if c = '\t' || c = '\n' || c = '\r' then ' ' else c) s
+
+(* The job's final output line: what batch prints, what the journal
+   stores. Timing is omitted (Report ~timing:false) so the line is a
+   pure function of the input — the byte-identical-resume guarantee. *)
+let run_job (job : Job.t) ~attempt ~rung :
+    (string * bool * bool, string) result =
+  try
+    let layout =
+      match Job.layout_of_id job.Job.layout_id with
+      | Some l -> l
+      | None -> failwith ("unknown layout " ^ job.Job.layout_id)
+    in
+    let strategy_id = Job.strategy_for_rung job.Job.strategy_id rung in
+    let strategy =
+      match Core.Analysis.strategy_of_id strategy_id with
+      | Some s -> s
+      | None -> failwith ("unknown strategy " ^ strategy_id)
+    in
+    let budget = Job.budget_for_rung job.Job.budget rung in
+    let name, source = load_source job.Job.spec in
+    let diags = Diag.create () in
+    let r =
+      Core.Analysis.run_source ~layout ~budget ~diags
+        ~resolve:(resolve_includes job.Job.spec) ~strategy ~file:name source
+    in
+    let result_json = Core.Report.json_of_result ~timing:false ~name r in
+    let output =
+      Printf.sprintf
+        "{\"id\":%s,\"spec\":%s,\"status\":\"done\",\"attempt\":%d,\"rung\":%d,\"result\":%s}"
+        (Core.Report.quote job.Job.id)
+        (Core.Report.quote job.Job.spec)
+        attempt rung result_json
+    in
+    let degraded = r.Core.Analysis.degraded <> [] || rung > 0 in
+    let diag_errors =
+      List.exists
+        (fun (p : Diag.payload) -> p.Diag.severity = Diag.Error_sev)
+        r.Core.Analysis.diags
+    in
+    Ok (output, degraded, diag_errors)
+  with
+  | Diag.Error p -> Error (Fmt.str "front-end error: %a" Diag.pp_payload p)
+  | Failure m | Sys_error m -> Error m
+  | Out_of_memory -> Error "out of memory"
+  | Stack_overflow -> Error "stack overflow"
+  | e -> Error ("exception: " ^ Printexc.to_string e)
+
+let bool01 b = if b then "1" else "0"
+
+let execute (job : Job.t) ~attempt ~rung ~(faults : Faults.plan) : string =
+  let outcome =
+    (* Crash/Exit/Hang never return from [inject]; Raise/Alloc_bomb
+       raise and are contained exactly like a real in-job exception. *)
+    try
+      (match Faults.find faults ~job_id:job.Job.id ~attempt with
+      | Some k -> Faults.inject k
+      | None -> ());
+      run_job job ~attempt ~rung
+    with e -> Error ("exception: " ^ Printexc.to_string e)
+  in
+  match outcome with
+  | Ok (output, degraded, diag_errors) ->
+      Printf.sprintf "%s\t%d\tok\t%s\t%s\t%s" job.Job.id attempt
+        (bool01 degraded) (bool01 diag_errors) output
+  | Error msg ->
+      Printf.sprintf "%s\t%d\terror\t%s" job.Job.id attempt (sanitize msg)
+
+let response_of_wire (line : string) =
+  let b01 = function "0" -> Some false | "1" -> Some true | _ -> None in
+  match String.split_on_char '\t' line with
+  | [ id; attempt; "ok"; d; e; output ] -> (
+      match (int_of_string_opt attempt, b01 d, b01 e) with
+      | Some attempt, Some degraded, Some diag_errors ->
+          Ok (id, attempt, `Ok (degraded, diag_errors, output))
+      | _ -> Error ("malformed ok response: " ^ line))
+  | [ id; attempt; "error"; msg ] -> (
+      match int_of_string_opt attempt with
+      | Some attempt -> Ok (id, attempt, `Error msg)
+      | None -> Error ("malformed error response: " ^ line))
+  | _ -> Error ("malformed worker response: " ^ line)
+
+(* ------------------------------------------------------------------ *)
+(* Main loop (runs in the forked child)                                *)
+(* ------------------------------------------------------------------ *)
+
+let run ~req ~resp ~faults : unit =
+  let ic = Unix.in_channel_of_descr req in
+  let oc = Unix.out_channel_of_descr resp in
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | line ->
+        let response =
+          match Job.of_wire line with
+          | Ok (job, attempt, rung) -> execute job ~attempt ~rung ~faults
+          | Error msg -> Printf.sprintf "?\t0\terror\t%s" (sanitize msg)
+        in
+        output_string oc (response ^ "\n");
+        flush oc;
+        loop ()
+  in
+  loop ()

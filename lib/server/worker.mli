@@ -1,0 +1,36 @@
+(** The forked worker: executes jobs read from a pipe, one at a time.
+
+    Workers are long-lived and reused across jobs (fork once, loop until
+    the request pipe hits EOF), so a job must leave no state behind —
+    the analysis layer's per-run [Diag.ctx]/[Budget.t] isolation is what
+    makes this safe, and [test/test_isolation.ml] pins it down.
+
+    Everything a job can throw — front-end fatals, [Out_of_memory],
+    [Stack_overflow], injected [raise]/[allocbomb] faults — is caught
+    and reported as a clean [error] response; only process-level deaths
+    (signals, [exit], hangs) escape to the supervisor's reaper.
+
+    Response wire format (one line per job):
+
+    {v
+    id <TAB> attempt <TAB> ok <TAB> degraded(0|1) <TAB> diag_errors(0|1) <TAB> output-json
+    id <TAB> attempt <TAB> error <TAB> message
+    v} *)
+
+val run : req:Unix.file_descr -> resp:Unix.file_descr -> faults:Faults.plan -> unit
+(** Worker main loop: read a {!Job.to_wire} line from [req], execute,
+    write a response line to [resp], repeat; returns on EOF. The caller
+    (the supervisor's fork child) must [Unix._exit] afterwards. *)
+
+val execute :
+  Job.t -> attempt:int -> rung:int -> faults:Faults.plan -> string
+(** Run one job and build its response line (no trailing newline).
+    Injected process-killing faults do not return. *)
+
+val response_of_wire :
+  string ->
+  ( string * int * [ `Ok of bool * bool * string | `Error of string ],
+    string )
+  result
+(** Parse a response line: job id, attempt, and either
+    [`Ok (degraded, diag_errors, output)] or [`Error message]. *)

@@ -26,4 +26,6 @@ let () =
       ("summaries", Test_summaries.suite);
       ("budget", Test_budget.suite);
       ("fuzz", Test_fuzz.suite);
+      ("isolation", Test_isolation.suite);
+      ("server", Test_server.suite);
     ]

@@ -72,6 +72,141 @@ let test_bad_file_fails () =
   let code, _ = run_capture [ "analyze"; "/no/such/file.c" ] in
   Alcotest.(check bool) "nonzero exit" true (code <> 0)
 
+(* ------------------------------------------------------------------ *)
+(* Exit-code precedence: 3 internal error > 2 degraded > 1 diagnostics
+   > 0 clean. Each rung of the ladder gets a dedicated input.           *)
+(* ------------------------------------------------------------------ *)
+
+let with_temp_source src f =
+  let path = Filename.temp_file "structcast-cli" ".c" in
+  let oc = open_out path in
+  output_string oc src;
+  close_out oc;
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let diag_src = "int *p; int x; void main(void) { p = &x; q = 3; }"
+
+let heavy_src =
+  "struct L1 { int *a; int *b; };\n\
+   struct L2 { struct L1 x; struct L1 y; };\n\
+   struct L3 { struct L2 x; struct L2 y; } s;\n\
+   int v0, v1, v2, v3, v4, v5, v6, v7;\n\
+   void main(void) {\n\
+  \  s.x.x.a = &v0; s.x.x.b = &v1; s.x.y.a = &v2; s.x.y.b = &v3;\n\
+  \  s.y.x.a = &v4; s.y.x.b = &v5; s.y.y.a = &v6; s.y.y.b = &v7;\n\
+   }"
+
+let both_src = heavy_src ^ "\nint *r; void f(void) { r = s.x.x.a; q2 = 1; }"
+
+let test_exit_clean () =
+  let code, _ = run_capture [ "analyze"; "wc" ] in
+  Alcotest.(check int) "clean run exits 0" 0 code
+
+let test_exit_diagnostics () =
+  with_temp_source diag_src (fun path ->
+      let code, out = run_capture [ "analyze"; path ] in
+      Alcotest.(check int) "diagnostics-only exits 1" 1 code;
+      check_contains "diag" out "q")
+
+let test_exit_degraded () =
+  with_temp_source heavy_src (fun path ->
+      let code, out =
+        run_capture
+          [ "analyze"; path; "-s"; "offsets"; "--max-cells-per-object"; "2" ]
+      in
+      Alcotest.(check int) "budget-degraded exits 2" 2 code;
+      check_contains "degraded" out "degraded")
+
+let test_exit_degraded_beats_diagnostics () =
+  with_temp_source both_src (fun path ->
+      let code, _ =
+        run_capture
+          [ "analyze"; path; "-s"; "offsets"; "--max-cells-per-object"; "2" ]
+      in
+      Alcotest.(check int) "degradation outranks diagnostics" 2 code)
+
+(* Expected failures (bad input, front-end fatal) are 1, not 3: exit 3
+   is reserved for exceptions escaping unexpectedly — and, fleet-wide,
+   for quarantined batch jobs (tested below). *)
+let test_exit_expected_failure () =
+  let code, out = run_capture [ "analyze"; "/no/such/file.c" ] in
+  Alcotest.(check int) "expected failure exits 1" 1 code;
+  check_contains "error" out "error"
+
+(* ------------------------------------------------------------------ *)
+(* --format json                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_format () =
+  let code, out = run_capture [ "analyze"; "wc"; "--format"; "json" ] in
+  Alcotest.(check int) "exit code" 0 code;
+  check_contains "json" out "\"avg_deref_size\"";
+  check_contains "json" out "\"strategy\"";
+  check_contains "json" out "\"deref_sites\"";
+  (* machine output is a single JSON object on one line *)
+  let line = String.trim out in
+  Alcotest.(check bool) "single line" true
+    (not (String.contains line '\n'));
+  Alcotest.(check bool) "object braces" true
+    (String.length line > 2
+    && line.[0] = '{'
+    && line.[String.length line - 1] = '}')
+
+let test_json_format_keeps_exit_code () =
+  with_temp_source both_src (fun path ->
+      let code, out =
+        run_capture
+          [
+            "analyze"; path; "-s"; "offsets"; "--max-cells-per-object"; "2";
+            "--format"; "json";
+          ]
+      in
+      Alcotest.(check int) "json mode preserves exit precedence" 2 code;
+      check_contains "json" out "\"degraded\"")
+
+(* ------------------------------------------------------------------ *)
+(* batch / serve                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_batch_smoke () =
+  let code, out =
+    run_capture [ "batch"; "wc"; "anagram"; "--backoff-ms"; "1" ]
+  in
+  Alcotest.(check int) "clean batch exits 0" 0 code;
+  check_contains "batch" out "\"id\":\"job1\"";
+  check_contains "batch" out "\"id\":\"job2\"";
+  check_contains "batch" out "\"status\":\"done\"";
+  check_contains "batch" out "\"breaker_skips\""
+
+let test_batch_crash_fault_exits_3 () =
+  let code, out =
+    run_capture
+      [ "batch"; "wc"; "--backoff-ms"; "1"; "--faults"; "crash@job1" ]
+  in
+  Alcotest.(check int) "quarantine exits 3" 3 code;
+  check_contains "batch" out "\"status\":\"quarantined\""
+
+let test_serve_smoke () =
+  let cmd =
+    Printf.sprintf "printf 'wc\\nanagram cis\\n' | %s serve --backoff-ms 1 2>&1"
+      (Filename.quote exe)
+  in
+  let ic = Unix.open_process_in cmd in
+  let buf = Buffer.create 1024 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  let code =
+    match Unix.close_process_in ic with Unix.WEXITED n -> n | _ -> -1
+  in
+  let out = Buffer.contents buf in
+  Alcotest.(check int) "serve exits clean" 0 code;
+  check_contains "serve" out "\"id\":\"job1\"";
+  check_contains "serve" out "\"id\":\"job2\"";
+  check_contains "serve" out "\"status\":\"done\""
+
 let suite =
   if Sys.file_exists exe then
     [
@@ -82,6 +217,16 @@ let suite =
       Helpers.tc "compare" test_compare;
       Helpers.tc "unknown strategy fails" test_bad_strategy_fails;
       Helpers.tc "missing file fails" test_bad_file_fails;
+      Helpers.tc "exit 0: clean" test_exit_clean;
+      Helpers.tc "exit 1: diagnostics only" test_exit_diagnostics;
+      Helpers.tc "exit 2: budget-degraded" test_exit_degraded;
+      Helpers.tc "exit 2 beats 1 when both" test_exit_degraded_beats_diagnostics;
+      Helpers.tc "exit 1: expected failure" test_exit_expected_failure;
+      Helpers.tc "--format json shape" test_json_format;
+      Helpers.tc "--format json keeps exit code" test_json_format_keeps_exit_code;
+      Helpers.tc "batch smoke" test_batch_smoke;
+      Helpers.tc "batch crash fault exits 3" test_batch_crash_fault_exits_3;
+      Helpers.tc "serve smoke" test_serve_smoke;
     ]
   else
     [ Alcotest.test_case "cli binary not built; skipped" `Quick (fun () -> ()) ]

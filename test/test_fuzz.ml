@@ -1,12 +1,33 @@
 (** Fuzz smoke test: ~200 generated programs through the whole pipeline
     under tight budgets, across all four instances. Nothing may escape —
-    every run must terminate with a result (possibly degraded). Failing
-    seeds are reported so a crash reproduces with
-    [Cgen.generate ~seed ()]. *)
+    every run must terminate with a result (possibly degraded).
+
+    The run is deterministic: seeds are [base_seed .. base_seed+n-1]
+    with a fixed default base, overridable via [STRUCTCAST_FUZZ_SEED].
+    Failures print both the base seed (to re-run the whole suite
+    identically in CI) and the individual failing seeds (to reproduce
+    one crash with [Cgen.generate ~seed ()]). *)
 
 open Helpers
 
 let n_seeds = 200
+
+let base_seed =
+  match Sys.getenv_opt "STRUCTCAST_FUZZ_SEED" with
+  | None | Some "" -> 1
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n -> n
+      | None ->
+          failwith (Printf.sprintf "STRUCTCAST_FUZZ_SEED: not an integer: %S" s))
+
+let fail_with_seeds failures =
+  Alcotest.failf
+    "%d escaping exception(s) (base seed %d; rerun with \
+     STRUCTCAST_FUZZ_SEED=%d):\n\
+     %s"
+    (List.length failures) base_seed base_seed
+    (String.concat "\n" (List.rev failures))
 
 let cfg =
   { Cgen.default with Cgen.n_structs = 4; n_stmts = 20; cast_rate = 0.5 }
@@ -23,7 +44,8 @@ let all_ids = [ "collapse-always"; "collapse-on-cast"; "cis"; "offsets" ]
 
 let test_generated_programs () =
   let failures = ref [] in
-  for seed = 1 to n_seeds do
+  for i = 0 to n_seeds - 1 do
+    let seed = base_seed + i in
     let src = Cgen.generate ~cfg ~seed () in
     List.iter
       (fun id ->
@@ -39,15 +61,13 @@ let test_generated_programs () =
               :: !failures)
       all_ids
   done;
-  if !failures <> [] then
-    Alcotest.failf "%d escaping exception(s):\n%s"
-      (List.length !failures)
-      (String.concat "\n" (List.rev !failures))
+  if !failures <> [] then fail_with_seeds !failures
 
 let test_generated_with_calls () =
   let cfg = { cfg with Cgen.with_calls = true; n_stmts = 15 } in
   let failures = ref [] in
-  for seed = 1 to 50 do
+  for i = 0 to 49 do
+    let seed = base_seed + i in
     let src = Cgen.generate ~cfg ~seed () in
     List.iter
       (fun id ->
@@ -63,17 +83,15 @@ let test_generated_with_calls () =
               :: !failures)
       all_ids
   done;
-  if !failures <> [] then
-    Alcotest.failf "%d escaping exception(s):\n%s"
-      (List.length !failures)
-      (String.concat "\n" (List.rev !failures))
+  if !failures <> [] then fail_with_seeds !failures
 
 (* Truncated generated programs exercise the recovering parser: the only
    acceptable outcomes are a (possibly partial) result or a recorded
    diagnostic — never an escaping exception. *)
 let test_truncated_inputs_recover () =
   let failures = ref [] in
-  for seed = 1 to 50 do
+  for i = 0 to 49 do
+    let seed = base_seed + i in
     let src = Cgen.generate ~cfg ~seed () in
     let cut = String.length src * (1 + (seed mod 3)) / 4 in
     let src = String.sub src 0 cut in
@@ -94,10 +112,7 @@ let test_truncated_inputs_recover () =
           :: !failures);
     ignore (Cfront.Diag.diagnostics diags)
   done;
-  if !failures <> [] then
-    Alcotest.failf "%d escaping exception(s):\n%s"
-      (List.length !failures)
-      (String.concat "\n" (List.rev !failures))
+  if !failures <> [] then fail_with_seeds !failures
 
 let suite =
   [

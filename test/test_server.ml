@@ -1,0 +1,328 @@
+(** Fault-injection tests for the crash-contained supervisor.
+
+    Containment is proved, not hoped for: workers are told to crash,
+    hang, exit, raise, and alloc-bomb on exact (job, attempt) pairs, and
+    the tests assert the supervisor survives, retries per policy
+    (backoff + degradation-rung escalation), and quarantines rather than
+    loops. The kill -9 test drives the real binary: SIGKILL the
+    supervisor mid-batch, resume from the journal, and require the final
+    output to be byte-identical to an uninterrupted run. *)
+
+open Server
+
+let cfg ?(workers = 2) ?(attempts = 3) ?(job_timeout_ms = 5_000)
+    ?(faults = Faults.none) ?journal ?(resume = false) () :
+    Supervisor.config =
+  {
+    Supervisor.workers;
+    max_attempts = attempts;
+    job_timeout_s = float_of_int job_timeout_ms /. 1000.;
+    backoff_base_ms = 1;
+    faults;
+    journal_path = journal;
+    resume;
+  }
+
+let jobs_of specs = List.mapi (fun i s -> Job.make ~idx:(i + 1) s) specs
+
+let plan s =
+  match Faults.parse s with Ok p -> p | Error e -> Alcotest.fail e
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
+let outcome_done = function Supervisor.Done _ -> true | _ -> false
+
+let find_outcome results id =
+  match
+    List.find_opt (fun ((j : Job.t), _) -> j.Job.id = id) results
+  with
+  | Some (_, o) -> o
+  | None -> Alcotest.failf "no outcome for %s" id
+
+let temp_path name =
+  let p = Filename.temp_file "structcast-test" name in
+  Sys.remove p;
+  p
+
+(* ------------------------------------------------------------------ *)
+(* Containment                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_clean_batch () =
+  let results, fleet =
+    Supervisor.run_batch (cfg ()) (jobs_of [ "wc"; "anagram"; "bc"; "li" ])
+  in
+  Alcotest.(check int) "all jobs have outcomes" 4 (List.length results);
+  Alcotest.(check bool) "all done" true
+    (List.for_all (fun (_, o) -> outcome_done o) results);
+  Alcotest.(check int) "fleet completed" 4 fleet.Core.Metrics.completed;
+  Alcotest.(check int) "no crashes" 0 fleet.Core.Metrics.crashes;
+  (* submission order is preserved in results *)
+  Alcotest.(check (list string)) "order" [ "job1"; "job2"; "job3"; "job4" ]
+    (List.map (fun ((j : Job.t), _) -> j.Job.id) results)
+
+let test_crash_retried_then_done () =
+  let results, fleet =
+    Supervisor.run_batch
+      (cfg ~faults:(plan "crash@job2#1") ())
+      (jobs_of [ "wc"; "anagram" ])
+  in
+  (match find_outcome results "job2" with
+  | Supervisor.Done { attempt; rung; degraded; _ } ->
+      Alcotest.(check int) "second attempt" 2 attempt;
+      Alcotest.(check int) "escalated one rung" 1 rung;
+      Alcotest.(check bool) "rung > 0 counts as degraded" true degraded
+  | Supervisor.Quarantined _ -> Alcotest.fail "job2 should have recovered");
+  Alcotest.(check int) "one crash" 1 fleet.Core.Metrics.crashes;
+  Alcotest.(check int) "one retry" 1 fleet.Core.Metrics.retries;
+  Alcotest.(check int) "max rung" 1 fleet.Core.Metrics.max_rung;
+  Alcotest.(check bool) "job1 untouched" true
+    (outcome_done (find_outcome results "job1"))
+
+let test_crash_always_quarantines () =
+  let results, fleet =
+    Supervisor.run_batch
+      (cfg ~faults:(plan "crash@job1") ())
+      (jobs_of [ "wc"; "anagram" ])
+  in
+  (match find_outcome results "job1" with
+  | Supervisor.Quarantined { attempts; reason; _ } ->
+      Alcotest.(check int) "attempt cap honored, no looping" 3 attempts;
+      Alcotest.(check bool) "reason names the signal" true
+        (contains reason "SIGABRT" || contains reason "signal")
+  | Supervisor.Done _ -> Alcotest.fail "job1 should be quarantined");
+  Alcotest.(check int) "three crashes" 3 fleet.Core.Metrics.crashes;
+  Alcotest.(check int) "quarantined" 1 fleet.Core.Metrics.quarantined;
+  (* the supervisor survived and other jobs completed *)
+  Alcotest.(check bool) "job2 done" true
+    (outcome_done (find_outcome results "job2"))
+
+let test_unexpected_exit_contained () =
+  let _, fleet =
+    Supervisor.run_batch
+      (cfg ~faults:(plan "exit@job1#1") ())
+      (jobs_of [ "wc" ])
+  in
+  Alcotest.(check int) "exit counted as crash" 1 fleet.Core.Metrics.crashes;
+  Alcotest.(check int) "completed on retry" 1 fleet.Core.Metrics.completed
+
+let test_hang_killed_and_quarantined () =
+  let results, fleet =
+    Supervisor.run_batch
+      (cfg ~attempts:2 ~job_timeout_ms:300 ~faults:(plan "hang@job1") ())
+      (jobs_of [ "wc"; "anagram" ])
+  in
+  (match find_outcome results "job1" with
+  | Supervisor.Quarantined { reason; _ } ->
+      Alcotest.(check bool) "reason says hang" true
+        (contains reason "hang")
+  | Supervisor.Done _ -> Alcotest.fail "hung job should be quarantined");
+  Alcotest.(check int) "both attempts hung" 2 fleet.Core.Metrics.hangs;
+  Alcotest.(check bool) "sibling unaffected" true
+    (outcome_done (find_outcome results "job2"))
+
+let test_raise_and_allocbomb_contained_in_worker () =
+  (* these faults are caught by the worker itself: a clean error
+     response, no process death *)
+  let _, fleet =
+    Supervisor.run_batch
+      (cfg ~faults:(plan "raise@job1#1,allocbomb@job2#1") ())
+      (jobs_of [ "wc"; "anagram" ])
+  in
+  Alcotest.(check int) "no process deaths" 0 fleet.Core.Metrics.crashes;
+  Alcotest.(check int) "two clean errors" 2 fleet.Core.Metrics.job_errors;
+  Alcotest.(check int) "both recovered" 2 fleet.Core.Metrics.completed
+
+let test_malformed_input_quarantined () =
+  let results, fleet =
+    Supervisor.run_batch (cfg ()) (jobs_of [ "/no/such/input.c"; "wc" ])
+  in
+  (match find_outcome results "job1" with
+  | Supervisor.Quarantined { attempts; _ } ->
+      Alcotest.(check int) "retried per policy, then stopped" 3 attempts
+  | Supervisor.Done _ -> Alcotest.fail "bogus input should be quarantined");
+  Alcotest.(check int) "errors counted" 3 fleet.Core.Metrics.job_errors;
+  Alcotest.(check bool) "supervisor alive, sibling done" true
+    (outcome_done (find_outcome results "job2"))
+
+let test_circuit_breaker () =
+  (* same bad input twice: the second job must fail fast once the first
+     quarantine opens the breaker, not burn its own attempts *)
+  let results, fleet =
+    Supervisor.run_batch
+      (cfg ~workers:1 ())
+      (jobs_of [ "/no/such/input.c"; "/no/such/input.c"; "wc" ])
+  in
+  Alcotest.(check int) "breaker skipped at least one dispatch" 1
+    fleet.Core.Metrics.breaker_skips;
+  (match find_outcome results "job2" with
+  | Supervisor.Quarantined { reason; _ } ->
+      Alcotest.(check bool) "reason names the breaker" true
+        (contains reason "circuit breaker")
+  | Supervisor.Done _ -> Alcotest.fail "job2 should be breaker-quarantined");
+  Alcotest.(check bool) "good input still analyzed" true
+    (outcome_done (find_outcome results "job3"))
+
+(* ------------------------------------------------------------------ *)
+(* Journal: determinism and resume                                     *)
+(* ------------------------------------------------------------------ *)
+
+let outputs results =
+  List.map
+    (fun (_, o) ->
+      match o with
+      | Supervisor.Done { output; _ } -> output
+      | Supervisor.Quarantined { output; _ } -> output)
+    results
+
+let test_journal_replay_identical () =
+  let j = temp_path ".journal" in
+  let specs = [ "wc"; "anagram"; "bc" ] in
+  let r1, _ = Supervisor.run_batch (cfg ~journal:j ()) (jobs_of specs) in
+  (* resume over a fully-finished journal replays everything *)
+  let r2, fleet2 =
+    Supervisor.run_batch (cfg ~journal:j ~resume:true ()) (jobs_of specs)
+  in
+  Alcotest.(check (list string)) "replayed outputs byte-identical"
+    (outputs r1) (outputs r2);
+  Alcotest.(check int) "all replayed, none re-run" 3
+    fleet2.Core.Metrics.replayed;
+  Alcotest.(check int) "nothing executed" 0 fleet2.Core.Metrics.completed;
+  Sys.remove j
+
+let test_journal_tolerates_torn_tail () =
+  let j = temp_path ".journal" in
+  let specs = [ "wc"; "anagram" ] in
+  let r1, _ = Supervisor.run_batch (cfg ~journal:j ()) (jobs_of specs) in
+  (* simulate a torn write: chop the file mid-last-line *)
+  let len = (Unix.stat j).Unix.st_size in
+  let fd = Unix.openfile j [ Unix.O_WRONLY ] 0o644 in
+  Unix.ftruncate fd (len - 7);
+  Unix.close fd;
+  let r2, fleet2 =
+    Supervisor.run_batch (cfg ~journal:j ~resume:true ()) (jobs_of specs)
+  in
+  (* the torn record (job2's done line) is dropped; job2 re-runs and
+     reproduces the same bytes *)
+  Alcotest.(check (list string)) "same outputs after torn-tail recovery"
+    (outputs r1) (outputs r2);
+  Alcotest.(check int) "one job re-ran" 1 fleet2.Core.Metrics.completed;
+  Sys.remove j
+
+(* ------------------------------------------------------------------ *)
+(* kill -9 the real supervisor mid-batch, resume, compare               *)
+(* ------------------------------------------------------------------ *)
+
+let exe = "../bin/structcast.exe"
+
+let batch_args ?faults ?(timeout = "60000") ~journal () =
+  [
+    "batch"; "wc"; "anagram"; "bc"; "li"; "--workers"; "2"; "--backoff-ms";
+    "1"; "--job-timeout-ms"; timeout; "--journal"; journal;
+  ]
+  @ (match faults with Some f -> [ "--faults"; f ] | None -> [])
+
+let run_to_string args =
+  let cmd = Filename.quote_command exe args in
+  let ic = Unix.open_process_in (cmd ^ " 2>/dev/null") in
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  ignore (Unix.close_process_in ic);
+  Buffer.contents buf
+
+let file_contains path needle =
+  Sys.file_exists path
+  &&
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  contains s needle
+
+let test_kill9_resume_byte_identical () =
+  let journal = temp_path ".journal" in
+  let out = temp_path ".out" in
+  (* interrupted run: job4 hangs forever (job timeout far away), so the
+     batch is guaranteed to be mid-flight when we SIGKILL *)
+  let out_fd =
+    Unix.openfile out [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  let argv =
+    Array.of_list (exe :: batch_args ~faults:"hang@job4" ~journal ())
+  in
+  let pid = Unix.create_process exe argv Unix.stdin out_fd Unix.stderr in
+  Unix.close out_fd;
+  (* wait until the first three jobs are journaled as done *)
+  let deadline = Unix.gettimeofday () +. 20.0 in
+  let rec wait_done () =
+    if
+      file_contains journal "\tdone\tjob3\t"
+      && file_contains journal "\tdone\tjob1\t"
+      && file_contains journal "\tdone\tjob2\t"
+    then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.fail "interrupted batch never reached job3"
+    else begin
+      Unix.sleepf 0.05;
+      wait_done ()
+    end
+  in
+  wait_done ();
+  Unix.kill pid Sys.sigkill;
+  ignore (Unix.waitpid [] pid);
+  (* resume (no faults): only job4 should run *)
+  let resumed = run_to_string (batch_args ~journal () @ [ "--resume" ]) in
+  (* uninterrupted reference run, fresh journal *)
+  let journal2 = temp_path ".journal" in
+  let fresh = run_to_string (batch_args ~journal:journal2 ()) in
+  Alcotest.(check string) "resumed output byte-identical to uninterrupted"
+    fresh resumed;
+  (* and the journal proves jobs 1-3 were replayed, not re-run: exactly
+     one running record each *)
+  List.iter
+    (fun id ->
+      Alcotest.(check bool)
+        (id ^ " has a done record")
+        true
+        (file_contains journal ("\tdone\t" ^ id ^ "\t")))
+    [ "job1"; "job2"; "job3"; "job4" ];
+  Sys.remove journal;
+  Sys.remove journal2;
+  Sys.remove out
+
+let tc = Helpers.tc
+
+let in_process =
+  [
+    tc "clean batch completes in order" test_clean_batch;
+    tc "crash retried with rung escalation" test_crash_retried_then_done;
+    tc "persistent crash quarantined at attempt cap"
+      test_crash_always_quarantines;
+    tc "unexpected worker exit contained" test_unexpected_exit_contained;
+    tc "hang killed at job timeout and quarantined"
+      test_hang_killed_and_quarantined;
+    tc "raise/allocbomb contained inside worker"
+      test_raise_and_allocbomb_contained_in_worker;
+    tc "malformed input retried then quarantined"
+      test_malformed_input_quarantined;
+    tc "per-input circuit breaker fails fast" test_circuit_breaker;
+    tc "journal replay is byte-identical" test_journal_replay_identical;
+    tc "journal tolerates a torn trailing line"
+      test_journal_tolerates_torn_tail;
+  ]
+
+let suite =
+  if Sys.file_exists exe then
+    in_process
+    @ [ tc "kill -9 mid-batch, resume byte-identical"
+          test_kill9_resume_byte_identical ]
+  else in_process
