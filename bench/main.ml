@@ -380,6 +380,113 @@ let ext_e_json () =
     ext_e_budgets
 
 (* ------------------------------------------------------------------ *)
+(* Solver engines: difference propagation vs the naive reference       *)
+(* ------------------------------------------------------------------ *)
+
+(* Both engines on the ext-e workload (cast-heavy, 800 statements) for
+   every instance, plus the budgeted Offsets sweep: the delta engine must
+   reach the same fixpoint with strictly fewer statement visits and fewer
+   facts consumed. *)
+
+let solver_run prog strategy budget (engine : Core.Solver.engine) =
+  let t0 = Sys.time () in
+  let solver = Core.Solver.run ~budget ~engine ~strategy prog in
+  let dt = Sys.time () -. t0 in
+  (solver, dt)
+
+type engine_sample = {
+  visits : int;
+  facts : int;
+  copy_edges : int;
+  edges : int;
+  time_s : float;
+}
+
+let sample prog strategy budget engine : engine_sample =
+  let solver, dt = solver_run prog strategy budget engine in
+  {
+    visits = solver.Core.Solver.rounds;
+    facts = solver.Core.Solver.facts_consumed;
+    copy_edges = Core.Solver.copy_edge_count solver;
+    edges = Core.Graph.edge_count solver.Core.Solver.graph;
+    time_s = dt;
+  }
+
+let solver_cases () :
+    (string * Nast.program * (module Core.Strategy.S) * string
+    * Core.Budget.limits)
+    list =
+  let prog = ext_e_prog () in
+  List.map
+    (fun (module S : Core.Strategy.S) ->
+      ( Printf.sprintf "ext-e/%s" S.id,
+        prog,
+        (module S : Core.Strategy.S),
+        "unlimited",
+        Core.Budget.unlimited ))
+    strategies
+  @ List.filter_map
+      (fun (label, budget) ->
+        if label = "unlimited" then None
+        else
+          Some
+            ( Printf.sprintf "ext-e/offsets[%s]" label,
+              prog,
+              (module Core.Offsets : Core.Strategy.S),
+              label,
+              budget ))
+      ext_e_budgets
+
+let solver () =
+  header
+    "Solver engines: difference propagation (delta) vs naive reference\n\
+     on the ext-e workload — same fixpoint, fewer visits and fewer facts";
+  Printf.printf "%-26s %9s %9s %6s | %11s %11s %6s | %6s\n" "case" "visits"
+    "visits" "ratio" "facts" "facts" "ratio" "equal";
+  Printf.printf "%-26s %9s %9s %6s | %11s %11s %6s |\n" "" "(delta)" "(naive)"
+    "" "(delta)" "(naive)" "";
+  line ();
+  List.iter
+    (fun (label, prog, strategy, _, budget) ->
+      let d = sample prog strategy budget `Delta in
+      let n = sample prog strategy budget `Naive in
+      let ratio a b =
+        if b = 0 then 0.0 else float_of_int a /. float_of_int b
+      in
+      (* identical fixpoints only hold for unbudgeted runs: engines trip
+         budgets at different points, degrading different objects *)
+      let same =
+        if budget = Core.Budget.unlimited then
+          if d.edges = n.edges then "yes" else "NO!"
+        else "-"
+      in
+      Printf.printf "%-26s %9d %9d %6.2f | %11d %11d %6.2f | %6s\n" label
+        d.visits n.visits (ratio d.visits n.visits) d.facts n.facts
+        (ratio d.facts n.facts) same)
+    (solver_cases ())
+
+(* Same sweep as JSON lines — the CI artifact (BENCH_solver.json). *)
+let solver_json () =
+  List.iter
+    (fun (label, prog, (module S : Core.Strategy.S), budget_label, budget) ->
+      let d = sample prog (module S : Core.Strategy.S) budget `Delta in
+      let n = sample prog (module S : Core.Strategy.S) budget `Naive in
+      let ratio a b =
+        if b = 0 then 0.0 else float_of_int a /. float_of_int b
+      in
+      Printf.printf
+        "{\"case\":%s,\"strategy\":%s,\"budget\":%s,\"delta\":{\"visits\":%d,\
+         \"facts\":%d,\"copy_edges\":%d,\"edges\":%d,\"time_s\":%.4f},\
+         \"naive\":{\"visits\":%d,\"facts\":%d,\"edges\":%d,\"time_s\":%.4f},\
+         \"visit_ratio\":%.4f,\"fact_ratio\":%.4f,\"time_ratio\":%.4f}\n"
+        (Core.Report.quote label) (Core.Report.quote S.id)
+        (Core.Report.quote budget_label) d.visits d.facts d.copy_edges d.edges
+        d.time_s n.visits n.facts n.edges n.time_s
+        (ratio d.visits n.visits) (ratio d.facts n.facts)
+        (if n.time_s > 0.0 then d.time_s /. n.time_s else 0.0))
+    (solver_cases ())
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per figure                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -502,6 +609,8 @@ let sections : (string * (unit -> unit)) list =
     ("ext-d", ext_d);
     ("ext-e", ext_e);
     ("ext-e-json", ext_e_json);
+    ("solver", solver);
+    ("solver-json", solver_json);
     ("bechamel", bechamel);
     ("csv", csv);
   ]

@@ -49,6 +49,11 @@ let layout_of_name = function
   | "word16" -> Layout.word16
   | s -> failwith (Printf.sprintf "unknown layout %s (ilp32|lp64|word16)" s)
 
+let engine_of_name : string -> Core.Solver.engine = function
+  | "delta" -> `Delta
+  | "naive" -> `Naive
+  | s -> failwith (Printf.sprintf "unknown engine %s (delta|naive)" s)
+
 let strategy_of_name name : (module Core.Strategy.S) =
   match Core.Analysis.strategy_of_id name with
   | Some s -> s
@@ -162,6 +167,11 @@ let print_metrics name (r : Core.Analysis.result) =
   Fmt.pr "resolve calls:        %d (%.1f%% struct, %.1f%% of those mismatch)@."
     m.Core.Metrics.resolve_calls f.Core.Actx.pct_resolve_struct
     f.Core.Actx.pct_resolve_mismatch;
+  Fmt.pr "solver engine:        %s@." m.Core.Metrics.engine;
+  Fmt.pr "solver visits:        %d@." m.Core.Metrics.solver_visits;
+  Fmt.pr "facts consumed:       %d (delta %d of %d full; %d copy edges)@."
+    m.Core.Metrics.facts_consumed m.Core.Metrics.delta_facts
+    m.Core.Metrics.full_facts m.Core.Metrics.copy_edges;
   Fmt.pr "analysis time:        %.4f s@." r.Core.Analysis.time_s;
   if m.Core.Metrics.unknown_externs <> [] then
     Fmt.pr "unknown externs:      %s@."
@@ -226,12 +236,13 @@ let print_dot_callgraph (r : Core.Analysis.result) =
     (Clients.Queries.call_graph q);
   Fmt.pr "}@."
 
-let analyze_cmd spec strategy layout what var budget format =
+let analyze_cmd spec strategy layout what var budget engine format =
   let layout = layout_of_name layout in
   let diags = Diag.create () in
   let name, prog = compile_spec ~layout ~diags spec in
   let r =
     Core.Analysis.run ~layout ~budget
+      ~engine:(engine_of_name engine)
       ~strategy:(strategy_of_name strategy)
       prog
   in
@@ -567,6 +578,14 @@ let budget_term =
     const limits_of_flags $ max_steps_arg $ timeout_ms_arg
     $ max_cells_per_object_arg $ max_total_cells_arg)
 
+let engine_arg =
+  Arg.(
+    value & opt string "delta"
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Solver engine: delta (difference propagation, default) or naive \
+           (reference full-reread worklist; same fixpoint, more work).")
+
 let format_arg =
   Arg.(
     value & opt string "text"
@@ -668,14 +687,15 @@ let wrap f =
       3
 
 let analyze_t =
-  let run spec strategy layout what var budget format =
-    wrap (fun () -> analyze_cmd spec strategy layout what var budget format)
+  let run spec strategy layout what var budget engine format =
+    wrap (fun () ->
+        analyze_cmd spec strategy layout what var budget engine format)
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Analyze a C file with one framework instance.")
     Term.(
       const run $ spec_arg $ strategy_arg $ layout_arg $ print_arg $ var_arg
-      $ budget_term $ format_arg)
+      $ budget_term $ engine_arg $ format_arg)
 
 let compare_t =
   let run spec layout budget = wrap (fun () -> compare_cmd spec layout budget) in

@@ -29,10 +29,10 @@ type result = {
 }
 
 (** Analyze a normalized program with the given strategy. *)
-let run ?(layout = Layout.default) ?budget ~strategy (prog : Nast.program) :
-    result =
+let run ?(layout = Layout.default) ?budget ?engine ~strategy
+    (prog : Nast.program) : result =
   let t0 = Unix_time.now () in
-  let solver = Solver.run ~layout ?budget ~strategy prog in
+  let solver = Solver.run ~layout ?budget ?engine ~strategy prog in
   let time_s = Unix_time.now () -. t0 in
   {
     solver;
@@ -43,10 +43,10 @@ let run ?(layout = Layout.default) ?budget ~strategy (prog : Nast.program) :
   }
 
 (** Parse, type-check, lower, and analyze a C source string. *)
-let run_source ?(layout = Layout.default) ?defines ?resolve ?budget ?diags
-    ~strategy ~file src : result =
+let run_source ?(layout = Layout.default) ?defines ?resolve ?budget ?engine
+    ?diags ~strategy ~file src : result =
   let prog = Lower.compile ~layout ?defines ?resolve ?diags ~file src in
-  let r = run ~layout ?budget ~strategy prog in
+  let r = run ~layout ?budget ?engine ~strategy prog in
   match diags with
   | Some d -> { r with diags = Diag.diagnostics d }
   | None -> r

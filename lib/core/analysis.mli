@@ -29,18 +29,22 @@ type result = {
 val run :
   ?layout:Layout.config ->
   ?budget:Budget.limits ->
+  ?engine:Solver.engine ->
   strategy:(module Strategy.S) ->
   Nast.program ->
   result
 (** Analyze a normalized program. The default budget is
     {!Budget.unlimited}; pass {!Budget.default} (or custom limits) to
-    bound the solve and degrade precision instead of diverging. *)
+    bound the solve and degrade precision instead of diverging. The
+    default engine is [`Delta]; [`Naive] selects the reference
+    full-reread worklist (same fixpoint, more work). *)
 
 val run_source :
   ?layout:Layout.config ->
   ?defines:(string * string) list ->
   ?resolve:(string -> string option) ->
   ?budget:Budget.limits ->
+  ?engine:Solver.engine ->
   ?diags:Diag.ctx ->
   strategy:(module Strategy.S) ->
   file:string ->

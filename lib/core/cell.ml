@@ -4,17 +4,64 @@
     Offsets instance uses byte offsets ({!constructor:Off}); the portable
     instances use normalized field paths ({!constructor:Path}) — the
     Collapse-Always instance always uses the empty path. A single points-to
-    graph never mixes selectors from different strategies. *)
+    graph never mixes selectors from different strategies.
+
+    Cells are hash-consed: {!v} interns every (object, selector) pair and
+    stamps it with a dense integer {!field:cid}, so equality is one int
+    compare, hashing is free, and {!Graph} can represent points-to sets as
+    compact sorted id arrays ({!Idset}) instead of balanced trees. The
+    intern table is process-global (ids are never reused); cells of
+    finished runs stay interned, which trades a modest arena for O(1)
+    identity everywhere. *)
 
 open Cfront
 
 type sel = Path of Ctype.path | Off of int
 
-type t = { base : Cvar.t; sel : sel }
+type t = { cid : int; base : Cvar.t; sel : sel }
 
-let v base sel = { base; sel }
+(* ------------------------------------------------------------------ *)
+(* Interning                                                           *)
+(* ------------------------------------------------------------------ *)
 
-let whole base = { base; sel = Path [] }
+(* Keyed by (vid, selector): Cvar identity is its vid, and selector
+   equality is structural, so polymorphic hash/equal are exact. *)
+let intern_tbl : (int * sel, t) Hashtbl.t = Hashtbl.create 4096
+
+let by_id : t option array ref = ref (Array.make 1024 None)
+
+let interned = ref 0
+
+let v base sel =
+  let key = (base.Cvar.vid, sel) in
+  match Hashtbl.find_opt intern_tbl key with
+  | Some c -> c
+  | None ->
+      let c = { cid = !interned; base; sel } in
+      Hashtbl.replace intern_tbl key c;
+      if !interned = Array.length !by_id then begin
+        let arr = Array.make (2 * !interned) None in
+        Array.blit !by_id 0 arr 0 !interned;
+        by_id := arr
+      end;
+      !by_id.(!interned) <- Some c;
+      incr interned;
+      c
+
+let whole base = v base (Path [])
+
+let id c = c.cid
+
+let of_id i =
+  match !by_id.(i) with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "Cell.of_id: %d not interned" i)
+
+let interned_count () = !interned
+
+(* ------------------------------------------------------------------ *)
+(* Ordering, equality, printing                                        *)
+(* ------------------------------------------------------------------ *)
 
 let compare_sel a b =
   match (a, b) with
@@ -23,16 +70,16 @@ let compare_sel a b =
   | Path _, Off _ -> -1
   | Off _, Path _ -> 1
 
+(* Semantic order (object, then selector) — stable for display and for
+   comparing cells across solver runs; [cid] order is interning order. *)
 let compare a b =
   match Cvar.compare a.base b.base with
   | 0 -> compare_sel a.sel b.sel
   | c -> c
 
-let equal a b = compare a b = 0
+let equal a b = a.cid = b.cid
 
-let hash a =
-  let selh = match a.sel with Path p -> Hashtbl.hash p | Off i -> i * 31 in
-  (Cvar.hash a.base * 65599) + selh
+let hash a = a.cid
 
 let pp ppf c =
   match c.sel with

@@ -3,20 +3,39 @@
     A cell is a storage object plus a selector. The Offsets instance uses
     byte offsets; the portable instances use normalized field paths (the
     Collapse-Always instance always the empty path). A single points-to
-    graph never mixes selectors from different strategies. *)
+    graph never mixes selectors from different strategies.
+
+    Cells are hash-consed: {!v} interns every (object, selector) pair and
+    stamps it with a dense integer id, making equality an int compare and
+    letting {!Graph} keep points-to sets as compact id arrays. The intern
+    table is process-global and append-only; ids are never reused. *)
 
 open Cfront
 
 type sel = Path of Ctype.path | Off of int
 
-type t = { base : Cvar.t; sel : sel }
+type t = private { cid : int; base : Cvar.t; sel : sel }
 
 val v : Cvar.t -> sel -> t
+(** Intern (and return) the cell for this object and selector. Physically
+    equal cells are returned for equal arguments. *)
 
 val whole : Cvar.t -> t
 (** The whole-object cell [{base; sel = Path []}]. *)
 
+val id : t -> int
+(** The dense interned id ([cid]); assigned in interning order. *)
+
+val of_id : int -> t
+(** Inverse of {!id}.
+    @raise Invalid_argument on an id no cell was interned with. *)
+
+val interned_count : unit -> int
+(** Cells interned so far, process-wide (= the id universe bound). *)
+
 val compare : t -> t -> int
+(** Semantic order: by object, then selector — stable across runs, unlike
+    interning order. *)
 
 val equal : t -> t -> bool
 

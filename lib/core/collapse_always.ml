@@ -13,6 +13,8 @@ let id = "collapse-always"
 
 let portable = true
 
+let graph_resolve = false
+
 let normalize _ctx (s : Cvar.t) (_alpha : Ctype.path) : Cell.t = Cell.whole s
 
 let lookup ctx (tau : Ctype.t) (_alpha : Ctype.path) (target : Cell.t) :

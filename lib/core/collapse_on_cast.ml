@@ -11,6 +11,8 @@ let id = "collapse-on-cast"
 
 let portable = true
 
+let graph_resolve = false
+
 let normalize _ctx (s : Cvar.t) (alpha : Ctype.path) : Cell.t =
   Cell.v s (Cell.Path (Strategy.normalize_path s.Cvar.vty alpha))
 

@@ -12,6 +12,8 @@ let id = "cis"
 
 let portable = true
 
+let graph_resolve = false
+
 let normalize _ctx (s : Cvar.t) (alpha : Ctype.path) : Cell.t =
   Cell.v s (Cell.Path (Strategy.normalize_path s.Cvar.vty alpha))
 

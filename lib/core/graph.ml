@@ -1,89 +1,186 @@
 (** The points-to graph: a finite map from cells to sets of cells.
 
-    An edge [c → w] is the paper's [pointsTo(c, w)]. An index from base
-    objects to the cells of that object carrying outgoing edges supports
-    the Offsets instance's range-restricted [resolve]. *)
+    An edge [c → w] is the paper's [pointsTo(c, w)]. Internally both
+    sides are interned cell ids ({!Cell.id}) and every set is a compact
+    sorted id array ({!Idset}) whose insertion-order log doubles as the
+    delta queue the solver's difference propagation consumes. An index
+    from base objects to the cells of that object carrying outgoing edges
+    supports the Offsets instance's range-restricted [resolve]. *)
 
 open Cfront
 
+module Itbl = Hashtbl.Make (Int)
+
 type t = {
-  edges : Cell.Set.t ref Cell.Tbl.t;
-  by_obj : Cell.Set.t ref Cvar.Tbl.t;  (** cells of an object with facts *)
+  edges : Idset.t Itbl.t;  (** source cell id → target id set (never empty) *)
+  by_obj : Idset.t Cvar.Tbl.t;
+      (** object → ids of its cells with facts (entries dropped when they
+          empty, so [fold_objects] never visits a fact-free object) *)
   mutable edge_count : int;
 }
 
 let create () =
-  { edges = Cell.Tbl.create 256; by_obj = Cvar.Tbl.create 64; edge_count = 0 }
+  { edges = Itbl.create 256; by_obj = Cvar.Tbl.create 64; edge_count = 0 }
+
+let to_set (s : Idset.t) : Cell.Set.t =
+  Idset.fold (fun i acc -> Cell.Set.add (Cell.of_id i) acc) s Cell.Set.empty
 
 let pts g (c : Cell.t) : Cell.Set.t =
-  match Cell.Tbl.find_opt g.edges c with
-  | Some s -> !s
+  match Itbl.find_opt g.edges (Cell.id c) with
+  | Some s -> to_set s
   | None -> Cell.Set.empty
+
+(** The target id set of [c], if it has one. The set is live (it grows as
+    edges land) and append-ordered — cursors into it stay valid. *)
+let pts_ids g (c : Cell.t) : Idset.t option = Itbl.find_opt g.edges (Cell.id c)
+
+let pts_size g (c : Cell.t) : int =
+  match Itbl.find_opt g.edges (Cell.id c) with
+  | Some s -> Idset.cardinal s
+  | None -> 0
+
+(** Does [c] currently carry any outgoing edge? *)
+let has_source g (c : Cell.t) : bool = Itbl.mem g.edges (Cell.id c)
 
 (** Add edge [c → w]; returns [true] if the edge is new. *)
 let add_edge g (c : Cell.t) (w : Cell.t) : bool =
+  let cid = Cell.id c in
   let set =
-    match Cell.Tbl.find_opt g.edges c with
+    match Itbl.find_opt g.edges cid with
     | Some s -> s
     | None ->
-        let s = ref Cell.Set.empty in
-        Cell.Tbl.replace g.edges c s;
+        let s = Idset.create () in
+        Itbl.replace g.edges cid s;
         s
   in
-  if Cell.Set.mem w !set then false
-  else begin
-    set := Cell.Set.add w !set;
+  if Idset.add set (Cell.id w) then begin
     g.edge_count <- g.edge_count + 1;
     let idx =
       match Cvar.Tbl.find_opt g.by_obj c.Cell.base with
       | Some s -> s
       | None ->
-          let s = ref Cell.Set.empty in
+          let s = Idset.create () in
           Cvar.Tbl.replace g.by_obj c.Cell.base s;
           s
     in
-    idx := Cell.Set.add c !idx;
+    ignore (Idset.add idx cid);
     true
   end
+  else false
 
 (** Drop a source cell and its outgoing edges (degradation: the cell's
-    facts live on its collapsed representative from now on). *)
+    facts live on its collapsed representative from now on). The per-object
+    index entry is dropped when its last fact-bearing cell goes, so
+    [fold_objects]/[cell_count_of_obj] never see a stale empty object. *)
 let remove_source g (c : Cell.t) : unit =
-  (match Cell.Tbl.find_opt g.edges c with
-  | Some s ->
-      g.edge_count <- g.edge_count - Cell.Set.cardinal !s;
-      Cell.Tbl.remove g.edges c
-  | None -> ());
-  match Cvar.Tbl.find_opt g.by_obj c.Cell.base with
-  | Some s -> s := Cell.Set.remove c !s
+  let cid = Cell.id c in
+  match Itbl.find_opt g.edges cid with
   | None -> ()
+  | Some s ->
+      g.edge_count <- g.edge_count - Idset.cardinal s;
+      Itbl.remove g.edges cid;
+      (match Cvar.Tbl.find_opt g.by_obj c.Cell.base with
+      | Some idx ->
+          (* Idset has no removal (cursors must stay valid), so rebuild
+             the small per-object index without [c]. *)
+          let remaining =
+            Idset.fold
+              (fun i acc -> if i = cid then acc else i :: acc)
+              idx []
+          in
+          if remaining = [] then Cvar.Tbl.remove g.by_obj c.Cell.base
+          else begin
+            let fresh = Idset.create ~cap:(List.length remaining) () in
+            List.iter (fun i -> ignore (Idset.add fresh i)) (List.rev remaining);
+            Cvar.Tbl.replace g.by_obj c.Cell.base fresh
+          end
+      | None -> ())
 
-(** Cells of [obj] that have at least one outgoing edge. *)
+(** Cells of [obj] that have at least one outgoing edge, in the order the
+    cells first gained facts. *)
 let cells_of_obj g (obj : Cvar.t) : Cell.t list =
   match Cvar.Tbl.find_opt g.by_obj obj with
-  | Some s -> Cell.Set.elements !s
+  | Some s -> List.rev (Idset.fold (fun i acc -> Cell.of_id i :: acc) s [])
   | None -> []
 
 (** Number of distinct cells of [obj] carrying outgoing edges. *)
 let cell_count_of_obj g (obj : Cvar.t) : int =
   match Cvar.Tbl.find_opt g.by_obj obj with
-  | Some s -> Cell.Set.cardinal !s
+  | Some s -> Idset.cardinal s
   | None -> 0
 
 (** Number of distinct cells carrying outgoing edges, over all objects. *)
-let source_cell_count g : int = Cell.Tbl.length g.edges
+let source_cell_count g : int = Itbl.length g.edges
 
 (** Fold over objects that carry facts, with their fact-bearing cells. *)
 let fold_objects g f init =
-  Cvar.Tbl.fold (fun v s acc -> f v !s acc) g.by_obj init
+  Cvar.Tbl.fold (fun v s acc -> f v (to_set s) acc) g.by_obj init
 
 let edge_count g = g.edge_count
 
 let iter_edges g f =
-  Cell.Tbl.iter (fun c s -> Cell.Set.iter (fun w -> f c w) !s) g.edges
+  Itbl.iter
+    (fun cid s ->
+      let c = Cell.of_id cid in
+      Idset.iter (fun wid -> f c (Cell.of_id wid)) s)
+    g.edges
 
 let fold_sources g f init =
-  Cell.Tbl.fold (fun c s acc -> f c !s acc) g.edges init
+  Itbl.fold (fun cid s acc -> f (Cell.of_id cid) (to_set s) acc) g.edges init
+
+(** Audit the bookkeeping: [edge_count] equals the summed set cardinals,
+    no stored set is empty, and the per-object index lists exactly the
+    fact-bearing cells. Returns the offending description, or [None]. *)
+let check_counts g : string option =
+  let summed = Itbl.fold (fun _ s acc -> acc + Idset.cardinal s) g.edges 0 in
+  if summed <> g.edge_count then
+    Some
+      (Printf.sprintf "edge_count drift: counter %d, summed %d" g.edge_count
+         summed)
+  else if Itbl.fold (fun _ s acc -> acc || Idset.is_empty s) g.edges false then
+    Some "empty points-to set retained in edges"
+  else
+    let indexed =
+      Cvar.Tbl.fold (fun _ s acc -> acc + Idset.cardinal s) g.by_obj 0
+    in
+    if indexed <> Itbl.length g.edges then
+      Some
+        (Printf.sprintf "by_obj index drift: %d indexed, %d sources" indexed
+           (Itbl.length g.edges))
+    else if
+      Cvar.Tbl.fold
+        (fun _ s acc -> acc || Idset.is_empty s)
+        g.by_obj false
+    then Some "empty per-object index entry retained"
+    else if
+      Itbl.fold
+        (fun cid _ acc ->
+          acc
+          ||
+          match Cvar.Tbl.find_opt g.by_obj (Cell.of_id cid).Cell.base with
+          | Some idx -> not (Idset.mem idx cid)
+          | None -> true)
+        g.edges false
+    then Some "source cell missing from by_obj index"
+    else None
+
+let sorted_pairs g =
+  let pairs =
+    fold_sources g
+      (fun c s acc -> Cell.Set.fold (fun w acc -> (c, w) :: acc) s acc)
+      []
+  in
+  List.sort
+    (fun (a1, a2) (b1, b2) ->
+      match Cell.compare a1 b1 with 0 -> Cell.compare a2 b2 | c -> c)
+    pairs
+
+(** Edge-set equality (order-independent), by semantic cell identity. *)
+let equal a b =
+  a.edge_count = b.edge_count
+  && List.equal
+       (fun (a1, a2) (b1, b2) -> Cell.equal a1 b1 && Cell.equal a2 b2)
+       (sorted_pairs a) (sorted_pairs b)
 
 let pp ppf g =
   let entries = fold_sources g (fun c s acc -> (c, s) :: acc) [] in

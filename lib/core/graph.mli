@@ -1,13 +1,25 @@
 (** The points-to graph: a finite map from cells to sets of cells.
 
-    An edge [c → w] is the paper's [pointsTo(c, w)]. *)
+    An edge [c → w] is the paper's [pointsTo(c, w)]. Sets are compact
+    interned-id arrays ({!Idset}) whose insertion-order log is the delta
+    queue difference propagation consumes. *)
 
 type t
 
 val create : unit -> t
 
 val pts : t -> Cell.t -> Cell.Set.t
-(** Current points-to set of a cell (empty if none). *)
+(** Current points-to set of a cell (empty if none). Materializes a
+    balanced set — use {!pts_ids} on hot paths. *)
+
+val pts_ids : t -> Cell.t -> Idset.t option
+(** The cell's live target id set, if it has one. Append-ordered:
+    cursors into it ({!Idset.get_ord}) stay valid as the set grows. *)
+
+val pts_size : t -> Cell.t -> int
+
+val has_source : t -> Cell.t -> bool
+(** Does this cell currently carry at least one outgoing edge? *)
 
 val add_edge : t -> Cell.t -> Cell.t -> bool
 (** Add an edge; [true] iff it is new. *)
@@ -15,11 +27,13 @@ val add_edge : t -> Cell.t -> Cell.t -> bool
 val remove_source : t -> Cell.t -> unit
 (** Drop a source cell and its outgoing edges. Used when degradation
     merges a cell's facts onto its collapsed representative, so stale
-    fine-grained entries don't linger in reports. *)
+    fine-grained entries don't linger in reports. Drops the per-object
+    index entry when the object's last fact-bearing cell goes. *)
 
 val cells_of_obj : t -> Cfront.Cvar.t -> Cell.t list
 (** Cells of an object that have at least one outgoing edge — supports
-    the Offsets instance's range-restricted [resolve]. *)
+    the Offsets instance's range-restricted [resolve]. Ordered by when
+    each cell first gained facts. *)
 
 val cell_count_of_obj : t -> Cfront.Cvar.t -> int
 (** Number of distinct cells of an object carrying outgoing edges —
@@ -30,12 +44,23 @@ val source_cell_count : t -> int
 
 val fold_objects :
   t -> (Cfront.Cvar.t -> Cell.Set.t -> 'a -> 'a) -> 'a -> 'a
-(** Fold over objects carrying facts, with their fact-bearing cells. *)
+(** Fold over objects carrying facts, with their fact-bearing cells.
+    Objects whose cells were all removed are not visited. *)
 
 val edge_count : t -> int
 
 val iter_edges : t -> (Cell.t -> Cell.t -> unit) -> unit
 
 val fold_sources : t -> (Cell.t -> Cell.Set.t -> 'a -> 'a) -> 'a -> 'a
+
+val check_counts : t -> string option
+(** Audit the bookkeeping invariants: [edge_count] equals the summed set
+    cardinals, no retained set is empty, and the per-object index lists
+    exactly the fact-bearing cells. [None] when consistent; otherwise a
+    description of the first violation found. *)
+
+val equal : t -> t -> bool
+(** Edge-set equality, order-independent, by semantic cell identity —
+    the differential (delta vs naive) test's notion of "same result". *)
 
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,92 @@
+(** Compact sets of interned cell ids: the points-to set representation
+    behind {!Graph}.
+
+    Two parallel dynamic arrays back each set: [srt] keeps the member ids
+    sorted (O(log n) membership, O(n) insertion by blit — points-to sets
+    are small and cache-friendly), and [ord] keeps them in insertion
+    order. Because a set only ever grows, the insertion-order array is an
+    append-only log: a suffix [ord[k ..]] is exactly "the facts added
+    since cursor [k]", which is what the delta-propagation solver consumes
+    ({!iter_from}, {!get_ord}). *)
+
+type t = {
+  mutable srt : int array;  (** sorted member ids, first [len] entries *)
+  mutable ord : int array;  (** same ids in insertion order *)
+  mutable len : int;
+}
+
+let create ?(cap = 4) () =
+  let cap = max cap 1 in
+  { srt = Array.make cap (-1); ord = Array.make cap (-1); len = 0 }
+
+let cardinal s = s.len
+
+let is_empty s = s.len = 0
+
+(* Index of the first sorted entry >= x (= s.len when none). *)
+let lower_bound s x =
+  let lo = ref 0 and hi = ref s.len in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if s.srt.(mid) < x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let mem s x =
+  let i = lower_bound s x in
+  i < s.len && s.srt.(i) = x
+
+let grow s =
+  if s.len = Array.length s.srt then begin
+    let cap = 2 * Array.length s.srt in
+    let srt = Array.make cap (-1) and ord = Array.make cap (-1) in
+    Array.blit s.srt 0 srt 0 s.len;
+    Array.blit s.ord 0 ord 0 s.len;
+    s.srt <- srt;
+    s.ord <- ord
+  end
+
+(** Add [x]; [true] iff it was not already a member. *)
+let add s x =
+  let i = lower_bound s x in
+  if i < s.len && s.srt.(i) = x then false
+  else begin
+    grow s;
+    Array.blit s.srt i s.srt (i + 1) (s.len - i);
+    s.srt.(i) <- x;
+    s.ord.(s.len) <- x;
+    s.len <- s.len + 1;
+    true
+  end
+
+(** The [i]-th member in insertion order. Stable under later additions,
+    so an integer cursor into a set never invalidates. *)
+let get_ord s i = s.ord.(i)
+
+(** Iterate members in insertion order. *)
+let iter f s =
+  for i = 0 to s.len - 1 do
+    f s.ord.(i)
+  done
+
+(** Iterate the members added at or after cursor [k] (insertion order).
+    Additions made by [f] itself are *not* visited — the caller re-reads
+    [cardinal] to pick up the new tail. *)
+let iter_from k f s =
+  let stop = s.len in
+  for i = k to stop - 1 do
+    f s.ord.(i)
+  done
+
+let fold f s init =
+  let acc = ref init in
+  for i = 0 to s.len - 1 do
+    acc := f s.ord.(i) !acc
+  done;
+  !acc
+
+(** Members in ascending id order. *)
+let elements s = Array.to_list (Array.sub s.srt 0 s.len)
+
+let copy s =
+  { srt = Array.copy s.srt; ord = Array.copy s.ord; len = s.len }

@@ -1,0 +1,37 @@
+(** Compact sets of interned cell ids: sorted int arrays for membership,
+    plus an insertion-order append log so a plain integer cursor names
+    "everything added since my last visit" — the delta-propagation
+    solver's unit of work. *)
+
+type t
+
+val create : ?cap:int -> unit -> t
+
+val cardinal : t -> int
+
+val is_empty : t -> bool
+
+val mem : t -> int -> bool
+
+val add : t -> int -> bool
+(** Add an id; [true] iff it is new. Sets only grow — there is no
+    removal, which is what makes cursors into {!get_ord} stable. *)
+
+val get_ord : t -> int -> int
+(** The [i]-th member in insertion order, [0 <= i < cardinal]. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Insertion order. *)
+
+val iter_from : int -> (int -> unit) -> t -> unit
+(** [iter_from k f s] visits the members added at or after cursor [k],
+    in insertion order. Additions made by [f] itself are not visited;
+    re-read [cardinal] to pick up the new tail. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+(** Insertion order. *)
+
+val elements : t -> int list
+(** Ascending id order. *)
+
+val copy : t -> t

@@ -59,6 +59,15 @@ type summary = {
   degraded : Budget.event list;
       (** which objects were collapsed under budget pressure, why, and
           when; empty for a full-precision run *)
+  engine : string;  (** ["delta"] or ["naive"] *)
+  solver_visits : int;  (** statement visits the worklist dispatched *)
+  facts_consumed : int;
+      (** facts read by rule visits plus facts pushed along copy edges *)
+  delta_facts : int;  (** facts rule visits actually iterated *)
+  full_facts : int;
+      (** set sizes those visits would have re-read naively; the
+          [delta_facts]/[full_facts] ratio is the delta engine's win *)
+  copy_edges : int;  (** subset-constraint edges installed (delta only) *)
 }
 
 let summarize (solver : Solver.t) : summary =
@@ -91,6 +100,13 @@ let summarize (solver : Solver.t) : summary =
     corrupt_derefs;
     unknown_externs = solver.Solver.unknown_externs;
     degraded = Budget.events solver.Solver.budget;
+    engine =
+      (match solver.Solver.engine with `Delta -> "delta" | `Naive -> "naive");
+    solver_visits = solver.Solver.rounds;
+    facts_consumed = solver.Solver.facts_consumed;
+    delta_facts = solver.Solver.delta_facts;
+    full_facts = solver.Solver.full_facts;
+    copy_edges = Solver.copy_edge_count solver;
   }
 
 (* ------------------------------------------------------------------ *)

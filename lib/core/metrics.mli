@@ -34,6 +34,15 @@ type summary = {
   degraded : Budget.event list;
       (** which objects were collapsed under budget pressure, why, and
           when; empty for a full-precision run *)
+  engine : string;  (** ["delta"] or ["naive"] *)
+  solver_visits : int;  (** statement visits the worklist dispatched *)
+  facts_consumed : int;
+      (** facts read by rule visits plus facts pushed along copy edges *)
+  delta_facts : int;  (** facts rule visits actually iterated *)
+  full_facts : int;
+      (** set sizes those visits would have re-read naively; the
+          [delta_facts]/[full_facts] ratio is the delta engine's win *)
+  copy_edges : int;  (** subset-constraint edges installed (delta only) *)
 }
 
 val summarize : Solver.t -> summary

@@ -17,6 +17,10 @@ let id = "offsets"
 
 let portable = false
 
+(* [resolve] pairs only source offsets that carry facts, so its pair set
+   grows with the graph. *)
+let graph_resolve = true
+
 let obj_size ctx (obj : Cvar.t) : int =
   match Layout.size_of ctx.Actx.layout obj.Cvar.vty with
   | n -> max n 1

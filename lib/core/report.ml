@@ -68,6 +68,12 @@ let json_of_result ?(timing = true) ~name (r : Analysis.result) : string =
   field ",\"lookup_calls\":%d" m.Metrics.lookup_calls;
   field ",\"resolve_calls\":%d" m.Metrics.resolve_calls;
   field ",\"corrupt_derefs\":%d" m.Metrics.corrupt_derefs;
+  field ",\"engine\":%s" (quote m.Metrics.engine);
+  field ",\"solver_visits\":%d" m.Metrics.solver_visits;
+  field ",\"facts_consumed\":%d" m.Metrics.facts_consumed;
+  field ",\"delta_facts\":%d" m.Metrics.delta_facts;
+  field ",\"full_facts\":%d" m.Metrics.full_facts;
+  field ",\"copy_edges\":%d" m.Metrics.copy_edges;
   field ",\"unknown_externs\":[%s]"
     (String.concat "," (List.map quote m.Metrics.unknown_externs));
   field ",\"degraded\":[%s]"

@@ -9,10 +9,27 @@
     pointer's points-to set as it grows. Library calls use
     {!Norm.Summaries}.
 
-    Worklist discipline: a statement is (re)processed when any object whose
-    facts it reads gains an edge. Statements subscribe to objects
-    dynamically (e.g. a [Load] subscribes to every object its pointer is
-    found to point to).
+    Two engines share the rule code:
+
+    - [`Delta] (default) — difference propagation. A statement visit
+      consumes only the facts added to the pointer cells it reads since
+      its last visit (an integer cursor into each {!Idset} append log),
+      and [lookup]/[resolve] run on that delta only. The fact *transfers*
+      a resolve derives become persistent copy edges (subset constraints)
+      between cells; a cell-level worklist pushes each new fact along its
+      out-edges exactly once, so a fact is never re-read by a statement
+      that already produced it. Statements are only revisited when a cell
+      they consume gains facts, or — for the Offsets instance, whose
+      [resolve] pair set depends on which source cells carry facts
+      ([Strategy.S.graph_resolve]) — when a subscribed object gains a new
+      fact-bearing cell, which resets the statement's cursors so its
+      resolves re-run over the full sets.
+
+    - [`Naive] — the reference engine: a statement worklist that re-reads
+      entire points-to sets on every visit (statements subscribe to base
+      objects; any new fact on the object re-enqueues them). Quadratic in
+      the worst case, but a direct transcription of Figure 2 — retained
+      as the differential-testing oracle for the delta engine.
 
     Resilience: the loop charges every processed statement against a
     {!Budget.t}. When a budget trips, the solver does not abort — it
@@ -21,12 +38,18 @@
     re-enqueues everything, and continues to a sound-but-coarser
     fixpoint. Collapsing is implemented by wrapping the strategy: every
     cell the base strategy produces for a collapsed object is redirected
-    to that object's representative cell. *)
+    to that object's representative cell. A collapse invalidates in-flight
+    deltas (cursors and copy edges reference pre-collapse cells), so the
+    delta engine rewrites the graph onto the representative and resets
+    its delta state; the re-enqueued statements re-derive the constraints
+    over the coarser cell space. *)
 
 open Cfront
 open Norm
 
 module Itbl = Hashtbl.Make (Int)
+
+type engine = [ `Delta | `Naive ]
 
 type t = {
   ctx : Actx.t;
@@ -39,12 +62,39 @@ type t = {
   collapse_all : bool ref;
       (** set when a step/time/total budget trips: every object is
           treated as collapsed from then on *)
+  engine : engine;
   prog : Nast.program;
   funcs : (string, Nast.func) Hashtbl.t;
   queue : Nast.stmt Queue.t;
   in_queue : (int, unit) Hashtbl.t;
   subscribers : Nast.stmt list ref Cvar.Tbl.t;
+      (** naive: statements to re-run when the object gains any fact;
+          delta: statements whose graph-dependent resolves must re-run
+          when the object gains a new fact-bearing cell *)
   stmt_subs : Cvar.Set.t ref Itbl.t;  (** keyed by stmt id *)
+  (* --- delta-engine state (empty under [`Naive]) ------------------- *)
+  cursors : int Itbl.t Itbl.t;
+      (** stmt id → (cell id → facts of that cell already consumed) *)
+  dirty : unit Itbl.t;
+      (** stmts whose cursors reset at their next visit (a subscribed
+          object gained a new fact-bearing cell) *)
+  pointer_subs : Nast.stmt list ref Itbl.t;
+      (** cell id → statements consuming that cell's facts via cursor *)
+  cell_subbed : (int * int, unit) Hashtbl.t;
+      (** (stmt id, cell id) pairs already in [pointer_subs] *)
+  copy_out : (int * int ref) list ref Itbl.t;
+      (** src cell id → (dst cell id, copy cursor into src's log) *)
+  copy_mem : (int * int, unit) Hashtbl.t;  (** (src, dst) edge dedup *)
+  cell_wl : int Queue.t;  (** cells with facts not yet pushed out *)
+  in_cell_wl : unit Itbl.t;
+  (* --- profiling --------------------------------------------------- *)
+  mutable rounds : int;  (** statement visits *)
+  mutable facts_consumed : int;
+      (** facts read by rule visits plus facts pushed along copy edges *)
+  mutable delta_facts : int;
+      (** facts rule visits actually iterated (the suffixes) *)
+  mutable full_facts : int;
+      (** set sizes those visits would have re-read naively *)
   arith_mode : [ `Spread | `Copy | `Stride | `Unknown ];
       (** How pointer arithmetic is modelled:
           - [`Spread] — the paper's Assumption-1 rule: the result may
@@ -60,7 +110,6 @@ type t = {
   unknown_obj : Cvar.t;
       (** the distinguished target of [`Unknown]-mode arithmetic *)
   mutable unknown_externs : string list;
-  mutable rounds : int;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -88,6 +137,7 @@ let degrading_strategy ~(collapsed : unit Cvar.Tbl.t)
     let name = B.name
     let id = B.id
     let portable = B.portable
+    let graph_resolve = B.graph_resolve
 
     let is_collapsed (v : Cvar.t) = !collapse_all || Cvar.Tbl.mem collapsed v
 
@@ -123,7 +173,8 @@ let degrading_strategy ~(collapsed : unit Cvar.Tbl.t)
   end)
 
 let create ?(layout = Layout.default) ?(arith = `Spread)
-    ?(budget = Budget.unlimited) ~strategy (prog : Nast.program) : t =
+    ?(budget = Budget.unlimited) ?(engine = `Delta) ~strategy
+    (prog : Nast.program) : t =
   let funcs = Hashtbl.create 32 in
   List.iter (fun f -> Hashtbl.replace funcs f.Nast.fname f) prog.Nast.pfuncs;
   let collapsed = Cvar.Tbl.create 16 in
@@ -136,16 +187,28 @@ let create ?(layout = Layout.default) ?(arith = `Spread)
     budget = Budget.create ~limits:budget ();
     collapsed;
     collapse_all;
+    engine;
     prog;
     funcs;
     queue = Queue.create ();
     in_queue = Hashtbl.create 256;
     subscribers = Cvar.Tbl.create 128;
     stmt_subs = Itbl.create 256;
+    cursors = Itbl.create 256;
+    dirty = Itbl.create 64;
+    pointer_subs = Itbl.create 256;
+    cell_subbed = Hashtbl.create 512;
+    copy_out = Itbl.create 256;
+    copy_mem = Hashtbl.create 512;
+    cell_wl = Queue.create ();
+    in_cell_wl = Itbl.create 256;
+    rounds = 0;
+    facts_consumed = 0;
+    delta_facts = 0;
+    full_facts = 0;
     arith_mode = arith;
     unknown_obj = Cvar.fresh ~name:"$unknown" ~ty:Ctype.Void ~kind:Cvar.Global;
     unknown_externs = [];
-    rounds = 0;
   }
 
 let enqueue t (s : Nast.stmt) =
@@ -154,7 +217,8 @@ let enqueue t (s : Nast.stmt) =
     Queue.add s t.queue
   end
 
-(** Subscribe [stmt] to future facts on [obj]. *)
+(** Subscribe [stmt] to future facts on [obj] (naive: any fact; delta:
+    new fact-bearing cells, for graph-dependent resolves). *)
 let subscribe t (stmt : Nast.stmt) (obj : Cvar.t) =
   let subs =
     match Itbl.find_opt t.stmt_subs stmt.Nast.id with
@@ -178,6 +242,61 @@ let subscribe t (stmt : Nast.stmt) (obj : Cvar.t) =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Delta bookkeeping                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let cursor_tbl t (stmt : Nast.stmt) : int Itbl.t =
+  match Itbl.find_opt t.cursors stmt.Nast.id with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = Itbl.create 8 in
+      Itbl.replace t.cursors stmt.Nast.id tbl;
+      tbl
+
+(** Register [stmt] as a cursor-consumer of [c]'s facts. *)
+let pointer_subscribe t (stmt : Nast.stmt) (c : Cell.t) =
+  let key = (stmt.Nast.id, Cell.id c) in
+  if not (Hashtbl.mem t.cell_subbed key) then begin
+    Hashtbl.replace t.cell_subbed key ();
+    let lst =
+      match Itbl.find_opt t.pointer_subs (Cell.id c) with
+      | Some l -> l
+      | None ->
+          let l = ref [] in
+          Itbl.replace t.pointer_subs (Cell.id c) l;
+          l
+    in
+    lst := stmt :: !lst
+  end
+
+let push_cell t (cid : int) =
+  if Itbl.mem t.copy_out cid && not (Itbl.mem t.in_cell_wl cid) then begin
+    Itbl.replace t.in_cell_wl cid ();
+    Queue.add cid t.cell_wl
+  end
+
+let mark_dirty t (stmt : Nast.stmt) = Itbl.replace t.dirty stmt.Nast.id ()
+
+(** Number of copy (subset-constraint) edges currently installed. *)
+let copy_edge_count t = Hashtbl.length t.copy_mem
+
+(** Collapse invalidates cursors and copy edges (they reference
+    pre-collapse cells): drop all delta state. The caller re-enqueues
+    every statement, and re-derivation rebuilds the constraints — and
+    recopies the merged representative sets — over the coarser cells. *)
+let reset_deltas t =
+  if t.engine = `Delta then begin
+    Itbl.reset t.cursors;
+    Itbl.reset t.dirty;
+    Itbl.reset t.pointer_subs;
+    Hashtbl.reset t.cell_subbed;
+    Itbl.reset t.copy_out;
+    Hashtbl.reset t.copy_mem;
+    Queue.clear t.cell_wl;
+    Itbl.reset t.in_cell_wl
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Degradation                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -188,9 +307,10 @@ let redirect_cell t (c : Cell.t) : Cell.t =
   if is_collapsed_obj t c.Cell.base then collapse_sel c else c
 
 (** Collapse [obj] to its representative cell: record the event, merge
-    the edges its fine-grained cells carry onto the representative, and
-    re-enqueue every statement so the fixpoint is re-established over the
-    coarser cell space. Idempotent. *)
+    the edges its fine-grained cells carry onto the representative
+    (rewriting any pending deltas onto it), and re-enqueue every
+    statement so the fixpoint is re-established over the coarser cell
+    space. Idempotent. *)
 let collapse_object t ~(reason : Budget.reason) (obj : Cvar.t) =
   if not (Cvar.Tbl.mem t.collapsed obj) then begin
     Cvar.Tbl.replace t.collapsed obj ();
@@ -205,6 +325,7 @@ let collapse_object t ~(reason : Budget.reason) (obj : Cvar.t) =
           Graph.remove_source t.graph c
         end)
       (Graph.cells_of_obj t.graph obj);
+    reset_deltas t;
     List.iter (enqueue t) (Nast.all_stmts t.prog)
   end
 
@@ -222,9 +343,13 @@ let degrade_all t ~(reason : Budget.reason) =
         else acc)
       []
   in
+  (* sorted so the collapse (and event) order is independent of hash
+     bucketing — reruns of the same input produce identical ledgers *)
+  let offenders = List.sort Cvar.compare offenders in
   if offenders = [] then Budget.record t.budget reason
   else List.iter (fun obj -> collapse_object t ~reason obj) offenders;
   t.collapse_all := true;
+  reset_deltas t;
   List.iter (enqueue t) (Nast.all_stmts t.prog)
 
 (** Cell-count budgets, checked as edges land. *)
@@ -244,10 +369,32 @@ let check_cell_budgets t (src : Cell.t) =
 
 let add_edge t (c : Cell.t) (w : Cell.t) =
   let c = redirect_cell t c and w = redirect_cell t w in
+  let was_source = Graph.has_source t.graph c in
   if Graph.add_edge t.graph c w then begin
-    (match Cvar.Tbl.find_opt t.subscribers c.Cell.base with
-    | Some lst -> List.iter (enqueue t) !lst
-    | None -> ());
+    (match t.engine with
+    | `Naive -> (
+        match Cvar.Tbl.find_opt t.subscribers c.Cell.base with
+        | Some lst -> List.iter (enqueue t) !lst
+        | None -> ())
+    | `Delta ->
+        (* the new fact flows along c's copy edges… *)
+        push_cell t (Cell.id c);
+        (* …and to the statements consuming c's set via cursor *)
+        (match Itbl.find_opt t.pointer_subs (Cell.id c) with
+        | Some lst -> List.iter (enqueue t) !lst
+        | None -> ());
+        if not was_source then
+          (* a new fact-bearing cell can grow a graph-dependent resolve
+             pair set (Offsets): reset those statements' cursors so their
+             resolves re-run over the full sets *)
+          match Cvar.Tbl.find_opt t.subscribers c.Cell.base with
+          | Some lst ->
+              List.iter
+                (fun s ->
+                  mark_dirty t s;
+                  enqueue t s)
+                !lst
+          | None -> ());
     check_cell_budgets t c
   end
 
@@ -257,48 +404,136 @@ let pointee_of (v : Cvar.t) : Ctype.t =
   | Ctype.Array (ty, _) -> ty
   | _ -> Ctype.Void
 
+(** Install the subset constraint [src ⊆ dst]; first installation pushes
+    [src]'s current facts through the cell worklist. *)
+let ensure_copy t (dst : Cell.t) (src : Cell.t) =
+  if not (Cell.equal dst src) then begin
+    let sid = Cell.id src and did = Cell.id dst in
+    if not (Hashtbl.mem t.copy_mem (sid, did)) then begin
+      Hashtbl.replace t.copy_mem (sid, did) ();
+      let lst =
+        match Itbl.find_opt t.copy_out sid with
+        | Some l -> l
+        | None ->
+            let l = ref [] in
+            Itbl.replace t.copy_out sid l;
+            l
+      in
+      lst := (did, ref 0) :: !lst;
+      if Graph.pts_size t.graph src > 0 && not (Itbl.mem t.in_cell_wl sid)
+      then begin
+        Itbl.replace t.in_cell_wl sid ();
+        Queue.add sid t.cell_wl
+      end
+    end
+  end
+
+(** Consume the facts of [c] that [stmt] has not seen yet (all of them on
+    the statement's first visit, or after a dirty reset). Facts added by
+    [f] itself are picked up in the same sweep. *)
+let consume t (stmt : Nast.stmt) (c : Cell.t) (f : Cell.t -> unit) =
+  pointer_subscribe t stmt c;
+  match Graph.pts_ids t.graph c with
+  | None -> ()
+  | Some set ->
+      let tbl = cursor_tbl t stmt in
+      let cid = Cell.id c in
+      let k = match Itbl.find_opt tbl cid with Some k -> k | None -> 0 in
+      t.full_facts <- t.full_facts + Idset.cardinal set;
+      let i = ref k in
+      while !i < Idset.cardinal set do
+        let w = Cell.of_id (Idset.get_ord set !i) in
+        incr i;
+        Itbl.replace tbl cid !i;
+        t.delta_facts <- t.delta_facts + 1;
+        t.facts_consumed <- t.facts_consumed + 1;
+        f w
+      done
+
 (* ------------------------------------------------------------------ *)
 (* Rule application                                                    *)
 (* ------------------------------------------------------------------ *)
 
 let process t (stmt : Nast.stmt) =
   let module S = (val t.strategy : Strategy.S) in
+  let delta = t.engine = `Delta in
+  (* a dirty statement starts over: its subscribed objects gained new
+     fact-bearing cells, so its graph-dependent resolves must re-run *)
+  if delta && Itbl.mem t.dirty stmt.Nast.id then begin
+    Itbl.remove t.dirty stmt.Nast.id;
+    match Itbl.find_opt t.cursors stmt.Nast.id with
+    | Some tbl -> Itbl.reset tbl
+    | None -> ()
+  end;
   let norm v p = S.normalize t.ctx v p in
-  let pts c = Graph.pts t.graph c in
-  (* transfer every fact of each source cell to the paired destination *)
-  let transfer stmt pairs =
-    List.iter
-      (fun ((cd : Cell.t), (cs : Cell.t)) ->
-        subscribe t stmt cs.Cell.base;
-        Cell.Set.iter (fun w -> add_edge t cd w) (pts cs))
-      pairs
+  (* iterate the facts of pointer cell [c] this statement reads: the full
+     set under the naive engine (re-read every visit), the unseen suffix
+     under the delta engine *)
+  let foreach_fact (c : Cell.t) (f : Cell.t -> unit) =
+    if delta then consume t stmt c f
+    else begin
+      let s = Graph.pts t.graph c in
+      let n = Cell.Set.cardinal s in
+      t.facts_consumed <- t.facts_consumed + n;
+      t.delta_facts <- t.delta_facts + n;
+      t.full_facts <- t.full_facts + n;
+      Cell.Set.iter f s
+    end
+  in
+  (* naive: transfer every fact of each source cell to the paired
+     destination now, and re-run when the source object grows.
+     delta: install the pair as a persistent copy edge — propagation
+     moves the facts (current and future) exactly once each. *)
+  let transfer pairs =
+    if delta then List.iter (fun (cd, cs) -> ensure_copy t cd cs) pairs
+    else
+      List.iter
+        (fun ((cd : Cell.t), (cs : Cell.t)) ->
+          subscribe t stmt cs.Cell.base;
+          let s = Graph.pts t.graph cs in
+          let n = Cell.Set.cardinal s in
+          t.facts_consumed <- t.facts_consumed + n;
+          t.delta_facts <- t.delta_facts + n;
+          t.full_facts <- t.full_facts + n;
+          Cell.Set.iter (fun w -> add_edge t cd w) s)
+        pairs
+  in
+  (* Run [resolve] and feed its pairs to [transfer]. The source OBJECT is
+     subscribed before resolving, even when it yields no pairs: a
+     graph-dependent resolve (Offsets pairs only fact-bearing source
+     offsets) that runs while the source object is still fact-free must
+     re-run once the first fact lands, or those pairs are lost for good.
+     Under the naive engine the subscription is unconditional (its only
+     re-run trigger is object growth); under the delta engine only
+     [graph_resolve] instances need it — copy edges carry future facts
+     for pair sets that are a pure function of the types. *)
+  let resolve_into (dst : Cell.t) (src : Cell.t) (tau : Ctype.t) =
+    if (not delta) || S.graph_resolve then subscribe t stmt src.Cell.base;
+    transfer (S.resolve t.ctx t.graph dst src tau)
   in
   (* a virtual copy [dst = src] with declared type τ = dst's type *)
-  let virtual_copy stmt (dst : Cvar.t) (src : Cvar.t) =
-    subscribe t stmt src;
-    let pairs =
-      S.resolve t.ctx t.graph (norm dst []) (norm src []) dst.Cvar.vty
-    in
-    transfer stmt pairs
+  let virtual_copy (dst : Cvar.t) (src : Cvar.t) =
+    if not delta then subscribe t stmt src;
+    resolve_into (norm dst []) (norm src []) dst.Cvar.vty
   in
-  let bind_call stmt (call : Nast.call) (fname : string) =
+  let bind_call (call : Nast.call) (fname : string) =
     match Hashtbl.find_opt t.funcs fname with
     | Some f ->
         (* actuals into formals, extras into the vararg blob *)
         let rec bind params args =
           match (params, args) with
           | p :: ps, a :: as_ ->
-              virtual_copy stmt p a;
+              virtual_copy p a;
               bind ps as_
           | [], extras -> (
               match f.Nast.fvararg with
-              | Some va -> List.iter (fun a -> virtual_copy stmt va a) extras
+              | Some va -> List.iter (fun a -> virtual_copy va a) extras
               | None -> ())
           | _ :: _, [] -> ()
         in
         bind f.Nast.fparams call.Nast.cargs;
         (match (call.Nast.cret, f.Nast.fret) with
-        | Some dst, Some src -> virtual_copy stmt dst src
+        | Some dst, Some src -> virtual_copy dst src
         | _ -> ())
     | None -> (
         match Summaries.find fname with
@@ -314,56 +549,55 @@ let process t (stmt : Nast.stmt) =
                     () (* materialized during lowering *)
                 | Summaries.Ret_is op -> (
                     match (call.Nast.cret, operand_var op) with
-                    | Some dst, Some src -> virtual_copy stmt dst src
+                    | Some dst, Some src -> virtual_copy dst src
                     | _ -> ())
                 | Summaries.Ret_points_into i -> (
                     match (call.Nast.cret, List.nth_opt call.Nast.cargs i) with
                     | Some dst, Some arg ->
-                        subscribe t stmt arg;
-                        Cell.Set.iter
-                          (fun (c : Cell.t) ->
+                        if not delta then subscribe t stmt arg;
+                        foreach_fact (norm arg []) (fun (c : Cell.t) ->
                             List.iter
                               (fun w -> add_edge t (norm dst []) w)
                               (S.all_cells t.ctx c.Cell.base))
-                          (pts (norm arg []))
                     | _ -> ())
                 | Summaries.Deep_copy (a, b) -> (
                     match (operand_var a, operand_var b) with
                     | Some va, Some vb ->
-                        subscribe t stmt va;
-                        subscribe t stmt vb;
-                        Cell.Set.iter
-                          (fun (ca : Cell.t) ->
+                        if not delta then begin
+                          subscribe t stmt va;
+                          subscribe t stmt vb
+                        end;
+                        let pair (ca : Cell.t) (cb : Cell.t) =
+                          resolve_into ca cb cb.Cell.base.Cvar.vty
+                        in
+                        foreach_fact (norm va []) (fun ca ->
                             Cell.Set.iter
-                              (fun (cb : Cell.t) ->
-                                let tau = cb.Cell.base.Cvar.vty in
-                                let pairs =
-                                  S.resolve t.ctx t.graph ca cb tau
-                                in
-                                transfer stmt pairs)
-                              (pts (norm vb [])))
-                          (pts (norm va []))
+                              (fun cb -> pair ca cb)
+                              (Graph.pts t.graph (norm vb [])));
+                        (* the cross product needs both deltas: new
+                           sources × all destinations too *)
+                        if delta then
+                          foreach_fact (norm vb []) (fun cb ->
+                              Cell.Set.iter
+                                (fun ca -> pair ca cb)
+                                (Graph.pts t.graph (norm va [])))
                     | _ -> ())
                 | Summaries.Store_through (i, op) -> (
                     match (List.nth_opt call.Nast.cargs i, operand_var op) with
                     | Some parg, Some src ->
-                        subscribe t stmt parg;
-                        subscribe t stmt src;
+                        if not delta then begin
+                          subscribe t stmt parg;
+                          subscribe t stmt src
+                        end;
                         let tau = pointee_of parg in
-                        Cell.Set.iter
-                          (fun c ->
-                            let pairs =
-                              S.resolve t.ctx t.graph c (norm src []) tau
-                            in
-                            transfer stmt pairs)
-                          (pts (norm parg []))
+                        foreach_fact (norm parg []) (fun c ->
+                            resolve_into c (norm src []) tau)
                     | _ -> ())
                 | Summaries.Invoke (i, ops) -> (
                     match List.nth_opt call.Nast.cargs i with
                     | Some fp ->
-                        subscribe t stmt fp;
-                        Cell.Set.iter
-                          (fun (c : Cell.t) ->
+                        if not delta then subscribe t stmt fp;
+                        foreach_fact (norm fp []) (fun (c : Cell.t) ->
                             match c.Cell.base.Cvar.vkind with
                             | Cvar.Funval g -> (
                                 match Hashtbl.find_opt t.funcs g with
@@ -374,14 +608,13 @@ let process t (stmt : Nast.stmt) =
                                     let rec bind params args =
                                       match (params, args) with
                                       | p :: ps, a :: as_ ->
-                                          virtual_copy stmt p a;
+                                          virtual_copy p a;
                                           bind ps as_
                                       | _ -> ()
                                     in
                                     bind callee.Nast.fparams actuals
                                 | None -> ())
                             | _ -> ())
-                          (pts (norm fp []))
                     | None -> ()))
               effects
         | None ->
@@ -393,42 +626,31 @@ let process t (stmt : Nast.stmt) =
       (* Rule 1: s = &t.β *)
       add_edge t (norm s []) (norm obj beta)
   | Nast.Addr_deref (s, p, alpha) ->
-      (* Rule 2: s = &( *p).α *)
-      subscribe t stmt p;
+      (* Rule 2: s = &( *p).α — lookup runs once per (new) target *)
+      if not delta then subscribe t stmt p;
       let tau_p = pointee_of p in
-      Cell.Set.iter
-        (fun c ->
+      foreach_fact (norm p []) (fun c ->
           List.iter
             (fun c' -> add_edge t (norm s []) c')
             (S.lookup t.ctx tau_p alpha c))
-        (pts (norm p []))
   | Nast.Copy (s, obj, beta) ->
       (* Rule 3: s = t.β *)
-      subscribe t stmt obj;
-      let pairs =
-        S.resolve t.ctx t.graph (norm s []) (norm obj beta) s.Cvar.vty
-      in
-      transfer stmt pairs
+      if not delta then subscribe t stmt obj;
+      resolve_into (norm s []) (norm obj beta) s.Cvar.vty
   | Nast.Load (s, q) ->
-      (* Rule 4: s = *q *)
-      subscribe t stmt q;
-      Cell.Set.iter
-        (fun c ->
-          let pairs = S.resolve t.ctx t.graph (norm s []) c s.Cvar.vty in
-          transfer stmt pairs)
-        (pts (norm q []))
+      (* Rule 4: s = *q — resolve runs once per (new) target of q *)
+      if not delta then subscribe t stmt q;
+      foreach_fact (norm q []) (fun c -> resolve_into (norm s []) c s.Cvar.vty)
   | Nast.Store (p, v) ->
       (* Rule 5: *p = t *)
-      subscribe t stmt p;
-      subscribe t stmt v;
+      if not delta then begin
+        subscribe t stmt p;
+        subscribe t stmt v
+      end;
       let tau_p = pointee_of p in
-      Cell.Set.iter
-        (fun c ->
-          let pairs = S.resolve t.ctx t.graph c (norm v []) tau_p in
-          transfer stmt pairs)
-        (pts (norm p []))
+      foreach_fact (norm p []) (fun c -> resolve_into c (norm v []) tau_p)
   | Nast.Arith (s, v) -> (
-      subscribe t stmt v;
+      if not delta then subscribe t stmt v;
       let spread (c : Cell.t) =
         List.iter
           (fun w -> add_edge t (norm s []) w)
@@ -438,34 +660,29 @@ let process t (stmt : Nast.stmt) =
       | `Spread ->
           (* Assumption 1: the result may point to any cell of the
              objects [v] points into *)
-          Cell.Set.iter spread (pts (norm v []))
+          foreach_fact (norm v []) spread
       | `Stride ->
           (* pointers walking an array stay on the representative
              element; anything else spreads as under Assumption 1 *)
-          Cell.Set.iter
-            (fun (c : Cell.t) ->
+          foreach_fact (norm v []) (fun (c : Cell.t) ->
               if S.in_array t.ctx c then add_edge t (norm s []) c
               else spread c)
-            (pts (norm v []))
       | `Unknown ->
           (* pessimistic: the result is a corrupted-pointer marker *)
-          if not (Cell.Set.is_empty (pts (norm v []))) then
-            add_edge t (norm s []) (Cell.whole t.unknown_obj)
+          foreach_fact (norm v []) (fun _ ->
+              add_edge t (norm s []) (Cell.whole t.unknown_obj))
       | `Copy ->
-          Cell.Set.iter
-            (fun w -> add_edge t (norm s []) w)
-            (pts (norm v [])))
+          if delta then ensure_copy t (norm s []) (norm v [])
+          else foreach_fact (norm v []) (fun w -> add_edge t (norm s []) w))
   | Nast.Call call -> (
       match call.Nast.cfn with
-      | Nast.Direct n -> bind_call stmt call n
+      | Nast.Direct n -> bind_call call n
       | Nast.Indirect fp ->
-          subscribe t stmt fp;
-          Cell.Set.iter
-            (fun (c : Cell.t) ->
+          if not delta then subscribe t stmt fp;
+          foreach_fact (norm fp []) (fun (c : Cell.t) ->
               match c.Cell.base.Cvar.vkind with
-              | Cvar.Funval n -> bind_call stmt call n
-              | _ -> ())
-            (pts (norm fp [])))
+              | Cvar.Funval n -> bind_call call n
+              | _ -> ()))
 
 (* ------------------------------------------------------------------ *)
 (* Fixpoint                                                            *)
@@ -489,13 +706,56 @@ let check_step_budgets t =
     | None -> ()
   end
 
+(** Drain the cell worklist: push every unpropagated fact along its
+    cell's copy edges. Monotone (only [add_edge]) and cursor-driven, so
+    each fact crosses each edge once — this is where the delta engine
+    moves facts that the naive engine re-reads statement-side. *)
+let propagate t =
+  let copied = ref 0 in
+  while not (Queue.is_empty t.cell_wl) do
+    let sid = Queue.pop t.cell_wl in
+    (* clear the marker before working: pushes triggered mid-drain must
+       be able to re-queue this cell *)
+    Itbl.remove t.in_cell_wl sid;
+    match Itbl.find_opt t.copy_out sid with
+    | None -> ()
+    | Some lst -> (
+        match Graph.pts_ids t.graph (Cell.of_id sid) with
+        | None -> ()
+        | Some set ->
+            List.iter
+              (fun (did, cur) ->
+                let dst = Cell.of_id did in
+                while !cur < Idset.cardinal set do
+                  let w = Cell.of_id (Idset.get_ord set !cur) in
+                  incr cur;
+                  t.facts_consumed <- t.facts_consumed + 1;
+                  incr copied;
+                  (* time budget, sampled: a long drain between two
+                     statements must not escape the timeout *)
+                  if !copied land 4095 = 0 && Budget.over_time t.budget
+                  then begin
+                    Budget.trip_time t.budget;
+                    match t.budget.Budget.limits.Budget.timeout_s with
+                    | Some s -> degrade_all t ~reason:(Budget.Timeout s)
+                    | None -> ()
+                  end;
+                  add_edge t dst w
+                done)
+              !lst)
+  done
+
 let solve t : unit =
   Budget.start t.budget;
   List.iter (enqueue t) (Nast.all_stmts t.prog);
   let rec loop () =
+    propagate t;
     match Queue.take_opt t.queue with
-    | None -> ()
+    | None -> if not (Queue.is_empty t.cell_wl) then loop ()
     | Some stmt ->
+        (* clear the dedup marker before dispatch: a statement that
+           re-enqueues itself mid-visit (e.g. [p = *p] growing its own
+           set) must land back in the queue, not be silently dropped *)
         Hashtbl.remove t.in_queue stmt.Nast.id;
         t.rounds <- t.rounds + 1;
         Budget.step t.budget;
@@ -506,8 +766,8 @@ let solve t : unit =
   loop ()
 
 (** Analyze [prog] with [strategy]; returns the solver state at fixpoint. *)
-let run ?layout ?arith ?budget ~strategy (prog : Nast.program) : t =
-  let t = create ?layout ?arith ?budget ~strategy prog in
+let run ?layout ?arith ?budget ?engine ~strategy (prog : Nast.program) : t =
+  let t = create ?layout ?arith ?budget ?engine ~strategy prog in
   solve t;
   t
 

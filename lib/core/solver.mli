@@ -7,18 +7,31 @@
     pointers' points-to sets as the fixpoint grows. Library calls use
     {!Norm.Summaries}.
 
+    Two engines produce identical fixpoints:
+
+    - [`Delta] (default) — difference propagation: statement visits
+      consume only the facts added since their last visit (cursors into
+      the {!Idset} append logs), resolves install persistent copy edges,
+      and a cell-level worklist pushes each fact across each edge once.
+    - [`Naive] — the reference worklist that re-reads full sets on every
+      visit; retained as the differential-testing oracle.
+
     Resilience: every worklist step is charged against a {!Budget.t}.
     When a budget trips the solver degrades gracefully — the offending
     object(s) are collapsed to one cell each (the Collapse-Always
     treatment applied per object, their edges merged) and the fixpoint is
     re-established over the coarser cell space, so the result is always a
-    sound over-approximation. Degradations are recorded as
-    {!Budget.event}s. *)
+    sound over-approximation. A collapse also discards in-flight deltas
+    (cursors and copy edges name pre-collapse cells); the re-enqueued
+    statements re-derive the constraints over the representative cells.
+    Degradations are recorded as {!Budget.event}s. *)
 
 open Cfront
 open Norm
 
 module Itbl : Hashtbl.S with type key = int
+
+type engine = [ `Delta | `Naive ]
 
 type t = {
   ctx : Actx.t;
@@ -33,12 +46,32 @@ type t = {
   collapse_all : bool ref;
       (** set when a step/time/total budget trips: every object is
           treated as collapsed from then on *)
+  engine : engine;
   prog : Nast.program;
   funcs : (string, Nast.func) Hashtbl.t;
   queue : Nast.stmt Queue.t;
   in_queue : (int, unit) Hashtbl.t;
   subscribers : Nast.stmt list ref Cvar.Tbl.t;
   stmt_subs : Cvar.Set.t ref Itbl.t;
+  cursors : int Itbl.t Itbl.t;
+      (** delta: stmt id → (cell id → facts already consumed) *)
+  dirty : unit Itbl.t;
+      (** delta: stmts whose cursors reset at their next visit *)
+  pointer_subs : Nast.stmt list ref Itbl.t;
+      (** delta: cell id → statements consuming that cell via cursor *)
+  cell_subbed : (int * int, unit) Hashtbl.t;
+  copy_out : (int * int ref) list ref Itbl.t;
+      (** delta: src cell id → (dst cell id, copy cursor) *)
+  copy_mem : (int * int, unit) Hashtbl.t;
+  cell_wl : int Queue.t;
+  in_cell_wl : unit Itbl.t;
+  mutable rounds : int;  (** statement visits *)
+  mutable facts_consumed : int;
+      (** facts read by rule visits plus facts pushed along copy edges *)
+  mutable delta_facts : int;
+      (** facts rule visits actually iterated (delta suffixes) *)
+  mutable full_facts : int;
+      (** set sizes those visits would have re-read naively *)
   arith_mode : [ `Spread | `Copy | `Stride | `Unknown ];
       (** How pointer arithmetic is modelled:
           [`Spread] — the paper's Assumption-1 rule (default);
@@ -49,7 +82,6 @@ type t = {
       (** the distinguished target of [`Unknown]-mode arithmetic *)
   mutable unknown_externs : string list;
       (** called external functions with neither a body nor a summary *)
-  mutable rounds : int;
 }
 
 val collapse_sel : Cell.t -> Cell.t
@@ -60,13 +92,19 @@ val create :
   ?layout:Layout.config ->
   ?arith:[ `Spread | `Copy | `Stride | `Unknown ] ->
   ?budget:Budget.limits ->
+  ?engine:engine ->
   strategy:(module Strategy.S) ->
   Nast.program ->
   t
 
 val collapse_object : t -> reason:Budget.reason -> Cvar.t -> unit
 (** Degrade one object to a single cell now (idempotent): merge its
-    edges onto the representative and re-enqueue all statements. *)
+    edges onto the representative, discard in-flight deltas, and
+    re-enqueue all statements. *)
+
+val copy_edge_count : t -> int
+(** Copy (subset-constraint) edges currently installed by the delta
+    engine; 0 under [`Naive]. *)
 
 val solve : t -> unit
 (** Run the worklist to a fixpoint, degrading under budget pressure
@@ -76,6 +114,7 @@ val run :
   ?layout:Layout.config ->
   ?arith:[ `Spread | `Copy | `Stride | `Unknown ] ->
   ?budget:Budget.limits ->
+  ?engine:engine ->
   strategy:(module Strategy.S) ->
   Nast.program ->
   t

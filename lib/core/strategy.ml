@@ -32,6 +32,13 @@ module type S = sig
       graph is consulted read-only (the Offsets instance pairs only source
       offsets that carry facts). *)
 
+  val graph_resolve : bool
+  (** [true] when [resolve]'s pair set depends on the graph (Offsets pairs
+      only fact-bearing source offsets), so the delta solver must re-run a
+      statement's resolves when the source object gains a new fact-bearing
+      cell. [false] for the path-based instances, whose pair set is a pure
+      function of the types — their resolves are derived once. *)
+
   val all_cells : Actx.t -> Cvar.t -> Cell.t list
   (** Every cell of the object — the Assumption-1 result set for pointer
       arithmetic landing somewhere inside it. *)

@@ -60,6 +60,82 @@ let test_graph_iteration () =
   in
   Alcotest.(check int) "folded all" 2 folded
 
+(* Regression: removing an object's last fact-bearing cell must drop the
+   per-object index entry entirely — a lingering empty entry made
+   [fold_objects] visit (and degradation re-collapse) fact-free objects. *)
+let test_remove_source_empties_index () =
+  let g = Graph.create () in
+  let a = var "a" Ctype.int_t and b = var "b" Ctype.int_t in
+  let a0 = Cell.v a (Cell.Off 0) and a4 = Cell.v a (Cell.Off 4) in
+  ignore (Graph.add_edge g a0 (Cell.whole b));
+  ignore (Graph.add_edge g a4 (Cell.whole b));
+  Graph.remove_source g a0;
+  Alcotest.(check int) "one cell left" 1 (Graph.cell_count_of_obj g a);
+  Alcotest.(check (option string)) "consistent after partial removal" None
+    (Graph.check_counts g);
+  Graph.remove_source g a4;
+  Alcotest.(check int) "no cells left" 0 (Graph.cell_count_of_obj g a);
+  Alcotest.(check (list string)) "no indexed cells" []
+    (List.map Cell.to_string (Graph.cells_of_obj g a));
+  let visited = Graph.fold_objects g (fun _ _ acc -> acc + 1) 0 in
+  Alcotest.(check int) "fold_objects skips the emptied object" 0 visited;
+  Alcotest.(check int) "edge count back to zero" 0 (Graph.edge_count g);
+  Alcotest.(check (option string)) "consistent after full removal" None
+    (Graph.check_counts g);
+  (* removal is idempotent, and the object can gain facts again *)
+  Graph.remove_source g a0;
+  ignore (Graph.add_edge g a0 (Cell.whole b));
+  Alcotest.(check int) "re-added" 1 (Graph.cell_count_of_obj g a);
+  Alcotest.(check (option string)) "consistent after re-add" None
+    (Graph.check_counts g)
+
+(* The edge-count audit: the counter must track the summed set sizes
+   through interleaved adds and removes. *)
+let test_edge_count_audit () =
+  let g = Graph.create () in
+  let vars = List.init 6 (fun i -> var (Printf.sprintf "v%d" i) Ctype.int_t) in
+  let cell i off = Cell.v (List.nth vars i) (Cell.Off off) in
+  List.iter
+    (fun (i, off, j) -> ignore (Graph.add_edge g (cell i off) (cell j 0)))
+    [
+      (0, 0, 1); (0, 0, 2); (0, 4, 3); (1, 0, 2); (2, 0, 0);
+      (2, 8, 4); (3, 0, 5); (0, 0, 1) (* duplicate *);
+    ];
+  let summed = Graph.fold_sources g (fun _ s acc -> acc + Cell.Set.cardinal s) 0 in
+  Alcotest.(check int) "counter equals summed cardinals" summed
+    (Graph.edge_count g);
+  Alcotest.(check (option string)) "audit clean" None (Graph.check_counts g);
+  Graph.remove_source g (cell 0 0);
+  Graph.remove_source g (cell 2 8);
+  let summed = Graph.fold_sources g (fun _ s acc -> acc + Cell.Set.cardinal s) 0 in
+  Alcotest.(check int) "counter tracks removals" summed (Graph.edge_count g);
+  Alcotest.(check (option string)) "audit clean after removals" None
+    (Graph.check_counts g)
+
+let test_graph_equal () =
+  let a = var "a" Ctype.int_t and b = var "b" Ctype.int_t in
+  let g1 = Graph.create () and g2 = Graph.create () in
+  (* same edge set, different insertion order *)
+  ignore (Graph.add_edge g1 (Cell.whole a) (Cell.whole b));
+  ignore (Graph.add_edge g1 (Cell.whole b) (Cell.whole a));
+  ignore (Graph.add_edge g2 (Cell.whole b) (Cell.whole a));
+  ignore (Graph.add_edge g2 (Cell.whole a) (Cell.whole b));
+  Alcotest.(check bool) "order-independent equality" true (Graph.equal g1 g2);
+  ignore (Graph.add_edge g2 (Cell.whole b) (Cell.whole b));
+  Alcotest.(check bool) "extra edge detected" false (Graph.equal g1 g2)
+
+let test_cell_interning () =
+  let a = var "a" Ctype.int_t in
+  let c1 = Cell.v a (Cell.Off 8) in
+  let c2 = Cell.v a (Cell.Off 8) in
+  Alcotest.(check bool) "interned: physically equal" true (c1 == c2);
+  Alcotest.(check int) "id round-trips" (Cell.id c1)
+    (Cell.id (Cell.of_id (Cell.id c1)));
+  Alcotest.(check bool) "of_id returns the same cell" true
+    (Cell.of_id (Cell.id c1) == c1);
+  Alcotest.(check bool) "ids are dense and bounded" true
+    (Cell.id c1 < Cell.interned_count ())
+
 let test_cell_type () =
   let c = Ctype.fresh_comp ~tag:"T" ~is_union:false in
   c.Ctype.cfields <-
@@ -77,5 +153,10 @@ let suite =
     Helpers.tc "graph edge insertion" test_graph_add_edges;
     Helpers.tc "graph per-object index" test_graph_obj_index;
     Helpers.tc "graph iteration" test_graph_iteration;
+    Helpers.tc "remove_source drops emptied object index"
+      test_remove_source_empties_index;
+    Helpers.tc "edge_count audit" test_edge_count_audit;
+    Helpers.tc "graph equality" test_graph_equal;
+    Helpers.tc "cell interning" test_cell_interning;
     Helpers.tc "cell types" test_cell_type;
   ]

@@ -42,6 +42,19 @@ let tight : Core.Budget.limits =
 
 let all_ids = [ "collapse-always"; "collapse-on-cast"; "cis"; "offsets" ]
 
+(* After every solve — these run tight budgets, so most trip them and go
+   through degradation merges (collapse merges edges onto a
+   representative, then removes the fine-grained sources) — the graph's
+   bookkeeping must still audit clean: the edge_count counter equals the
+   summed per-source set sizes and the per-object index is exact. *)
+let check_bookkeeping ~seed ~id failures (r : Core.Analysis.result) =
+  ignore r.Core.Analysis.metrics;
+  match Core.Graph.check_counts r.Core.Analysis.solver.Core.Solver.graph with
+  | None -> ()
+  | Some msg ->
+      failures :=
+        Printf.sprintf "seed %d / %s: graph audit: %s" seed id msg :: !failures
+
 let test_generated_programs () =
   let failures = ref [] in
   for i = 0 to n_seeds - 1 do
@@ -54,7 +67,7 @@ let test_generated_programs () =
             ~file:(Printf.sprintf "<fuzz-%d>" seed)
             src
         with
-        | r -> ignore r.Core.Analysis.metrics
+        | r -> check_bookkeeping ~seed ~id failures r
         | exception e ->
             failures :=
               Printf.sprintf "seed %d / %s: %s" seed id (Printexc.to_string e)
@@ -76,7 +89,7 @@ let test_generated_with_calls () =
             ~file:(Printf.sprintf "<fuzz-calls-%d>" seed)
             src
         with
-        | r -> ignore r.Core.Analysis.metrics
+        | r -> check_bookkeeping ~seed ~id failures r
         | exception e ->
             failures :=
               Printf.sprintf "seed %d / %s: %s" seed id (Printexc.to_string e)

@@ -393,6 +393,36 @@ let test_conditional_expression () =
       let r = analyze ~strategy:s src in
       check_bases r "p" [ "x"; "y" ])
 
+(* Regression for the worklist dedup marker: [p = *p] grows p's own
+   points-to set mid-visit, so the statement must be able to re-enqueue
+   ITSELF while it is being processed. If the in-queue marker were
+   cleared only after dispatch, the self-requeue would be silently
+   dropped and the chain would stop one link short. Both engines. *)
+let test_self_requeue_converges () =
+  let src =
+    {|
+      void *a, *b, *c, *p;
+      void main(void) {
+        a = (void *)&b;
+        b = (void *)&c;
+        p = (void *)&a;
+        p = *p;
+      }
+    |}
+  in
+  List.iter
+    (fun engine ->
+      for_all all_ids (fun id s ->
+          let r =
+            Core.Analysis.run_source ~engine ~strategy:s ~file:"<test>" src
+          in
+          let got = target_bases r "p" in
+          if got <> [ "a"; "b"; "c" ] then
+            Alcotest.failf "%s (%s): p = %s (chain stopped early)" id
+              (match engine with `Delta -> "delta" | `Naive -> "naive")
+              (String.concat "," got)))
+    [ `Delta; `Naive ]
+
 (* Offsets results depend on the layout; portable results do not. *)
 let test_layout_dependence () =
   let src =
@@ -444,5 +474,6 @@ let suite =
     tc "void* round trip" test_void_star_roundtrip;
     tc "global initializers" test_global_initializers;
     tc "conditional expressions merge" test_conditional_expression;
+    tc "self-requeue: p = *p converges" test_self_requeue_converges;
     tc "offsets depend on layout, cis does not" test_layout_dependence;
   ]
