@@ -383,10 +383,11 @@ let ext_e_json () =
 (* Solver engines: difference propagation vs the naive reference       *)
 (* ------------------------------------------------------------------ *)
 
-(* Both engines on the ext-e workload (cast-heavy, 800 statements) for
-   every instance, plus the budgeted Offsets sweep: the delta engine must
-   reach the same fixpoint with strictly fewer statement visits and fewer
-   facts consumed. *)
+(* The full engine matrix on the ext-e workload (cast-heavy, 800
+   statements) for every instance, plus the budgeted Offsets sweep: all
+   engines must reach the same fixpoint, the delta engines with fewer
+   visits and facts than naive, and cycle elimination (delta) with fewer
+   fact reads again than the ablation baseline (delta-nocycle). *)
 
 let solver_run prog strategy budget (engine : Core.Solver.engine) =
   let t0 = Sys.time () in
@@ -399,6 +400,9 @@ type engine_sample = {
   facts : int;
   copy_edges : int;
   edges : int;
+  cycles : int;
+  unified : int;
+  wasted : int;
   time_s : float;
 }
 
@@ -409,6 +413,9 @@ let sample prog strategy budget engine : engine_sample =
     facts = solver.Core.Solver.facts_consumed;
     copy_edges = Core.Solver.copy_edge_count solver;
     edges = Core.Graph.edge_count solver.Core.Solver.graph;
+    cycles = solver.Core.Solver.cycles_found;
+    unified = solver.Core.Solver.cells_unified;
+    wasted = solver.Core.Solver.wasted_props;
     time_s = dt;
   }
 
@@ -439,30 +446,29 @@ let solver_cases () :
 
 let solver () =
   header
-    "Solver engines: difference propagation (delta) vs naive reference\n\
-     on the ext-e workload — same fixpoint, fewer visits and fewer facts";
-  Printf.printf "%-26s %9s %9s %6s | %11s %11s %6s | %6s\n" "case" "visits"
-    "visits" "ratio" "facts" "facts" "ratio" "equal";
-  Printf.printf "%-26s %9s %9s %6s | %11s %11s %6s |\n" "" "(delta)" "(naive)"
-    "" "(delta)" "(naive)" "";
+    "Solver engines: delta (cycle elimination) vs delta-nocycle vs naive\n\
+     on the ext-e workload — same fixpoint, decreasing amounts of work";
+  Printf.printf "%-26s %8s %8s %8s | %10s %10s %10s | %6s %7s | %5s\n" "case"
+    "visits" "visits" "visits" "facts" "facts" "facts" "cycles" "unified"
+    "equal";
+  Printf.printf "%-26s %8s %8s %8s | %10s %10s %10s | %6s %7s |\n" ""
+    "(delta)" "(nocyc)" "(naive)" "(delta)" "(nocyc)" "(naive)" "" "";
   line ();
   List.iter
     (fun (label, prog, strategy, _, budget) ->
       let d = sample prog strategy budget `Delta in
+      let dn = sample prog strategy budget `Delta_nocycle in
       let n = sample prog strategy budget `Naive in
-      let ratio a b =
-        if b = 0 then 0.0 else float_of_int a /. float_of_int b
-      in
       (* identical fixpoints only hold for unbudgeted runs: engines trip
          budgets at different points, degrading different objects *)
       let same =
         if budget = Core.Budget.unlimited then
-          if d.edges = n.edges then "yes" else "NO!"
+          if d.edges = n.edges && dn.edges = n.edges then "yes" else "NO!"
         else "-"
       in
-      Printf.printf "%-26s %9d %9d %6.2f | %11d %11d %6.2f | %6s\n" label
-        d.visits n.visits (ratio d.visits n.visits) d.facts n.facts
-        (ratio d.facts n.facts) same)
+      Printf.printf "%-26s %8d %8d %8d | %10d %10d %10d | %6d %7d | %5s\n"
+        label d.visits dn.visits n.visits d.facts dn.facts n.facts d.cycles
+        d.unified same)
     (solver_cases ())
 
 (* Same sweep as JSON lines — the CI artifact (BENCH_solver.json). *)
@@ -470,20 +476,31 @@ let solver_json () =
   List.iter
     (fun (label, prog, (module S : Core.Strategy.S), budget_label, budget) ->
       let d = sample prog (module S : Core.Strategy.S) budget `Delta in
+      let dn =
+        sample prog (module S : Core.Strategy.S) budget `Delta_nocycle
+      in
       let n = sample prog (module S : Core.Strategy.S) budget `Naive in
       let ratio a b =
         if b = 0 then 0.0 else float_of_int a /. float_of_int b
       in
+      let eng e =
+        Printf.sprintf
+          "{\"visits\":%d,\"facts\":%d,\"copy_edges\":%d,\"edges\":%d,\
+           \"cycles_found\":%d,\"cells_unified\":%d,\
+           \"wasted_propagations\":%d,\"time_s\":%.4f}"
+          e.visits e.facts e.copy_edges e.edges e.cycles e.unified e.wasted
+          e.time_s
+      in
       Printf.printf
-        "{\"case\":%s,\"strategy\":%s,\"budget\":%s,\"delta\":{\"visits\":%d,\
-         \"facts\":%d,\"copy_edges\":%d,\"edges\":%d,\"time_s\":%.4f},\
-         \"naive\":{\"visits\":%d,\"facts\":%d,\"edges\":%d,\"time_s\":%.4f},\
-         \"visit_ratio\":%.4f,\"fact_ratio\":%.4f,\"time_ratio\":%.4f}\n"
+        "{\"case\":%s,\"strategy\":%s,\"budget\":%s,\"delta\":%s,\
+         \"delta_nocycle\":%s,\"naive\":%s,\"visit_ratio\":%.4f,\
+         \"fact_ratio\":%.4f,\"time_ratio\":%.4f,\"cycle_visit_ratio\":%.4f,\
+         \"cycle_fact_ratio\":%.4f}\n"
         (Core.Report.quote label) (Core.Report.quote S.id)
-        (Core.Report.quote budget_label) d.visits d.facts d.copy_edges d.edges
-        d.time_s n.visits n.facts n.edges n.time_s
+        (Core.Report.quote budget_label) (eng d) (eng dn) (eng n)
         (ratio d.visits n.visits) (ratio d.facts n.facts)
-        (if n.time_s > 0.0 then d.time_s /. n.time_s else 0.0))
+        (if n.time_s > 0.0 then d.time_s /. n.time_s else 0.0)
+        (ratio d.visits dn.visits) (ratio d.facts dn.facts))
     (solver_cases ())
 
 (* ------------------------------------------------------------------ *)

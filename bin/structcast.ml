@@ -51,8 +51,10 @@ let layout_of_name = function
 
 let engine_of_name : string -> Core.Solver.engine = function
   | "delta" -> `Delta
+  | "delta-nocycle" -> `Delta_nocycle
   | "naive" -> `Naive
-  | s -> failwith (Printf.sprintf "unknown engine %s (delta|naive)" s)
+  | s ->
+      failwith (Printf.sprintf "unknown engine %s (delta|delta-nocycle|naive)" s)
 
 let strategy_of_name name : (module Core.Strategy.S) =
   match Core.Analysis.strategy_of_id name with
@@ -172,6 +174,9 @@ let print_metrics name (r : Core.Analysis.result) =
   Fmt.pr "facts consumed:       %d (delta %d of %d full; %d copy edges)@."
     m.Core.Metrics.facts_consumed m.Core.Metrics.delta_facts
     m.Core.Metrics.full_facts m.Core.Metrics.copy_edges;
+  Fmt.pr "cycle elimination:    %d cycles, %d cells unified, %d wasted props@."
+    m.Core.Metrics.cycles_found m.Core.Metrics.cells_unified
+    m.Core.Metrics.wasted_propagations;
   Fmt.pr "analysis time:        %.4f s@." r.Core.Analysis.time_s;
   if m.Core.Metrics.unknown_externs <> [] then
     Fmt.pr "unknown externs:      %s@."
@@ -583,8 +588,11 @@ let engine_arg =
     value & opt string "delta"
     & info [ "engine" ] ~docv:"ENGINE"
         ~doc:
-          "Solver engine: delta (difference propagation, default) or naive \
-           (reference full-reread worklist; same fixpoint, more work).")
+          "Solver engine: delta (difference propagation with online cycle \
+           elimination, default), delta-nocycle (difference propagation \
+           only; the ablation baseline), or naive (reference full-reread \
+           worklist). All three reach the same fixpoint; they differ only \
+           in how much work it costs.")
 
 let format_arg =
   Arg.(

@@ -5,73 +5,245 @@
     sorted id array ({!Idset}) whose insertion-order log doubles as the
     delta queue the solver's difference propagation consumes. An index
     from base objects to the cells of that object carrying outgoing edges
-    supports the Offsets instance's range-restricted [resolve]. *)
+    supports the Offsets instance's range-restricted [resolve].
+
+    Cells proven equivalent by online cycle elimination (a subset cycle
+    [a ⊆ b ⊆ … ⊆ a]) are {!unify}'d into one class over a {!Uf.t}: the
+    whole class aliases a single shared [Idset.t], keyed by the class
+    representative. Observable semantics stay member-expanded — [pts],
+    [iter_edges], [fold_sources], [equal], [edge_count] all behave as if
+    every member carried its own copy of the shared set, so reports and
+    queries reproduce the unshared fixpoint exactly. Only targets keep
+    their original identity; sharing canonicalizes sources. {!unshare}
+    dissolves the classes (degradation rebuilds the constraint system
+    over coarser cells, where the old classes are meaningless). *)
 
 open Cfront
 
 module Itbl = Hashtbl.Make (Int)
 
 type t = {
-  edges : Idset.t Itbl.t;  (** source cell id → target id set (never empty) *)
+  edges : Idset.t Itbl.t;
+      (** class representative id → shared target id set (never empty) *)
+  uf : Uf.t;  (** source-cell classes (online cycle elimination) *)
+  members : Cell.t list Itbl.t;
+      (** representative id → all cells of the class, only for classes
+          of two or more members (singletons are implicit) *)
   by_obj : Idset.t Cvar.Tbl.t;
       (** object → ids of its cells with facts (entries dropped when they
           empty, so [fold_objects] never visits a fact-free object) *)
   mutable edge_count : int;
+      (** member-expanded: a class of [m] cells sharing a set of [n]
+          targets contributes [m * n] *)
+  mutable source_count : int;  (** member-expanded fact-bearing cells *)
 }
 
 let create () =
-  { edges = Itbl.create 256; by_obj = Cvar.Tbl.create 64; edge_count = 0 }
+  {
+    edges = Itbl.create 256;
+    uf = Uf.create ();
+    members = Itbl.create 16;
+    by_obj = Cvar.Tbl.create 64;
+    edge_count = 0;
+    source_count = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Classes                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** The representative cell of [c]'s class ([c] itself when never
+    unified). All graph lookups resolve through it. *)
+let canon g (c : Cell.t) : Cell.t = Cell.of_id (Uf.find g.uf (Cell.id c))
+
+(** All cells of [c]'s class, the representative included. *)
+let class_members g (c : Cell.t) : Cell.t list =
+  let rid = Uf.find g.uf (Cell.id c) in
+  match Itbl.find_opt g.members rid with
+  | Some ms -> ms
+  | None -> [ Cell.of_id rid ]
+
+let members_of g (rid : int) : Cell.t list =
+  match Itbl.find_opt g.members rid with
+  | Some ms -> ms
+  | None -> [ Cell.of_id rid ]
+
+let class_size g (rid : int) : int =
+  match Itbl.find_opt g.members rid with
+  | Some ms -> List.length ms
+  | None -> 1
+
+(* ------------------------------------------------------------------ *)
+(* Lookups                                                             *)
+(* ------------------------------------------------------------------ *)
 
 let to_set (s : Idset.t) : Cell.Set.t =
   Idset.fold (fun i acc -> Cell.Set.add (Cell.of_id i) acc) s Cell.Set.empty
 
-let pts g (c : Cell.t) : Cell.Set.t =
-  match Itbl.find_opt g.edges (Cell.id c) with
-  | Some s -> to_set s
-  | None -> Cell.Set.empty
+let find_set g (c : Cell.t) : Idset.t option =
+  Itbl.find_opt g.edges (Uf.find g.uf (Cell.id c))
 
-(** The target id set of [c], if it has one. The set is live (it grows as
-    edges land) and append-ordered — cursors into it stay valid. *)
-let pts_ids g (c : Cell.t) : Idset.t option = Itbl.find_opt g.edges (Cell.id c)
+let pts g (c : Cell.t) : Cell.Set.t =
+  match find_set g c with Some s -> to_set s | None -> Cell.Set.empty
+
+(** The target id set of [c]'s class, if it has one. The set is live (it
+    grows as edges land) and append-ordered — cursors into it stay valid
+    until the class is unified into a larger one. *)
+let pts_ids g (c : Cell.t) : Idset.t option = find_set g c
 
 let pts_size g (c : Cell.t) : int =
-  match Itbl.find_opt g.edges (Cell.id c) with
-  | Some s -> Idset.cardinal s
-  | None -> 0
+  match find_set g c with Some s -> Idset.cardinal s | None -> 0
 
 (** Does [c] currently carry any outgoing edge? *)
-let has_source g (c : Cell.t) : bool = Itbl.mem g.edges (Cell.id c)
+let has_source g (c : Cell.t) : bool =
+  Itbl.mem g.edges (Uf.find g.uf (Cell.id c))
 
-(** Add edge [c → w]; returns [true] if the edge is new. *)
-let add_edge g (c : Cell.t) (w : Cell.t) : bool =
-  let cid = Cell.id c in
-  let set =
-    match Itbl.find_opt g.edges cid with
+(* ------------------------------------------------------------------ *)
+(* Mutation                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Record [cid] (a member id, not a representative) as fact-bearing in
+    the per-object index. *)
+let index_cell g (c : Cell.t) : unit =
+  let idx =
+    match Cvar.Tbl.find_opt g.by_obj c.Cell.base with
     | Some s -> s
     | None ->
         let s = Idset.create () in
-        Itbl.replace g.edges cid s;
+        Cvar.Tbl.replace g.by_obj c.Cell.base s;
         s
   in
+  if Idset.add idx (Cell.id c) then g.source_count <- g.source_count + 1
+
+(** Add edge [c → w]; returns [true] if the edge is new. The fact lands
+    in [c]'s class set, so every class member gains it at once. *)
+let add_edge g (c : Cell.t) (w : Cell.t) : bool =
+  let rid = Uf.find g.uf (Cell.id c) in
+  let set, fresh_source =
+    match Itbl.find_opt g.edges rid with
+    | Some s -> (s, false)
+    | None ->
+        let s = Idset.create () in
+        Itbl.replace g.edges rid s;
+        (s, true)
+  in
   if Idset.add set (Cell.id w) then begin
-    g.edge_count <- g.edge_count + 1;
-    let idx =
-      match Cvar.Tbl.find_opt g.by_obj c.Cell.base with
-      | Some s -> s
-      | None ->
-          let s = Idset.create () in
-          Cvar.Tbl.replace g.by_obj c.Cell.base s;
-          s
-    in
-    ignore (Idset.add idx cid);
+    g.edge_count <- g.edge_count + class_size g rid;
+    if fresh_source then List.iter (index_cell g) (members_of g rid);
     true
   end
   else false
 
+(** Merge the current points-to set of [src]'s class into [dst]'s class
+    set with one {!Idset.union_into} pass — the bulk form of repeated
+    [add_edge] used for copy-edge drains and collapse merges. Returns the
+    number of facts added and the cells that just became fact-bearing
+    ([dst]'s whole class when it had no set before, [[]] otherwise). *)
+let union_pts g ~(dst : Cell.t) ~(src : Cell.t) : int * Cell.t list =
+  let sid = Uf.find g.uf (Cell.id src) in
+  let did = Uf.find g.uf (Cell.id dst) in
+  if sid = did then (0, [])
+  else
+    match Itbl.find_opt g.edges sid with
+    | None -> (0, [])
+    | Some ss -> (
+        match Itbl.find_opt g.edges did with
+        | Some ds ->
+            let added = Idset.union_into ds ss in
+            g.edge_count <- g.edge_count + (added * class_size g did);
+            (added, [])
+        | None ->
+            let ds = Idset.create ~cap:(Idset.cardinal ss) () in
+            let added = Idset.union_into ds ss in
+            Itbl.replace g.edges did ds;
+            let dmembers = members_of g did in
+            g.edge_count <- g.edge_count + (added * List.length dmembers);
+            List.iter (index_cell g) dmembers;
+            (added, dmembers))
+
+(** Unify the classes of [a] and [b]: afterwards they share one set and
+    one representative. The representative kept is the one whose class
+    set holds more facts (ties: the smaller id), so the survivor's
+    insertion-order log keeps its prefix — cursors held by consumers of
+    the *winning* class stay valid; the caller must reset consumers of
+    the losing class. Returns the representative and the cells that just
+    became fact-bearing (the fact-free side's members, when exactly one
+    side had facts). *)
+let unify g (a : Cell.t) (b : Cell.t) : Cell.t * Cell.t list =
+  let ra = Uf.find g.uf (Cell.id a) and rb = Uf.find g.uf (Cell.id b) in
+  if ra = rb then (Cell.of_id ra, [])
+  else begin
+    let ca =
+      match Itbl.find_opt g.edges ra with Some s -> Idset.cardinal s | None -> 0
+    in
+    let cb =
+      match Itbl.find_opt g.edges rb with Some s -> Idset.cardinal s | None -> 0
+    in
+    let w, l =
+      if cb > ca then (rb, ra)
+      else if ca > cb then (ra, rb)
+      else (min ra rb, max ra rb)
+    in
+    let wm = members_of g w and lm = members_of g l in
+    Uf.union g.uf ~into:w l;
+    Itbl.remove g.members l;
+    Itbl.replace g.members w (wm @ lm);
+    let rep = Cell.of_id w in
+    match (Itbl.find_opt g.edges w, Itbl.find_opt g.edges l) with
+    | None, None -> (rep, [])
+    | Some s, None ->
+        (* the loser's members now see the winner's facts *)
+        g.edge_count <- g.edge_count + (Idset.cardinal s * List.length lm);
+        List.iter (index_cell g) lm;
+        (rep, lm)
+    | None, Some s ->
+        Itbl.remove g.edges l;
+        Itbl.replace g.edges w s;
+        g.edge_count <- g.edge_count + (Idset.cardinal s * List.length wm);
+        List.iter (index_cell g) wm;
+        (rep, wm)
+    | Some sw, Some sl ->
+        let cw0 = Idset.cardinal sw in
+        let added = Idset.union_into sw sl in
+        Itbl.remove g.edges l;
+        (* winner members gained [added] facts each; loser members now
+           carry the merged set instead of their old one *)
+        g.edge_count <-
+          g.edge_count
+          + (List.length wm * added)
+          + (List.length lm * (cw0 + added - Idset.cardinal sl));
+        (rep, [])
+  end
+
+(** Dissolve every class: give each non-representative member its own
+    copy of the shared set, then reset the union-find. Called before a
+    degradation collapse rewrites the graph — the collapse logic (and
+    [remove_source]) operates per cell and must not see aliasing.
+    [edge_count]/[source_count]/[by_obj] are already member-expanded, so
+    they are unchanged. *)
+let unshare g : unit =
+  if Itbl.length g.members > 0 then begin
+    Itbl.iter
+      (fun rid ms ->
+        match Itbl.find_opt g.edges rid with
+        | None -> ()
+        | Some s ->
+            List.iter
+              (fun (m : Cell.t) ->
+                if Cell.id m <> rid then
+                  Itbl.replace g.edges (Cell.id m) (Idset.copy s))
+              ms)
+      g.members;
+    Itbl.reset g.members
+  end;
+  Uf.reset g.uf
+
 (** Drop a source cell and its outgoing edges (degradation: the cell's
-    facts live on its collapsed representative from now on). The per-object
-    index entry is dropped when its last fact-bearing cell goes, so
-    [fold_objects]/[cell_count_of_obj] never see a stale empty object. *)
+    facts live on its collapsed representative from now on). Requires an
+    unshared graph ({!unshare}) — removal from a shared class would be
+    ill-defined. The per-object index entry is dropped when its last
+    fact-bearing cell goes, so [fold_objects]/[cell_count_of_obj] never
+    see a stale empty object. *)
 let remove_source g (c : Cell.t) : unit =
   let cid = Cell.id c in
   match Itbl.find_opt g.edges cid with
@@ -81,20 +253,25 @@ let remove_source g (c : Cell.t) : unit =
       Itbl.remove g.edges cid;
       (match Cvar.Tbl.find_opt g.by_obj c.Cell.base with
       | Some idx ->
+          if Idset.mem idx cid then g.source_count <- g.source_count - 1;
           (* Idset has no removal (cursors must stay valid), so rebuild
              the small per-object index without [c]. *)
           let remaining =
-            Idset.fold
-              (fun i acc -> if i = cid then acc else i :: acc)
-              idx []
+            Idset.fold (fun i acc -> if i = cid then acc else i :: acc) idx []
           in
           if remaining = [] then Cvar.Tbl.remove g.by_obj c.Cell.base
           else begin
             let fresh = Idset.create ~cap:(List.length remaining) () in
-            List.iter (fun i -> ignore (Idset.add fresh i)) (List.rev remaining);
+            List.iter
+              (fun i -> ignore (Idset.add fresh i))
+              (List.rev remaining);
             Cvar.Tbl.replace g.by_obj c.Cell.base fresh
           end
       | None -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Iteration (member-expanded)                                         *)
+(* ------------------------------------------------------------------ *)
 
 (** Cells of [obj] that have at least one outgoing edge, in the order the
     cells first gained facts. *)
@@ -109,8 +286,9 @@ let cell_count_of_obj g (obj : Cvar.t) : int =
   | Some s -> Idset.cardinal s
   | None -> 0
 
-(** Number of distinct cells carrying outgoing edges, over all objects. *)
-let source_cell_count g : int = Itbl.length g.edges
+(** Number of distinct cells carrying outgoing edges, over all objects.
+    Member-expanded: every cell of a fact-bearing class counts. *)
+let source_cell_count g : int = g.source_count
 
 (** Fold over objects that carry facts, with their fact-bearing cells. *)
 let fold_objects g f init =
@@ -120,49 +298,108 @@ let edge_count g = g.edge_count
 
 let iter_edges g f =
   Itbl.iter
-    (fun cid s ->
-      let c = Cell.of_id cid in
-      Idset.iter (fun wid -> f c (Cell.of_id wid)) s)
+    (fun rid s ->
+      List.iter
+        (fun c -> Idset.iter (fun wid -> f c (Cell.of_id wid)) s)
+        (members_of g rid))
     g.edges
 
 let fold_sources g f init =
-  Itbl.fold (fun cid s acc -> f (Cell.of_id cid) (to_set s) acc) g.edges init
+  Itbl.fold
+    (fun rid s acc ->
+      let set = to_set s in
+      List.fold_left (fun acc c -> f c set acc) acc (members_of g rid))
+    g.edges init
 
-(** Audit the bookkeeping: [edge_count] equals the summed set cardinals,
-    no stored set is empty, and the per-object index lists exactly the
-    fact-bearing cells. Returns the offending description, or [None]. *)
+(* ------------------------------------------------------------------ *)
+(* Audits and equality                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Audit the bookkeeping: set keys are class representatives,
+    [edge_count] equals the member-expanded summed cardinals, no stored
+    set is empty, the members table is consistent with the union-find,
+    and the per-object index lists exactly the fact-bearing member
+    cells. Returns the offending description, or [None]. *)
 let check_counts g : string option =
-  let summed = Itbl.fold (fun _ s acc -> acc + Idset.cardinal s) g.edges 0 in
-  if summed <> g.edge_count then
-    Some
-      (Printf.sprintf "edge_count drift: counter %d, summed %d" g.edge_count
-         summed)
-  else if Itbl.fold (fun _ s acc -> acc || Idset.is_empty s) g.edges false then
-    Some "empty points-to set retained in edges"
-  else
-    let indexed =
-      Cvar.Tbl.fold (fun _ s acc -> acc + Idset.cardinal s) g.by_obj 0
-    in
-    if indexed <> Itbl.length g.edges then
-      Some
-        (Printf.sprintf "by_obj index drift: %d indexed, %d sources" indexed
-           (Itbl.length g.edges))
-    else if
-      Cvar.Tbl.fold
-        (fun _ s acc -> acc || Idset.is_empty s)
-        g.by_obj false
-    then Some "empty per-object index entry retained"
-    else if
-      Itbl.fold
-        (fun cid _ acc ->
-          acc
-          ||
-          match Cvar.Tbl.find_opt g.by_obj (Cell.of_id cid).Cell.base with
-          | Some idx -> not (Idset.mem idx cid)
-          | None -> true)
-        g.edges false
-    then Some "source cell missing from by_obj index"
-    else None
+  let fail = ref None in
+  let check cond msg = if !fail = None && not cond then fail := Some msg in
+  Itbl.iter
+    (fun rid _ ->
+      check
+        (Uf.find g.uf rid = rid)
+        (Printf.sprintf "set keyed by non-representative cell %d" rid))
+    g.edges;
+  Itbl.iter
+    (fun rid ms ->
+      check
+        (Uf.find g.uf rid = rid)
+        (Printf.sprintf "members keyed by non-representative %d" rid);
+      check (List.length ms >= 2)
+        (Printf.sprintf "degenerate members entry for %d" rid);
+      check
+        (List.exists (fun (m : Cell.t) -> Cell.id m = rid) ms)
+        (Printf.sprintf "representative %d missing from its class" rid);
+      List.iter
+        (fun (m : Cell.t) ->
+          check
+            (Uf.find g.uf (Cell.id m) = rid)
+            (Printf.sprintf "member %d not in class %d" (Cell.id m) rid))
+        ms)
+    g.members;
+  (match !fail with
+  | Some _ -> ()
+  | None ->
+      let summed =
+        Itbl.fold
+          (fun rid s acc -> acc + (Idset.cardinal s * class_size g rid))
+          g.edges 0
+      in
+      check (summed = g.edge_count)
+        (Printf.sprintf "edge_count drift: counter %d, summed %d" g.edge_count
+           summed);
+      check
+        (not (Itbl.fold (fun _ s acc -> acc || Idset.is_empty s) g.edges false))
+        "empty points-to set retained in edges";
+      let indexed =
+        Cvar.Tbl.fold (fun _ s acc -> acc + Idset.cardinal s) g.by_obj 0
+      in
+      let expanded =
+        Itbl.fold (fun rid _ acc -> acc + class_size g rid) g.edges 0
+      in
+      check (indexed = expanded)
+        (Printf.sprintf "by_obj index drift: %d indexed, %d member sources"
+           indexed expanded);
+      check (indexed = g.source_count)
+        (Printf.sprintf "source_count drift: counter %d, indexed %d"
+           g.source_count indexed);
+      check
+        (not
+           (Cvar.Tbl.fold
+              (fun _ s acc -> acc || Idset.is_empty s)
+              g.by_obj false))
+        "empty per-object index entry retained";
+      Cvar.Tbl.iter
+        (fun _ idx ->
+          Idset.iter
+            (fun cid ->
+              check
+                (Itbl.mem g.edges (Uf.find g.uf cid))
+                (Printf.sprintf "indexed cell %d has no facts" cid))
+            idx)
+        g.by_obj;
+      Itbl.iter
+        (fun rid _ ->
+          List.iter
+            (fun (m : Cell.t) ->
+              check
+                (match Cvar.Tbl.find_opt g.by_obj m.Cell.base with
+                | Some idx -> Idset.mem idx (Cell.id m)
+                | None -> false)
+                (Printf.sprintf "source cell %d missing from by_obj index"
+                   (Cell.id m)))
+            (members_of g rid))
+        g.edges);
+  !fail
 
 let sorted_pairs g =
   let pairs =
@@ -175,7 +412,9 @@ let sorted_pairs g =
       match Cell.compare a1 b1 with 0 -> Cell.compare a2 b2 | c -> c)
     pairs
 
-(** Edge-set equality (order-independent), by semantic cell identity. *)
+(** Edge-set equality (order-independent), by semantic cell identity.
+    Member-expanded, so a shared-class graph equals the unshared graph
+    with the same facts. *)
 let equal a b =
   a.edge_count = b.edge_count
   && List.equal
@@ -184,13 +423,10 @@ let equal a b =
 
 let pp ppf g =
   let entries = fold_sources g (fun c s acc -> (c, s) :: acc) [] in
-  let entries =
-    List.sort (fun (a, _) (b, _) -> Cell.compare a b) entries
-  in
+  let entries = List.sort (fun (a, _) (b, _) -> Cell.compare a b) entries in
   List.iter
     (fun (c, s) ->
-      Fmt.pf ppf "%a -> {%a}@."
-        Cell.pp c
+      Fmt.pf ppf "%a -> {%a}@." Cell.pp c
         (Fmt.list ~sep:(Fmt.any ", ") Cell.pp)
         (Cell.Set.elements s))
     entries

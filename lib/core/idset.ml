@@ -85,6 +85,55 @@ let fold f s init =
   done;
   !acc
 
+(** [union_into dst src] adds every member of [src] missing from [dst]
+    with one merge pass over the sorted arrays — a single rebuild instead
+    of a per-element O(n) insertion blit. The new members are appended to
+    [dst]'s insertion-order log in [src]'s insertion order, after the
+    existing entries, so cursors into [dst]'s log stay valid (the old
+    prefix is untouched). Returns the number of members added. *)
+let union_into dst src =
+  if dst == src || src.len = 0 then 0
+  else begin
+    (* collect src's members missing from dst, in src insertion order
+       (membership tested against dst's pre-merge sorted array) *)
+    let fresh = Array.make src.len 0 in
+    let nf = ref 0 in
+    for i = 0 to src.len - 1 do
+      let x = src.ord.(i) in
+      if not (mem dst x) then begin
+        fresh.(!nf) <- x;
+        incr nf
+      end
+    done;
+    let n = !nf in
+    if n = 0 then 0
+    else begin
+      let len = dst.len + n in
+      let add_srt = Array.sub fresh 0 n in
+      Array.sort compare add_srt;
+      (* merge the two sorted runs *)
+      let srt = Array.make len (-1) in
+      let i = ref 0 and j = ref 0 in
+      for k = 0 to len - 1 do
+        if !i < dst.len && (!j >= n || dst.srt.(!i) < add_srt.(!j)) then begin
+          srt.(k) <- dst.srt.(!i);
+          incr i
+        end
+        else begin
+          srt.(k) <- add_srt.(!j);
+          incr j
+        end
+      done;
+      let ord = Array.make len (-1) in
+      Array.blit dst.ord 0 ord 0 dst.len;
+      Array.blit fresh 0 ord dst.len n;
+      dst.srt <- srt;
+      dst.ord <- ord;
+      dst.len <- len;
+      n
+    end
+  end
+
 (** Members in ascending id order. *)
 let elements s = Array.to_list (Array.sub s.srt 0 s.len)
 

@@ -31,6 +31,14 @@ val iter_from : int -> (int -> unit) -> t -> unit
 val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
 (** Insertion order. *)
 
+val union_into : t -> t -> int
+(** [union_into dst src] adds every member of [src] missing from [dst]
+    in one merge pass over the sorted arrays (instead of per-element
+    O(n) insertion blits), appending the new members to [dst]'s
+    insertion-order log in [src]'s insertion order. Cursors into [dst]
+    stay valid — the existing log prefix is untouched. Returns the
+    number added. [src] is unchanged. *)
+
 val elements : t -> int list
 (** Ascending id order. *)
 

@@ -59,7 +59,7 @@ type summary = {
   degraded : Budget.event list;
       (** which objects were collapsed under budget pressure, why, and
           when; empty for a full-precision run *)
-  engine : string;  (** ["delta"] or ["naive"] *)
+  engine : string;  (** ["delta"], ["delta-nocycle"] or ["naive"] *)
   solver_visits : int;  (** statement visits the worklist dispatched *)
   facts_consumed : int;
       (** facts read by rule visits plus facts pushed along copy edges *)
@@ -68,6 +68,15 @@ type summary = {
       (** set sizes those visits would have re-read naively; the
           [delta_facts]/[full_facts] ratio is the delta engine's win *)
   copy_edges : int;  (** subset-constraint edges installed (delta only) *)
+  cycles_found : int;
+      (** subset cycles collapsed by lazy cycle detection ([`Delta]) *)
+  cells_unified : int;
+      (** cells folded into another class's representative ([`Delta]) *)
+  wasted_propagations : int;
+      (** propagations that produced nothing new: statement visits that
+          consumed facts but derived no edge, plus copy-edge drains that
+          moved facts but added none — the redundancy cycle elimination
+          targets *)
 }
 
 let summarize (solver : Solver.t) : summary =
@@ -101,12 +110,18 @@ let summarize (solver : Solver.t) : summary =
     unknown_externs = solver.Solver.unknown_externs;
     degraded = Budget.events solver.Solver.budget;
     engine =
-      (match solver.Solver.engine with `Delta -> "delta" | `Naive -> "naive");
+      (match solver.Solver.engine with
+      | `Delta -> "delta"
+      | `Delta_nocycle -> "delta-nocycle"
+      | `Naive -> "naive");
     solver_visits = solver.Solver.rounds;
     facts_consumed = solver.Solver.facts_consumed;
     delta_facts = solver.Solver.delta_facts;
     full_facts = solver.Solver.full_facts;
     copy_edges = Solver.copy_edge_count solver;
+    cycles_found = solver.Solver.cycles_found;
+    cells_unified = solver.Solver.cells_unified;
+    wasted_propagations = solver.Solver.wasted_props;
   }
 
 (* ------------------------------------------------------------------ *)

@@ -34,7 +34,7 @@ type summary = {
   degraded : Budget.event list;
       (** which objects were collapsed under budget pressure, why, and
           when; empty for a full-precision run *)
-  engine : string;  (** ["delta"] or ["naive"] *)
+  engine : string;  (** ["delta"], ["delta-nocycle"] or ["naive"] *)
   solver_visits : int;  (** statement visits the worklist dispatched *)
   facts_consumed : int;
       (** facts read by rule visits plus facts pushed along copy edges *)
@@ -43,6 +43,14 @@ type summary = {
       (** set sizes those visits would have re-read naively; the
           [delta_facts]/[full_facts] ratio is the delta engine's win *)
   copy_edges : int;  (** subset-constraint edges installed (delta only) *)
+  cycles_found : int;
+      (** subset cycles collapsed by lazy cycle detection ([`Delta]) *)
+  cells_unified : int;
+      (** cells folded into another class's representative ([`Delta]) *)
+  wasted_propagations : int;
+      (** propagations that produced nothing new: statement visits that
+          consumed facts but derived no edge, plus copy-edge drains that
+          moved facts but added none *)
 }
 
 val summarize : Solver.t -> summary

@@ -54,7 +54,8 @@ let json_of_diag (p : Diag.payload) : string =
     (quote p.Diag.loc.Srcloc.file)
     p.Diag.loc.Srcloc.line p.Diag.loc.Srcloc.col (quote p.Diag.message)
 
-let json_of_result ?(timing = true) ~name (r : Analysis.result) : string =
+let json_of_result ?(timing = true) ?(solver_stats = true) ~name
+    (r : Analysis.result) : string =
   let m = r.Analysis.metrics in
   let b = Buffer.create 512 in
   let field fmt = Printf.ksprintf (Buffer.add_string b) fmt in
@@ -65,15 +66,22 @@ let json_of_result ?(timing = true) ~name (r : Analysis.result) : string =
   field ",\"avg_deref_size\":%.4f" m.Metrics.avg_deref_size;
   field ",\"max_deref_size\":%d" m.Metrics.max_deref_size;
   field ",\"total_edges\":%d" m.Metrics.total_edges;
-  field ",\"lookup_calls\":%d" m.Metrics.lookup_calls;
-  field ",\"resolve_calls\":%d" m.Metrics.resolve_calls;
+  if solver_stats then begin
+    field ",\"lookup_calls\":%d" m.Metrics.lookup_calls;
+    field ",\"resolve_calls\":%d" m.Metrics.resolve_calls
+  end;
   field ",\"corrupt_derefs\":%d" m.Metrics.corrupt_derefs;
-  field ",\"engine\":%s" (quote m.Metrics.engine);
-  field ",\"solver_visits\":%d" m.Metrics.solver_visits;
-  field ",\"facts_consumed\":%d" m.Metrics.facts_consumed;
-  field ",\"delta_facts\":%d" m.Metrics.delta_facts;
-  field ",\"full_facts\":%d" m.Metrics.full_facts;
-  field ",\"copy_edges\":%d" m.Metrics.copy_edges;
+  if solver_stats then begin
+    field ",\"engine\":%s" (quote m.Metrics.engine);
+    field ",\"solver_visits\":%d" m.Metrics.solver_visits;
+    field ",\"facts_consumed\":%d" m.Metrics.facts_consumed;
+    field ",\"delta_facts\":%d" m.Metrics.delta_facts;
+    field ",\"full_facts\":%d" m.Metrics.full_facts;
+    field ",\"copy_edges\":%d" m.Metrics.copy_edges;
+    field ",\"cycles_found\":%d" m.Metrics.cycles_found;
+    field ",\"cells_unified\":%d" m.Metrics.cells_unified;
+    field ",\"wasted_propagations\":%d" m.Metrics.wasted_propagations
+  end;
   field ",\"unknown_externs\":[%s]"
     (String.concat "," (List.map quote m.Metrics.unknown_externs));
   field ",\"degraded\":[%s]"

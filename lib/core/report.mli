@@ -28,6 +28,15 @@ val json_of_diag : Cfront.Diag.payload -> string
 (** One diagnostic:
     [{"severity":…,"file":…,"line":…,"col":…,"message":…}]. *)
 
-val json_of_result : ?timing:bool -> name:string -> Analysis.result -> string
+val json_of_result :
+  ?timing:bool -> ?solver_stats:bool -> name:string -> Analysis.result -> string
 (** The full result object (program, strategy, metrics, [degraded],
-    [diags], and — when [timing] — [time_s]). Single line. *)
+    [diags], and — when [timing] — [time_s]). Single line.
+
+    With [~solver_stats:false] the engine-dependent cost counters
+    ([lookup_calls], [resolve_calls], [engine], [solver_visits],
+    [facts_consumed], [delta_facts], [full_facts], [copy_edges],
+    [cycles_found], [cells_unified], [wasted_propagations]) are omitted,
+    leaving only the fields that are a pure function of the computed
+    fixpoint — so renderings from different engines of the same analysis
+    must agree byte-for-byte, which the differential tests exploit. *)

@@ -9,27 +9,38 @@
     pointer's points-to set as it grows. Library calls use
     {!Norm.Summaries}.
 
-    Two engines share the rule code:
+    Three engines share the rule code:
 
-    - [`Delta] (default) — difference propagation. A statement visit
-      consumes only the facts added to the pointer cells it reads since
-      its last visit (an integer cursor into each {!Idset} append log),
-      and [lookup]/[resolve] run on that delta only. The fact *transfers*
-      a resolve derives become persistent copy edges (subset constraints)
-      between cells; a cell-level worklist pushes each new fact along its
-      out-edges exactly once, so a fact is never re-read by a statement
-      that already produced it. Statements are only revisited when a cell
-      they consume gains facts, or — for the Offsets instance, whose
-      [resolve] pair set depends on which source cells carry facts
-      ([Strategy.S.graph_resolve]) — when a subscribed object gains a new
-      fact-bearing cell, which resets the statement's cursors so its
-      resolves re-run over the full sets.
+    - [`Delta] (default) — difference propagation with online cycle
+      elimination. A statement visit consumes only the facts added to the
+      pointer cells it reads since its last visit (an integer cursor into
+      each {!Idset} append log), and [lookup]/[resolve] run on that delta
+      only. The fact *transfers* a resolve derives become persistent copy
+      edges (subset constraints) between cells; a priority worklist —
+      keyed by a periodically recomputed pseudo-topological order of the
+      copy graph, so facts flow roughly sources-before-sinks — pushes
+      each new fact along its out-edges exactly once. Cells caught in a
+      subset cycle ([a ⊆ b ⊆ … ⊆ a]) provably converge to the same set,
+      so the engine detects such cycles lazily (Lazy Cycle Detection:
+      a drain that moves facts but adds none, onto a destination whose
+      set already equals the source's, triggers a bounded DFS looking for
+      a path back) and {!Graph.unify}'s the members into one class
+      sharing a single set — the facts stop circulating the cycle.
+      Statements are only revisited when a cell they consume gains facts,
+      or — for the Offsets instance, whose [resolve] pair set depends on
+      which source cells carry facts ([Strategy.S.graph_resolve]) — when
+      a subscribed object gains a new fact-bearing cell, which resets the
+      statement's cursors so its resolves re-run over the full sets.
+
+    - [`Delta_nocycle] — the same difference propagation with cycle
+      elimination switched off: the ablation baseline that isolates the
+      cycle win in benchmarks and differential tests.
 
     - [`Naive] — the reference engine: a statement worklist that re-reads
       entire points-to sets on every visit (statements subscribe to base
       objects; any new fact on the object re-enqueues them). Quadratic in
       the worst case, but a direct transcription of Figure 2 — retained
-      as the differential-testing oracle for the delta engine.
+      as the differential-testing oracle for the delta engines.
 
     Resilience: the loop charges every processed statement against a
     {!Budget.t}. When a budget trips, the solver does not abort — it
@@ -39,17 +50,18 @@
     fixpoint. Collapsing is implemented by wrapping the strategy: every
     cell the base strategy produces for a collapsed object is redirected
     to that object's representative cell. A collapse invalidates in-flight
-    deltas (cursors and copy edges reference pre-collapse cells), so the
-    delta engine rewrites the graph onto the representative and resets
-    its delta state; the re-enqueued statements re-derive the constraints
-    over the coarser cell space. *)
+    deltas (cursors and copy edges reference pre-collapse cells) and
+    dissolves the union-find classes ({!Graph.unshare} runs before the
+    graph is rewritten), so the delta engine resets its delta state and
+    the re-enqueued statements re-derive the constraints over the coarser
+    cell space. *)
 
 open Cfront
 open Norm
 
 module Itbl = Hashtbl.Make (Int)
 
-type engine = [ `Delta | `Naive ]
+type engine = [ `Delta | `Delta_nocycle | `Naive ]
 
 type t = {
   ctx : Actx.t;
@@ -79,14 +91,33 @@ type t = {
       (** stmts whose cursors reset at their next visit (a subscribed
           object gained a new fact-bearing cell) *)
   pointer_subs : Nast.stmt list ref Itbl.t;
-      (** cell id → statements consuming that cell's facts via cursor *)
+      (** class representative id → statements consuming that class's
+          facts via cursor; re-keyed to the survivor on unification *)
   cell_subbed : (int * int, unit) Hashtbl.t;
-      (** (stmt id, cell id) pairs already in [pointer_subs] *)
+      (** (stmt id, class id) pairs already in [pointer_subs] *)
   copy_out : (int * int ref) list ref Itbl.t;
-      (** src cell id → (dst cell id, copy cursor into src's log) *)
+      (** class id → (dst cell id, copy cursor into the class's log);
+          edges move to the surviving class on unification, cursors
+          reset (the merged log reordered the loser's facts) *)
   copy_mem : (int * int, unit) Hashtbl.t;  (** (src, dst) edge dedup *)
-  cell_wl : int Queue.t;  (** cells with facts not yet pushed out *)
+  copy_srcs : int list ref;
+      (** [copy_out] keys in creation order — the deterministic DFS root
+          sequence for the pseudo-topological order (hashtable iteration
+          order depends on interned ids and would break run-to-run
+          byte-identical reports) *)
+  cell_pq : Pq.t;
+      (** cells with facts not yet pushed out, drained in
+          pseudo-topological order of the copy graph *)
   in_cell_wl : unit Itbl.t;
+  order : int Itbl.t;
+      (** class id → pseudo-topological rank (reverse postorder of the
+          copy graph); unranked cells drain last *)
+  mutable order_edges : int;
+      (** [copy_mem] size when [order] was last recomputed; the order is
+          refreshed once the edge count outgrows it by half *)
+  lcd_done : (int * int, unit) Hashtbl.t;
+      (** (src class, dst class) pairs that already triggered a cycle
+          search — each wasted edge pays for at most one DFS *)
   (* --- profiling --------------------------------------------------- *)
   mutable rounds : int;  (** statement visits *)
   mutable facts_consumed : int;
@@ -95,6 +126,14 @@ type t = {
       (** facts rule visits actually iterated (the suffixes) *)
   mutable full_facts : int;
       (** set sizes those visits would have re-read naively *)
+  mutable cycles_found : int;
+      (** subset cycles collapsed by lazy cycle detection *)
+  mutable cells_unified : int;
+      (** cells folded into another class's representative *)
+  mutable wasted_props : int;
+      (** propagations that produced nothing new: statement visits that
+          consumed facts but derived no edge, and copy-edge drains that
+          moved facts but added none *)
   arith_mode : [ `Spread | `Copy | `Stride | `Unknown ];
       (** How pointer arithmetic is modelled:
           - [`Spread] — the paper's Assumption-1 rule: the result may
@@ -200,16 +239,32 @@ let create ?(layout = Layout.default) ?(arith = `Spread)
     cell_subbed = Hashtbl.create 512;
     copy_out = Itbl.create 256;
     copy_mem = Hashtbl.create 512;
-    cell_wl = Queue.create ();
+    copy_srcs = ref [];
+    cell_pq = Pq.create ();
     in_cell_wl = Itbl.create 256;
+    order = Itbl.create 256;
+    order_edges = 0;
+    lcd_done = Hashtbl.create 64;
     rounds = 0;
     facts_consumed = 0;
     delta_facts = 0;
     full_facts = 0;
+    cycles_found = 0;
+    cells_unified = 0;
+    wasted_props = 0;
     arith_mode = arith;
     unknown_obj = Cvar.fresh ~name:"$unknown" ~ty:Ctype.Void ~kind:Cvar.Global;
     unknown_externs = [];
   }
+
+(** Both difference-propagation engines ([`Delta] and [`Delta_nocycle]). *)
+let is_delta t = t.engine <> `Naive
+
+(** Cycle elimination is exclusive to the full [`Delta] engine. *)
+let cycles_on t = t.engine = `Delta
+
+let canon_id t (cid : int) : int =
+  Cell.id (Graph.canon t.graph (Cell.of_id cid))
 
 let enqueue t (s : Nast.stmt) =
   if not (Hashtbl.mem t.in_queue s.Nast.id) then begin
@@ -253,47 +308,81 @@ let cursor_tbl t (stmt : Nast.stmt) : int Itbl.t =
       Itbl.replace t.cursors stmt.Nast.id tbl;
       tbl
 
-(** Register [stmt] as a cursor-consumer of [c]'s facts. *)
+(** Register [stmt] as a cursor-consumer of [c]'s facts (keyed by [c]'s
+    class, so unification can find and reset the class's consumers). *)
 let pointer_subscribe t (stmt : Nast.stmt) (c : Cell.t) =
-  let key = (stmt.Nast.id, Cell.id c) in
+  let rid = canon_id t (Cell.id c) in
+  let key = (stmt.Nast.id, rid) in
   if not (Hashtbl.mem t.cell_subbed key) then begin
     Hashtbl.replace t.cell_subbed key ();
     let lst =
-      match Itbl.find_opt t.pointer_subs (Cell.id c) with
+      match Itbl.find_opt t.pointer_subs rid with
       | Some l -> l
       | None ->
           let l = ref [] in
-          Itbl.replace t.pointer_subs (Cell.id c) l;
+          Itbl.replace t.pointer_subs rid l;
           l
     in
     lst := stmt :: !lst
   end
 
+let subs_list t (rid : int) : Nast.stmt list ref =
+  match Itbl.find_opt t.pointer_subs rid with
+  | Some l -> l
+  | None ->
+      let l = ref [] in
+      Itbl.replace t.pointer_subs rid l;
+      l
+
+let copy_list t (sid : int) : (int * int ref) list ref =
+  match Itbl.find_opt t.copy_out sid with
+  | Some l -> l
+  | None ->
+      let l = ref [] in
+      Itbl.replace t.copy_out sid l;
+      t.copy_srcs := sid :: !(t.copy_srcs);
+      l
+
+(** Pseudo-topological rank of a cell ([max_int] when unranked: cells
+    discovered since the last recompute drain after ranked ones). *)
+let rank t (cid : int) : int =
+  match Itbl.find_opt t.order cid with Some p -> p | None -> max_int
+
 let push_cell t (cid : int) =
   if Itbl.mem t.copy_out cid && not (Itbl.mem t.in_cell_wl cid) then begin
     Itbl.replace t.in_cell_wl cid ();
-    Queue.add cid t.cell_wl
+    Pq.push t.cell_pq ~prio:(rank t cid) cid
   end
 
 let mark_dirty t (stmt : Nast.stmt) = Itbl.replace t.dirty stmt.Nast.id ()
 
-(** Number of copy (subset-constraint) edges currently installed. *)
+(** Number of copy (subset-constraint) edges installed (cumulative:
+    edges subsumed by a later class unification stay counted). *)
 let copy_edge_count t = Hashtbl.length t.copy_mem
 
 (** Collapse invalidates cursors and copy edges (they reference
-    pre-collapse cells): drop all delta state. The caller re-enqueues
-    every statement, and re-derivation rebuilds the constraints — and
-    recopies the merged representative sets — over the coarser cells. *)
+    pre-collapse cells) and the union-find classes (they were proven
+    over pre-collapse constraints): drop all delta state and unshare the
+    graph. Runs BEFORE the collapse rewrites the graph — the rewrite
+    ([Graph.remove_source]) needs the unshared, per-cell view. The
+    caller re-enqueues every statement, and re-derivation rebuilds the
+    constraints — and recopies the merged representative sets — over the
+    coarser cells. *)
 let reset_deltas t =
-  if t.engine = `Delta then begin
+  if is_delta t then begin
     Itbl.reset t.cursors;
     Itbl.reset t.dirty;
     Itbl.reset t.pointer_subs;
     Hashtbl.reset t.cell_subbed;
     Itbl.reset t.copy_out;
     Hashtbl.reset t.copy_mem;
-    Queue.clear t.cell_wl;
-    Itbl.reset t.in_cell_wl
+    t.copy_srcs := [];
+    Pq.clear t.cell_pq;
+    Itbl.reset t.in_cell_wl;
+    Itbl.reset t.order;
+    t.order_edges <- 0;
+    Hashtbl.reset t.lcd_done;
+    Graph.unshare t.graph
   end
 
 (* ------------------------------------------------------------------ *)
@@ -306,15 +395,21 @@ let is_collapsed_obj t (v : Cvar.t) =
 let redirect_cell t (c : Cell.t) : Cell.t =
   if is_collapsed_obj t c.Cell.base then collapse_sel c else c
 
-(** Collapse [obj] to its representative cell: record the event, merge
-    the edges its fine-grained cells carry onto the representative
-    (rewriting any pending deltas onto it), and re-enqueue every
-    statement so the fixpoint is re-established over the coarser cell
-    space. Idempotent. *)
+(** No object collapsed yet: cells need no redirection, which permits
+    the bulk (one-merge-pass) copy-edge drain. *)
+let pristine t =
+  (not !(t.collapse_all)) && Cvar.Tbl.length t.collapsed = 0
+
+(** Collapse [obj] to its representative cell: record the event, discard
+    delta state (and class sharing), merge the edges its fine-grained
+    cells carry onto the representative, and re-enqueue every statement
+    so the fixpoint is re-established over the coarser cell space.
+    Idempotent. *)
 let collapse_object t ~(reason : Budget.reason) (obj : Cvar.t) =
   if not (Cvar.Tbl.mem t.collapsed obj) then begin
     Cvar.Tbl.replace t.collapsed obj ();
     Budget.record t.budget ~obj reason;
+    reset_deltas t;
     List.iter
       (fun (c : Cell.t) ->
         let rep = collapse_sel c in
@@ -325,7 +420,6 @@ let collapse_object t ~(reason : Budget.reason) (obj : Cvar.t) =
           Graph.remove_source t.graph c
         end)
       (Graph.cells_of_obj t.graph obj);
-    reset_deltas t;
     List.iter (enqueue t) (Nast.all_stmts t.prog)
   end
 
@@ -367,6 +461,20 @@ let check_cell_budgets t (src : Cell.t) =
       degrade_all t ~reason:(Budget.Total_cells limit)
   | _ -> ()
 
+(** Wake the statements subscribed to a cell that just became
+    fact-bearing: a new fact-bearing cell can grow a graph-dependent
+    resolve pair set (Offsets), so those statements' cursors reset and
+    their resolves re-run over the full sets. *)
+let notify_new_source t (c : Cell.t) =
+  match Cvar.Tbl.find_opt t.subscribers c.Cell.base with
+  | Some lst ->
+      List.iter
+        (fun s ->
+          mark_dirty t s;
+          enqueue t s)
+        !lst
+  | None -> ()
+
 let add_edge t (c : Cell.t) (w : Cell.t) =
   let c = redirect_cell t c and w = redirect_cell t w in
   let was_source = Graph.has_source t.graph c in
@@ -376,27 +484,211 @@ let add_edge t (c : Cell.t) (w : Cell.t) =
         match Cvar.Tbl.find_opt t.subscribers c.Cell.base with
         | Some lst -> List.iter (enqueue t) !lst
         | None -> ())
-    | `Delta ->
-        (* the new fact flows along c's copy edges… *)
-        push_cell t (Cell.id c);
-        (* …and to the statements consuming c's set via cursor *)
-        (match Itbl.find_opt t.pointer_subs (Cell.id c) with
+    | `Delta | `Delta_nocycle ->
+        let rid = canon_id t (Cell.id c) in
+        (* the new fact flows along the class's copy edges… *)
+        push_cell t rid;
+        (* …and to the statements consuming the class's set via cursor *)
+        (match Itbl.find_opt t.pointer_subs rid with
         | Some lst -> List.iter (enqueue t) !lst
         | None -> ());
         if not was_source then
-          (* a new fact-bearing cell can grow a graph-dependent resolve
-             pair set (Offsets): reset those statements' cursors so their
-             resolves re-run over the full sets *)
-          match Cvar.Tbl.find_opt t.subscribers c.Cell.base with
-          | Some lst ->
-              List.iter
-                (fun s ->
-                  mark_dirty t s;
-                  enqueue t s)
-                !lst
-          | None -> ());
+          (* every member of the class became fact-bearing at once *)
+          List.iter (notify_new_source t) (Graph.class_members t.graph c));
     check_cell_budgets t c
   end
+
+(* ------------------------------------------------------------------ *)
+(* Online cycle elimination                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Re-target the solver's per-class state after {!Graph.unify} merged
+    [b]'s class into [a]'s (or vice versa — the graph picks the survivor
+    whose log prefix stays cursor-valid):
+
+    - the losing class's copy edges move to the survivor with cursors
+      reset to 0 (the merged log appended the loser's facts in a new
+      order); edges that became intra-class tautologies are dropped;
+    - the losing class's cursor-consumers have their cursors translated
+      when possible — a consumer that had read the loser's whole log,
+      merged into an equal set, has by definition seen every fact of the
+      merged set, so its cursor jumps to the merged log's end and no
+      revisit happens (the common case: a cycle's sets are equal at
+      collapse time) — and removed otherwise (they indexed the dead
+      log), with the statement re-enqueued to re-read from scratch;
+    - the survivor's consumers re-run only when the merge actually grew
+      the surviving set;
+    - cells that just became fact-bearing wake their graph-dependent
+      resolve subscriptions, exactly like a first [add_edge] would. *)
+let unify_cells t (a : Cell.t) (b : Cell.t) =
+  let ra = Graph.canon t.graph a and rb = Graph.canon t.graph b in
+  if not (Cell.equal ra rb) then begin
+    let ma = Graph.class_members t.graph ra in
+    let mb = Graph.class_members t.graph rb in
+    let na = Graph.pts_size t.graph ra and nb = Graph.pts_size t.graph rb in
+    let rep, newly = Graph.unify t.graph ra rb in
+    let loser, lmembers, ln, wn =
+      if Cell.equal rep ra then (rb, mb, nb, na) else (ra, ma, na, nb)
+    in
+    let wid = Cell.id rep and lid = Cell.id loser in
+    let after = Graph.pts_size t.graph rep in
+    (* equal sets, nothing appended: the loser's log held exactly the
+       merged set's facts, just in another order *)
+    let sets_eq = after = wn && ln = wn in
+    t.cells_unified <- t.cells_unified + List.length lmembers;
+    (match Itbl.find_opt t.copy_out lid with
+    | Some llst ->
+        Itbl.remove t.copy_out lid;
+        let wlst = copy_list t wid in
+        List.iter
+          (fun (did, cur) ->
+            if
+              canon_id t did <> wid && not (Hashtbl.mem t.copy_mem (wid, did))
+            then begin
+              Hashtbl.replace t.copy_mem (wid, did) ();
+              cur := 0;
+              wlst := (did, cur) :: !wlst
+            end)
+          !llst
+    | None -> ());
+    (match Itbl.find_opt t.pointer_subs lid with
+    | Some lst ->
+        Itbl.remove t.pointer_subs lid;
+        let wl = subs_list t wid in
+        List.iter
+          (fun (s : Nast.stmt) ->
+            let needs = ref false in
+            (match Itbl.find_opt t.cursors s.Nast.id with
+            | Some tbl ->
+                List.iter
+                  (fun (m : Cell.t) ->
+                    let mid = Cell.id m in
+                    match Itbl.find_opt tbl mid with
+                    | Some k when sets_eq && k >= ln ->
+                        (* caught up on an equal set: already saw every
+                           merged fact — jump to the merged log's end *)
+                        Itbl.replace tbl mid after
+                    | Some _ ->
+                        Itbl.remove tbl mid;
+                        needs := true
+                    | None -> ())
+                  lmembers
+            | None -> ());
+            (* a consumer with no cursor entry that still has facts to
+               see (it subscribed before the class had any) is already
+               queued from when those facts landed; [not sets_eq] means
+               the merge brought facts no loser-side consumer ever saw *)
+            if !needs || ((not sets_eq) && after > 0) then enqueue t s;
+            wl := s :: !wl)
+          !lst
+    | None -> ());
+    if after > wn then (
+      match Itbl.find_opt t.pointer_subs wid with
+      | Some lst -> List.iter (enqueue t) !lst
+      | None -> ());
+    List.iter (notify_new_source t) newly;
+    push_cell t wid
+  end
+
+(** Bound on the nodes a single lazy-cycle-detection DFS may touch:
+    keeps the search cost proportional to the wasted drain that paid
+    for it, even on huge copy graphs. *)
+let lcd_limit = 128
+
+(** Bounded DFS over the representative-level copy graph: a path
+    [from → … → target], as the list of its nodes excluding [target]
+    ([from] first), or [None]. Only reads solver state. *)
+let find_path t ~(from : int) ~(target : int) : int list option =
+  let visited = Itbl.create 32 in
+  let steps = ref 0 in
+  let rec go (n : int) : int list option =
+    if !steps >= lcd_limit || Itbl.mem visited n then None
+    else begin
+      Itbl.replace visited n ();
+      incr steps;
+      match Itbl.find_opt t.copy_out n with
+      | None -> None
+      | Some lst ->
+          let rec try_edges = function
+            | [] -> None
+            | (did, _) :: rest -> (
+                let d = canon_id t did in
+                if d = target then Some [ n ]
+                else
+                  match go d with
+                  | Some path -> Some (n :: path)
+                  | None -> try_edges rest)
+          in
+          try_edges !lst
+    end
+  in
+  go from
+
+(** A drain along [target → from] just moved facts without adding any,
+    onto an already-equal set — the lazy-cycle-detection trigger. Search
+    for a return path [from → … → target]; if one exists, every node on
+    it joins [target]'s class. Runs between drains (never mid-drain: a
+    unification moves cursors the drain loop holds). *)
+let try_collapse_cycle t ~(from : int) ~(target : int) =
+  let from = canon_id t from and target = canon_id t target in
+  if from <> target then
+    match find_path t ~from ~target with
+    | None -> ()
+    | Some nodes ->
+        t.cycles_found <- t.cycles_found + 1;
+        List.iter
+          (fun n -> unify_cells t (Cell.of_id target) (Cell.of_id n))
+          nodes
+
+(* ------------------------------------------------------------------ *)
+(* Pseudo-topological drain order                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** Recompute the drain priorities: a reverse postorder of the
+    representative-level copy graph (cycles broken at the back edge), so
+    sources rank before sinks and a fact tends to cross each cell after
+    the cell's set has stopped growing this round. Roots are visited in
+    copy-edge creation order ([copy_srcs]) and adjacency in list order —
+    never in hashtable order, which varies with interned ids and would
+    break byte-identical reruns. *)
+let recompute_order t =
+  t.order_edges <- Hashtbl.length t.copy_mem;
+  Itbl.reset t.order;
+  let visited = Itbl.create 256 in
+  let post = ref [] in
+  let adj n =
+    match Itbl.find_opt t.copy_out n with Some l -> !l | None -> []
+  in
+  let dfs root =
+    if not (Itbl.mem visited root) then begin
+      Itbl.replace visited root ();
+      let stack = ref [ (root, adj root) ] in
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | (n, []) :: rest ->
+            post := n :: !post;
+            stack := rest
+        | (n, (did, _) :: more) :: rest ->
+            stack := (n, more) :: rest;
+            let d = canon_id t did in
+            if not (Itbl.mem visited d) then begin
+              Itbl.replace visited d ();
+              stack := (d, adj d) :: !stack
+            end
+      done
+    end
+  in
+  List.iter (fun sid -> dfs (canon_id t sid)) (List.rev !(t.copy_srcs));
+  (* [post]'s head finished last — reverse postorder, rank 0 first *)
+  List.iteri (fun i n -> Itbl.replace t.order n i) !post
+
+(** Refresh the order once the copy graph outgrew the one it was
+    computed for by half (new cells drain last until then). *)
+let maybe_recompute_order t =
+  let edges = Hashtbl.length t.copy_mem in
+  if edges > t.order_edges + max 16 (t.order_edges / 2) then
+    recompute_order t
 
 let pointee_of (v : Cvar.t) : Ctype.t =
   match v.Cvar.vty with
@@ -404,28 +696,17 @@ let pointee_of (v : Cvar.t) : Ctype.t =
   | Ctype.Array (ty, _) -> ty
   | _ -> Ctype.Void
 
-(** Install the subset constraint [src ⊆ dst]; first installation pushes
-    [src]'s current facts through the cell worklist. *)
+(** Install the subset constraint [src ⊆ dst] between the two cells'
+    classes; first installation pushes [src]'s current facts through the
+    cell worklist. Intra-class constraints are tautologies and install
+    nothing. *)
 let ensure_copy t (dst : Cell.t) (src : Cell.t) =
-  if not (Cell.equal dst src) then begin
-    let sid = Cell.id src and did = Cell.id dst in
-    if not (Hashtbl.mem t.copy_mem (sid, did)) then begin
-      Hashtbl.replace t.copy_mem (sid, did) ();
-      let lst =
-        match Itbl.find_opt t.copy_out sid with
-        | Some l -> l
-        | None ->
-            let l = ref [] in
-            Itbl.replace t.copy_out sid l;
-            l
-      in
-      lst := (did, ref 0) :: !lst;
-      if Graph.pts_size t.graph src > 0 && not (Itbl.mem t.in_cell_wl sid)
-      then begin
-        Itbl.replace t.in_cell_wl sid ();
-        Queue.add sid t.cell_wl
-      end
-    end
+  let sid = canon_id t (Cell.id src) and did = canon_id t (Cell.id dst) in
+  if sid <> did && not (Hashtbl.mem t.copy_mem (sid, did)) then begin
+    Hashtbl.replace t.copy_mem (sid, did) ();
+    let lst = copy_list t sid in
+    lst := (did, ref 0) :: !lst;
+    if Graph.pts_size t.graph src > 0 then push_cell t sid
   end
 
 (** Consume the facts of [c] that [stmt] has not seen yet (all of them on
@@ -456,7 +737,7 @@ let consume t (stmt : Nast.stmt) (c : Cell.t) (f : Cell.t -> unit) =
 
 let process t (stmt : Nast.stmt) =
   let module S = (val t.strategy : Strategy.S) in
-  let delta = t.engine = `Delta in
+  let delta = is_delta t in
   (* a dirty statement starts over: its subscribed objects gained new
      fact-bearing cells, so its graph-dependent resolves must re-run *)
   if delta && Itbl.mem t.dirty stmt.Nast.id then begin
@@ -468,7 +749,7 @@ let process t (stmt : Nast.stmt) =
   let norm v p = S.normalize t.ctx v p in
   (* iterate the facts of pointer cell [c] this statement reads: the full
      set under the naive engine (re-read every visit), the unseen suffix
-     under the delta engine *)
+     under the delta engines *)
   let foreach_fact (c : Cell.t) (f : Cell.t -> unit) =
     if delta then consume t stmt c f
     else begin
@@ -504,7 +785,7 @@ let process t (stmt : Nast.stmt) =
      offsets) that runs while the source object is still fact-free must
      re-run once the first fact lands, or those pairs are lost for good.
      Under the naive engine the subscription is unconditional (its only
-     re-run trigger is object growth); under the delta engine only
+     re-run trigger is object growth); under the delta engines only
      [graph_resolve] instances need it — copy edges carry future facts
      for pair sets that are a pure function of the types. *)
   let resolve_into (dst : Cell.t) (src : Cell.t) (tau : Ctype.t) =
@@ -706,44 +987,115 @@ let check_step_budgets t =
     | None -> ()
   end
 
-(** Drain the cell worklist: push every unpropagated fact along its
-    cell's copy edges. Monotone (only [add_edge]) and cursor-driven, so
-    each fact crosses each edge once — this is where the delta engine
-    moves facts that the naive engine re-reads statement-side. *)
-let propagate t =
-  let copied = ref 0 in
-  while not (Queue.is_empty t.cell_wl) do
-    let sid = Queue.pop t.cell_wl in
-    (* clear the marker before working: pushes triggered mid-drain must
-       be able to re-queue this cell *)
-    Itbl.remove t.in_cell_wl sid;
-    match Itbl.find_opt t.copy_out sid with
+let check_drain_timeout t =
+  if Budget.over_time t.budget then begin
+    Budget.trip_time t.budget;
+    match t.budget.Budget.limits.Budget.timeout_s with
+    | Some s -> degrade_all t ~reason:(Budget.Timeout s)
     | None -> ()
-    | Some lst -> (
-        match Graph.pts_ids t.graph (Cell.of_id sid) with
+  end
+
+(** Drain the cell worklist in pseudo-topological order: push every
+    unpropagated fact along its class's copy edges. Monotone (only
+    [add_edge]/[union_pts]) and cursor-driven, so each fact crosses each
+    edge once — this is where the delta engines move facts that the
+    naive engine re-reads statement-side. A first drain of an edge on an
+    un-degraded run takes the bulk path: one {!Graph.union_pts} merge
+    pass instead of per-fact insertions. Drains that move facts but add
+    none are the wasted work cycle elimination exists to remove; under
+    [`Delta], a wasted drain onto an already-equal set triggers the
+    lazy cycle search (after the cell's drain completes — a unification
+    moves the cursors the drain loop holds). *)
+let propagate t =
+  if is_delta t then begin
+    maybe_recompute_order t;
+    let copied = ref 0 in
+    while not (Pq.is_empty t.cell_pq) do
+      let sid0 = Pq.pop t.cell_pq in
+      (* clear the marker before working: pushes triggered mid-drain must
+         be able to re-queue this cell *)
+      Itbl.remove t.in_cell_wl sid0;
+      let sid = canon_id t sid0 in
+      (* an entry whose cell was unified away is stale: the survivor was
+         pushed separately by [unify_cells] *)
+      if sid = sid0 then begin
+        let lcd_pending = ref [] in
+        (match Itbl.find_opt t.copy_out sid with
         | None -> ()
-        | Some set ->
-            List.iter
-              (fun (did, cur) ->
-                let dst = Cell.of_id did in
-                while !cur < Idset.cardinal set do
-                  let w = Cell.of_id (Idset.get_ord set !cur) in
-                  incr cur;
-                  t.facts_consumed <- t.facts_consumed + 1;
-                  incr copied;
-                  (* time budget, sampled: a long drain between two
-                     statements must not escape the timeout *)
-                  if !copied land 4095 = 0 && Budget.over_time t.budget
-                  then begin
-                    Budget.trip_time t.budget;
-                    match t.budget.Budget.limits.Budget.timeout_s with
-                    | Some s -> degrade_all t ~reason:(Budget.Timeout s)
-                    | None -> ()
-                  end;
-                  add_edge t dst w
-                done)
-              !lst)
-  done
+        | Some lst -> (
+            match Graph.pts_ids t.graph (Cell.of_id sid) with
+            | None -> ()
+            | Some set ->
+                List.iter
+                  (fun (did, cur) ->
+                    let dc = Graph.canon t.graph (Cell.of_id did) in
+                    let dcid = Cell.id dc in
+                    if dcid <> sid && !cur < Idset.cardinal set then begin
+                      let moved0 = !cur in
+                      let grew =
+                        if moved0 = 0 && pristine t then begin
+                          (* bulk first drain: one merge pass, with a
+                             capacity hint when the destination set is
+                             created *)
+                          let total = Idset.cardinal set in
+                          let added, newly =
+                            Graph.union_pts t.graph ~dst:dc
+                              ~src:(Cell.of_id sid)
+                          in
+                          cur := total;
+                          t.facts_consumed <- t.facts_consumed + total;
+                          copied := !copied + total;
+                          if added > 0 then begin
+                            push_cell t dcid;
+                            (match Itbl.find_opt t.pointer_subs dcid with
+                            | Some l -> List.iter (enqueue t) !l
+                            | None -> ());
+                            List.iter (notify_new_source t) newly;
+                            check_cell_budgets t dc
+                          end;
+                          if !copied land 4095 = 0 then
+                            check_drain_timeout t;
+                          added > 0
+                        end
+                        else begin
+                          let before = Graph.pts_size t.graph dc in
+                          while !cur < Idset.cardinal set do
+                            let w = Cell.of_id (Idset.get_ord set !cur) in
+                            incr cur;
+                            t.facts_consumed <- t.facts_consumed + 1;
+                            incr copied;
+                            (* time budget, sampled: a long drain between
+                               two statements must not escape the
+                               timeout *)
+                            if !copied land 4095 = 0 then
+                              check_drain_timeout t;
+                            add_edge t (Cell.of_id did) w
+                          done;
+                          Graph.pts_size t.graph dc > before
+                        end
+                      in
+                      if not grew then begin
+                        t.wasted_props <- t.wasted_props + 1;
+                        (* the sets are equal and the drain moved
+                           nothing new: the lazy-cycle-detection
+                           trigger *)
+                        if
+                          cycles_on t
+                          && Idset.cardinal set = Graph.pts_size t.graph dc
+                          && not (Hashtbl.mem t.lcd_done (sid, dcid))
+                        then begin
+                          Hashtbl.replace t.lcd_done (sid, dcid) ();
+                          lcd_pending := dcid :: !lcd_pending
+                        end
+                      end
+                    end)
+                  !lst));
+        List.iter
+          (fun dcid -> try_collapse_cycle t ~from:dcid ~target:sid)
+          (List.rev !lcd_pending)
+      end
+    done
+  end
 
 let solve t : unit =
   Budget.start t.budget;
@@ -751,7 +1103,7 @@ let solve t : unit =
   let rec loop () =
     propagate t;
     match Queue.take_opt t.queue with
-    | None -> if not (Queue.is_empty t.cell_wl) then loop ()
+    | None -> if not (Pq.is_empty t.cell_pq) then loop ()
     | Some stmt ->
         (* clear the dedup marker before dispatch: a statement that
            re-enqueues itself mid-visit (e.g. [p = *p] growing its own
@@ -760,7 +1112,17 @@ let solve t : unit =
         t.rounds <- t.rounds + 1;
         Budget.step t.budget;
         check_step_budgets t;
+        let facts0 = t.facts_consumed in
+        let edges0 = Graph.edge_count t.graph in
+        let copies0 = Hashtbl.length t.copy_mem in
         process t stmt;
+        (* a visit that read facts but derived nothing (no graph edge,
+           no copy edge) re-did work some earlier visit already did *)
+        if
+          t.facts_consumed > facts0
+          && Graph.edge_count t.graph = edges0
+          && Hashtbl.length t.copy_mem = copies0
+        then t.wasted_props <- t.wasted_props + 1;
         loop ()
   in
   loop ()

@@ -7,12 +7,19 @@
     pointers' points-to sets as the fixpoint grows. Library calls use
     {!Norm.Summaries}.
 
-    Two engines produce identical fixpoints:
+    Three engines produce identical fixpoints:
 
-    - [`Delta] (default) — difference propagation: statement visits
-      consume only the facts added since their last visit (cursors into
-      the {!Idset} append logs), resolves install persistent copy edges,
-      and a cell-level worklist pushes each fact across each edge once.
+    - [`Delta] (default) — difference propagation with online cycle
+      elimination: statement visits consume only the facts added since
+      their last visit (cursors into the {!Idset} append logs), resolves
+      install persistent copy edges, and a cell-level priority worklist
+      (pseudo-topological order of the copy graph) pushes each fact
+      across each edge once. Subset cycles are detected lazily (a drain
+      that moves facts but adds none, onto an already-equal set,
+      triggers a bounded DFS) and their cells {!Graph.unify}'d to share
+      one points-to set.
+    - [`Delta_nocycle] — difference propagation with cycle elimination
+      off: the ablation baseline for benchmarks and differential tests.
     - [`Naive] — the reference worklist that re-reads full sets on every
       visit; retained as the differential-testing oracle.
 
@@ -22,8 +29,9 @@
     treatment applied per object, their edges merged) and the fixpoint is
     re-established over the coarser cell space, so the result is always a
     sound over-approximation. A collapse also discards in-flight deltas
-    (cursors and copy edges name pre-collapse cells); the re-enqueued
-    statements re-derive the constraints over the representative cells.
+    (cursors and copy edges name pre-collapse cells) and dissolves the
+    union-find classes ({!Graph.unshare}); the re-enqueued statements
+    re-derive the constraints over the representative cells.
     Degradations are recorded as {!Budget.event}s. *)
 
 open Cfront
@@ -31,7 +39,7 @@ open Norm
 
 module Itbl : Hashtbl.S with type key = int
 
-type engine = [ `Delta | `Naive ]
+type engine = [ `Delta | `Delta_nocycle | `Naive ]
 
 type t = {
   ctx : Actx.t;
@@ -58,13 +66,28 @@ type t = {
   dirty : unit Itbl.t;
       (** delta: stmts whose cursors reset at their next visit *)
   pointer_subs : Nast.stmt list ref Itbl.t;
-      (** delta: cell id → statements consuming that cell via cursor *)
+      (** delta: class representative id → statements consuming that
+          class's set via cursor; re-keyed to the survivor on
+          unification *)
   cell_subbed : (int * int, unit) Hashtbl.t;
   copy_out : (int * int ref) list ref Itbl.t;
-      (** delta: src cell id → (dst cell id, copy cursor) *)
+      (** delta: class id → (dst cell id, copy cursor); edges move to
+          the surviving class on unification *)
   copy_mem : (int * int, unit) Hashtbl.t;
-  cell_wl : int Queue.t;
+  copy_srcs : int list ref;
+      (** [copy_out] keys in creation order — deterministic DFS roots
+          for the pseudo-topological drain order *)
+  cell_pq : Pq.t;
+      (** cells with unpushed facts, drained in pseudo-topological
+          order of the copy graph *)
   in_cell_wl : unit Itbl.t;
+  order : int Itbl.t;
+      (** class id → pseudo-topological rank (reverse postorder);
+          unranked cells drain last *)
+  mutable order_edges : int;
+      (** [copy_mem] size when [order] was last recomputed *)
+  lcd_done : (int * int, unit) Hashtbl.t;
+      (** (src, dst) class pairs that already triggered a cycle search *)
   mutable rounds : int;  (** statement visits *)
   mutable facts_consumed : int;
       (** facts read by rule visits plus facts pushed along copy edges *)
@@ -72,6 +95,14 @@ type t = {
       (** facts rule visits actually iterated (delta suffixes) *)
   mutable full_facts : int;
       (** set sizes those visits would have re-read naively *)
+  mutable cycles_found : int;
+      (** subset cycles collapsed by lazy cycle detection *)
+  mutable cells_unified : int;
+      (** cells folded into another class's representative *)
+  mutable wasted_props : int;
+      (** propagations that produced nothing new: statement visits that
+          consumed facts but derived no edge, and copy-edge drains that
+          moved facts but added none *)
   arith_mode : [ `Spread | `Copy | `Stride | `Unknown ];
       (** How pointer arithmetic is modelled:
           [`Spread] — the paper's Assumption-1 rule (default);
@@ -103,8 +134,9 @@ val collapse_object : t -> reason:Budget.reason -> Cvar.t -> unit
     re-enqueue all statements. *)
 
 val copy_edge_count : t -> int
-(** Copy (subset-constraint) edges currently installed by the delta
-    engine; 0 under [`Naive]. *)
+(** Copy (subset-constraint) edges installed by the delta engines
+    (cumulative — edges subsumed by a later class unification stay
+    counted); 0 under [`Naive]. *)
 
 val solve : t -> unit
 (** Run the worklist to a fixpoint, degrading under budget pressure

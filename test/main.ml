@@ -25,6 +25,7 @@ let () =
       ("cli", Test_cli.suite);
       ("summaries", Test_summaries.suite);
       ("budget", Test_budget.suite);
+      ("cycles", Test_cycles.suite);
       ("differential", Test_differential.suite);
       ("fuzz", Test_fuzz.suite);
       ("isolation", Test_isolation.suite);

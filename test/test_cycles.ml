@@ -1,0 +1,371 @@
+(** Online cycle elimination: the union-find and priority-queue
+    primitives, {!Core.Idset.union_into}, {!Core.Graph.unify}'s class
+    sharing, and solver-level regressions for the subset-cycle shapes
+    that historically break lazy cycle detection — a two-cell loop, a
+    cross-cell chain cycle, a cycle that closes only after facts already
+    flowed around it, growth landing on an already-unified class, and a
+    cycle spanning a degradation collapse. *)
+
+open Cfront
+open Core
+open Helpers
+
+let var name ty = Cvar.fresh ~name ~ty ~kind:Cvar.Global
+
+(* ------------------------------------------------------------------ *)
+(* Union-find                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_uf_basic () =
+  let u = Uf.create ~cap:4 () in
+  Alcotest.(check int) "fresh id is its own root" 7 (Uf.find u 7);
+  Uf.union u ~into:3 9;
+  Alcotest.(check int) "loser resolves to winner" 3 (Uf.find u 9);
+  Alcotest.(check bool) "same class" true (Uf.same u 3 9);
+  Alcotest.(check bool) "other ids untouched" false (Uf.same u 3 4);
+  (* directed: [~into] wins even when unioned through class members *)
+  Uf.union u ~into:9 21;
+  Alcotest.(check int) "union through member keeps root" 3 (Uf.find u 21);
+  (* growth far past the initial capacity *)
+  Uf.union u ~into:21 1000;
+  Alcotest.(check int) "grown array, same class" 3 (Uf.find u 1000);
+  Uf.reset u;
+  Alcotest.(check int) "reset dissolves classes" 9 (Uf.find u 9);
+  Alcotest.(check int) "reset dissolves grown ids" 1000 (Uf.find u 1000)
+
+let test_pq_ordering () =
+  let q = Pq.create () in
+  Pq.push q ~prio:5 50;
+  Pq.push q ~prio:1 10;
+  Pq.push q ~prio:5 40;
+  Pq.push q ~prio:3 30;
+  (* explicit sequencing — list literals evaluate right-to-left *)
+  let p1 = Pq.pop q in
+  let p2 = Pq.pop q in
+  let p3 = Pq.pop q in
+  let p4 = Pq.pop q in
+  let popped = [ p1; p2; p3; p4 ] in
+  (* priority order, id tie-break inside equal priorities *)
+  Alcotest.(check (list int)) "min-heap order" [ 10; 30; 40; 50 ] popped;
+  Alcotest.(check bool) "drained" true (Pq.is_empty q);
+  Alcotest.check_raises "pop on empty" (Invalid_argument "Pq.pop: empty")
+    (fun () -> ignore (Pq.pop q))
+
+(* ------------------------------------------------------------------ *)
+(* Idset.union_into                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_union_into_matches_elementwise () =
+  (* deterministic pseudo-random sequences; no shared state *)
+  let lcg seed =
+    let s = ref seed in
+    fun bound ->
+      s := (!s * 1103515245) + 12345;
+      abs !s mod bound
+  in
+  for case = 1 to 20 do
+    let rnd = lcg (case * 7919) in
+    let dst = Idset.create () and src = Idset.create () in
+    let oracle = Idset.create () in
+    for _ = 1 to rnd 30 do
+      let x = rnd 50 in
+      ignore (Idset.add dst x);
+      ignore (Idset.add oracle x)
+    done;
+    for _ = 1 to rnd 30 do
+      ignore (Idset.add src (rnd 50))
+    done;
+    let before = Idset.cardinal dst in
+    let prefix = List.init before (Idset.get_ord dst) in
+    let added = Idset.union_into dst src in
+    (* element-wise oracle merge *)
+    let expect_added = ref 0 in
+    Idset.iter
+      (fun x -> if Idset.add oracle x then incr expect_added)
+      src;
+    Alcotest.(check int)
+      (Printf.sprintf "case %d: added count" case)
+      !expect_added added;
+    Alcotest.(check (list int))
+      (Printf.sprintf "case %d: same members" case)
+      (Idset.elements oracle) (Idset.elements dst);
+    (* cursor validity: the pre-merge insertion-order prefix is intact *)
+    Alcotest.(check (list int))
+      (Printf.sprintf "case %d: ord prefix preserved" case)
+      prefix
+      (List.init before (Idset.get_ord dst));
+    (* appended members arrive in src insertion order *)
+    let tail =
+      List.init added (fun i -> Idset.get_ord dst (before + i))
+    in
+    let src_fresh =
+      List.filter
+        (fun x -> not (List.mem x prefix))
+        (List.init (Idset.cardinal src) (Idset.get_ord src))
+    in
+    Alcotest.(check (list int))
+      (Printf.sprintf "case %d: tail in src order" case)
+      src_fresh tail
+  done;
+  (* self-union and empty-source are no-ops *)
+  let s = Idset.create () in
+  ignore (Idset.add s 1);
+  Alcotest.(check int) "self union adds nothing" 0 (Idset.union_into s s);
+  Alcotest.(check int) "empty src adds nothing" 0
+    (Idset.union_into s (Idset.create ()))
+
+(* ------------------------------------------------------------------ *)
+(* Graph.unify class sharing                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_graph_unify_shares_sets () =
+  let g = Graph.create () in
+  let a = var "a" Ctype.int_t and b = var "b" Ctype.int_t in
+  let x = var "x" Ctype.int_t and y = var "y" Ctype.int_t in
+  let ca = Cell.whole a and cb = Cell.whole b in
+  ignore (Graph.add_edge g ca (Cell.whole x));
+  ignore (Graph.add_edge g ca (Cell.whole y));
+  ignore (Graph.add_edge g cb (Cell.whole x));
+  let rep, newly = Graph.unify g ca cb in
+  Alcotest.(check bool) "larger set wins" true (Cell.equal rep ca);
+  Alcotest.(check int) "no cell newly fact-bearing" 0 (List.length newly);
+  Alcotest.(check bool) "same class" true
+    (Cell.equal (Graph.canon g cb) rep);
+  (* member-expanded views: both members hold the union *)
+  Alcotest.(check int) "a sees both" 2 (Cell.Set.cardinal (Graph.pts g ca));
+  Alcotest.(check int) "b sees both" 2 (Cell.Set.cardinal (Graph.pts g cb));
+  Alcotest.(check int) "edge_count is member-expanded" 4 (Graph.edge_count g);
+  Alcotest.(check int) "both cells still sources" 2
+    (Graph.source_cell_count g);
+  Alcotest.(check (option string)) "audit clean" None (Graph.check_counts g);
+  (* adding through either member lands in the shared set *)
+  let z = var "z" Ctype.int_t in
+  Alcotest.(check bool) "add via loser member" true
+    (Graph.add_edge g cb (Cell.whole z));
+  Alcotest.(check int) "a sees the add" 3 (Cell.Set.cardinal (Graph.pts g ca));
+  Alcotest.(check (option string)) "audit clean after add" None
+    (Graph.check_counts g);
+  (* unshare gives every member its own copy back *)
+  Graph.unshare g;
+  Alcotest.(check bool) "classes dissolved" true
+    (Cell.equal (Graph.canon g cb) cb);
+  Alcotest.(check int) "b keeps its facts" 3
+    (Cell.Set.cardinal (Graph.pts g cb));
+  ignore (Graph.add_edge g ca (Cell.whole ca.Cell.base));
+  Alcotest.(check int) "post-unshare adds are private" 3
+    (Cell.Set.cardinal (Graph.pts g cb));
+  Alcotest.(check (option string)) "audit clean after unshare" None
+    (Graph.check_counts g)
+
+let test_graph_unify_fact_free_side () =
+  let g = Graph.create () in
+  let a = var "a" Ctype.int_t and b = var "b" Ctype.int_t in
+  let x = var "x" Ctype.int_t in
+  let ca = Cell.whole a and cb = Cell.whole b in
+  ignore (Graph.add_edge g ca (Cell.whole x));
+  let rep, newly = Graph.unify g ca cb in
+  Alcotest.(check bool) "fact-bearing side wins" true (Cell.equal rep ca);
+  Alcotest.(check int) "the fact-free cell became a source" 1
+    (List.length newly);
+  Alcotest.(check bool) "newly is the loser" true
+    (Cell.equal (List.hd newly) cb);
+  Alcotest.(check int) "b sees a's fact" 1 (Cell.Set.cardinal (Graph.pts g cb));
+  Alcotest.(check int) "member-expanded sources" 2 (Graph.source_cell_count g);
+  Alcotest.(check (option string)) "audit clean" None (Graph.check_counts g);
+  (* unifying two fact-free cells: class exists, no set *)
+  let c = var "c" Ctype.int_t and d = var "d" Ctype.int_t in
+  let rep2, newly2 = Graph.unify g (Cell.whole c) (Cell.whole d) in
+  Alcotest.(check int) "no facts, nothing newly bearing" 0
+    (List.length newly2);
+  Alcotest.(check bool) "still same class" true
+    (Cell.equal (Graph.canon g (Cell.whole d)) rep2);
+  Alcotest.(check (option string)) "audit clean with fact-free class" None
+    (Graph.check_counts g)
+
+(* ------------------------------------------------------------------ *)
+(* Solver-level cycle regressions                                      *)
+(* ------------------------------------------------------------------ *)
+
+let solver_of (r : Analysis.result) = r.Analysis.solver
+
+let run_engine ?budget ~id ~engine src =
+  Analysis.run_source ?budget ~engine ~strategy:(strategy id) ~file:"<cycles>"
+    src
+
+let all_ids = [ "collapse-always"; "collapse-on-cast"; "cis"; "offsets" ]
+
+(* Every cycle test checks, per instance: the delta fixpoint matches
+   naive, the graph audit passes, and — where asserted — the cycle was
+   actually found (the regression would silently pass otherwise).
+   Engines must share one compiled program: compiling twice mints fresh
+   variables, which no graph comparison can relate. *)
+let check_cycle_program ?(min_cycles = 1) ~src ~bases_of ~expect () =
+  let prog = compile src in
+  List.iter
+    (fun id ->
+      let d = Analysis.run ~engine:`Delta ~strategy:(strategy id) prog in
+      let n = Analysis.run ~engine:`Naive ~strategy:(strategy id) prog in
+      if
+        not
+          (Graph.equal (solver_of d).Solver.graph (solver_of n).Solver.graph)
+      then Alcotest.failf "%s: delta fixpoint differs from naive" id;
+      (match Graph.check_counts (solver_of d).Solver.graph with
+      | Some msg -> Alcotest.failf "%s: graph audit: %s" id msg
+      | None -> ());
+      if (solver_of d).Solver.cycles_found < min_cycles then
+        Alcotest.failf "%s: expected >= %d cycles, found %d" id min_cycles
+          (solver_of d).Solver.cycles_found;
+      List.iter
+        (fun v ->
+          Alcotest.(check (slist string compare))
+            (Printf.sprintf "%s: %s targets" id v)
+            expect (target_bases d v))
+        bases_of)
+    all_ids
+
+(* The minimal subset cycle: a ⊆ b and b ⊆ a. The second drain moves
+   facts but adds none onto an equal set — the LCD trigger. *)
+let test_two_cell_cycle () =
+  check_cycle_program
+    ~src:
+      {|
+        void *a, *b;
+        int x;
+        void main(void) {
+          a = (void *)&x;
+          b = a;
+          a = b;
+        }
+      |}
+    ~bases_of:[ "a"; "b" ] ~expect:[ "x" ] ()
+
+(* A three-cell loop: the DFS must walk transitively, not just check the
+   direct back edge. *)
+let test_chain_cycle () =
+  check_cycle_program
+    ~src:
+      {|
+        void *a, *b, *c;
+        int x;
+        void main(void) {
+          a = (void *)&x;
+          b = a;
+          c = b;
+          a = c;
+        }
+      |}
+    ~bases_of:[ "a"; "b"; "c" ] ~expect:[ "x" ] ()
+
+(* The cycle closes only after facts already flowed down the chain: the
+   unification must fold non-empty, already-drained sets (and translate
+   or reset the cursors into them) without losing or duplicating
+   facts. New facts landing after the collapse must reach every member
+   through the now-shared set. *)
+let test_cycle_after_facts_then_growth () =
+  check_cycle_program
+    ~src:
+      {|
+        void *a, *b, *c;
+        int x, y;
+        void main(void) {
+          a = (void *)&x;
+          b = a;
+          c = b;
+          a = c;
+          b = (void *)&y;
+        }
+      |}
+    ~bases_of:[ "a"; "b"; "c" ] ~expect:[ "x"; "y" ] ()
+
+(* Two disjoint cycles bridged by a one-way edge: members must unify
+   within each loop but the bridge must NOT fold the downstream loop
+   into the upstream one (subset, not equality, across the bridge —
+   checked by y staying out of the upstream sets). *)
+let test_bridged_cycles () =
+  let prog =
+    compile
+      {|
+        void *a, *b, *c, *d;
+        int x, y;
+        void main(void) {
+          a = (void *)&x;
+          b = a;
+          a = b;
+          c = b;
+          d = c;
+          c = d;
+          d = (void *)&y;
+        }
+      |}
+  in
+  List.iter
+    (fun id ->
+      let d = Analysis.run ~engine:`Delta ~strategy:(strategy id) prog in
+      let n = Analysis.run ~engine:`Naive ~strategy:(strategy id) prog in
+      if
+        not
+          (Graph.equal (solver_of d).Solver.graph (solver_of n).Solver.graph)
+      then Alcotest.failf "%s: delta fixpoint differs from naive" id;
+      Alcotest.(check (slist string compare))
+        (id ^ ": upstream stays precise")
+        [ "x" ] (target_bases d "a");
+      Alcotest.(check (slist string compare))
+        (id ^ ": downstream sees both")
+        [ "x"; "y" ] (target_bases d "c"))
+    all_ids
+
+(* A cycle collapsed before a budget degradation: the collapse resets
+   the union-find ([Graph.unshare]) and rebuilds constraints over the
+   coarser cells; the audit and the re-found fixpoint must survive the
+   transition. *)
+let test_cycle_spanning_degradation () =
+  let src =
+    {|
+      struct S { int *f; int *g; } s;
+      int x, y;
+      int *p, *q;
+      void main(void) {
+        s.f = &x;
+        s.g = &y;
+        p = s.f;
+        q = p;
+        p = q;
+      }
+    |}
+  in
+  let budget =
+    { Budget.unlimited with Budget.max_cells_per_object = Some 1 }
+  in
+  List.iter
+    (fun id ->
+      let d = run_engine ~budget ~id ~engine:`Delta src in
+      (match Graph.check_counts (solver_of d).Solver.graph with
+      | Some msg -> Alcotest.failf "%s: graph audit: %s" id msg
+      | None -> ());
+      (* soundness across the collapse: p's targets keep covering x *)
+      let bases = target_bases d "p" in
+      if not (List.mem "x" bases) then
+        Alcotest.failf "%s: p lost &x across the collapse (got %s)" id
+          (String.concat "," bases))
+    all_ids;
+  (* the offsets instance actually degrades under this budget (struct s
+     spreads facts over two cells), so the span is exercised *)
+  let d = run_engine ~budget ~id:"offsets" ~engine:`Delta src in
+  Alcotest.(check bool) "offsets run degraded" true
+    (Solver.degraded (solver_of d))
+
+let suite =
+  [
+    tc "union-find: union/find/same/reset" test_uf_basic;
+    tc "priority queue: ordering and tie-break" test_pq_ordering;
+    tc "Idset.union_into matches element-wise adds"
+      test_union_into_matches_elementwise;
+    tc "Graph.unify shares one set per class" test_graph_unify_shares_sets;
+    tc "Graph.unify with a fact-free side" test_graph_unify_fact_free_side;
+    tc "two-cell subset cycle unifies" test_two_cell_cycle;
+    tc "three-cell chain cycle unifies" test_chain_cycle;
+    tc "cycle closing after facts flowed, then growth"
+      test_cycle_after_facts_then_growth;
+    tc "bridged cycles stay separate classes" test_bridged_cycles;
+    tc "cycle spanning a degradation collapse" test_cycle_spanning_degradation;
+  ]

@@ -419,9 +419,12 @@ let test_self_requeue_converges () =
           let got = target_bases r "p" in
           if got <> [ "a"; "b"; "c" ] then
             Alcotest.failf "%s (%s): p = %s (chain stopped early)" id
-              (match engine with `Delta -> "delta" | `Naive -> "naive")
+              (match engine with
+              | `Delta -> "delta"
+              | `Delta_nocycle -> "delta-nocycle"
+              | `Naive -> "naive")
               (String.concat "," got)))
-    [ `Delta; `Naive ]
+    [ `Delta; `Delta_nocycle; `Naive ]
 
 (* Offsets results depend on the layout; portable results do not. *)
 let test_layout_dependence () =
