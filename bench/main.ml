@@ -504,6 +504,143 @@ let solver_json () =
     (solver_cases ())
 
 (* ------------------------------------------------------------------ *)
+(* Edit replay: incremental re-analysis vs from-scratch                *)
+(* ------------------------------------------------------------------ *)
+
+(* A solved base program takes a stream of single-statement edits; each
+   is answered incrementally (warm start for additions, support-counting
+   retraction for removals) and checked against a from-scratch solve of
+   the same edited program. The interesting number is the visit ratio:
+   how much of the fixpoint had to be recomputed. *)
+
+type edit_row = {
+  er_strategy : string;
+  er_step : int;
+  er_kind : string;  (** add | remove | mutate *)
+  er_added : int;
+  er_removed : int;
+  er_retracted : int;
+  er_warm : int;  (** statement visits the warm re-solve needed *)
+  er_scratch : int;  (** statement visits a cold solve of the edit needs *)
+  er_fallback : bool;
+  er_equal : bool;
+  er_time_warm : float;
+  er_time_scratch : float;
+}
+
+let edit_replay_prog () =
+  let cfg =
+    { Cgen.default with n_stmts = 200; n_structs = 4; cast_rate = 0.3 }
+  in
+  Lower.compile ~file:"edit-replay" (Cgen.generate ~cfg ~seed:2026 ())
+
+let edit_kind = function
+  | Incr.Edit.Add _ -> "add"
+  | Incr.Edit.Remove _ -> "remove"
+  | Incr.Edit.Mutate _ -> "mutate"
+
+(* the script's first half is pure additions — the warm-start fast path
+   the CI gate watches — the second half removes or mutates, exercising
+   the retraction path *)
+let next_op ~rand ~additive prog : Incr.Edit.op option =
+  let rec go tries =
+    if tries = 0 then None
+    else
+      match Incr.Edit.random_op ~rand prog with
+      | Some (Incr.Edit.Add _ as op) when additive -> Some op
+      | Some ((Incr.Edit.Remove _ | Incr.Edit.Mutate _) as op)
+        when not additive ->
+          Some op
+      | Some _ -> go (tries - 1)
+      | None -> None
+  in
+  go 50
+
+let edit_replay_rows () : edit_row list =
+  let base = edit_replay_prog () in
+  List.concat_map
+    (fun (module S : Core.Strategy.S) ->
+      let rand = Random.State.make [| 2026 |] in
+      let t =
+        ref (Core.Solver.run ~track:true ~strategy:(module S) base)
+      in
+      let rows = ref [] in
+      for step = 1 to 6 do
+        match next_op ~rand ~additive:(step <= 3) !t.Core.Solver.prog with
+        | None -> ()
+        | Some op ->
+            let edited = Incr.Edit.apply !t.Core.Solver.prog [ op ] in
+            let t0 = Sys.time () in
+            let t', st = Incr.Engine.reanalyze !t edited in
+            let dt_warm = Sys.time () -. t0 in
+            t := t';
+            let t0 = Sys.time () in
+            let scratch =
+              Core.Solver.run ~strategy:(module S) !t.Core.Solver.prog
+            in
+            let dt_scratch = Sys.time () -. t0 in
+            rows :=
+              {
+                er_strategy = S.id;
+                er_step = step;
+                er_kind = edit_kind op;
+                er_added = st.Incr.Engine.stmts_added;
+                er_removed = st.Incr.Engine.stmts_removed;
+                er_retracted = st.Incr.Engine.facts_retracted;
+                er_warm = st.Incr.Engine.warm_visits;
+                er_scratch = scratch.Core.Solver.rounds;
+                er_fallback = st.Incr.Engine.fallback;
+                er_equal =
+                  Core.Graph.equal !t.Core.Solver.graph
+                    scratch.Core.Solver.graph;
+                er_time_warm = dt_warm;
+                er_time_scratch = dt_scratch;
+              }
+              :: !rows
+      done;
+      List.rev !rows)
+    strategies
+
+let visit_ratio r =
+  if r.er_scratch = 0 then 0.0
+  else float_of_int r.er_warm /. float_of_int r.er_scratch
+
+let edit_replay () =
+  header
+    "Edit replay: incremental re-analysis of single-statement edits vs\n\
+     solving the edited program from scratch (200-statement base)";
+  Printf.printf "%-18s %4s %-7s %6s %6s %10s %8s %9s %7s %6s\n" "strategy"
+    "step" "edit" "+stmts" "-stmts" "retracted" "warm" "scratch" "ratio"
+    "equal";
+  line ();
+  List.iter
+    (fun r ->
+      Printf.printf "%-18s %4d %-7s %6d %6d %10d %8d %9d %7.3f %6s%s\n"
+        r.er_strategy r.er_step r.er_kind r.er_added r.er_removed
+        r.er_retracted r.er_warm r.er_scratch (visit_ratio r)
+        (if r.er_equal then "yes" else "NO!")
+        (if r.er_fallback then "  (fallback)" else ""))
+    (edit_replay_rows ())
+
+(* Same sweep as JSON lines — the CI artifact (BENCH_incr.json). CI
+   gates warm_visit_ratio < 0.5 on additive rows. *)
+let edit_replay_json () =
+  List.iter
+    (fun r ->
+      Printf.printf
+        "{\"strategy\":%s,\"step\":%d,\"edit\":%s,\"stmts_added\":%d,\
+         \"stmts_removed\":%d,\"facts_retracted\":%d,\"warm_visits\":%d,\
+         \"scratch_visits\":%d,\"warm_visit_ratio\":%.4f,\"fallback\":%b,\
+         \"equal\":%b,\"time_warm_s\":%.4f,\"time_scratch_s\":%.4f}\n"
+        (Core.Report.quote r.er_strategy)
+        r.er_step
+        (Core.Report.quote r.er_kind)
+        r.er_added r.er_removed r.er_retracted r.er_warm r.er_scratch
+        (visit_ratio r) r.er_fallback r.er_equal r.er_time_warm
+        r.er_time_scratch)
+    (edit_replay_rows ())
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per figure                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -628,6 +765,8 @@ let sections : (string * (unit -> unit)) list =
     ("ext-e-json", ext_e_json);
     ("solver", solver);
     ("solver-json", solver_json);
+    ("edit-replay", edit_replay);
+    ("edit-replay-json", edit_replay_json);
     ("bechamel", bechamel);
     ("csv", csv);
   ]

@@ -8,7 +8,11 @@
     - [structcast batch SPEC…] — run many jobs through the crash-contained
       supervisor (forked workers, retry/backoff, crash-safe journal).
     - [structcast serve] — request/response loop over stdin/stdout backed
-      by the same worker pool. *)
+      by the same worker pool.
+    - [structcast reanalyze BASE EDITED] — solve BASE, then answer for
+      EDITED from the warm fixpoint (diff + warm start / retraction).
+    - [structcast watch FILE] — keep a solved fixpoint live and re-answer
+      incrementally each time a line arrives on stdin. *)
 
 open Cfront
 open Norm
@@ -178,6 +182,19 @@ let print_metrics name (r : Core.Analysis.result) =
     m.Core.Metrics.cycles_found m.Core.Metrics.cells_unified
     m.Core.Metrics.wasted_propagations;
   Fmt.pr "analysis time:        %.4f s@." r.Core.Analysis.time_s;
+  (* incremental counters exist only after a warm re-analysis; a plain
+     analyze run keeps them at zero and prints nothing extra *)
+  if
+    m.Core.Metrics.incr_stmts_added + m.Core.Metrics.incr_stmts_removed
+    + m.Core.Metrics.incr_facts_retracted + m.Core.Metrics.incr_warm_visits
+    > 0
+  then begin
+    Fmt.pr "incremental edit:     +%d/-%d statements@."
+      m.Core.Metrics.incr_stmts_added m.Core.Metrics.incr_stmts_removed;
+    Fmt.pr "facts retracted:      %d@." m.Core.Metrics.incr_facts_retracted;
+    Fmt.pr "warm visits:          %d (vs %d for the whole fixpoint)@."
+      m.Core.Metrics.incr_warm_visits m.Core.Metrics.solver_visits
+  end;
   if m.Core.Metrics.unknown_externs <> [] then
     Fmt.pr "unknown externs:      %s@."
       (String.concat ", " m.Core.Metrics.unknown_externs)
@@ -273,6 +290,123 @@ let analyze_cmd spec strategy layout what var budget engine format =
       report_degradation r.Core.Analysis.degraded
   | f -> failwith (Printf.sprintf "unknown --format %s (text|json)" f));
   exit_code ~diags ~degraded:(r.Core.Analysis.degraded <> [])
+
+(* ------------------------------------------------------------------ *)
+(* reanalyze / watch                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let mk_result ~time_s ~diags (t : Core.Solver.t) : Core.Analysis.result =
+  {
+    Core.Analysis.solver = t;
+    metrics = Core.Metrics.summarize t;
+    time_s;
+    degraded = Core.Solver.degradations t;
+    diags = Diag.diagnostics diags;
+  }
+
+let warm_solve ~layout ~budget ~engine ~strategy prog : Core.Solver.t =
+  (* track:true records per-statement support so later removals can
+     retract instead of falling back *)
+  Core.Solver.run ~layout ~budget ~engine ~track:true ~strategy prog
+
+let print_warm_result ~format ~name ~time_s ~diags ~(st : Incr.Engine.stats)
+    (t : Core.Solver.t) =
+  let r = mk_result ~time_s ~diags t in
+  match format with
+  | "json" ->
+      print_string (Core.Report.json_of_result ~name r);
+      print_newline ();
+      flush stdout
+  | "text" ->
+      Fmt.pr "%s: +%d/-%d statements, %d facts retracted, %d warm visits%s@."
+        name st.Incr.Engine.stmts_added st.Incr.Engine.stmts_removed
+        st.Incr.Engine.facts_retracted st.Incr.Engine.warm_visits
+        (if st.Incr.Engine.fallback then "  (fell back to scratch)" else "");
+      report_diags diags
+  | f -> failwith (Printf.sprintf "unknown --format %s (text|json)" f)
+
+let reanalyze_cmd base_spec edited_spec strategy layout budget engine format
+    retract_budget =
+  let layout = layout_of_name layout in
+  let strategy = strategy_of_name strategy in
+  let engine = engine_of_name engine in
+  let diags = Diag.create () in
+  let _, base = compile_spec ~layout ~diags base_spec in
+  let t0 = Sys.time () in
+  let t = warm_solve ~layout ~budget ~engine ~strategy base in
+  let name, edited = compile_spec ~layout ~diags edited_spec in
+  let t, st = Incr.Engine.reanalyze ~retract_budget ~diags t edited in
+  let time_s = Sys.time () -. t0 in
+  print_warm_result ~format ~name ~time_s ~diags ~st t;
+  exit_code ~diags ~degraded:(Core.Solver.degraded t)
+
+(* One solved fixpoint kept live: every line on stdin (e.g. from an
+   editor hook or `inotifywait`) re-reads FILE and re-answers from the
+   warm state. EOF ends the session. *)
+let watch_cmd spec strategy layout budget engine format retract_budget
+    journal =
+  let layout = layout_of_name layout in
+  let strategy = strategy_of_name strategy in
+  let engine = engine_of_name engine in
+  let jnl = Option.map Server.Journal.open_append journal in
+  let journal_entry ~i ~name ~time_s ~diags (t : Core.Solver.t) =
+    match jnl with
+    | None -> ()
+    | Some j ->
+        let r = mk_result ~time_s ~diags t in
+        Server.Journal.append j
+          (Server.Journal.Done
+             {
+               id = Printf.sprintf "watch%d" i;
+               attempt = 1;
+               rung = 0;
+               degraded = Core.Solver.degraded t;
+               diag_errors = Diag.has_errors diags;
+               output = Core.Report.json_of_result ~timing:false ~name r;
+             })
+  in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Server.Journal.close jnl)
+    (fun () ->
+      let diags = Diag.create () in
+      let name, base = compile_spec ~layout ~diags spec in
+      let t0 = Sys.time () in
+      let t = ref (warm_solve ~layout ~budget ~engine ~strategy base) in
+      let time_s = Sys.time () -. t0 in
+      Fmt.epr "watch: %s solved (%d statements); send a line to re-analyze, \
+               EOF to stop@."
+        name (Nast.stmt_count base);
+      journal_entry ~i:0 ~name ~time_s ~diags !t;
+      let worst = ref (exit_code ~diags ~degraded:(Core.Solver.degraded !t)) in
+      let rec loop i =
+        match input_line stdin with
+        | exception End_of_file -> ()
+        | _ ->
+            (let diags = Diag.create () in
+             match
+               let t0 = Sys.time () in
+               let _, edited = compile_spec ~layout ~diags spec in
+               let t', st =
+                 Incr.Engine.reanalyze ~retract_budget ~diags !t edited
+               in
+               (t', st, Sys.time () -. t0)
+             with
+             | t', st, time_s ->
+                 t := t';
+                 print_warm_result ~format ~name ~time_s ~diags ~st !t;
+                 journal_entry ~i ~name ~time_s ~diags !t;
+                 worst :=
+                   max !worst
+                     (exit_code ~diags ~degraded:(Core.Solver.degraded !t))
+             | exception Diag.Error p ->
+                 (* a broken intermediate save: report, keep the old
+                    fixpoint, keep watching *)
+                 Fmt.epr "%a@." Diag.pp_payload p;
+                 worst := max !worst 1);
+            loop (i + 1)
+      in
+      loop 1;
+      !worst)
 
 (* ------------------------------------------------------------------ *)
 (* compare                                                             *)
@@ -679,6 +813,23 @@ let batch_format_arg =
     & info [ "format" ] ~docv:"FMT"
         ~doc:"Output format: json (default; one line per job) or text.")
 
+let retract_budget_arg =
+  Arg.(
+    value & opt int Incr.Engine.default_retract_budget
+    & info [ "retract-budget" ] ~docv:"N"
+        ~doc:
+          "Affected-cell cap for retraction on edits that remove \
+           statements; past it the edit is solved from scratch (reported \
+           as a degraded-incremental warning).")
+
+let watch_journal_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "journal" ] ~docv:"PATH"
+        ~doc:
+          "Append one crash-safe 'done' record per re-analysis (same \
+           format as batch --journal), carrying the JSON result line.")
+
 (* [f] returns the exit code (0 ok, 1 diagnostics, 2 degraded); expected
    failures map to 1, anything escaping unexpectedly is an internal
    error: 3. *)
@@ -759,12 +910,59 @@ let serve_t =
       $ attempts_arg $ job_timeout_ms_arg $ backoff_ms_arg $ faults_arg
       $ journal_arg)
 
+let base_spec_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"BASE" ~doc:"Base version: C file or corpus program.")
+
+let edited_spec_arg =
+  Arg.(
+    required
+    & pos 1 (some string) None
+    & info [] ~docv:"EDITED" ~doc:"Edited version of the same program.")
+
+let reanalyze_t =
+  let run base edited strategy layout budget engine format retract_budget =
+    wrap (fun () ->
+        reanalyze_cmd base edited strategy layout budget engine format
+          retract_budget)
+  in
+  Cmd.v
+    (Cmd.info "reanalyze"
+       ~doc:
+         "Solve BASE, diff EDITED against it, and answer for EDITED from \
+          the warm fixpoint: additions warm-start the solved state, \
+          removals retract through per-statement support counting (falling \
+          back to scratch past --retract-budget). The result is identical \
+          to analyzing EDITED from scratch.")
+    Term.(
+      const run $ base_spec_arg $ edited_spec_arg $ strategy_arg $ layout_arg
+      $ budget_term $ engine_arg $ format_arg $ retract_budget_arg)
+
+let watch_t =
+  let run spec strategy layout budget engine format retract_budget journal =
+    wrap (fun () ->
+        watch_cmd spec strategy layout budget engine format retract_budget
+          journal)
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:
+         "Solve FILE once and keep the fixpoint live: every line on stdin \
+          (wire up your editor's save hook or inotifywait) re-reads FILE \
+          and re-answers incrementally, printing one result per edit. EOF \
+          ends the session.")
+    Term.(
+      const run $ spec_arg $ strategy_arg $ layout_arg $ budget_term
+      $ engine_arg $ format_arg $ retract_budget_arg $ watch_journal_arg)
+
 let main =
   Cmd.group
     (Cmd.info "structcast" ~version:"1.0.0"
        ~doc:
          "Tunable pointer analysis for C with structures and casting (Yong, \
           Horwitz & Reps, PLDI 1999).")
-    [ analyze_t; compare_t; corpus_t; batch_t; serve_t ]
+    [ analyze_t; compare_t; corpus_t; batch_t; serve_t; reanalyze_t; watch_t ]
 
 let () = exit (Cmd.eval' main)

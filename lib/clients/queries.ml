@@ -12,19 +12,29 @@ open Norm
 type t = {
   solver : Core.Solver.t;
   strategy : (module Core.Strategy.S);
+  var_index : (string, Cvar.t) Hashtbl.t;
+      (** plain and qualified name → variable, first binding wins — so a
+          lookup matches what a scan of [pall_vars] in order would find *)
 }
 
 let of_solver (solver : Core.Solver.t) : t =
-  { solver; strategy = solver.Core.Solver.strategy }
+  let var_index = Hashtbl.create 256 in
+  let bind name v =
+    if not (Hashtbl.mem var_index name) then Hashtbl.add var_index name v
+  in
+  List.iter
+    (fun v ->
+      bind v.Cvar.vname v;
+      bind (Cvar.qualified_name v) v)
+    solver.Core.Solver.prog.Nast.pall_vars;
+  { solver; strategy = solver.Core.Solver.strategy; var_index }
 
 let of_result (r : Core.Analysis.result) : t = of_solver r.Core.Analysis.solver
 
 let prog (q : t) : Nast.program = q.solver.Core.Solver.prog
 
 let find_var (q : t) (name : string) : Cvar.t option =
-  List.find_opt
-    (fun v -> v.Cvar.vname = name || Cvar.qualified_name v = name)
-    (prog q).Nast.pall_vars
+  Hashtbl.find_opt q.var_index name
 
 (* ------------------------------------------------------------------ *)
 (* Points-to and alias queries                                         *)

@@ -77,6 +77,14 @@ type summary = {
           consumed facts but derived no edge, plus copy-edge drains that
           moved facts but added none — the redundancy cycle elimination
           targets *)
+  incr_stmts_added : int;
+      (** statements the last incremental edit added (0 for a cold run) *)
+  incr_stmts_removed : int;
+  incr_facts_retracted : int;
+      (** facts retraction cleared from affected cells before replaying *)
+  incr_warm_visits : int;
+      (** statement visits the warm-start resume performed — compare
+          against [solver_visits] of a cold solve for the warm ratio *)
 }
 
 let summarize (solver : Solver.t) : summary =
@@ -107,7 +115,9 @@ let summarize (solver : Solver.t) : summary =
     lookup_calls = solver.Solver.ctx.Actx.lookup_calls;
     resolve_calls = solver.Solver.ctx.Actx.resolve_calls;
     corrupt_derefs;
-    unknown_externs = solver.Solver.unknown_externs;
+    (* sorted: a warm-started solver discovers externs in a different
+       order than a cold one, but the set is identical *)
+    unknown_externs = List.sort_uniq compare solver.Solver.unknown_externs;
     degraded = Budget.events solver.Solver.budget;
     engine =
       (match solver.Solver.engine with
@@ -122,6 +132,10 @@ let summarize (solver : Solver.t) : summary =
     cycles_found = solver.Solver.cycles_found;
     cells_unified = solver.Solver.cells_unified;
     wasted_propagations = solver.Solver.wasted_props;
+    incr_stmts_added = solver.Solver.incr_stmts_added;
+    incr_stmts_removed = solver.Solver.incr_stmts_removed;
+    incr_facts_retracted = solver.Solver.incr_facts_retracted;
+    incr_warm_visits = solver.Solver.incr_warm_visits;
   }
 
 (* ------------------------------------------------------------------ *)

@@ -51,6 +51,13 @@ type summary = {
       (** propagations that produced nothing new: statement visits that
           consumed facts but derived no edge, plus copy-edge drains that
           moved facts but added none *)
+  incr_stmts_added : int;
+      (** statements the last incremental edit added (0 for a cold run) *)
+  incr_stmts_removed : int;
+  incr_facts_retracted : int;
+      (** facts retraction cleared from affected cells before replaying *)
+  incr_warm_visits : int;
+      (** statement visits the warm-start resume performed *)
 }
 
 val summarize : Solver.t -> summary

@@ -80,7 +80,11 @@ let json_of_result ?(timing = true) ?(solver_stats = true) ~name
     field ",\"copy_edges\":%d" m.Metrics.copy_edges;
     field ",\"cycles_found\":%d" m.Metrics.cycles_found;
     field ",\"cells_unified\":%d" m.Metrics.cells_unified;
-    field ",\"wasted_propagations\":%d" m.Metrics.wasted_propagations
+    field ",\"wasted_propagations\":%d" m.Metrics.wasted_propagations;
+    field ",\"incr_stmts_added\":%d" m.Metrics.incr_stmts_added;
+    field ",\"incr_stmts_removed\":%d" m.Metrics.incr_stmts_removed;
+    field ",\"incr_facts_retracted\":%d" m.Metrics.incr_facts_retracted;
+    field ",\"incr_warm_visits\":%d" m.Metrics.incr_warm_visits
   end;
   field ",\"unknown_externs\":[%s]"
     (String.concat "," (List.map quote m.Metrics.unknown_externs));

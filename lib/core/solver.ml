@@ -75,7 +75,9 @@ type t = {
       (** set when a step/time/total budget trips: every object is
           treated as collapsed from then on *)
   engine : engine;
-  prog : Nast.program;
+  mutable prog : Nast.program;
+      (** mutable for incremental re-analysis: {!set_program} swaps in
+          the aligned edited program between [resume]s *)
   funcs : (string, Nast.func) Hashtbl.t;
   queue : Nast.stmt Queue.t;
   in_queue : (int, unit) Hashtbl.t;
@@ -149,6 +151,33 @@ type t = {
   unknown_obj : Cvar.t;
       (** the distinguished target of [`Unknown]-mode arithmetic *)
   mutable unknown_externs : string list;
+  (* --- incremental re-analysis support (PR 5) ----------------------- *)
+  track : bool;
+      (** record which statement derived which edge, so removals can
+          retract exactly the facts whose support disappeared *)
+  mutable cur_stmt : int;
+      (** id of the statement being processed, [-1] between visits
+          (copy-edge drains are attributed via the installing
+          statement's copy edges, not here) *)
+  stmt_edges : (int * int) list ref Itbl.t;
+      (** stmt id → direct (src cell id, target cell id) edges the
+          statement derived, deduplicated per statement *)
+  edge_stmt_mem : (int * int * int, unit) Hashtbl.t;
+      (** (stmt, src, target) triples already in [stmt_edges] *)
+  edge_support : (int * int, int ref) Hashtbl.t;
+      (** direct edge → number of distinct statements deriving it *)
+  stmt_copies : (int * int) list ref Itbl.t;
+      (** stmt id → copy (subset) edges the statement installed, as
+          install-time class ids, deduplicated per statement *)
+  copy_stmt_mem : (int * int * int, unit) Hashtbl.t;
+  copy_support : (int * int, int ref) Hashtbl.t;
+      (** copy edge → number of distinct statements installing it *)
+  mutable incr_stmts_added : int;  (** statements added by the last edit *)
+  mutable incr_stmts_removed : int;
+  mutable incr_facts_retracted : int;
+      (** facts cleared from affected cells before the replay *)
+  mutable incr_warm_visits : int;
+      (** statement visits the warm-start resume performed *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -212,7 +241,7 @@ let degrading_strategy ~(collapsed : unit Cvar.Tbl.t)
   end)
 
 let create ?(layout = Layout.default) ?(arith = `Spread)
-    ?(budget = Budget.unlimited) ?(engine = `Delta) ~strategy
+    ?(budget = Budget.unlimited) ?(engine = `Delta) ?(track = false) ~strategy
     (prog : Nast.program) : t =
   let funcs = Hashtbl.create 32 in
   List.iter (fun f -> Hashtbl.replace funcs f.Nast.fname f) prog.Nast.pfuncs;
@@ -255,6 +284,18 @@ let create ?(layout = Layout.default) ?(arith = `Spread)
     arith_mode = arith;
     unknown_obj = Cvar.fresh ~name:"$unknown" ~ty:Ctype.Void ~kind:Cvar.Global;
     unknown_externs = [];
+    track;
+    cur_stmt = -1;
+    stmt_edges = Itbl.create (if track then 256 else 1);
+    edge_stmt_mem = Hashtbl.create (if track then 512 else 1);
+    edge_support = Hashtbl.create (if track then 512 else 1);
+    stmt_copies = Itbl.create (if track then 256 else 1);
+    copy_stmt_mem = Hashtbl.create (if track then 512 else 1);
+    copy_support = Hashtbl.create (if track then 512 else 1);
+    incr_stmts_added = 0;
+    incr_stmts_removed = 0;
+    incr_facts_retracted = 0;
+    incr_warm_visits = 0;
   }
 
 (** Both difference-propagation engines ([`Delta] and [`Delta_nocycle]). *)
@@ -360,6 +401,60 @@ let mark_dirty t (stmt : Nast.stmt) = Itbl.replace t.dirty stmt.Nast.id ()
     edges subsumed by a later class unification stay counted). *)
 let copy_edge_count t = Hashtbl.length t.copy_mem
 
+(* ------------------------------------------------------------------ *)
+(* Support tracking (incremental re-analysis)                          *)
+(* ------------------------------------------------------------------ *)
+
+let attr_list (tbl : (int * int) list ref Itbl.t) (sid : int) =
+  match Itbl.find_opt tbl sid with
+  | Some l -> l
+  | None ->
+      let l = ref [] in
+      Itbl.replace tbl sid l;
+      l
+
+let support_incr (tbl : (int * int, int ref) Hashtbl.t) (edge : int * int) =
+  match Hashtbl.find_opt tbl edge with
+  | Some r -> incr r
+  | None -> Hashtbl.replace tbl edge (ref 1)
+
+(** A statement visit derived the direct edge [cid → wid] (it may
+    already exist — an independent derivation still counts as support:
+    the fact survives as long as any deriving statement does). *)
+let record_direct t (cid : int) (wid : int) =
+  let key = (t.cur_stmt, cid, wid) in
+  if not (Hashtbl.mem t.edge_stmt_mem key) then begin
+    Hashtbl.replace t.edge_stmt_mem key ();
+    let l = attr_list t.stmt_edges t.cur_stmt in
+    l := (cid, wid) :: !l;
+    support_incr t.edge_support (cid, wid)
+  end
+
+(** A statement visit installed (or re-derived) the copy constraint
+    [sid ⊆ did], as install-time class ids. Recorded before the
+    [copy_mem] dedup: a second statement deriving the same constraint
+    keeps it alive when the first is removed. *)
+let record_copy t (sid : int) (did : int) =
+  let key = (t.cur_stmt, sid, did) in
+  if not (Hashtbl.mem t.copy_stmt_mem key) then begin
+    Hashtbl.replace t.copy_stmt_mem key ();
+    let l = attr_list t.stmt_copies t.cur_stmt in
+    l := (sid, did) :: !l;
+    support_incr t.copy_support (sid, did)
+  end
+
+(** Drop all attribution state (it names cells and statements of the
+    solved program and is rebuilt by the replay). *)
+let reset_tracking t =
+  if t.track then begin
+    Itbl.reset t.stmt_edges;
+    Hashtbl.reset t.edge_stmt_mem;
+    Hashtbl.reset t.edge_support;
+    Itbl.reset t.stmt_copies;
+    Hashtbl.reset t.copy_stmt_mem;
+    Hashtbl.reset t.copy_support
+  end
+
 (** Collapse invalidates cursors and copy edges (they reference
     pre-collapse cells) and the union-find classes (they were proven
     over pre-collapse constraints): drop all delta state and unshare the
@@ -383,7 +478,8 @@ let reset_deltas t =
     t.order_edges <- 0;
     Hashtbl.reset t.lcd_done;
     Graph.unshare t.graph
-  end
+  end;
+  reset_tracking t
 
 (* ------------------------------------------------------------------ *)
 (* Degradation                                                         *)
@@ -477,6 +573,7 @@ let notify_new_source t (c : Cell.t) =
 
 let add_edge t (c : Cell.t) (w : Cell.t) =
   let c = redirect_cell t c and w = redirect_cell t w in
+  if t.track && t.cur_stmt >= 0 then record_direct t (Cell.id c) (Cell.id w);
   let was_source = Graph.has_source t.graph c in
   if Graph.add_edge t.graph c w then begin
     (match t.engine with
@@ -702,11 +799,14 @@ let pointee_of (v : Cvar.t) : Ctype.t =
     nothing. *)
 let ensure_copy t (dst : Cell.t) (src : Cell.t) =
   let sid = canon_id t (Cell.id src) and did = canon_id t (Cell.id dst) in
-  if sid <> did && not (Hashtbl.mem t.copy_mem (sid, did)) then begin
-    Hashtbl.replace t.copy_mem (sid, did) ();
-    let lst = copy_list t sid in
-    lst := (did, ref 0) :: !lst;
-    if Graph.pts_size t.graph src > 0 then push_cell t sid
+  if sid <> did then begin
+    if t.track && t.cur_stmt >= 0 then record_copy t sid did;
+    if not (Hashtbl.mem t.copy_mem (sid, did)) then begin
+      Hashtbl.replace t.copy_mem (sid, did) ();
+      let lst = copy_list t sid in
+      lst := (did, ref 0) :: !lst;
+      if Graph.pts_size t.graph src > 0 then push_cell t sid
+    end
   end
 
 (** Consume the facts of [c] that [stmt] has not seen yet (all of them on
@@ -1097,9 +1197,11 @@ let propagate t =
     done
   end
 
-let solve t : unit =
+(** Drain the worklist to a fixpoint from whatever is queued — the
+    warm-start entry point: nothing is re-enqueued, so a resumed solver
+    only revisits statements some new fact actually woke. *)
+let resume t : unit =
   Budget.start t.budget;
-  List.iter (enqueue t) (Nast.all_stmts t.prog);
   let rec loop () =
     propagate t;
     match Queue.take_opt t.queue with
@@ -1115,7 +1217,9 @@ let solve t : unit =
         let facts0 = t.facts_consumed in
         let edges0 = Graph.edge_count t.graph in
         let copies0 = Hashtbl.length t.copy_mem in
+        t.cur_stmt <- stmt.Nast.id;
         process t stmt;
+        t.cur_stmt <- -1;
         (* a visit that read facts but derived nothing (no graph edge,
            no copy edge) re-did work some earlier visit already did *)
         if
@@ -1127,9 +1231,21 @@ let solve t : unit =
   in
   loop ()
 
+let solve t : unit =
+  List.iter (enqueue t) (Nast.all_stmts t.prog);
+  resume t
+
+(** Swap in a new program (the incremental engine's aligned edit),
+    keeping the function table consistent. Does not enqueue anything. *)
+let set_program t (prog : Nast.program) =
+  t.prog <- prog;
+  Hashtbl.reset t.funcs;
+  List.iter (fun f -> Hashtbl.replace t.funcs f.Nast.fname f) prog.Nast.pfuncs
+
 (** Analyze [prog] with [strategy]; returns the solver state at fixpoint. *)
-let run ?layout ?arith ?budget ?engine ~strategy (prog : Nast.program) : t =
-  let t = create ?layout ?arith ?budget ?engine ~strategy prog in
+let run ?layout ?arith ?budget ?engine ?track ~strategy (prog : Nast.program) :
+    t =
+  let t = create ?layout ?arith ?budget ?engine ?track ~strategy prog in
   solve t;
   t
 

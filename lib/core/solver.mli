@@ -55,7 +55,9 @@ type t = {
       (** set when a step/time/total budget trips: every object is
           treated as collapsed from then on *)
   engine : engine;
-  prog : Nast.program;
+  mutable prog : Nast.program;
+      (** mutable for incremental re-analysis: {!set_program} swaps in
+          the aligned edited program between {!resume}s *)
   funcs : (string, Nast.func) Hashtbl.t;
   queue : Nast.stmt Queue.t;
   in_queue : (int, unit) Hashtbl.t;
@@ -113,6 +115,27 @@ type t = {
       (** the distinguished target of [`Unknown]-mode arithmetic *)
   mutable unknown_externs : string list;
       (** called external functions with neither a body nor a summary *)
+  track : bool;
+      (** record per-statement edge support so {!Incr} can retract the
+          facts a removed statement was the last to derive *)
+  mutable cur_stmt : int;
+      (** id of the statement being processed, [-1] between visits *)
+  stmt_edges : (int * int) list ref Itbl.t;
+      (** stmt id → direct (src, target) cell-id edges it derived *)
+  edge_stmt_mem : (int * int * int, unit) Hashtbl.t;
+  edge_support : (int * int, int ref) Hashtbl.t;
+      (** direct edge → number of distinct statements deriving it *)
+  stmt_copies : (int * int) list ref Itbl.t;
+      (** stmt id → copy edges it installed, as install-time class ids *)
+  copy_stmt_mem : (int * int * int, unit) Hashtbl.t;
+  copy_support : (int * int, int ref) Hashtbl.t;
+      (** copy edge → number of distinct statements installing it *)
+  mutable incr_stmts_added : int;  (** statements added by the last edit *)
+  mutable incr_stmts_removed : int;
+  mutable incr_facts_retracted : int;
+      (** facts cleared from affected cells before the replay *)
+  mutable incr_warm_visits : int;
+      (** statement visits the warm-start resume performed *)
 }
 
 val collapse_sel : Cell.t -> Cell.t
@@ -124,9 +147,12 @@ val create :
   ?arith:[ `Spread | `Copy | `Stride | `Unknown ] ->
   ?budget:Budget.limits ->
   ?engine:engine ->
+  ?track:bool ->
   strategy:(module Strategy.S) ->
   Nast.program ->
   t
+(** [track] (default [false]) switches on per-statement support
+    recording, the prerequisite for incremental retraction. *)
 
 val collapse_object : t -> reason:Budget.reason -> Cvar.t -> unit
 (** Degrade one object to a single cell now (idempotent): merge its
@@ -139,14 +165,32 @@ val copy_edge_count : t -> int
     counted); 0 under [`Naive]. *)
 
 val solve : t -> unit
-(** Run the worklist to a fixpoint, degrading under budget pressure
-    instead of diverging. *)
+(** Enqueue every statement and run the worklist to a fixpoint,
+    degrading under budget pressure instead of diverging. *)
+
+val enqueue : t -> Nast.stmt -> unit
+(** Add one statement to the worklist (deduplicated). The incremental
+    engine seeds a warm start with just the added statements. *)
+
+val resume : t -> unit
+(** Drain the worklist to a fixpoint from whatever is queued, without
+    re-enqueueing anything — the warm-start entry point. *)
+
+val set_program : t -> Nast.program -> unit
+(** Swap in a new program (the incremental engine's aligned edit),
+    keeping the function table consistent. Enqueues nothing. *)
+
+val reset_deltas : t -> unit
+(** Discard all delta-engine state (cursors, copy edges, worklists,
+    union-find sharing) and attribution tables. Used on degradation
+    collapses and before an incremental retraction replay. *)
 
 val run :
   ?layout:Layout.config ->
   ?arith:[ `Spread | `Copy | `Stride | `Unknown ] ->
   ?budget:Budget.limits ->
   ?engine:engine ->
+  ?track:bool ->
   strategy:(module Strategy.S) ->
   Nast.program ->
   t

@@ -1,0 +1,35 @@
+(** Scripted edits over normalized programs.
+
+    Benchmarks and the fuzz harness need edit scripts that share the
+    base program's variables (so the diff is exactly the scripted
+    statement, not a whole-program realignment). An {!op} edits one
+    statement of one function at the {!Norm.Nast} level; {!apply}
+    renumbers inserted statements past the program's maximum id and
+    registers any new variables.
+
+    Global-initializer statements ([pinit]) are never edited — every op
+    targets a function body. *)
+
+open Norm
+
+type op =
+  | Add of string * Nast.kind * bool
+      (** [Add (fname, kind, is_source_deref)]: append one statement to
+          [fname]'s body *)
+  | Remove of string * int  (** remove [fname]'s [i]-th statement *)
+  | Mutate of string * int * Nast.kind * bool
+      (** replace [fname]'s [i]-th statement (a remove plus an add) *)
+
+val apply : Nast.program -> op list -> Nast.program
+(** Apply the ops left to right ([Remove]/[Mutate] indices refer to the
+    program the preceding ops produced). Out-of-range indices and
+    unknown function names are ignored. *)
+
+val random_op : rand:Random.State.t -> Nast.program -> op option
+(** One random edit: add, remove, or mutate a single normalized
+    statement, drawing variables from the program (occasionally minting
+    a fresh global pointer). [None] when the program offers nothing to
+    edit (no functions, or no pointer-typed variables to build a
+    statement from). *)
+
+val pp_op : Format.formatter -> op -> unit

@@ -1,0 +1,237 @@
+(** Warm-start solving and support-counting retraction. The soundness
+    argument for the retraction path:
+
+    every fact whose derivation chain involves a removed statement lies
+    in an affected cell. By induction over the chain: the first removed
+    link is either a direct edge whose support hit zero (its source
+    cell seeds the closure), a copy constraint whose support hit zero
+    (its destination seeds), or a fact that reached a cell through a
+    surviving constraint from an affected cell (copy-flow rule), or a
+    fact a surviving statement derived after reading an affected cell
+    (read-to-write rule). Class sharing is closed over explicitly:
+    unified cells share one set, so marking any member marks all.
+
+    Clearing affected cells and replaying every statement then
+    converges to exactly the edited program's fixpoint: retained facts
+    are all derivable without the removed statements, and the replay is
+    the ordinary monotone solve seeded with them. *)
+
+open Cfront
+open Norm
+open Core
+
+type stats = {
+  stmts_added : int;
+  stmts_removed : int;
+  facts_retracted : int;
+  affected_cells : int;
+  warm_visits : int;
+  fallback : bool;
+}
+
+let default_retract_budget = 10_000
+
+exception Too_wide
+
+(** From-scratch solve of the aligned program under the base solver's
+    configuration, with the fallback reported as a warning (precision
+    is unaffected, so this must not flip the CLI into exit code 1). *)
+let scratch ?diags ~(why : string) (t : Solver.t) (prog : Nast.program) :
+    Solver.t =
+  (match diags with
+  | Some d ->
+      Diag.warn d "degraded-incremental: %s; solving the edit from scratch"
+        why
+  | None -> ());
+  Solver.run ~layout:t.Solver.ctx.Actx.layout ~arith:t.Solver.arith_mode
+    ~budget:t.Solver.budget.Budget.limits ~engine:t.Solver.engine
+    ~track:t.Solver.track ~strategy:t.Solver.base_strategy prog
+
+(** The affected-cell closure for a removal edit. Runs against the
+    still-solved state (class sharing and cursors intact); raises
+    {!Too_wide} past [retract_budget] cells. Returns the removed
+    statement ids and the affected set. *)
+let closure (t : Solver.t) (d : Progdiff.t) ~(retract_budget : int) :
+    (int, unit) Hashtbl.t * (int, unit) Hashtbl.t =
+  let removed_ids = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Nast.stmt) -> Hashtbl.replace removed_ids s.Nast.id ())
+    d.Progdiff.removed;
+  let affected = Hashtbl.create 256 in
+  let queue = Queue.create () in
+  let rec mark (cid : int) =
+    if not (Hashtbl.mem affected cid) then begin
+      Hashtbl.replace affected cid ();
+      if Hashtbl.length affected > retract_budget then raise Too_wide;
+      Queue.add cid queue;
+      (* unified cells share one set: marking any member marks all *)
+      List.iter
+        (fun (m : Cell.t) -> mark (Cell.id m))
+        (Graph.class_members t.Solver.graph (Cell.of_id cid))
+    end
+  in
+  (* seeds: support that the removed statements were the last to hold *)
+  Hashtbl.iter
+    (fun sid () ->
+      (match Solver.Itbl.find_opt t.Solver.stmt_edges sid with
+      | Some l ->
+          List.iter
+            (fun (c, w) ->
+              match Hashtbl.find_opt t.Solver.edge_support (c, w) with
+              | Some r ->
+                  decr r;
+                  if !r <= 0 then mark c
+              | None -> ())
+            !l
+      | None -> ());
+      match Solver.Itbl.find_opt t.Solver.stmt_copies sid with
+      | Some l ->
+          List.iter
+            (fun (cs, cd) ->
+              match Hashtbl.find_opt t.Solver.copy_support (cs, cd) with
+              | Some r ->
+                  decr r;
+                  if !r <= 0 then mark cd
+              | None -> ())
+            !l
+      | None -> ())
+    removed_ids;
+  (* surviving copy constraints, as adjacency over install-time ids *)
+  let copy_adj = Hashtbl.create 256 in
+  Hashtbl.iter
+    (fun (cs, cd) r ->
+      if !r > 0 then
+        Hashtbl.replace copy_adj cs
+          (cd :: (try Hashtbl.find copy_adj cs with Not_found -> [])))
+    t.Solver.copy_support;
+  (* surviving cursor readers: cell id → statement ids consuming it *)
+  let readers = Hashtbl.create 256 in
+  Solver.Itbl.iter
+    (fun sid tbl ->
+      if not (Hashtbl.mem removed_ids sid) then
+        Solver.Itbl.iter
+          (fun cid _ ->
+            Hashtbl.replace readers cid
+              (sid :: (try Hashtbl.find readers cid with Not_found -> [])))
+          tbl)
+    t.Solver.cursors;
+  let writes (sid : int) : int list =
+    (match Solver.Itbl.find_opt t.Solver.stmt_edges sid with
+    | Some l -> List.map fst !l
+    | None -> [])
+    @
+    match Solver.Itbl.find_opt t.Solver.stmt_copies sid with
+    | Some l -> List.map snd !l
+    | None -> []
+  in
+  let woken = Hashtbl.create 256 in
+  let wake (sid : int) =
+    if not (Hashtbl.mem removed_ids sid) && not (Hashtbl.mem woken sid) then begin
+      Hashtbl.replace woken sid ();
+      (* the statement read an affected cell: everything it derived —
+         anywhere — may have depended on the retracted facts *)
+      List.iter mark (writes sid)
+    end
+  in
+  while not (Queue.is_empty queue) do
+    let cid = Queue.pop queue in
+    (match Hashtbl.find_opt copy_adj cid with
+    | Some dsts -> List.iter mark dsts
+    | None -> ());
+    (match Hashtbl.find_opt readers cid with
+    | Some sids -> List.iter wake sids
+    | None -> ());
+    (* object-level subscriptions (the naive engine's only read
+       channel; graph-dependent resolves under delta) *)
+    match Cvar.Tbl.find_opt t.Solver.subscribers (Cell.of_id cid).Cell.base with
+    | Some l -> List.iter (fun (s : Nast.stmt) -> wake s.Nast.id) !l
+    | None -> ()
+  done;
+  (removed_ids, affected)
+
+(** Clear the affected cells and replay: reset delta and attribution
+    state, drop the removed statements' subscriptions, remove the
+    affected cells' facts, swap in the aligned program, and solve the
+    whole statement list over the retained facts. *)
+let execute (t : Solver.t) (aligned : Nast.program)
+    (removed_ids : (int, unit) Hashtbl.t) (affected : (int, unit) Hashtbl.t) :
+    int * int * int =
+  let cids = List.sort compare (Hashtbl.fold (fun k () a -> k :: a) affected []) in
+  (* unshares the graph (remove_source needs the per-cell view) and
+     drops cursors, copy edges and attribution — all of which name the
+     pre-edit fixpoint *)
+  Solver.reset_deltas t;
+  Cvar.Tbl.iter
+    (fun _ l ->
+      l :=
+        List.filter
+          (fun (s : Nast.stmt) -> not (Hashtbl.mem removed_ids s.Nast.id))
+          !l)
+    t.Solver.subscribers;
+  Hashtbl.iter
+    (fun sid () -> Solver.Itbl.remove t.Solver.stmt_subs sid)
+    removed_ids;
+  let retracted = ref 0 in
+  List.iter
+    (fun cid ->
+      let c = Cell.of_id cid in
+      retracted := !retracted + Graph.pts_size t.Solver.graph c;
+      Graph.remove_source t.Solver.graph c)
+    cids;
+  Solver.set_program t aligned;
+  (* every call statement replays, so the extern set rebuilds exactly *)
+  t.Solver.unknown_externs <- [];
+  let r0 = t.Solver.rounds in
+  List.iter (Solver.enqueue t) (Nast.all_stmts aligned);
+  Solver.resume t;
+  (!retracted, List.length cids, t.Solver.rounds - r0)
+
+let reanalyze ?(retract_budget = default_retract_budget) ?diags
+    (t : Solver.t) (edited : Nast.program) : Solver.t * stats =
+  let aligned, d = Progdiff.align ~base:t.Solver.prog edited in
+  let n_added = List.length d.Progdiff.added in
+  let n_removed = List.length d.Progdiff.removed in
+  let finish (t' : Solver.t) ~retracted ~affected ~warm ~fallback =
+    t'.Solver.incr_stmts_added <- n_added;
+    t'.Solver.incr_stmts_removed <- n_removed;
+    t'.Solver.incr_facts_retracted <- retracted;
+    t'.Solver.incr_warm_visits <- warm;
+    ( t',
+      {
+        stmts_added = n_added;
+        stmts_removed = n_removed;
+        facts_retracted = retracted;
+        affected_cells = affected;
+        warm_visits = warm;
+        fallback;
+      } )
+  in
+  let fall why =
+    let t' = scratch ?diags ~why t aligned in
+    finish t' ~retracted:0 ~affected:0 ~warm:t'.Solver.rounds ~fallback:true
+  in
+  if Budget.degraded t.Solver.budget then
+    fall
+      "the base fixpoint is budget-degraded (collapses invalidate support \
+       tracking)"
+  else if n_removed = 0 then begin
+    (* additive warm start *)
+    Solver.set_program t aligned;
+    let r0 = t.Solver.rounds in
+    List.iter (Solver.enqueue t) d.Progdiff.added;
+    Solver.resume t;
+    finish t ~retracted:0 ~affected:0
+      ~warm:(t.Solver.rounds - r0)
+      ~fallback:false
+  end
+  else if not t.Solver.track then
+    fall "the edit removes statements but support tracking is off"
+  else
+    match closure t d ~retract_budget with
+    | exception Too_wide ->
+        fall
+          (Printf.sprintf "the retraction cascade exceeded %d affected cells"
+             retract_budget)
+    | removed_ids, affected ->
+        let retracted, ncells, warm = execute t aligned removed_ids affected in
+        finish t ~retracted ~affected:ncells ~warm ~fallback:false

@@ -1,0 +1,70 @@
+(** Incremental re-analysis: warm-start solving and retraction.
+
+    Given a solver at fixpoint and an edited version of its program,
+    {!reanalyze} brings the solver to the edited program's fixpoint
+    without recomputing from scratch whenever it can:
+
+    - {b Additive edits} (no statements removed): the edited program is
+      aligned over the base's variables ({!Progdiff.align}), the new
+      statements are enqueued into the live solver — their cells intern
+      against the existing cell table, their cursors start at the log
+      tails' left edge and the existing subscriptions wake exactly the
+      statements the new facts reach — and the delta engine resumes.
+      Monotonicity makes this exact: the base fixpoint is a
+      sub-fixpoint of the edited program's least fixpoint, and the
+      resumed run closes the gap.
+
+    - {b Edits with removals}: facts are not monotone under statement
+      removal, so the engine uses the per-statement support counts a
+      [~track:true] solver records. Every direct edge or copy
+      constraint whose last deriving statement disappeared seeds an
+      {e affected} set of cells; the set is closed under copy-edge
+      flow, class sharing, and read-to-write dependence (a surviving
+      statement that read an affected cell may have derived facts
+      anywhere it writes). Affected cells are cleared and every
+      statement replayed — retained facts on unaffected cells are kept
+      as-is, and the monotone replay re-derives exactly the edited
+      program's fixpoint over them.
+
+    - {b Fallback}: when the affected closure exceeds [retract_budget]
+      cells, the base fixpoint is budget-degraded, or removals arrive
+      without support tracking, the engine solves the aligned program
+      from scratch and reports a [degraded-incremental] warning through
+      the diagnostics context (precision is unaffected — only the warm
+      start is given up, so the condition is a warning, not an error).
+
+    The differential guarantee — warm result {!Core.Graph.equal} and
+    stats-free-JSON byte-identical to a from-scratch solve of the
+    aligned program — holds for all four strategies and all three
+    engines, and is enforced by [test/test_incr.ml] and the fuzz
+    harness. *)
+
+open Cfront
+open Norm
+open Core
+
+type stats = {
+  stmts_added : int;
+  stmts_removed : int;
+  facts_retracted : int;
+      (** facts cleared from affected cells before the replay *)
+  affected_cells : int;  (** size of the retraction closure *)
+  warm_visits : int;
+      (** statement visits this re-analysis performed (on fallback: the
+          visits of the from-scratch solve) *)
+  fallback : bool;  (** the engine re-solved from scratch *)
+}
+
+val default_retract_budget : int
+
+val reanalyze :
+  ?retract_budget:int ->
+  ?diags:Diag.ctx ->
+  Solver.t ->
+  Nast.program ->
+  Solver.t * stats
+(** [reanalyze t edited] brings [t] to [edited]'s fixpoint. The
+    returned solver is [t] itself warm-started in place, or a fresh
+    solver when the engine fell back to scratch — always use the
+    returned value. Its [incr_*] counters are set either way, so
+    {!Core.Metrics.summarize} reports the edit. *)

@@ -1,0 +1,233 @@
+(** Canonical statement keying and program diffing. See the interface
+    for the contract; the implementation notes below cover the choices
+    that matter for the differential guarantee.
+
+    - Keys never mention [vid]s, statement ids, or source locations:
+      recompiling unchanged source yields byte-identical keys.
+    - Matching is a multiset diff per (scope, key) bucket: duplicated
+      statements pair up positionally, so an edit that deletes one of
+      two identical stores removes exactly one.
+    - Matched statements keep the {e base} statement value — its id is
+      what the solver's cursors, subscriptions and support tables are
+      keyed by.
+    - [var_key] is invariant under the remapping it drives (a base
+      variable and its edited counterpart render the same key), so keys
+      can be computed on the raw edited statements. *)
+
+open Cfront
+open Norm
+
+let var_key (v : Cvar.t) : string =
+  let kind =
+    match v.Cvar.vkind with
+    | Cvar.Global -> "g"
+    | Cvar.Local f -> "l:" ^ f
+    | Cvar.Param f -> "p:" ^ f
+    | Cvar.Temp f -> "t:" ^ f
+    | Cvar.Ret f -> "r:" ^ f
+    | Cvar.Heap (loc, site) ->
+        Printf.sprintf "h:%s:%d:%d:%d" loc.Srcloc.file loc.Srcloc.line
+          loc.Srcloc.col site
+    | Cvar.Strlit i -> "s:" ^ string_of_int i
+    | Cvar.Funval f -> "f:" ^ f
+    | Cvar.Vararg f -> "v:" ^ f
+  in
+  Printf.sprintf "%s|%s|%s" v.Cvar.vname kind (Ctype.to_string v.Cvar.vty)
+
+let interface_key (f : Nast.func) : string =
+  Printf.sprintf "%s(%s)%s%s" f.Nast.fname
+    (String.concat "," (List.map var_key f.Nast.fparams))
+    (match f.Nast.fret with Some r -> "->" ^ var_key r | None -> "")
+    (match f.Nast.fvararg with Some v -> "~" ^ var_key v | None -> "")
+
+let iface_of_program (p : Nast.program) : string -> string =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Nast.func) -> Hashtbl.replace tbl f.Nast.fname (interface_key f))
+    p.Nast.pfuncs;
+  (* any defined function's signature changing can redirect any indirect
+     call, so indirect calls key on a fingerprint of all interfaces *)
+  let all =
+    string_of_int
+      (Hashtbl.hash
+         (List.sort compare (Hashtbl.fold (fun _ v acc -> v :: acc) tbl [])))
+  in
+  fun name ->
+    if name = "*" then all
+    else
+      match Hashtbl.find_opt tbl name with Some k -> k | None -> "undef"
+
+let kind_key ~(iface : string -> string) (k : Nast.kind) : string =
+  match k with
+  | Nast.Addr (s, t, b) ->
+      Printf.sprintf "A|%s|%s|%s" (var_key s) (var_key t)
+        (Ctype.path_to_string b)
+  | Nast.Addr_deref (s, p, a) ->
+      Printf.sprintf "D|%s|%s|%s" (var_key s) (var_key p)
+        (Ctype.path_to_string a)
+  | Nast.Copy (s, t, b) ->
+      Printf.sprintf "C|%s|%s|%s" (var_key s) (var_key t)
+        (Ctype.path_to_string b)
+  | Nast.Load (s, q) -> Printf.sprintf "L|%s|%s" (var_key s) (var_key q)
+  | Nast.Store (p, v) -> Printf.sprintf "S|%s|%s" (var_key p) (var_key v)
+  | Nast.Arith (s, v) -> Printf.sprintf "R|%s|%s" (var_key s) (var_key v)
+  | Nast.Call { Nast.cret; cfn; cargs } ->
+      let ret = match cret with Some v -> var_key v | None -> "-" in
+      let fn =
+        match cfn with
+        | Nast.Direct n -> "d:" ^ n ^ "~" ^ iface n
+        | Nast.Indirect v -> "i:" ^ var_key v ^ "~" ^ iface "*"
+      in
+      Printf.sprintf "K|%s|%s|%s" ret fn
+        (String.concat "," (List.map var_key cargs))
+
+let stmt_key ~iface ~(scope : string) (s : Nast.stmt) : string =
+  Printf.sprintf "%s|%b|%s" scope s.Nast.is_source_deref
+    (kind_key ~iface s.Nast.kind)
+
+type t = {
+  added : Nast.stmt list;
+  removed : Nast.stmt list;
+  added_vars : Cvar.t list;
+  removed_vars : Cvar.t list;
+}
+
+let align ~(base : Nast.program) (edited : Nast.program) : Nast.program * t =
+  let base_iface = iface_of_program base in
+  let ed_iface = iface_of_program edited in
+  (* variable remapping: key → base variable, first in [pall_vars] order *)
+  let vmap = Hashtbl.create 64 in
+  List.iter
+    (fun v ->
+      let k = var_key v in
+      if not (Hashtbl.mem vmap k) then Hashtbl.add vmap k v)
+    base.Nast.pall_vars;
+  let added_vars = ref [] in
+  let mapvar (v : Cvar.t) : Cvar.t =
+    let k = var_key v in
+    match Hashtbl.find_opt vmap k with
+    | Some bv -> bv
+    | None ->
+        (* genuinely new: keep the edited variable, and bind its key so
+           every later occurrence maps to this same value *)
+        added_vars := v :: !added_vars;
+        Hashtbl.add vmap k v;
+        v
+  in
+  (* statement multiset: (scope, key) → base statements in order *)
+  let buckets = Hashtbl.create 256 in
+  let put scope (s : Nast.stmt) =
+    let k = stmt_key ~iface:base_iface ~scope s in
+    let q =
+      match Hashtbl.find_opt buckets k with
+      | Some q -> q
+      | None ->
+          let q = Queue.create () in
+          Hashtbl.add buckets k q;
+          q
+    in
+    Queue.add s q
+  in
+  List.iter (put "<init>") base.Nast.pinit;
+  List.iter
+    (fun (f : Nast.func) -> List.iter (put f.Nast.fname) f.Nast.fstmts)
+    base.Nast.pfuncs;
+  let next_id =
+    ref
+      (List.fold_left
+         (fun m (s : Nast.stmt) -> max m s.Nast.id)
+         0 (Nast.all_stmts base))
+  in
+  let map_kind (k : Nast.kind) : Nast.kind =
+    match k with
+    | Nast.Addr (s, t, b) -> Nast.Addr (mapvar s, mapvar t, b)
+    | Nast.Addr_deref (s, p, a) -> Nast.Addr_deref (mapvar s, mapvar p, a)
+    | Nast.Copy (s, t, b) -> Nast.Copy (mapvar s, mapvar t, b)
+    | Nast.Load (s, q) -> Nast.Load (mapvar s, mapvar q)
+    | Nast.Store (p, v) -> Nast.Store (mapvar p, mapvar v)
+    | Nast.Arith (s, v) -> Nast.Arith (mapvar s, mapvar v)
+    | Nast.Call { Nast.cret; cfn; cargs } ->
+        Nast.Call
+          {
+            Nast.cret = Option.map mapvar cret;
+            cfn =
+              (match cfn with
+              | Nast.Direct n -> Nast.Direct n
+              | Nast.Indirect v -> Nast.Indirect (mapvar v));
+            cargs = List.map mapvar cargs;
+          }
+  in
+  let matched = Hashtbl.create 256 in
+  let added = ref [] in
+  let align_stmt scope (s : Nast.stmt) : Nast.stmt =
+    let k = stmt_key ~iface:ed_iface ~scope s in
+    match Hashtbl.find_opt buckets k with
+    | Some q when not (Queue.is_empty q) ->
+        let b = Queue.pop q in
+        Hashtbl.replace matched b.Nast.id ();
+        b
+    | _ ->
+        incr next_id;
+        let s' = { s with Nast.id = !next_id; kind = map_kind s.Nast.kind } in
+        added := s' :: !added;
+        s'
+  in
+  let pinit = List.map (align_stmt "<init>") edited.Nast.pinit in
+  let pfuncs =
+    List.map
+      (fun (f : Nast.func) ->
+        {
+          Nast.fname = f.Nast.fname;
+          ffvar = mapvar f.Nast.ffvar;
+          fparams = List.map mapvar f.Nast.fparams;
+          fret = Option.map mapvar f.Nast.fret;
+          fvararg = Option.map mapvar f.Nast.fvararg;
+          fstmts = List.map (align_stmt f.Nast.fname) f.Nast.fstmts;
+        })
+      edited.Nast.pfuncs
+  in
+  let dedup_vars vs =
+    let seen = Hashtbl.create 64 in
+    List.filter
+      (fun (v : Cvar.t) ->
+        if Hashtbl.mem seen v.Cvar.vid then false
+        else begin
+          Hashtbl.replace seen v.Cvar.vid ();
+          true
+        end)
+      vs
+  in
+  let aligned =
+    {
+      Nast.pfile = edited.Nast.pfile;
+      pglobals = dedup_vars (List.map mapvar edited.Nast.pglobals);
+      pfuncs;
+      pexterns = List.map (fun (n, v) -> (n, mapvar v)) edited.Nast.pexterns;
+      pinit;
+      pall_vars = dedup_vars (List.map mapvar edited.Nast.pall_vars);
+    }
+  in
+  let removed =
+    List.filter
+      (fun (s : Nast.stmt) -> not (Hashtbl.mem matched s.Nast.id))
+      (Nast.all_stmts base)
+  in
+  let ed_keys = Hashtbl.create 64 in
+  List.iter
+    (fun v -> Hashtbl.replace ed_keys (var_key v) ())
+    edited.Nast.pall_vars;
+  let removed_vars =
+    dedup_vars
+      (List.filter
+         (fun v -> not (Hashtbl.mem ed_keys (var_key v)))
+         base.Nast.pall_vars)
+  in
+  ( aligned,
+    {
+      added = List.rev !added;
+      removed;
+      added_vars = List.rev !added_vars;
+      removed_vars;
+    } )
+
+let diff ~base edited : t = snd (align ~base edited)

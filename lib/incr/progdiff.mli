@@ -1,0 +1,64 @@
+(** Program diffing for incremental re-analysis.
+
+    Two compiles of (nearly) the same source produce structurally equal
+    but physically distinct programs: every {!Cfront.Cvar.t} gets a
+    fresh [vid] and every statement a per-compile id. To hand the solver
+    a small statement delta instead of a new program, each normalized
+    statement is keyed by a canonical rendering of its lowered form plus
+    its enclosing function — independent of variable identity, statement
+    ids, and source locations — and the two versions are diffed as
+    multisets of keys.
+
+    [align] additionally rebuilds the edited program over the base
+    program's variables: statements present in both versions reuse the
+    base statement value verbatim (ids, and hence the solver's cursors
+    and subscriptions, stay valid), and unmatched statements have their
+    variables remapped to the base variable with the same key where one
+    exists. Solving the aligned program from scratch is therefore
+    directly comparable — cell by cell — with warm-starting the base
+    solver, which is the incremental engine's differential oracle.
+
+    Call statements embed their callee's interface fingerprint in the
+    key (indirect calls a fingerprint of {e all} defined interfaces), so
+    a signature change or a function gaining/losing a body invalidates
+    exactly the calls whose parameter/return bindings it alters.
+
+    Approximation: two distinct variables with the same name, kind,
+    scope and type (shadowed block locals) share one key and are
+    conflated by the remapping. The lowered corpus does not produce such
+    pairs. *)
+
+open Cfront
+open Norm
+
+val var_key : Cvar.t -> string
+(** Identity-free key: name, kind (with enclosing scope), and declared
+    type. A type change makes a different key — the variable is treated
+    as removed and re-added. *)
+
+val stmt_key : iface:(string -> string) -> scope:string -> Nast.stmt -> string
+(** Canonical key of a statement inside [scope] (a function name, or
+    ["<init>"] for global initializers). [iface] renders a called
+    function's interface fingerprint (["*"] queries the fingerprint of
+    all defined functions, used for indirect calls). *)
+
+val iface_of_program : Nast.program -> string -> string
+(** The interface-fingerprint oracle of a program, for {!stmt_key}. *)
+
+type t = {
+  added : Nast.stmt list;
+      (** statements of the aligned program with no base counterpart, in
+          program order, with fresh ids past the base program's maximum *)
+  removed : Nast.stmt list;
+      (** base statements absent from the edited version, in base
+          program order *)
+  added_vars : Cvar.t list;  (** edited variables with no base-key match *)
+  removed_vars : Cvar.t list;  (** base variables keyed out of existence *)
+}
+
+val align : base:Nast.program -> Nast.program -> Nast.program * t
+(** [align ~base edited] is the edited program rebuilt over [base]'s
+    variables and statement values, plus the delta between the two. *)
+
+val diff : base:Nast.program -> Nast.program -> t
+(** Just the delta of {!align}. *)

@@ -27,6 +27,7 @@ let () =
       ("budget", Test_budget.suite);
       ("cycles", Test_cycles.suite);
       ("differential", Test_differential.suite);
+      ("incr", Test_incr.suite);
       ("fuzz", Test_fuzz.suite);
       ("isolation", Test_isolation.suite);
       ("server", Test_server.suite);

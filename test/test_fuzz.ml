@@ -127,10 +127,87 @@ let test_truncated_inputs_recover () =
   done;
   if !failures <> [] then fail_with_seeds !failures
 
+(* Random edit scripts drive the incremental-vs-scratch differential
+   oracle: 10 generated base programs x 4 chained single-statement edits
+   x 4 instances = 160 warm solves, each of which must reach exactly the
+   fixpoint a from-scratch solve of the edited program reaches
+   ({!Core.Graph.equal} plus a clean bookkeeping audit). Fallbacks to
+   scratch are legal — the cascade budget is policy — but trivially
+   satisfy the oracle, so we also require that some edits warm-start. *)
+let test_random_edit_scripts () =
+  let failures = ref [] in
+  let warms = ref 0 in
+  for i = 0 to 9 do
+    let seed = base_seed + i in
+    let cfg = { cfg with Cgen.n_stmts = 25 } in
+    let src = Cgen.generate ~cfg ~seed () in
+    List.iter
+      (fun id ->
+        match
+          Norm.Lower.compile ~file:(Printf.sprintf "<fuzz-edit-%d>" seed) src
+        with
+        | exception e ->
+            failures :=
+              Printf.sprintf "seed %d / %s: compile: %s" seed id
+                (Printexc.to_string e)
+              :: !failures
+        | base -> (
+            let rand = Random.State.make [| base_seed; seed; 17 |] in
+            match
+              let t =
+                ref
+                  (Core.Solver.run ~track:true ~strategy:(strategy id) base)
+              in
+              for _edit = 1 to 4 do
+                match Incr.Edit.random_op ~rand !t.Core.Solver.prog with
+                | None -> ()
+                | Some op ->
+                    let edited = Incr.Edit.apply !t.Core.Solver.prog [ op ] in
+                    let t', st = Incr.Engine.reanalyze !t edited in
+                    t := t';
+                    if not st.Incr.Engine.fallback then incr warms;
+                    let scratch =
+                      Core.Solver.run ~strategy:(strategy id)
+                        !t.Core.Solver.prog
+                    in
+                    if
+                      not
+                        (Core.Graph.equal !t.Core.Solver.graph
+                           scratch.Core.Solver.graph)
+                    then
+                      failures :=
+                        Printf.sprintf
+                          "seed %d / %s: warm <> scratch after [%s]" seed id
+                          (Format.asprintf "%a" Incr.Edit.pp_op op)
+                        :: !failures;
+                    match
+                      Core.Graph.check_counts !t.Core.Solver.graph
+                    with
+                    | Some msg ->
+                        failures :=
+                          Printf.sprintf "seed %d / %s: audit: %s" seed id msg
+                          :: !failures
+                    | None -> ()
+              done
+            with
+            | () -> ()
+            | exception e ->
+                failures :=
+                  Printf.sprintf "seed %d / %s: %s" seed id
+                    (Printexc.to_string e)
+                  :: !failures))
+      all_ids
+  done;
+  if !warms = 0 then
+    failures := "no edit script warm-started (all fell back)" :: !failures;
+  if !failures <> [] then fail_with_seeds !failures
+
 let suite =
   [
     tc "200 generated programs, 4 instances, tight budgets"
       test_generated_programs;
     tc "generated programs with calls" test_generated_with_calls;
     tc "truncated inputs recover or diagnose" test_truncated_inputs_recover;
+    tc "40 random edit scripts, incremental == scratch"
+      test_random_edit_scripts;
   ]

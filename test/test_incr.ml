@@ -1,0 +1,346 @@
+(** The incremental re-analysis engine's differential spine: for every
+    edit, warm-starting the solved base must land on exactly the
+    fixpoint a from-scratch solve of the (aligned) edited program
+    computes — {!Core.Graph.equal}, bookkeeping-audit clean, and
+    stats-free-JSON byte-identical — for all four framework instances
+    and all three engines. Plus unit coverage for the differ's keying
+    and the retraction fallback ladder. *)
+
+open Cfront
+open Norm
+open Helpers
+
+let all_ids = [ "collapse-always"; "collapse-on-cast"; "cis"; "offsets" ]
+let engines = [ ("delta", `Delta); ("delta-nocycle", `Delta_nocycle); ("naive", `Naive) ]
+
+let base_seed =
+  match Sys.getenv_opt "STRUCTCAST_FUZZ_SEED" with
+  | None | Some "" -> 1
+  | Some s -> int_of_string (String.trim s)
+
+let mk_result (solver : Core.Solver.t) : Core.Analysis.result =
+  {
+    Core.Analysis.solver;
+    metrics = Core.Metrics.summarize solver;
+    time_s = 0.;
+    degraded = Core.Solver.degradations solver;
+    diags = [];
+  }
+
+let stats_free_json ~name (solver : Core.Solver.t) : string =
+  Core.Report.json_of_result ~timing:false ~solver_stats:false ~name
+    (mk_result solver)
+
+(** The oracle: [warm]'s state must be indistinguishable from a cold
+    solve of the program it ended on. *)
+let check_vs_scratch ~label ~engine ~id (warm : Core.Solver.t) =
+  let scratch =
+    Core.Solver.run ~engine ~strategy:(strategy id) warm.Core.Solver.prog
+  in
+  if not (Core.Graph.equal warm.Core.Solver.graph scratch.Core.Solver.graph)
+  then
+    Alcotest.failf "%s / %s / %s: warm fixpoint (%d edges) <> scratch (%d)"
+      label id
+      (match engine with
+      | `Delta -> "delta"
+      | `Delta_nocycle -> "delta-nocycle"
+      | `Naive -> "naive")
+      (Core.Graph.edge_count warm.Core.Solver.graph)
+      (Core.Graph.edge_count scratch.Core.Solver.graph);
+  (match Core.Graph.check_counts warm.Core.Solver.graph with
+  | Some msg -> Alcotest.failf "%s / %s: audit after edit: %s" label id msg
+  | None -> ());
+  let jw = stats_free_json ~name:label warm in
+  let js = stats_free_json ~name:label scratch in
+  if jw <> js then
+    Alcotest.failf "%s / %s: stats-free report differs:\n%s\n%s" label id jw js
+
+(* ------------------------------------------------------------------ *)
+(* Progdiff units                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let src_base =
+  {|
+    struct S { int *f; int *g; } s;
+    int x, y;
+    int *p, *q;
+    void main(void) {
+      s.f = &x;
+      p = s.f;
+      q = &y;
+    }
+  |}
+
+let src_edited =
+  {|
+    struct S { int *f; int *g; } s;
+    int x, y;
+    int *p, *q;
+    void main(void) {
+      s.f = &x;
+      p = s.f;
+      q = &y;
+      q = &x;
+    }
+  |}
+
+let test_diff_identity () =
+  let base = compile src_base in
+  let edited = compile src_base in
+  let aligned, d = Incr.Progdiff.align ~base edited in
+  Alcotest.(check int) "no added" 0 (List.length d.Incr.Progdiff.added);
+  Alcotest.(check int) "no removed" 0 (List.length d.Incr.Progdiff.removed);
+  Alcotest.(check int) "no added vars" 0 (List.length d.Incr.Progdiff.added_vars);
+  Alcotest.(check int) "no removed vars" 0
+    (List.length d.Incr.Progdiff.removed_vars);
+  (* the aligned program IS the base program's statements and variables *)
+  List.iter2
+    (fun (a : Nast.stmt) (b : Nast.stmt) ->
+      Alcotest.(check int) "stmt id reused" b.Nast.id a.Nast.id)
+    (Nast.all_stmts aligned) (Nast.all_stmts base);
+  List.iter2
+    (fun (a : Cvar.t) (b : Cvar.t) ->
+      Alcotest.(check int) "var reused" b.Cvar.vid a.Cvar.vid)
+    aligned.Nast.pall_vars base.Nast.pall_vars
+
+let test_diff_addition () =
+  let base = compile src_base in
+  let edited = compile src_edited in
+  let _, d = Incr.Progdiff.align ~base edited in
+  Alcotest.(check int) "one statement added" 1
+    (List.length d.Incr.Progdiff.added);
+  Alcotest.(check int) "none removed" 0 (List.length d.Incr.Progdiff.removed);
+  (* the added statement's variables were remapped onto base variables *)
+  let base_vids = List.map (fun v -> v.Cvar.vid) base.Nast.pall_vars in
+  match (List.hd d.Incr.Progdiff.added).Nast.kind with
+  | Nast.Addr (sg, ty, _) ->
+      Alcotest.(check bool) "lhs is a base var" true
+        (List.mem sg.Cvar.vid base_vids);
+      Alcotest.(check bool) "rhs is a base var" true
+        (List.mem ty.Cvar.vid base_vids)
+  | _ -> Alcotest.fail "expected the added statement to be an Addr"
+
+let test_diff_signature_change () =
+  let base =
+    compile
+      {|
+        int *h(int *a) { return a; }
+        int x; int *r;
+        void main(void) { r = h(&x); }
+      |}
+  in
+  let edited =
+    compile
+      {|
+        int *h(int *a, int *b) { return a; }
+        int x; int *r;
+        void main(void) { r = h(&x); }
+      |}
+  in
+  let _, d = Incr.Progdiff.align ~base edited in
+  (* the call to [h] must be treated as removed + re-added: its
+     parameter bindings changed with the signature *)
+  let is_call (s : Nast.stmt) =
+    match s.Nast.kind with Nast.Call _ -> true | _ -> false
+  in
+  Alcotest.(check bool) "call re-added" true
+    (List.exists is_call d.Incr.Progdiff.added);
+  Alcotest.(check bool) "call removed" true
+    (List.exists is_call d.Incr.Progdiff.removed)
+
+(* ------------------------------------------------------------------ *)
+(* Warm start and retraction                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_additive_warm_start () =
+  let base = compile src_base in
+  let edited = compile src_edited in
+  List.iter
+    (fun id ->
+      List.iter
+        (fun (ename, engine) ->
+          let t =
+            Core.Solver.run ~engine ~track:true ~strategy:(strategy id) base
+          in
+          let t, st = Incr.Engine.reanalyze t edited in
+          Alcotest.(check bool) (ename ^ " no fallback") false
+            st.Incr.Engine.fallback;
+          Alcotest.(check int) (ename ^ " removed") 0
+            st.Incr.Engine.stmts_removed;
+          Alcotest.(check int) (ename ^ " added") 1 st.Incr.Engine.stmts_added;
+          check_vs_scratch ~label:"additive" ~engine ~id t)
+        engines)
+    all_ids
+
+let test_retraction () =
+  let base = compile src_edited in
+  let edited = compile src_base in
+  List.iter
+    (fun id ->
+      List.iter
+        (fun (ename, engine) ->
+          let t =
+            Core.Solver.run ~engine ~track:true ~strategy:(strategy id) base
+          in
+          let t, st = Incr.Engine.reanalyze t edited in
+          Alcotest.(check bool) (ename ^ " no fallback") false
+            st.Incr.Engine.fallback;
+          Alcotest.(check int) (ename ^ " removed") 1
+            st.Incr.Engine.stmts_removed;
+          if st.Incr.Engine.facts_retracted <= 0 then
+            Alcotest.failf "%s/%s: removing q = &&x retracted nothing" id
+              ename;
+          check_vs_scratch ~label:"retraction" ~engine ~id t)
+        engines)
+    all_ids
+
+(** Chained edits through the same solver: add, then remove, then
+    mutate, comparing against scratch at every step. *)
+let test_edit_chain () =
+  let base = compile src_base in
+  List.iter
+    (fun id ->
+      List.iter
+        (fun (_, engine) ->
+          let t =
+            ref
+              (Core.Solver.run ~engine ~track:true ~strategy:(strategy id)
+                 base)
+          in
+          let rand = Random.State.make [| base_seed; 7 |] in
+          for step = 1 to 4 do
+            match Incr.Edit.random_op ~rand !t.Core.Solver.prog with
+            | None -> ()
+            | Some op ->
+                let edited = Incr.Edit.apply !t.Core.Solver.prog [ op ] in
+                let t', _ = Incr.Engine.reanalyze !t edited in
+                t := t';
+                check_vs_scratch
+                  ~label:(Printf.sprintf "chain step %d" step)
+                  ~engine ~id !t
+          done)
+        engines)
+    all_ids
+
+(* ------------------------------------------------------------------ *)
+(* Fallback ladder                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let removal_pair () = (compile src_edited, compile src_base)
+
+let test_fallback_budget () =
+  let base, edited = removal_pair () in
+  let t = Core.Solver.run ~track:true ~strategy:(strategy "cis") base in
+  let diags = Diag.create () in
+  let t, st = Incr.Engine.reanalyze ~retract_budget:0 ~diags t edited in
+  Alcotest.(check bool) "fell back" true st.Incr.Engine.fallback;
+  Alcotest.(check bool) "warning reported" true
+    (List.exists
+       (fun (p : Diag.payload) ->
+         p.Diag.severity = Diag.Warning
+         && String.length p.Diag.message >= 20
+         && String.sub p.Diag.message 0 20 = "degraded-incremental")
+       (Diag.warnings diags));
+  Alcotest.(check bool) "not an error" false (Diag.has_errors diags);
+  check_vs_scratch ~label:"fallback-budget" ~engine:`Delta ~id:"cis" t
+
+let test_fallback_untracked () =
+  let base, edited = removal_pair () in
+  let t = Core.Solver.run ~strategy:(strategy "cis") base in
+  let t, st = Incr.Engine.reanalyze t edited in
+  Alcotest.(check bool) "fell back" true st.Incr.Engine.fallback;
+  check_vs_scratch ~label:"fallback-untracked" ~engine:`Delta ~id:"cis" t
+
+let test_fallback_degraded_base () =
+  let base, edited = removal_pair () in
+  let budget = { Core.Budget.unlimited with Core.Budget.max_steps = Some 1 } in
+  let t = Core.Solver.run ~budget ~track:true ~strategy:(strategy "cis") base in
+  Alcotest.(check bool) "base degraded" true (Core.Solver.degraded t);
+  let t', st = Incr.Engine.reanalyze t edited in
+  Alcotest.(check bool) "fell back" true st.Incr.Engine.fallback;
+  ignore t'
+
+(** The warm solver's incr counters surface through metrics and the
+    stats JSON. *)
+let test_incr_metrics_reported () =
+  let base = compile src_base in
+  let edited = compile src_edited in
+  let t = Core.Solver.run ~track:true ~strategy:(strategy "cis") base in
+  let t, st = Incr.Engine.reanalyze t edited in
+  let m = Core.Metrics.summarize t in
+  Alcotest.(check int) "added" st.Incr.Engine.stmts_added
+    m.Core.Metrics.incr_stmts_added;
+  Alcotest.(check int) "warm visits" st.Incr.Engine.warm_visits
+    m.Core.Metrics.incr_warm_visits;
+  let j =
+    Core.Report.json_of_result ~timing:false ~name:"m" (mk_result t)
+  in
+  Alcotest.(check bool) "stats json carries the counters" true
+    (let needle = "\"incr_stmts_added\":1" in
+     let rec find i =
+       i + String.length needle <= String.length j
+       && (String.sub j i (String.length needle) = needle || find (i + 1))
+     in
+     find 0);
+  (* the stats-free rendering must NOT leak engine-dependent counters *)
+  let j' = stats_free_json ~name:"m" t in
+  Alcotest.(check bool) "stats-free json omits them" false
+    (let needle = "incr_stmts_added" in
+     let rec find i =
+       i + String.length needle <= String.length j'
+       && (String.sub j' i (String.length needle) = needle || find (i + 1))
+     in
+     find 0)
+
+(* ------------------------------------------------------------------ *)
+(* Corpus differential                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Every corpus program, all four instances: two random edits each,
+    incremental vs scratch after every edit. Fallbacks are legal (the
+    cascade budget is policy, not correctness) but must not be the
+    rule. *)
+let test_corpus_differential () =
+  let fallbacks = ref 0 and warms = ref 0 in
+  List.iter
+    (fun (p : Suite.program) ->
+      let base = Lower.compile ~file:p.Suite.name p.Suite.source in
+      List.iter
+        (fun id ->
+          let t =
+            ref (Core.Solver.run ~track:true ~strategy:(strategy id) base)
+          in
+          let rand = Random.State.make [| base_seed; Hashtbl.hash p.Suite.name |] in
+          for _step = 1 to 2 do
+            match Incr.Edit.random_op ~rand !t.Core.Solver.prog with
+            | None -> ()
+            | Some op ->
+                let edited = Incr.Edit.apply !t.Core.Solver.prog [ op ] in
+                let t', st = Incr.Engine.reanalyze !t edited in
+                t := t';
+                if st.Incr.Engine.fallback then incr fallbacks else incr warms;
+                check_vs_scratch ~label:p.Suite.name ~engine:`Delta ~id !t
+          done)
+        all_ids)
+    Suite.programs;
+  if !warms = 0 then
+    Alcotest.failf "every corpus edit fell back to scratch (%d)" !fallbacks
+
+let suite =
+  [
+    tc "progdiff: identical compiles diff empty" test_diff_identity;
+    tc "progdiff: one added statement, vars remapped" test_diff_addition;
+    tc "progdiff: signature change invalidates calls" test_diff_signature_change;
+    tc "additive warm start == scratch (all engines x instances)"
+      test_additive_warm_start;
+    tc "retraction == scratch (all engines x instances)" test_retraction;
+    tc "random edit chain == scratch (all engines x instances)"
+      test_edit_chain;
+    tc "fallback: retraction budget" test_fallback_budget;
+    tc "fallback: untracked solver" test_fallback_untracked;
+    tc "fallback: degraded base" test_fallback_degraded_base;
+    tc "incr counters flow into metrics and reports"
+      test_incr_metrics_reported;
+    tc "corpus differential: 2 random edits x 4 instances"
+      test_corpus_differential;
+  ]

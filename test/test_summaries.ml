@@ -125,6 +125,54 @@ let test_table_sanity () =
   Alcotest.(check int) "no duplicates" (List.length names)
     (List.length (List.sort_uniq compare names))
 
+(* realloc is the one summary that composes all three effect kinds: a
+   fresh block, aliasing the old block, and a deep copy of its contents
+   into the result. The table entry itself is load-bearing — drop any
+   one effect and test_realloc above still passes under some
+   instances — so pin its structure directly. *)
+let test_realloc_effect_table () =
+  match Norm.Summaries.find "realloc" with
+  | None -> Alcotest.fail "realloc has no summary"
+  | Some s ->
+      let has name p =
+        Alcotest.(check bool) name true (List.exists p s.Norm.Summaries.effects)
+      in
+      has "allocates a fresh block" (function
+        | Norm.Summaries.Alloc _ -> true
+        | _ -> false);
+      has "may return the old block" (function
+        | Norm.Summaries.Ret_is (Norm.Summaries.Arg 0) -> true
+        | _ -> false);
+      has "copies the old contents into the result" (function
+        | Norm.Summaries.Deep_copy (Norm.Summaries.Ret, Norm.Summaries.Arg 0)
+          ->
+            true
+        | _ -> false)
+
+let test_qsort_invokes_comparator () =
+  let src =
+    {|
+      void qsort(void *base, unsigned long n, unsigned long sz,
+                 int (*cmp)(void *, void *));
+      int *arr[4];
+      int x;
+      int **seen;
+      int compare(int **a, int **b) { seen = a; return 0; }
+      void main(void) {
+        arr[0] = &x;
+        qsort(arr, 4, sizeof(int *), compare);
+      }
+    |}
+  in
+  for_all (fun id s ->
+      let r = analyze ~strategy:s src in
+      (* Invoke (3, [Arg 0; Arg 0]): the comparator runs with pointers
+         into the array as both actuals *)
+      let got = target_bases r "seen" in
+      if not (List.mem "arr" got) then
+        Alcotest.failf "%s: comparator argument = %s" id
+          (String.concat "," got))
+
 let test_unknown_externs_reported () =
   let src =
     {|
@@ -147,5 +195,7 @@ let suite =
     tc "strcpy returns its destination" test_strcpy_returns_dst;
     tc "fgets returns its buffer" test_fgets_returns_buffer;
     tc "summary table sanity" test_table_sanity;
+    tc "realloc effect-table structure" test_realloc_effect_table;
+    tc "qsort invokes its comparator on the array" test_qsort_invokes_comparator;
     tc "unknown externs are reported" test_unknown_externs_reported;
   ]
