@@ -12,12 +12,16 @@ open Norm
 type t = {
   solver : Core.Solver.t;
   strategy : (module Core.Strategy.S);
-  var_index : (string, Cvar.t) Hashtbl.t;
+  mutable indexed_prog : Nast.program;
+      (** the program [var_index] was built from. [Solver.prog] is
+          mutable ([Incr.Engine.reanalyze] swaps it in place), so lookups
+          compare physical identity and rebuild the index on mismatch. *)
+  mutable var_index : (string, Cvar.t) Hashtbl.t;
       (** plain and qualified name → variable, first binding wins — so a
           lookup matches what a scan of [pall_vars] in order would find *)
 }
 
-let of_solver (solver : Core.Solver.t) : t =
+let build_index (p : Nast.program) : (string, Cvar.t) Hashtbl.t =
   let var_index = Hashtbl.create 256 in
   let bind name v =
     if not (Hashtbl.mem var_index name) then Hashtbl.add var_index name v
@@ -26,14 +30,28 @@ let of_solver (solver : Core.Solver.t) : t =
     (fun v ->
       bind v.Cvar.vname v;
       bind (Cvar.qualified_name v) v)
-    solver.Core.Solver.prog.Nast.pall_vars;
-  { solver; strategy = solver.Core.Solver.strategy; var_index }
+    p.Nast.pall_vars;
+  var_index
+
+let of_solver (solver : Core.Solver.t) : t =
+  let p = solver.Core.Solver.prog in
+  {
+    solver;
+    strategy = solver.Core.Solver.strategy;
+    indexed_prog = p;
+    var_index = build_index p;
+  }
 
 let of_result (r : Core.Analysis.result) : t = of_solver r.Core.Analysis.solver
 
 let prog (q : t) : Nast.program = q.solver.Core.Solver.prog
 
 let find_var (q : t) (name : string) : Cvar.t option =
+  let p = q.solver.Core.Solver.prog in
+  if p != q.indexed_prog then begin
+    q.var_index <- build_index p;
+    q.indexed_prog <- p
+  end;
   Hashtbl.find_opt q.var_index name
 
 (* ------------------------------------------------------------------ *)

@@ -14,7 +14,10 @@ val of_result : Core.Analysis.result -> t
 val prog : t -> Nast.program
 
 val find_var : t -> string -> Cvar.t option
-(** Look a variable up by bare or qualified ("f::x") name. *)
+(** Look a variable up by bare or qualified ("f::x") name. Stays in
+    sync with the solver's program across in-place warm re-analyses
+    ([Incr.Engine.reanalyze]): the name index is rebuilt when the
+    program changes. *)
 
 (** {1 Alias queries} *)
 

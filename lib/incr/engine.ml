@@ -48,9 +48,12 @@ let scratch ?diags ~(why : string) (t : Solver.t) (prog : Nast.program) :
     ~track:t.Solver.track ~strategy:t.Solver.base_strategy prog
 
 (** The affected-cell closure for a removal edit. Runs against the
-    still-solved state (class sharing and cursors intact); raises
-    {!Too_wide} past [retract_budget] cells. Returns the removed
-    statement ids and the affected set. *)
+    still-solved state (class sharing and cursors intact) and never
+    mutates [t] — support spent by the removed statements is counted in
+    a local table, so aborting leaves the solver at the base fixpoint,
+    reusable for a later attempt. Raises {!Too_wide} past
+    [retract_budget] cells. Returns the removed statement ids and the
+    affected set. *)
 let closure (t : Solver.t) (d : Progdiff.t) ~(retract_budget : int) :
     (int, unit) Hashtbl.t * (int, unit) Hashtbl.t =
   let removed_ids = Hashtbl.create 16 in
@@ -70,37 +73,43 @@ let closure (t : Solver.t) (d : Progdiff.t) ~(retract_budget : int) :
         (Graph.class_members t.Solver.graph (Cell.of_id cid))
     end
   in
-  (* seeds: support that the removed statements were the last to hold *)
+  (* seeds: support that the removed statements were the last to hold.
+     Decrements are tentative — accumulated in local tables, never
+     applied to the solver's counters (on success the replay resets the
+     tracking tables anyway; on Too_wide [t] must stay pristine). *)
+  let spent_edge = Hashtbl.create 64 in
+  let spent_copy = Hashtbl.create 64 in
+  let spend support spent key =
+    match Hashtbl.find_opt support key with
+    | Some r ->
+        let d = 1 + (try Hashtbl.find spent key with Not_found -> 0) in
+        Hashtbl.replace spent key d;
+        !r - d <= 0
+    | None -> false
+  in
   Hashtbl.iter
     (fun sid () ->
       (match Solver.Itbl.find_opt t.Solver.stmt_edges sid with
       | Some l ->
           List.iter
-            (fun (c, w) ->
-              match Hashtbl.find_opt t.Solver.edge_support (c, w) with
-              | Some r ->
-                  decr r;
-                  if !r <= 0 then mark c
-              | None -> ())
+            (fun ((c, _) as e) ->
+              if spend t.Solver.edge_support spent_edge e then mark c)
             !l
       | None -> ());
       match Solver.Itbl.find_opt t.Solver.stmt_copies sid with
       | Some l ->
           List.iter
-            (fun (cs, cd) ->
-              match Hashtbl.find_opt t.Solver.copy_support (cs, cd) with
-              | Some r ->
-                  decr r;
-                  if !r <= 0 then mark cd
-              | None -> ())
+            (fun ((_, cd) as e) ->
+              if spend t.Solver.copy_support spent_copy e then mark cd)
             !l
       | None -> ())
     removed_ids;
   (* surviving copy constraints, as adjacency over install-time ids *)
   let copy_adj = Hashtbl.create 256 in
   Hashtbl.iter
-    (fun (cs, cd) r ->
-      if !r > 0 then
+    (fun ((cs, cd) as key) r ->
+      let d = try Hashtbl.find spent_copy key with Not_found -> 0 in
+      if !r - d > 0 then
         Hashtbl.replace copy_adj cs
           (cd :: (try Hashtbl.find copy_adj cs with Not_found -> [])))
     t.Solver.copy_support;

@@ -66,5 +66,8 @@ val reanalyze :
 (** [reanalyze t edited] brings [t] to [edited]'s fixpoint. The
     returned solver is [t] itself warm-started in place, or a fresh
     solver when the engine fell back to scratch — always use the
-    returned value. Its [incr_*] counters are set either way, so
+    returned value. On fallback [t] is left at the base fixpoint,
+    unmodified (support counters included), so a later [reanalyze] of
+    [t] — e.g. with a larger [retract_budget] — is still valid. The
+    returned solver's [incr_*] counters are set either way, so
     {!Core.Metrics.summarize} reports the edit. *)

@@ -25,9 +25,12 @@ let var_key (v : Cvar.t) : string =
     | Cvar.Param f -> "p:" ^ f
     | Cvar.Temp f -> "t:" ^ f
     | Cvar.Ret f -> "r:" ^ f
-    | Cvar.Heap (loc, site) ->
-        Printf.sprintf "h:%s:%d:%d:%d" loc.Srcloc.file loc.Srcloc.line
-          loc.Srcloc.col site
+    (* keyed by allocation ordinal, not source coordinates: an edit that
+       only shifts lines above the allocation site must not invalidate
+       the heap object (inserting/removing an {e allocation} earlier in
+       the program still shifts later ordinals — those objects are
+       treated as removed + re-added, which retraction handles) *)
+    | Cvar.Heap (_, site) -> "h:" ^ string_of_int site
     | Cvar.Strlit i -> "s:" ^ string_of_int i
     | Cvar.Funval f -> "f:" ^ f
     | Cvar.Vararg f -> "v:" ^ f
@@ -46,11 +49,16 @@ let iface_of_program (p : Nast.program) : string -> string =
     (fun (f : Nast.func) -> Hashtbl.replace tbl f.Nast.fname (interface_key f))
     p.Nast.pfuncs;
   (* any defined function's signature changing can redirect any indirect
-     call, so indirect calls key on a fingerprint of all interfaces *)
+     call, so indirect calls key on a fingerprint of all interfaces. It
+     must be a full-content digest: the polymorphic [Hashtbl.hash] only
+     examines a bounded prefix of its input, so interfaces past that
+     limit would not affect the key and their signature changes would
+     silently miss invalidating indirect calls. *)
   let all =
-    string_of_int
-      (Hashtbl.hash
-         (List.sort compare (Hashtbl.fold (fun _ v acc -> v :: acc) tbl [])))
+    Digest.to_hex
+      (Digest.string
+         (String.concat "\n"
+            (List.sort compare (Hashtbl.fold (fun _ v acc -> v :: acc) tbl []))))
   in
   fun name ->
     if name = "*" then all

@@ -26,7 +26,11 @@
     Approximation: two distinct variables with the same name, kind,
     scope and type (shadowed block locals) share one key and are
     conflated by the remapping. The lowered corpus does not produce such
-    pairs. *)
+    pairs. Heap objects are keyed by their program-wide allocation
+    ordinal (never by source coordinates, so line shifts are invisible);
+    an edit that inserts or removes an allocation site shifts the
+    ordinals after it, and those heap objects diff as removed +
+    re-added. *)
 
 open Cfront
 open Norm

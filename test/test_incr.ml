@@ -148,6 +148,73 @@ let test_diff_signature_change () =
   Alcotest.(check bool) "call removed" true
     (List.exists is_call d.Incr.Progdiff.removed)
 
+(** The all-interfaces fingerprint must be a full-content digest: with
+    the node-limited polymorphic hash, a program with more than ~10
+    defined functions let signature changes past the limit slip through
+    without invalidating indirect calls (a silent wrong-answer). Every
+    one of 14 functions must invalidate the indirect call when its
+    signature changes. *)
+let test_signature_change_every_function () =
+  let mk wide =
+    let buf = Buffer.create 512 in
+    for i = 1 to 14 do
+      let params = if wide = Some i then "int *a, int *b" else "int *a" in
+      Buffer.add_string buf
+        (Printf.sprintf "int *f%02d(%s) { return a; }\n" i params)
+    done;
+    Buffer.add_string buf
+      "int *g(int *a) { return a; }\n\
+       int x; int *r;\n\
+       int *(*fp)(int *);\n\
+       void main(void) { fp = g; r = fp(&x); }\n";
+    compile (Buffer.contents buf)
+  in
+  let base = mk None in
+  let is_indirect (s : Nast.stmt) =
+    match s.Nast.kind with
+    | Nast.Call { Nast.cfn = Nast.Indirect _; _ } -> true
+    | _ -> false
+  in
+  for k = 1 to 14 do
+    let edited = mk (Some k) in
+    let _, d = Incr.Progdiff.align ~base edited in
+    if not (List.exists is_indirect d.Incr.Progdiff.removed) then
+      Alcotest.failf
+        "signature change of f%02d left the indirect call un-invalidated" k;
+    let t = Core.Solver.run ~track:true ~strategy:(strategy "cis") base in
+    let t, _ = Incr.Engine.reanalyze t edited in
+    check_vs_scratch
+      ~label:(Printf.sprintf "sig-change f%02d" k)
+      ~engine:`Delta ~id:"cis" t
+  done
+
+(** Heap objects key on their allocation ordinal, never on source
+    coordinates: recompiling after an edit that only shifts the lines
+    above an allocation site diffs empty. *)
+let test_heap_key_stable_under_line_shift () =
+  let src prefix =
+    Printf.sprintf
+      {|
+        void *malloc(unsigned long);
+        struct S { int *f; } *p;
+        int x, y; int *q;
+        void main(void) {
+          %sp = (struct S *)malloc(sizeof(struct S));
+          p->f = &x;
+        }
+      |}
+      prefix
+  in
+  let base = compile (src "") in
+  let edited = compile (src "\n") in
+  let _, d = Incr.Progdiff.align ~base edited in
+  Alcotest.(check int) "no added" 0 (List.length d.Incr.Progdiff.added);
+  Alcotest.(check int) "no removed" 0 (List.length d.Incr.Progdiff.removed);
+  Alcotest.(check int) "no added vars" 0
+    (List.length d.Incr.Progdiff.added_vars);
+  Alcotest.(check int) "no removed vars" 0
+    (List.length d.Incr.Progdiff.removed_vars)
+
 (* ------------------------------------------------------------------ *)
 (* Warm start and retraction                                           *)
 (* ------------------------------------------------------------------ *)
@@ -244,6 +311,29 @@ let test_fallback_budget () =
   Alcotest.(check bool) "not an error" false (Diag.has_errors diags);
   check_vs_scratch ~label:"fallback-budget" ~engine:`Delta ~id:"cis" t
 
+(** Aborting the retraction closure (Too_wide) must leave the base
+    solver pristine — support counters included — so it can be
+    re-analyzed later with a larger budget. *)
+let test_fallback_preserves_base () =
+  let base, edited = removal_pair () in
+  let t = Core.Solver.run ~track:true ~strategy:(strategy "cis") base in
+  let snap tbl =
+    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) tbl [] |> List.sort compare
+  in
+  let edges0 = snap t.Core.Solver.edge_support in
+  let copies0 = snap t.Core.Solver.copy_support in
+  let t', st = Incr.Engine.reanalyze ~retract_budget:0 t edited in
+  Alcotest.(check bool) "fell back" true st.Incr.Engine.fallback;
+  Alcotest.(check bool) "fresh solver returned" true (t != t');
+  Alcotest.(check bool) "edge support untouched" true
+    (edges0 = snap t.Core.Solver.edge_support);
+  Alcotest.(check bool) "copy support untouched" true
+    (copies0 = snap t.Core.Solver.copy_support);
+  (* retrying the abandoned base with a real budget warm-starts *)
+  let t2, st2 = Incr.Engine.reanalyze t edited in
+  Alcotest.(check bool) "no fallback on retry" false st2.Incr.Engine.fallback;
+  check_vs_scratch ~label:"fallback-retry" ~engine:`Delta ~id:"cis" t2
+
 let test_fallback_untracked () =
   let base, edited = removal_pair () in
   let t = Core.Solver.run ~strategy:(strategy "cis") base in
@@ -292,6 +382,37 @@ let test_incr_metrics_reported () =
      in
      find 0)
 
+(** A [Queries.t] built before a warm re-analysis must see the edited
+    program: [reanalyze] swaps [solver.prog] in place, and the name
+    index follows it. *)
+let test_queries_index_follows_reanalyze () =
+  let base = compile src_base in
+  let edited =
+    compile
+      {|
+        struct S { int *f; int *g; } s;
+        int x, y;
+        int *p, *q;
+        int *nz;
+        void main(void) {
+          s.f = &x;
+          p = s.f;
+          q = &y;
+          nz = &x;
+        }
+      |}
+  in
+  let t = Core.Solver.run ~track:true ~strategy:(strategy "cis") base in
+  let q = Clients.Queries.of_solver t in
+  Alcotest.(check bool) "nz absent before the edit" true
+    (Clients.Queries.find_var q "nz" = None);
+  let t', st = Incr.Engine.reanalyze t edited in
+  Alcotest.(check bool) "warm start, in place" true (t == t');
+  Alcotest.(check bool) "no fallback" false st.Incr.Engine.fallback;
+  match Clients.Queries.find_var q "nz" with
+  | None -> Alcotest.fail "stale index: nz not found after reanalyze"
+  | Some v -> Alcotest.(check string) "found the added var" "nz" v.Cvar.vname
+
 (* ------------------------------------------------------------------ *)
 (* Corpus differential                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -331,16 +452,23 @@ let suite =
     tc "progdiff: identical compiles diff empty" test_diff_identity;
     tc "progdiff: one added statement, vars remapped" test_diff_addition;
     tc "progdiff: signature change invalidates calls" test_diff_signature_change;
+    tc "progdiff: every function's signature reaches the fingerprint"
+      test_signature_change_every_function;
+    tc "progdiff: heap keys survive line shifts"
+      test_heap_key_stable_under_line_shift;
     tc "additive warm start == scratch (all engines x instances)"
       test_additive_warm_start;
     tc "retraction == scratch (all engines x instances)" test_retraction;
     tc "random edit chain == scratch (all engines x instances)"
       test_edit_chain;
     tc "fallback: retraction budget" test_fallback_budget;
+    tc "fallback leaves the base solver reusable" test_fallback_preserves_base;
     tc "fallback: untracked solver" test_fallback_untracked;
     tc "fallback: degraded base" test_fallback_degraded_base;
     tc "incr counters flow into metrics and reports"
       test_incr_metrics_reported;
+    tc "queries index follows in-place reanalyze"
+      test_queries_index_follows_reanalyze;
     tc "corpus differential: 2 random edits x 4 instances"
       test_corpus_differential;
   ]
