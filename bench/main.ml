@@ -641,6 +641,140 @@ let edit_replay_json () =
     (edit_replay_rows ())
 
 (* ------------------------------------------------------------------ *)
+(* Fixpoint store: edit-replay session served through the cache        *)
+(* ------------------------------------------------------------------ *)
+
+(* The same edit-replay chain of programs, answered through a fixpoint
+   store: a cold pass populates it, a replay pass must be 100% exact
+   hits with zero solver visits, and every answer — whatever its origin
+   — must render the byte-identical stats-free report a scratch solve
+   produces. CI runs this twice against one store directory and gates
+   the replay pass. *)
+
+type store_row = {
+  sr_strategy : string;
+  sr_pass : string;  (** populate | replay *)
+  sr_step : int;
+  sr_origin : string;  (** hit | ancestor | cold *)
+  sr_visits : int;  (** statement visits this request performed *)
+  sr_scratch : int;  (** visits a scratch solve of the same input needs *)
+  sr_equal : bool;  (** report JSON byte-identical to the scratch render *)
+  sr_time : float;
+}
+
+(* base program plus the programs the edit script walks through *)
+let store_chain () : Nast.program list =
+  let rand = Random.State.make [| 2026 |] in
+  let cur = ref (edit_replay_prog ()) in
+  let progs = ref [ !cur ] in
+  for step = 1 to 6 do
+    match next_op ~rand ~additive:(step <= 3) !cur with
+    | None -> ()
+    | Some op ->
+        cur := Incr.Edit.apply !cur [ op ];
+        progs := !cur :: !progs
+  done;
+  List.rev !progs
+
+let store_scratch (module S : Core.Strategy.S) prog : int * string =
+  let solver =
+    Core.Solver.run ~budget:Core.Budget.default ~engine:`Delta ~track:true
+      ~strategy:(module S) prog
+  in
+  ( solver.Core.Solver.rounds,
+    Core.Report.json_of_result ~timing:false ~solver_stats:false
+      ~name:"edit-replay"
+      {
+        Core.Analysis.solver;
+        metrics = Core.Metrics.summarize solver;
+        time_s = 0.;
+        degraded = Core.Solver.degradations solver;
+        diags = [];
+      } )
+
+let store_rows () : store_row list =
+  let dir =
+    match Sys.getenv_opt "STRUCTCAST_BENCH_STORE" with
+    | Some d when d <> "" -> d
+    | _ ->
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "structcast-bench-store-%d" (Unix.getpid ()))
+  in
+  let chain = store_chain () in
+  List.concat_map
+    (fun (module S : Core.Strategy.S) ->
+      let scratch = List.map (store_scratch (module S)) chain in
+      let pass name =
+        (* a fresh handle per pass: index load and recovery run too *)
+        let st = Store.open_store dir in
+        List.mapi
+          (fun i (prog, (scratch_visits, scratch_json)) ->
+            let t0 = Sys.time () in
+            let s =
+              Store.serve st ~want:`Solver ~diags:[] ~name:"edit-replay"
+                ~strategy_id:S.id ~engine:`Delta ~layout:Cfront.Layout.ilp32
+                ~layout_id:"ilp32" ~budget:Core.Budget.default prog
+            in
+            let dt = Sys.time () -. t0 in
+            let visits =
+              match s.Store.sv_result with
+              | Some r -> r.Core.Analysis.solver.Core.Solver.rounds
+              | None -> 0
+            in
+            {
+              sr_strategy = S.id;
+              sr_pass = name;
+              sr_step = i;
+              sr_origin =
+                (match s.Store.sv_origin with
+                | `Hit -> "hit"
+                | `Ancestor _ -> "ancestor"
+                | `Cold -> "cold");
+              sr_visits = visits;
+              sr_scratch = scratch_visits;
+              sr_equal = s.Store.sv_json = scratch_json;
+              sr_time = dt;
+            })
+          (List.combine chain scratch)
+      in
+      let populate = pass "populate" in
+      populate @ pass "replay")
+    strategies
+
+let store_bench () =
+  header
+    "Fixpoint store: the edit-replay program chain served through a\n\
+     content-addressed snapshot store (populate pass, then replay pass)";
+  Printf.printf "%-18s %-9s %4s %-9s %8s %9s %6s %9s\n" "strategy" "pass"
+    "step" "origin" "visits" "scratch" "equal" "time(s)";
+  line ();
+  List.iter
+    (fun r ->
+      Printf.printf "%-18s %-9s %4d %-9s %8d %9d %6s %9.4f\n" r.sr_strategy
+        r.sr_pass r.sr_step r.sr_origin r.sr_visits r.sr_scratch
+        (if r.sr_equal then "yes" else "NO!")
+        r.sr_time)
+    (store_rows ())
+
+(* Same sweep as JSON lines — the CI artifact (BENCH_store.json). CI
+   gates the replay pass: origin "hit" with 0 visits on every row, and
+   "equal" true on every row of both passes. *)
+let store_bench_json () =
+  List.iter
+    (fun r ->
+      Printf.printf
+        "{\"strategy\":%s,\"pass\":%s,\"step\":%d,\"origin\":%s,\
+         \"visits\":%d,\"scratch_visits\":%d,\"equal\":%b,\
+         \"time_s\":%.4f}\n"
+        (Core.Report.quote r.sr_strategy)
+        (Core.Report.quote r.sr_pass)
+        r.sr_step
+        (Core.Report.quote r.sr_origin)
+        r.sr_visits r.sr_scratch r.sr_equal r.sr_time)
+    (store_rows ())
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per figure                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -767,6 +901,8 @@ let sections : (string * (unit -> unit)) list =
     ("solver-json", solver_json);
     ("edit-replay", edit_replay);
     ("edit-replay-json", edit_replay_json);
+    ("store", store_bench);
+    ("store-json", store_bench_json);
     ("bechamel", bechamel);
     ("csv", csv);
   ]

@@ -258,7 +258,86 @@ let print_dot_callgraph (r : Core.Analysis.result) =
     (Clients.Queries.call_graph q);
   Fmt.pr "}@."
 
-let analyze_cmd spec strategy layout what var budget engine format =
+(* analyze, routed through the fixpoint store (--store DIR): an exact
+   repeat of (program, strategy, engine, layout, budget, diagnostics)
+   is served from the cached snapshot without solving; a near-repeat
+   warm-starts from the nearest cached ancestor. JSON output is the
+   stats-free rendering (a pure function of the input, byte-identical
+   whatever the cache did) with the store counter block spliced in. *)
+let analyze_store_cmd ~dir ~store_max_mb ~store_faults spec strategy layout_id
+    what var budget engine format =
+  ignore (strategy_of_name strategy);
+  let layout = layout_of_name layout_id in
+  let plan =
+    Server.Faults.store_of_env ()
+    @
+    match store_faults with
+    | None -> []
+    | Some s -> (
+        match Server.Faults.store_parse s with
+        | Ok p -> p
+        | Error e -> failwith e)
+  in
+  let st =
+    Store.open_store
+      ~max_bytes:(max 1 store_max_mb * 1024 * 1024)
+      ~inject:(Server.Faults.store_hook plan)
+      ~log:(fun m -> Fmt.epr "store: %s@." m)
+      dir
+  in
+  let diags = Diag.create () in
+  let name, prog = compile_spec ~layout ~diags spec in
+  let want = if format = "json" then `Json else `Solver in
+  let served =
+    Store.serve st ~want ~diags:(Diag.diagnostics diags) ~name
+      ~strategy_id:strategy
+      ~engine:(engine_of_name engine)
+      ~layout ~layout_id ~budget prog
+  in
+  let degraded =
+    match served.Store.sv_result with
+    | Some r -> r.Core.Analysis.degraded
+    | None -> []
+  in
+  (match format with
+  | "json" ->
+      print_string (Store.with_counters st served.Store.sv_json);
+      print_newline ()
+  | "text" ->
+      let r =
+        match served.Store.sv_result with
+        | Some r -> r
+        | None -> assert false (* text mode always asks for the solver *)
+      in
+      (match what with
+      | "points-to" -> print_points_to r ~only_var:var
+      | "metrics" -> print_metrics name r
+      | "norm" -> Fmt.pr "%a" Nast.pp_program prog
+      | "callgraph" -> print_callgraph r
+      | "modref" -> print_modref r
+      | "dot" -> print_dot r
+      | "dot-callgraph" -> print_dot_callgraph r
+      | w -> failwith (Printf.sprintf "unknown --print %s" w));
+      report_diags diags;
+      (match served.Store.sv_origin with
+      | `Hit -> Fmt.epr "store: exact hit (no solving)@."
+      | `Ancestor n ->
+          Fmt.epr "store: warm-started from a cached ancestor (+%d \
+                   statements)@."
+            n
+      | `Cold -> ());
+      Fmt.epr "%a@." Core.Metrics.pp_store (Store.counters st);
+      report_degradation degraded
+  | f -> failwith (Printf.sprintf "unknown --format %s (text|json)" f));
+  exit_code ~diags ~degraded:(degraded <> [])
+
+let analyze_cmd spec strategy layout what var budget engine format store
+    store_max_mb store_faults =
+  match store with
+  | Some dir ->
+      analyze_store_cmd ~dir ~store_max_mb ~store_faults spec strategy layout
+        what var budget engine format
+  | None ->
   let layout = layout_of_name layout in
   let diags = Diag.create () in
   let name, prog = compile_spec ~layout ~diags spec in
@@ -321,7 +400,9 @@ let print_warm_result ~format ~name ~time_s ~diags ~(st : Incr.Engine.stats)
       Fmt.pr "%s: +%d/-%d statements, %d facts retracted, %d warm visits%s@."
         name st.Incr.Engine.stmts_added st.Incr.Engine.stmts_removed
         st.Incr.Engine.facts_retracted st.Incr.Engine.warm_visits
-        (if st.Incr.Engine.fallback then "  (fell back to scratch)" else "");
+        (if st.Incr.Engine.fallback_planned then "  (planned scratch solve)"
+         else if st.Incr.Engine.fallback then "  (fell back to scratch)"
+         else "");
       report_diags diags
   | f -> failwith (Printf.sprintf "unknown --format %s (text|json)" f)
 
@@ -543,7 +624,7 @@ let supervisor_config workers attempts job_timeout_ms backoff_ms faults
   }
 
 let batch_cmd specs manifest strategy layout budget workers attempts
-    job_timeout_ms backoff_ms faults journal resume format =
+    job_timeout_ms backoff_ms faults journal resume format store =
   let from_manifest =
     match manifest with Some p -> read_manifest p | None -> []
   in
@@ -558,7 +639,7 @@ let batch_cmd specs manifest strategy layout budget workers attempts
         Server.Job.make ~idx:(i + 1)
           ~strategy:(Option.value s ~default:strategy)
           ~layout:(Option.value l ~default:layout)
-          ~budget spec)
+          ~budget ?store_dir:store spec)
       entries
   in
   let cfg =
@@ -576,7 +657,7 @@ let batch_cmd specs manifest strategy layout budget workers attempts
    one JSON result line per request, backed by the persistent worker
    pool (workers are reused across requests). *)
 let serve_cmd strategy layout budget workers attempts job_timeout_ms
-    backoff_ms faults journal =
+    backoff_ms faults journal store =
   let cfg =
     supervisor_config workers attempts job_timeout_ms backoff_ms faults
       journal false
@@ -603,7 +684,8 @@ let serve_cmd strategy layout budget workers attempts job_timeout_ms
                   match rest with _ :: x :: _ -> x | _ -> layout
                 in
                 let job =
-                  Server.Job.make ~idx ~strategy:s ~layout:l ~budget spec
+                  Server.Job.make ~idx ~strategy:s ~layout:l ~budget
+                    ?store_dir:store spec
                 in
                 Server.Supervisor.submit t job;
                 Server.Supervisor.drain t;
@@ -822,6 +904,40 @@ let retract_budget_arg =
            statements; past it the edit is solved from scratch (reported \
            as a degraded-incremental warning).")
 
+(* fixpoint-store flags *)
+
+let store_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:
+          "Content-addressed fixpoint store: serve exact repeats from \
+           cached snapshots (no solving), warm-start near-repeats from \
+           the nearest cached ancestor, and cache clean results. A \
+           corrupt store can cost time but never change a report: \
+           snapshots are checksum-verified and quarantined on any \
+           mismatch, degrading to a scratch solve. With --format json \
+           the report is the stats-free rendering plus a 'store' \
+           counter block.")
+
+let store_max_mb_arg =
+  Arg.(
+    value & opt int 256
+    & info [ "store-max-mb" ] ~docv:"MB"
+        ~doc:
+          "Size budget for --store; least-recently-used snapshots are \
+           evicted past it.")
+
+let store_faults_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "store-faults" ] ~docv:"PLAN"
+        ~doc:
+          "Store-I/O fault-injection plan, e.g. 'shortwrite\\@2,enospc\\@1' \
+           (kinds: shortwrite, bitflip, enospc, crash; N is the 1-based \
+           store write ordinal); merged with \\$STRUCTCAST_STORE_FAULTS. \
+           Testing only.")
+
 let watch_journal_arg =
   Arg.(
     value & opt (some string) None
@@ -846,15 +962,18 @@ let wrap f =
       3
 
 let analyze_t =
-  let run spec strategy layout what var budget engine format =
+  let run spec strategy layout what var budget engine format store
+      store_max_mb store_faults =
     wrap (fun () ->
-        analyze_cmd spec strategy layout what var budget engine format)
+        analyze_cmd spec strategy layout what var budget engine format store
+          store_max_mb store_faults)
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Analyze a C file with one framework instance.")
     Term.(
       const run $ spec_arg $ strategy_arg $ layout_arg $ print_arg $ var_arg
-      $ budget_term $ engine_arg $ format_arg)
+      $ budget_term $ engine_arg $ format_arg $ store_arg $ store_max_mb_arg
+      $ store_faults_arg)
 
 let compare_t =
   let run spec layout budget = wrap (fun () -> compare_cmd spec layout budget) in
@@ -875,10 +994,10 @@ let corpus_t =
 
 let batch_t =
   let run specs manifest strategy layout budget workers attempts
-      job_timeout_ms backoff_ms faults journal resume format =
+      job_timeout_ms backoff_ms faults journal resume format store =
     wrap (fun () ->
         batch_cmd specs manifest strategy layout budget workers attempts
-          job_timeout_ms backoff_ms faults journal resume format)
+          job_timeout_ms backoff_ms faults journal resume format store)
   in
   Cmd.v
     (Cmd.info "batch"
@@ -890,14 +1009,14 @@ let batch_t =
       const run $ specs_arg $ jobs_arg $ strategy_arg $ layout_arg
       $ budget_term $ workers_arg $ attempts_arg $ job_timeout_ms_arg
       $ backoff_ms_arg $ faults_arg $ journal_arg $ resume_arg
-      $ batch_format_arg)
+      $ batch_format_arg $ store_arg)
 
 let serve_t =
   let run strategy layout budget workers attempts job_timeout_ms backoff_ms
-      faults journal =
+      faults journal store =
     wrap (fun () ->
         serve_cmd strategy layout budget workers attempts job_timeout_ms
-          backoff_ms faults journal)
+          backoff_ms faults journal store)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -908,7 +1027,7 @@ let serve_t =
     Term.(
       const run $ strategy_arg $ layout_arg $ budget_term $ workers_arg
       $ attempts_arg $ job_timeout_ms_arg $ backoff_ms_arg $ faults_arg
-      $ journal_arg)
+      $ journal_arg $ store_arg)
 
 let base_spec_arg =
   Arg.(

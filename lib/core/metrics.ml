@@ -85,6 +85,9 @@ type summary = {
   incr_warm_visits : int;
       (** statement visits the warm-start resume performed — compare
           against [solver_visits] of a cold solve for the warm ratio *)
+  incr_fallback_planned : int;
+      (** 1 when the incremental engine's cost estimate chose a scratch
+          solve over retraction (a plan, not a degradation) *)
 }
 
 let summarize (solver : Solver.t) : summary =
@@ -136,6 +139,7 @@ let summarize (solver : Solver.t) : summary =
     incr_stmts_removed = solver.Solver.incr_stmts_removed;
     incr_facts_retracted = solver.Solver.incr_facts_retracted;
     incr_warm_visits = solver.Solver.incr_warm_visits;
+    incr_fallback_planned = solver.Solver.incr_fallback_planned;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -174,6 +178,50 @@ let fleet_json (f : fleet) : string =
     "{\"jobs\":%d,\"completed\":%d,\"replayed\":%d,\"crashes\":%d,\"hangs\":%d,\"job_errors\":%d,\"retries\":%d,\"quarantined\":%d,\"breaker_skips\":%d,\"max_rung\":%d}"
     f.jobs f.completed f.replayed f.crashes f.hangs f.job_errors f.retries
     f.quarantined f.breaker_skips f.max_rung
+
+(* ------------------------------------------------------------------ *)
+(* Fixpoint-store counters, owned by lib/store                         *)
+(* ------------------------------------------------------------------ *)
+
+type store = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable ancestor_warm_starts : int;
+  mutable corrupt_quarantined : int;
+  mutable evictions : int;
+  mutable snapshots_written : int;
+  mutable write_failures : int;
+}
+
+let store_create () =
+  {
+    hits = 0;
+    misses = 0;
+    ancestor_warm_starts = 0;
+    corrupt_quarantined = 0;
+    evictions = 0;
+    snapshots_written = 0;
+    write_failures = 0;
+  }
+
+let store_json (s : store) : string =
+  Printf.sprintf
+    "{\"hits\":%d,\"misses\":%d,\"ancestor_warm_starts\":%d,\"corrupt_quarantined\":%d,\"evictions\":%d,\"snapshots_written\":%d,\"write_failures\":%d}"
+    s.hits s.misses s.ancestor_warm_starts s.corrupt_quarantined s.evictions
+    s.snapshots_written s.write_failures
+
+let pp_store ppf (s : store) =
+  Fmt.pf ppf
+    "store: %d hit%s, %d miss%s, %d ancestor warm start%s, %d quarantined, \
+     %d evicted, %d written, %d write failure%s"
+    s.hits
+    (if s.hits = 1 then "" else "s")
+    s.misses
+    (if s.misses = 1 then "" else "es")
+    s.ancestor_warm_starts
+    (if s.ancestor_warm_starts = 1 then "" else "s")
+    s.corrupt_quarantined s.evictions s.snapshots_written s.write_failures
+    (if s.write_failures = 1 then "" else "s")
 
 let pp_fleet ppf (f : fleet) =
   Fmt.pf ppf

@@ -58,6 +58,9 @@ type summary = {
       (** facts retraction cleared from affected cells before replaying *)
   incr_warm_visits : int;
       (** statement visits the warm-start resume performed *)
+  incr_fallback_planned : int;
+      (** 1 when the incremental engine's cost estimate chose a scratch
+          solve over retraction (a plan, not a degradation) *)
 }
 
 val summarize : Solver.t -> summary
@@ -94,4 +97,36 @@ val fleet_json : fleet -> string
 (** Single-line JSON object with the counters above. *)
 
 val pp_fleet : Format.formatter -> fleet -> unit
+(** Human-readable one-liner for stderr summaries. *)
+
+(** {1 Fixpoint-store counters}
+
+    Owned by [lib/store]: what the content-addressed snapshot store did
+    for one run — served exact repeats, warm-started near-repeats from
+    a cached ancestor, quarantined corruption, evicted under its size
+    budget. Spliced into report JSON as a ["store"] object and printed
+    on the CLI, so a fault in the store is always visible even though
+    it can never change the report proper. *)
+
+type store = {
+  mutable hits : int;  (** exact-key snapshot loads served *)
+  mutable misses : int;  (** requests that found no usable exact match *)
+  mutable ancestor_warm_starts : int;
+      (** misses warm-started from the nearest cached ancestor *)
+  mutable corrupt_quarantined : int;
+      (** snapshots that failed checksum/version/decode and were moved
+          to quarantine (never deleted) *)
+  mutable evictions : int;  (** snapshots deleted by the LRU size budget *)
+  mutable snapshots_written : int;
+  mutable write_failures : int;
+      (** contained write faults (ENOSPC, crash-before-rename): the
+          snapshot was not stored, the answer was unaffected *)
+}
+
+val store_create : unit -> store
+
+val store_json : store -> string
+(** Single-line JSON object with the counters above. *)
+
+val pp_store : Format.formatter -> store -> unit
 (** Human-readable one-liner for stderr summaries. *)

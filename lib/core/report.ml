@@ -84,7 +84,8 @@ let json_of_result ?(timing = true) ?(solver_stats = true) ~name
     field ",\"incr_stmts_added\":%d" m.Metrics.incr_stmts_added;
     field ",\"incr_stmts_removed\":%d" m.Metrics.incr_stmts_removed;
     field ",\"incr_facts_retracted\":%d" m.Metrics.incr_facts_retracted;
-    field ",\"incr_warm_visits\":%d" m.Metrics.incr_warm_visits
+    field ",\"incr_warm_visits\":%d" m.Metrics.incr_warm_visits;
+    field ",\"incr_fallback_planned\":%d" m.Metrics.incr_fallback_planned
   end;
   field ",\"unknown_externs\":[%s]"
     (String.concat "," (List.map quote m.Metrics.unknown_externs));

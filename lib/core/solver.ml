@@ -178,6 +178,9 @@ type t = {
       (** facts cleared from affected cells before the replay *)
   mutable incr_warm_visits : int;
       (** statement visits the warm-start resume performed *)
+  mutable incr_fallback_planned : int;
+      (** 1 when the incremental engine chose a scratch solve because
+          its cost estimate said retraction could not win *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -296,6 +299,7 @@ let create ?(layout = Layout.default) ?(arith = `Spread)
     incr_stmts_removed = 0;
     incr_facts_retracted = 0;
     incr_warm_visits = 0;
+    incr_fallback_planned = 0;
   }
 
 (** Both difference-propagation engines ([`Delta] and [`Delta_nocycle]). *)

@@ -136,6 +136,9 @@ type t = {
       (** facts cleared from affected cells before the replay *)
   mutable incr_warm_visits : int;
       (** statement visits the warm-start resume performed *)
+  mutable incr_fallback_planned : int;
+      (** 1 when the incremental engine chose a scratch solve because
+          its cost estimate said retraction could not win *)
 }
 
 val collapse_sel : Cell.t -> Cell.t

@@ -27,9 +27,16 @@ type stats = {
   affected_cells : int;
   warm_visits : int;
   fallback : bool;
+  fallback_planned : bool;
 }
 
 let default_retract_budget = 10_000
+
+(* The retraction cost guard (below) only engages past this many
+   constraints/source cells: on small fixpoints the closure and clear
+   are too cheap to be worth predicting, and the retraction path is the
+   one we want exercised by tests and small interactive edits. *)
+let plan_floor = 64
 
 exception Too_wide
 
@@ -195,16 +202,43 @@ let execute (t : Solver.t) (aligned : Nast.program)
   Solver.resume t;
   (!retracted, List.length cids, t.Solver.rounds - r0)
 
+(** The retraction cost guard's pre-closure estimate: the share of all
+    attributed constraints (direct edges + copy installs) the removed
+    statements derived. When the removed statements account for a large
+    slice, the affected closure will cover most of the graph and the
+    replay re-derives nearly everything — a scratch solve does the same
+    work without first paying for the closure and the clear. *)
+let removed_share (t : Solver.t) (d : Progdiff.t) : float * int =
+  let total =
+    Hashtbl.length t.Solver.edge_stmt_mem
+    + Hashtbl.length t.Solver.copy_stmt_mem
+  in
+  let removed =
+    List.fold_left
+      (fun acc (s : Nast.stmt) ->
+        let len tbl =
+          match Solver.Itbl.find_opt tbl s.Nast.id with
+          | Some l -> List.length !l
+          | None -> 0
+        in
+        acc + len t.Solver.stmt_edges + len t.Solver.stmt_copies)
+      0 d.Progdiff.removed
+  in
+  ((if total = 0 then 0.0 else float_of_int removed /. float_of_int total),
+   total)
+
 let reanalyze ?(retract_budget = default_retract_budget) ?diags
     (t : Solver.t) (edited : Nast.program) : Solver.t * stats =
   let aligned, d = Progdiff.align ~base:t.Solver.prog edited in
   let n_added = List.length d.Progdiff.added in
   let n_removed = List.length d.Progdiff.removed in
-  let finish (t' : Solver.t) ~retracted ~affected ~warm ~fallback =
+  let finish (t' : Solver.t) ~retracted ~affected ~warm ~fallback
+      ~fallback_planned =
     t'.Solver.incr_stmts_added <- n_added;
     t'.Solver.incr_stmts_removed <- n_removed;
     t'.Solver.incr_facts_retracted <- retracted;
     t'.Solver.incr_warm_visits <- warm;
+    t'.Solver.incr_fallback_planned <- (if fallback_planned then 1 else 0);
     ( t',
       {
         stmts_added = n_added;
@@ -213,11 +247,26 @@ let reanalyze ?(retract_budget = default_retract_budget) ?diags
         affected_cells = affected;
         warm_visits = warm;
         fallback;
+        fallback_planned;
       } )
   in
   let fall why =
     let t' = scratch ?diags ~why t aligned in
     finish t' ~retracted:0 ~affected:0 ~warm:t'.Solver.rounds ~fallback:true
+      ~fallback_planned:false
+  in
+  (* The planned variant: same scratch solve, but chosen by the cost
+     estimate rather than forced by a limitation — a plan, not a
+     degradation, so no [degraded-incremental] warning is emitted and
+     the choice surfaces as the [incr_fallback_planned] metric. *)
+  let planned () =
+    let t' =
+      Solver.run ~layout:t.Solver.ctx.Actx.layout ~arith:t.Solver.arith_mode
+        ~budget:t.Solver.budget.Budget.limits ~engine:t.Solver.engine
+        ~track:t.Solver.track ~strategy:t.Solver.base_strategy aligned
+    in
+    finish t' ~retracted:0 ~affected:0 ~warm:t'.Solver.rounds ~fallback:true
+      ~fallback_planned:true
   in
   if Budget.degraded t.Solver.budget then
     fall
@@ -231,16 +280,34 @@ let reanalyze ?(retract_budget = default_retract_budget) ?diags
     Solver.resume t;
     finish t ~retracted:0 ~affected:0
       ~warm:(t.Solver.rounds - r0)
-      ~fallback:false
+      ~fallback:false ~fallback_planned:false
   end
   else if not t.Solver.track then
     fall "the edit removes statements but support tracking is off"
   else
-    match closure t d ~retract_budget with
-    | exception Too_wide ->
-        fall
-          (Printf.sprintf "the retraction cascade exceeded %d affected cells"
-             retract_budget)
-    | removed_ids, affected ->
-        let retracted, ncells, warm = execute t aligned removed_ids affected in
-        finish t ~retracted ~affected:ncells ~warm ~fallback:false
+    let share, total_attr = removed_share t d in
+    if total_attr >= plan_floor && share >= 0.25 then
+      (* the removed statements derived a quarter of everything: the
+         closure would cover most of the graph, skip computing it *)
+      planned ()
+    else
+      match closure t d ~retract_budget with
+      | exception Too_wide ->
+          fall
+            (Printf.sprintf
+               "the retraction cascade exceeded %d affected cells"
+               retract_budget)
+      | removed_ids, affected ->
+          let sources = Graph.source_cell_count t.Solver.graph in
+          if sources >= plan_floor && 2 * Hashtbl.length affected >= sources
+          then
+            (* replay would clear and re-derive at least half the
+               fact-bearing cells — retraction can't beat the scratch
+               solve it would effectively perform anyway *)
+            planned ()
+          else
+            let retracted, ncells, warm =
+              execute t aligned removed_ids affected
+            in
+            finish t ~retracted ~affected:ncells ~warm ~fallback:false
+              ~fallback_planned:false

@@ -33,6 +33,18 @@
       the diagnostics context (precision is unaffected — only the warm
       start is given up, so the condition is a warning, not an error).
 
+    - {b Planned fallback}: before retracting, the engine estimates
+      whether retraction can win — the removed statements' share of all
+      attributed constraints, and (once the closure is computed) the
+      affected cells' share of all fact-bearing cells. When either says
+      the replay would re-derive most of the fixpoint anyway, a scratch
+      solve is strictly cheaper (no closure, no clearing) and the
+      engine chooses it proactively. That choice is a plan, not a
+      degradation: no warning is emitted, and it surfaces as the
+      [incr_fallback_planned] metric ([stats.fallback_planned]). The
+      guard only engages past an absolute size floor, so small
+      interactive edits always exercise the retraction path.
+
     The differential guarantee — warm result {!Core.Graph.equal} and
     stats-free-JSON byte-identical to a from-scratch solve of the
     aligned program — holds for all four strategies and all three
@@ -53,6 +65,9 @@ type stats = {
       (** statement visits this re-analysis performed (on fallback: the
           visits of the from-scratch solve) *)
   fallback : bool;  (** the engine re-solved from scratch *)
+  fallback_planned : bool;
+      (** the scratch solve was the cost estimate's proactive choice
+          (implies [fallback]); no degradation warning was emitted *)
 }
 
 val default_retract_budget : int

@@ -93,6 +93,81 @@ let to_string (p : plan) : string =
              Printf.sprintf "%s@%s#%d" (kind_to_string t.kind) t.job_id a)
        p)
 
+(* ------------------------------------------------------------------ *)
+(* Store-I/O faults                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type store_trigger = { skind : Store.fault; op : int }
+
+type store_plan = store_trigger list
+
+let store_kind_to_string : Store.fault -> string = function
+  | Store.Short_write -> "shortwrite"
+  | Store.Bit_flip -> "bitflip"
+  | Store.Enospc -> "enospc"
+  | Store.Crash_rename -> "crash"
+
+let store_kind_of_string : string -> Store.fault option = function
+  | "shortwrite" -> Some Store.Short_write
+  | "bitflip" -> Some Store.Bit_flip
+  | "enospc" -> Some Store.Enospc
+  | "crash" -> Some Store.Crash_rename
+  | _ -> None
+
+let store_parse_trigger (s : string) : (store_trigger, string) result =
+  match String.index_opt s '@' with
+  | None ->
+      Error (Printf.sprintf "store fault %S: expected kind@write_ordinal" s)
+  | Some i -> (
+      let kind_s = String.sub s 0 i in
+      let op_s = String.sub s (i + 1) (String.length s - i - 1) in
+      match store_kind_of_string kind_s with
+      | None ->
+          Error
+            (Printf.sprintf
+               "store fault %S: unknown kind %S \
+                (shortwrite|bitflip|enospc|crash)"
+               s kind_s)
+      | Some skind -> (
+          match int_of_string_opt op_s with
+          | Some op when op >= 1 -> Ok { skind; op }
+          | _ ->
+              Error
+                (Printf.sprintf "store fault %S: bad write ordinal %S" s op_s)
+          ))
+
+let store_parse (s : string) : (store_plan, string) result =
+  let parts =
+    String.split_on_char ',' s
+    |> List.map String.trim
+    |> List.filter (fun p -> p <> "")
+  in
+  List.fold_left
+    (fun acc p ->
+      match (acc, store_parse_trigger p) with
+      | Error e, _ -> Error e
+      | _, Error e -> Error e
+      | Ok ts, Ok t -> Ok (ts @ [ t ]))
+    (Ok []) parts
+
+let store_of_env () : store_plan =
+  match Sys.getenv_opt "STRUCTCAST_STORE_FAULTS" with
+  | None | Some "" -> []
+  | Some s -> (
+      match store_parse s with
+      | Ok p -> p
+      | Error e -> failwith ("STRUCTCAST_STORE_FAULTS: " ^ e))
+
+let store_hook (p : store_plan) : int -> Store.fault option =
+ fun op ->
+  List.find_opt (fun t -> t.op = op) p |> Option.map (fun t -> t.skind)
+
+let store_to_string (p : store_plan) : string =
+  String.concat ","
+    (List.map
+       (fun t -> Printf.sprintf "%s@%d" (store_kind_to_string t.skind) t.op)
+       p)
+
 let inject (k : kind) : unit =
   match k with
   | Crash ->

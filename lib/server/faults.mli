@@ -48,3 +48,38 @@ val kind_to_string : kind -> string
 
 val to_string : plan -> string
 (** Round-trips through {!parse}. *)
+
+(** {1 Store-I/O faults}
+
+    A second plan family for the fixpoint store ({!Store}): each
+    trigger names a fault kind and the 1-based {e write ordinal} it
+    fires on, counted across every physical write the store performs
+    (snapshot temp files, index appends, compaction). Parsed from
+    [STRUCTCAST_STORE_FAULTS] and/or a CLI flag; syntax:
+
+    {v kind@N[,kind@N…] v}
+
+    e.g. ["shortwrite@2,enospc@5"]. Kinds: [shortwrite] (torn payload,
+    operation completes), [bitflip] (one bit corrupted mid-payload),
+    [enospc] (the write fails before any byte lands), [crash] (die
+    between fsync and rename: the temp file is durable, the snapshot
+    never becomes visible). *)
+
+type store_trigger = { skind : Store.fault; op : int }
+
+type store_plan = store_trigger list
+
+val store_parse : string -> (store_plan, string) result
+(** Parse the syntax above; [""] is the empty plan. *)
+
+val store_of_env : unit -> store_plan
+(** Plan from [STRUCTCAST_STORE_FAULTS]; malformed values raise
+    [Failure]. *)
+
+val store_hook : store_plan -> int -> Store.fault option
+(** The injection hook {!Store.open_store} accepts: ordinal → fault. *)
+
+val store_kind_to_string : Store.fault -> string
+
+val store_to_string : store_plan -> string
+(** Round-trips through {!store_parse}. *)

@@ -9,16 +9,18 @@ type t = {
   strategy_id : string;
   layout_id : string;
   budget : Core.Budget.limits;
+  store_dir : string option;
 }
 
 let make ~idx ?(strategy = "cis") ?(layout = "ilp32")
-    ?(budget = Core.Budget.default) spec =
+    ?(budget = Core.Budget.default) ?store_dir spec =
   {
     id = Printf.sprintf "job%d" idx;
     spec;
     strategy_id = strategy;
     layout_id = layout;
     budget;
+    store_dir;
   }
 
 let layout_of_id = function
@@ -29,7 +31,10 @@ let layout_of_id = function
 
 let validate (t : t) : (unit, string) result =
   let bad s = String.exists (fun c -> c = '\t' || c = '\n' || c = '\r') s in
-  if bad t.id || bad t.spec || bad t.strategy_id || bad t.layout_id then
+  if
+    bad t.id || bad t.spec || bad t.strategy_id || bad t.layout_id
+    || bad (Option.value t.store_dir ~default:"")
+  then
     Error
       (Printf.sprintf "%s: job fields may not contain tabs or newlines" t.id)
   else if Core.Analysis.strategy_of_id t.strategy_id = None then
@@ -71,8 +76,10 @@ let strategy_for_rung id rung = if rung >= 2 then "collapse-always" else id
 
 (* ------------------------------------------------------------------ *)
 (* Wire encoding: id \t attempt \t rung \t strategy \t layout          *)
-(*   \t steps \t timeout_ms \t obj_cells \t total_cells \t spec        *)
-(* (0 encodes an absent limit; spec goes last for readability)         *)
+(*   \t steps \t timeout_ms \t obj_cells \t total_cells \t store       *)
+(*   \t spec                                                           *)
+(* (0 encodes an absent limit; "" encodes no store directory; spec     *)
+(* goes last for readability)                                          *)
 (* ------------------------------------------------------------------ *)
 
 let to_wire (t : t) ~attempt ~rung : string =
@@ -82,18 +89,21 @@ let to_wire (t : t) ~attempt ~rung : string =
     | None -> 0
     | Some s -> max 1 (int_of_float (s *. 1000.))
   in
-  Printf.sprintf "%s\t%d\t%d\t%s\t%s\t%d\t%d\t%d\t%d\t%s" t.id attempt rung
-    t.strategy_id t.layout_id
+  Printf.sprintf "%s\t%d\t%d\t%s\t%s\t%d\t%d\t%d\t%d\t%s\t%s" t.id attempt
+    rung t.strategy_id t.layout_id
     (o t.budget.Core.Budget.max_steps)
     timeout_ms
     (o t.budget.Core.Budget.max_cells_per_object)
     (o t.budget.Core.Budget.max_total_cells)
+    (Option.value t.store_dir ~default:"")
     t.spec
 
 let of_wire (line : string) : (t * int * int, string) result =
   match String.split_on_char '\t' line with
-  | [ id; attempt; rung; strategy_id; layout_id; steps; tms; obj; total; spec ]
-    -> (
+  | [
+      id; attempt; rung; strategy_id; layout_id; steps; tms; obj; total; store;
+      spec;
+    ] -> (
       let opt s =
         match int_of_string_opt s with
         | Some 0 -> Some None
@@ -118,6 +128,10 @@ let of_wire (line : string) : (t * int * int, string) result =
               max_total_cells = total;
             }
           in
-          Ok ({ id; spec; strategy_id; layout_id; budget }, attempt, rung)
+          let store_dir = if store = "" then None else Some store in
+          Ok
+            ( { id; spec; strategy_id; layout_id; budget; store_dir },
+              attempt,
+              rung )
       | _ -> Error ("malformed numeric field in job request: " ^ line))
-  | _ -> Error ("malformed job request (expected 10 fields): " ^ line)
+  | _ -> Error ("malformed job request (expected 11 fields): " ^ line)

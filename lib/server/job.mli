@@ -22,6 +22,9 @@ type t = {
   strategy_id : string;
   layout_id : string;  (** ilp32 | lp64 | word16 *)
   budget : Core.Budget.limits;
+  store_dir : string option;
+      (** fixpoint-store directory the worker consults before solving
+          (and caches clean results into); [None] = always solve *)
 }
 
 val make :
@@ -29,10 +32,11 @@ val make :
   ?strategy:string ->
   ?layout:string ->
   ?budget:Core.Budget.limits ->
+  ?store_dir:string ->
   string ->
   t
 (** [make ~idx spec] — id ["job<idx>"], strategy ["cis"], layout
-    ["ilp32"], budget {!Core.Budget.default}. *)
+    ["ilp32"], budget {!Core.Budget.default}, no store. *)
 
 val validate : t -> (unit, string) result
 (** Reject tabs/newlines in string fields, unknown strategies, and

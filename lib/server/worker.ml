@@ -38,6 +38,43 @@ let sanitize s =
 (* The job's final output line: what batch prints, what the journal
    stores. Timing is omitted (Report ~timing:false) so the line is a
    pure function of the input — the byte-identical-resume guarantee. *)
+(* With a store attached, the worker keys the compiled program into the
+   store before solving: an exact repeat is served from the snapshot
+   (zero solver visits), a near-repeat warm-starts from the nearest
+   cached ancestor, and either way the emitted report JSON is the
+   stats-free rendering a scratch solve would produce, with the store's
+   counter block spliced alongside. Store-I/O faults come from
+   [STRUCTCAST_STORE_FAULTS]; write ordinals count per job. *)
+let run_store ~store_dir ~layout ~layout_id ~strategy_id ~budget ~name ~spec
+    source : string * bool * bool =
+  let store =
+    Store.open_store
+      ~inject:(Faults.store_hook (Faults.store_of_env ()))
+      ~log:(fun m -> prerr_endline ("store: " ^ m))
+      store_dir
+  in
+  let diags = Diag.create () in
+  let prog =
+    Norm.Lower.compile ~layout ~resolve:(resolve_includes spec) ~diags
+      ~file:name source
+  in
+  let dlist = Diag.diagnostics diags in
+  let served =
+    Store.serve store ~want:`Json ~diags:dlist ~name ~strategy_id
+      ~engine:`Delta ~layout ~layout_id ~budget prog
+  in
+  let degraded =
+    match served.Store.sv_result with
+    | Some r -> r.Core.Analysis.degraded <> []
+    | None -> false
+  in
+  let diag_errors =
+    List.exists
+      (fun (p : Diag.payload) -> p.Diag.severity = Diag.Error_sev)
+      dlist
+  in
+  (Store.with_counters store served.Store.sv_json, degraded, diag_errors)
+
 let run_job (job : Job.t) ~attempt ~rung :
     (string * bool * bool, string) result =
   try
@@ -54,12 +91,27 @@ let run_job (job : Job.t) ~attempt ~rung :
     in
     let budget = Job.budget_for_rung job.Job.budget rung in
     let name, source = load_source job.Job.spec in
-    let diags = Diag.create () in
-    let r =
-      Core.Analysis.run_source ~layout ~budget ~diags
-        ~resolve:(resolve_includes job.Job.spec) ~strategy ~file:name source
+    let result_json, solve_degraded, diag_errors =
+      match job.Job.store_dir with
+      | Some store_dir ->
+          run_store ~store_dir ~layout ~layout_id:job.Job.layout_id
+            ~strategy_id ~budget ~name ~spec:job.Job.spec source
+      | None ->
+          let diags = Diag.create () in
+          let r =
+            Core.Analysis.run_source ~layout ~budget ~diags
+              ~resolve:(resolve_includes job.Job.spec) ~strategy ~file:name
+              source
+          in
+          let diag_errors =
+            List.exists
+              (fun (p : Diag.payload) -> p.Diag.severity = Diag.Error_sev)
+              r.Core.Analysis.diags
+          in
+          ( Core.Report.json_of_result ~timing:false ~name r,
+            r.Core.Analysis.degraded <> [],
+            diag_errors )
     in
-    let result_json = Core.Report.json_of_result ~timing:false ~name r in
     let output =
       Printf.sprintf
         "{\"id\":%s,\"spec\":%s,\"status\":\"done\",\"attempt\":%d,\"rung\":%d,\"result\":%s}"
@@ -67,13 +119,7 @@ let run_job (job : Job.t) ~attempt ~rung :
         (Core.Report.quote job.Job.spec)
         attempt rung result_json
     in
-    let degraded = r.Core.Analysis.degraded <> [] || rung > 0 in
-    let diag_errors =
-      List.exists
-        (fun (p : Diag.payload) -> p.Diag.severity = Diag.Error_sev)
-        r.Core.Analysis.diags
-    in
-    Ok (output, degraded, diag_errors)
+    Ok (output, solve_degraded || rung > 0, diag_errors)
   with
   | Diag.Error p -> Error (Fmt.str "front-end error: %a" Diag.pp_payload p)
   | Failure m | Sys_error m -> Error m

@@ -31,4 +31,5 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("isolation", Test_isolation.suite);
       ("server", Test_server.suite);
+      ("store", Test_store.suite);
     ]

@@ -350,6 +350,53 @@ let test_fallback_degraded_base () =
   Alcotest.(check bool) "fell back" true st.Incr.Engine.fallback;
   ignore t'
 
+(** The cost guard: when the removed statements derived a quarter of
+    everything attributed, the engine {e plans} a scratch solve instead
+    of computing a retraction closure that would cover most of the
+    graph. A plan is not a degradation — no [degraded-incremental]
+    warning — and it surfaces as the [fallback_planned] stat and the
+    [incr_fallback_planned] metric. Small edits stay on the retraction
+    path. *)
+let test_fallback_planned_large_removal () =
+  let src keep =
+    let buf = Buffer.create 4096 in
+    for i = 0 to 79 do
+      Buffer.add_string buf (Printf.sprintf "int x%d; int *p%d;\n" i i)
+    done;
+    Buffer.add_string buf "void main(void) {\n";
+    for i = 0 to 79 do
+      if i < keep then
+        Buffer.add_string buf (Printf.sprintf "  p%d = &x%d;\n" i i)
+    done;
+    Buffer.add_string buf "}\n";
+    compile (Buffer.contents buf)
+  in
+  let base = src 80 in
+  let edited = src 20 in
+  let t = Core.Solver.run ~track:true ~strategy:(strategy "cis") base in
+  let diags = Diag.create () in
+  let t, st = Incr.Engine.reanalyze ~diags t edited in
+  Alcotest.(check bool) "planned" true st.Incr.Engine.fallback_planned;
+  Alcotest.(check bool) "a plan is a fallback" true st.Incr.Engine.fallback;
+  Alcotest.(check bool) "no degradation warning" false
+    (List.exists
+       (fun (p : Diag.payload) ->
+         String.length p.Diag.message >= 20
+         && String.sub p.Diag.message 0 20 = "degraded-incremental")
+       (Diag.warnings diags));
+  Alcotest.(check int) "metric set" 1
+    (Core.Metrics.summarize t).Core.Metrics.incr_fallback_planned;
+  check_vs_scratch ~label:"planned-fallback" ~engine:`Delta ~id:"cis" t;
+  (* below the planning floor the retraction path still runs *)
+  let base, edited = removal_pair () in
+  let t = Core.Solver.run ~track:true ~strategy:(strategy "cis") base in
+  let t, st = Incr.Engine.reanalyze t edited in
+  Alcotest.(check bool) "small edit: not planned" false
+    st.Incr.Engine.fallback_planned;
+  Alcotest.(check bool) "small edit: retraction ran" false
+    st.Incr.Engine.fallback;
+  check_vs_scratch ~label:"small-removal" ~engine:`Delta ~id:"cis" t
+
 (** The warm solver's incr counters surface through metrics and the
     stats JSON. *)
 let test_incr_metrics_reported () =
@@ -465,6 +512,8 @@ let suite =
     tc "fallback leaves the base solver reusable" test_fallback_preserves_base;
     tc "fallback: untracked solver" test_fallback_untracked;
     tc "fallback: degraded base" test_fallback_degraded_base;
+    tc "planned fallback: large removal, no warning"
+      test_fallback_planned_large_removal;
     tc "incr counters flow into metrics and reports"
       test_incr_metrics_reported;
     tc "queries index follows in-place reanalyze"

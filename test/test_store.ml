@@ -1,0 +1,462 @@
+(** The fixpoint store's governing invariant, exercised end to end: a
+    corrupt, torn, or fault-injected store can cost time but never
+    change a report. Every scenario — exact hit, ancestor warm start,
+    bit flip, truncation, version skew, short write, ENOSPC, crash
+    between fsync and rename, torn index tail, eviction — must produce
+    the byte-identical stats-free report JSON a scratch solve renders,
+    with the failure visible only in the store counters. *)
+
+open Cfront
+open Helpers
+
+let layout = Layout.ilp32
+let layout_id = "ilp32"
+let sid = "cis"
+let budget = Core.Budget.default
+
+let src_a =
+  {|
+    struct node { struct node *next; int v; };
+    struct node g1, g2, g3;
+    struct node *head;
+    void main(void) {
+      head = &g1;
+      g1.next = &g2;
+      g2.next = &g3;
+    }
+  |}
+
+(* [src_a] plus an appended function: purely additive — no statement
+   before the edit point changes its key, so the cached [src_a]
+   snapshot is an additive ancestor of this program. *)
+let src_a_grown =
+  {|
+    struct node { struct node *next; int v; };
+    struct node g1, g2, g3;
+    struct node *head;
+    void main(void) {
+      head = &g1;
+      g1.next = &g2;
+      g2.next = &g3;
+    }
+    void tie(void) {
+      g3.next = &g1;
+    }
+  |}
+
+let src_b =
+  {|
+    int x, y;
+    int *p, *q;
+    void main(void) {
+      p = &x;
+      q = &y;
+    }
+  |}
+
+let fresh_dir =
+  let ctr = ref 0 in
+  fun () ->
+    incr ctr;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "structcast-store-%d-%d" (Unix.getpid ()) !ctr)
+
+let cfg engine =
+  { Store.Codec.strategy_id = sid; engine; layout_id; arith = `Spread; budget }
+
+let key_of ?(engine = `Delta) src =
+  Store.Codec.key (cfg engine) ~name:"t" ~diags_fp:"" (compile ~layout src)
+
+(* One request through a fresh handle on [dir] — every call reopens the
+   store, so recovery paths (index load, tmp sweep) run each time. *)
+let serve ?(want = `Solver) ?(engine = `Delta) ?inject ?max_bytes ~dir src =
+  let st = Store.open_store ?inject ?max_bytes dir in
+  let served =
+    Store.serve st ~want ~diags:[] ~name:"t" ~strategy_id:sid ~engine ~layout
+      ~layout_id ~budget (compile ~layout src)
+  in
+  (st, served)
+
+let scratch ?(engine = `Delta) src =
+  Core.Solver.run ~layout ~arith:`Spread ~budget ~engine ~track:true
+    ~strategy:(strategy sid) (compile ~layout src)
+
+(* Graph.equal compares interned cell ids, so the scratch oracle must
+   solve the warm solver's own program object, not a recompile. *)
+let check_graph_vs_scratch label ~engine (warm : Core.Solver.t) =
+  let cold =
+    Core.Solver.run ~layout ~arith:`Spread ~budget ~engine ~track:true
+      ~strategy:(strategy sid) warm.Core.Solver.prog
+  in
+  Alcotest.(check bool) label true
+    (Core.Graph.equal warm.Core.Solver.graph cold.Core.Solver.graph);
+  match Core.Graph.check_counts warm.Core.Solver.graph with
+  | Some msg -> Alcotest.failf "%s: graph fails audit: %s" label msg
+  | None -> ()
+
+let render solver =
+  Core.Report.json_of_result ~timing:false ~solver_stats:false ~name:"t"
+    {
+      Core.Analysis.solver;
+      metrics = Core.Metrics.summarize solver;
+      time_s = 0.;
+      degraded = Core.Solver.degradations solver;
+      diags = [];
+    }
+
+let scratch_json ?engine src = render (scratch ?engine src)
+
+let check_origin label expected (s : Store.served) =
+  let show = function
+    | `Hit -> "hit"
+    | `Ancestor n -> Printf.sprintf "ancestor+%d" n
+    | `Cold -> "cold"
+  in
+  Alcotest.(check string) label (show expected) (show s.Store.sv_origin)
+
+let check_json label src (s : Store.served) =
+  Alcotest.(check string) label (scratch_json src) s.Store.sv_json
+
+let solver_of (s : Store.served) =
+  match s.Store.sv_result with
+  | Some r -> r.Core.Analysis.solver
+  | None -> Alcotest.fail "expected a live solver in the served result"
+
+let at1 fault n = if n = 1 then Some fault else None
+
+let rewrite path f =
+  let ic = open_in_bin path in
+  let bytes = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let oc = open_out_bin path in
+  output_string oc (f bytes);
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Determinism of the codec                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Same source, compiled and solved twice in one process: identical
+    store key and byte-identical snapshot — interning order and hash
+    seeds never leak into the encoding. *)
+let test_digest_stability () =
+  let once () =
+    let prog = compile ~layout src_a in
+    let c = cfg `Delta in
+    let key = Store.Codec.key c ~name:"t" ~diags_fp:"" prog in
+    let solver =
+      Core.Solver.run ~layout ~arith:`Spread ~budget ~engine:`Delta
+        ~track:true ~strategy:(strategy sid) prog
+    in
+    match
+      Store.Codec.encode solver ~config:c ~name:"t" ~key
+        ~report_json:(render solver)
+    with
+    | Ok bytes -> (key, bytes)
+    | Error why -> Alcotest.failf "encode refused: %s" why
+  in
+  let k1, b1 = once () in
+  let k2, b2 = once () in
+  Alcotest.(check string) "key stable" k1 k2;
+  Alcotest.(check string) "snapshot bytes stable" b1 b2
+
+(* ------------------------------------------------------------------ *)
+(* Exact repeats                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_exact_hit_json () =
+  let dir = fresh_dir () in
+  let st1, s1 = serve ~want:`Json ~dir src_a in
+  check_origin "first request is cold" `Cold s1;
+  Alcotest.(check int) "snapshot cached" 1
+    (Store.counters st1).Core.Metrics.snapshots_written;
+  check_json "cold json == scratch" src_a s1;
+  let st2, s2 = serve ~want:`Json ~dir src_a in
+  check_origin "repeat is a hit" `Hit s2;
+  Alcotest.(check int) "hit counted" 1 (Store.counters st2).Core.Metrics.hits;
+  Alcotest.(check int) "no miss" 0 (Store.counters st2).Core.Metrics.misses;
+  Alcotest.(check string) "stored report byte-identical" s1.Store.sv_json
+    s2.Store.sv_json
+
+(** An exact repeat served in [`Solver] mode restores the snapshot and
+    resumes with an empty worklist: zero statement visits, and the
+    restored fixpoint is indistinguishable from the scratch solve. *)
+let test_exact_hit_solver_zero_visits () =
+  let dir = fresh_dir () in
+  let _, s1 = serve ~dir src_a in
+  check_origin "first request is cold" `Cold s1;
+  let _, s2 = serve ~dir src_a in
+  check_origin "repeat is a hit" `Hit s2;
+  let warm = solver_of s2 in
+  Alcotest.(check int) "zero solver visits" 0 warm.Core.Solver.rounds;
+  check_graph_vs_scratch "graphs equal" ~engine:`Delta warm;
+  Alcotest.(check string) "restored report == scratch"
+    (scratch_json src_a) (render warm)
+
+(* ------------------------------------------------------------------ *)
+(* Ancestor warm start                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** A near-repeat (the cached program plus an appended function) warm
+    starts from the cached ancestor and still lands on the scratch
+    fixpoint — for every engine, since each leaves differently-shaped
+    cursor state in its snapshots. *)
+let test_ancestor_warm_start () =
+  List.iter
+    (fun (ename, engine) ->
+      let dir = fresh_dir () in
+      let _, s1 = serve ~engine ~dir src_a in
+      check_origin (ename ^ ": base is cold") `Cold s1;
+      let st2, s2 = serve ~engine ~dir src_a_grown in
+      (match s2.Store.sv_origin with
+      | `Ancestor n when n > 0 -> ()
+      | _ -> Alcotest.failf "%s: expected an ancestor warm start" ename);
+      Alcotest.(check int)
+        (ename ^ ": warm start counted")
+        1
+        (Store.counters st2).Core.Metrics.ancestor_warm_starts;
+      let warm = solver_of s2 in
+      check_graph_vs_scratch (ename ^ ": graphs equal") ~engine warm;
+      Alcotest.(check string)
+        (ename ^ ": warm json == scratch")
+        (scratch_json ~engine src_a_grown)
+        s2.Store.sv_json;
+      (* the grown program's own snapshot was cached: repeat is a hit *)
+      let _, s3 = serve ~engine ~dir src_a_grown in
+      check_origin (ename ^ ": grown repeat hits") `Hit s3)
+    [ ("delta", `Delta); ("delta-nocycle", `Delta_nocycle); ("naive", `Naive) ]
+
+(** A mid-function insertion renumbers the lowering's later temporaries,
+    so the base is {e not} an additive subset of the edit — the store
+    must refuse the warm start (soundness) and fall back to scratch. *)
+let test_ancestor_requires_additive () =
+  let edited =
+    {|
+    struct node { struct node *next; int v; };
+    struct node g1, g2, g3;
+    struct node *head;
+    void main(void) {
+      head = &g1;
+      g3.next = &g1;
+      g1.next = &g2;
+      g2.next = &g3;
+    }
+  |}
+  in
+  let dir = fresh_dir () in
+  let _, _ = serve ~dir src_a in
+  let st2, s2 = serve ~dir edited in
+  check_origin "non-additive edit solves cold" `Cold s2;
+  Alcotest.(check int) "no warm start" 0
+    (Store.counters st2).Core.Metrics.ancestor_warm_starts;
+  check_json "cold json == scratch" edited s2
+
+(* ------------------------------------------------------------------ *)
+(* Corruption detection and quarantine                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** A snapshot that took a bit flip on the way to disk is detected by
+    its checksum at next load, moved to quarantine (never deleted), and
+    the request is answered from scratch — byte-identical. *)
+let test_bit_flip_quarantined () =
+  let dir = fresh_dir () in
+  let st1, _ = serve ~inject:(at1 Store.Bit_flip) ~dir src_a in
+  Alcotest.(check int) "corrupt snapshot landed" 1
+    (Store.counters st1).Core.Metrics.snapshots_written;
+  let st2, s2 = serve ~dir src_a in
+  check_origin "corrupt snapshot never serves" `Cold s2;
+  Alcotest.(check int) "quarantine counted" 1
+    (Store.counters st2).Core.Metrics.corrupt_quarantined;
+  Alcotest.(check bool) "corrupt bytes kept for post-mortem" true
+    (Sys.file_exists (Store.quarantine_path st2 (key_of src_a)));
+  check_json "answer unaffected" src_a s2;
+  (* the scratch solve re-cached a clean snapshot *)
+  let _, s3 = serve ~dir src_a in
+  check_origin "store healed" `Hit s3
+
+let test_truncation_quarantined () =
+  let dir = fresh_dir () in
+  let st1, _ = serve ~dir src_a in
+  rewrite
+    (Store.snap_path st1 (key_of src_a))
+    (fun bytes -> String.sub bytes 0 (String.length bytes / 2));
+  let st2, s2 = serve ~dir src_a in
+  check_origin "truncated snapshot never serves" `Cold s2;
+  Alcotest.(check int) "quarantine counted" 1
+    (Store.counters st2).Core.Metrics.corrupt_quarantined;
+  check_json "answer unaffected" src_a s2
+
+(** Version skew is its own gate, checked before anything else is
+    parsed: a snapshot from a future format version is quarantined even
+    when its checksum (recomputed here over the altered payload) is
+    valid. *)
+let test_version_skew_quarantined () =
+  let dir = fresh_dir () in
+  let st1, _ = serve ~dir src_a in
+  rewrite
+    (Store.snap_path st1 (key_of src_a))
+    (fun bytes ->
+      (* bytes = "structcast-snap v1\n" <body> "sum <32 hex>\n" *)
+      let nl = String.index bytes '\n' in
+      let trailer = 4 + 32 + 1 in
+      let body = String.sub bytes nl (String.length bytes - trailer - nl) in
+      let payload = "structcast-snap v999" ^ body in
+      payload ^ "sum " ^ Digest.to_hex (Digest.string payload) ^ "\n");
+  let st2, s2 = serve ~dir src_a in
+  check_origin "future version never serves" `Cold s2;
+  Alcotest.(check int) "quarantine counted" 1
+    (Store.counters st2).Core.Metrics.corrupt_quarantined;
+  check_json "answer unaffected" src_a s2
+
+(* ------------------------------------------------------------------ *)
+(* Write faults                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** kill -9 between fsync and rename: a durable temp file, no visible
+    snapshot. The store stays loadable, the stray temp is swept at next
+    open, and the next run of the same input is byte-identical. *)
+let test_crash_between_fsync_and_rename () =
+  let dir = fresh_dir () in
+  let st1, s1 = serve ~inject:(at1 Store.Crash_rename) ~dir src_a in
+  check_origin "the interrupted run still answers" `Cold s1;
+  Alcotest.(check int) "write failure counted" 1
+    (Store.counters st1).Core.Metrics.write_failures;
+  Alcotest.(check int) "nothing stored" 0
+    (Store.counters st1).Core.Metrics.snapshots_written;
+  let snaps = Filename.concat dir "snaps" in
+  let tmps d =
+    Array.to_list (Sys.readdir d)
+    |> List.filter (fun f -> Filename.check_suffix f ".tmp")
+  in
+  Alcotest.(check bool) "durable temp left behind" true (tmps snaps <> []);
+  Alcotest.(check bool) "no snapshot became visible" false
+    (Sys.file_exists (Store.snap_path st1 (key_of src_a)));
+  let _, s2 = serve ~dir src_a in
+  Alcotest.(check (list string)) "stray temp swept at open" [] (tmps snaps);
+  check_origin "next run solves cold" `Cold s2;
+  Alcotest.(check string) "and is byte-identical" s1.Store.sv_json
+    s2.Store.sv_json;
+  let _, s3 = serve ~dir src_a in
+  check_origin "then the cache works again" `Hit s3
+
+(** ENOSPC on the snapshot write is contained: counted, logged, and the
+    answer this run computed is served unchanged. *)
+let test_enospc_contained () =
+  let dir = fresh_dir () in
+  let st1, s1 = serve ~inject:(at1 Store.Enospc) ~dir src_a in
+  check_origin "still answers" `Cold s1;
+  Alcotest.(check int) "write failure counted" 1
+    (Store.counters st1).Core.Metrics.write_failures;
+  check_json "answer unaffected" src_a s1
+
+(** A short write completes the rename — a torn-but-visible snapshot
+    the checksum must catch on the next load. *)
+let test_short_write_caught_later () =
+  let dir = fresh_dir () in
+  let _, _ = serve ~inject:(at1 Store.Short_write) ~dir src_a in
+  let st2, s2 = serve ~dir src_a in
+  check_origin "torn snapshot never serves" `Cold s2;
+  Alcotest.(check int) "quarantine counted" 1
+    (Store.counters st2).Core.Metrics.corrupt_quarantined;
+  check_json "answer unaffected" src_a s2
+
+(** The acceptance sweep: every fault kind, injected at each of the
+    first three write ordinals (snapshot write, index append, …), over
+    a three-request sequence — the report JSON must equal the scratch
+    rendering every single time. *)
+let test_differential_under_faults () =
+  let oracle = scratch_json src_a in
+  List.iter
+    (fun (kname, kind) ->
+      for ordinal = 1 to 3 do
+        let dir = fresh_dir () in
+        let inject n = if n = ordinal then Some kind else None in
+        for req = 1 to 3 do
+          let _, s = serve ~inject ~dir src_a in
+          Alcotest.(check string)
+            (Printf.sprintf "%s@%d request %d" kname ordinal req)
+            oracle s.Store.sv_json
+        done
+      done)
+    [
+      ("shortwrite", Store.Short_write);
+      ("bitflip", Store.Bit_flip);
+      ("enospc", Store.Enospc);
+      ("crash", Store.Crash_rename);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Index durability and eviction                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** A torn tail (an index write that died mid-line) and arbitrary
+    garbage lines are both recovered by skipping; the snapshots remain
+    servable. *)
+let test_index_torn_tail_recovery () =
+  let dir = fresh_dir () in
+  let _, _ = serve ~dir src_a in
+  let index = Filename.concat dir "index.log" in
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 index in
+  output_string oc "not an index line\nv1\tadd\ttorn-fragm";
+  close_out oc;
+  let _, s2 = serve ~dir src_a in
+  check_origin "snapshot still serves" `Hit s2;
+  Alcotest.(check string) "byte-identical" (scratch_json src_a)
+    s2.Store.sv_json
+
+(** LRU under a tiny byte budget: caching a second program evicts the
+    first; the store keeps at least one snapshot. *)
+let test_lru_eviction () =
+  let dir = fresh_dir () in
+  let _, _ = serve ~max_bytes:1 ~dir src_a in
+  let st2, _ = serve ~max_bytes:1 ~dir src_b in
+  Alcotest.(check int) "eviction counted" 1
+    (Store.counters st2).Core.Metrics.evictions;
+  Alcotest.(check int) "one snapshot kept" 1 (List.length (Store.live st2));
+  Alcotest.(check bool) "the newest survived" true
+    (Sys.file_exists (Store.snap_path st2 (key_of src_b)));
+  Alcotest.(check bool) "the oldest was evicted" false
+    (Sys.file_exists (Store.snap_path st2 (key_of src_a)));
+  (* the evicted program just re-solves *)
+  let _, s3 = serve ~max_bytes:1 ~dir src_a in
+  check_origin "evicted input solves cold" `Cold s3;
+  check_json "and is unaffected" src_a s3
+
+(* ------------------------------------------------------------------ *)
+(* Fault-plan parsing (lib/server syntax shared by env and CLI)        *)
+(* ------------------------------------------------------------------ *)
+
+let test_fault_plan_parsing () =
+  (match Server.Faults.store_parse "bitflip@1,crash@3" with
+  | Ok plan ->
+      let hook = Server.Faults.store_hook plan in
+      Alcotest.(check bool) "bitflip at 1" true (hook 1 = Some Store.Bit_flip);
+      Alcotest.(check bool) "nothing at 2" true (hook 2 = None);
+      Alcotest.(check bool) "crash at 3" true (hook 3 = Some Store.Crash_rename)
+  | Error e -> Alcotest.failf "plan rejected: %s" e);
+  (match Server.Faults.store_parse "bitflip@0" with
+  | Ok _ -> Alcotest.fail "ordinal 0 must be rejected (ordinals are 1-based)"
+  | Error _ -> ());
+  match Server.Faults.store_parse "gamma-ray@1" with
+  | Ok _ -> Alcotest.fail "unknown fault kind must be rejected"
+  | Error _ -> ()
+
+let suite =
+  [
+    tc "digest stability" test_digest_stability;
+    tc "exact hit (json)" test_exact_hit_json;
+    tc "exact hit (solver): zero visits" test_exact_hit_solver_zero_visits;
+    tc "ancestor warm start, all engines" test_ancestor_warm_start;
+    tc "ancestor requires additive edit" test_ancestor_requires_additive;
+    tc "bit flip quarantined, not deleted" test_bit_flip_quarantined;
+    tc "truncation quarantined" test_truncation_quarantined;
+    tc "version skew quarantined" test_version_skew_quarantined;
+    tc "crash between fsync and rename" test_crash_between_fsync_and_rename;
+    tc "enospc contained" test_enospc_contained;
+    tc "short write caught at next load" test_short_write_caught_later;
+    tc "differential under all fault plans" test_differential_under_faults;
+    tc "index torn-tail recovery" test_index_torn_tail_recovery;
+    tc "lru eviction" test_lru_eviction;
+    tc "fault-plan parsing" test_fault_plan_parsing;
+  ]
