@@ -775,6 +775,141 @@ let store_bench_json () =
     (store_rows ())
 
 (* ------------------------------------------------------------------ *)
+(* Overload: the serving path at 12x capacity, admission on vs off     *)
+(* ------------------------------------------------------------------ *)
+
+(* 24 requests hit a 2-worker fleet whose jobs each take ~200 ms (burst
+   fault): far more work than the fleet can finish promptly. Unbounded,
+   every request is eventually answered but the tail waits through the
+   whole backlog; with admission control the queue is bounded, the
+   overflow is shed immediately (deterministically — shedding depends
+   only on queue occupancy), and the tail latency of answered requests
+   collapses. CI gates: lost == 0 in both modes, identical shed_ids
+   across runs, and p99(admission) < p99(unbounded). *)
+
+type overload_row = {
+  ov_mode : string;  (** unbounded | admission *)
+  ov_offered : int;
+  ov_done : int;
+  ov_shed : int;
+  ov_quarantined : int;
+  ov_lost : int;  (** offered - (done + shed + quarantined); must be 0 *)
+  ov_p50_ms : float;
+  ov_p99_ms : float;
+  ov_shed_ratio : float;
+  ov_shed_ids : string;  (** comma-joined, pins shed determinism in CI *)
+  ov_time_s : float;
+}
+
+let overload_offered = 24
+
+let overload_run mode admission : overload_row =
+  let plan =
+    match
+      Server.Faults.parse
+        (String.concat ","
+           (List.init overload_offered (fun i ->
+                Printf.sprintf "burst@job%d" (i + 1))))
+    with
+    | Ok p -> p
+    | Error e -> failwith e
+  in
+  let cfg =
+    {
+      Server.Supervisor.default_config with
+      Server.Supervisor.workers = 2;
+      backoff_base_ms = 1;
+      faults = plan;
+      admission;
+    }
+  in
+  let jobs =
+    List.init overload_offered (fun i -> Server.Job.make ~idx:(i + 1) "wc")
+  in
+  let t0 = Unix.gettimeofday () in
+  let results, fleet = Server.Supervisor.run_batch cfg jobs in
+  let dt = Unix.gettimeofday () -. t0 in
+  let count p = List.length (List.filter (fun (_, o) -> p o) results) in
+  let n_done =
+    count (function Server.Supervisor.Done _ -> true | _ -> false)
+  in
+  let n_shed =
+    count (function Server.Supervisor.Shed _ -> true | _ -> false)
+  in
+  let n_quar =
+    count (function Server.Supervisor.Quarantined _ -> true | _ -> false)
+  in
+  let shed_ids =
+    List.filter_map
+      (fun ((j : Server.Job.t), o) ->
+        match o with
+        | Server.Supervisor.Shed _ -> Some j.Server.Job.id
+        | _ -> None)
+      results
+  in
+  let lat = fleet.Core.Metrics.latencies_ms in
+  {
+    ov_mode = mode;
+    ov_offered = overload_offered;
+    ov_done = n_done;
+    ov_shed = n_shed;
+    ov_quarantined = n_quar;
+    ov_lost = overload_offered - n_done - n_shed - n_quar;
+    ov_p50_ms = Core.Metrics.percentile lat 50.0;
+    ov_p99_ms = Core.Metrics.percentile lat 99.0;
+    ov_shed_ratio =
+      float_of_int n_shed /. float_of_int overload_offered;
+    ov_shed_ids = String.concat "," shed_ids;
+    ov_time_s = dt;
+  }
+
+let overload_rows () =
+  [
+    overload_run "unbounded" Server.Admission.default;
+    overload_run "admission"
+      {
+        Server.Admission.max_pending = Some 4;
+        high_watermark = 3;
+        low_watermark = 1;
+        brownout_ticks = 4;
+        max_rung = Server.Job.max_rung;
+      };
+  ]
+
+let overload () =
+  header
+    "Overload: 24 requests offered to a 2-worker fleet whose jobs take\n\
+     ~200 ms each — admission control off vs on (queue bound 4)";
+  Printf.printf "%-10s %8s %6s %6s %6s %6s %9s %9s %7s %8s\n" "mode"
+    "offered" "done" "shed" "quar" "lost" "p50(ms)" "p99(ms)" "shed%"
+    "time(s)";
+  line ();
+  List.iter
+    (fun r ->
+      Printf.printf "%-10s %8d %6d %6d %6d %6d %9.1f %9.1f %6.0f%% %8.2f\n"
+        r.ov_mode r.ov_offered r.ov_done r.ov_shed r.ov_quarantined r.ov_lost
+        r.ov_p50_ms r.ov_p99_ms
+        (100. *. r.ov_shed_ratio)
+        r.ov_time_s)
+    (overload_rows ())
+
+(* Same sweep as JSON lines — the CI artifact (BENCH_overload.json). *)
+let overload_json () =
+  List.iter
+    (fun r ->
+      Printf.printf
+        "{\"mode\":%s,\"offered\":%d,\"done\":%d,\"shed\":%d,\
+         \"quarantined\":%d,\"lost\":%d,\"latency_p50_ms\":%.1f,\
+         \"latency_p99_ms\":%.1f,\"shed_ratio\":%.4f,\"shed_ids\":%s,\
+         \"time_s\":%.4f}\n"
+        (Core.Report.quote r.ov_mode)
+        r.ov_offered r.ov_done r.ov_shed r.ov_quarantined r.ov_lost
+        r.ov_p50_ms r.ov_p99_ms r.ov_shed_ratio
+        (Core.Report.quote r.ov_shed_ids)
+        r.ov_time_s)
+    (overload_rows ())
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per figure                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -903,6 +1038,8 @@ let sections : (string * (unit -> unit)) list =
     ("edit-replay-json", edit_replay_json);
     ("store", store_bench);
     ("store-json", store_bench_json);
+    ("overload", overload);
+    ("overload-json", overload_json);
     ("bechamel", bechamel);
     ("csv", csv);
   ]

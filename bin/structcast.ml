@@ -446,8 +446,16 @@ let watch_cmd spec strategy layout budget engine format retract_budget
                output = Core.Report.json_of_result ~timing:false ~name r;
              })
   in
+  (* SIGINT is a clean end-of-session, exactly like EOF: the handler's
+     exception unwinds the blocking read and the final record below
+     still lands in the journal *)
+  let prev_sigint =
+    Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> raise Exit))
+  in
   Fun.protect
-    ~finally:(fun () -> Option.iter Server.Journal.close jnl)
+    ~finally:(fun () ->
+      Sys.set_signal Sys.sigint prev_sigint;
+      Option.iter Server.Journal.close jnl)
     (fun () ->
       let diags = Diag.create () in
       let name, base = compile_spec ~layout ~diags spec in
@@ -459,10 +467,12 @@ let watch_cmd spec strategy layout budget engine format retract_budget
         name (Nast.stmt_count base);
       journal_entry ~i:0 ~name ~time_s ~diags !t;
       let worst = ref (exit_code ~diags ~degraded:(Core.Solver.degraded !t)) in
+      let edits = ref 0 in
       let rec loop i =
         match input_line stdin with
         | exception End_of_file -> ()
         | _ ->
+            incr edits;
             (let diags = Diag.create () in
              match
                let t0 = Sys.time () in
@@ -486,7 +496,25 @@ let watch_cmd spec strategy layout budget engine format retract_budget
                  worst := max !worst 1);
             loop (i + 1)
       in
-      loop 1;
+      (try loop 1 with Exit -> ());
+      (* a final terminal record: a journal ending in [watch-done] is a
+         session that closed cleanly (EOF or SIGINT), not one that died
+         mid-edit — resume tooling can tell the difference *)
+      (match jnl with
+      | None -> ()
+      | Some j ->
+          Server.Journal.append j
+            (Server.Journal.Done
+               {
+                 id = "watch-done";
+                 attempt = 1;
+                 rung = 0;
+                 degraded = false;
+                 diag_errors = false;
+                 output =
+                   Printf.sprintf
+                     "{\"status\":\"session-closed\",\"edits\":%d}" !edits;
+               }));
       !worst)
 
 (* ------------------------------------------------------------------ *)
@@ -543,28 +571,30 @@ let corpus_cmd () =
 (* batch / serve                                                       *)
 (* ------------------------------------------------------------------ *)
 
-(* Batch exit codes extend the single-run contract fleet-wide, same
-   precedence: 3 if any job was quarantined (or an internal error), 2 if
-   any completed degraded (budget events or a retry rung > 0), 1 if any
-   carried error diagnostics, 0 otherwise. *)
+(* Batch exit codes extend the single-run contract fleet-wide; the
+   worst (numerically highest) outcome wins: 5 drained by signal
+   (serve only, applied by the caller), 4 if any request was shed
+   (queue full, deadline expired, or drain cut it off), 3 if any job
+   was quarantined (or an internal error), 2 if any completed degraded
+   (budget events or a retry rung > 0), 1 if any carried error
+   diagnostics, 0 otherwise. *)
+let outcome_exit_code (o : Server.Supervisor.outcome) : int =
+  match o with
+  | Server.Supervisor.Shed _ -> 4
+  | Server.Supervisor.Quarantined _ -> 3
+  | Server.Supervisor.Done { degraded; diag_errors; _ } ->
+      if degraded then 2 else if diag_errors then 1 else 0
+
 let batch_exit_code (results : (Server.Job.t * Server.Supervisor.outcome) list)
     : int =
-  let quarantined = ref false and degraded = ref false and diags = ref false in
-  List.iter
-    (fun (_, o) ->
-      match o with
-      | Server.Supervisor.Quarantined _ -> quarantined := true
-      | Server.Supervisor.Done { degraded = d; diag_errors = e; _ } ->
-          if d then degraded := true;
-          if e then diags := true)
-    results;
-  if !quarantined then 3 else if !degraded then 2 else if !diags then 1 else 0
+  List.fold_left (fun acc (_, o) -> max acc (outcome_exit_code o)) 0 results
 
 let print_outcome ~format (job : Server.Job.t)
     (o : Server.Supervisor.outcome) =
   match (format, o) with
   | "json", Server.Supervisor.Done { output; _ }
-  | "json", Server.Supervisor.Quarantined { output; _ } ->
+  | "json", Server.Supervisor.Quarantined { output; _ }
+  | "json", Server.Supervisor.Shed { output; _ } ->
       print_string output;
       print_newline ()
   | _, Server.Supervisor.Done { attempt; rung; degraded; diag_errors; _ } ->
@@ -575,6 +605,9 @@ let print_outcome ~format (job : Server.Job.t)
   | _, Server.Supervisor.Quarantined { attempts; reason; _ } ->
       Fmt.pr "%-8s %-12s quarantined  attempts=%d — %s@." job.Server.Job.id
         job.Server.Job.spec attempts reason
+  | _, Server.Supervisor.Shed { reason; _ } ->
+      Fmt.pr "%-8s %-12s shed         — %s@." job.Server.Job.id
+        job.Server.Job.spec reason
 
 let read_manifest path : (string * string option * string option) list =
   let ic = open_in path in
@@ -602,7 +635,8 @@ let read_manifest path : (string * string option * string option) list =
   go []
 
 let supervisor_config workers attempts job_timeout_ms backoff_ms faults
-    journal resume : Server.Supervisor.config =
+    journal resume ~max_pending ~high_watermark ~low_watermark ~brownout_ticks
+    ~worker_max_rss_mb ~drain_deadline_ms : Server.Supervisor.config =
   let fault_plan =
     Server.Faults.merge
       (Server.Faults.of_env ())
@@ -613,6 +647,7 @@ let supervisor_config workers attempts job_timeout_ms backoff_ms faults
           | Ok p -> p
           | Error e -> failwith e))
   in
+  let opt n = if n <= 0 then None else Some n in
   {
     Server.Supervisor.workers;
     max_attempts = max 1 attempts;
@@ -621,10 +656,35 @@ let supervisor_config workers attempts job_timeout_ms backoff_ms faults
     faults = fault_plan;
     journal_path = journal;
     resume;
+    admission =
+      {
+        Server.Admission.max_pending = opt max_pending;
+        high_watermark = max 0 high_watermark;
+        low_watermark = max 0 low_watermark;
+        brownout_ticks = max 1 brownout_ticks;
+        max_rung = Server.Job.max_rung;
+      };
+    worker_max_rss_mb = opt worker_max_rss_mb;
+    drain_grace_s = float_of_int (max 1 drain_deadline_ms) /. 1000.;
+    shutdown_grace_s = 2.0;
   }
 
+(* Overload-control flags shared by batch and serve; see the Arg docs
+   below for semantics. All off by default (unbounded queue, no
+   brownout, no RSS cap, no deadline). *)
+type overload_flags = {
+  max_pending : int;
+  high_watermark : int;
+  low_watermark : int;
+  brownout_ticks : int;
+  worker_max_rss_mb : int;
+  drain_deadline_ms : int;
+  deadline_ms : int;  (** default per-request deadline; 0 = none *)
+}
+
 let batch_cmd specs manifest strategy layout budget workers attempts
-    job_timeout_ms backoff_ms faults journal resume format store =
+    job_timeout_ms backoff_ms faults journal resume format store
+    (ov : overload_flags) =
   let from_manifest =
     match manifest with Some p -> read_manifest p | None -> []
   in
@@ -633,18 +693,23 @@ let batch_cmd specs manifest strategy layout budget workers attempts
   in
   if entries = [] then
     failwith "no jobs: give input specs or --jobs MANIFEST";
+  let deadline_ms = if ov.deadline_ms > 0 then Some ov.deadline_ms else None in
   let jobs =
     List.mapi
       (fun i (spec, s, l) ->
         Server.Job.make ~idx:(i + 1)
           ~strategy:(Option.value s ~default:strategy)
           ~layout:(Option.value l ~default:layout)
-          ~budget ?store_dir:store spec)
+          ~budget ?store_dir:store ?deadline_ms spec)
       entries
   in
   let cfg =
     supervisor_config workers attempts job_timeout_ms backoff_ms faults
-      journal resume
+      journal resume ~max_pending:ov.max_pending
+      ~high_watermark:ov.high_watermark ~low_watermark:ov.low_watermark
+      ~brownout_ticks:ov.brownout_ticks
+      ~worker_max_rss_mb:ov.worker_max_rss_mb
+      ~drain_deadline_ms:ov.drain_deadline_ms
   in
   let results, fleet = Server.Supervisor.run_batch cfg jobs in
   List.iter (fun (j, o) -> print_outcome ~format j o) results;
@@ -653,60 +718,127 @@ let batch_cmd specs manifest strategy layout budget workers attempts
   | _ -> Fmt.epr "%a@." Core.Metrics.pp_fleet fleet);
   batch_exit_code results
 
-(* Request/response loop: one `spec [strategy] [layout]` per stdin line,
-   one JSON result line per request, backed by the persistent worker
-   pool (workers are reused across requests). *)
+(* Request/response loop: one `SPEC [STRATEGY] [LAYOUT] [deadline=MS]`
+   per stdin line, one JSON result line per request (in request order),
+   backed by the persistent worker pool. Unlike the old
+   one-request-at-a-time loop, stdin and the worker pipes are
+   multiplexed through {!Server.Supervisor.step}: requests keep being
+   admitted (or shed) while earlier ones run, which is what makes
+   admission control and deadlines meaningful. SIGTERM/SIGINT flip the
+   fleet into a graceful drain: queued and new requests are shed,
+   in-flight ones finish within --drain-deadline-ms, and the process
+   exits with code 5. *)
 let serve_cmd strategy layout budget workers attempts job_timeout_ms
-    backoff_ms faults journal store =
+    backoff_ms faults journal store (ov : overload_flags) =
   let cfg =
     supervisor_config workers attempts job_timeout_ms backoff_ms faults
-      journal false
+      journal false ~max_pending:ov.max_pending
+      ~high_watermark:ov.high_watermark ~low_watermark:ov.low_watermark
+      ~brownout_ticks:ov.brownout_ticks
+      ~worker_max_rss_mb:ov.worker_max_rss_mb
+      ~drain_deadline_ms:ov.drain_deadline_ms
   in
   let t = Server.Supervisor.create cfg in
+  let drain_signal = ref false in
+  let on_signal _ =
+    drain_signal := true;
+    Server.Supervisor.request_drain t
+  in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
   Fun.protect
     ~finally:(fun () -> Server.Supervisor.shutdown t)
     (fun () ->
       let worst = ref 0 in
-      let rec loop idx =
-        match input_line stdin with
-        | exception End_of_file -> ()
-        | line -> (
-            match
-              String.split_on_char ' ' line
-              |> List.filter (fun s -> s <> "")
-            with
-            | [] -> loop idx
-            | spec :: rest ->
-                let s =
-                  match rest with x :: _ -> x | [] -> strategy
-                in
-                let l =
-                  match rest with _ :: x :: _ -> x | _ -> layout
-                in
-                let job =
-                  Server.Job.make ~idx ~strategy:s ~layout:l ~budget
-                    ?store_dir:store spec
-                in
-                Server.Supervisor.submit t job;
-                Server.Supervisor.drain t;
-                let results = Server.Supervisor.results t in
-                (match
-                   List.find_opt
-                     (fun ((j : Server.Job.t), _) ->
-                       j.Server.Job.id = job.Server.Job.id)
-                     results
-                 with
-                | Some (j, o) ->
-                    print_outcome ~format:"json" j o;
-                    flush stdout;
-                    worst :=
-                      max !worst (batch_exit_code [ (j, o) ])
-                | None -> ());
-                loop (idx + 1))
+      let idx = ref 0 in
+      (* unanswered requests, oldest first: responses are printed in
+         request order as outcomes become available *)
+      let unprinted = ref [] in
+      let print_ready () =
+        let rec go = function
+          | [] -> []
+          | (job : Server.Job.t) :: rest -> (
+              match Server.Supervisor.find_outcome t job.Server.Job.id with
+              | Some o ->
+                  print_outcome ~format:"json" job o;
+                  flush stdout;
+                  worst := max !worst (outcome_exit_code o);
+                  go rest
+              | None -> job :: rest)
+        in
+        unprinted := go !unprinted
       in
-      loop 1;
+      let submit_line line =
+        let toks =
+          String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+        in
+        (* tokens containing '=' are options; the rest are positional *)
+        let opts, pos =
+          List.partition (fun s -> String.contains s '=') toks
+        in
+        match pos with
+        | [] -> ()
+        | spec :: rest ->
+            let s = match rest with x :: _ -> x | [] -> strategy in
+            let l = match rest with _ :: x :: _ -> x | _ -> layout in
+            let deadline_ms =
+              List.fold_left
+                (fun acc o ->
+                  match String.index_opt o '=' with
+                  | Some i when String.sub o 0 i = "deadline" -> (
+                      let v =
+                        String.sub o (i + 1) (String.length o - i - 1)
+                      in
+                      match int_of_string_opt v with
+                      | Some ms when ms > 0 -> Some ms
+                      | _ -> failwith ("serve: bad deadline option " ^ o))
+                  | _ -> acc)
+                (if ov.deadline_ms > 0 then Some ov.deadline_ms else None)
+                opts
+            in
+            incr idx;
+            let job =
+              Server.Job.make ~idx:!idx ~strategy:s ~layout:l ~budget
+                ?store_dir:store ?deadline_ms spec
+            in
+            Server.Supervisor.submit t job;
+            unprinted := !unprinted @ [ job ]
+      in
+      let inbuf = ref "" in
+      let eof = ref false in
+      let read_stdin () =
+        let chunk = Bytes.create 4096 in
+        match Unix.read Unix.stdin chunk 0 4096 with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | 0 -> eof := true
+        | n ->
+            let data = !inbuf ^ Bytes.sub_string chunk 0 n in
+            let parts = String.split_on_char '\n' data in
+            let rec go = function
+              | [] -> inbuf := ""
+              | [ tail ] -> inbuf := tail
+              | line :: rest ->
+                  submit_line line;
+                  go rest
+            in
+            go parts
+      in
+      let rec loop () =
+        print_ready ();
+        if !eof || Server.Supervisor.draining t then ()
+        else begin
+          let readable = Server.Supervisor.step ~extra:[ Unix.stdin ] t in
+          if List.mem Unix.stdin readable then read_stdin ();
+          loop ()
+        end
+      in
+      loop ();
+      (* EOF or drain: no more requests — finish (or cut off) what's in
+         flight and answer everything still unanswered *)
+      Server.Supervisor.drain t;
+      print_ready ();
       Fmt.epr "%a@." Core.Metrics.pp_fleet (Server.Supervisor.fleet t);
-      !worst)
+      if !drain_signal then 5 else !worst)
 
 (* ------------------------------------------------------------------ *)
 (* Cmdliner plumbing                                                   *)
@@ -776,7 +908,10 @@ let timeout_ms_arg =
     & info [ "timeout-ms" ] ~docv:"MS"
         ~doc:
           "Wall-clock budget for the solve, in milliseconds; past it, \
-           precision degrades. 0 = unlimited.")
+           precision degrades. 0 = unlimited. Under batch/serve the value \
+           crosses the job wire in whole milliseconds with a 1 ms floor \
+           (a sub-millisecond budget is clamped up to 1 ms, never to \
+           unlimited), and retry rung 1 additionally caps it at 2000 ms.")
 
 let max_cells_per_object_arg =
   Arg.(
@@ -870,8 +1005,8 @@ let faults_arg =
     & info [ "faults" ] ~docv:"PLAN"
         ~doc:
           "Fault-injection plan, e.g. 'crash\\@job2#1,hang\\@job5' \
-           (kinds: crash, exit, hang, raise, allocbomb); merged with \
-           \\$STRUCTCAST_FAULTS. Testing only.")
+           (kinds: crash, exit, hang, raise, allocbomb, burst, slowread, \
+           allochold); merged with \\$STRUCTCAST_FAULTS. Testing only.")
 
 let journal_arg =
   Arg.(
@@ -888,6 +1023,98 @@ let resume_arg =
         ~doc:
           "Resume an interrupted batch from --journal: finished jobs are \
            replayed, only unfinished ones run.")
+
+(* overload-control flags (batch and serve) *)
+
+let max_pending_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "max-pending" ] ~docv:"N"
+        ~doc:
+          "Admission control: bound on the pending-request queue. A request \
+           arriving when N are already queued is shed — answered with a \
+           distinct '\"status\":\"shed\"' JSON line (exit code 4), never \
+           silently dropped. Shedding depends only on queue occupancy, so \
+           the same arrival order sheds the same requests every run. 0 = \
+           unbounded (no shedding).")
+
+let high_watermark_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "high-watermark" ] ~docv:"N"
+        ~doc:
+          "Brownout: queue depth that counts as sustained pressure. Depth \
+           above N for --brownout-ticks consecutive supervisor ticks \
+           escalates the rung new dispatches start at (tight budgets, then \
+           collapse-always) — sound but coarser answers, served faster. \
+           0 disables brownout.")
+
+let low_watermark_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "low-watermark" ] ~docv:"N"
+        ~doc:
+          "Brownout: queue depth at or below which pressure counts as gone; \
+           --brownout-ticks consecutive calm ticks step the brownout rung \
+           back down.")
+
+let brownout_ticks_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "brownout-ticks" ] ~docv:"N"
+        ~doc:
+          "Consecutive supervisor ticks above (below) the watermark before \
+           the brownout rung escalates (steps down).")
+
+let worker_max_rss_mb_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "worker-max-rss-mb" ] ~docv:"MB"
+        ~doc:
+          "Memory watchdog: per-worker resident-set cap, sampled from \
+           /proc/<pid>/statm each supervisor tick. A worker over the cap is \
+           SIGKILLed and its job re-enters the retry ladder (where tighter \
+           rung budgets usually let it finish). 0 = no cap.")
+
+let drain_deadline_ms_arg =
+  Arg.(
+    value & opt int 5000
+    & info [ "drain-deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Graceful drain: how long in-flight jobs may keep running after \
+           SIGTERM/SIGINT before they are killed and shed. Queued requests \
+           are shed immediately; every request still gets exactly one \
+           journaled outcome.")
+
+let deadline_ms_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Default request deadline, from submission. A request whose \
+           deadline expires while queued is shed without running; at \
+           dispatch the remaining deadline tightens the job's wall-clock \
+           budget; a worker still running one supervisor tick past it is \
+           killed and the request shed (not retried). serve requests may \
+           override per request with a 'deadline=MS' token. 0 = none.")
+
+let overload_term =
+  let mk max_pending high_watermark low_watermark brownout_ticks
+      worker_max_rss_mb drain_deadline_ms deadline_ms =
+    {
+      max_pending;
+      high_watermark;
+      low_watermark;
+      brownout_ticks;
+      worker_max_rss_mb;
+      drain_deadline_ms;
+      deadline_ms;
+    }
+  in
+  Term.(
+    const mk $ max_pending_arg $ high_watermark_arg $ low_watermark_arg
+    $ brownout_ticks_arg $ worker_max_rss_mb_arg $ drain_deadline_ms_arg
+    $ deadline_ms_arg)
 
 let batch_format_arg =
   Arg.(
@@ -994,40 +1221,49 @@ let corpus_t =
 
 let batch_t =
   let run specs manifest strategy layout budget workers attempts
-      job_timeout_ms backoff_ms faults journal resume format store =
+      job_timeout_ms backoff_ms faults journal resume format store overload =
     wrap (fun () ->
         batch_cmd specs manifest strategy layout budget workers attempts
-          job_timeout_ms backoff_ms faults journal resume format store)
+          job_timeout_ms backoff_ms faults journal resume format store
+          overload)
   in
   Cmd.v
     (Cmd.info "batch"
        ~doc:
          "Analyze many inputs through the crash-contained supervisor: forked \
           workers, retry with backoff and degradation, per-input circuit \
-          breaker, crash-safe journal (--journal/--resume).")
+          breaker, crash-safe journal (--journal/--resume), and the \
+          overload controls (admission, deadlines, brownout, memory \
+          watchdog). Exit code is the worst outcome: 0 clean, 1 \
+          diagnostics, 2 degraded, 3 quarantined, 4 shed.")
     Term.(
       const run $ specs_arg $ jobs_arg $ strategy_arg $ layout_arg
       $ budget_term $ workers_arg $ attempts_arg $ job_timeout_ms_arg
       $ backoff_ms_arg $ faults_arg $ journal_arg $ resume_arg
-      $ batch_format_arg $ store_arg)
+      $ batch_format_arg $ store_arg $ overload_term)
 
 let serve_t =
   let run strategy layout budget workers attempts job_timeout_ms backoff_ms
-      faults journal store =
+      faults journal store overload =
     wrap (fun () ->
         serve_cmd strategy layout budget workers attempts job_timeout_ms
-          backoff_ms faults journal store)
+          backoff_ms faults journal store overload)
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Serve analysis requests read from stdin ('SPEC [STRATEGY \
-          [LAYOUT]]' per line), one JSON result line per request, backed by \
-          the crash-contained worker pool.")
+         "Serve analysis requests read from stdin ('SPEC [STRATEGY [LAYOUT] \
+          [deadline=MS]]' per line), one JSON result line per request in \
+          request order, backed by the crash-contained worker pool. \
+          Requests are admitted (or shed) while earlier ones run; \
+          --max-pending bounds the queue, --deadline-ms bounds each \
+          request, SIGTERM/SIGINT drain gracefully (in-flight requests \
+          finish within --drain-deadline-ms, everything else is shed, exit \
+          code 5).")
     Term.(
       const run $ strategy_arg $ layout_arg $ budget_term $ workers_arg
       $ attempts_arg $ job_timeout_ms_arg $ backoff_ms_arg $ faults_arg
-      $ journal_arg $ store_arg)
+      $ journal_arg $ store_arg $ overload_term)
 
 let base_spec_arg =
   Arg.(

@@ -157,6 +157,16 @@ type fleet = {
   mutable quarantined : int;
   mutable breaker_skips : int;
   mutable max_rung : int;
+  mutable shed : int;
+  mutable deadline_expired : int;
+  mutable rss_kills : int;
+  mutable brownout_escalations : int;
+  mutable brownout_rung : int;
+  mutable brownout_max_rung : int;
+  mutable drain_incomplete : int;
+  mutable queue_depth : int;
+  mutable queue_peak : int;
+  mutable latencies_ms : float list;
 }
 
 let fleet_create () =
@@ -171,13 +181,39 @@ let fleet_create () =
     quarantined = 0;
     breaker_skips = 0;
     max_rung = 0;
+    shed = 0;
+    deadline_expired = 0;
+    rss_kills = 0;
+    brownout_escalations = 0;
+    brownout_rung = 0;
+    brownout_max_rung = 0;
+    drain_incomplete = 0;
+    queue_depth = 0;
+    queue_peak = 0;
+    latencies_ms = [];
   }
+
+(* Nearest-rank percentile over an unsorted sample; [p] in [0,100].
+   0.0 for an empty sample (a fleet that answered nothing). *)
+let percentile (xs : float list) (p : float) : float =
+  match List.sort compare xs with
+  | [] -> 0.0
+  | sorted ->
+      let n = List.length sorted in
+      let rank =
+        int_of_float (ceil (p /. 100. *. float_of_int n)) |> max 1 |> min n
+      in
+      List.nth sorted (rank - 1)
 
 let fleet_json (f : fleet) : string =
   Printf.sprintf
-    "{\"jobs\":%d,\"completed\":%d,\"replayed\":%d,\"crashes\":%d,\"hangs\":%d,\"job_errors\":%d,\"retries\":%d,\"quarantined\":%d,\"breaker_skips\":%d,\"max_rung\":%d}"
+    "{\"jobs\":%d,\"completed\":%d,\"replayed\":%d,\"crashes\":%d,\"hangs\":%d,\"job_errors\":%d,\"retries\":%d,\"quarantined\":%d,\"breaker_skips\":%d,\"max_rung\":%d,\"shed\":%d,\"deadline_expired\":%d,\"rss_kills\":%d,\"brownout_escalations\":%d,\"brownout_rung\":%d,\"brownout_max_rung\":%d,\"drain_incomplete\":%d,\"queue_depth\":%d,\"queue_peak\":%d,\"latency_p50_ms\":%.1f,\"latency_p99_ms\":%.1f}"
     f.jobs f.completed f.replayed f.crashes f.hangs f.job_errors f.retries
-    f.quarantined f.breaker_skips f.max_rung
+    f.quarantined f.breaker_skips f.max_rung f.shed f.deadline_expired
+    f.rss_kills f.brownout_escalations f.brownout_rung f.brownout_max_rung
+    f.drain_incomplete f.queue_depth f.queue_peak
+    (percentile f.latencies_ms 50.)
+    (percentile f.latencies_ms 99.)
 
 (* ------------------------------------------------------------------ *)
 (* Fixpoint-store counters, owned by lib/store                         *)
@@ -239,4 +275,16 @@ let pp_fleet ppf (f : fleet) =
     (if f.retries = 1 then "y" else "ies")
     f.quarantined f.breaker_skips
     (if f.breaker_skips = 1 then "" else "s")
-    f.max_rung
+    f.max_rung;
+  if
+    f.shed > 0 || f.rss_kills > 0 || f.brownout_max_rung > 0
+    || f.drain_incomplete > 0
+  then
+    Fmt.pf ppf
+      ", %d shed (%d deadline-expired), %d rss kill%s, brownout rung \
+       %d (peak %d, %d escalation%s), %d drain-incomplete, queue peak %d"
+      f.shed f.deadline_expired f.rss_kills
+      (if f.rss_kills = 1 then "" else "s")
+      f.brownout_rung f.brownout_max_rung f.brownout_escalations
+      (if f.brownout_escalations = 1 then "" else "s")
+      f.drain_incomplete f.queue_peak

@@ -89,12 +89,37 @@ type fleet = {
           already open *)
   mutable max_rung : int;
       (** deepest degradation rung any completed job needed *)
+  mutable shed : int;
+      (** requests refused with a [shed] outcome (queue full, deadline
+          expired, or drain in progress) — never silently dropped *)
+  mutable deadline_expired : int;
+      (** subset of [shed] whose reason was an expired request deadline *)
+  mutable rss_kills : int;
+      (** workers SIGKILLed by the memory watchdog for exceeding the
+          per-worker RSS cap *)
+  mutable brownout_escalations : int;
+      (** times sustained queue pressure escalated the brownout rung *)
+  mutable brownout_rung : int;  (** brownout rung at end of run *)
+  mutable brownout_max_rung : int;  (** deepest brownout rung reached *)
+  mutable drain_incomplete : int;
+      (** in-flight jobs a drain/shutdown deadline cut off before they
+          finished (each was shed, not lost) *)
+  mutable queue_depth : int;  (** pending-queue depth at end of run *)
+  mutable queue_peak : int;  (** deepest the pending queue ever got *)
+  mutable latencies_ms : float list;
+      (** submit→outcome latency of every answered request, ms;
+          rendered as p50/p99 in {!fleet_json} *)
 }
 
 val fleet_create : unit -> fleet
 
+val percentile : float list -> float -> float
+(** [percentile xs p] — nearest-rank percentile ([p] in 0..100) of an
+    unsorted sample; [0.0] for the empty sample. *)
+
 val fleet_json : fleet -> string
-(** Single-line JSON object with the counters above. *)
+(** Single-line JSON object with the counters above ([latencies_ms]
+    rendered as [latency_p50_ms]/[latency_p99_ms]). *)
 
 val pp_fleet : Format.formatter -> fleet -> unit
 (** Human-readable one-liner for stderr summaries. *)

@@ -1,0 +1,63 @@
+(** Admission control and the brownout ladder. See the interface for
+    the policy; this is a small deterministic state machine. *)
+
+type config = {
+  max_pending : int option;
+  high_watermark : int;
+  low_watermark : int;
+  brownout_ticks : int;
+  max_rung : int;
+}
+
+let default =
+  {
+    max_pending = None;
+    high_watermark = 0;
+    low_watermark = 0;
+    brownout_ticks = 8;
+    max_rung = 2;
+  }
+
+type t = {
+  cfg : config;
+  mutable above : int;  (** consecutive ticks with depth > high *)
+  mutable below : int;  (** consecutive ticks with depth <= low *)
+  mutable rung : int;
+}
+
+let create cfg = { cfg; above = 0; below = 0; rung = 0 }
+
+let admit (t : t) ~depth =
+  match t.cfg.max_pending with None -> true | Some m -> depth < m
+
+let tick (t : t) ~depth =
+  if t.cfg.high_watermark <= 0 then `Steady
+  else if depth > t.cfg.high_watermark then begin
+    t.above <- t.above + 1;
+    t.below <- 0;
+    if t.above >= t.cfg.brownout_ticks && t.rung < t.cfg.max_rung then begin
+      t.above <- 0;
+      t.rung <- t.rung + 1;
+      `Escalated t.rung
+    end
+    else `Steady
+  end
+  else if depth <= t.cfg.low_watermark then begin
+    t.below <- t.below + 1;
+    t.above <- 0;
+    if t.below >= t.cfg.brownout_ticks && t.rung > 0 then begin
+      t.below <- 0;
+      t.rung <- t.rung - 1;
+      `Stepped_down t.rung
+    end
+    else `Steady
+  end
+  else begin
+    (* between the watermarks: pressure is neither building nor gone —
+       hold the rung and restart both streaks *)
+    t.above <- 0;
+    t.below <- 0;
+    `Steady
+  end
+
+let rung (t : t) = t.rung

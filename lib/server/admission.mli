@@ -1,0 +1,62 @@
+(** Admission control and the brownout ladder for the serving path.
+
+    The supervisor owns a pending queue of submitted-but-undispatched
+    jobs. Left unbounded, a traffic burst grows that queue without
+    limit: every request is eventually answered, but the tail answers
+    arrive long after any client gave up, and the process pays memory
+    and latency for work nobody wants. This module is the policy that
+    keeps the queue — and therefore tail latency — bounded:
+
+    - {e admission control}: a request arriving when the pending queue
+      already holds [max_pending] jobs is {e shed} — refused
+      deterministically at submit time with a distinct outcome, never
+      silently dropped and never queued to rot. The decision depends
+      only on queue occupancy, so the same arrival sequence sheds the
+      same requests on every run.
+    - {e brownout ladder}: sustained pressure (queue depth above
+      [high_watermark] for [brownout_ticks] consecutive supervisor
+      ticks) escalates a {e brownout rung}. The supervisor starts new
+      dispatches at that degradation rung ({!Job.budget_for_rung} /
+      {!Job.strategy_for_rung}), trading precision for throughput with
+      the same machinery the retry ladder uses — brownout answers are
+      sound, just coarser. When depth stays at or below
+      [low_watermark] for [brownout_ticks] ticks, the rung steps back
+      down.
+
+    The module is pure policy + counters: the supervisor reports queue
+    depth to {!tick} once per loop iteration and asks {!admit} per
+    submission; it never blocks or touches the queue itself. *)
+
+type config = {
+  max_pending : int option;
+      (** pending-queue bound; [None] = unbounded (no shedding) *)
+  high_watermark : int;
+      (** queue depth that counts as pressure; [0] disables brownout *)
+  low_watermark : int;
+      (** depth at/below which pressure is considered gone *)
+  brownout_ticks : int;
+      (** consecutive ticks above (below) the watermark before the
+          brownout rung escalates (steps down) *)
+  max_rung : int;  (** ladder ceiling (normally {!Job.max_rung}) *)
+}
+
+val default : config
+(** Unbounded queue, brownout disabled — the pre-overload-control
+    behavior; existing batch callers see no change. *)
+
+type t
+
+val create : config -> t
+
+val admit : t -> depth:int -> bool
+(** [admit t ~depth] — may a new request join a pending queue currently
+    [depth] deep? Deterministic: [depth < max_pending] (always true
+    when unbounded). *)
+
+val tick : t -> depth:int -> [ `Escalated of int | `Stepped_down of int | `Steady ]
+(** Called once per supervisor loop iteration with the current queue
+    depth; advances the brownout state machine and returns what, if
+    anything, changed (carrying the new rung). *)
+
+val rung : t -> int
+(** Current brownout rung (0 = no brownout). *)

@@ -1,7 +1,15 @@
 (** Deterministic fault injection inside workers. See the interface for
     the plan syntax and fault semantics. *)
 
-type kind = Crash | Exit | Hang | Raise | Alloc_bomb
+type kind =
+  | Crash
+  | Exit
+  | Hang
+  | Raise
+  | Alloc_bomb
+  | Burst
+  | Slow_read
+  | Alloc_hold
 
 type trigger = { kind : kind; job_id : string; attempt : int option }
 
@@ -15,6 +23,9 @@ let kind_to_string = function
   | Hang -> "hang"
   | Raise -> "raise"
   | Alloc_bomb -> "allocbomb"
+  | Burst -> "burst"
+  | Slow_read -> "slowread"
+  | Alloc_hold -> "allochold"
 
 let kind_of_string = function
   | "crash" -> Some Crash
@@ -22,6 +33,9 @@ let kind_of_string = function
   | "hang" -> Some Hang
   | "raise" -> Some Raise
   | "allocbomb" -> Some Alloc_bomb
+  | "burst" -> Some Burst
+  | "slowread" -> Some Slow_read
+  | "allochold" -> Some Alloc_hold
   | _ -> None
 
 let parse_trigger (s : string) : (trigger, string) result =
@@ -44,8 +58,9 @@ let parse_trigger (s : string) : (trigger, string) result =
       | None, _ ->
           Error
             (Printf.sprintf
-               "fault %S: unknown kind %S (crash|exit|hang|raise|allocbomb)" s
-               kind_s)
+               "fault %S: unknown kind %S \
+                (crash|exit|hang|raise|allocbomb|burst|slowread|allochold)"
+               s kind_s)
       | _, Error e -> Error e
       | Some kind, Ok attempt ->
           if job_id = "" then Error (Printf.sprintf "fault %S: empty job id" s)
@@ -199,3 +214,24 @@ let inject (k : kind) : unit =
        with Out_of_memory -> ());
       chunks := [];
       raise Out_of_memory
+  | Burst ->
+      (* Occupy the worker slot long enough for a burst of arrivals to
+         pile up in the pending queue behind this job. *)
+      Unix.sleepf 0.2
+  | Slow_read ->
+      (* Handled at response-write time in the worker (the response is
+         dribbled out in small chunks); nothing to do inside the job. *)
+      ()
+  | Alloc_hold ->
+      (* Allocate a large block and *hold* it live while hanging: the
+         RSS watchdog's target. Like [Hang], exit once orphaned so a
+         kill -9'd supervisor leaks no processes. *)
+      let held = Bytes.create (48 * (1 lsl 20)) in
+      Bytes.fill held 0 (Bytes.length held) 'x';
+      let rec loop () =
+        Unix.sleepf 0.05;
+        ignore (Sys.opaque_identity (Bytes.get held 0));
+        if Unix.getppid () = 1 then Unix._exit 0;
+        loop ()
+      in
+      loop ()

@@ -19,9 +19,26 @@
     - [raise] — an exception is raised inside the job (contained by the
       worker itself, reported as a clean failure);
     - [allocbomb] — a bounded allocation burst followed by
-      [Out_of_memory] (contained by the worker like [raise]). *)
+      [Out_of_memory] (contained by the worker like [raise]);
+    - [burst] — the job sleeps 200 ms before running, occupying its
+      worker slot so a burst of arrivals queues up behind it (the
+      overload tests' traffic generator);
+    - [slowread] — the worker dribbles its response line back to the
+      supervisor in small chunks with pauses between them (a slow
+      reader on the response pipe; exercises partial-line buffering);
+    - [allochold] — the worker allocates ~48 MB, holds it live, and
+      hangs (the RSS watchdog's target; exits on its own only when
+      orphaned, like [hang]). *)
 
-type kind = Crash | Exit | Hang | Raise | Alloc_bomb
+type kind =
+  | Crash
+  | Exit
+  | Hang
+  | Raise
+  | Alloc_bomb
+  | Burst
+  | Slow_read
+  | Alloc_hold
 
 type trigger = { kind : kind; job_id : string; attempt : int option }
 
@@ -41,8 +58,9 @@ val find : plan -> job_id:string -> attempt:int -> kind option
 (** First trigger matching this job and attempt, if any. *)
 
 val inject : kind -> unit
-(** Perform the fault. [Crash], [Exit], and [Hang] do not return;
-    [Raise] and [Alloc_bomb] raise. *)
+(** Perform the fault. [Crash], [Exit], [Hang], and [Alloc_hold] do not
+    return; [Raise] and [Alloc_bomb] raise; [Burst] sleeps then returns;
+    [Slow_read] returns immediately (it acts at response-write time). *)
 
 val kind_to_string : kind -> string
 

@@ -10,10 +10,11 @@ type t = {
   layout_id : string;
   budget : Core.Budget.limits;
   store_dir : string option;
+  deadline_ms : int option;
 }
 
 let make ~idx ?(strategy = "cis") ?(layout = "ilp32")
-    ?(budget = Core.Budget.default) ?store_dir spec =
+    ?(budget = Core.Budget.default) ?store_dir ?deadline_ms spec =
   {
     id = Printf.sprintf "job%d" idx;
     spec;
@@ -21,6 +22,7 @@ let make ~idx ?(strategy = "cis") ?(layout = "ilp32")
     layout_id = layout;
     budget;
     store_dir;
+    deadline_ms;
   }
 
 let layout_of_id = function
@@ -77,9 +79,14 @@ let strategy_for_rung id rung = if rung >= 2 then "collapse-always" else id
 (* ------------------------------------------------------------------ *)
 (* Wire encoding: id \t attempt \t rung \t strategy \t layout          *)
 (*   \t steps \t timeout_ms \t obj_cells \t total_cells \t store       *)
-(*   \t spec                                                           *)
-(* (0 encodes an absent limit; "" encodes no store directory; spec     *)
-(* goes last for readability)                                          *)
+(*   \t deadline_ms \t spec                                            *)
+(* (0 encodes an absent limit/deadline; "" encodes no store            *)
+(* directory; spec goes last for readability).                         *)
+(* The timeout crosses the wire in whole milliseconds with a 1 ms      *)
+(* floor: a sub-millisecond --timeout-ms is rewritten to 1 ms rather   *)
+(* than rounding to 0, which would decode as "unlimited". The rung-1   *)
+(* tight preset additionally caps the timeout at 2 s (see [tight]);    *)
+(* both clamps are pinned by the wire roundtrip tests.                 *)
 (* ------------------------------------------------------------------ *)
 
 let to_wire (t : t) ~attempt ~rung : string =
@@ -89,20 +96,20 @@ let to_wire (t : t) ~attempt ~rung : string =
     | None -> 0
     | Some s -> max 1 (int_of_float (s *. 1000.))
   in
-  Printf.sprintf "%s\t%d\t%d\t%s\t%s\t%d\t%d\t%d\t%d\t%s\t%s" t.id attempt
-    rung t.strategy_id t.layout_id
+  Printf.sprintf "%s\t%d\t%d\t%s\t%s\t%d\t%d\t%d\t%d\t%s\t%d\t%s" t.id
+    attempt rung t.strategy_id t.layout_id
     (o t.budget.Core.Budget.max_steps)
     timeout_ms
     (o t.budget.Core.Budget.max_cells_per_object)
     (o t.budget.Core.Budget.max_total_cells)
     (Option.value t.store_dir ~default:"")
-    t.spec
+    (o t.deadline_ms) t.spec
 
 let of_wire (line : string) : (t * int * int, string) result =
   match String.split_on_char '\t' line with
   | [
       id; attempt; rung; strategy_id; layout_id; steps; tms; obj; total; store;
-      spec;
+      deadline; spec;
     ] -> (
       let opt s =
         match int_of_string_opt s with
@@ -116,9 +123,16 @@ let of_wire (line : string) : (t * int * int, string) result =
           opt steps,
           opt tms,
           opt obj,
-          opt total )
+          opt total,
+          opt deadline )
       with
-      | Some attempt, Some rung, Some steps, Some tms, Some obj, Some total ->
+      | ( Some attempt,
+          Some rung,
+          Some steps,
+          Some tms,
+          Some obj,
+          Some total,
+          Some deadline_ms ) ->
           let budget =
             {
               Core.Budget.max_steps = steps;
@@ -130,8 +144,16 @@ let of_wire (line : string) : (t * int * int, string) result =
           in
           let store_dir = if store = "" then None else Some store in
           Ok
-            ( { id; spec; strategy_id; layout_id; budget; store_dir },
+            ( {
+                id;
+                spec;
+                strategy_id;
+                layout_id;
+                budget;
+                store_dir;
+                deadline_ms;
+              },
               attempt,
               rung )
       | _ -> Error ("malformed numeric field in job request: " ^ line))
-  | _ -> Error ("malformed job request (expected 11 fields): " ^ line)
+  | _ -> Error ("malformed job request (expected 12 fields): " ^ line)

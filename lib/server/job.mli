@@ -25,6 +25,12 @@ type t = {
   store_dir : string option;
       (** fixpoint-store directory the worker consults before solving
           (and caches clean results into); [None] = always solve *)
+  deadline_ms : int option;
+      (** request deadline, milliseconds from submission; the
+          supervisor sheds the job if it expires while queued,
+          intersects the remaining deadline with the budget's
+          [timeout_s] at dispatch, and kills a worker still running
+          past it ([None] = no deadline) *)
 }
 
 val make :
@@ -33,10 +39,11 @@ val make :
   ?layout:string ->
   ?budget:Core.Budget.limits ->
   ?store_dir:string ->
+  ?deadline_ms:int ->
   string ->
   t
 (** [make ~idx spec] — id ["job<idx>"], strategy ["cis"], layout
-    ["ilp32"], budget {!Core.Budget.default}, no store. *)
+    ["ilp32"], budget {!Core.Budget.default}, no store, no deadline. *)
 
 val validate : t -> (unit, string) result
 (** Reject tabs/newlines in string fields, unknown strategies, and
@@ -59,7 +66,12 @@ val strategy_for_rung : string -> int -> string
 (** {1 Wire encoding} *)
 
 val to_wire : t -> attempt:int -> rung:int -> string
-(** Single line (no trailing newline), tab-separated. *)
+(** Single line (no trailing newline), tab-separated. Two documented
+    clamps: the budget timeout crosses the wire in whole milliseconds
+    with a 1 ms floor (a sub-millisecond timeout is rewritten to 1 ms,
+    never to "unlimited"), and the rung-1 tight preset caps it at 2 s
+    ({!budget_for_rung}). Both are pinned by the roundtrip tests in
+    [test/test_server.ml]. *)
 
 val of_wire : string -> (t * int * int, string) result
 (** Inverse of {!to_wire}: job, attempt, rung. *)

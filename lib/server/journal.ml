@@ -14,6 +14,12 @@ type entry =
     }
   | Failed of { id : string; attempt : int; reason : string }
   | Quarantined of { id : string; attempts : int; output : string }
+  | Shed of { id : string; reason : string; output : string }
+  | Draining
+      (** drain mode began: everything after this point was either
+          already in flight or shed *)
+  | Drained of { completed : int; shed : int }
+      (** drain finished; counters checkpoint the final fleet state *)
 
 type t = { fd : Unix.file_descr; path : string }
 
@@ -43,6 +49,12 @@ let encode : entry -> string = function
   | Quarantined { id; attempts; output } ->
       Printf.sprintf "v1\tquarantined\t%s\t%d\t%s" id attempts
         (sanitize output)
+  | Shed { id; reason; output } ->
+      Printf.sprintf "v1\tshed\t%s\t%s\t%s" id (sanitize reason)
+        (sanitize output)
+  | Draining -> "v1\tdraining"
+  | Drained { completed; shed } ->
+      Printf.sprintf "v1\tdrained\t%d\t%d" completed shed
 
 let decode (line : string) : entry option =
   let int = int_of_string_opt in
@@ -66,6 +78,12 @@ let decode (line : string) : entry option =
       match int a with
       | Some attempts -> Some (Quarantined { id; attempts; output })
       | None -> None)
+  | [ "v1"; "shed"; id; reason; output ] -> Some (Shed { id; reason; output })
+  | [ "v1"; "draining" ] -> Some Draining
+  | [ "v1"; "drained"; c; s ] -> (
+      match (int c, int s) with
+      | Some completed, Some shed -> Some (Drained { completed; shed })
+      | _ -> None)
   | _ -> None
 
 let append (t : t) (e : entry) : unit =
@@ -116,6 +134,7 @@ type replayed =
       output : string;
     }
   | RQuarantined of { attempts : int; output : string }
+  | RShed of { reason : string; output : string }
 
 type state = {
   mutable spec : string option;
@@ -147,6 +166,9 @@ let replay (entries : entry list) : (string, state) Hashtbl.t =
       | Quarantined { id; attempts; output } ->
           let st = get id in
           st.attempts <- max st.attempts attempts;
-          st.outcome <- Some (RQuarantined { attempts; output }))
+          st.outcome <- Some (RQuarantined { attempts; output })
+      | Shed { id; reason; output } ->
+          (get id).outcome <- Some (RShed { reason; output })
+      | Draining | Drained _ -> ())
     entries;
   tbl

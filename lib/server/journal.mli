@@ -18,7 +18,19 @@
                          <TAB> degraded(0|1) <TAB> diag_errors(0|1) <TAB> output
     v1 <TAB> failed      <TAB> id <TAB> attempt <TAB> reason
     v1 <TAB> quarantined <TAB> id <TAB> attempts <TAB> output
-    v} *)
+    v1 <TAB> shed        <TAB> id <TAB> reason <TAB> output
+    v1 <TAB> draining
+    v1 <TAB> drained     <TAB> completed <TAB> shed
+    v}
+
+    [shed] is a terminal outcome like [done]/[quarantined]: the job was
+    refused (queue full, deadline expired, or drain in progress) and
+    [output] carries the single-line JSON the client was shown, so a
+    resume replays the refusal byte-for-byte rather than re-admitting
+    the job. [draining]/[drained] bracket a graceful drain: they carry
+    no per-job state and replay ignores them, but they let post-mortem
+    tooling see that a shutdown was requested and whether it completed
+    ([drained] checkpoints the final completed/shed counts). *)
 
 type entry =
   | Queued of { id : string; spec : string }
@@ -33,6 +45,9 @@ type entry =
     }
   | Failed of { id : string; attempt : int; reason : string }
   | Quarantined of { id : string; attempts : int; output : string }
+  | Shed of { id : string; reason : string; output : string }
+  | Draining
+  | Drained of { completed : int; shed : int }
 
 type t
 (** An open journal handle (append mode). *)
@@ -59,6 +74,7 @@ type replayed =
       output : string;
     }
   | RQuarantined of { attempts : int; output : string }
+  | RShed of { reason : string; output : string }
 
 type state = {
   mutable spec : string option;  (** from the [queued] record *)

@@ -1,6 +1,6 @@
 (** Crash-contained job supervisor. See the interface for the recovery
-    policy; this file is the single-threaded select loop that enforces
-    it. *)
+    and overload policies; this file is the single-threaded select loop
+    that enforces them. *)
 
 type config = {
   workers : int;
@@ -10,6 +10,10 @@ type config = {
   faults : Faults.plan;
   journal_path : string option;
   resume : bool;
+  admission : Admission.config;
+  worker_max_rss_mb : int option;
+  drain_grace_s : float;
+  shutdown_grace_s : float;
 }
 
 let default_config =
@@ -21,6 +25,10 @@ let default_config =
     faults = Faults.none;
     journal_path = None;
     resume = false;
+    admission = Admission.default;
+    worker_max_rss_mb = None;
+    drain_grace_s = 5.0;
+    shutdown_grace_s = 2.0;
   }
 
 type outcome =
@@ -32,17 +40,26 @@ type outcome =
       output : string;
     }
   | Quarantined of { attempts : int; reason : string; output : string }
+  | Shed of { reason : string; output : string }
 
 type jobrec = {
   job : Job.t;
   mutable attempts : int;  (** failed attempts so far *)
   mutable outcome : outcome option;
   mutable ready_at : float;  (** earliest dispatch time (backoff) *)
+  submitted_at : float;
+  deadline : float option;  (** absolute request deadline *)
 }
 
 type wstate =
   | Idle
-  | Busy of { jr : jobrec; attempt : int; rung : int; deadline : float }
+  | Busy of {
+      jr : jobrec;
+      attempt : int;
+      rung : int;
+      deadline : float;  (** kill time: job timeout ∩ request deadline *)
+      req_deadline : float option;
+    }
 
 type whandle = {
   mutable pid : int;
@@ -62,7 +79,12 @@ type t = {
   journal : Journal.t option;
   replayed : (string, Journal.state) Hashtbl.t;
   breaker : (string, unit) Hashtbl.t;  (** tripped input specs *)
+  adm : Admission.t;
   mutable pool : whandle array;
+  mutable drain_requested : bool;
+      (** set (possibly from a signal handler) — picked up by [step] *)
+  mutable draining : bool;
+  mutable drain_deadline : float;
   mutable shut : bool;
 }
 
@@ -95,15 +117,52 @@ let create (cfg : config) : t =
     journal;
     replayed;
     breaker = Hashtbl.create 8;
+    adm = Admission.create cfg.admission;
     pool = [||];
+    drain_requested = false;
+    draining = false;
+    drain_deadline = infinity;
     shut = false;
   }
+
+let record_latency (t : t) (jr : jobrec) : unit =
+  t.fleet.Core.Metrics.latencies_ms <-
+    ((now () -. jr.submitted_at) *. 1000.)
+    :: t.fleet.Core.Metrics.latencies_ms
+
+(* A shed is a first-class outcome, never a silent drop: the client sees
+   a distinct JSON line, the journal records it, a resumed run replays
+   it byte-for-byte. The reason strings are deterministic (no times, no
+   sampled values) for exactly that reason. *)
+let shed (t : t) (jr : jobrec) ~reason : unit =
+  let output =
+    Printf.sprintf "{\"id\":%s,\"spec\":%s,\"status\":\"shed\",\"reason\":%s}"
+      (Core.Report.quote jr.job.Job.id)
+      (Core.Report.quote jr.job.Job.spec)
+      (Core.Report.quote reason)
+  in
+  jr.outcome <- Some (Shed { reason; output });
+  t.fleet.Core.Metrics.shed <- t.fleet.Core.Metrics.shed + 1;
+  if String.length reason >= 9 && String.sub reason 0 9 = "deadline:" then
+    t.fleet.Core.Metrics.deadline_expired <-
+      t.fleet.Core.Metrics.deadline_expired + 1;
+  record_latency t jr;
+  jwrite t (Journal.Shed { id = jr.job.Job.id; reason; output })
 
 let submit (t : t) (job : Job.t) : unit =
   (match Job.validate job with Ok () -> () | Error e -> failwith e);
   if Hashtbl.mem t.jobs job.Job.id then
     failwith (Printf.sprintf "duplicate job id %s" job.Job.id);
-  let jr = { job; attempts = 0; outcome = None; ready_at = 0.0 } in
+  let submitted_at = now () in
+  let deadline =
+    Option.map
+      (fun ms -> submitted_at +. (float_of_int ms /. 1000.))
+      job.Job.deadline_ms
+  in
+  let jr =
+    { job; attempts = 0; outcome = None; ready_at = 0.0; submitted_at;
+      deadline }
+  in
   Hashtbl.add t.jobs job.Job.id jr;
   t.order <- jr :: t.order;
   t.fleet.Core.Metrics.jobs <- t.fleet.Core.Metrics.jobs + 1;
@@ -134,12 +193,28 @@ let submit (t : t) (job : Job.t) : unit =
                  { attempts; reason = "quarantined (replayed)"; output });
           t.fleet.Core.Metrics.replayed <- t.fleet.Core.Metrics.replayed + 1;
           Hashtbl.replace t.breaker job.Job.spec ()
+      | Some (Journal.RShed { reason; output }) ->
+          jr.outcome <- Some (Shed { reason; output });
+          t.fleet.Core.Metrics.replayed <- t.fleet.Core.Metrics.replayed + 1
       | None -> ())
   | None -> ());
   if jr.outcome = None then begin
-    if replay = None then
-      jwrite t (Journal.Queued { id = job.Job.id; spec = job.Job.spec });
-    t.pending <- t.pending @ [ jr ]
+    if t.draining || t.drain_requested then
+      shed t jr ~reason:"drain: shutting down; request refused"
+    else if
+      not (Admission.admit t.adm ~depth:(List.length t.pending))
+    then
+      shed t jr
+        ~reason:
+          (Printf.sprintf "admission: pending queue full (max %d)"
+             (Option.value t.cfg.admission.Admission.max_pending ~default:0))
+    else begin
+      if replay = None then
+        jwrite t (Journal.Queued { id = job.Job.id; spec = job.Job.spec });
+      t.pending <- t.pending @ [ jr ];
+      t.fleet.Core.Metrics.queue_peak <-
+        max t.fleet.Core.Metrics.queue_peak (List.length t.pending)
+    end
   end
 
 (* ------------------------------------------------------------------ *)
@@ -184,14 +259,19 @@ let reap (w : whandle) : Unix.process_status =
   w.alive <- false;
   try snd (Unix.waitpid [] w.pid) with Unix.Unix_error _ -> Unix.WEXITED 0
 
+(* During a drain no new work will be dispatched, so a dead slot stays
+   dead instead of forking a replacement that would only be EOF'd. *)
 let respawn (t : t) (w : whandle) : unit =
-  let fresh = spawn_worker t.cfg in
-  w.pid <- fresh.pid;
-  w.req_w <- fresh.req_w;
-  w.resp_r <- fresh.resp_r;
-  w.buf <- "";
-  w.state <- Idle;
-  w.alive <- true
+  if t.draining then w.state <- Idle
+  else begin
+    let fresh = spawn_worker t.cfg in
+    w.pid <- fresh.pid;
+    w.req_w <- fresh.req_w;
+    w.resp_r <- fresh.resp_r;
+    w.buf <- "";
+    w.state <- Idle;
+    w.alive <- true
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Retry / quarantine policy                                           *)
@@ -219,6 +299,7 @@ let quarantine (t : t) (jr : jobrec) ~reason : unit =
   jr.outcome <- Some (Quarantined { attempts = jr.attempts; reason; output });
   t.fleet.Core.Metrics.quarantined <- t.fleet.Core.Metrics.quarantined + 1;
   Hashtbl.replace t.breaker jr.job.Job.spec ();
+  record_latency t jr;
   jwrite t
     (Journal.Quarantined
        { id = jr.job.Job.id; attempts = jr.attempts; output })
@@ -227,6 +308,9 @@ let fail (t : t) (jr : jobrec) ~attempt ~reason : unit =
   jwrite t (Journal.Failed { id = jr.job.Job.id; attempt; reason });
   jr.attempts <- max jr.attempts attempt;
   if jr.attempts >= t.cfg.max_attempts then quarantine t jr ~reason
+  else if t.draining then
+    (* no retries once draining: the job gets a terminal answer now *)
+    shed t jr ~reason:"drain: shutting down; retry refused"
   else begin
     t.fleet.Core.Metrics.retries <- t.fleet.Core.Metrics.retries + 1;
     jr.ready_at <-
@@ -241,7 +325,8 @@ let complete (t : t) (jr : jobrec) ~attempt ~rung ~degraded ~diag_errors
        { id = jr.job.Job.id; attempt; rung; degraded; diag_errors; output });
   jr.outcome <- Some (Done { attempt; rung; degraded; diag_errors; output });
   t.fleet.Core.Metrics.completed <- t.fleet.Core.Metrics.completed + 1;
-  t.fleet.Core.Metrics.max_rung <- max t.fleet.Core.Metrics.max_rung rung
+  t.fleet.Core.Metrics.max_rung <- max t.fleet.Core.Metrics.max_rung rung;
+  record_latency t jr
 
 (* ------------------------------------------------------------------ *)
 (* Worker lifecycle events                                             *)
@@ -277,6 +362,18 @@ let worker_hung (t : t) (w : whandle) : unit =
           (Printf.sprintf
              "hang: no result within the %gs job timeout; worker killed"
              t.cfg.job_timeout_s));
+  respawn t w
+
+(* The worker blew the *request* deadline, not the job timeout: the
+   answer is unwanted however it would have turned out, so the job is
+   shed (terminal), not retried. *)
+let worker_past_deadline (t : t) (w : whandle) : unit =
+  (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
+  ignore (reap w);
+  (match w.state with
+  | Idle -> ()
+  | Busy { jr; _ } ->
+      shed t jr ~reason:"deadline: expired while running; worker killed");
   respawn t w
 
 let handle_response (t : t) (w : whandle) (line : string) : unit =
@@ -342,6 +439,21 @@ let breaker_sweep (t : t) : unit =
              jr.job.Job.spec))
     skip
 
+(* A queued job whose request deadline has passed is shed without ever
+   forking a worker: the client stopped waiting, running it is waste. *)
+let deadline_sweep (t : t) : unit =
+  let time = now () in
+  let expired, keep =
+    List.partition
+      (fun jr ->
+        match jr.deadline with Some d -> d <= time | None -> false)
+      t.pending
+  in
+  t.pending <- keep;
+  List.iter
+    (fun jr -> shed t jr ~reason:"deadline: expired while queued")
+    expired
+
 let pop_ready (t : t) : jobrec option =
   let time = now () in
   let rec go acc = function
@@ -355,12 +467,39 @@ let pop_ready (t : t) : jobrec option =
 
 let dispatch (t : t) (w : whandle) (jr : jobrec) : unit =
   let attempt = jr.attempts + 1 in
-  let rung = Job.rung_of_attempt attempt in
+  (* the dispatch rung is the worse of the retry ladder and the brownout
+     ladder: a browned-out fleet starts even first attempts degraded *)
+  let rung = max (Job.rung_of_attempt attempt) (Admission.rung t.adm) in
+  let time = now () in
+  (* intersect the remaining request deadline into the wire budget so
+     the worker itself gives up (cleanly, with a degraded answer or a
+     budget error) rather than relying on the SIGKILL backstop *)
+  let job =
+    match jr.deadline with
+    | None -> jr.job
+    | Some d ->
+        let remaining = max 0.001 (d -. time) in
+        let timeout_s =
+          match jr.job.Job.budget.Core.Budget.timeout_s with
+          | None -> Some remaining
+          | Some s -> Some (min s remaining)
+        in
+        { jr.job with
+          Job.budget = { jr.job.Job.budget with Core.Budget.timeout_s } }
+  in
   jwrite t (Journal.Running { id = jr.job.Job.id; attempt; rung });
-  match write_all w.req_w (Job.to_wire jr.job ~attempt ~rung ^ "\n") with
+  match write_all w.req_w (Job.to_wire job ~attempt ~rung ^ "\n") with
   | () ->
+      (* the kill deadline is the job timeout or, if sooner, the request
+         deadline plus one supervisor tick of grace for the in-worker
+         timeout to fire first *)
+      let deadline =
+        match jr.deadline with
+        | None -> time +. t.cfg.job_timeout_s
+        | Some d -> min (time +. t.cfg.job_timeout_s) (d +. 0.25)
+      in
       w.state <-
-        Busy { jr; attempt; rung; deadline = now () +. t.cfg.job_timeout_s }
+        Busy { jr; attempt; rung; deadline; req_deadline = jr.deadline }
   | exception Unix.Unix_error _ ->
       (* the idle worker died before the request landed: not this job's
          fault — respawn and put the job back at the front *)
@@ -369,6 +508,7 @@ let dispatch (t : t) (w : whandle) (jr : jobrec) : unit =
 
 let rec dispatch_all (t : t) : unit =
   breaker_sweep t;
+  deadline_sweep t;
   if t.pending <> [] then
     match Array.find_opt (fun w -> w.alive && w.state = Idle) t.pool with
     | None -> ()
@@ -384,16 +524,28 @@ let busy_count (t : t) : int =
     (fun n w -> match w.state with Busy _ -> n + 1 | Idle -> n)
     0 t.pool
 
+let inflight = busy_count
+
 let next_timeout (t : t) : float =
   let time = now () in
   let cand = ref 0.25 in
+  (* the RSS watchdog has no event to wake on — it polls, so bound the
+     tick: a worker can overshoot the cap by at most one interval *)
+  if t.cfg.worker_max_rss_mb <> None then cand := min !cand 0.1;
+  if t.draining then cand := min !cand (t.drain_deadline -. time);
   Array.iter
     (fun w ->
       match w.state with
       | Busy { deadline; _ } -> cand := min !cand (deadline -. time)
       | Idle -> ())
     t.pool;
-  List.iter (fun jr -> cand := min !cand (jr.ready_at -. time)) t.pending;
+  List.iter
+    (fun jr ->
+      cand := min !cand (jr.ready_at -. time);
+      match jr.deadline with
+      | Some d -> cand := min !cand (d -. time)
+      | None -> ())
+    t.pending;
   max 0.005 !cand
 
 let check_deadlines (t : t) : unit =
@@ -401,29 +553,155 @@ let check_deadlines (t : t) : unit =
   Array.iter
     (fun w ->
       match w.state with
-      | Busy { deadline; _ } when time > deadline -> worker_hung t w
+      | Busy { deadline; req_deadline; _ } when time > deadline -> (
+          match req_deadline with
+          | Some d when time >= d -> worker_past_deadline t w
+          | _ -> worker_hung t w)
       | _ -> ())
     t.pool
 
-let drain (t : t) : unit =
-  if t.pending <> [] then ensure_pool t;
-  let rec loop () =
-    dispatch_all t;
-    if t.pending = [] && busy_count t = 0 then ()
-    else begin
-      let fds =
-        Array.to_list t.pool
-        |> List.filter_map (fun w -> if w.alive then Some w.resp_r else None)
-      in
-      (match Unix.select fds [] [] (next_timeout t) with
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+(* ------------------------------------------------------------------ *)
+(* Memory watchdog                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let page_size = 4096
+
+let rss_bytes (pid : int) : int option =
+  (* /proc/<pid>/statm field 2 = resident pages *)
+  match open_in (Printf.sprintf "/proc/%d/statm" pid) with
+  | exception Sys_error _ -> None
+  | ic -> (
+      let line = try input_line ic with End_of_file -> "" in
+      close_in ic;
+      match String.split_on_char ' ' line with
+      | _ :: resident :: _ ->
+          Option.map (fun p -> p * page_size) (int_of_string_opt resident)
+      | _ -> None)
+
+let rss_sweep (t : t) : unit =
+  match t.cfg.worker_max_rss_mb with
+  | None -> ()
+  | Some cap_mb ->
+      let cap = cap_mb * 1024 * 1024 in
+      Array.iter
+        (fun w ->
+          if w.alive then
+            match rss_bytes w.pid with
+            | Some rss when rss > cap ->
+                (try Unix.kill w.pid Sys.sigkill
+                 with Unix.Unix_error _ -> ());
+                ignore (reap w);
+                t.fleet.Core.Metrics.rss_kills <-
+                  t.fleet.Core.Metrics.rss_kills + 1;
+                (match w.state with
+                | Idle -> ()
+                | Busy { jr; attempt; _ } ->
+                    (* the reason carries the cap, not the sampled RSS:
+                       outputs must stay deterministic for resume *)
+                    fail t jr ~attempt
+                      ~reason:
+                        (Printf.sprintf
+                           "rss: worker exceeded the %d MB cap; killed"
+                           cap_mb));
+                respawn t w
+            | _ -> ())
+        t.pool
+
+(* ------------------------------------------------------------------ *)
+(* Drain / one loop iteration                                          *)
+(* ------------------------------------------------------------------ *)
+
+let request_drain (t : t) : unit = t.drain_requested <- true
+
+let draining (t : t) : bool = t.draining || t.drain_requested
+
+let apply_drain_request (t : t) : unit =
+  if t.drain_requested then begin
+    t.drain_requested <- false;
+    if not t.draining then begin
+      t.draining <- true;
+      t.drain_deadline <- now () +. t.cfg.drain_grace_s;
+      jwrite t Journal.Draining;
+      (* everything still queued is refused now — only in-flight work
+         may finish, and only until the drain deadline *)
+      let pend = t.pending in
+      t.pending <- [];
+      List.iter
+        (fun jr -> shed t jr ~reason:"drain: shutting down; request refused")
+        pend
+    end
+  end
+
+let check_drain_deadline (t : t) : unit =
+  if t.draining && now () > t.drain_deadline then
+    Array.iter
+      (fun w ->
+        match w.state with
+        | Busy { jr; _ } ->
+            (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
+            ignore (reap w);
+            t.fleet.Core.Metrics.drain_incomplete <-
+              t.fleet.Core.Metrics.drain_incomplete + 1;
+            shed t jr ~reason:"drain: deadline reached before completion";
+            w.state <- Idle
+        | Idle -> ())
+      t.pool
+
+let brownout_tick (t : t) : unit =
+  let depth = List.length t.pending in
+  t.fleet.Core.Metrics.queue_depth <- depth;
+  match Admission.tick t.adm ~depth with
+  | `Escalated r ->
+      t.fleet.Core.Metrics.brownout_escalations <-
+        t.fleet.Core.Metrics.brownout_escalations + 1;
+      t.fleet.Core.Metrics.brownout_rung <- r;
+      t.fleet.Core.Metrics.brownout_max_rung <-
+        max t.fleet.Core.Metrics.brownout_max_rung r
+  | `Stepped_down r -> t.fleet.Core.Metrics.brownout_rung <- r
+  | `Steady -> ()
+
+(* One iteration of the supervisor loop: apply a pending drain request,
+   shed what must be shed, dispatch what can run, sleep in select until
+   a worker (or caller-supplied) fd is readable or a timer is due, then
+   handle expiries. Returns the readable [extra] fds so a caller (the
+   serve loop) can multiplex its own input with the fleet's. *)
+let step ?(extra = []) (t : t) : Unix.file_descr list =
+  apply_drain_request t;
+  if t.pending <> [] && not t.draining then ensure_pool t;
+  dispatch_all t;
+  let fds =
+    (Array.to_list t.pool
+    |> List.filter_map (fun w -> if w.alive then Some w.resp_r else None))
+    @ extra
+  in
+  let readable =
+    if fds = [] then begin
+      (* nothing to wait on (pre-pool or post-drain): still honor the
+         tick so timers advance *)
+      Unix.sleepf (min 0.05 (next_timeout t));
+      []
+    end
+    else
+      match Unix.select fds [] [] (next_timeout t) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
       | readable, _, _ ->
           Array.iter
             (fun w ->
               if w.alive && List.mem w.resp_r readable then
                 handle_readable t w)
-            t.pool);
-      check_deadlines t;
+            t.pool;
+          readable
+  in
+  check_deadlines t;
+  rss_sweep t;
+  check_drain_deadline t;
+  brownout_tick t;
+  List.filter (fun fd -> List.mem fd readable) extra
+
+let drain (t : t) : unit =
+  let rec loop () =
+    if t.pending <> [] || busy_count t > 0 || t.drain_requested then begin
+      ignore (step t);
       loop ()
     end
   in
@@ -436,37 +714,66 @@ let drain (t : t) : unit =
 let shutdown (t : t) : unit =
   if not t.shut then begin
     t.shut <- true;
+    if t.draining then
+      jwrite t
+        (Journal.Drained
+           {
+             completed = t.fleet.Core.Metrics.completed;
+             shed = t.fleet.Core.Metrics.shed;
+           });
     (* EOF on the request pipe is the workers' signal to exit *)
     Array.iter
       (fun w ->
         if w.alive then
           try Unix.close w.req_w with Unix.Unix_error _ -> ())
       t.pool;
-    Array.iter
-      (fun w ->
-        if w.alive then begin
-          let deadline = now () +. 2.0 in
-          let rec wait () =
-            match Unix.waitpid [ Unix.WNOHANG ] w.pid with
-            | 0, _ ->
-                if now () > deadline then begin
-                  (try Unix.kill w.pid Sys.sigkill
-                   with Unix.Unix_error _ -> ());
-                  ignore (Unix.waitpid [] w.pid)
-                end
-                else begin
-                  Unix.sleepf 0.01;
-                  wait ()
-                end
-            | _ -> ()
-          in
-          (try wait () with Unix.Unix_error _ -> ());
-          (try Unix.close w.resp_r with Unix.Unix_error _ -> ());
-          w.alive <- false
-        end)
-      t.pool;
+    (* Event-driven straggler wait: select on the response pipes — a
+       worker exiting closes its end and the fd turns readable (EOF) —
+       bounded by [shutdown_grace_s]. Anything still alive then is
+       SIGKILLed and counted as an incomplete drain, never waited on
+       with a blind sleep. *)
+    let deadline = now () +. t.cfg.shutdown_grace_s in
+    let buf = Bytes.create 4096 in
+    let rec wait () =
+      let alive =
+        Array.to_list t.pool |> List.filter (fun w -> w.alive)
+      in
+      if alive <> [] then begin
+        let remaining = deadline -. now () in
+        if remaining <= 0. then
+          List.iter
+            (fun w ->
+              (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
+              ignore (reap w);
+              t.fleet.Core.Metrics.drain_incomplete <-
+                t.fleet.Core.Metrics.drain_incomplete + 1)
+            alive
+        else begin
+          (match
+             Unix.select (List.map (fun w -> w.resp_r) alive) [] [] remaining
+           with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          | readable, _, _ ->
+              List.iter
+                (fun w ->
+                  if List.mem w.resp_r readable then
+                    match Unix.read w.resp_r buf 0 4096 with
+                    | exception Unix.Unix_error _ -> ignore (reap w)
+                    | 0 -> ignore (reap w)
+                    | _ -> ())
+                alive);
+          wait ()
+        end
+      end
+    in
+    wait ();
     Option.iter Journal.close t.journal
   end
+
+let find_outcome (t : t) (id : string) : outcome option =
+  match Hashtbl.find_opt t.jobs id with
+  | Some jr -> jr.outcome
+  | None -> None
 
 let results (t : t) : (Job.t * outcome) list =
   List.rev_map

@@ -1,5 +1,7 @@
 (** Crash-contained job supervisor: a pool of forked workers, a retry
-    ladder, a circuit breaker, and the crash-safe journal.
+    ladder, a circuit breaker, the crash-safe journal — and, on top,
+    the overload controls that keep the serving path honest when more
+    work arrives than the fleet can do.
 
     One pathological job can never take down the process or lose the
     batch:
@@ -21,9 +23,33 @@
       byte-for-byte and re-runs only unfinished ones, so [kill -9] of
       the supervisor mid-batch loses nothing.
 
+    And one traffic burst can never wedge it:
+
+    - {e admission control} ({!Admission}): a submit that finds the
+      pending queue full is {e shed} — answered immediately with a
+      distinct terminal outcome, journaled, never silently dropped;
+    - {e request deadlines}: a job carrying {!Job.deadline_ms} is shed
+      if the deadline expires while queued, gets the remaining deadline
+      intersected into its wire budget at dispatch, and is killed and
+      shed (not retried) if it is still running one supervisor tick
+      past the deadline — nobody is waiting for the answer;
+    - {e brownout ladder}: sustained queue pressure escalates the rung
+      new dispatches start at, trading precision for throughput with
+      the retry ladder's own machinery; pressure gone, it steps down;
+    - {e memory watchdog}: with [worker_max_rss_mb] set, each tick
+      samples worker RSS from [/proc/<pid>/statm] and SIGKILLs a worker
+      over the cap; the in-flight job re-enters the retry ladder (where
+      the tighter rung budgets usually save it);
+    - {e graceful drain}: {!request_drain} (signal-handler safe) sheds
+      everything queued, lets in-flight jobs finish within
+      [drain_grace_s], journals the drain markers, and guarantees every
+      submitted job still ends with exactly one outcome.
+
     The supervisor is single-threaded: it multiplexes worker response
-    pipes with [select], so results, deaths, deadlines, and backoff
-    timers are all handled from one loop. *)
+    pipes with [select], so results, deaths, deadlines, backoff timers,
+    RSS samples, and drain requests are all handled from one loop —
+    exposed one iteration at a time as {!step} so a caller (the serve
+    loop) can multiplex its own input fd with the fleet's. *)
 
 type config = {
   workers : int;  (** pool size (clamped to ≥ 1) *)
@@ -34,11 +60,23 @@ type config = {
   faults : Faults.plan;  (** injected into workers (tests/CI) *)
   journal_path : string option;
   resume : bool;  (** replay [journal_path] before running *)
+  admission : Admission.config;
+      (** queue bound + brownout watermarks; {!Admission.default} =
+          unbounded, brownout off (the pre-overload behavior) *)
+  worker_max_rss_mb : int option;
+      (** per-worker RSS cap for the memory watchdog; [None] = off *)
+  drain_grace_s : float;
+      (** how long in-flight jobs may run after {!request_drain} before
+          they are killed and shed *)
+  shutdown_grace_s : float;
+      (** how long {!shutdown} waits (in [select], not a sleep-poll) for
+          EOF'd workers to exit before SIGKILLing stragglers *)
 }
 
 val default_config : config
 (** 2 workers, 3 attempts, 30 s job timeout, 100 ms backoff base, no
-    faults, no journal. *)
+    faults, no journal, unbounded admission, no RSS cap, 5 s drain
+    grace, 2 s shutdown grace. *)
 
 type outcome =
   | Done of {
@@ -49,6 +87,11 @@ type outcome =
       output : string;  (** the job's single-line JSON output *)
     }
   | Quarantined of { attempts : int; reason : string; output : string }
+  | Shed of { reason : string; output : string }
+      (** refused without (or before) a full run: queue full, deadline
+          expired, or drain in progress. [output] is the single-line
+          JSON the client saw; [reason] is deterministic (no times, no
+          sampled values) so a resumed run replays it byte-for-byte. *)
 
 type t
 
@@ -60,14 +103,41 @@ val create : config -> t
 val submit : t -> Job.t -> unit
 (** Enqueue a job (validated; duplicate ids rejected). If the journal
     replay already holds a terminal record for this id, the job is not
-    re-run. Raises [Failure] when the replayed spec does not match. *)
+    re-run. Admission control happens here: a full pending queue, or a
+    drain in progress, sheds the job immediately ({!find_outcome} sees
+    the outcome as soon as [submit] returns). Raises [Failure] when the
+    replayed spec does not match. *)
+
+val step : ?extra:Unix.file_descr list -> t -> Unix.file_descr list
+(** One iteration of the supervisor loop: apply any drain request,
+    shed expired/refused work, dispatch, wait in [select] on worker
+    pipes plus [extra], handle responses/deaths/deadlines/RSS, advance
+    the brownout ladder. Returns the members of [extra] that were
+    readable, so a serve loop can interleave reading its own input. *)
 
 val drain : t -> unit
-(** Run until every submitted job has an outcome. *)
+(** Run {!step} until every submitted job has an outcome (in drain
+    mode: until in-flight work has finished or been cut off). *)
+
+val request_drain : t -> unit
+(** Flip the supervisor into draining (async-signal-safe: only sets a
+    flag; the next {!step} acts on it): queued and newly submitted jobs
+    are shed, in-flight jobs may finish within [drain_grace_s], the
+    journal gets [draining]/[drained] markers. Idempotent. *)
+
+val draining : t -> bool
+
+val inflight : t -> int
+(** Workers currently running a job. *)
+
+val find_outcome : t -> string -> outcome option
+(** Outcome of a submitted job id, if it has one yet. *)
 
 val shutdown : t -> unit
-(** Close worker pipes (workers exit on EOF), SIGKILL stragglers, reap
-    everything, close the journal. Idempotent. *)
+(** Close worker pipes (workers exit on EOF), wait for them in [select]
+    bounded by [shutdown_grace_s], SIGKILL and count stragglers
+    ([drain_incomplete] in the fleet metrics), reap everything, close
+    the journal. Idempotent. *)
 
 val results : t -> (Job.t * outcome) list
 (** Outcomes in submission order. Raises [Failure] if a job has none

@@ -165,6 +165,27 @@ let response_of_wire (line : string) =
 (* Main loop (runs in the forked child)                                *)
 (* ------------------------------------------------------------------ *)
 
+(* A [slowread] fault acts here rather than inside the job: the
+   response line is dribbled back in small chunks with pauses between
+   them, so the supervisor's reader sees many partial reads of one
+   logical line (total delay ≲ 200 ms). *)
+let write_response oc ~slow response =
+  let line = response ^ "\n" in
+  if not slow then output_string oc line
+  else begin
+    let n = String.length line in
+    let chunk = max 1 ((n + 15) / 16) in
+    let off = ref 0 in
+    while !off < n do
+      let len = min chunk (n - !off) in
+      output_substring oc line !off len;
+      flush oc;
+      off := !off + len;
+      Unix.sleepf 0.01
+    done
+  end;
+  flush oc
+
 let run ~req ~resp ~faults : unit =
   let ic = Unix.in_channel_of_descr req in
   let oc = Unix.out_channel_of_descr resp in
@@ -172,13 +193,18 @@ let run ~req ~resp ~faults : unit =
     match input_line ic with
     | exception End_of_file -> ()
     | line ->
-        let response =
+        let response, slow =
           match Job.of_wire line with
-          | Ok (job, attempt, rung) -> execute job ~attempt ~rung ~faults
-          | Error msg -> Printf.sprintf "?\t0\terror\t%s" (sanitize msg)
+          | Ok (job, attempt, rung) ->
+              let slow =
+                Faults.find faults ~job_id:job.Job.id ~attempt
+                = Some Faults.Slow_read
+              in
+              (execute job ~attempt ~rung ~faults, slow)
+          | Error msg ->
+              (Printf.sprintf "?\t0\terror\t%s" (sanitize msg), false)
         in
-        output_string oc (response ^ "\n");
-        flush oc;
+        write_response oc ~slow response;
         loop ()
   in
   loop ()
