@@ -521,8 +521,10 @@ type edit_row = {
   er_removed : int;
   er_retracted : int;
   er_warm : int;  (** statement visits the warm re-solve needed *)
+  er_replayed : int;  (** statements the targeted replay re-enqueued *)
   er_scratch : int;  (** statement visits a cold solve of the edit needs *)
   er_fallback : bool;
+  er_fallback_planned : bool;
   er_equal : bool;
   er_time_warm : float;
   er_time_scratch : float;
@@ -588,8 +590,10 @@ let edit_replay_rows () : edit_row list =
                 er_removed = st.Incr.Engine.stmts_removed;
                 er_retracted = st.Incr.Engine.facts_retracted;
                 er_warm = st.Incr.Engine.warm_visits;
+                er_replayed = st.Incr.Engine.stmts_replayed;
                 er_scratch = scratch.Core.Solver.rounds;
                 er_fallback = st.Incr.Engine.fallback;
+                er_fallback_planned = st.Incr.Engine.fallback_planned;
                 er_equal =
                   Core.Graph.equal !t.Core.Solver.graph
                     scratch.Core.Solver.graph;
@@ -605,40 +609,80 @@ let visit_ratio r =
   if r.er_scratch = 0 then 0.0
   else float_of_int r.er_warm /. float_of_int r.er_scratch
 
+(* A warm answer materially slower than the scratch solve it replaces
+   is the bug this suite exists to catch — but only when the engine
+   actually claims a warm win: fallback rows (planned or degraded) ARE
+   scratch solves plus bookkeeping, and sub-5ms timings are noise. *)
+let warm_slower_than_scratch r =
+  (not r.er_fallback)
+  && (not r.er_fallback_planned)
+  && r.er_time_scratch >= 0.005
+  && r.er_time_warm > 1.2 *. r.er_time_scratch
+
 let edit_replay () =
   header
     "Edit replay: incremental re-analysis of single-statement edits vs\n\
      solving the edited program from scratch (200-statement base)";
-  Printf.printf "%-18s %4s %-7s %6s %6s %10s %8s %9s %7s %6s\n" "strategy"
-    "step" "edit" "+stmts" "-stmts" "retracted" "warm" "scratch" "ratio"
-    "equal";
+  Printf.printf "%-18s %4s %-7s %6s %6s %10s %8s %8s %9s %7s %6s\n"
+    "strategy" "step" "edit" "+stmts" "-stmts" "retracted" "replayed"
+    "warm" "scratch" "ratio" "equal";
   line ();
+  let rows = edit_replay_rows () in
   List.iter
     (fun r ->
-      Printf.printf "%-18s %4d %-7s %6d %6d %10d %8d %9d %7.3f %6s%s\n"
+      Printf.printf "%-18s %4d %-7s %6d %6d %10d %8d %8d %9d %7.3f %6s%s\n"
         r.er_strategy r.er_step r.er_kind r.er_added r.er_removed
-        r.er_retracted r.er_warm r.er_scratch (visit_ratio r)
+        r.er_retracted r.er_replayed r.er_warm r.er_scratch (visit_ratio r)
         (if r.er_equal then "yes" else "NO!")
-        (if r.er_fallback then "  (fallback)" else ""))
-    (edit_replay_rows ())
+        (if r.er_fallback_planned then "  (planned fallback)"
+         else if r.er_fallback then "  (fallback)"
+         else ""))
+    rows;
+  let slow = List.filter warm_slower_than_scratch rows in
+  if slow <> [] then begin
+    List.iter
+      (fun r ->
+        Printf.eprintf
+          "edit-replay: %s step %d (%s) claims a warm win but took \
+           %.4fs vs %.4fs scratch (no fallback flag)\n"
+          r.er_strategy r.er_step r.er_kind r.er_time_warm
+          r.er_time_scratch)
+      slow;
+    exit 1
+  end
 
 (* Same sweep as JSON lines — the CI artifact (BENCH_incr.json). CI
-   gates warm_visit_ratio < 0.5 on additive rows. *)
+   gates warm_visit_ratio < 0.5 on additive AND removal/mutate rows. *)
 let edit_replay_json () =
+  let rows = edit_replay_rows () in
   List.iter
     (fun r ->
       Printf.printf
         "{\"strategy\":%s,\"step\":%d,\"edit\":%s,\"stmts_added\":%d,\
-         \"stmts_removed\":%d,\"facts_retracted\":%d,\"warm_visits\":%d,\
+         \"stmts_removed\":%d,\"facts_retracted\":%d,\"stmts_replayed\":%d,\
+         \"warm_visits\":%d,\
          \"scratch_visits\":%d,\"warm_visit_ratio\":%.4f,\"fallback\":%b,\
+         \"fallback_planned\":%b,\
          \"equal\":%b,\"time_warm_s\":%.4f,\"time_scratch_s\":%.4f}\n"
         (Core.Report.quote r.er_strategy)
         r.er_step
         (Core.Report.quote r.er_kind)
-        r.er_added r.er_removed r.er_retracted r.er_warm r.er_scratch
-        (visit_ratio r) r.er_fallback r.er_equal r.er_time_warm
-        r.er_time_scratch)
-    (edit_replay_rows ())
+        r.er_added r.er_removed r.er_retracted r.er_replayed r.er_warm
+        r.er_scratch (visit_ratio r) r.er_fallback r.er_fallback_planned
+        r.er_equal r.er_time_warm r.er_time_scratch)
+    rows;
+  let slow = List.filter warm_slower_than_scratch rows in
+  if slow <> [] then begin
+    List.iter
+      (fun r ->
+        Printf.eprintf
+          "edit-replay: %s step %d (%s) claims a warm win but took \
+           %.4fs vs %.4fs scratch (no fallback flag)\n"
+          r.er_strategy r.er_step r.er_kind r.er_time_warm
+          r.er_time_scratch)
+      slow;
+    exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Fixpoint store: edit-replay session served through the cache        *)

@@ -192,6 +192,7 @@ let print_metrics name (r : Core.Analysis.result) =
     Fmt.pr "incremental edit:     +%d/-%d statements@."
       m.Core.Metrics.incr_stmts_added m.Core.Metrics.incr_stmts_removed;
     Fmt.pr "facts retracted:      %d@." m.Core.Metrics.incr_facts_retracted;
+    Fmt.pr "statements replayed:  %d@." m.Core.Metrics.incr_stmts_replayed;
     Fmt.pr "warm visits:          %d (vs %d for the whole fixpoint)@."
       m.Core.Metrics.incr_warm_visits m.Core.Metrics.solver_visits
   end;

@@ -238,12 +238,31 @@ let unshare g : unit =
   end;
   Uf.reset g.uf
 
+(** Remove [c] from the per-object fact-bearing index, dropping the
+    object's entry when its last indexed cell goes so
+    [fold_objects]/[cell_count_of_obj] never see a stale empty object. *)
+let deindex_cell g (c : Cell.t) : unit =
+  let cid = Cell.id c in
+  match Cvar.Tbl.find_opt g.by_obj c.Cell.base with
+  | Some idx when Idset.mem idx cid ->
+      g.source_count <- g.source_count - 1;
+      (* Idset has no removal (cursors must stay valid), so rebuild
+         the small per-object index without [c]. *)
+      let remaining =
+        Idset.fold (fun i acc -> if i = cid then acc else i :: acc) idx []
+      in
+      if remaining = [] then Cvar.Tbl.remove g.by_obj c.Cell.base
+      else begin
+        let fresh = Idset.create ~cap:(List.length remaining) () in
+        List.iter (fun i -> ignore (Idset.add fresh i)) (List.rev remaining);
+        Cvar.Tbl.replace g.by_obj c.Cell.base fresh
+      end
+  | Some _ | None -> ()
+
 (** Drop a source cell and its outgoing edges (degradation: the cell's
     facts live on its collapsed representative from now on). Requires an
     unshared graph ({!unshare}) — removal from a shared class would be
-    ill-defined. The per-object index entry is dropped when its last
-    fact-bearing cell goes, so [fold_objects]/[cell_count_of_obj] never
-    see a stale empty object. *)
+    ill-defined. *)
 let remove_source g (c : Cell.t) : unit =
   let cid = Cell.id c in
   match Itbl.find_opt g.edges cid with
@@ -251,23 +270,35 @@ let remove_source g (c : Cell.t) : unit =
   | Some s ->
       g.edge_count <- g.edge_count - Idset.cardinal s;
       Itbl.remove g.edges cid;
-      (match Cvar.Tbl.find_opt g.by_obj c.Cell.base with
-      | Some idx ->
-          if Idset.mem idx cid then g.source_count <- g.source_count - 1;
-          (* Idset has no removal (cursors must stay valid), so rebuild
-             the small per-object index without [c]. *)
-          let remaining =
-            Idset.fold (fun i acc -> if i = cid then acc else i :: acc) idx []
-          in
-          if remaining = [] then Cvar.Tbl.remove g.by_obj c.Cell.base
-          else begin
-            let fresh = Idset.create ~cap:(List.length remaining) () in
-            List.iter
-              (fun i -> ignore (Idset.add fresh i))
-              (List.rev remaining);
-            Cvar.Tbl.replace g.by_obj c.Cell.base fresh
-          end
-      | None -> ())
+      deindex_cell g c
+
+(** Targeted retraction: drop every fact of [c]'s class and dissolve the
+    class, leaving all other classes — and their shared sets, which live
+    cursors may still index — untouched. This is the overdelete half of
+    delete-and-rederive: the class's unification may have been justified
+    by a subset cycle that died with the edit, so the class itself cannot
+    be trusted either; the surviving statements re-prove any cycle that
+    still holds during rederivation. Returns the member-expanded number
+    of facts removed (a class of [m] cells sharing [n] targets counts
+    [m * n]). *)
+let retract_class g (c : Cell.t) : int =
+  let rid = Uf.find g.uf (Cell.id c) in
+  let ms = members_of g rid in
+  let removed =
+    match Itbl.find_opt g.edges rid with
+    | None -> 0
+    | Some s ->
+        let n = Idset.cardinal s in
+        Itbl.remove g.edges rid;
+        List.iter (deindex_cell g) ms;
+        n * List.length ms
+  in
+  g.edge_count <- g.edge_count - removed;
+  if Itbl.mem g.members rid then begin
+    Itbl.remove g.members rid;
+    Uf.dissolve g.uf (List.map Cell.id ms)
+  end;
+  removed
 
 (* ------------------------------------------------------------------ *)
 (* Iteration (member-expanded)                                         *)

@@ -85,6 +85,9 @@ type summary = {
   incr_warm_visits : int;
       (** statement visits the warm-start resume performed — compare
           against [solver_visits] of a cold solve for the warm ratio *)
+  incr_stmts_replayed : int;
+      (** statements the targeted replay re-enqueued (the whole program
+          on fallback) — the retraction's working-set size *)
   incr_fallback_planned : int;
       (** 1 when the incremental engine's cost estimate chose a scratch
           solve over retraction (a plan, not a degradation) *)
@@ -139,6 +142,7 @@ let summarize (solver : Solver.t) : summary =
     incr_stmts_removed = solver.Solver.incr_stmts_removed;
     incr_facts_retracted = solver.Solver.incr_facts_retracted;
     incr_warm_visits = solver.Solver.incr_warm_visits;
+    incr_stmts_replayed = solver.Solver.incr_stmts_replayed;
     incr_fallback_planned = solver.Solver.incr_fallback_planned;
   }
 

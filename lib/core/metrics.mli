@@ -58,6 +58,9 @@ type summary = {
       (** facts retraction cleared from affected cells before replaying *)
   incr_warm_visits : int;
       (** statement visits the warm-start resume performed *)
+  incr_stmts_replayed : int;
+      (** statements the targeted replay re-enqueued (the whole program
+          on fallback) *)
   incr_fallback_planned : int;
       (** 1 when the incremental engine's cost estimate chose a scratch
           solve over retraction (a plan, not a degradation) *)

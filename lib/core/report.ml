@@ -85,6 +85,7 @@ let json_of_result ?(timing = true) ?(solver_stats = true) ~name
     field ",\"incr_stmts_removed\":%d" m.Metrics.incr_stmts_removed;
     field ",\"incr_facts_retracted\":%d" m.Metrics.incr_facts_retracted;
     field ",\"incr_warm_visits\":%d" m.Metrics.incr_warm_visits;
+    field ",\"incr_stmts_replayed\":%d" m.Metrics.incr_stmts_replayed;
     field ",\"incr_fallback_planned\":%d" m.Metrics.incr_fallback_planned
   end;
   field ",\"unknown_externs\":[%s]"

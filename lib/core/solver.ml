@@ -172,12 +172,21 @@ type t = {
   copy_stmt_mem : (int * int * int, unit) Hashtbl.t;
   copy_support : (int * int, int ref) Hashtbl.t;
       (** copy edge → number of distinct statements installing it *)
+  stmt_externs : string list ref Itbl.t;
+      (** stmt id → unknown extern names the statement called,
+          deduplicated per statement — so retraction can drop exactly
+          the externs whose last calling statement went away *)
+  extern_support : (string, int ref) Hashtbl.t;
+      (** extern name → number of distinct statements calling it *)
   mutable incr_stmts_added : int;  (** statements added by the last edit *)
   mutable incr_stmts_removed : int;
   mutable incr_facts_retracted : int;
       (** facts cleared from affected cells before the replay *)
   mutable incr_warm_visits : int;
       (** statement visits the warm-start resume performed *)
+  mutable incr_stmts_replayed : int;
+      (** statements the targeted replay re-enqueued (the whole program
+          under a fallback scratch solve) *)
   mutable incr_fallback_planned : int;
       (** 1 when the incremental engine chose a scratch solve because
           its cost estimate said retraction could not win *)
@@ -295,10 +304,13 @@ let create ?(layout = Layout.default) ?(arith = `Spread)
     stmt_copies = Itbl.create (if track then 256 else 1);
     copy_stmt_mem = Hashtbl.create (if track then 512 else 1);
     copy_support = Hashtbl.create (if track then 512 else 1);
+    stmt_externs = Itbl.create (if track then 16 else 1);
+    extern_support = Hashtbl.create (if track then 16 else 1);
     incr_stmts_added = 0;
     incr_stmts_removed = 0;
     incr_facts_retracted = 0;
     incr_warm_visits = 0;
+    incr_stmts_replayed = 0;
     incr_fallback_planned = 0;
   }
 
@@ -447,6 +459,51 @@ let record_copy t (sid : int) (did : int) =
     support_incr t.copy_support (sid, did)
   end
 
+(** The statement being processed called extern [fname], for which no
+    body and no summary exists. The name joins the global list once;
+    with tracking on, it is also attributed to the statement so targeted
+    retraction can drop externs whose last caller went away. *)
+let record_extern t (fname : string) =
+  if not (List.mem fname t.unknown_externs) then
+    t.unknown_externs <- fname :: t.unknown_externs;
+  if t.track && t.cur_stmt >= 0 then begin
+    let l =
+      match Itbl.find_opt t.stmt_externs t.cur_stmt with
+      | Some l -> l
+      | None ->
+          let l = ref [] in
+          Itbl.replace t.stmt_externs t.cur_stmt l;
+          l
+    in
+    if not (List.mem fname !l) then begin
+      l := fname :: !l;
+      match Hashtbl.find_opt t.extern_support fname with
+      | Some r -> incr r
+      | None -> Hashtbl.replace t.extern_support fname (ref 1)
+    end
+  end
+
+(** Drop a statement's extern attribution; an extern whose support hits
+    zero leaves the global list (its last calling statement is gone, or
+    about to be replayed and re-record it). *)
+let purge_stmt_externs t (sid : int) =
+  match Itbl.find_opt t.stmt_externs sid with
+  | None -> ()
+  | Some l ->
+      List.iter
+        (fun fname ->
+          match Hashtbl.find_opt t.extern_support fname with
+          | Some r ->
+              decr r;
+              if !r <= 0 then begin
+                Hashtbl.remove t.extern_support fname;
+                t.unknown_externs <-
+                  List.filter (fun n -> n <> fname) t.unknown_externs
+              end
+          | None -> ())
+        !l;
+      Itbl.remove t.stmt_externs sid
+
 (** Drop all attribution state (it names cells and statements of the
     solved program and is rebuilt by the replay). *)
 let reset_tracking t =
@@ -456,7 +513,9 @@ let reset_tracking t =
     Hashtbl.reset t.edge_support;
     Itbl.reset t.stmt_copies;
     Hashtbl.reset t.copy_stmt_mem;
-    Hashtbl.reset t.copy_support
+    Hashtbl.reset t.copy_support;
+    Itbl.reset t.stmt_externs;
+    Hashtbl.reset t.extern_support
   end
 
 (** Collapse invalidates cursors and copy edges (they reference
@@ -484,6 +543,198 @@ let reset_deltas t =
     Graph.unshare t.graph
   end;
   reset_tracking t
+
+(* ------------------------------------------------------------------ *)
+(* Targeted retraction (delete-and-rederive)                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Selective counterpart of {!reset_deltas} — the overdelete half of
+    the incremental engine's delete-and-rederive. Clears exactly the
+    [affected] cells' facts and the solver state that names them, while
+    keeping cursors, copy edges, and attribution for everything else:
+    surviving consumers keep their consumed-prefix positions, so the
+    rederive replay only pays for facts that actually moved.
+
+    [affected] must be class-closed (every member of a marked class
+    present). Affected classes are dissolved — the subset cycle that
+    justified a unification may have died with the edit, and the replay
+    re-proves any cycle that still holds. [removed] statements are
+    physically purged from every subscriber, cursor, and attribution
+    table (a later alignment may re-mint their ids). [invalidated]
+    statements survive the edit but read an affected cell, so their old
+    derivations cannot be trusted: their attribution is purged too, and
+    the caller must replay them (re-derivation re-records it exactly).
+
+    Copy support is counted per install-time (src, dst) class-id pair,
+    and after unifications several pairs can alias one physical edge, so
+    a physical edge whose pair's support hits zero is only removed when
+    the aggregate support of every pair canonicalizing onto it is gone.
+    Copy edges whose source or destination class is affected are dropped
+    wholesale — once the class dissolves, an edge keyed by the old
+    representative would deliver facts to the wrong cell — and the
+    caller replays their installers to re-install them over the
+    dissolved cells.
+
+    Returns the member-expanded number of facts retracted. Requires a
+    quiescent solver (both worklists drained). *)
+let retract_cells t ~(affected : (int, unit) Hashtbl.t)
+    ~(removed : (int, unit) Hashtbl.t)
+    ~(invalidated : (int, unit) Hashtbl.t) : int =
+  let aff cid = Hashtbl.mem affected cid in
+  let gone sid = Hashtbl.mem removed sid in
+  (* attribution purge for removed and invalidated statements; collect
+     copy pairs whose support ran out *)
+  let dead_copies = ref [] in
+  let drop_copy_pair sid ((cs, cd) as e) =
+    Hashtbl.remove t.copy_stmt_mem (sid, cs, cd);
+    match Hashtbl.find_opt t.copy_support e with
+    | Some r ->
+        decr r;
+        if !r <= 0 then begin
+          Hashtbl.remove t.copy_support e;
+          dead_copies := e :: !dead_copies
+        end
+    | None -> ()
+  in
+  let purge_stmt_attr sid =
+    (match Itbl.find_opt t.stmt_edges sid with
+    | Some l ->
+        List.iter
+          (fun ((c, w) as e) ->
+            Hashtbl.remove t.edge_stmt_mem (sid, c, w);
+            match Hashtbl.find_opt t.edge_support e with
+            | Some r ->
+                decr r;
+                if !r <= 0 then Hashtbl.remove t.edge_support e
+            | None -> ())
+          !l;
+        Itbl.remove t.stmt_edges sid
+    | None -> ());
+    (match Itbl.find_opt t.stmt_copies sid with
+    | Some l ->
+        List.iter (drop_copy_pair sid) !l;
+        Itbl.remove t.stmt_copies sid
+    | None -> ());
+    purge_stmt_externs t sid
+  in
+  Hashtbl.iter (fun sid () -> purge_stmt_attr sid) removed;
+  Hashtbl.iter
+    (fun sid () -> if not (gone sid) then purge_stmt_attr sid)
+    invalidated;
+  (* surviving statements' copy pairs that touch an affected class: the
+     physical edges are dropped below and the installers replayed, so
+     stale pairs must not keep support alive *)
+  Itbl.iter
+    (fun sid l ->
+      if
+        (not (gone sid || Hashtbl.mem invalidated sid))
+        && List.exists (fun (cs, cd) -> aff cs || aff cd) !l
+      then begin
+        let keep, drop =
+          List.partition (fun (cs, cd) -> not (aff cs || aff cd)) !l
+        in
+        List.iter (drop_copy_pair sid) drop;
+        l := keep
+      end)
+    t.stmt_copies;
+  (* physical copy edges touching an affected class, dropped wholesale *)
+  let drop_lists = ref [] in
+  Itbl.iter
+    (fun rs lst ->
+      if aff rs then drop_lists := rs :: !drop_lists
+      else if List.exists (fun (did, _) -> aff did) !lst then
+        lst := List.filter (fun (did, _) -> not (aff did)) !lst)
+    t.copy_out;
+  List.iter (fun rs -> Itbl.remove t.copy_out rs) !drop_lists;
+  let mem_drop = ref [] in
+  Hashtbl.iter
+    (fun ((x, d) as k) () -> if aff x || aff d then mem_drop := k :: !mem_drop)
+    t.copy_mem;
+  List.iter (Hashtbl.remove t.copy_mem) !mem_drop;
+  (* dead physical copy edges away from the affected region: removable
+     only when no surviving install-time pair aliases them *)
+  List.iter
+    (fun (cs, cd) ->
+      if not (aff cs || aff cd) then begin
+        let rs = canon_id t cs in
+        let alive =
+          Hashtbl.fold
+            (fun (cs', cd') _ acc -> acc || (cd' = cd && canon_id t cs' = rs))
+            t.copy_support false
+        in
+        if not alive then begin
+          (match Itbl.find_opt t.copy_out rs with
+          | Some lst -> lst := List.filter (fun (did, _) -> did <> cd) !lst
+          | None -> ());
+          let stale = ref [] in
+          Hashtbl.iter
+            (fun ((x, d) as k) () ->
+              if d = cd && canon_id t x = rs then stale := k :: !stale)
+            t.copy_mem;
+          List.iter (Hashtbl.remove t.copy_mem) !stale
+        end
+      end)
+    !dead_copies;
+  (* statement-keyed delta state: removed statements are physically
+     purged (their ids may be re-minted); invalidated ones lose their
+     cursors (replay re-reads from scratch) but keep their object
+     subscriptions, which stay valid *)
+  Hashtbl.iter
+    (fun sid () ->
+      Itbl.remove t.cursors sid;
+      Itbl.remove t.dirty sid;
+      Itbl.remove t.stmt_subs sid)
+    removed;
+  Hashtbl.iter
+    (fun sid () -> if not (gone sid) then Itbl.remove t.cursors sid)
+    invalidated;
+  (* cursor subscriptions into an affected class die with it: the class
+     dissolves, so facts re-derived onto its former members land under
+     new representative keys this list would never be consulted for.
+     Every stmt in such a list was woken by the closure (pointer_subs is
+     its wake channel), so each re-subscribes — under the fresh key — at
+     its replay visit. The dedup keys must go too, or the stale entry
+     silently swallows that re-subscription. *)
+  let psub_drop = ref [] in
+  Itbl.iter
+    (fun rid lst ->
+      if aff rid then psub_drop := rid :: !psub_drop
+      else if List.exists (fun (s : Nast.stmt) -> gone s.Nast.id) !lst then
+        lst := List.filter (fun (s : Nast.stmt) -> not (gone s.Nast.id)) !lst)
+    t.pointer_subs;
+  List.iter (Itbl.remove t.pointer_subs) !psub_drop;
+  let subbed_drop = ref [] in
+  Hashtbl.iter
+    (fun ((sid, rid) as k) () ->
+      if gone sid || aff rid then subbed_drop := k :: !subbed_drop)
+    t.cell_subbed;
+  List.iter (Hashtbl.remove t.cell_subbed) !subbed_drop;
+  Cvar.Tbl.iter
+    (fun _ lst ->
+      if List.exists (fun (s : Nast.stmt) -> gone s.Nast.id) !lst then
+        lst := List.filter (fun (s : Nast.stmt) -> not (gone s.Nast.id)) !lst)
+    t.subscribers;
+  (* forget cycle searches naming affected classes — the re-derived
+     configuration deserves a fresh look *)
+  let lcd_drop = ref [] in
+  Hashtbl.iter
+    (fun ((a, b) as k) () -> if aff a || aff b then lcd_drop := k :: !lcd_drop)
+    t.lcd_done;
+  List.iter (Hashtbl.remove t.lcd_done) !lcd_drop;
+  (* finally clear the affected classes' facts and dissolve them; the
+     canonical representatives must be computed before any dissolution *)
+  let reps = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun cid () ->
+      let r = canon_id t cid in
+      if not (Hashtbl.mem reps r) then Hashtbl.replace reps r ())
+    affected;
+  let rep_list =
+    List.sort compare (Hashtbl.fold (fun r () acc -> r :: acc) reps [])
+  in
+  List.fold_left
+    (fun acc rid -> acc + Graph.retract_class t.graph (Cell.of_id rid))
+    0 rep_list
 
 (* ------------------------------------------------------------------ *)
 (* Degradation                                                         *)
@@ -1002,9 +1253,7 @@ let process t (stmt : Nast.stmt) =
                             | _ -> ())
                     | None -> ()))
               effects
-        | None ->
-            if not (List.mem fname t.unknown_externs) then
-              t.unknown_externs <- fname :: t.unknown_externs)
+        | None -> record_extern t fname)
   in
   match stmt.Nast.kind with
   | Nast.Addr (s, obj, beta) ->

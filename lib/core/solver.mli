@@ -130,12 +130,20 @@ type t = {
   copy_stmt_mem : (int * int * int, unit) Hashtbl.t;
   copy_support : (int * int, int ref) Hashtbl.t;
       (** copy edge → number of distinct statements installing it *)
+  stmt_externs : string list ref Itbl.t;
+      (** stmt id → unknown extern names the statement called, so
+          retraction drops exactly the externs whose last caller died *)
+  extern_support : (string, int ref) Hashtbl.t;
+      (** extern name → number of distinct statements calling it *)
   mutable incr_stmts_added : int;  (** statements added by the last edit *)
   mutable incr_stmts_removed : int;
   mutable incr_facts_retracted : int;
       (** facts cleared from affected cells before the replay *)
   mutable incr_warm_visits : int;
       (** statement visits the warm-start resume performed *)
+  mutable incr_stmts_replayed : int;
+      (** statements the targeted replay re-enqueued (the whole program
+          under a fallback scratch solve) *)
   mutable incr_fallback_planned : int;
       (** 1 when the incremental engine chose a scratch solve because
           its cost estimate said retraction could not win *)
@@ -186,7 +194,33 @@ val set_program : t -> Nast.program -> unit
 val reset_deltas : t -> unit
 (** Discard all delta-engine state (cursors, copy edges, worklists,
     union-find sharing) and attribution tables. Used on degradation
-    collapses and before an incremental retraction replay. *)
+    collapses, where cells themselves change meaning. *)
+
+val mark_dirty : t -> Nast.stmt -> unit
+(** Reset the statement's cursors at its next visit, so it re-reads the
+    full sets it consumes — the incremental engine marks every replayed
+    statement dirty, because retraction may have cleared cells whose
+    logs its cursors indexed. *)
+
+val retract_cells :
+  t ->
+  affected:(int, unit) Hashtbl.t ->
+  removed:(int, unit) Hashtbl.t ->
+  invalidated:(int, unit) Hashtbl.t ->
+  int
+(** Targeted overdelete (delete-and-rederive, the selective counterpart
+    of {!reset_deltas}): clear exactly the [affected] cells' facts —
+    [affected] must be class-closed; the affected classes dissolve —
+    purge the [removed] statements from every solver table, and drop the
+    attribution of [invalidated] (surviving but input-changed)
+    statements, while keeping cursors, copy edges, and attribution for
+    everything else. Copy edges into or out of an affected class are
+    dropped wholesale; the caller must replay their installing
+    statements (plus the invalidated ones, marked dirty) to re-derive
+    what still holds. Dead copy edges elsewhere are removed only when no
+    aliasing install-time pair still supports them. Returns the
+    member-expanded number of facts retracted. Requires a quiescent
+    solver. *)
 
 val run :
   ?layout:Layout.config ->

@@ -14,17 +14,30 @@
       sub-fixpoint of the edited program's least fixpoint, and the
       resumed run closes the gap.
 
-    - {b Edits with removals}: facts are not monotone under statement
-      removal, so the engine uses the per-statement support counts a
-      [~track:true] solver records. Every direct edge or copy
-      constraint whose last deriving statement disappeared seeds an
-      {e affected} set of cells; the set is closed under copy-edge
-      flow, class sharing, and read-to-write dependence (a surviving
-      statement that read an affected cell may have derived facts
-      anywhere it writes). Affected cells are cleared and every
-      statement replayed — retained facts on unaffected cells are kept
-      as-is, and the monotone replay re-derives exactly the edited
-      program's fixpoint over them.
+    - {b Edits with removals} (targeted delete-and-rederive): facts are
+      not monotone under statement removal, so the engine uses the
+      per-statement support counts a [~track:true] solver records.
+      Every direct edge or copy constraint whose last deriving
+      statement disappeared seeds an {e affected} set of cells; the set
+      is closed under copy-edge flow, class sharing, and read-to-write
+      dependence (a surviving reader of an affected cell is invalidated
+      and its support spent like a removed statement's). Marking is
+      narrowed per fact: a dying constraint endangers only the facts it
+      carried, and an endangered fact only marks its class when it has
+      neither a surviving direct derivation onto a class member nor a
+      surviving copy inflow from an unaffected class whose every fact
+      is itself directly supported — so a single dead edge typically
+      affects a single cell, not everything downstream. The affected
+      classes are then cleared surgically
+      ({!Core.Solver.retract_cells}) — cursors, copy edges,
+      subscriptions, attribution and extern records for everything
+      unaffected survive — and only the statements the retraction could
+      have touched are replayed: the added ones, the woken readers, the
+      writers into affected cells, and the installers of copy
+      constraints over a cleared class. The resumed monotone solve over
+      the retained facts re-derives exactly the edited program's
+      fixpoint, at a cost proportional to what actually died rather
+      than to the program.
 
     - {b Fallback}: when the affected closure exceeds [retract_budget]
       cells, the base fixpoint is budget-degraded, or removals arrive
@@ -64,6 +77,10 @@ type stats = {
   warm_visits : int;
       (** statement visits this re-analysis performed (on fallback: the
           visits of the from-scratch solve) *)
+  stmts_replayed : int;
+      (** statements the targeted replay re-enqueued (added + woken +
+          writers into affected cells + copy installers over them; the
+          whole program on fallback) *)
   fallback : bool;  (** the engine re-solved from scratch *)
   fallback_planned : bool;
       (** the scratch solve was the cost estimate's proactive choice

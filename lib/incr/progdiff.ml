@@ -122,19 +122,25 @@ let align ~(base : Nast.program) (edited : Nast.program) : Nast.program * t =
         Hashtbl.add vmap k v;
         v
   in
-  (* statement multiset: (scope, key) → base statements in order *)
+  (* statement multiset: (scope, key) → base statements in order, plus
+     a secondary multiset keyed without the [is_source_deref] flag for
+     the equivalence pass below *)
   let buckets = Hashtbl.create 256 in
-  let put scope (s : Nast.stmt) =
-    let k = stmt_key ~iface:base_iface ~scope s in
+  let buckets2 = Hashtbl.create 256 in
+  let enqueue tbl k (s : Nast.stmt) =
     let q =
-      match Hashtbl.find_opt buckets k with
+      match Hashtbl.find_opt tbl k with
       | Some q -> q
       | None ->
           let q = Queue.create () in
-          Hashtbl.add buckets k q;
+          Hashtbl.add tbl k q;
           q
     in
     Queue.add s q
+  in
+  let put scope (s : Nast.stmt) =
+    enqueue buckets (stmt_key ~iface:base_iface ~scope s) s;
+    enqueue buckets2 (scope ^ "|" ^ kind_key ~iface:base_iface s.Nast.kind) s
   in
   List.iter (put "<init>") base.Nast.pinit;
   List.iter
@@ -167,14 +173,60 @@ let align ~(base : Nast.program) (edited : Nast.program) : Nast.program * t =
   in
   let matched = Hashtbl.create 256 in
   let added = ref [] in
-  let align_stmt scope (s : Nast.stmt) : Nast.stmt =
+  (* Two matching passes before the program is rebuilt. Pass 1 pairs on
+     the exact key. Pass 2 pairs the leftovers on the key {e without}
+     the [is_source_deref] flag: the flag feeds only deref diagnostics,
+     never a derived constraint, so a mutation that merely flips it is
+     equivalent after alignment — the base statement (and with it the
+     solver's cursors, subscriptions and support) is kept, the edited
+     flag is taken, and the diff stays empty instead of forcing a
+     retract-and-replay cycle. Running pass 2 only after pass 1 has
+     seen every edited statement keeps it from stealing a base
+     statement that still has an exact twin later in the program. *)
+  let resolved = Hashtbl.create 256 in
+  let try_exact scope (s : Nast.stmt) =
     let k = stmt_key ~iface:ed_iface ~scope s in
     match Hashtbl.find_opt buckets k with
     | Some q when not (Queue.is_empty q) ->
         let b = Queue.pop q in
         Hashtbl.replace matched b.Nast.id ();
-        b
-    | _ ->
+        Hashtbl.replace resolved s.Nast.id b
+    | _ -> ()
+  in
+  let try_equiv scope (s : Nast.stmt) =
+    if not (Hashtbl.mem resolved s.Nast.id) then
+      match
+        Hashtbl.find_opt buckets2
+          (scope ^ "|" ^ kind_key ~iface:ed_iface s.Nast.kind)
+      with
+      | Some q ->
+          (* the secondary queue shadows the primary one, so skip base
+             statements an exact match already claimed *)
+          let rec pop () =
+            if not (Queue.is_empty q) then
+              let b = Queue.pop q in
+              if Hashtbl.mem matched b.Nast.id then pop ()
+              else begin
+                Hashtbl.replace matched b.Nast.id ();
+                Hashtbl.replace resolved s.Nast.id
+                  { b with Nast.is_source_deref = s.Nast.is_source_deref }
+              end
+          in
+          pop ()
+      | None -> ()
+  in
+  let each_stmt f =
+    List.iter (f "<init>") edited.Nast.pinit;
+    List.iter
+      (fun (fn : Nast.func) -> List.iter (f fn.Nast.fname) fn.Nast.fstmts)
+      edited.Nast.pfuncs
+  in
+  each_stmt try_exact;
+  each_stmt try_equiv;
+  let align_stmt _scope (s : Nast.stmt) : Nast.stmt =
+    match Hashtbl.find_opt resolved s.Nast.id with
+    | Some b -> b
+    | None ->
         incr next_id;
         let s' = { s with Nast.id = !next_id; kind = map_kind s.Nast.kind } in
         added := s' :: !added;

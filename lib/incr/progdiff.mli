@@ -18,6 +18,13 @@
     directly comparable — cell by cell — with warm-starting the base
     solver, which is the incremental engine's differential oracle.
 
+    Matching runs in two passes: exact keys first, then the leftovers
+    re-matched with the [is_source_deref] flag ignored. The flag feeds
+    only deref diagnostics — never a derived constraint — so a mutation
+    that merely flips it is {e equivalent after alignment}: the base
+    statement is kept (with the edited flag), the diff stays empty, and
+    the incremental engine skips retraction entirely for such edits.
+
     Call statements embed their callee's interface fingerprint in the
     key (indirect calls a fingerprint of {e all} defined interfaces), so
     a signature change or a function gaining/losing a body invalidates

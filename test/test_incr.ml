@@ -461,6 +461,173 @@ let test_queries_index_follows_reanalyze () =
   | Some v -> Alcotest.(check string) "found the added var" "nz" v.Cvar.vname
 
 (* ------------------------------------------------------------------ *)
+(* Targeted retraction (DRed) properties                               *)
+(* ------------------------------------------------------------------ *)
+
+(** The delete-and-rederive narrowing on diamond-derivation programs: a
+    fact with a surviving alternate derivation is never cleared, so
+    [facts_retracted] stays at zero when one arm of a diamond goes away
+    and is tightly bounded when the last arm does. *)
+let test_dred_diamond () =
+  (* two identical stores keep the direct edge's support at 2; removing
+     one leaves the fact justified and nothing is retracted *)
+  let two = compile {| int x; int *p, *q;
+                       void main(void) { p = &x; p = &x; q = p; } |} in
+  let one = compile {| int x; int *p, *q;
+                       void main(void) { p = &x; q = p; } |} in
+  List.iter
+    (fun id ->
+      let t = Core.Solver.run ~track:true ~strategy:(strategy id) two in
+      let t, st = Incr.Engine.reanalyze t one in
+      Alcotest.(check bool) (id ^ " no fallback") false st.Incr.Engine.fallback;
+      Alcotest.(check int) (id ^ " one removed") 1 st.Incr.Engine.stmts_removed;
+      Alcotest.(check int) (id ^ " nothing retracted") 0
+        st.Incr.Engine.facts_retracted;
+      Alcotest.(check int) (id ^ " nothing affected") 0
+        st.Incr.Engine.affected_cells;
+      check_vs_scratch ~label:"dred-direct-diamond" ~engine:`Delta ~id t)
+    all_ids;
+  (* copy diamond: [d] receives [x] through both [a] and [b]; removing
+     the [a] arm keeps the fact justified through the surviving inflow
+     from [b] (whose own facts all have direct support), so the cascade
+     never reaches [d] *)
+  let both = compile {| int x; int *a, *b, *d;
+                        void main(void) { a = &x; b = &x; d = a; d = b; } |} in
+  let left = compile {| int x; int *a, *b, *d;
+                        void main(void) { a = &x; b = &x; d = b; } |} in
+  let t = Core.Solver.run ~track:true ~strategy:(strategy "cis") both in
+  let t, st = Incr.Engine.reanalyze t left in
+  Alcotest.(check bool) "copy diamond: no fallback" false
+    st.Incr.Engine.fallback;
+  Alcotest.(check int) "copy diamond: nothing retracted" 0
+    st.Incr.Engine.facts_retracted;
+  check_vs_scratch ~label:"dred-copy-diamond" ~engine:`Delta ~id:"cis" t;
+  (* severing the last arm must retract — but only [d]'s one fact, not
+     anything upstream of it *)
+  let none = compile {| int x; int *a, *b, *d;
+                        void main(void) { a = &x; b = &x; } |} in
+  let t2, st2 = Incr.Engine.reanalyze t none in
+  Alcotest.(check bool) "last arm: no fallback" false
+    st2.Incr.Engine.fallback;
+  if st2.Incr.Engine.facts_retracted < 1 then
+    Alcotest.fail "severing the last derivation retracted nothing";
+  if st2.Incr.Engine.facts_retracted > 2 then
+    Alcotest.failf "last arm: retracted %d facts, expected at most d's own"
+      st2.Incr.Engine.facts_retracted;
+  check_vs_scratch ~label:"dred-last-arm" ~engine:`Delta ~id:"cis" t2
+
+(** A mutation that only flips [is_source_deref] derives the same
+    constraints; the differ pairs it with the base statement (keeping
+    the id, taking the flag) and the engine skips retraction. *)
+let test_mutate_equivalence () =
+  let base = compile src_base in
+  let f =
+    List.find (fun (f : Nast.func) -> f.Nast.fname = "main") base.Nast.pfuncs
+  in
+  let s = List.hd f.Nast.fstmts in
+  let op =
+    Incr.Edit.Mutate ("main", 0, s.Nast.kind, not s.Nast.is_source_deref)
+  in
+  let edited = Incr.Edit.apply base [ op ] in
+  let aligned, d = Incr.Progdiff.align ~base edited in
+  Alcotest.(check int) "no added" 0 (List.length d.Incr.Progdiff.added);
+  Alcotest.(check int) "no removed" 0 (List.length d.Incr.Progdiff.removed);
+  let s' =
+    List.find
+      (fun (a : Nast.stmt) -> a.Nast.id = s.Nast.id)
+      (Nast.all_stmts aligned)
+  in
+  Alcotest.(check bool) "base id kept, edited flag taken"
+    (not s.Nast.is_source_deref) s'.Nast.is_source_deref;
+  let t = Core.Solver.run ~track:true ~strategy:(strategy "cis") base in
+  let t, st = Incr.Engine.reanalyze t edited in
+  Alcotest.(check bool) "no fallback" false st.Incr.Engine.fallback;
+  Alcotest.(check int) "no removal" 0 st.Incr.Engine.stmts_removed;
+  Alcotest.(check int) "nothing retracted" 0 st.Incr.Engine.facts_retracted;
+  check_vs_scratch ~label:"mutate-equivalence" ~engine:`Delta ~id:"cis" t
+
+(** Externs are attributed per statement: removing one of two calls to
+    an extern keeps it reported, removing the last caller drops it —
+    without replaying the surviving calls. *)
+let test_extern_retraction () =
+  let base =
+    compile
+      {|
+        void mystery_a(int *p);
+        void mystery_b(int *p);
+        int x;
+        void main(void) { mystery_a(&x); mystery_a(&x); mystery_b(&x); }
+      |}
+  in
+  let edited =
+    compile
+      {|
+        void mystery_a(int *p);
+        void mystery_b(int *p);
+        int x;
+        void main(void) { mystery_a(&x); }
+      |}
+  in
+  let t = Core.Solver.run ~track:true ~strategy:(strategy "cis") base in
+  Alcotest.(check (list string)) "both externs before the edit"
+    [ "mystery_a"; "mystery_b" ]
+    (List.sort compare (Core.Metrics.summarize t).Core.Metrics.unknown_externs);
+  let t, st = Incr.Engine.reanalyze t edited in
+  Alcotest.(check bool) "no fallback" false st.Incr.Engine.fallback;
+  (* each source call lowers to an argument binding plus the call *)
+  Alcotest.(check bool) "statements removed" true
+    (st.Incr.Engine.stmts_removed > 0);
+  Alcotest.(check (list string)) "a kept (second caller), b dropped"
+    [ "mystery_a" ]
+    (List.sort compare (Core.Metrics.summarize t).Core.Metrics.unknown_externs);
+  check_vs_scratch ~label:"extern-retraction" ~engine:`Delta ~id:"cis" t
+
+(** Removal-edit fuzz: chained remove/mutate scripts over a generated
+    program, every engine and instance, scratch-checked at each step. *)
+let test_removal_fuzz () =
+  let cfg =
+    { Cgen.default with Cgen.n_stmts = 60; n_structs = 3; cast_rate = 0.3 }
+  in
+  let base =
+    Lower.compile ~file:"fuzz-removal" (Cgen.generate ~cfg ~seed:base_seed ())
+  in
+  let next_removal ~rand prog =
+    let rec go tries =
+      if tries = 0 then None
+      else
+        match Incr.Edit.random_op ~rand prog with
+        | Some ((Incr.Edit.Remove _ | Incr.Edit.Mutate _) as op) -> Some op
+        | Some _ -> go (tries - 1)
+        | None -> None
+    in
+    go 50
+  in
+  List.iter
+    (fun id ->
+      List.iter
+        (fun (ename, engine) ->
+          let t =
+            ref
+              (Core.Solver.run ~engine ~track:true ~strategy:(strategy id)
+                 base)
+          in
+          let rand = Random.State.make [| base_seed; 23 |] in
+          for step = 1 to 3 do
+            match next_removal ~rand !t.Core.Solver.prog with
+            | None -> ()
+            | Some op ->
+                let edited = Incr.Edit.apply !t.Core.Solver.prog [ op ] in
+                let t', _ = Incr.Engine.reanalyze !t edited in
+                t := t';
+                check_vs_scratch
+                  ~label:
+                    (Printf.sprintf "removal-fuzz %s step %d" ename step)
+                  ~engine ~id !t
+          done)
+        engines)
+    all_ids
+
+(* ------------------------------------------------------------------ *)
 (* Corpus differential                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -514,6 +681,12 @@ let suite =
     tc "fallback: degraded base" test_fallback_degraded_base;
     tc "planned fallback: large removal, no warning"
       test_fallback_planned_large_removal;
+    tc "dred: alternate derivations survive removal" test_dred_diamond;
+    tc "mutate that only flips the deref flag skips retraction"
+      test_mutate_equivalence;
+    tc "externs are retracted per statement" test_extern_retraction;
+    tc "removal fuzz == scratch (all engines x instances)"
+      test_removal_fuzz;
     tc "incr counters flow into metrics and reports"
       test_incr_metrics_reported;
     tc "queries index follows in-place reanalyze"
