@@ -53,12 +53,32 @@ let layout_of_name = function
   | "word16" -> Layout.word16
   | s -> failwith (Printf.sprintf "unknown layout %s (ilp32|lp64|word16)" s)
 
-let engine_of_name : string -> Core.Solver.engine = function
+(* [domains = 0] means auto: whatever the runtime recommends for this
+   machine. Only delta-par consumes the flag. *)
+let engine_of_name ~domains : string -> Core.Solver.engine = function
   | "delta" -> `Delta
   | "delta-nocycle" -> `Delta_nocycle
   | "naive" -> `Naive
+  | "delta-par" ->
+      let n =
+        if domains > 0 then domains else Domain.recommended_domain_count ()
+      in
+      `Delta_par (max 1 n)
   | s ->
-      failwith (Printf.sprintf "unknown engine %s (delta|delta-nocycle|naive)" s)
+      failwith
+        (Printf.sprintf "unknown engine %s (delta|delta-par|delta-nocycle|naive)"
+           s)
+
+(* --workers auto sizes the pool to the runtime's recommended domain
+   count, the same signal delta-par's auto width uses. *)
+let workers_of_flag = function
+  | "auto" -> max 1 (Domain.recommended_domain_count ())
+  | s -> (
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> n
+      | _ ->
+          failwith
+            (Printf.sprintf "bad --workers %s (auto or a positive integer)" s))
 
 let strategy_of_name name : (module Core.Strategy.S) =
   match Core.Analysis.strategy_of_id name with
@@ -181,6 +201,10 @@ let print_metrics name (r : Core.Analysis.result) =
   Fmt.pr "cycle elimination:    %d cycles, %d cells unified, %d wasted props@."
     m.Core.Metrics.cycles_found m.Core.Metrics.cells_unified
     m.Core.Metrics.wasted_propagations;
+  if m.Core.Metrics.par_domains > 0 then
+    Fmt.pr "parallel solve:       %d domains, %d frontier rounds, %d steals@."
+      m.Core.Metrics.par_domains m.Core.Metrics.par_frontier_rounds
+      m.Core.Metrics.par_steals;
   Fmt.pr "analysis time:        %.4f s@." r.Core.Analysis.time_s;
   (* incremental counters exist only after a warm re-analysis; a plain
      analyze run keeps them at zero and prints nothing extra *)
@@ -266,7 +290,7 @@ let print_dot_callgraph (r : Core.Analysis.result) =
    stats-free rendering (a pure function of the input, byte-identical
    whatever the cache did) with the store counter block spliced in. *)
 let analyze_store_cmd ~dir ~store_max_mb ~store_faults spec strategy layout_id
-    what var budget engine format =
+    what var budget engine domains format =
   ignore (strategy_of_name strategy);
   let layout = layout_of_name layout_id in
   let plan =
@@ -292,7 +316,7 @@ let analyze_store_cmd ~dir ~store_max_mb ~store_faults spec strategy layout_id
   let served =
     Store.serve st ~want ~diags:(Diag.diagnostics diags) ~name
       ~strategy_id:strategy
-      ~engine:(engine_of_name engine)
+      ~engine:(engine_of_name ~domains engine)
       ~layout ~layout_id ~budget prog
   in
   let degraded =
@@ -332,19 +356,19 @@ let analyze_store_cmd ~dir ~store_max_mb ~store_faults spec strategy layout_id
   | f -> failwith (Printf.sprintf "unknown --format %s (text|json)" f));
   exit_code ~diags ~degraded:(degraded <> [])
 
-let analyze_cmd spec strategy layout what var budget engine format store
-    store_max_mb store_faults =
+let analyze_cmd spec strategy layout what var budget engine domains format
+    store store_max_mb store_faults =
   match store with
   | Some dir ->
       analyze_store_cmd ~dir ~store_max_mb ~store_faults spec strategy layout
-        what var budget engine format
+        what var budget engine domains format
   | None ->
   let layout = layout_of_name layout in
   let diags = Diag.create () in
   let name, prog = compile_spec ~layout ~diags spec in
   let r =
     Core.Analysis.run ~layout ~budget
-      ~engine:(engine_of_name engine)
+      ~engine:(engine_of_name ~domains engine)
       ~strategy:(strategy_of_name strategy)
       prog
   in
@@ -407,11 +431,11 @@ let print_warm_result ~format ~name ~time_s ~diags ~(st : Incr.Engine.stats)
       report_diags diags
   | f -> failwith (Printf.sprintf "unknown --format %s (text|json)" f)
 
-let reanalyze_cmd base_spec edited_spec strategy layout budget engine format
-    retract_budget =
+let reanalyze_cmd base_spec edited_spec strategy layout budget engine domains
+    format retract_budget =
   let layout = layout_of_name layout in
   let strategy = strategy_of_name strategy in
-  let engine = engine_of_name engine in
+  let engine = engine_of_name ~domains engine in
   let diags = Diag.create () in
   let _, base = compile_spec ~layout ~diags base_spec in
   let t0 = Sys.time () in
@@ -425,11 +449,11 @@ let reanalyze_cmd base_spec edited_spec strategy layout budget engine format
 (* One solved fixpoint kept live: every line on stdin (e.g. from an
    editor hook or `inotifywait`) re-reads FILE and re-answers from the
    warm state. EOF ends the session. *)
-let watch_cmd spec strategy layout budget engine format retract_budget
+let watch_cmd spec strategy layout budget engine domains format retract_budget
     journal =
   let layout = layout_of_name layout in
   let strategy = strategy_of_name strategy in
-  let engine = engine_of_name engine in
+  let engine = engine_of_name ~domains engine in
   let jnl = Option.map Server.Journal.open_append journal in
   let journal_entry ~i ~name ~time_s ~diags (t : Core.Solver.t) =
     match jnl with
@@ -683,9 +707,19 @@ type overload_flags = {
   deadline_ms : int;  (** default per-request deadline; 0 = none *)
 }
 
+(* The --domains total is divided among the worker processes: W workers
+   each solving on D/W domains keeps the whole pool at ~D domains of
+   solver parallelism instead of W*D. *)
+let domains_per_worker ~workers domains =
+  let total =
+    if domains > 0 then domains else Domain.recommended_domain_count ()
+  in
+  max 1 (total / max 1 workers)
+
 let batch_cmd specs manifest strategy layout budget workers attempts
-    job_timeout_ms backoff_ms faults journal resume format store
+    job_timeout_ms backoff_ms faults journal resume format store domains
     (ov : overload_flags) =
+  let workers = workers_of_flag workers in
   let from_manifest =
     match manifest with Some p -> read_manifest p | None -> []
   in
@@ -695,13 +729,14 @@ let batch_cmd specs manifest strategy layout budget workers attempts
   if entries = [] then
     failwith "no jobs: give input specs or --jobs MANIFEST";
   let deadline_ms = if ov.deadline_ms > 0 then Some ov.deadline_ms else None in
+  let job_domains = domains_per_worker ~workers domains in
   let jobs =
     List.mapi
       (fun i (spec, s, l) ->
         Server.Job.make ~idx:(i + 1)
           ~strategy:(Option.value s ~default:strategy)
           ~layout:(Option.value l ~default:layout)
-          ~budget ?store_dir:store ?deadline_ms spec)
+          ~budget ?store_dir:store ?deadline_ms ~domains:job_domains spec)
       entries
   in
   let cfg =
@@ -730,7 +765,9 @@ let batch_cmd specs manifest strategy layout budget workers attempts
    in-flight ones finish within --drain-deadline-ms, and the process
    exits with code 5. *)
 let serve_cmd strategy layout budget workers attempts job_timeout_ms
-    backoff_ms faults journal store (ov : overload_flags) =
+    backoff_ms faults journal store domains (ov : overload_flags) =
+  let workers = workers_of_flag workers in
+  let job_domains = domains_per_worker ~workers domains in
   let cfg =
     supervisor_config workers attempts job_timeout_ms backoff_ms faults
       journal false ~max_pending:ov.max_pending
@@ -800,7 +837,7 @@ let serve_cmd strategy layout budget workers attempts job_timeout_ms
             incr idx;
             let job =
               Server.Job.make ~idx:!idx ~strategy:s ~layout:l ~budget
-                ?store_dir:store ?deadline_ms spec
+                ?store_dir:store ?deadline_ms ~domains:job_domains spec
             in
             Server.Supervisor.submit t job;
             unprinted := !unprinted @ [ job ]
@@ -941,10 +978,21 @@ let engine_arg =
     & info [ "engine" ] ~docv:"ENGINE"
         ~doc:
           "Solver engine: delta (difference propagation with online cycle \
-           elimination, default), delta-nocycle (difference propagation \
-           only; the ablation baseline), or naive (reference full-reread \
-           worklist). All three reach the same fixpoint; they differ only \
-           in how much work it costs.")
+           elimination, default), delta-par (delta with the copy-edge \
+           drain run on several domains; see --domains), delta-nocycle \
+           (difference propagation only; the ablation baseline), or naive \
+           (reference full-reread worklist). All four reach the same \
+           fixpoint; they differ only in how much work it costs.")
+
+let domains_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Domains for --engine delta-par (0 = auto: the runtime's \
+           recommended domain count for this machine). The sequential \
+           engines ignore it. In batch/serve the total is divided among \
+           the worker processes.")
 
 let format_arg =
   Arg.(
@@ -972,9 +1020,12 @@ let jobs_arg =
 
 let workers_arg =
   Arg.(
-    value & opt int 2
-    & info [ "workers" ] ~docv:"N"
-        ~doc:"Worker processes in the pool (each job runs in one).")
+    value & opt string "auto"
+    & info [ "workers" ] ~docv:"N|auto"
+        ~doc:
+          "Worker processes in the pool (each job runs in one). The \
+           default, auto, sizes the pool to the runtime's recommended \
+           domain count for this machine.")
 
 let attempts_arg =
   Arg.(
@@ -1190,18 +1241,18 @@ let wrap f =
       3
 
 let analyze_t =
-  let run spec strategy layout what var budget engine format store
+  let run spec strategy layout what var budget engine domains format store
       store_max_mb store_faults =
     wrap (fun () ->
-        analyze_cmd spec strategy layout what var budget engine format store
-          store_max_mb store_faults)
+        analyze_cmd spec strategy layout what var budget engine domains format
+          store store_max_mb store_faults)
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Analyze a C file with one framework instance.")
     Term.(
       const run $ spec_arg $ strategy_arg $ layout_arg $ print_arg $ var_arg
-      $ budget_term $ engine_arg $ format_arg $ store_arg $ store_max_mb_arg
-      $ store_faults_arg)
+      $ budget_term $ engine_arg $ domains_arg $ format_arg $ store_arg
+      $ store_max_mb_arg $ store_faults_arg)
 
 let compare_t =
   let run spec layout budget = wrap (fun () -> compare_cmd spec layout budget) in
@@ -1222,10 +1273,11 @@ let corpus_t =
 
 let batch_t =
   let run specs manifest strategy layout budget workers attempts
-      job_timeout_ms backoff_ms faults journal resume format store overload =
+      job_timeout_ms backoff_ms faults journal resume format store domains
+      overload =
     wrap (fun () ->
         batch_cmd specs manifest strategy layout budget workers attempts
-          job_timeout_ms backoff_ms faults journal resume format store
+          job_timeout_ms backoff_ms faults journal resume format store domains
           overload)
   in
   Cmd.v
@@ -1241,14 +1293,14 @@ let batch_t =
       const run $ specs_arg $ jobs_arg $ strategy_arg $ layout_arg
       $ budget_term $ workers_arg $ attempts_arg $ job_timeout_ms_arg
       $ backoff_ms_arg $ faults_arg $ journal_arg $ resume_arg
-      $ batch_format_arg $ store_arg $ overload_term)
+      $ batch_format_arg $ store_arg $ domains_arg $ overload_term)
 
 let serve_t =
   let run strategy layout budget workers attempts job_timeout_ms backoff_ms
-      faults journal store overload =
+      faults journal store domains overload =
     wrap (fun () ->
         serve_cmd strategy layout budget workers attempts job_timeout_ms
-          backoff_ms faults journal store overload)
+          backoff_ms faults journal store domains overload)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -1264,7 +1316,7 @@ let serve_t =
     Term.(
       const run $ strategy_arg $ layout_arg $ budget_term $ workers_arg
       $ attempts_arg $ job_timeout_ms_arg $ backoff_ms_arg $ faults_arg
-      $ journal_arg $ store_arg $ overload_term)
+      $ journal_arg $ store_arg $ domains_arg $ overload_term)
 
 let base_spec_arg =
   Arg.(
@@ -1279,9 +1331,10 @@ let edited_spec_arg =
     & info [] ~docv:"EDITED" ~doc:"Edited version of the same program.")
 
 let reanalyze_t =
-  let run base edited strategy layout budget engine format retract_budget =
+  let run base edited strategy layout budget engine domains format
+      retract_budget =
     wrap (fun () ->
-        reanalyze_cmd base edited strategy layout budget engine format
+        reanalyze_cmd base edited strategy layout budget engine domains format
           retract_budget)
   in
   Cmd.v
@@ -1294,13 +1347,15 @@ let reanalyze_t =
           to analyzing EDITED from scratch.")
     Term.(
       const run $ base_spec_arg $ edited_spec_arg $ strategy_arg $ layout_arg
-      $ budget_term $ engine_arg $ format_arg $ retract_budget_arg)
+      $ budget_term $ engine_arg $ domains_arg $ format_arg
+      $ retract_budget_arg)
 
 let watch_t =
-  let run spec strategy layout budget engine format retract_budget journal =
+  let run spec strategy layout budget engine domains format retract_budget
+      journal =
     wrap (fun () ->
-        watch_cmd spec strategy layout budget engine format retract_budget
-          journal)
+        watch_cmd spec strategy layout budget engine domains format
+          retract_budget journal)
   in
   Cmd.v
     (Cmd.info "watch"
@@ -1311,7 +1366,8 @@ let watch_t =
           ends the session.")
     Term.(
       const run $ spec_arg $ strategy_arg $ layout_arg $ budget_term
-      $ engine_arg $ format_arg $ retract_budget_arg $ watch_journal_arg)
+      $ engine_arg $ domains_arg $ format_arg $ retract_budget_arg
+      $ watch_journal_arg)
 
 let main =
   Cmd.group

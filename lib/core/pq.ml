@@ -75,3 +75,5 @@ let pop h : int =
     done
   end;
   top
+
+let pop_opt h : int option = if h.len = 0 then None else Some (pop h)

@@ -17,3 +17,6 @@ val push : t -> prio:int -> int -> unit
 val pop : t -> int
 (** Minimum-priority element (smallest id on ties). Raises
     [Invalid_argument] when empty. *)
+
+val pop_opt : t -> int option
+(** {!pop} as an option — the shape of a drain loop. *)

@@ -1,7 +1,23 @@
-(** Monotonic-ish wall-clock time without a Unix dependency. *)
+(** Clocks. [now] is wall-clock time; [cpu] is process CPU time.
 
-let now () : float = Sys.time ()
+    The two must not be conflated: time budgets ([Budget.elapsed]) are
+    wall-clock deadlines, and under [N] solver domains the process
+    accumulates CPU time up to [N]x faster than wall time, so a
+    CPU-clock "now" would fire time budgets ~[N]x early. *)
 
-(** CPU time in seconds (user time of this process) — matches the paper's
-    "CPU times (user+system)" measurement more closely than wall clock. *)
+(* Monotonized: gettimeofday can step backwards under NTP adjustment,
+   which would make [Budget.elapsed] negative mid-run. Publish the high
+   water mark through an atomic so the guarantee holds across domains. *)
+let last_wall : float Atomic.t = Atomic.make neg_infinity
+
+let rec monotonize (t : float) : float =
+  let prev = Atomic.get last_wall in
+  if t <= prev then prev
+  else if Atomic.compare_and_set last_wall prev t then t
+  else monotonize t
+
+let now () : float = monotonize (Unix.gettimeofday ())
+
+(** CPU time in seconds (user time of this process) — matches the
+    paper's "CPU times" measurement; unaffected by sleeps. *)
 let cpu () : float = Sys.time ()

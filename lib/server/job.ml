@@ -11,10 +11,12 @@ type t = {
   budget : Core.Budget.limits;
   store_dir : string option;
   deadline_ms : int option;
+  domains : int;
 }
 
 let make ~idx ?(strategy = "cis") ?(layout = "ilp32")
-    ?(budget = Core.Budget.default) ?store_dir ?deadline_ms spec =
+    ?(budget = Core.Budget.default) ?store_dir ?deadline_ms ?(domains = 1)
+    spec =
   {
     id = Printf.sprintf "job%d" idx;
     spec;
@@ -23,6 +25,7 @@ let make ~idx ?(strategy = "cis") ?(layout = "ilp32")
     budget;
     store_dir;
     deadline_ms;
+    domains = max 1 domains;
   }
 
 let layout_of_id = function
@@ -79,7 +82,7 @@ let strategy_for_rung id rung = if rung >= 2 then "collapse-always" else id
 (* ------------------------------------------------------------------ *)
 (* Wire encoding: id \t attempt \t rung \t strategy \t layout          *)
 (*   \t steps \t timeout_ms \t obj_cells \t total_cells \t store       *)
-(*   \t deadline_ms \t spec                                            *)
+(*   \t deadline_ms \t domains \t spec                                 *)
 (* (0 encodes an absent limit/deadline; "" encodes no store            *)
 (* directory; spec goes last for readability).                         *)
 (* The timeout crosses the wire in whole milliseconds with a 1 ms      *)
@@ -96,20 +99,20 @@ let to_wire (t : t) ~attempt ~rung : string =
     | None -> 0
     | Some s -> max 1 (int_of_float (s *. 1000.))
   in
-  Printf.sprintf "%s\t%d\t%d\t%s\t%s\t%d\t%d\t%d\t%d\t%s\t%d\t%s" t.id
+  Printf.sprintf "%s\t%d\t%d\t%s\t%s\t%d\t%d\t%d\t%d\t%s\t%d\t%d\t%s" t.id
     attempt rung t.strategy_id t.layout_id
     (o t.budget.Core.Budget.max_steps)
     timeout_ms
     (o t.budget.Core.Budget.max_cells_per_object)
     (o t.budget.Core.Budget.max_total_cells)
     (Option.value t.store_dir ~default:"")
-    (o t.deadline_ms) t.spec
+    (o t.deadline_ms) t.domains t.spec
 
 let of_wire (line : string) : (t * int * int, string) result =
   match String.split_on_char '\t' line with
   | [
       id; attempt; rung; strategy_id; layout_id; steps; tms; obj; total; store;
-      deadline; spec;
+      deadline; domains; spec;
     ] -> (
       let opt s =
         match int_of_string_opt s with
@@ -124,7 +127,8 @@ let of_wire (line : string) : (t * int * int, string) result =
           opt tms,
           opt obj,
           opt total,
-          opt deadline )
+          opt deadline,
+          int_of_string_opt domains )
       with
       | ( Some attempt,
           Some rung,
@@ -132,7 +136,9 @@ let of_wire (line : string) : (t * int * int, string) result =
           Some tms,
           Some obj,
           Some total,
-          Some deadline_ms ) ->
+          Some deadline_ms,
+          Some domains )
+        when domains >= 1 ->
           let budget =
             {
               Core.Budget.max_steps = steps;
@@ -152,8 +158,9 @@ let of_wire (line : string) : (t * int * int, string) result =
                 budget;
                 store_dir;
                 deadline_ms;
+                domains;
               },
               attempt,
               rung )
       | _ -> Error ("malformed numeric field in job request: " ^ line))
-  | _ -> Error ("malformed job request (expected 12 fields): " ^ line)
+  | _ -> Error ("malformed job request (expected 13 fields): " ^ line)

@@ -31,6 +31,10 @@ type t = {
           intersects the remaining deadline with the budget's
           [timeout_s] at dispatch, and kills a worker still running
           past it ([None] = no deadline) *)
+  domains : int;
+      (** solver domains for this job: [> 1] selects the
+          [`Delta_par] engine at that width, [1] (the default) the
+          sequential [`Delta] engine. Same fixpoint either way. *)
 }
 
 val make :
@@ -40,10 +44,12 @@ val make :
   ?budget:Core.Budget.limits ->
   ?store_dir:string ->
   ?deadline_ms:int ->
+  ?domains:int ->
   string ->
   t
 (** [make ~idx spec] — id ["job<idx>"], strategy ["cis"], layout
-    ["ilp32"], budget {!Core.Budget.default}, no store, no deadline. *)
+    ["ilp32"], budget {!Core.Budget.default}, no store, no deadline,
+    1 domain (clamped up to 1). *)
 
 val validate : t -> (unit, string) result
 (** Reject tabs/newlines in string fields, unknown strategies, and

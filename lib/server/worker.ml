@@ -45,8 +45,8 @@ let sanitize s =
    stats-free rendering a scratch solve would produce, with the store's
    counter block spliced alongside. Store-I/O faults come from
    [STRUCTCAST_STORE_FAULTS]; write ordinals count per job. *)
-let run_store ~store_dir ~layout ~layout_id ~strategy_id ~budget ~name ~spec
-    source : string * bool * bool =
+let run_store ~store_dir ~layout ~layout_id ~strategy_id ~budget ~engine ~name
+    ~spec source : string * bool * bool =
   let store =
     Store.open_store
       ~inject:(Faults.store_hook (Faults.store_of_env ()))
@@ -60,8 +60,8 @@ let run_store ~store_dir ~layout ~layout_id ~strategy_id ~budget ~name ~spec
   in
   let dlist = Diag.diagnostics diags in
   let served =
-    Store.serve store ~want:`Json ~diags:dlist ~name ~strategy_id
-      ~engine:`Delta ~layout ~layout_id ~budget prog
+    Store.serve store ~want:`Json ~diags:dlist ~name ~strategy_id ~engine
+      ~layout ~layout_id ~budget prog
   in
   let degraded =
     match served.Store.sv_result with
@@ -90,16 +90,19 @@ let run_job (job : Job.t) ~attempt ~rung :
       | None -> failwith ("unknown strategy " ^ strategy_id)
     in
     let budget = Job.budget_for_rung job.Job.budget rung in
+    let engine : Core.Solver.engine =
+      if job.Job.domains > 1 then `Delta_par job.Job.domains else `Delta
+    in
     let name, source = load_source job.Job.spec in
     let result_json, solve_degraded, diag_errors =
       match job.Job.store_dir with
       | Some store_dir ->
           run_store ~store_dir ~layout ~layout_id:job.Job.layout_id
-            ~strategy_id ~budget ~name ~spec:job.Job.spec source
+            ~strategy_id ~budget ~engine ~name ~spec:job.Job.spec source
       | None ->
           let diags = Diag.create () in
           let r =
-            Core.Analysis.run_source ~layout ~budget ~diags
+            Core.Analysis.run_source ~layout ~budget ~engine ~diags
               ~resolve:(resolve_includes job.Job.spec) ~strategy ~file:name
               source
           in

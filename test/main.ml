@@ -26,7 +26,6 @@ let () =
       ("summaries", Test_summaries.suite);
       ("budget", Test_budget.suite);
       ("cycles", Test_cycles.suite);
-      ("differential", Test_differential.suite);
       ("incr", Test_incr.suite);
       ("fuzz", Test_fuzz.suite);
       ("isolation", Test_isolation.suite);

@@ -1,0 +1,10 @@
+(* Runner for the suites that spawn domains. These live in their own
+   binary: the OCaml 5 runtime forbids Unix.fork in a process that has
+   ever created a domain, and the cli/server suites in ../main.ml fork
+   workers and subprocesses. *)
+let () =
+  Alcotest.run "structcast-par"
+    [
+      ("differential", Test_differential.suite);
+      ("par", Test_par.suite);
+    ]

@@ -1,9 +1,10 @@
-(** Differential property test: the three solver engines — delta
-    (difference propagation with online cycle elimination), delta-nocycle
-    (the ablation baseline), and the naive reference worklist — must
-    produce the exact same points-to graph, edge-set equality via
-    {!Core.Graph.equal}, on the whole embedded corpus and on
-    fuzz-generated programs, for all four framework instances. The
+(** Differential property test: the four solver engines — delta
+    (difference propagation with online cycle elimination), delta-par
+    (the same drain run on several domains, here at widths 1, 2 and 4),
+    delta-nocycle (the ablation baseline), and the naive reference
+    worklist — must produce the exact same points-to graph, edge-set
+    equality via {!Core.Graph.equal}, on the whole embedded corpus and
+    on fuzz-generated programs, for all four framework instances. The
     stats-free JSON rendering ([~solver_stats:false]) of each engine's
     result must agree byte-for-byte.
 
@@ -40,6 +41,13 @@ let check_program ~label (prog : Nast.program) =
     (fun id ->
       let run engine = Core.Analysis.run ~engine ~strategy:(strategy id) prog in
       let d = run `Delta and dn = run `Delta_nocycle and n = run `Naive in
+      (* width 1 must take the sequential path, 2 and 4 the parallel
+         one (when the worklist gets wide enough to spawn) *)
+      let pars =
+        List.map
+          (fun nd -> (Printf.sprintf "delta-par@%d" nd, run (`Delta_par nd)))
+          [ 1; 2; 4 ]
+      in
       let graph (r : Core.Analysis.result) = r.Core.Analysis.solver.Core.Solver.graph in
       let check_eq ename (r : Core.Analysis.result) =
         if not (Core.Graph.equal (graph r) (graph n)) then
@@ -53,6 +61,7 @@ let check_program ~label (prog : Nast.program) =
       in
       check_eq "delta" d;
       check_eq "delta-nocycle" dn;
+      List.iter (fun (ename, r) -> check_eq ename r) pars;
       let visits (r : Core.Analysis.result) =
         r.Core.Analysis.solver.Core.Solver.rounds
       in
@@ -73,7 +82,7 @@ let check_program ~label (prog : Nast.program) =
           if j <> jn then
             Alcotest.failf "%s / %s: %s stats-free report differs:\n%s\n%s"
               label id ename j jn)
-        [ ("delta", d); ("delta-nocycle", dn) ])
+        (("delta", d) :: ("delta-nocycle", dn) :: pars))
     all_ids
 
 let test_corpus () =

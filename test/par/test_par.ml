@@ -1,0 +1,205 @@
+(** The parallel engine's support surface: the wall/CPU clock split
+    ([Budget] deadlines must not dilate under domains), the domain-safe
+    cell interner, actual engagement of the parallel drain on a wide
+    workload, and degradation consistency when a budget trips a solve
+    that has parallel rounds in flight. The schedule-independence of the
+    fixpoint itself is covered by the differential suite
+    ([Test_differential]), which runs delta-par at widths 1, 2 and 4
+    over the corpus and fuzz programs.
+
+    This is its own binary (see the dune file): the OCaml 5 runtime
+    forbids [Unix.fork] in a process that has ever spawned a domain,
+    and the server suite forks workers. *)
+
+open Cfront
+open Norm
+open Helpers
+
+(* ------------------------------------------------------------------ *)
+(* Clocks: [now] is wall time, [cpu] is CPU time                       *)
+(* ------------------------------------------------------------------ *)
+
+(* A sleep advances the wall clock but (nearly) no CPU time. The old
+   [now] was [Sys.time], which under N domains accumulates up to Nx
+   faster than wall time and fired time budgets early. *)
+let test_clock_split () =
+  let w0 = Core.Unix_time.now () in
+  let c0 = Core.Unix_time.cpu () in
+  Unix.sleepf 0.06;
+  let dw = Core.Unix_time.now () -. w0 in
+  let dc = Core.Unix_time.cpu () -. c0 in
+  if dw < 0.04 then
+    Alcotest.failf "now () advanced only %.4f s across a 60 ms sleep" dw;
+  if dc > 0.04 then
+    Alcotest.failf "cpu () advanced %.4f s across a sleep — wall clock?" dc
+
+let test_clock_monotone () =
+  let prev = ref (Core.Unix_time.now ()) in
+  for _ = 1 to 1000 do
+    let t = Core.Unix_time.now () in
+    if t < !prev then Alcotest.fail "now () went backwards";
+    prev := t
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Interner: concurrent [Cell.v] from several domains                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Four domains intern the same 2000 (object, selector) pairs in
+   different orders. Exactly 2000 new cells may exist afterwards, every
+   domain must have received the same physical cell for the same pair,
+   and [of_id] must invert [id] for all of them. *)
+let test_interner_hammer () =
+  let vars =
+    Array.init 8 (fun i ->
+        Cvar.fresh
+          ~name:(Printf.sprintf "par_cell_%d" i)
+          ~ty:Ctype.Void ~kind:Cvar.Global)
+  in
+  let offs = 250 in
+  let total = Array.length vars * offs in
+  (* the placeholder below interns one extra pair; do it before the
+     baseline count *)
+  let placeholder = Core.Cell.whole vars.(0) in
+  let c0 = Core.Cell.interned_count () in
+  let worker k () =
+    let out = Array.make total placeholder in
+    for step = 0 to total - 1 do
+      (* even domains intern ascending, odd ones descending, so the
+         lock-free read path races the locked insert path both ways *)
+      let i = if k mod 2 = 0 then step else total - 1 - step in
+      out.(i) <- Core.Cell.v vars.(i mod 8) (Core.Cell.Off (i / 8 * 4))
+    done;
+    out
+  in
+  let doms = Array.init 4 (fun k -> Domain.spawn (worker k)) in
+  let results = Array.map Domain.join doms in
+  let created = Core.Cell.interned_count () - c0 in
+  if created <> total then
+    Alcotest.failf "4 domains interning %d distinct pairs created %d cells"
+      total created;
+  let first = results.(0) in
+  Array.iteri
+    (fun k cells ->
+      Array.iteri
+        (fun i c ->
+          if not (c == first.(i)) then
+            Alcotest.failf
+              "domain %d got a different physical cell for pair %d" k i;
+          if not (Core.Cell.of_id (Core.Cell.id c) == c) then
+            Alcotest.failf "of_id (id c) is not c for pair %d" i)
+        cells)
+    results
+
+(* ------------------------------------------------------------------ *)
+(* Parallel drain: engagement and degradation consistency              *)
+(* ------------------------------------------------------------------ *)
+
+let par_prog () =
+  let cfg =
+    { Cgen.default with Cgen.n_stmts = 400; n_structs = 4; cast_rate = 0.5 }
+  in
+  Lower.compile ~file:"<par>" (Cgen.generate ~cfg ~seed:7 ())
+
+let stats_free (solver : Core.Solver.t) : string =
+  Core.Report.json_of_result ~timing:false ~solver_stats:false ~name:"<par>"
+    {
+      Core.Analysis.solver;
+      metrics = Core.Metrics.summarize solver;
+      time_s = 0.;
+      degraded = Core.Solver.degradations solver;
+      diags = [];
+    }
+
+let audit label (t : Core.Solver.t) =
+  match Core.Graph.check_counts t.Core.Solver.graph with
+  | Some msg -> Alcotest.failf "%s: graph audit: %s" label msg
+  | None -> ()
+
+(* The corpus programs are too narrow to reach the width threshold, so
+   the differential matrix alone could pass with the parallel path
+   dead. This pins that a wide workload actually runs parallel rounds
+   — and still lands on the sequential fixpoint, byte for byte. *)
+let test_par_engages () =
+  let prog = par_prog () in
+  let seq = Core.Solver.run ~strategy:(strategy "cis") prog in
+  let par =
+    Core.Solver.run ~engine:(`Delta_par 4) ~strategy:(strategy "cis") prog
+  in
+  if par.Core.Solver.par_frontier_rounds = 0 then
+    Alcotest.fail
+      "delta-par at 4 domains never entered a parallel round on a \
+       400-statement workload";
+  audit "par" par;
+  if not (Core.Graph.equal par.Core.Solver.graph seq.Core.Solver.graph) then
+    Alcotest.fail "delta-par fixpoint differs from delta";
+  if stats_free par <> stats_free seq then
+    Alcotest.fail "delta-par stats-free report differs from delta"
+
+(* A budget trip mid-parallel-solve: where the budget lands is
+   schedule-dependent across engines (delta-par at step N has derived a
+   different edge set than delta at step N, and the collapse freezes
+   pre-trip edges), so the degraded fixpoint is NOT compared against
+   the sequential engine. What the parallel engine does owe is
+   (a) consistency — the collapse aborts any in-flight phase via the
+   generation counter and the graph's bookkeeping survives intact —
+   and (b) determinism: budgets are only checked on the sequential
+   side (statement visits and frontier gaps) and region results merge
+   in region order, so rerunning the same configuration reproduces the
+   identical graph and stats-free report, racy steal counts and all.
+   max_steps = 1600 is tuned so the trip lands after several parallel
+   rounds on this workload — mid-phase, not before the drain widens. *)
+let test_par_degrades_mid_phase_deterministic () =
+  let prog = par_prog () in
+  let budget =
+    { Core.Budget.unlimited with Core.Budget.max_steps = Some 1600 }
+  in
+  let run () =
+    Core.Solver.run ~budget ~engine:(`Delta_par 4)
+      ~strategy:(strategy "offsets") prog
+  in
+  let a = run () in
+  let b = run () in
+  if a.Core.Solver.par_frontier_rounds = 0 then
+    Alcotest.fail
+      "the step budget tripped before any parallel round — the abort \
+       path went unexercised";
+  if Core.Solver.degradations a = [] then
+    Alcotest.fail "the parallel solve never degraded";
+  audit "steps/a" a;
+  audit "steps/b" b;
+  if not (Core.Graph.equal a.Core.Solver.graph b.Core.Solver.graph) then
+    Alcotest.failf
+      "degraded delta-par is not deterministic: %d edges, then %d"
+      (Core.Graph.edge_count a.Core.Solver.graph)
+      (Core.Graph.edge_count b.Core.Solver.graph);
+  if stats_free a <> stats_free b then
+    Alcotest.fail "degraded delta-par reports differ across reruns"
+
+(* A ~1 ms timeout trips at a wall-clock-dependent point, so nothing
+   about the result is reproducible — but the solve must still land on
+   a consistent graph, not hang, and record the degradation. *)
+let test_par_degrades_timeout_consistent () =
+  let prog = par_prog () in
+  let budget =
+    { Core.Budget.unlimited with Core.Budget.timeout_s = Some 0.001 }
+  in
+  let par =
+    Core.Solver.run ~budget ~engine:(`Delta_par 4)
+      ~strategy:(strategy "offsets") prog
+  in
+  if Core.Solver.degradations par = [] then
+    Alcotest.fail "a 1 ms timeout never tripped on a 400-statement solve";
+  audit "timeout" par
+
+let suite =
+  [
+    tc "now() is wall time, cpu() is not" test_clock_split;
+    tc "now() is monotone" test_clock_monotone;
+    tc "interner: 4-domain Cell.v hammer" test_interner_hammer;
+    tc "delta-par engages and matches delta" test_par_engages;
+    tc "mid-phase step-budget abort is deterministic"
+      test_par_degrades_mid_phase_deterministic;
+    tc "timeout abort leaves a consistent graph"
+      test_par_degrades_timeout_consistent;
+  ]

@@ -422,7 +422,8 @@ let test_self_requeue_converges () =
               (match engine with
               | `Delta -> "delta"
               | `Delta_nocycle -> "delta-nocycle"
-              | `Naive -> "naive")
+              | `Naive -> "naive"
+              | `Delta_par _ -> "delta-par")
               (String.concat "," got)))
     [ `Delta; `Delta_nocycle; `Naive ]
 
