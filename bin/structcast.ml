@@ -64,9 +64,11 @@ let engine_of_name ~domains : string -> Core.Solver.engine = function
         if domains > 0 then domains else Domain.recommended_domain_count ()
       in
       `Delta_par (max 1 n)
+  | "summary" -> `Summary
   | s ->
       failwith
-        (Printf.sprintf "unknown engine %s (delta|delta-par|delta-nocycle|naive)"
+        (Printf.sprintf
+           "unknown engine %s (delta|delta-par|delta-nocycle|naive|summary)"
            s)
 
 (* --workers auto sizes the pool to the runtime's recommended domain
@@ -205,6 +207,13 @@ let print_metrics name (r : Core.Analysis.result) =
     Fmt.pr "parallel solve:       %d domains, %d frontier rounds, %d steals@."
       m.Core.Metrics.par_domains m.Core.Metrics.par_frontier_rounds
       m.Core.Metrics.par_steals;
+  if m.Core.Metrics.summary_sccs > 0 then begin
+    Fmt.pr "summary schedule:     %d sccs, %d rounds, %d instantiations@."
+      m.Core.Metrics.summary_sccs m.Core.Metrics.summary_scc_rounds
+      m.Core.Metrics.summary_instantiations;
+    Fmt.pr "summaries:            %d cache hits, %d recomputed@."
+      m.Core.Metrics.summary_hits m.Core.Metrics.summary_recomputed
+  end;
   Fmt.pr "analysis time:        %.4f s@." r.Core.Analysis.time_s;
   (* incremental counters exist only after a warm re-analysis; a plain
      analyze run keeps them at zero and prints nothing extra *)
@@ -313,11 +322,28 @@ let analyze_store_cmd ~dir ~store_max_mb ~store_faults spec strategy layout_id
   let diags = Diag.create () in
   let name, prog = compile_spec ~layout ~diags spec in
   let want = if format = "json" then `Json else `Solver in
+  (* --engine summary composes the two caches: the snapshot store still
+     short-circuits exact repeats and additive edits; a genuinely cold
+     solve consults the per-function summary cache under DIR/summaries *)
+  let sumcache =
+    if engine = "summary" then
+      Some
+        (Summary.Sumcache.open_cache
+           ~log:(fun m -> Fmt.epr "summary: %s@." m)
+           (Filename.concat dir "summaries"))
+    else None
+  in
   let served =
-    Store.serve st ~want ~diags:(Diag.diagnostics diags) ~name
-      ~strategy_id:strategy
-      ~engine:(engine_of_name ~domains engine)
-      ~layout ~layout_id ~budget prog
+    match sumcache with
+    | Some cache ->
+        Summary.Engine.serve ~store:st ~cache ~want
+          ~diags:(Diag.diagnostics diags) ~name ~strategy_id:strategy ~layout
+          ~layout_id ~budget prog
+    | None ->
+        Store.serve st ~want ~diags:(Diag.diagnostics diags) ~name
+          ~strategy_id:strategy
+          ~engine:(engine_of_name ~domains engine)
+          ~layout ~layout_id ~budget prog
   in
   let degraded =
     match served.Store.sv_result with
@@ -326,7 +352,13 @@ let analyze_store_cmd ~dir ~store_max_mb ~store_faults spec strategy layout_id
   in
   (match format with
   | "json" ->
-      print_string (Store.with_counters st served.Store.sv_json);
+      let json = Store.with_counters st served.Store.sv_json in
+      let json =
+        match sumcache with
+        | Some c -> Summary.Engine.with_counters c json
+        | None -> json
+      in
+      print_string json;
       print_newline ()
   | "text" ->
       let r =
@@ -352,6 +384,10 @@ let analyze_store_cmd ~dir ~store_max_mb ~store_faults spec strategy layout_id
             n
       | `Cold -> ());
       Fmt.epr "%a@." Core.Metrics.pp_store (Store.counters st);
+      (match sumcache with
+      | Some c ->
+          Fmt.epr "%a@." Core.Metrics.pp_sumcache (Summary.Sumcache.counters c)
+      | None -> ());
       report_degradation degraded
   | f -> failwith (Printf.sprintf "unknown --format %s (text|json)" f));
   exit_code ~diags ~degraded:(degraded <> [])
@@ -718,7 +754,7 @@ let domains_per_worker ~workers domains =
 
 let batch_cmd specs manifest strategy layout budget workers attempts
     job_timeout_ms backoff_ms faults journal resume format store domains
-    (ov : overload_flags) =
+    engine (ov : overload_flags) =
   let workers = workers_of_flag workers in
   let from_manifest =
     match manifest with Some p -> read_manifest p | None -> []
@@ -736,7 +772,8 @@ let batch_cmd specs manifest strategy layout budget workers attempts
         Server.Job.make ~idx:(i + 1)
           ~strategy:(Option.value s ~default:strategy)
           ~layout:(Option.value l ~default:layout)
-          ~budget ?store_dir:store ?deadline_ms ~domains:job_domains spec)
+          ~budget ?store_dir:store ?deadline_ms ~domains:job_domains ~engine
+          spec)
       entries
   in
   let cfg =
@@ -765,7 +802,7 @@ let batch_cmd specs manifest strategy layout budget workers attempts
    in-flight ones finish within --drain-deadline-ms, and the process
    exits with code 5. *)
 let serve_cmd strategy layout budget workers attempts job_timeout_ms
-    backoff_ms faults journal store domains (ov : overload_flags) =
+    backoff_ms faults journal store domains engine (ov : overload_flags) =
   let workers = workers_of_flag workers in
   let job_domains = domains_per_worker ~workers domains in
   let cfg =
@@ -837,7 +874,8 @@ let serve_cmd strategy layout budget workers attempts job_timeout_ms
             incr idx;
             let job =
               Server.Job.make ~idx:!idx ~strategy:s ~layout:l ~budget
-                ?store_dir:store ?deadline_ms ~domains:job_domains spec
+                ?store_dir:store ?deadline_ms ~domains:job_domains ~engine
+                spec
             in
             Server.Supervisor.submit t job;
             unprinted := !unprinted @ [ job ]
@@ -980,9 +1018,13 @@ let engine_arg =
           "Solver engine: delta (difference propagation with online cycle \
            elimination, default), delta-par (delta with the copy-edge \
            drain run on several domains; see --domains), delta-nocycle \
-           (difference propagation only; the ablation baseline), or naive \
-           (reference full-reread worklist). All four reach the same \
-           fixpoint; they differ only in how much work it costs.")
+           (difference propagation only; the ablation baseline), naive \
+           (reference full-reread worklist), or summary (bottom-up \
+           per-function summaries over the call-graph SCC-DAG; with \
+           --store DIR the summaries are cached under DIR/summaries and \
+           an edit recomputes only its dependent chain). All five reach \
+           the same fixpoint; they differ only in how much work it \
+           costs.")
 
 let domains_arg =
   Arg.(
@@ -1274,11 +1316,11 @@ let corpus_t =
 let batch_t =
   let run specs manifest strategy layout budget workers attempts
       job_timeout_ms backoff_ms faults journal resume format store domains
-      overload =
+      engine overload =
     wrap (fun () ->
         batch_cmd specs manifest strategy layout budget workers attempts
           job_timeout_ms backoff_ms faults journal resume format store domains
-          overload)
+          engine overload)
   in
   Cmd.v
     (Cmd.info "batch"
@@ -1293,14 +1335,15 @@ let batch_t =
       const run $ specs_arg $ jobs_arg $ strategy_arg $ layout_arg
       $ budget_term $ workers_arg $ attempts_arg $ job_timeout_ms_arg
       $ backoff_ms_arg $ faults_arg $ journal_arg $ resume_arg
-      $ batch_format_arg $ store_arg $ domains_arg $ overload_term)
+      $ batch_format_arg $ store_arg $ domains_arg $ engine_arg
+      $ overload_term)
 
 let serve_t =
   let run strategy layout budget workers attempts job_timeout_ms backoff_ms
-      faults journal store domains overload =
+      faults journal store domains engine overload =
     wrap (fun () ->
         serve_cmd strategy layout budget workers attempts job_timeout_ms
-          backoff_ms faults journal store domains overload)
+          backoff_ms faults journal store domains engine overload)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -1316,7 +1359,7 @@ let serve_t =
     Term.(
       const run $ strategy_arg $ layout_arg $ budget_term $ workers_arg
       $ attempts_arg $ job_timeout_ms_arg $ backoff_ms_arg $ faults_arg
-      $ journal_arg $ store_arg $ domains_arg $ overload_term)
+      $ journal_arg $ store_arg $ domains_arg $ engine_arg $ overload_term)
 
 let base_spec_arg =
   Arg.(

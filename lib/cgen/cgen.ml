@@ -236,7 +236,7 @@ let gen_stmt st pool : unit =
       | _ -> emit st "pi%d = *ppi0;" (rand st 2))
   | 9 when st.cfg.with_calls -> (
       (* call one of the generated helper functions *)
-      match rand st 3 with
+      match rand st 7 with
       | 0 -> (
           match (lv (same_ty (GPtr GInt)), lv (same_ty (GPtr GInt))) with
           | Some a, Some b when a.code <> b.code ->
@@ -249,6 +249,34 @@ let gen_stmt st pool : unit =
                lv (same_ty (GPtr (GStruct i))) )
            with
           | Some p, Some q -> emit st "%s = id_g%d(%s);" p.code i q.code
+          | _ -> ())
+      | 2 -> (
+          (* mutually recursive pair: a non-trivial call-graph SCC *)
+          match (lv (same_ty (GPtr GInt)), lv (same_ty (GPtr GInt))) with
+          | Some a, Some b ->
+              emit st "%s = mr_ping(%s, %d);" a.code b.code (1 + rand st 4)
+          | _ -> ())
+      | 3 -> (
+          (* populate the function-pointer table *)
+          match rand st 3 with
+          | 0 -> emit st "cb0.pick = pick_int;"
+          | 1 -> emit st "cb0.pick = &second_int;"
+          | _ -> emit st "fp0 = cb0.pick;")
+      | 4 -> (
+          (* callback invoked inside a callee, through a struct *)
+          match (lv (same_ty (GPtr GInt)), lv (same_ty (GPtr GInt))) with
+          | Some a, Some b when a.code <> b.code ->
+              emit st "%s = use_cb(&cb0, %s, %s);" a.code a.code b.code
+          | _ -> ())
+      | 5 -> (
+          (* direct indirect call through the fp global or the table *)
+          match (lv (same_ty (GPtr GInt)), lv (same_ty (GPtr GInt))) with
+          | Some a, Some b when a.code <> b.code ->
+              if chance st 0.5 then
+                emit st "if (fp0) %s = fp0(%s, %s);" a.code a.code b.code
+              else
+                emit st "if (cb0.pick) %s = (*cb0.pick)(%s, %s);" a.code
+                  a.code b.code
           | _ -> ())
       | _ -> (
           let i = rand st (Array.length st.structs) in
@@ -295,6 +323,23 @@ let generate ?(cfg = default) ~(seed : int) () : string =
     (* helper functions callable from main's generated statements *)
     Buffer.add_string b
       "int *pick_int(int *a, int *b) { if (a) return a; return b; }\n";
+    (* call-heavy shapes: a mutually recursive pair (a call-graph SCC
+       wider than one function), a function-pointer table in a struct,
+       and a callback invoked inside a callee through that struct *)
+    Buffer.add_string b
+      "int *second_int(int *a, int *b) { if (b) return b; return a; }\n\
+       int *mr_pong(int *a, int n);\n\
+       int *mr_ping(int *a, int n) { if (n) return mr_pong(a, n - 1); \
+       return a; }\n\
+       int *mr_pong(int *a, int n) { if (n) return mr_ping(a, n - 1); \
+       return a; }\n\
+       struct cbops { int *(*pick)(int *, int *); };\n\
+       struct cbops cb0;\n\
+       int *(*fp0)(int *, int *);\n\
+       int *use_cb(struct cbops *o, int *a, int *b) {\n\
+      \  if (o->pick) return (*o->pick)(a, b);\n\
+      \  return a;\n\
+       }\n";
     Array.iteri
       (fun i (name, fields) ->
         Buffer.add_string b

@@ -61,7 +61,8 @@ open Norm
 
 module Itbl = Hashtbl.Make (Int)
 
-type engine = [ `Delta | `Delta_nocycle | `Naive | `Delta_par of int ]
+type engine =
+  [ `Delta | `Delta_nocycle | `Naive | `Delta_par of int | `Summary ]
 
 type t = {
   ctx : Actx.t;
@@ -202,6 +203,35 @@ type t = {
   mutable incr_fallback_planned : int;
       (** 1 when the incremental engine chose a scratch solve because
           its cost estimate said retraction could not win *)
+  (* --- bottom-up summary schedule (the [`Summary] engine) ----------- *)
+  mutable summary_probe : (Nast.func -> bool) option;
+      (** consulted before a function's statements are enqueued in the
+          bottom-up pass; returning [true] means a cached summary was
+          injected for it ([lib/summary]'s store hook), so the pass
+          skips its statements — the closing whole-program pass still
+          visits them, which is what makes a stale or partial injection
+          harmless *)
+  mutable summary_commit : (Nast.func -> unit) option;
+      (** called once per freshly summarized function, at the moment its
+          SCC (and every callee below it) reached fixpoint but no caller
+          has been solved — the point where the function's attributed
+          constraints are a pure function of its body, its transitive
+          callees, and the configuration *)
+  inst_mem : (int * string, unit) Hashtbl.t;
+      (** (call stmt id, callee) pairs already counted as summary
+          instantiations *)
+  mutable summary_sccs : int;
+      (** [`Summary]: call-graph SCCs scheduled bottom-up *)
+  mutable summary_scc_rounds : int;
+      (** [`Summary]: SCC fixpoint rounds, ≥ one per SCC — extra rounds
+          are function-pointer callee sets stabilizing at the boundary *)
+  mutable summary_instantiations : int;
+      (** [`Summary]: distinct (call site, resolved callee) bindings
+          instantiated *)
+  mutable summary_hits : int;
+      (** functions whose summary was injected from the cache *)
+  mutable summary_recomputed : int;
+      (** functions summarized from scratch *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -327,16 +357,27 @@ let create ?(layout = Layout.default) ?(arith = `Spread)
     incr_warm_visits = 0;
     incr_stmts_replayed = 0;
     incr_fallback_planned = 0;
+    summary_probe = None;
+    summary_commit = None;
+    inst_mem = Hashtbl.create (if engine = `Summary then 64 else 1);
+    summary_sccs = 0;
+    summary_scc_rounds = 0;
+    summary_instantiations = 0;
+    summary_hits = 0;
+    summary_recomputed = 0;
   }
 
 (** Both difference-propagation engines ([`Delta] and [`Delta_nocycle]). *)
 let is_delta t = t.engine <> `Naive
 
-(** Cycle elimination runs under the full [`Delta] engine and its
+(** Cycle elimination runs under the full [`Delta] engine, its
     domain-parallel sibling (where unification is deferred to the
-    sequential frontier gaps). *)
+    sequential frontier gaps), and the bottom-up summary schedule
+    (whose drains are the sequential delta ones). *)
 let cycles_on t =
-  match t.engine with `Delta | `Delta_par _ -> true | _ -> false
+  match t.engine with
+  | `Delta | `Delta_par _ | `Summary -> true
+  | _ -> false
 
 let canon_id t (cid : int) : int =
   Cell.id (Graph.canon t.graph (Cell.of_id cid))
@@ -855,7 +896,7 @@ let add_edge t (c : Cell.t) (w : Cell.t) =
         match Cvar.Tbl.find_opt t.subscribers c.Cell.base with
         | Some lst -> List.iter (enqueue t) !lst
         | None -> ())
-    | `Delta | `Delta_nocycle | `Delta_par _ ->
+    | `Delta | `Delta_nocycle | `Delta_par _ | `Summary ->
         let rid = canon_id t (Cell.id c) in
         (* the new fact flows along the class's copy edges… *)
         push_cell t rid;
@@ -1174,6 +1215,15 @@ let process t (stmt : Nast.stmt) =
   let bind_call (call : Nast.call) (fname : string) =
     match Hashtbl.find_opt t.funcs fname with
     | Some f ->
+        (* under the summary schedule, a (call site, callee) binding is
+           one instantiation of the callee's parameterized summary —
+           counted once, however many visits re-derive it *)
+        (if t.engine = `Summary then
+           let key = (stmt.Nast.id, fname) in
+           if not (Hashtbl.mem t.inst_mem key) then begin
+             Hashtbl.replace t.inst_mem key ();
+             t.summary_instantiations <- t.summary_instantiations + 1
+           end);
         (* actuals into formals, extras into the vararg blob *)
         let rec bind params args =
           match (params, args) with
@@ -1543,72 +1593,18 @@ exception Phase_reset
     roughly equal node count. Returns the (representative id → region)
     map and the number of regions actually formed. *)
 let build_partition t ~(nregions : int) : int Itbl.t * int =
-  let index = Itbl.create 256 in
-  let lowlink = Itbl.create 256 in
-  let on_stack = Itbl.create 256 in
-  let stack = ref [] in
-  let sccs = ref [] in
-  let counter = ref 0 in
-  let total = ref 0 in
   let adj n =
     match Itbl.find_opt t.copy_out n with
     | Some l -> List.map (fun (did, _) -> canon_id t did) !l
     | None -> []
   in
-  let visit root =
-    if not (Itbl.mem index root) then begin
-      let push v =
-        Itbl.replace index v !counter;
-        Itbl.replace lowlink v !counter;
-        incr counter;
-        stack := v :: !stack;
-        Itbl.replace on_stack v ()
-      in
-      push root;
-      let frames = ref [ (root, adj root) ] in
-      while !frames <> [] do
-        match !frames with
-        | [] -> ()
-        | (v, w :: more) :: rest ->
-            frames := (v, more) :: rest;
-            if not (Itbl.mem index w) then begin
-              push w;
-              frames := (w, adj w) :: !frames
-            end
-            else if Itbl.mem on_stack w then
-              if Itbl.find index w < Itbl.find lowlink v then
-                Itbl.replace lowlink v (Itbl.find index w)
-        | (v, []) :: rest ->
-            frames := rest;
-            if Itbl.find lowlink v = Itbl.find index v then begin
-              (* [v] roots an SCC: pop its members off the node stack *)
-              let scc = ref [] in
-              let more = ref true in
-              while !more do
-                match !stack with
-                | [] -> more := false
-                | w :: tl ->
-                    stack := tl;
-                    Itbl.remove on_stack w;
-                    scc := w :: !scc;
-                    incr total;
-                    if w = v then more := false
-              done;
-              sccs := !scc :: !sccs
-            end;
-            (match !frames with
-            | (u, _) :: _ ->
-                if Itbl.find lowlink v < Itbl.find lowlink u then
-                  Itbl.replace lowlink u (Itbl.find lowlink v)
-            | [] -> ())
-      done
-    end
-  in
-  List.iter (fun sid -> visit (canon_id t sid)) (List.rev !(t.copy_srcs));
-  (* [!sccs] is topological (last-completed SCC first): pack into
-     contiguous blocks so cross-region edges point mostly forward *)
+  let roots = List.map (fun sid -> canon_id t sid) (List.rev !(t.copy_srcs)) in
+  let sccs = Tarjan.sccs ~roots ~succs:adj in
+  let total = List.fold_left (fun n scc -> n + List.length scc) 0 sccs in
+  (* the SCC list is topological (sources first): pack into contiguous
+     blocks so cross-region edges point mostly forward *)
   let region_of = Itbl.create 256 in
-  let target = max 1 ((!total + nregions - 1) / nregions) in
+  let target = max 1 ((total + nregions - 1) / nregions) in
   let cur = ref 0 and fill = ref 0 in
   List.iter
     (fun scc ->
@@ -1618,7 +1614,7 @@ let build_partition t ~(nregions : int) : int Itbl.t * int =
       end;
       List.iter (fun v -> Itbl.replace region_of v !cur) scc;
       fill := !fill + List.length scc)
-    !sccs;
+    sccs;
   (region_of, !cur + 1)
 
 let region_push t (r : region) (cid : int) =
@@ -1930,7 +1926,7 @@ let propagate_par t (nd : int) =
 
 let propagate t =
   match t.engine with
-  | `Naive | `Delta | `Delta_nocycle -> propagate_seq t
+  | `Naive | `Delta | `Delta_nocycle | `Summary -> propagate_seq t
   | `Delta_par nd ->
       (* parallel phases need pristine cells (round-side applies skip
          the degradation redirect) and enough queued work to amortize
@@ -1992,9 +1988,156 @@ let resume t : unit =
       in
       loop ()
 
-let solve t : unit =
+(* ------------------------------------------------------------------ *)
+(* Bottom-up summary schedule (the [`Summary] engine)                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Defined functions an indirect call in [f] currently resolves to —
+    the function-pointer-induced call edges, read off the fixpoint so
+    far. Sorted, so the SCC-boundary stabilization loop compares sets. *)
+let fp_callees t (f : Nast.func) : string list =
+  let module S = (val t.strategy : Strategy.S) in
+  List.fold_left
+    (fun acc (s : Nast.stmt) ->
+      match s.Nast.kind with
+      | Nast.Call { Nast.cfn = Nast.Indirect fp; _ } ->
+          Cell.Set.fold
+            (fun (w : Cell.t) acc ->
+              match w.Cell.base.Cvar.vkind with
+              | Cvar.Funval n when Hashtbl.mem t.funcs n -> n :: acc
+              | _ -> acc)
+            (Graph.pts t.graph (S.normalize t.ctx fp []))
+            acc
+      | _ -> acc)
+    [] f.Nast.fstmts
+  |> List.sort_uniq compare
+
+(** The [`Summary] schedule: condense the direct-call graph into an
+    SCC-DAG with {!Tarjan} and solve it bottom-up — each SCC to
+    fixpoint, iterating until the function-pointer-induced callee set at
+    its boundary stabilizes — then close with a whole-program pass.
+
+    Per SCC, each member function is first offered to [summary_probe]
+    (the store hook): a hit means its recorded constraints were injected
+    and its statements are not enqueued in this pass; a miss enqueues
+    them. After the SCC stabilizes — and before any caller is solved —
+    [summary_commit] extracts each missed member's attributed
+    constraints, which at that moment are a pure function of its body,
+    its transitive callees, and the configuration (callers and global
+    initializers have contributed nothing yet).
+
+    The closing pass enqueues every statement (the global initializers
+    for the first time) and resumes to the global fixpoint. It is what
+    makes the schedule unconditionally exact: cursors make re-visits
+    cheap for work the bottom-up pass already did, and any constraint an
+    injected summary did not carry is re-derived. The rules are monotone
+    and confluent, so this schedule reaches the same least fixpoint —
+    and the same stats-free report, byte for byte — as the
+    whole-program engines. *)
+let solve_summary t =
+  let funcs = Array.of_list t.prog.Nast.pfuncs in
+  let index = Hashtbl.create 32 in
+  Array.iteri
+    (fun i (f : Nast.func) -> Hashtbl.replace index f.Nast.fname i)
+    funcs;
+  let succs i =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (s : Nast.stmt) ->
+           match s.Nast.kind with
+           | Nast.Call { Nast.cfn = Nast.Direct n; _ } ->
+               Hashtbl.find_opt index n
+           | _ -> None)
+         funcs.(i).Nast.fstmts)
+  in
+  let roots = List.init (Array.length funcs) Fun.id in
+  (* topological order puts callers first; reverse for bottom-up *)
+  let bottom_up = List.rev (Tarjan.sccs ~roots ~succs) in
+  t.summary_sccs <- List.length bottom_up;
+  List.iter
+    (fun scc ->
+      let members = List.map (fun i -> funcs.(i)) scc in
+      let missed =
+        List.filter
+          (fun (f : Nast.func) ->
+            match t.summary_probe with
+            | Some probe when probe f ->
+                t.summary_hits <- t.summary_hits + 1;
+                false
+            | _ ->
+                t.summary_recomputed <- t.summary_recomputed + 1;
+                true)
+          members
+      in
+      List.iter
+        (fun (f : Nast.func) -> List.iter (enqueue t) f.Nast.fstmts)
+        missed;
+      (* solve the SCC, then iterate while the boundary's resolved
+         callee set still grows: each new function-pointer target's
+         bindings were installed by the re-woken call statements during
+         the resume, which can resolve further targets *)
+      let callees () =
+        List.sort_uniq compare (List.concat_map (fp_callees t) members)
+      in
+      let rec stabilize prev =
+        resume t;
+        t.summary_scc_rounds <- t.summary_scc_rounds + 1;
+        let now = callees () in
+        if now <> prev then begin
+          List.iter
+            (fun (f : Nast.func) ->
+              List.iter
+                (fun (s : Nast.stmt) ->
+                  match s.Nast.kind with
+                  | Nast.Call { Nast.cfn = Nast.Indirect _; _ } ->
+                      enqueue t s
+                  | _ -> ())
+                f.Nast.fstmts)
+            members;
+          stabilize now
+        end
+      in
+      stabilize (callees ());
+      match t.summary_commit with
+      | Some commit -> List.iter commit missed
+      | None -> ())
+    bottom_up;
+  (* closing whole-program pass: global initializers join, cache hits
+     get their statements visited, and the fixpoint goes global *)
   List.iter (enqueue t) (Nast.all_stmts t.prog);
   resume t
+
+(** Inject an externally derived points-to fact (a cached summary's
+    direct edge) through the full [add_edge] path — consumers wake,
+    drains queue, budgets charge — without attributing it to any
+    statement. Callers must only inject facts that hold in the program's
+    least fixpoint; a per-function summary recorded under the same body,
+    callee, and configuration digests qualifies (it was derived from a
+    subset of the contexts the full solve sees). *)
+let inject_edge t (c : Cell.t) (w : Cell.t) =
+  let saved = t.cur_stmt in
+  t.cur_stmt <- -1;
+  add_edge t c w;
+  t.cur_stmt <- saved
+
+(** Inject a subset constraint (a cached summary's copy edge), likewise
+    unattributed. Constraints between cells that are equal or ordered in
+    the least fixpoint leave it unchanged, which a replayed summary
+    edge is. *)
+let inject_copy t ~(dst : Cell.t) ~(src : Cell.t) =
+  if is_delta t then begin
+    let saved = t.cur_stmt in
+    t.cur_stmt <- -1;
+    ensure_copy t (redirect_cell t dst) (redirect_cell t src);
+    t.cur_stmt <- saved
+  end
+
+let solve t : unit =
+  match t.engine with
+  | `Summary -> solve_summary t
+  | _ ->
+      List.iter (enqueue t) (Nast.all_stmts t.prog);
+      resume t
 
 (** Swap in a new program (the incremental engine's aligned edit),
     keeping the function table consistent. Does not enqueue anything. *)

@@ -1,0 +1,64 @@
+(** Iterative Tarjan SCC; see the interface for the ordering and
+    determinism contract. *)
+
+module Itbl = Hashtbl.Make (Int)
+
+let sccs ~(roots : int list) ~(succs : int -> int list) : int list list =
+  let index = Itbl.create 256 in
+  let lowlink = Itbl.create 256 in
+  let on_stack = Itbl.create 256 in
+  let stack = ref [] in
+  let out = ref [] in
+  let counter = ref 0 in
+  let visit root =
+    if not (Itbl.mem index root) then begin
+      let push v =
+        Itbl.replace index v !counter;
+        Itbl.replace lowlink v !counter;
+        incr counter;
+        stack := v :: !stack;
+        Itbl.replace on_stack v ()
+      in
+      push root;
+      let frames = ref [ (root, succs root) ] in
+      while !frames <> [] do
+        match !frames with
+        | [] -> ()
+        | (v, w :: more) :: rest ->
+            frames := (v, more) :: rest;
+            if not (Itbl.mem index w) then begin
+              push w;
+              frames := (w, succs w) :: !frames
+            end
+            else if Itbl.mem on_stack w then
+              if Itbl.find index w < Itbl.find lowlink v then
+                Itbl.replace lowlink v (Itbl.find index w)
+        | (v, []) :: rest ->
+            frames := rest;
+            if Itbl.find lowlink v = Itbl.find index v then begin
+              (* [v] roots an SCC: pop its members off the node stack *)
+              let scc = ref [] in
+              let more = ref true in
+              while !more do
+                match !stack with
+                | [] -> more := false
+                | w :: tl ->
+                    stack := tl;
+                    Itbl.remove on_stack w;
+                    scc := w :: !scc;
+                    if w = v then more := false
+              done;
+              out := !scc :: !out
+            end;
+            (match !frames with
+            | (u, _) :: _ ->
+                if Itbl.find lowlink v < Itbl.find lowlink u then
+                  Itbl.replace lowlink u (Itbl.find lowlink v)
+            | [] -> ())
+      done
+    end
+  in
+  List.iter visit roots;
+  (* components complete only after all their successors have: the
+     cons-accumulated list is already topological, sources first *)
+  !out

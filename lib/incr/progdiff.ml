@@ -291,3 +291,32 @@ let align ~(base : Nast.program) (edited : Nast.program) : Nast.program * t =
     } )
 
 let diff ~base edited : t = snd (align ~base edited)
+
+let funcs_changed ~(base : Nast.program) (edited : Nast.program) :
+    string list =
+  let body_sig (p : Nast.program) =
+    let iface = iface_of_program p in
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (f : Nast.func) ->
+        let keys =
+          List.map (stmt_key ~iface ~scope:f.Nast.fname) f.Nast.fstmts
+        in
+        Hashtbl.replace tbl f.Nast.fname
+          (interface_key f :: List.sort compare keys))
+      p.Nast.pfuncs;
+    tbl
+  in
+  let b = body_sig base and e = body_sig edited in
+  let changed = Hashtbl.create 16 in
+  let scan one other =
+    Hashtbl.iter
+      (fun name sg ->
+        match Hashtbl.find_opt other name with
+        | Some sg' when sg = sg' -> ()
+        | _ -> Hashtbl.replace changed name ())
+      one
+  in
+  scan b e;
+  scan e b;
+  List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) changed [])

@@ -47,6 +47,12 @@ val var_key : Cvar.t -> string
     type. A type change makes a different key — the variable is treated
     as removed and re-added. *)
 
+val interface_key : Nast.func -> string
+(** Identity-free fingerprint of a function's calling interface: its
+    name plus the {!var_key}s of parameters, return slot, and vararg
+    sink. Embedded in call-statement keys and in [lib/summary]'s body
+    digests. *)
+
 val stmt_key : iface:(string -> string) -> scope:string -> Nast.stmt -> string
 (** Canonical key of a statement inside [scope] (a function name, or
     ["<init>"] for global initializers). [iface] renders a called
@@ -73,3 +79,11 @@ val align : base:Nast.program -> Nast.program -> Nast.program * t
 
 val diff : base:Nast.program -> Nast.program -> t
 (** Just the delta of {!align}. *)
+
+val funcs_changed : base:Nast.program -> Nast.program -> string list
+(** Names of functions whose interface or body statement-key multiset
+    differs between the two programs (added and removed functions
+    included), sorted. Because indirect calls key on the fingerprint of
+    {e all} defined interfaces, a signature change anywhere also lists
+    every function containing an indirect call — exactly the set whose
+    summaries {!Summary} must recompute. *)

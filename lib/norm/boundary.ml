@@ -1,0 +1,29 @@
+(** Function-boundary metadata; see the interface. *)
+
+open Cfront
+
+let direct_callees (f : Nast.func) : string list =
+  List.sort_uniq compare
+    (List.filter_map
+       (fun (s : Nast.stmt) ->
+         match s.Nast.kind with
+         | Nast.Call { Nast.cfn = Nast.Direct n; _ } -> Some n
+         | _ -> None)
+       f.Nast.fstmts)
+
+let has_indirect_call (f : Nast.func) : bool =
+  List.exists
+    (fun (s : Nast.stmt) ->
+      match s.Nast.kind with
+      | Nast.Call { Nast.cfn = Nast.Indirect _; _ } -> true
+      | _ -> false)
+    f.Nast.fstmts
+
+let address_taken (p : Nast.program) : string list =
+  let of_stmt (s : Nast.stmt) =
+    match s.Nast.kind with
+    | Nast.Addr (_, t, _) -> (
+        match t.Cvar.vkind with Cvar.Funval n -> Some n | _ -> None)
+    | _ -> None
+  in
+  List.sort_uniq compare (List.filter_map of_stmt (Nast.all_stmts p))

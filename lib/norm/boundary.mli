@@ -1,0 +1,21 @@
+(** Function-boundary metadata read off normalized bodies: the direct
+    call-graph edges, indirect-call presence, and the address-taken
+    function set. [lib/summary] builds its call-graph condensation and
+    summary keys from these; they are also what a reader needs to judge
+    whether a function's behaviour can be captured caller-independently. *)
+
+val direct_callees : Nast.func -> string list
+(** Names a function calls through [Nast.Direct] call statements,
+    sorted, duplicates removed. Includes externs and undefined names —
+    callers filter against the program's definitions. *)
+
+val has_indirect_call : Nast.func -> bool
+(** Whether any call statement in the body goes through a function
+    pointer ([Nast.Indirect]). Such callees are resolved from the
+    points-to fixpoint, not the syntax. *)
+
+val address_taken : Nast.program -> string list
+(** Functions whose address escapes into the points-to world: the
+    [Cvar.Funval] bases of address-of statements anywhere in the
+    program (including global initializers), sorted, duplicates
+    removed. Exactly these can be targets of an indirect call. *)

@@ -660,14 +660,17 @@ let lower (prog : Tast.program) : Nast.program =
     pglobals @ fun_vars @ local_vars @ List.rev ctx.extra_vars
     @ List.map snd pexterns
   in
-  {
-    Nast.pfile = prog.Tast.pfile;
-    pglobals;
-    pfuncs;
-    pexterns;
-    pinit;
-    pall_vars;
-  }
+  (* canonical positional temp names: identity-free keys built from
+     variable names survive mid-function insertions (see {!Tempnames}) *)
+  Tempnames.canonicalize
+    {
+      Nast.pfile = prog.Tast.pfile;
+      pglobals;
+      pfuncs;
+      pexterns;
+      pinit;
+      pall_vars;
+    }
 
 (** One-call convenience pipeline: preprocess, parse, type-check, lower.
 

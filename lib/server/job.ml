@@ -12,11 +12,14 @@ type t = {
   store_dir : string option;
   deadline_ms : int option;
   domains : int;
+  engine : string;
 }
+
+let engine_ids = [ "delta"; "delta-nocycle"; "naive"; "delta-par"; "summary" ]
 
 let make ~idx ?(strategy = "cis") ?(layout = "ilp32")
     ?(budget = Core.Budget.default) ?store_dir ?deadline_ms ?(domains = 1)
-    spec =
+    ?(engine = "delta") spec =
   {
     id = Printf.sprintf "job%d" idx;
     spec;
@@ -26,7 +29,20 @@ let make ~idx ?(strategy = "cis") ?(layout = "ilp32")
     store_dir;
     deadline_ms;
     domains = max 1 domains;
+    engine;
   }
+
+(* [domains] keeps its historical meaning as the parallelism knob: the
+   default "delta" engine silently widens to delta-par when a job is
+   granted more than one domain, and an explicit "delta-par" takes its
+   width from the same field. *)
+let engine_of (t : t) : Core.Solver.engine =
+  match t.engine with
+  | "delta-nocycle" -> `Delta_nocycle
+  | "naive" -> `Naive
+  | "summary" -> `Summary
+  | "delta-par" -> `Delta_par (max 1 t.domains)
+  | _ -> if t.domains > 1 then `Delta_par t.domains else `Delta
 
 let layout_of_id = function
   | "ilp32" -> Some Layout.ilp32
@@ -50,6 +66,10 @@ let validate (t : t) : (unit, string) result =
     Error
       (Printf.sprintf "%s: unknown layout %s (ilp32|lp64|word16)" t.id
          t.layout_id)
+  else if not (List.mem t.engine engine_ids) then
+    Error
+      (Printf.sprintf "%s: unknown engine %s (have: %s)" t.id t.engine
+         (String.concat "|" engine_ids))
   else Ok ()
 
 (* ------------------------------------------------------------------ *)
@@ -82,7 +102,7 @@ let strategy_for_rung id rung = if rung >= 2 then "collapse-always" else id
 (* ------------------------------------------------------------------ *)
 (* Wire encoding: id \t attempt \t rung \t strategy \t layout          *)
 (*   \t steps \t timeout_ms \t obj_cells \t total_cells \t store       *)
-(*   \t deadline_ms \t domains \t spec                                 *)
+(*   \t deadline_ms \t domains \t engine \t spec                       *)
 (* (0 encodes an absent limit/deadline; "" encodes no store            *)
 (* directory; spec goes last for readability).                         *)
 (* The timeout crosses the wire in whole milliseconds with a 1 ms      *)
@@ -99,20 +119,20 @@ let to_wire (t : t) ~attempt ~rung : string =
     | None -> 0
     | Some s -> max 1 (int_of_float (s *. 1000.))
   in
-  Printf.sprintf "%s\t%d\t%d\t%s\t%s\t%d\t%d\t%d\t%d\t%s\t%d\t%d\t%s" t.id
-    attempt rung t.strategy_id t.layout_id
+  Printf.sprintf "%s\t%d\t%d\t%s\t%s\t%d\t%d\t%d\t%d\t%s\t%d\t%d\t%s\t%s"
+    t.id attempt rung t.strategy_id t.layout_id
     (o t.budget.Core.Budget.max_steps)
     timeout_ms
     (o t.budget.Core.Budget.max_cells_per_object)
     (o t.budget.Core.Budget.max_total_cells)
     (Option.value t.store_dir ~default:"")
-    (o t.deadline_ms) t.domains t.spec
+    (o t.deadline_ms) t.domains t.engine t.spec
 
 let of_wire (line : string) : (t * int * int, string) result =
   match String.split_on_char '\t' line with
   | [
       id; attempt; rung; strategy_id; layout_id; steps; tms; obj; total; store;
-      deadline; domains; spec;
+      deadline; domains; engine; spec;
     ] -> (
       let opt s =
         match int_of_string_opt s with
@@ -159,8 +179,9 @@ let of_wire (line : string) : (t * int * int, string) result =
                 store_dir;
                 deadline_ms;
                 domains;
+                engine;
               },
               attempt,
               rung )
       | _ -> Error ("malformed numeric field in job request: " ^ line))
-  | _ -> Error ("malformed job request (expected 13 fields): " ^ line)
+  | _ -> Error ("malformed job request (expected 14 fields): " ^ line)

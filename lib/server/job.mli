@@ -32,9 +32,12 @@ type t = {
           [timeout_s] at dispatch, and kills a worker still running
           past it ([None] = no deadline) *)
   domains : int;
-      (** solver domains for this job: [> 1] selects the
-          [`Delta_par] engine at that width, [1] (the default) the
-          sequential [`Delta] engine. Same fixpoint either way. *)
+      (** solver domains for this job: with the default ["delta"]
+          engine, [> 1] selects [`Delta_par] at that width and [1] the
+          sequential [`Delta]; an explicit ["delta-par"] reads its
+          width from here too. Same fixpoint either way. *)
+  engine : string;
+      (** solver engine id (delta | delta-nocycle | naive | delta-par           | summary); ["summary"] with a [store_dir] additionally           consults the per-function summary cache under           [store_dir/summaries] *)
 }
 
 val make :
@@ -45,17 +48,25 @@ val make :
   ?store_dir:string ->
   ?deadline_ms:int ->
   ?domains:int ->
+  ?engine:string ->
   string ->
   t
 (** [make ~idx spec] — id ["job<idx>"], strategy ["cis"], layout
     ["ilp32"], budget {!Core.Budget.default}, no store, no deadline,
-    1 domain (clamped up to 1). *)
+    1 domain (clamped up to 1), engine ["delta"]. *)
 
 val validate : t -> (unit, string) result
 (** Reject tabs/newlines in string fields, unknown strategies, and
     unknown layouts. *)
 
 val layout_of_id : string -> Cfront.Layout.config option
+
+val engine_ids : string list
+(** The engine ids {!validate} accepts. *)
+
+val engine_of : t -> Core.Solver.engine
+(** Resolve the job's engine id and domain count to a solver engine
+    (see the [domains] field for the widening rule). *)
 
 (** {1 Degradation ladder} *)
 

@@ -45,8 +45,8 @@ let sanitize s =
    stats-free rendering a scratch solve would produce, with the store's
    counter block spliced alongside. Store-I/O faults come from
    [STRUCTCAST_STORE_FAULTS]; write ordinals count per job. *)
-let run_store ~store_dir ~layout ~layout_id ~strategy_id ~budget ~engine ~name
-    ~spec source : string * bool * bool =
+let run_store ~store_dir ~layout ~layout_id ~strategy_id ~budget ~engine
+    ~engine_id ~name ~spec source : string * bool * bool =
   let store =
     Store.open_store
       ~inject:(Faults.store_hook (Faults.store_of_env ()))
@@ -59,9 +59,25 @@ let run_store ~store_dir ~layout ~layout_id ~strategy_id ~budget ~engine ~name
       ~file:name source
   in
   let dlist = Diag.diagnostics diags in
+  (* a summary job layers the per-function cache under the snapshot
+     store: exact repeats and additive edits still short-circuit at the
+     whole-program level, a cold solve reuses unchanged summary chains *)
+  let sumcache =
+    if engine_id = "summary" then
+      Some
+        (Summary.Sumcache.open_cache
+           ~log:(fun m -> prerr_endline ("summary: " ^ m))
+           (Filename.concat store_dir "summaries"))
+    else None
+  in
   let served =
-    Store.serve store ~want:`Json ~diags:dlist ~name ~strategy_id ~engine
-      ~layout ~layout_id ~budget prog
+    match sumcache with
+    | Some cache ->
+        Summary.Engine.serve ~store ~cache ~want:`Json ~diags:dlist ~name
+          ~strategy_id ~layout ~layout_id ~budget prog
+    | None ->
+        Store.serve store ~want:`Json ~diags:dlist ~name ~strategy_id ~engine
+          ~layout ~layout_id ~budget prog
   in
   let degraded =
     match served.Store.sv_result with
@@ -73,7 +89,13 @@ let run_store ~store_dir ~layout ~layout_id ~strategy_id ~budget ~engine ~name
       (fun (p : Diag.payload) -> p.Diag.severity = Diag.Error_sev)
       dlist
   in
-  (Store.with_counters store served.Store.sv_json, degraded, diag_errors)
+  let json = Store.with_counters store served.Store.sv_json in
+  let json =
+    match sumcache with
+    | Some c -> Summary.Engine.with_counters c json
+    | None -> json
+  in
+  (json, degraded, diag_errors)
 
 let run_job (job : Job.t) ~attempt ~rung :
     (string * bool * bool, string) result =
@@ -90,15 +112,14 @@ let run_job (job : Job.t) ~attempt ~rung :
       | None -> failwith ("unknown strategy " ^ strategy_id)
     in
     let budget = Job.budget_for_rung job.Job.budget rung in
-    let engine : Core.Solver.engine =
-      if job.Job.domains > 1 then `Delta_par job.Job.domains else `Delta
-    in
+    let engine = Job.engine_of job in
     let name, source = load_source job.Job.spec in
     let result_json, solve_degraded, diag_errors =
       match job.Job.store_dir with
       | Some store_dir ->
           run_store ~store_dir ~layout ~layout_id:job.Job.layout_id
-            ~strategy_id ~budget ~engine ~name ~spec:job.Job.spec source
+            ~strategy_id ~budget ~engine ~engine_id:job.Job.engine ~name
+            ~spec:job.Job.spec source
       | None ->
           let diags = Diag.create () in
           let r =

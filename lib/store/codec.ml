@@ -24,6 +24,7 @@ let engine_id : Solver.engine -> string = function
   | `Delta_nocycle -> "delta-nocycle"
   | `Naive -> "naive"
   | `Delta_par _ -> "delta-par"
+  | `Summary -> "summary"
 
 let arith_id : arith -> string = function
   | `Spread -> "spread"
@@ -141,6 +142,9 @@ let dec_str (s : string) : string =
       in
       go 0;
       Buffer.contents b
+
+let dec_str_opt (s : string) : string option =
+  match dec_str s with v -> Some v | exception Bad _ -> None
 
 (* ------------------------------------------------------------------ *)
 (* Decoded form                                                        *)

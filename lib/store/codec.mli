@@ -68,6 +68,15 @@ val key :
     normalized program reached with different warnings must not
     collide). *)
 
+val enc_str : string -> string
+(** Percent-escape a string into one whitespace-free token (percent,
+    space, and control bytes become [%XX]), so codec lines split on
+    single spaces with no quoting rules. Shared with [lib/summary]'s
+    record format. *)
+
+val dec_str_opt : string -> string option
+(** Inverse of {!enc_str}; [None] on a malformed escape. *)
+
 type decoded
 (** A checksum- and range-verified snapshot, not yet bound to a
     program. *)

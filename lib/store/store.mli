@@ -91,6 +91,7 @@ val serve :
   layout_id:string ->
   ?arith:Codec.arith ->
   budget:Budget.limits ->
+  ?cold:(unit -> Solver.t) ->
   Nast.program ->
   served
 (** Satisfy one analysis request through the store. Exact hit in

@@ -1,0 +1,110 @@
+(** Direct-call-graph condensation; see the interface. *)
+
+open Norm
+
+type t = {
+  funcs : Nast.func array;
+  scc_of_fn : (string, int) Hashtbl.t;
+  sccs : Nast.func list array;  (** bottom-up order *)
+  callees : int list array;  (** per SCC, callee SCC indices, sorted *)
+}
+
+let build (prog : Nast.program) : t =
+  let funcs = Array.of_list prog.Nast.pfuncs in
+  let index = Hashtbl.create 32 in
+  Array.iteri
+    (fun i (f : Nast.func) -> Hashtbl.replace index f.Nast.fname i)
+    funcs;
+  let succs i =
+    List.filter_map
+      (fun n -> Hashtbl.find_opt index n)
+      (Boundary.direct_callees funcs.(i))
+  in
+  let roots = List.init (Array.length funcs) Fun.id in
+  (* Tarjan yields the condensation callers-first; reverse for the
+     bottom-up schedule the summaries compose along *)
+  let bottom_up = List.rev (Core.Tarjan.sccs ~roots ~succs) in
+  let sccs =
+    Array.of_list
+      (List.map (fun scc -> List.map (fun i -> funcs.(i)) scc) bottom_up)
+  in
+  let scc_of_fn = Hashtbl.create 32 in
+  Array.iteri
+    (fun si members ->
+      List.iter
+        (fun (f : Nast.func) -> Hashtbl.replace scc_of_fn f.Nast.fname si)
+        members)
+    sccs;
+  let callees =
+    Array.map
+      (fun members ->
+        let si =
+          match members with
+          | (f : Nast.func) :: _ -> Hashtbl.find scc_of_fn f.Nast.fname
+          | [] -> assert false
+        in
+        List.sort_uniq compare
+          (List.concat_map
+             (fun (f : Nast.func) ->
+               List.filter_map
+                 (fun n ->
+                   match Hashtbl.find_opt scc_of_fn n with
+                   | Some sj when sj <> si -> Some sj
+                   | _ -> None)
+                 (Boundary.direct_callees f))
+             members))
+      sccs
+  in
+  { funcs; scc_of_fn; sccs; callees }
+
+let sccs_bottom_up t = Array.to_list t.sccs
+let scc_of t name = Hashtbl.find_opt t.scc_of_fn name
+let scc_members t si = t.sccs.(si)
+let callee_sccs t si = t.callees.(si)
+
+(* program order = order in [funcs] *)
+let in_program_order t (names : (string, unit) Hashtbl.t) : Nast.func list =
+  Array.to_list t.funcs
+  |> List.filter (fun (f : Nast.func) -> Hashtbl.mem names f.Nast.fname)
+
+let closure_funcs t si : Nast.func list =
+  let seen = Hashtbl.create 16 in
+  let names = Hashtbl.create 16 in
+  let rec visit sj =
+    if not (Hashtbl.mem seen sj) then begin
+      Hashtbl.replace seen sj ();
+      List.iter
+        (fun (f : Nast.func) -> Hashtbl.replace names f.Nast.fname ())
+        t.sccs.(sj);
+      List.iter visit t.callees.(sj)
+    end
+  in
+  visit si;
+  in_program_order t names
+
+let callers_closure t (changed : string list) : string list =
+  (* reverse edges over the condensation, then flood from the changed
+     functions' SCCs upward *)
+  let n = Array.length t.sccs in
+  let rev = Array.make n [] in
+  Array.iteri
+    (fun si callees -> List.iter (fun sj -> rev.(sj) <- si :: rev.(sj)) callees)
+    t.callees;
+  let seen = Hashtbl.create 16 in
+  let rec visit sj =
+    if not (Hashtbl.mem seen sj) then begin
+      Hashtbl.replace seen sj ();
+      List.iter visit rev.(sj)
+    end
+  in
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt t.scc_of_fn name with
+      | Some si -> visit si
+      | None -> ())
+    changed;
+  List.sort_uniq compare
+    (Hashtbl.fold
+       (fun si () acc ->
+         List.map (fun (f : Nast.func) -> f.Nast.fname) t.sccs.(si) @ acc)
+       seen [])

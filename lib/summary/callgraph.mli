@@ -1,0 +1,40 @@
+(** The direct-call graph of a normalized program, condensed into its
+    SCC-DAG with {!Core.Tarjan}. The summary engine keys and solves
+    per SCC: mutually recursive functions share one summary boundary,
+    and a function's summary depends on exactly its SCC's downward
+    closure. *)
+
+open Norm
+
+type t
+
+val build : Nast.program -> t
+(** Build the condensation. Edges follow {!Boundary.direct_callees}
+    restricted to defined functions; indirect calls contribute no edges
+    (their targets are facts, not syntax — the summary engine accounts
+    for them through monotonicity, not the graph). *)
+
+val sccs_bottom_up : t -> Nast.func list list
+(** The SCCs in bottom-up (callees-first) topological order — the order
+    summaries are computed in. Deterministic for a given program. *)
+
+val scc_of : t -> string -> int option
+(** Index of the SCC containing the named function ([None] for names
+    not defined in the program). Indices match positions in
+    {!sccs_bottom_up}. *)
+
+val scc_members : t -> int -> Nast.func list
+(** Member functions of one SCC, in program order. *)
+
+val callee_sccs : t -> int -> int list
+(** SCC indices this SCC calls into (excluding itself), sorted. *)
+
+val closure_funcs : t -> int -> Nast.func list
+(** The SCC's downward closure: its members plus every function
+    transitively reachable over direct calls, in program order. This is
+    the sub-program a summary is a pure function of. *)
+
+val callers_closure : t -> string list -> string list
+(** Every function whose summary depends on one of the named functions:
+    the names themselves plus all transitive direct callers, sorted.
+    This is the exact invalidation set for an edit to those bodies. *)

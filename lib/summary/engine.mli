@@ -1,0 +1,87 @@
+(** The summary engine: bottom-up per-function summaries, cached in a
+    {!Sumcache} and composed over the call-graph SCC-DAG.
+
+    {b How a solve works.} The core [`Summary] schedule ({!Core.Solver})
+    condenses the direct-call graph and solves it callees-first. This
+    module supplies the two hooks that make the schedule incremental
+    across processes:
+
+    - {e probe} (before an SCC is solved): look the function's
+      {!Sumdigest} key up in the cache; on a hit, inject the record's
+      facts and subset constraints ({!Core.Solver.inject_edge} /
+      [inject_copy]) and skip the function's statements in the
+      bottom-up pass.
+    - {e commit} (after the SCC stabilized, for functions that missed):
+      solve the SCC's downward closure {e in isolation} — its member
+      and transitive-callee bodies, no global initializers, no callers
+      — and record each missed member's attributed constraints from
+      that pure sub-fixpoint.
+
+    {b Why this is sound.} The rules are monotone in the statement set:
+    any fact derived from a subset of a program's statements holds in
+    the least fixpoint of every program containing that subset. A
+    record's constraints were derived from exactly the closure bodies
+    its key digests, so under a key match they hold in the request's
+    fixpoint, whatever changed elsewhere. Strategy cell normalization
+    is a pure function of declared types, so recorded cells mean the
+    same storage in any program that binds their variable keys. The
+    closing whole-program pass of the [`Summary] schedule then makes
+    the result {e exact}: a stale cache can cost work, never precision,
+    and the stats-free report stays byte-identical to every other
+    engine's. Records are refused (not written) when the sub-solve
+    degraded under budget or a cell will not rebind identity-free.
+
+    {b Invalidation.} Keys compose callee keys, so an edit to one body
+    changes exactly the keys of its function and its transitive direct
+    callers ({!Callgraph.callers_closure}) — the dependent chain — and
+    the next run recomputes precisely those summaries, hitting on the
+    rest. *)
+
+open Cfront
+open Norm
+open Core
+
+val solve :
+  cache:Sumcache.t ->
+  config:Store.Codec.config ->
+  layout:Layout.config ->
+  strategy:(module Strategy.S) ->
+  Nast.program ->
+  Solver.t
+(** One hooked summary solve to the exact whole-program fixpoint.
+    [config.engine] is forced to [`Summary]; its line is part of every
+    record key. Probe/commit traffic lands in [Sumcache.counters]. *)
+
+val run :
+  cache:Sumcache.t ->
+  config:Store.Codec.config ->
+  layout:Layout.config ->
+  strategy:(module Strategy.S) ->
+  Nast.program ->
+  Analysis.result
+(** {!solve} wrapped with timing and metrics, shaped like
+    {!Core.Analysis.run}. *)
+
+val serve :
+  store:Store.t ->
+  cache:Sumcache.t ->
+  want:[ `Json | `Solver ] ->
+  diags:Diag.payload list ->
+  name:string ->
+  strategy_id:string ->
+  layout:Layout.config ->
+  layout_id:string ->
+  ?arith:Store.Codec.arith ->
+  budget:Budget.limits ->
+  Nast.program ->
+  Store.served
+(** {!Store.serve} with the cold solve routed through {!solve}: an
+    exact snapshot repeat or additive ancestor still short-circuits at
+    the whole-program level; anything colder consults the per-function
+    summary cache, so a single-function edit recomputes only its
+    dependent chain. *)
+
+val with_counters : Sumcache.t -> string -> string
+(** Splice [,"summary_cache":{...}] into a report JSON object —
+    observability, never part of the report's determinism contract
+    (same shape as {!Store.with_counters}). *)

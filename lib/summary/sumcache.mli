@@ -1,0 +1,49 @@
+(** On-disk per-function summary records, content-addressed by
+    {!Sumdigest} keys.
+
+    A record is the caller-independent constraint set of one function —
+    the direct points-to facts and subset (copy) constraints its own
+    statements derived in the least fixpoint of its SCC's downward
+    closure. Endpoints are identity-free [(var key, selector)] pairs,
+    so records rebind across processes and recompiles.
+
+    Records live as [DIR/<key>.sum], written temp + fsync + rename (a
+    crash never leaves a half-visible record); a record that fails its
+    checksum, version, or key check is moved to [DIR/quarantine/] —
+    never deleted — and reported as a miss. Like the snapshot store,
+    the cache is an accelerator with a degrade-to-recompute contract:
+    a corrupt or missing record costs a recompute, never an answer. *)
+
+type sel = Path of string list | Off of int
+(** Mirror of {!Core.Cell.sel} in identity-free form. *)
+
+type endpoint = string * sel
+(** ({!Incr.Progdiff.var_key}, selector). *)
+
+type record = {
+  r_fn : string;  (** function name, a consistency check on load *)
+  r_edges : (endpoint * endpoint) list;
+      (** direct points-to facts [(pointer cell, target cell)] *)
+  r_copies : (endpoint * endpoint) list;
+      (** subset constraints [(dst, src)]: pts(src) ⊆ pts(dst) *)
+}
+
+type t
+
+val open_cache : ?log:(string -> unit) -> string -> t
+(** Open (creating if needed) a record directory. [log] receives
+    operational warnings (quarantines, contained write failures) and
+    must never feed report output. *)
+
+val counters : t -> Core.Metrics.sumcache
+(** Shared counter block: the cache bumps written / write-failure /
+    corrupt, the engine layers hit / miss / unmapped / injection counts
+    onto the same record. *)
+
+val get : t -> key:string -> record option
+(** Load and verify one record; a corrupt record is quarantined and
+    reported as [None]. Does not bump hit/miss counters — the engine
+    owns the notion of a hit. *)
+
+val put : t -> key:string -> record -> unit
+(** Store one record atomically. Failures are contained and counted. *)

@@ -31,4 +31,5 @@ let () =
       ("isolation", Test_isolation.suite);
       ("server", Test_server.suite);
       ("store", Test_store.suite);
+      ("summary-cache", Test_summary_cache.suite);
     ]

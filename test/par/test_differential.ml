@@ -42,11 +42,13 @@ let check_program ~label (prog : Nast.program) =
       let run engine = Core.Analysis.run ~engine ~strategy:(strategy id) prog in
       let d = run `Delta and dn = run `Delta_nocycle and n = run `Naive in
       (* width 1 must take the sequential path, 2 and 4 the parallel
-         one (when the worklist gets wide enough to spawn) *)
+         one (when the worklist gets wide enough to spawn); the summary
+         engine exercises the bottom-up SCC schedule *)
       let pars =
-        List.map
-          (fun nd -> (Printf.sprintf "delta-par@%d" nd, run (`Delta_par nd)))
-          [ 1; 2; 4 ]
+        ("summary", run `Summary)
+        :: List.map
+             (fun nd -> (Printf.sprintf "delta-par@%d" nd, run (`Delta_par nd)))
+             [ 1; 2; 4 ]
       in
       let graph (r : Core.Analysis.result) = r.Core.Analysis.solver.Core.Solver.graph in
       let check_eq ename (r : Core.Analysis.result) =

@@ -45,7 +45,8 @@ let check_vs_scratch ~label ~engine ~id (warm : Core.Solver.t) =
       | `Delta -> "delta"
       | `Delta_nocycle -> "delta-nocycle"
       | `Naive -> "naive"
-      | `Delta_par _ -> "delta-par")
+      | `Delta_par _ -> "delta-par"
+      | `Summary -> "summary")
       (Core.Graph.edge_count warm.Core.Solver.graph)
       (Core.Graph.edge_count scratch.Core.Solver.graph);
   (match Core.Graph.check_counts warm.Core.Solver.graph with

@@ -227,10 +227,14 @@ let test_ancestor_warm_start () =
       check_origin (ename ^ ": grown repeat hits") `Hit s3)
     [ ("delta", `Delta); ("delta-nocycle", `Delta_nocycle); ("naive", `Naive) ]
 
-(** A mid-function insertion renumbers the lowering's later temporaries,
-    so the base is {e not} an additive subset of the edit — the store
-    must refuse the warm start (soundness) and fall back to scratch. *)
-let test_ancestor_requires_additive () =
+(** A mid-function insertion used to renumber the lowering's later
+    temporaries ([$t<n>] from one program-wide counter), turning a
+    one-statement edit into a program-wide key change the additive
+    ancestor match had to refuse. {!Norm.Tempnames} keys temporaries
+    positionally within their statement, so the insertion adds exactly
+    its own statement keys — the cached base {e is} an additive subset
+    and the store warm starts from it. *)
+let test_ancestor_insert_in_middle () =
   let edited =
     {|
     struct node { struct node *next; int v; };
@@ -239,6 +243,36 @@ let test_ancestor_requires_additive () =
     void main(void) {
       head = &g1;
       g3.next = &g1;
+      g1.next = &g2;
+      g2.next = &g3;
+    }
+  |}
+  in
+  let dir = fresh_dir () in
+  let _, _ = serve ~dir src_a in
+  let st2, s2 = serve ~dir edited in
+  (match s2.Store.sv_origin with
+  | `Ancestor n when n > 0 && n <= 4 -> ()
+  | `Ancestor n ->
+      Alcotest.failf
+        "insertion should be a small additive delta, got ancestor+%d" n
+  | _ -> Alcotest.fail "mid-function insertion should warm start");
+  Alcotest.(check int) "warm start counted" 1
+    (Store.counters st2).Core.Metrics.ancestor_warm_starts;
+  check_json "warm json == scratch" edited s2
+
+(** A changed statement (not an insertion) removes a key the cached base
+    holds, so the base is {e not} an additive subset of the edit — the
+    store must refuse the warm start (soundness) and fall back to
+    scratch. *)
+let test_ancestor_requires_additive () =
+  let edited =
+    {|
+    struct node { struct node *next; int v; };
+    struct node g1, g2, g3;
+    struct node *head;
+    void main(void) {
+      head = &g2;
       g1.next = &g2;
       g2.next = &g3;
     }
@@ -448,6 +482,7 @@ let suite =
     tc "exact hit (json)" test_exact_hit_json;
     tc "exact hit (solver): zero visits" test_exact_hit_solver_zero_visits;
     tc "ancestor warm start, all engines" test_ancestor_warm_start;
+    tc "insert-in-the-middle is additive" test_ancestor_insert_in_middle;
     tc "ancestor requires additive edit" test_ancestor_requires_additive;
     tc "bit flip quarantined, not deleted" test_bit_flip_quarantined;
     tc "truncation quarantined" test_truncation_quarantined;
